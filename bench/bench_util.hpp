@@ -1,0 +1,44 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+#include "util/table.hpp"
+
+namespace flashmark::bench {
+
+/// Fixed seed so every bench run regenerates identical series.
+inline constexpr std::uint64_t kDieSeed = 0xF1A5'0001;
+
+/// Address of the idx-th main-flash segment.
+inline Addr seg_addr(const Device& dev, std::size_t idx) {
+  return dev.config().geometry.segment_base(idx);
+}
+
+/// Deterministic upper-case ASCII watermark text of `chars` characters
+/// (the paper's §V workload: "a watermark that consists of upper-case ASCII
+/// characters" filling the segment).
+inline std::string ascii_text(std::size_t chars) {
+  static const std::string kPhrase =
+      "FLASHMARK WATERMARKING OF NOR FLASH MEMORIES FOR COUNTERFEIT "
+      "DETECTION DAC TWENTY TWENTY ";
+  std::string out;
+  out.reserve(chars);
+  while (out.size() < chars) out += kPhrase;
+  out.resize(chars);
+  return out;
+}
+
+/// Emit the table and drop a CSV next to the binary for replotting.
+inline void emit(const Table& t, const std::string& csv_name) {
+  t.print(std::cout);
+  if (t.write_csv(csv_name))
+    std::cout << "\n[csv written: " << csv_name << "]\n";
+  std::cout << std::endl;
+}
+
+}  // namespace flashmark::bench

@@ -1,0 +1,82 @@
+// Cross-technology comparison (paper §V last paragraph + §VI): the same
+// Flashmark pipeline on the MSP430's embedded NOR, a stand-alone SPI NOR
+// (JEDEC command set, erase-suspend partial erase) and an ONFI SLC NAND
+// (RESET-during-erase partial erase). One table: imprint cost, extraction
+// cost, and decoded quality at each technology's production settings.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "nand/nand_watermark.hpp"
+#include "spinor/spinor_watermark.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+int main() {
+  const SipHashKey key{0xC405, 0x7EC4};
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, 0xBEEF, 2, TestStatus::kAccept, 0x3AA};
+  spec.key = key;
+  spec.n_replicas = 7;
+  spec.strategy = ImprintStrategy::kBatchWear;
+
+  VerifyOptions vo;
+  vo.n_replicas = 7;
+  vo.key = key;
+  vo.rounds = 3;
+
+  Table t({"technology", "region", "NPE", "imprint_s", "us_per_byte_cycle",
+           "extract_ms", "verdict"});
+
+  // --- MSP430 embedded NOR (the paper's platform) -----------------------
+  {
+    Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ 0xC1);
+    const Addr wm = seg_addr(dev, 0);
+    spec.npe = 60'000;
+    const ImprintReport ir = imprint_watermark(dev.hal(), wm, spec);
+    vo.t_pew = SimTime::us(30);
+    const VerifyReport r = verify_watermark(dev.hal(), wm, vo);
+    t.add_row({"MCU NOR (MSP430F5438)", "512 B segment", "60000",
+               Table::fmt(ir.elapsed.as_sec(), 1),
+               Table::fmt(ir.mean_cycle_time.as_us() / 512.0, 1),
+               Table::fmt(r.extract_time.as_ms(), 1), to_string(r.verdict)});
+  }
+
+  // --- stand-alone SPI NOR ------------------------------------------------
+  {
+    SimClock clock;
+    SpiNorChip chip{SpiNorGeometry::w25q256(), SpiNorTiming::w25q_datasheet(),
+                    spinor_phys(), kDieSeed ^ 0xC2, clock};
+    spec.npe = 60'000;
+    const ImprintReport ir = imprint_watermark_spinor(chip, 0, spec);
+    vo.t_pew = SimTime::us(190);  // cell-axis window for this family
+    const VerifyReport r = verify_watermark_spinor(chip, 0, vo);
+    t.add_row({"SPI NOR (W25Q-class)", "4 KiB sector", "60000",
+               Table::fmt(ir.elapsed.as_sec(), 1),
+               Table::fmt(ir.mean_cycle_time.as_us() / 4096.0, 1),
+               Table::fmt(r.extract_time.as_ms(), 1), to_string(r.verdict)});
+  }
+
+  // --- SLC NAND ------------------------------------------------------------
+  {
+    NandGeometry geom = NandGeometry::slc_2gbit();
+    NandArray array{geom, nand_slc_phys(), kDieSeed ^ 0xC3};
+    SimClock clock;
+    NandController nand{array, NandTiming::slc_datasheet(), clock};
+    spec.npe = 8'000;  // ~10 K endurance part: contrast at 10x fewer cycles
+    const ImprintReport ir = imprint_watermark_nand(nand, 0, spec);
+    vo.t_pew = SimTime::us(650);
+    const VerifyReport r = verify_watermark_nand(nand, 0, vo);
+    t.add_row({"SLC NAND (ONFI 2Gbit)", "2 KiB page", "8000",
+               Table::fmt(ir.elapsed.as_sec(), 1),
+               Table::fmt(ir.mean_cycle_time.as_us() / 2112.0, 1),
+               Table::fmt(r.extract_time.as_ms(), 1), to_string(r.verdict)});
+  }
+
+  std::cout << "Cross-technology Flashmark — same codec/verifier stack, three "
+               "command sets\n\n";
+  emit(t, "cross_technology.csv");
+  std::cout << "(paper: stand-alone chips with faster per-byte erase/program "
+               "imprint significantly faster; the method carries to NAND)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Die-to-die consistency (paper §V: "Multiple chip samples are used and we
+// find that flash memories within the same family show consistent behavior
+// when subjected to proposed techniques").
+//
+// A lot of 24 virtual dies per family x NPE level: imprint + verify each
+// with the family-published window, report verdict success rates and the
+// spread of extraction quality metrics.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+int main() {
+  const SipHashKey key{0xD1E, 0x107};
+  constexpr int kLot = 24;
+
+  Table t({"family", "NPE", "genuine", "of", "zero_frac_min", "zero_frac_max",
+           "disagreement_max"});
+  for (const auto& [name, cfg] :
+       {std::pair<std::string, DeviceConfig>{"F5438",
+                                             DeviceConfig::msp430f5438()},
+        {"F5529", DeviceConfig::msp430f5529()}}) {
+    for (std::uint32_t npe : {40'000u, 60'000u, 80'000u}) {
+      int genuine = 0;
+      RunningStats zf, dis;
+      const std::uint64_t family_salt = std::hash<std::string>{}(name);
+      for (int die = 0; die < kLot; ++die) {
+        Device chip(cfg, kDieSeed ^ family_salt ^
+                             (npe + static_cast<unsigned>(die) * 131));
+        const Addr wm = chip.config().geometry.segment_base(0);
+        WatermarkSpec spec;
+        spec.fields = {0x7C01, static_cast<std::uint32_t>(die), 2,
+                       TestStatus::kAccept, 0x3AA};
+        spec.key = key;
+        spec.npe = npe;
+        spec.strategy = ImprintStrategy::kBatchWear;
+        imprint_watermark(chip.hal(), wm, spec);
+
+        VerifyOptions vo;
+        vo.t_pew = SimTime::us(30);
+        vo.key = key;
+        vo.rounds = 3;
+        vo.n_reads = 3;
+        const VerifyReport r = verify_watermark(chip.hal(), wm, vo);
+        if (r.verdict == Verdict::kGenuine && r.fields &&
+            r.fields->die_id == static_cast<std::uint32_t>(die))
+          ++genuine;
+        zf.add(r.zero_fraction);
+        dis.add(r.replica_disagreement);
+      }
+      t.add_row({name, Table::fmt(static_cast<std::size_t>(npe)),
+                 Table::fmt(static_cast<long long>(genuine)),
+                 Table::fmt(static_cast<long long>(kLot)),
+                 Table::fmt(zf.min(), 3), Table::fmt(zf.max(), 3),
+                 Table::fmt(dis.max(), 4)});
+    }
+  }
+  std::cout << "Die-to-die variation — " << kLot
+            << " dies per cell, family window tPEW=30us\n\n";
+  emit(t, "die_variation.csv");
+  std::cout << "(paper: consistent behavior across chip samples of a family)\n";
+  return 0;
+}

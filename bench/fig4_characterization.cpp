@@ -1,0 +1,74 @@
+// Fig. 4 — State of flash cells in a segment as a function of the partial
+// erase time, for pre-stress levels 0 K .. 100 K P/E cycles.
+//
+// Paper reference points (MSP430F5438):
+//   * fresh segment transitions between ~18 us and ~35 us;
+//   * minimum t_PE at which ALL cells read erased:
+//       20 K ->  ~115 us,  40 K -> ~203 us,  60 K -> ~226 us,
+//       80 K ->  ~687 us, 100 K -> ~811 us.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+int main() {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  FlashHal& hal = dev.hal();
+
+  const std::vector<std::uint32_t> levels = {0,      20'000, 40'000,
+                                             60'000, 80'000, 100'000};
+
+  // Pre-condition one segment per stress level (paper §III): each P/E cycle
+  // programs every bit and erases the segment.
+  std::cout << "Fig. 4 — segment state vs partial erase time\n"
+            << "device: " << dev.config().family << ", "
+            << dev.config().geometry.describe() << "\n\n";
+  std::vector<Addr> seg(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    seg[i] = seg_addr(dev, i);
+    if (levels[i] > 0) hal.wear_segment(seg[i], levels[i], nullptr);
+  }
+
+  // Sweep 0..120 us like the figure's x-axis.
+  Table t({"tPE_us", "0K_cells0", "0K_cells1", "20K_cells0", "20K_cells1",
+           "40K_cells0", "40K_cells1", "60K_cells0", "60K_cells1",
+           "80K_cells0", "80K_cells1", "100K_cells0", "100K_cells1"});
+  std::vector<std::vector<CharacterizePoint>> curves(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    CharacterizeOptions opts;
+    opts.t_end = SimTime::us(120);
+    opts.t_step = SimTime::us(2);
+    opts.n_reads = 3;
+    curves[i] = characterize_segment(hal, seg[i], opts);
+  }
+  for (std::size_t p = 0; p < curves[0].size(); ++p) {
+    std::vector<std::string> row{Table::fmt(curves[0][p].t_pe.as_us(), 0)};
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      row.push_back(Table::fmt(curves[i][p].cells_0));
+      row.push_back(Table::fmt(curves[i][p].cells_1));
+    }
+    t.add_row(std::move(row));
+  }
+  emit(t, "fig4_curves.csv");
+
+  // Minimum t_PE at which the whole segment reads erased (paper's ladder).
+  Table ladder({"stress_cycles", "full_erase_tPE_us", "paper_us"});
+  const std::vector<std::string> paper = {"~35", "~115", "~203",
+                                          "~226", "~687", "~811"};
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    CharacterizeOptions opts;
+    opts.t_start = SimTime::us(0);
+    opts.t_end = SimTime::us(1200);
+    opts.t_step = SimTime::us(3);
+    opts.n_reads = 3;
+    opts.settle_points = 2;
+    const auto curve = characterize_segment(hal, seg[i], opts);
+    ladder.add_row({Table::fmt(static_cast<std::size_t>(levels[i])),
+                    Table::fmt(full_erase_time(curve).as_us(), 0), paper[i]});
+  }
+  emit(ladder, "fig4_full_erase_ladder.csv");
+  return 0;
+}

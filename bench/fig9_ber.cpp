@@ -1,0 +1,80 @@
+// Fig. 9 — Bit error rate of a single-read 512-byte watermark extraction as
+// a function of the partial erase time, for imprint levels NPE = 0..100 K.
+//
+// Paper reference points: minimum BER ~19.9% @20 K, 11.8% @40 K, 7.6% @60 K,
+// 2.3% @80 K; at small tPE the BER equals the watermark's fraction of 1
+// bits, at large tPE its fraction of 0 bits; the best window shifts slightly
+// right as NPE grows.
+//
+// Ablation (DESIGN.md §6): pass --reads N (odd) to enable N-read majority
+// during extraction instead of the paper's single read.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+int main(int argc, char** argv) {
+  int n_reads = 1;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--reads") n_reads = std::atoi(argv[i + 1]);
+
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ 0x9);
+  FlashHal& hal = dev.hal();
+  const auto& g = dev.config().geometry;
+  const std::size_t cells = g.segment_cells(0);
+
+  // Whole-segment upper-case ASCII watermark (512 characters).
+  const BitVec watermark = ascii_watermark(ascii_text(cells / 8));
+  std::cout << "Fig. 9 — BER vs tPE, single-read extraction of a " << cells / 8
+            << "-byte ASCII watermark (reads=" << n_reads << ")\n"
+            << "watermark composition: " << watermark.popcount() << " ones, "
+            << watermark.zero_count() << " zeros of " << cells << " bits\n\n";
+
+  const std::vector<std::uint32_t> levels = {0,      20'000, 40'000,
+                                             60'000, 80'000, 100'000};
+  std::vector<Addr> seg(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    seg[i] = seg_addr(dev, i);
+    if (levels[i] > 0) {
+      ImprintOptions io;
+      io.npe = levels[i];
+      io.strategy = ImprintStrategy::kBatchWear;
+      imprint_flashmark(hal, seg[i], watermark, io);
+    }
+  }
+
+  Table t({"tPE_us", "0K_%", "20K_%", "40K_%", "60K_%", "80K_%", "100K_%"});
+  std::vector<double> min_ber(levels.size(), 100.0);
+  std::vector<double> min_ber_t(levels.size(), 0.0);
+  for (int tpe = 10; tpe <= 80; tpe += 1) {
+    std::vector<std::string> row{Table::fmt(static_cast<long long>(tpe))};
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      ExtractOptions eo;
+      eo.t_pew = SimTime::us(tpe);
+      eo.n_reads = n_reads;
+      const ExtractResult ext = extract_flashmark(hal, seg[i], eo);
+      const double ber = compare_bits(watermark, ext.bits).ber() * 100.0;
+      if (ber < min_ber[i]) {
+        min_ber[i] = ber;
+        min_ber_t[i] = tpe;
+      }
+      row.push_back(Table::fmt(ber, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  emit(t, "fig9_ber.csv");
+
+  Table best({"NPE", "min_BER_%", "at_tPE_us", "paper_min_BER_%"});
+  const std::vector<std::string> paper = {"(n/a)", "19.9", "11.8",
+                                          "7.6",   "2.3",  "(n/a)"};
+  for (std::size_t i = 0; i < levels.size(); ++i)
+    best.add_row({Table::fmt(static_cast<std::size_t>(levels[i])),
+                  Table::fmt(min_ber[i], 2), Table::fmt(min_ber_t[i], 0),
+                  paper[i]});
+  emit(best, "fig9_min_ber.csv");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Host-side performance microbenchmarks of the simulator itself
+// (google-benchmark). These measure wall-clock cost of the building blocks
+// so users can size their own sweeps; they are not paper results.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "nand/nand_watermark.hpp"
+#include "spinor/spinor_watermark.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+namespace {
+
+void BM_SegmentErase(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  for (auto _ : state) dev.hal().erase_segment(addr);
+}
+BENCHMARK(BM_SegmentErase);
+
+void BM_ProgramBlock(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  for (auto _ : state) {
+    dev.hal().erase_segment(addr);
+    dev.hal().program_block(addr, zeros);
+  }
+}
+BENCHMARK(BM_ProgramBlock);
+
+void BM_PartialEraseRound(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  for (auto _ : state) {
+    dev.hal().erase_segment(addr);
+    dev.hal().program_block(addr, zeros);
+    dev.hal().partial_erase_segment(addr, SimTime::us(25));
+  }
+}
+BENCHMARK(BM_PartialEraseRound);
+
+void BM_ImprintCycle_Loop(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::size_t cells = dev.config().geometry.segment_cells(0);
+  const BitVec pattern =
+      replicate_pattern(ascii_watermark(ascii_text(64)), 7, cells);
+  ImprintOptions io;
+  io.npe = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) imprint_flashmark(dev.hal(), addr, pattern, io);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ImprintCycle_Loop)->Arg(100)->Arg(1000);
+
+void BM_ImprintCycle_Batch(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::size_t cells = dev.config().geometry.segment_cells(0);
+  const BitVec pattern =
+      replicate_pattern(ascii_watermark(ascii_text(64)), 7, cells);
+  ImprintOptions io;
+  io.npe = static_cast<std::uint32_t>(state.range(0));
+  io.strategy = ImprintStrategy::kBatchWear;
+  for (auto _ : state) imprint_flashmark(dev.hal(), addr, pattern, io);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ImprintCycle_Batch)->Arg(1000)->Arg(100000);
+
+void BM_Extract(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::size_t cells = dev.config().geometry.segment_cells(0);
+  ImprintOptions io;
+  io.npe = 60'000;
+  io.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark(dev.hal(), addr,
+                    replicate_pattern(ascii_watermark(ascii_text(64)), 7, cells),
+                    io);
+  ExtractOptions eo;
+  eo.t_pew = SimTime::us(30);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(extract_flashmark(dev.hal(), addr, eo));
+}
+BENCHMARK(BM_Extract);
+
+void BM_VerifyPipeline(benchmark::State& state) {
+  const SipHashKey key{1, 2};
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  WatermarkSpec spec;
+  spec.fields = {1, 2, 3, TestStatus::kAccept, 4};
+  spec.key = key;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  imprint_watermark(dev.hal(), seg_addr(dev, 0), spec);
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.key = key;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(verify_watermark(dev.hal(), seg_addr(dev, 0), vo));
+}
+BENCHMARK(BM_VerifyPipeline);
+
+void BM_SoftDualRailDecode(benchmark::State& state) {
+  Rng rng(1);
+  BitVec payload(144);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload.set(i, rng.bernoulli(0.5));
+  const BitVec replica = dual_rail_encode(payload);
+  const BitVec pattern = replicate_pattern(replica, 7, 4096);
+  const ReplicaLayout layout{replica.size(), 7};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(soft_decode_dual_rail(pattern, layout));
+}
+BENCHMARK(BM_SoftDualRailDecode);
+
+void BM_NandExtractRound(benchmark::State& state) {
+  NandGeometry geom = NandGeometry::tiny();
+  NandArray array{geom, nand_slc_phys(), kDieSeed};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+  BitVec pattern(geom.page_cells(), true);
+  for (std::size_t i = 0; i < pattern.size(); i += 2) pattern.set(i, false);
+  NandImprintOptions io;
+  io.npe = 5'000;
+  io.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark_nand(nand, 0, 0, pattern, io);
+  NandExtractOptions eo;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(extract_flashmark_nand(nand, 0, 0, eo));
+}
+BENCHMARK(BM_NandExtractRound);
+
+void BM_SpiNorExtractRound(benchmark::State& state) {
+  SimClock clock;
+  SpiNorChip chip{SpiNorGeometry::tiny(), SpiNorTiming::w25q_datasheet(),
+                  spinor_phys(), kDieSeed, clock};
+  BitVec pattern(chip.geometry().sector_cells(), true);
+  for (std::size_t i = 0; i < pattern.size(); i += 2) pattern.set(i, false);
+  SpiNorImprintOptions io;
+  io.npe = 60'000;
+  io.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark_spinor(chip, 0, pattern, io);
+  SpiNorExtractOptions eo;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(extract_flashmark_spinor(chip, 0, eo));
+}
+BENCHMARK(BM_SpiNorExtractRound);
+
+void BM_McuHal_WordProgram(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  dev.mcu_hal().erase_segment(addr);
+  std::uint16_t v = 0xFFFE;
+  for (auto _ : state) dev.mcu_hal().program_word(addr, v);
+}
+BENCHMARK(BM_McuHal_WordProgram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Tamper resistance (paper §V, text): what each counterfeiting strategy
+// achieves against a keyed, dual-rail, replicated Flashmark — versus the
+// conventional erase+program metadata mark ("current practice").
+//
+// Paper claims exercised here:
+//   * the imprint is irreversible: digital erase/reprogram leaves no stress
+//     contrast  -> verdict no-watermark;
+//   * stressing remaining good cells produces illegitimate watermarks that
+//     are "easily uncovered"  -> dual-rail (0,0) pairs / signature  ->
+//     verdict tampered;
+//   * a reject die can never be turned into an accept die.
+#include <iostream>
+
+#include "attack/attacks.hpp"
+#include "baseline/conventional_mark.hpp"
+#include "bench_util.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+int main() {
+  const SipHashKey key{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  const SimTime tpew = SimTime::us(30);
+
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, 0xDEAD0042, 3, TestStatus::kReject, 0x4B2};
+  spec.key = key;
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+
+  VerifyOptions vo;
+  vo.t_pew = tpew;
+  vo.n_replicas = 7;
+  vo.key = key;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+
+  Table t({"scenario", "flashmark_verdict", "status_field", "sig_ok",
+           "conventional_mark"});
+
+  auto run = [&](const std::string& name, auto&& mutate) {
+    Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ std::hash<std::string>{}(name));
+    FlashHal& hal = dev.hal();
+    const Addr fm_addr = seg_addr(dev, 0);
+    const Addr conv_addr = seg_addr(dev, 1);
+    imprint_watermark(hal, fm_addr, spec);
+    conventional_mark_write(hal, conv_addr, spec.fields);
+
+    mutate(dev, hal, fm_addr, conv_addr);
+
+    const VerifyReport r = verify_watermark(hal, fm_addr, vo);
+    const auto conv = conventional_mark_read(hal, conv_addr);
+    t.add_row({name, to_string(r.verdict),
+               r.fields ? to_string(r.fields->status) : "-",
+               r.signature_checked ? (r.signature_ok ? "yes" : "NO") : "-",
+               conv ? to_string(conv->status) : "unreadable"});
+  };
+
+  run("untouched genuine", [&](Device&, FlashHal&, Addr, Addr) {});
+
+  // Blank inferior/out-of-spec chip: the counterfeiter only has the digital
+  // interface and writes an "accept" watermark pattern as plain data. No
+  // stress contrast exists, so extraction sees a fresh segment.
+  {
+    Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ 0xB1A);
+    FlashHal& hal = dev.hal();
+    const Addr fm_addr = seg_addr(dev, 0);
+    const Addr conv_addr = seg_addr(dev, 1);
+    WatermarkFields forged = spec.fields;
+    forged.status = TestStatus::kAccept;
+    const auto enc = encode_watermark(
+        WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
+        dev.config().geometry.segment_cells(0));
+    forge_attack(hal, fm_addr, enc.segment_pattern);
+    conventional_mark_write(hal, conv_addr, forged);
+    const VerifyReport r = verify_watermark(hal, fm_addr, vo);
+    const auto conv = conventional_mark_read(hal, conv_addr);
+    t.add_row({"blank chip + digital-only accept mark", to_string(r.verdict),
+               r.fields ? to_string(r.fields->status) : "-",
+               r.signature_checked ? (r.signature_ok ? "yes" : "NO") : "-",
+               conv ? to_string(conv->status) : "unreadable"});
+  }
+
+  // Genuine REJECT die: the counterfeiter erases and digitally rewrites the
+  // watermark segment as "accept". The physical imprint survives the
+  // rewrite — extraction still recovers the original REJECT watermark.
+  run("digital forge: rewrite status=accept", [&](Device& dev, FlashHal& hal,
+                                                  Addr fm, Addr conv) {
+    WatermarkFields forged = spec.fields;
+    forged.status = TestStatus::kAccept;
+    // Forge both marks digitally: erase + program the accept payload.
+    const auto enc = encode_watermark(
+        WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
+        dev.config().geometry.segment_cells(0));
+    forge_attack(hal, fm, enc.segment_pattern);
+    conventional_mark_forge(hal, conv, forged);
+  });
+
+  run("stress attack: flip good cells toward accept", [&](Device& dev,
+                                                          FlashHal& hal,
+                                                          Addr fm, Addr) {
+    WatermarkFields forged = spec.fields;
+    forged.status = TestStatus::kAccept;
+    const std::size_t cells = dev.config().geometry.segment_cells(0);
+    const auto cur = encode_watermark(spec, cells);
+    const auto want = encode_watermark(
+        WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false}, cells);
+    const auto rw =
+        rewrite_attack(hal, fm, cur.segment_pattern, want.segment_pattern, 60'000);
+    std::cout << "[stress attack] flips applied (good->bad): "
+              << rw.flips_applied
+              << ", physically impossible (bad->good): " << rw.flips_impossible
+              << "\n";
+  });
+
+  run("blunt stress: wear the whole watermark region", [&](Device&, FlashHal& hal,
+                                                           Addr fm, Addr) {
+    hal.wear_segment(fm, 60'000, nullptr);
+  });
+
+  std::cout << "\n";
+  emit(t, "tamper_resistance.csv");
+
+  // Clone attack: valid watermark copied onto a blank die — the documented
+  // residual risk (requires die-id tracking to catch).
+  {
+    Device genuine(DeviceConfig::msp430f5438(), kDieSeed ^ 0x77);
+    Device blank(DeviceConfig::msp430f5438(), kDieSeed ^ 0x78);
+    imprint_watermark(genuine.hal(), seg_addr(genuine, 0), spec);
+    clone_attack(genuine.hal(), seg_addr(genuine, 0), blank.hal(),
+                 seg_addr(blank, 0), vo, 60'000);
+    const VerifyReport r = verify_watermark(blank.hal(), seg_addr(blank, 0), vo);
+    std::cout << "clone attack (copy valid watermark to blank die): verdict="
+              << to_string(r.verdict)
+              << "  -> clones of VALID watermarks need die-id tracking; "
+                 "forging a DIFFERENT payload still fails the signature\n";
+  }
+  return 0;
+}

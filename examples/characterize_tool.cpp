@@ -1,0 +1,87 @@
+// CLI characterization tool: run the Fig. 3 partial-erase sweep on a
+// simulated die and dump a Fig. 4-style CSV.
+//
+//   $ ./characterize_tool [--family f5438|f5529] [--seed N]
+//                         [--stress CYCLES] [--step US] [--end US]
+//                         [--reads N] [--csv FILE]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+#include "util/table.hpp"
+
+using namespace flashmark;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: characterize_tool [--family f5438|f5529] [--seed N]\n"
+               "                         [--stress CYCLES] [--step US]\n"
+               "                         [--end US] [--reads N] [--csv FILE]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string family = "f5438";
+  std::uint64_t seed = 1;
+  std::uint32_t stress = 0;
+  long step_us = 2;
+  long end_us = 160;
+  int reads = 3;
+  std::string csv;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--family")) family = need("--family");
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(need("--seed"), nullptr, 0);
+    else if (!std::strcmp(argv[i], "--stress")) stress = static_cast<std::uint32_t>(std::strtoul(need("--stress"), nullptr, 0));
+    else if (!std::strcmp(argv[i], "--step")) step_us = std::strtol(need("--step"), nullptr, 0);
+    else if (!std::strcmp(argv[i], "--end")) end_us = std::strtol(need("--end"), nullptr, 0);
+    else if (!std::strcmp(argv[i], "--reads")) reads = std::atoi(need("--reads"));
+    else if (!std::strcmp(argv[i], "--csv")) csv = need("--csv");
+    else usage();
+  }
+
+  const DeviceConfig cfg = family == "f5529" ? DeviceConfig::msp430f5529()
+                          : family == "f5438" ? DeviceConfig::msp430f5438()
+                                              : (usage(), DeviceConfig{});
+  Device dev(cfg, seed);
+  const Addr seg = cfg.geometry.segment_base(0);
+
+  std::cout << "device: " << cfg.family << " (die seed " << seed << "), "
+            << cfg.geometry.describe() << "\n";
+  if (stress > 0) {
+    std::cout << "pre-conditioning segment with " << stress
+              << " P/E cycles...\n";
+    dev.hal().wear_segment(seg, stress);
+  }
+
+  CharacterizeOptions opts;
+  opts.t_step = SimTime::us(step_us);
+  opts.t_end = SimTime::us(end_us);
+  opts.n_reads = reads;
+  opts.settle_points = 5;
+  const auto curve = characterize_segment(dev.hal(), seg, opts);
+
+  Table t({"tPE_us", "cells_0", "cells_1"});
+  for (const auto& p : curve)
+    t.add_row({Table::fmt(p.t_pe.as_us(), 1), Table::fmt(p.cells_0),
+               Table::fmt(p.cells_1)});
+  t.print(std::cout);
+  std::cout << "\nfull-erase time: " << full_erase_time(curve).as_us()
+            << " us\n";
+  if (!csv.empty() && t.write_csv(csv))
+    std::cout << "csv written: " << csv << "\n";
+  return 0;
+}

@@ -1,0 +1,201 @@
+// flashmark_cli — stateful command-line front end over a persisted
+// simulated die. Each command loads the die file, acts, and (for mutating
+// commands) writes it back, so multi-step workflows span invocations:
+//
+//   $ ./flashmark_cli new --out die.fm --family f5438 --seed 42
+//   $ ./flashmark_cli imprint die.fm --die-id 66 --status accept
+//                     --key 1122:3344 --npe 60000
+//   $ ./flashmark_cli verify die.fm --key 1122:3344 --tpew 30
+//   $ ./flashmark_cli wear die.fm --segment 3 --cycles 50000
+//   $ ./flashmark_cli characterize die.fm --segment 3
+//   $ ./flashmark_cli info die.fm
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/flashmark.hpp"
+#include "mcu/persist.hpp"
+
+using namespace flashmark;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: flashmark_cli <command> [die.fm] [options]\n"
+      "  new         --out FILE [--family f5438|f5529] [--seed N]\n"
+      "  info        FILE\n"
+      "  imprint     FILE [--segment N] --die-id N [--status accept|reject]\n"
+      "              [--manufacturer N] [--key K0:K1] [--npe N] [--replicas R]\n"
+      "  verify      FILE [--segment N] [--key K0:K1] [--tpew US] [--replicas R]\n"
+      "  wear        FILE --segment N --cycles N\n"
+      "  characterize FILE [--segment N] [--step US] [--end US]\n";
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::map<std::string, std::string> opts;
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = opts.find(key);
+    return it == opts.end() ? dflt : it->second;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t dflt) const {
+    const auto it = opts.find(key);
+    return it == opts.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 0);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.command = argv[1];
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') a.file = argv[i++];
+  for (; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) usage();
+    a.opts[key.substr(2)] = argv[++i];
+  }
+  return a;
+}
+
+std::optional<SipHashKey> parse_key(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) usage();
+  return SipHashKey{std::strtoull(s.substr(0, colon).c_str(), nullptr, 16),
+                    std::strtoull(s.substr(colon + 1).c_str(), nullptr, 16)};
+}
+
+int cmd_new(const Args& a) {
+  const std::string out = a.get("out", "");
+  if (out.empty()) usage();
+  const std::string fam = a.get("family", "f5438");
+  const DeviceConfig cfg = fam == "f5529" ? DeviceConfig::msp430f5529()
+                                          : DeviceConfig::msp430f5438();
+  Device dev(cfg, a.get_u64("seed", 1));
+  if (!save_device_file(dev, out)) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "created " << cfg.family << " die (seed "
+            << a.get_u64("seed", 1) << ") -> " << out << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  auto dev = load_device_file(a.file);
+  const auto& g = dev->config().geometry;
+  std::cout << "family:   " << dev->config().family << "\n"
+            << "die seed: " << dev->die_seed() << "\n"
+            << "flash:    " << g.describe() << "\n"
+            << "sim time: " << dev->clock().now().as_sec() << " s\n"
+            << "worn segments (materialized, mean eff cycles > 1):\n";
+  for (std::size_t s = 0; s < g.n_segments(); ++s) {
+    if (!dev->array().segment_materialized(s)) continue;
+    const auto w = dev->array().wear_stats(s);
+    if (w.eff_cycles_mean > 1.0)
+      std::cout << "  seg " << s << ": mean " << w.eff_cycles_mean
+                << " cycles, max tte " << w.tte_max_us << " us\n";
+  }
+  return 0;
+}
+
+int cmd_imprint(const Args& a) {
+  auto dev = load_device_file(a.file);
+  const std::size_t seg = a.get_u64("segment", 0);
+  WatermarkSpec spec;
+  spec.fields.manufacturer_id =
+      static_cast<std::uint16_t>(a.get_u64("manufacturer", 0x7C01));
+  spec.fields.die_id = static_cast<std::uint32_t>(a.get_u64("die-id", 0));
+  spec.fields.status = a.get("status", "accept") == "reject"
+                           ? TestStatus::kReject
+                           : TestStatus::kAccept;
+  spec.key = parse_key(a.get("key", ""));
+  spec.n_replicas = a.get_u64("replicas", 7);
+  spec.npe = static_cast<std::uint32_t>(a.get_u64("npe", 60'000));
+  spec.strategy = ImprintStrategy::kBatchWear;
+  const Addr addr = dev->config().geometry.segment_base(seg);
+  const ImprintReport r = imprint_watermark(dev->hal(), addr, spec);
+  std::cout << "imprinted die-id " << spec.fields.die_id << " ("
+            << to_string(spec.fields.status) << ") into segment " << seg
+            << ": " << r.npe << " cycles, " << r.elapsed.as_sec()
+            << " s simulated\n";
+  return save_device_file(*dev, a.file) ? 0 : 1;
+}
+
+int cmd_verify(const Args& a) {
+  auto dev = load_device_file(a.file);
+  const std::size_t seg = a.get_u64("segment", 0);
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(static_cast<std::int64_t>(a.get_u64("tpew", 30)));
+  vo.n_replicas = a.get_u64("replicas", 7);
+  vo.key = parse_key(a.get("key", ""));
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  const Addr addr = dev->config().geometry.segment_base(seg);
+  const VerifyReport r = verify_watermark(dev->hal(), addr, vo);
+  std::cout << "verdict: " << to_string(r.verdict) << "\n";
+  if (r.fields)
+    std::cout << "  manufacturer 0x" << std::hex << r.fields->manufacturer_id
+              << std::dec << ", die " << r.fields->die_id << ", "
+              << to_string(r.fields->status) << "\n";
+  if (r.signature_checked)
+    std::cout << "  signature: " << (r.signature_ok ? "ok" : "FAIL") << "\n";
+  std::cout << "  zero fraction " << r.zero_fraction << ", (0,0)-pairs "
+            << r.invalid_00_pairs << ", extract "
+            << r.extract_time.as_ms() << " ms\n";
+  save_device_file(*dev, a.file);  // extraction wears the segment slightly
+  return r.verdict == Verdict::kGenuine ? 0 : 1;
+}
+
+int cmd_wear(const Args& a) {
+  auto dev = load_device_file(a.file);
+  const std::size_t seg = a.get_u64("segment", 0);
+  const double cycles = static_cast<double>(a.get_u64("cycles", 10'000));
+  dev->hal().wear_segment(dev->config().geometry.segment_base(seg), cycles);
+  std::cout << "applied " << cycles << " P/E cycles to segment " << seg << "\n";
+  return save_device_file(*dev, a.file) ? 0 : 1;
+}
+
+int cmd_characterize(const Args& a) {
+  auto dev = load_device_file(a.file);
+  const std::size_t seg = a.get_u64("segment", 0);
+  CharacterizeOptions opts;
+  opts.t_step = SimTime::us(static_cast<std::int64_t>(a.get_u64("step", 2)));
+  opts.t_end = SimTime::us(static_cast<std::int64_t>(a.get_u64("end", 150)));
+  opts.settle_points = 3;
+  const auto curve = characterize_segment(
+      dev->hal(), dev->config().geometry.segment_base(seg), opts);
+  for (const auto& p : curve)
+    std::cout << p.t_pe.as_us() << " us: " << p.cells_0 << " programmed, "
+              << p.cells_1 << " erased\n";
+  std::cout << "full-erase time: " << full_erase_time(curve).as_us()
+            << " us\n";
+  save_device_file(*dev, a.file);  // the sweep wears the segment
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "new") return cmd_new(a);
+    if (a.file.empty()) usage();
+    if (a.command == "info") return cmd_info(a);
+    if (a.command == "imprint") return cmd_imprint(a);
+    if (a.command == "verify") return cmd_verify(a);
+    if (a.command == "wear") return cmd_wear(a);
+    if (a.command == "characterize") return cmd_characterize(a);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,138 @@
+// Lot audit — the capstone workflow: a distributor receives a mixed lot of
+// chips and audits every one with the full toolbox:
+//
+//   1. Flashmark verification (extended watermark: fields + lot blob),
+//   2. die-id registry check-in (clones / double-sightings),
+//   3. recycled-wear probe on a data segment (prior-art baseline).
+//
+// The lot contains genuine new parts, a relabeled REJECT die, a recycled
+// refurbished part, a digitally-forged blank, and a clone.
+//
+//   $ ./lot_audit
+#include <iomanip>
+#include <iostream>
+
+#include "attack/attacks.hpp"
+#include "baseline/recycled_detector.hpp"
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+using namespace flashmark;
+
+namespace {
+
+const SipHashKey kKey{0xA0D17, 0x10715};
+
+ExtendedSpec make_spec(std::uint32_t die_id, TestStatus st) {
+  ExtendedSpec s;
+  s.payload.fields = {0x7C01, die_id, 2, st, (20u << 6) | 31u};
+  s.payload.blob = {'L', 'O', 'T', '-', '7', '7', 'A'};
+  s.key = kKey;
+  s.n_replicas = 3;
+  s.npe = 60'000;
+  s.strategy = ImprintStrategy::kBatchWear;
+  return s;
+}
+
+ExtendedVerifyOptions audit_opts() {
+  ExtendedVerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.n_replicas = 3;
+  vo.key = kKey;
+  vo.blob_bytes = 7;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  return vo;
+}
+
+}  // namespace
+
+int main() {
+  WatermarkRegistry registry;
+  const auto& geom = DeviceConfig::msp430f5438().geometry;
+  const std::vector<Addr> wm_segs = {geom.segment_base(0)};
+
+  struct LotEntry {
+    std::string description;
+    std::unique_ptr<Device> chip;
+  };
+  std::vector<LotEntry> lot;
+
+  // Factory: four genuine dies (one REJECT), registered.
+  for (std::uint32_t id = 500; id < 504; ++id) {
+    auto chip = std::make_unique<Device>(DeviceConfig::msp430f5438(),
+                                         0xA0D17000 + id);
+    const TestStatus st = id == 503 ? TestStatus::kReject : TestStatus::kAccept;
+    const auto spec = make_spec(id, st);
+    imprint_extended(chip->hal(), wm_segs, spec);
+    registry.register_die(spec.payload.fields);
+    lot.push_back({st == TestStatus::kReject
+                       ? "reject die relabeled as new"
+                       : "genuine new part",
+                   std::move(chip)});
+  }
+
+  // One genuine part lived a previous life and was refurbished.
+  {
+    Device& used = *lot[1].chip;
+    simulate_field_usage(used.hal(), {geom.segment_base(8), geom.segment_base(9)},
+                         50'000);
+    used.controller().set_lock(false);
+    used.controller().mass_erase(geom.segment_base(0));
+    used.controller().set_lock(true);
+    lot[1].description = "recycled + refurbished genuine part";
+  }
+
+  // A blank with a digitally-forged watermark pattern.
+  {
+    auto blank = std::make_unique<Device>(DeviceConfig::msp430f5438(), 0xF02);
+    const auto patterns =
+        encode_extended_patterns(make_spec(999, TestStatus::kAccept), 4096);
+    forge_attack(blank->hal(), geom.segment_base(0), patterns[0]);
+    lot.push_back({"blank + digital forgery", std::move(blank)});
+  }
+
+  // A stress-imprinted clone of die 500 (attacker copied the bits).
+  {
+    auto clone = std::make_unique<Device>(DeviceConfig::msp430f5438(), 0xC70);
+    const auto patterns =
+        encode_extended_patterns(make_spec(500, TestStatus::kAccept), 4096);
+    ImprintOptions io;
+    io.npe = 60'000;
+    io.strategy = ImprintStrategy::kBatchWear;
+    imprint_flashmark(clone->hal(), geom.segment_base(0), patterns[0], io);
+    lot.push_back({"physical clone of die 500", std::move(clone)});
+  }
+
+  // --- the audit ----------------------------------------------------------
+  RecycledDetector wear_probe;
+  Device golden(DeviceConfig::msp430f5438(), 0x601D2);
+  wear_probe.calibrate(golden.hal(), geom.segment_base(0));
+
+  std::cout << "== lot audit: " << lot.size() << " chips ==\n\n"
+            << std::left << std::setw(38) << "chip" << std::setw(14)
+            << "watermark" << std::setw(10) << "status" << std::setw(20)
+            << "registry" << std::setw(10) << "wear" << "decision\n";
+
+  for (auto& entry : lot) {
+    const ExtendedVerifyReport wm =
+        verify_extended(entry.chip->hal(), wm_segs, audit_opts());
+    std::string reg = "-";
+    if (wm.verdict == Verdict::kGenuine && wm.payload)
+      reg = to_string(registry.check_in(wm.payload->fields, "audit"));
+    const RecycledAssessment wear = wear_probe.assess_chip(
+        entry.chip->hal(), {geom.segment_base(8), geom.segment_base(9)});
+
+    const bool pass = wm.verdict == Verdict::kGenuine && wm.payload &&
+                      wm.payload->fields.status == TestStatus::kAccept &&
+                      reg == "ok" && !wear.recycled;
+    std::cout << std::setw(38) << entry.description << std::setw(14)
+              << to_string(wm.verdict) << std::setw(10)
+              << (wm.payload ? to_string(wm.payload->fields.status) : "-")
+              << std::setw(20) << reg << std::setw(10)
+              << (wear.recycled ? "RECYCLED" : "fresh")
+              << (pass ? "ACCEPT" : "REJECT") << "\n";
+  }
+  std::cout << "\nonly untouched genuine ACCEPT parts pass all three gates.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Recycled-chip detection (the paper's refs [6][7] baseline, §I):
+// timing-based wear detection answers "was this chip used?" while
+// Flashmark answers "who made it and did it pass?". A refurbished chip
+// demonstrates both running side by side.
+//
+//   $ ./recycled_detection
+#include <iostream>
+
+#include "attack/attacks.hpp"
+#include "baseline/recycled_detector.hpp"
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+using namespace flashmark;
+
+int main() {
+  const SipHashKey key{0x9999, 0x8888};
+  const auto& geom = DeviceConfig::msp430f5438().geometry;
+
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, 0x515, 2, TestStatus::kAccept, 0x3E8};
+  spec.key = key;
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.n_replicas = 7;
+  vo.key = key;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+
+  // Golden fresh sample calibrates the family threshold once.
+  Device golden(DeviceConfig::msp430f5438(), 0x601D);
+  RecycledDetector detector(/*guard_factor=*/1.5);
+  detector.calibrate(golden.hal(), geom.segment_base(20));
+  std::cout << "calibrated fresh threshold: "
+            << detector.threshold().as_us() << " us\n\n";
+
+  // Three chips arrive at the broker: new, lightly used, heavily used.
+  const std::uint32_t usage[] = {0, 2'000, 60'000};
+  for (int i = 0; i < 3; ++i) {
+    Device chip(DeviceConfig::msp430f5438(), 0xCB1B + static_cast<std::uint64_t>(i));
+    imprint_watermark(chip.hal(), geom.segment_base(0), spec);
+    if (usage[i] > 0) {
+      simulate_field_usage(chip.hal(),
+                           {geom.segment_base(5), geom.segment_base(6),
+                            geom.segment_base(7)},
+                           usage[i]);
+      // Counterfeiter refurbishes before resale: erases all user data.
+      chip.controller().set_lock(false);
+      chip.controller().mass_erase(geom.segment_base(0));
+      chip.controller().set_lock(true);
+    }
+
+    const RecycledAssessment wear = detector.assess_chip(
+        chip.hal(), {geom.segment_base(5), geom.segment_base(6)});
+    const VerifyReport id = verify_watermark(chip.hal(), geom.segment_base(0), vo);
+
+    std::cout << "chip " << i << " (true usage: " << usage[i] << " cycles)\n"
+              << "  recycled detector: "
+              << (wear.recycled ? "RECYCLED" : "looks fresh")
+              << " (wear score " << wear.wear_score << ")\n"
+              << "  flashmark: " << to_string(id.verdict);
+    if (id.fields)
+      std::cout << ", die 0x" << std::hex << id.fields->die_id << std::dec
+                << ", " << to_string(id.fields->status);
+    std::cout << "\n\n";
+  }
+
+  std::cout << "note: light usage (2k cycles) slips under the timing guard\n"
+               "band — the blind spot of wear-only detection. The Flashmark\n"
+               "identity survives refurbishing either way.\n";
+  return 0;
+}

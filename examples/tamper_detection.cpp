@@ -1,0 +1,92 @@
+// Tamper detection deep dive: why the dual-rail code and the keyed
+// signature make physical tampering visible.
+//
+// The attacker's only physical capability is adding stress — turning
+// "good" (erased-fast) cells into "bad" (erase-slow) ones. Removing stress
+// is impossible. This example shows three escalating attempts against a
+// REJECT-marked die and what the verifier reports for each.
+//
+//   $ ./tamper_detection
+#include <iostream>
+
+#include "attack/attacks.hpp"
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+using namespace flashmark;
+
+namespace {
+
+const SipHashKey kKey{0x1111, 0x2222};
+
+void report(const char* what, const VerifyReport& r) {
+  std::cout << what << "\n  verdict: " << to_string(r.verdict)
+            << "  zero-fraction: " << r.zero_fraction
+            << "  (0,0)-pairs: " << r.invalid_00_pairs
+            << "  signature: "
+            << (r.signature_checked ? (r.signature_ok ? "ok" : "FAIL") : "n/a");
+  if (r.fields)
+    std::cout << "  status: " << to_string(r.fields->status);
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, 0xBAD0D1E, 1, TestStatus::kReject, 0x400};
+  spec.key = kKey;
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.n_replicas = 7;
+  vo.key = kKey;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+
+  Device chip(DeviceConfig::msp430f5438(), 0x7A3B);
+  const auto& g = chip.config().geometry;
+  const Addr wm = g.segment_base(0);
+  imprint_watermark(chip.hal(), wm, spec);
+  report("baseline: genuine REJECT die", verify_watermark(chip.hal(), wm, vo));
+
+  // Attempt 1: digital rewrite. Free, instant — and useless: the stress
+  // contrast is untouched, extraction still reads REJECT.
+  WatermarkSpec forged = spec;
+  forged.fields.status = TestStatus::kAccept;
+  const auto want = encode_watermark(forged, g.segment_cells(0));
+  forge_attack(chip.hal(), wm, want.segment_pattern);
+  report("attempt 1: erase + reprogram as ACCEPT",
+         verify_watermark(chip.hal(), wm, vo));
+
+  // Attempt 2: targeted stress rewrite. The attacker knows the layout and
+  // stresses exactly the cells that differ. But half the needed flips are
+  // bad->good, which physics forbids; the good->bad half leaves (0,0)
+  // dual-rail pairs everywhere.
+  const auto cur = encode_watermark(spec, g.segment_cells(0));
+  const RewriteAttackReport rw = rewrite_attack(
+      chip.hal(), wm, cur.segment_pattern, want.segment_pattern, 60'000);
+  std::cout << "attempt 2: targeted stress rewrite\n  flips applied: "
+            << rw.flips_applied << "  physically impossible: "
+            << rw.flips_impossible << " (bad->good)\n";
+  report("", verify_watermark(chip.hal(), wm, vo));
+
+  // Attempt 3: start over on a blank die and stress-imprint the forged
+  // ACCEPT pattern from scratch. The dual-rail pattern is perfect this
+  // time — but the signature was computed with the factory key the
+  // attacker does not have.
+  Device blank(DeviceConfig::msp430f5438(), 0x7A3C);
+  WatermarkSpec unsigned_forgery = forged;
+  unsigned_forgery.key = SipHashKey{0xDEAD, 0xBEEF};  // attacker's guess
+  imprint_watermark(blank.hal(), g.segment_base(0), unsigned_forgery);
+  report("attempt 3: full stress imprint on a blank die with a guessed key",
+         verify_watermark(blank.hal(), g.segment_base(0), vo));
+
+  std::cout << "summary: digital rewrites change nothing, stress rewrites\n"
+               "leave (0,0) fingerprints, and fresh imprints cannot be signed\n"
+               "without the factory key.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "attack/attacks.hpp"
+
+#include <stdexcept>
+
+#include "core/extract.hpp"
+#include "core/imprint.hpp"
+
+namespace flashmark {
+
+void forge_attack(FlashHal& hal, Addr addr, const BitVec& desired_pattern) {
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const Addr base = g.segment_base(seg);
+  hal.erase_segment(base);
+  hal.program_block(base, pattern_to_words(g, seg, desired_pattern));
+}
+
+StressAttackReport stress_attack(FlashHal& hal, Addr addr,
+                                 const BitVec& target_pattern,
+                                 std::uint32_t cycles,
+                                 ImprintStrategy strategy) {
+  ImprintOptions opts;
+  opts.npe = cycles;
+  opts.strategy = strategy;
+  opts.accelerated = true;  // the attacker is in a hurry
+  const ImprintReport r = imprint_flashmark(hal, addr, target_pattern, opts);
+  return StressAttackReport{r.npe, r.elapsed};
+}
+
+RewriteAttackReport rewrite_attack(FlashHal& hal, Addr addr,
+                                   const BitVec& current_pattern,
+                                   const BitVec& desired_pattern,
+                                   std::uint32_t cycles) {
+  if (current_pattern.size() != desired_pattern.size())
+    throw std::invalid_argument("rewrite_attack: pattern size mismatch");
+  RewriteAttackReport report;
+  // Stress plan: keep already-bad cells bad is free; flipping good->bad is
+  // a stress; flipping bad->good is impossible.
+  BitVec stress_plan(current_pattern.size(), true);  // 1 = leave alone
+  for (std::size_t i = 0; i < current_pattern.size(); ++i) {
+    const bool cur = current_pattern.get(i);
+    const bool want = desired_pattern.get(i);
+    if (cur == want) continue;
+    if (cur && !want) {
+      stress_plan.set(i, false);  // good -> bad: achievable
+      ++report.flips_applied;
+    } else {
+      ++report.flips_impossible;  // bad -> good: physically impossible
+    }
+  }
+  if (report.flips_applied > 0)
+    report.stress = stress_attack(hal, addr, stress_plan, cycles);
+  return report;
+}
+
+ImprintReport clone_attack(FlashHal& genuine, Addr genuine_addr,
+                           FlashHal& target, Addr target_addr,
+                           const VerifyOptions& extract_opts,
+                           std::uint32_t npe) {
+  // Step 1: pull the watermark bits off the genuine part, replica-voted so
+  // the clone is imprinted from clean data.
+  ExtractOptions eo;
+  eo.t_pew = extract_opts.t_pew;
+  eo.n_reads = 3;
+  eo.rounds = 3;
+  const ExtractResult ext = extract_flashmark(genuine, genuine_addr, eo);
+  const std::size_t payload_bits =
+      (kFieldsBits + (extract_opts.key ? kSignatureBits : 0)) * 2;
+  const ReplicaLayout layout{payload_bits, extract_opts.n_replicas};
+  const BitVec replica = decode_replicas(ext.bits, layout, VoteMode::kMajority);
+
+  // Step 2: imprint the same replica set on the blank target.
+  const auto& g = target.geometry();
+  const std::size_t seg = g.segment_index(target_addr);
+  const BitVec pattern =
+      replicate_pattern(replica, extract_opts.n_replicas, g.segment_cells(seg));
+  ImprintOptions io;
+  io.npe = npe;
+  io.strategy = ImprintStrategy::kBatchWear;
+  io.accelerated = true;
+  return imprint_flashmark(target, g.segment_base(seg), pattern, io);
+}
+
+void bake_attack(Device& chip, double hours) { chip.array().bake(hours); }
+
+void simulate_field_usage(FlashHal& hal, const std::vector<Addr>& segments,
+                          std::uint32_t usage_cycles) {
+  for (const Addr a : segments)
+    hal.wear_segment(a, static_cast<double>(usage_cycles), nullptr);
+}
+
+}  // namespace flashmark

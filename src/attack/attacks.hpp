@@ -1,0 +1,82 @@
+// Counterfeiter models (paper §I pathways and §V tamper discussion).
+//
+// Every attack here uses only the capabilities a real counterfeiter has:
+// the standard digital interface (erase/program/read) and time. None of
+// them can remove oxide damage — that is the physical root of trust — so
+// the attacks explore what digital and stress-only manipulation can and
+// cannot achieve. The test suite and the tamper_resistance bench assert the
+// outcomes: forged chips verify as kNoWatermark, stress-altered chips as
+// kTampered, and unkeyed clones as the documented residual risk.
+#pragma once
+
+#include <cstdint>
+
+#include "core/watermark.hpp"
+#include "flash/hal.hpp"
+#include "mcu/device.hpp"
+#include "util/bitvec.hpp"
+
+namespace flashmark {
+
+/// Digital forgery ("current practice" defeat): erase the watermark segment
+/// and program the desired content as ordinary data. Takes seconds, leaves
+/// no stress contrast — extraction sees a fresh segment.
+void forge_attack(FlashHal& hal, Addr addr, const BitVec& desired_pattern);
+
+struct StressAttackReport {
+  std::uint32_t cycles = 0;
+  SimTime elapsed;
+};
+
+/// Stress attack: P/E-cycle the segment with `target_pattern` (bit 0 =
+/// cells the attacker wants to turn "bad") to flip chosen good cells to bad.
+/// Physically this is the ONLY direction available — bad cells can never be
+/// made good again. The collateral erase cycles also wear the existing
+/// watermark cells slightly, exactly as on silicon.
+StressAttackReport stress_attack(FlashHal& hal, Addr addr,
+                                 const BitVec& target_pattern,
+                                 std::uint32_t cycles,
+                                 ImprintStrategy strategy = ImprintStrategy::kBatchWear);
+
+/// Best-effort "reject -> accept" rewrite: compute the cell-flip set that
+/// would turn the currently-imprinted `current_pattern` into
+/// `desired_pattern`, and apply the physically-possible subset (good -> bad
+/// only) via a stress attack. Returns the number of required flips that were
+/// physically impossible (bad -> good) — when this is non-zero the attack
+/// can never fully succeed, the paper's central security argument.
+struct RewriteAttackReport {
+  std::size_t flips_applied = 0;     ///< good->bad flips stressed in
+  std::size_t flips_impossible = 0;  ///< bad->good flips (cannot be done)
+  StressAttackReport stress;
+};
+RewriteAttackReport rewrite_attack(FlashHal& hal, Addr addr,
+                                   const BitVec& current_pattern,
+                                   const BitVec& desired_pattern,
+                                   std::uint32_t cycles);
+
+/// Clone attack: read a genuine chip's decoded watermark bits and imprint
+/// them on a blank target chip. Succeeds bit-for-bit (the scheme does not
+/// hide watermark *contents*); with keyed signatures the clone carries a
+/// valid signature too, so detecting clones of a *valid* watermark requires
+/// die-id tracking — the residual risk the paper accepts.
+ImprintReport clone_attack(FlashHal& genuine, Addr genuine_addr,
+                           FlashHal& target, Addr target_addr,
+                           const VerifyOptions& extract_opts,
+                           std::uint32_t npe);
+
+/// Thermal refurbishing ("bake-out"): the counterfeiter ovens the chip for
+/// `hours` hoping to anneal the wear signature away. Shallow interface
+/// traps do recover slightly, but the deep oxide traps carrying the
+/// watermark (and most of the recycled-wear signal) are permanent — the
+/// model caps total recovery at PhysParams::anneal_recovery_frac. Thermal,
+/// so it acts on the die, not through the digital interface.
+void bake_attack(Device& chip, double hours);
+
+/// Field usage: simulate a device's life in the field by wearing `segments`
+/// data segments with `usage_cycles` P/E cycles each (firmware logging,
+/// wear-leveled data, ...). This is what a recycled chip looks like before
+/// the counterfeiter refurbishes it.
+void simulate_field_usage(FlashHal& hal, const std::vector<Addr>& segments,
+                          std::uint32_t usage_cycles);
+
+}  // namespace flashmark

@@ -1,0 +1,46 @@
+#include "baseline/conventional_mark.hpp"
+
+namespace flashmark {
+
+namespace {
+std::vector<std::uint16_t> fields_to_words(const WatermarkFields& fields,
+                                           std::size_t bits_per_word) {
+  const BitVec bits = pack_fields(fields);
+  std::vector<std::uint16_t> words((bits.size() + bits_per_word - 1) /
+                                   bits_per_word);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits.get(i))
+      words[i / bits_per_word] |=
+          static_cast<std::uint16_t>(1u << (i % bits_per_word));
+  return words;
+}
+}  // namespace
+
+void conventional_mark_write(FlashHal& hal, Addr addr,
+                             const WatermarkFields& fields) {
+  const auto& g = hal.geometry();
+  const Addr base = g.segment_base(g.segment_index(addr));
+  hal.erase_segment(base);
+  hal.program_block(base, fields_to_words(fields, g.bits_per_word()));
+}
+
+std::optional<WatermarkFields> conventional_mark_read(FlashHal& hal,
+                                                      Addr addr) {
+  const auto& g = hal.geometry();
+  const Addr base = g.segment_base(g.segment_index(addr));
+  const std::size_t bpw = g.bits_per_word();
+  BitVec bits(kFieldsBits);
+  for (std::size_t i = 0; i < kFieldsBits; ++i) {
+    const Addr wa = base + static_cast<Addr>(i / bpw * g.word_bytes);
+    const std::uint16_t w = hal.read_word(wa);
+    bits.set(i, (w >> (i % bpw)) & 1u);
+  }
+  return unpack_fields(bits);
+}
+
+void conventional_mark_forge(FlashHal& hal, Addr addr,
+                             const WatermarkFields& new_fields) {
+  conventional_mark_write(hal, addr, new_fields);  // that is the whole attack
+}
+
+}  // namespace flashmark

@@ -1,0 +1,27 @@
+// "Current practice" baseline (paper §IV): the manufacturer performs an
+// ordinary erase + program of manufacturing metadata into a reserved
+// segment. Cheap, instant — and trivially forgeable, since any party with
+// the digital interface can erase and rewrite it. The benches use this as
+// the comparison point for Flashmark's tamper resistance.
+#pragma once
+
+#include <optional>
+
+#include "core/codec.hpp"
+#include "flash/hal.hpp"
+
+namespace flashmark {
+
+/// Write fields (+CRC) as plain digital data at `addr`.
+void conventional_mark_write(FlashHal& hal, Addr addr,
+                             const WatermarkFields& fields);
+
+/// Read back a conventional mark; std::nullopt when the CRC fails.
+std::optional<WatermarkFields> conventional_mark_read(FlashHal& hal, Addr addr);
+
+/// The forgery: erase the segment and write different fields — succeeds in
+/// milliseconds on any chip.
+void conventional_mark_forge(FlashHal& hal, Addr addr,
+                             const WatermarkFields& new_fields);
+
+}  // namespace flashmark

@@ -1,0 +1,57 @@
+#include "baseline/ffd_detector.hpp"
+
+#include <stdexcept>
+
+#include "core/analyze.hpp"
+
+namespace flashmark {
+
+std::vector<FfdPoint> characterize_partial_program(
+    FlashHal& hal, Addr addr, const std::vector<double>& fractions,
+    int n_reads) {
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const Addr base = g.segment_base(seg);
+  const std::size_t n_words = g.segment_bytes(seg) / g.word_bytes;
+
+  std::vector<FfdPoint> curve;
+  for (const double f : fractions) {
+    if (f <= 0.0 || f > 1.0)
+      throw std::invalid_argument(
+          "characterize_partial_program: fraction must be in (0, 1]");
+    hal.erase_segment(base);
+    const SimTime pulse = SimTime::from_us(hal.timing().t_prog_word.as_us() * f);
+    for (std::size_t w = 0; w < n_words; ++w)
+      hal.partial_program_word(base + static_cast<Addr>(w * g.word_bytes),
+                               0x0000, pulse);
+    const SegmentAnalysis a = analyze_segment(hal, base, n_reads);
+    curve.push_back({f, a.cells_0, a.cells_0 + a.cells_1});
+  }
+  return curve;
+}
+
+void FfdDetector::calibrate(FlashHal& hal, Addr fresh_addr) {
+  std::vector<double> fractions;
+  for (double f = 0.30; f <= 0.70; f += 0.05) fractions.push_back(f);
+  const auto curve = characterize_partial_program(hal, fresh_addr, fractions);
+  double best = fractions.front();
+  for (const auto& p : curve) {
+    const double frac =
+        static_cast<double>(p.programmed) / static_cast<double>(p.cells);
+    if (frac < trip_fraction_ / 2.0) best = p.fraction;
+  }
+  probe_fraction_ = best;
+}
+
+FfdAssessment FfdDetector::assess(FlashHal& hal, Addr addr) const {
+  const auto curve =
+      characterize_partial_program(hal, addr, {probe_fraction_});
+  FfdAssessment a;
+  a.programmed_fraction = static_cast<double>(curve.front().programmed) /
+                          static_cast<double>(curve.front().cells);
+  a.threshold = trip_fraction_;
+  a.used = a.programmed_fraction > trip_fraction_;
+  return a;
+}
+
+}  // namespace flashmark

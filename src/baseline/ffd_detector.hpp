@@ -1,0 +1,62 @@
+// FFD-style fake-flash detection via sweeping partial PROGRAM operations —
+// the paper's ref [6] (Guo, Xu, Tehranipoor, Forte, "FFD: A framework for
+// fake flash detection", DAC 2017), reimplemented as the second prior-art
+// baseline.
+//
+// Principle: trap-assisted injection makes worn cells trap charge faster,
+// so a program pulse aborted well before the nominal program time already
+// programs a visible fraction of a *used* segment while leaving a fresh
+// segment untouched. Like the erase-timing detector it classifies
+// used-vs-fresh only; it carries no manufacturer payload.
+#pragma once
+
+#include <vector>
+
+#include "flash/hal.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+struct FfdPoint {
+  double fraction = 0.0;          ///< of the nominal word-program time
+  std::size_t programmed = 0;     ///< cells that already read 0
+  std::size_t cells = 0;
+};
+
+/// Sweep partial-program fractions over the segment at `addr`: per point,
+/// erase, then partial-program every word to 0x0000 with the given pulse
+/// fraction, then count programmed cells. Destructive, like the original.
+std::vector<FfdPoint> characterize_partial_program(
+    FlashHal& hal, Addr addr, const std::vector<double>& fractions,
+    int n_reads = 3);
+
+struct FfdAssessment {
+  double programmed_fraction = 0.0;  ///< at the probe pulse
+  double threshold = 0.0;
+  bool used = false;
+};
+
+class FfdDetector {
+ public:
+  /// `probe_fraction` of the nominal program time; the default sits ~3
+  /// sigma below the fresh completion threshold, so a fresh segment shows
+  /// (almost) nothing. `trip_fraction` of programmed cells flags the chip.
+  explicit FfdDetector(double probe_fraction = 0.50,
+                       double trip_fraction = 0.02)
+      : probe_fraction_(probe_fraction), trip_fraction_(trip_fraction) {}
+
+  /// Optional: derive the probe from a fresh golden segment — the largest
+  /// swept fraction at which fewer than trip/2 of the cells program.
+  void calibrate(FlashHal& hal, Addr fresh_addr);
+
+  double probe_fraction() const { return probe_fraction_; }
+
+  /// Probe one segment of a suspect chip (destructive to that segment).
+  FfdAssessment assess(FlashHal& hal, Addr addr) const;
+
+ private:
+  double probe_fraction_;
+  double trip_fraction_;
+};
+
+}  // namespace flashmark

@@ -1,0 +1,55 @@
+#include "baseline/recycled_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flashmark {
+
+SimTime RecycledDetector::measure_full_erase(FlashHal& hal, Addr addr) const {
+  CharacterizeOptions opts;
+  opts.t_step = resolution_;
+  opts.t_end = SimTime::us(2000);  // generous: covers 100 K-cycle wear
+  opts.n_reads = 3;
+  opts.settle_points = 3;
+  const auto curve = characterize_segment(hal, addr, opts);
+  return full_erase_time(curve);
+}
+
+void RecycledDetector::calibrate(FlashHal& hal, Addr fresh_addr) {
+  calibrate_from(measure_full_erase(hal, fresh_addr));
+}
+
+void RecycledDetector::calibrate_from(SimTime fresh_full_erase) {
+  if (fresh_full_erase <= SimTime{})
+    throw std::invalid_argument("RecycledDetector: bad calibration time");
+  threshold_ = SimTime::from_us(fresh_full_erase.as_us() * guard_factor_);
+}
+
+RecycledAssessment RecycledDetector::assess(FlashHal& hal, Addr addr) const {
+  if (!calibrated())
+    throw std::logic_error("RecycledDetector: assess before calibrate");
+  RecycledAssessment a;
+  a.fresh_threshold = threshold_;
+  a.full_erase_time = measure_full_erase(hal, addr);
+  a.wear_score = a.full_erase_time.as_us() / threshold_.as_us();
+  a.recycled = a.full_erase_time > threshold_;
+  return a;
+}
+
+RecycledAssessment RecycledDetector::assess_chip(
+    FlashHal& hal, const std::vector<Addr>& segments) const {
+  if (segments.empty())
+    throw std::invalid_argument("RecycledDetector: no segments to probe");
+  RecycledAssessment worst;
+  bool first = true;
+  for (const Addr a : segments) {
+    const RecycledAssessment r = assess(hal, a);
+    if (first || r.wear_score > worst.wear_score) {
+      worst = r;
+      first = false;
+    }
+  }
+  return worst;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,65 @@
+// Recycled-flash detection via partial-erase timing statistics — a
+// reimplementation in spirit of the paper's refs [6]/[7] (Sakib et al.,
+// "Non-Invasive Detection Method for Recycled Flash Memory Using Timing
+// Characteristics"). Included as the prior-art baseline Flashmark is
+// contrasted against: it detects *use* (wear) but carries no manufacturer
+// payload and cannot distinguish out-of-spec from genuine parts.
+//
+// Principle: prior P/E activity slows erase. The detector measures how long
+// a partial erase must run before the probed segment reads fully erased and
+// compares it against a fresh-family threshold calibrated once per device
+// family.
+#pragma once
+
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "flash/hal.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+struct RecycledAssessment {
+  SimTime full_erase_time;  ///< measured on the probed segment
+  SimTime fresh_threshold;  ///< calibrated decision boundary
+  bool recycled = false;
+  /// Ratio measured/threshold — a rough wear score (1.0 = boundary).
+  double wear_score = 0.0;
+};
+
+class RecycledDetector {
+ public:
+  /// `guard_factor` scales the fresh full-erase time into the decision
+  /// threshold (margin for die-to-die variation).
+  explicit RecycledDetector(double guard_factor = 1.5,
+                            SimTime resolution = SimTime::us(2))
+      : guard_factor_(guard_factor), resolution_(resolution) {}
+
+  /// Calibrate the fresh-family threshold on a known-fresh segment (done
+  /// once per family by the integrator, e.g. on a golden sample).
+  void calibrate(FlashHal& hal, Addr fresh_addr);
+
+  /// Calibrate from a precomputed fresh full-erase time.
+  void calibrate_from(SimTime fresh_full_erase);
+
+  bool calibrated() const { return threshold_ > SimTime{}; }
+  SimTime threshold() const { return threshold_; }
+
+  /// Probe one segment of a suspect chip. Destructive to that segment's
+  /// data (erase/program cycles), like the original method.
+  RecycledAssessment assess(FlashHal& hal, Addr addr) const;
+
+  /// Probe several segments and vote: recycled if any segment trips the
+  /// threshold (counterfeiters rarely manage to avoid all of flash).
+  RecycledAssessment assess_chip(FlashHal& hal,
+                                 const std::vector<Addr>& segments) const;
+
+ private:
+  SimTime measure_full_erase(FlashHal& hal, Addr addr) const;
+
+  double guard_factor_;
+  SimTime resolution_;
+  SimTime threshold_;
+};
+
+}  // namespace flashmark

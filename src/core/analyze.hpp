@@ -1,0 +1,27 @@
+// AnalyzeSegment (paper Fig. 3, bottom): N-read majority characterization of
+// a segment's post-partial-erase state.
+//
+// After an aborted erase many cells sit near the sense threshold and read
+// metastably; reading each word N times (N odd) and taking a per-bit
+// majority vote yields a stable bitmap plus the cells_0/cells_1 counts the
+// paper's characterization curves are built from.
+#pragma once
+
+#include <cstddef>
+
+#include "flash/hal.hpp"
+#include "util/bitvec.hpp"
+
+namespace flashmark {
+
+struct SegmentAnalysis {
+  BitVec bitmap;         ///< bit i == 1 iff cell i voted erased
+  std::size_t cells_0 = 0;  ///< programmed cells
+  std::size_t cells_1 = 0;  ///< erased cells
+};
+
+/// Read every word of the segment containing `addr` N times (N odd, >= 1)
+/// and majority-vote each bit. Throws std::invalid_argument on even/zero N.
+SegmentAnalysis analyze_segment(FlashHal& hal, Addr addr, int n_reads = 3);
+
+}  // namespace flashmark

@@ -1,0 +1,65 @@
+#include "core/characterize.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+namespace {
+/// Program every word of the segment to 0x0000 in block-write mode.
+void program_all_zero(FlashHal& hal, Addr addr) {
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const Addr base = g.segment_base(seg);
+  const std::size_t n_words = g.segment_bytes(seg) / g.word_bytes;
+  hal.program_block(base, std::vector<std::uint16_t>(n_words, 0x0000));
+}
+}  // namespace
+
+std::vector<CharacterizePoint> characterize_segment(
+    FlashHal& hal, Addr addr, const CharacterizeOptions& opts) {
+  if (opts.t_step <= SimTime{})
+    throw std::invalid_argument("characterize_segment: t_step must be > 0");
+  if (opts.t_end < opts.t_start)
+    throw std::invalid_argument("characterize_segment: t_end < t_start");
+
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const std::size_t n_cells = g.segment_cells(seg);
+
+  std::vector<CharacterizePoint> curve;
+  int settled = 0;
+  for (SimTime t = opts.t_start; t <= opts.t_end; t += opts.t_step) {
+    hal.erase_segment(addr);        // all cells read as 1s
+    program_all_zero(hal, addr);    // all cells read as 0s
+    hal.partial_erase_segment(addr, t);
+    const SegmentAnalysis a = analyze_segment(hal, addr, opts.n_reads);
+    curve.push_back({t, a.cells_0, a.cells_1});
+    if (opts.settle_points > 0) {
+      settled = (a.cells_1 == n_cells) ? settled + 1 : 0;
+      if (settled >= opts.settle_points) break;
+    }
+  }
+  return curve;
+}
+
+SimTime full_erase_time(const std::vector<CharacterizePoint>& curve) {
+  if (curve.empty())
+    throw std::invalid_argument("full_erase_time: empty curve");
+  for (const auto& p : curve)
+    if (p.cells_0 == 0) return p.t_pe;
+  return curve.back().t_pe;
+}
+
+SimTime recommend_tpew(FlashHal& hal, Addr fresh_scratch_addr,
+                       double margin_factor, SimTime margin_fixed,
+                       SimTime resolution) {
+  CharacterizeOptions opts;
+  opts.t_step = resolution;
+  opts.t_end = SimTime::us(200);  // generous for a fresh segment
+  opts.settle_points = 3;
+  const auto curve = characterize_segment(hal, fresh_scratch_addr, opts);
+  const SimTime t_full = full_erase_time(curve);
+  return SimTime::from_us(t_full.as_us() * margin_factor) + margin_fixed;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,53 @@
+// CharacterizeSegment (paper Fig. 3, top): sweep the partial erase time and
+// record how many cells of a segment have transitioned at each step. This is
+// the procedure behind Fig. 4 and the one the manufacturer uses to pick the
+// extraction window tPEW for a device family (Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "flash/hal.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+struct CharacterizePoint {
+  SimTime t_pe;
+  std::size_t cells_0 = 0;
+  std::size_t cells_1 = 0;
+};
+
+struct CharacterizeOptions {
+  SimTime t_start = SimTime::us(0);
+  SimTime t_end = SimTime::us(120);  ///< sweep upper bound (paper Fig. 4 x-axis)
+  SimTime t_step = SimTime::us(1);
+  int n_reads = 3;  ///< majority reads per word (odd)
+  /// Stop early once every cell reads erased for `settle_points` consecutive
+  /// steps (0 disables early exit).
+  int settle_points = 0;
+};
+
+/// Run the Fig. 3 sweep over the segment containing `addr`:
+/// per step: erase, program all-zeros, partial erase for t, analyze.
+/// The sweep itself adds one P/E cycle per point to the segment's wear —
+/// just like on real silicon.
+std::vector<CharacterizePoint> characterize_segment(
+    FlashHal& hal, Addr addr, const CharacterizeOptions& opts = {});
+
+/// Smallest t_pe in `curve` at which every cell reads erased; returns the
+/// last point's time if the curve never fully settles.
+SimTime full_erase_time(const std::vector<CharacterizePoint>& curve);
+
+/// Manufacturer-side utility: derive the recommended extraction window tPEW
+/// for a device family by characterizing a *fresh* scratch segment and
+/// placing the window just past the slowest fresh cell:
+///   tPEW = full_erase_time * margin_factor + margin_fixed.
+/// This is the value the paper says the manufacturer publishes per family.
+SimTime recommend_tpew(FlashHal& hal, Addr fresh_scratch_addr,
+                       double margin_factor = 1.10,
+                       SimTime margin_fixed = SimTime::us(2),
+                       SimTime resolution = SimTime::us(1));
+
+}  // namespace flashmark

@@ -1,0 +1,116 @@
+#include "core/codec.hpp"
+
+#include <stdexcept>
+
+#include "util/crc.hpp"
+
+namespace flashmark {
+
+const char* to_string(TestStatus s) {
+  return s == TestStatus::kAccept ? "accept" : "reject";
+}
+
+namespace {
+// Little-endian field layout of the 64-bit body:
+//   [0]  manufacturer_id  (16 bits)
+//   [16] die_id           (32 bits)
+//   [48] speed_grade      (8 bits)
+//   [56] status           (1 bit)
+//   [57] date_code        (7 low bits) -- packed with the 5 high bits below
+// To keep the layout simple and lossless we store date_code's 12 bits as
+// bits [52..63] and narrow speed_grade/status accordingly:
+//   [48] speed_grade (4 bits, 0-15)
+//   [52] date_code   (11 bits)
+//   [63] status      (1 bit)
+constexpr std::size_t kBodyBits = 64;
+
+void put_bits(BitVec& v, std::size_t pos, std::uint64_t value,
+              std::size_t nbits) {
+  for (std::size_t i = 0; i < nbits; ++i)
+    v.set(pos + i, (value >> i) & 1ull);
+}
+
+std::uint64_t get_bits(const BitVec& v, std::size_t pos, std::size_t nbits) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < nbits; ++i)
+    if (v.get(pos + i)) value |= 1ull << i;
+  return value;
+}
+}  // namespace
+
+BitVec pack_fields(const WatermarkFields& fields) {
+  if (fields.speed_grade > 15)
+    throw std::invalid_argument("pack_fields: speed_grade must fit 4 bits");
+  if (fields.date_code > 0x7FF)
+    throw std::invalid_argument("pack_fields: date_code must fit 11 bits");
+  BitVec v(kFieldsBits);
+  put_bits(v, 0, fields.manufacturer_id, 16);
+  put_bits(v, 16, fields.die_id, 32);
+  put_bits(v, 48, fields.speed_grade, 4);
+  put_bits(v, 52, fields.date_code, 11);
+  put_bits(v, 63, fields.status == TestStatus::kAccept ? 1 : 0, 1);
+
+  const BitVec body = v.slice(0, kBodyBits);
+  const std::uint16_t crc = crc16_ccitt(body.to_bytes());
+  put_bits(v, kBodyBits, crc, 16);
+  return v;
+}
+
+std::optional<WatermarkFields> unpack_fields(const BitVec& bits) {
+  if (bits.size() != kFieldsBits) return std::nullopt;
+  const BitVec body = bits.slice(0, kBodyBits);
+  const auto crc_stored =
+      static_cast<std::uint16_t>(get_bits(bits, kBodyBits, 16));
+  if (crc16_ccitt(body.to_bytes()) != crc_stored) return std::nullopt;
+
+  WatermarkFields f;
+  f.manufacturer_id = static_cast<std::uint16_t>(get_bits(bits, 0, 16));
+  f.die_id = static_cast<std::uint32_t>(get_bits(bits, 16, 32));
+  f.speed_grade = static_cast<std::uint8_t>(get_bits(bits, 48, 4));
+  f.date_code = static_cast<std::uint16_t>(get_bits(bits, 52, 11));
+  f.status = get_bits(bits, 63, 1) ? TestStatus::kAccept : TestStatus::kReject;
+  return f;
+}
+
+BitVec dual_rail_encode(const BitVec& payload) {
+  BitVec out(payload.size() * 2);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const bool b = payload.get(i);
+    out.set(2 * i, b);
+    out.set(2 * i + 1, !b);
+  }
+  return out;
+}
+
+DualRailDecode dual_rail_decode(const BitVec& encoded) {
+  if (encoded.size() % 2 != 0)
+    throw std::invalid_argument("dual_rail_decode: odd length");
+  DualRailDecode d;
+  d.payload = BitVec(encoded.size() / 2);
+  for (std::size_t i = 0; i < d.payload.size(); ++i) {
+    const bool a = encoded.get(2 * i);
+    const bool b = encoded.get(2 * i + 1);
+    if (a == b) {
+      if (a)
+        ++d.invalid_11;
+      else
+        ++d.invalid_00;
+    }
+    d.payload.set(i, a);
+  }
+  return d;
+}
+
+bool is_balanced(const BitVec& bits) {
+  return bits.size() % 2 == 0 && bits.popcount() == bits.size() / 2;
+}
+
+BitVec ascii_watermark(const std::string& text) {
+  return BitVec::from_ascii_msb_first(text);
+}
+
+std::string watermark_ascii(const BitVec& bits) {
+  return bits.to_ascii_msb_first();
+}
+
+}  // namespace flashmark

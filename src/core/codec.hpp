@@ -1,0 +1,82 @@
+// Watermark payload codec.
+//
+// §IV of the paper lists what a production watermark carries: manufacturer
+// identifier, die identifier, speed grade, test status ("accept"/"reject"),
+// and other manufacturing metadata. This module packs those fields into a
+// bit string, protects them with a CRC, and applies a dual-rail (bit,
+// complement-bit) encoding that makes the watermark tamper-evident:
+//
+//   * physics only allows an attacker to turn good cells bad (1 -> 0);
+//     the reverse is impossible (oxide damage cannot be undone);
+//   * every payload bit is imprinted as the pair (b, ~b) — exactly one of
+//     the two cells is stressed. Any stress attack produces a (0,0) pair,
+//     and a (1,1) pair cannot be fabricated at all;
+//   * as a bonus the encoded stream is exactly balanced (as many good as
+//     bad cells), the constraint the paper proposes for tamper detection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bitvec.hpp"
+
+namespace flashmark {
+
+enum class TestStatus : std::uint8_t { kReject = 0, kAccept = 1 };
+
+const char* to_string(TestStatus s);
+
+/// Manufacturing metadata imprinted at die-sort (fixed 64-bit layout +
+/// CRC-16 = 80 bits packed).
+struct WatermarkFields {
+  std::uint16_t manufacturer_id = 0;
+  std::uint32_t die_id = 0;
+  std::uint8_t speed_grade = 0;
+  TestStatus status = TestStatus::kAccept;
+  /// Date code, e.g. ((year - 2000) << 6) | week.
+  std::uint16_t date_code = 0;
+
+  bool operator==(const WatermarkFields&) const = default;
+};
+
+/// Number of bits pack_fields produces.
+inline constexpr std::size_t kFieldsBits = 80;
+
+/// Serialize fields + CRC-16 into an 80-bit string.
+BitVec pack_fields(const WatermarkFields& fields);
+
+/// Parse an 80-bit string; std::nullopt when the CRC does not match
+/// (corrupted or forged payload).
+std::optional<WatermarkFields> unpack_fields(const BitVec& bits);
+
+// --- dual-rail tamper-evident encoding ------------------------------------
+
+/// Encode: each payload bit b becomes the pair (b, ~b); output is 2x longer
+/// and exactly balanced.
+BitVec dual_rail_encode(const BitVec& payload);
+
+struct DualRailDecode {
+  BitVec payload;             ///< best-effort decoded bits
+  std::size_t invalid_00 = 0; ///< pairs read as (0,0) — stress-attack signature
+  std::size_t invalid_11 = 0; ///< pairs read as (1,1) — extraction erasure
+  bool clean() const { return invalid_00 == 0 && invalid_11 == 0; }
+};
+
+/// Decode a dual-rail stream (size must be even). Invalid pairs are decoded
+/// by their first rail and counted; (0,0) counts are the tamper signal.
+DualRailDecode dual_rail_decode(const BitVec& encoded);
+
+/// True if ones and zeros are exactly balanced (the paper's proposed
+/// integrity constraint on watermark contents).
+bool is_balanced(const BitVec& bits);
+
+// --- plain ASCII watermarks (paper Fig. 6 "TC" example) --------------------
+
+/// ASCII text -> bits, MSB-first per character.
+BitVec ascii_watermark(const std::string& text);
+
+/// Inverse of ascii_watermark.
+std::string watermark_ascii(const BitVec& bits);
+
+}  // namespace flashmark

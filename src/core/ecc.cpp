@@ -1,0 +1,94 @@
+#include "core/ecc.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+namespace {
+constexpr bool is_power_of_two(std::size_t x) { return x && !(x & (x - 1)); }
+}  // namespace
+
+BitVec hamming15_encode_block(const BitVec& data11) {
+  if (data11.size() != kHammingDataBits)
+    throw std::invalid_argument("hamming15_encode_block: need 11 bits");
+  // code[pos] for pos in 1..15; data fills the non-power-of-two positions in
+  // ascending order.
+  bool code[16] = {};
+  std::size_t d = 0;
+  for (std::size_t pos = 1; pos <= 15; ++pos)
+    if (!is_power_of_two(pos)) code[pos] = data11.get(d++);
+  for (std::size_t p = 1; p <= 8; p <<= 1) {
+    bool parity = false;
+    for (std::size_t pos = 1; pos <= 15; ++pos)
+      if ((pos & p) && pos != p) parity ^= code[pos];
+    code[p] = parity;
+  }
+  BitVec out(kHammingCodeBits);
+  for (std::size_t pos = 1; pos <= 15; ++pos) out.set(pos - 1, code[pos]);
+  return out;
+}
+
+HammingBlockDecode hamming15_decode_block(const BitVec& code15) {
+  if (code15.size() != kHammingCodeBits)
+    throw std::invalid_argument("hamming15_decode_block: need 15 bits");
+  bool code[16] = {};
+  for (std::size_t pos = 1; pos <= 15; ++pos) code[pos] = code15.get(pos - 1);
+
+  std::size_t syndrome = 0;
+  for (std::size_t p = 1; p <= 8; p <<= 1) {
+    bool parity = false;
+    for (std::size_t pos = 1; pos <= 15; ++pos)
+      if (pos & p) parity ^= code[pos];
+    if (parity) syndrome |= p;
+  }
+
+  HammingBlockDecode d;
+  if (syndrome != 0) {
+    code[syndrome] = !code[syndrome];
+    d.corrected = true;
+  }
+  d.data = BitVec(kHammingDataBits);
+  std::size_t i = 0;
+  for (std::size_t pos = 1; pos <= 15; ++pos)
+    if (!is_power_of_two(pos)) d.data.set(i++, code[pos]);
+  return d;
+}
+
+std::size_t hamming15_encoded_bits(std::size_t payload_bits) {
+  return (payload_bits + kHammingDataBits - 1) / kHammingDataBits *
+         kHammingCodeBits;
+}
+
+BitVec hamming15_encode(const BitVec& payload) {
+  if (payload.empty())
+    throw std::invalid_argument("hamming15_encode: empty payload");
+  const std::size_t blocks =
+      (payload.size() + kHammingDataBits - 1) / kHammingDataBits;
+  BitVec padded = payload;
+  padded.append(BitVec(blocks * kHammingDataBits - payload.size()));
+  BitVec out;
+  for (std::size_t b = 0; b < blocks; ++b)
+    out.append(
+        hamming15_encode_block(padded.slice(b * kHammingDataBits, kHammingDataBits)));
+  return out;
+}
+
+HammingDecode hamming15_decode(const BitVec& code, std::size_t payload_bits) {
+  if (code.size() % kHammingCodeBits != 0)
+    throw std::invalid_argument("hamming15_decode: bad code length");
+  const std::size_t blocks = code.size() / kHammingCodeBits;
+  if (payload_bits > blocks * kHammingDataBits)
+    throw std::invalid_argument("hamming15_decode: payload_bits too large");
+  HammingDecode d;
+  BitVec all;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    auto block =
+        hamming15_decode_block(code.slice(b * kHammingCodeBits, kHammingCodeBits));
+    if (block.corrected) ++d.corrected_blocks;
+    all.append(block.data);
+  }
+  d.payload = all.slice(0, payload_bits);
+  return d;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,264 @@
+#include "core/extended.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/ecc.hpp"
+#include "core/extract.hpp"
+#include "core/replicate.hpp"
+#include "core/signature.hpp"
+#include "util/crc.hpp"
+
+namespace flashmark {
+
+namespace {
+constexpr std::size_t kHeaderBits = 12;  // version(4) + blob_len(8)
+constexpr std::size_t kBodyBits = 64;
+constexpr std::size_t kCrcBits = 32;
+
+void put_bits(BitVec& v, std::size_t pos, std::uint64_t value,
+              std::size_t nbits) {
+  for (std::size_t i = 0; i < nbits; ++i)
+    v.set(pos + i, (value >> i) & 1ull);
+}
+
+std::uint64_t get_bits(const BitVec& v, std::size_t pos, std::size_t nbits) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < nbits; ++i)
+    if (v.get(pos + i)) value |= 1ull << i;
+  return value;
+}
+}  // namespace
+
+std::size_t extended_packed_bits(std::size_t blob_bytes) {
+  return kHeaderBits + kBodyBits + blob_bytes * 8 + kCrcBits;
+}
+
+BitVec pack_extended(const ExtendedPayload& payload) {
+  if (payload.blob.size() > kExtendedMaxBlobBytes)
+    throw std::invalid_argument("pack_extended: blob exceeds 255 bytes");
+  // Reuse pack_fields for range validation + body layout (drop its CRC-16).
+  const BitVec fields_packed = pack_fields(payload.fields);
+  const BitVec body = fields_packed.slice(0, kBodyBits);
+
+  BitVec v(extended_packed_bits(payload.blob.size()));
+  put_bits(v, 0, kExtendedVersion, 4);
+  put_bits(v, 4, payload.blob.size(), 8);
+  for (std::size_t i = 0; i < kBodyBits; ++i)
+    v.set(kHeaderBits + i, body.get(i));
+  for (std::size_t i = 0; i < payload.blob.size() * 8; ++i)
+    v.set(kHeaderBits + kBodyBits + i, (payload.blob[i / 8] >> (i % 8)) & 1u);
+
+  const std::size_t crc_pos = v.size() - kCrcBits;
+  const std::uint32_t crc = crc32_ieee(v.slice(0, crc_pos).to_bytes());
+  put_bits(v, crc_pos, crc, kCrcBits);
+  return v;
+}
+
+std::optional<ExtendedPayload> unpack_extended(const BitVec& bits) {
+  if (bits.size() < kHeaderBits + kBodyBits + kCrcBits) return std::nullopt;
+  if (get_bits(bits, 0, 4) != kExtendedVersion) return std::nullopt;
+  const auto blob_len = static_cast<std::size_t>(get_bits(bits, 4, 8));
+  if (bits.size() != extended_packed_bits(blob_len)) return std::nullopt;
+
+  const std::size_t crc_pos = bits.size() - kCrcBits;
+  const auto crc_stored =
+      static_cast<std::uint32_t>(get_bits(bits, crc_pos, kCrcBits));
+  if (crc32_ieee(bits.slice(0, crc_pos).to_bytes()) != crc_stored)
+    return std::nullopt;
+
+  // Reassemble an 80-bit pack_fields stream to reuse its parser.
+  BitVec fields_bits(kFieldsBits);
+  for (std::size_t i = 0; i < kBodyBits; ++i)
+    fields_bits.set(i, bits.get(kHeaderBits + i));
+  const std::uint16_t crc16 =
+      crc16_ccitt(fields_bits.slice(0, kBodyBits).to_bytes());
+  put_bits(fields_bits, kBodyBits, crc16, 16);
+  const auto fields = unpack_fields(fields_bits);
+  if (!fields) return std::nullopt;
+
+  ExtendedPayload out;
+  out.fields = *fields;
+  out.blob.resize(blob_len, 0);
+  for (std::size_t i = 0; i < blob_len * 8; ++i)
+    if (bits.get(kHeaderBits + kBodyBits + i))
+      out.blob[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return out;
+}
+
+namespace {
+/// Bits of the pre-dual-rail stream for a given blob size / key / ecc.
+std::size_t inner_bits(std::size_t blob_bytes, bool keyed, bool ecc) {
+  const std::size_t signed_bits =
+      extended_packed_bits(blob_bytes) + (keyed ? kSignatureBits : 0);
+  return ecc ? hamming15_encoded_bits(signed_bits) : signed_bits;
+}
+
+/// Signed (+ECC) + dual-rail encoded stream for a spec.
+BitVec encode_stream(const ExtendedSpec& spec) {
+  const BitVec packed = pack_extended(spec.payload);
+  const BitVec signed_bits =
+      spec.key ? sign_watermark(*spec.key, packed) : packed;
+  return dual_rail_encode(spec.ecc ? hamming15_encode(signed_bits)
+                                   : signed_bits);
+}
+
+std::size_t chunk_bits_for(std::size_t segment_cells, std::size_t replicas) {
+  std::size_t chunk = segment_cells / replicas;
+  chunk -= chunk % 2;  // dual-rail pairs must not straddle chunks
+  return chunk;
+}
+}  // namespace
+
+ExtendedLayout plan_extended(const ExtendedSpec& spec,
+                             std::size_t segment_cells) {
+  if (spec.n_replicas == 0)
+    throw std::invalid_argument("plan_extended: n_replicas must be > 0");
+  ExtendedLayout layout;
+  layout.encoded_bits =
+      2 * inner_bits(spec.payload.blob.size(), spec.key.has_value(), spec.ecc);
+  layout.chunk_bits = chunk_bits_for(segment_cells, spec.n_replicas);
+  if (layout.chunk_bits == 0)
+    throw std::invalid_argument("plan_extended: replicas do not fit");
+  layout.n_segments =
+      (layout.encoded_bits + layout.chunk_bits - 1) / layout.chunk_bits;
+  return layout;
+}
+
+std::vector<BitVec> encode_extended_patterns(const ExtendedSpec& spec,
+                                             std::size_t segment_cells) {
+  const ExtendedLayout layout = plan_extended(spec, segment_cells);
+  BitVec stream = encode_stream(spec);
+  // Pad to a whole number of chunks with 1s (unstressed filler).
+  stream.append(
+      BitVec(layout.n_segments * layout.chunk_bits - stream.size(), true));
+
+  std::vector<BitVec> patterns;
+  patterns.reserve(layout.n_segments);
+  for (std::size_t s = 0; s < layout.n_segments; ++s) {
+    const BitVec chunk = stream.slice(s * layout.chunk_bits, layout.chunk_bits);
+    patterns.push_back(
+        replicate_pattern(chunk, spec.n_replicas, segment_cells));
+  }
+  return patterns;
+}
+
+ImprintReport imprint_extended(FlashHal& hal,
+                               const std::vector<Addr>& segments,
+                               const ExtendedSpec& spec) {
+  const auto& g = hal.geometry();
+  if (segments.empty())
+    throw std::invalid_argument("imprint_extended: no segments");
+  const std::size_t cells = g.segment_cells(g.segment_index(segments[0]));
+  const ExtendedLayout layout = plan_extended(spec, cells);
+  if (segments.size() != layout.n_segments)
+    throw std::invalid_argument(
+        "imprint_extended: need exactly plan_extended().n_segments segments");
+
+  const auto patterns = encode_extended_patterns(spec, cells);
+  ImprintOptions io;
+  io.npe = spec.npe;
+  io.strategy = spec.strategy;
+  io.accelerated = spec.accelerated;
+
+  ImprintReport total;
+  total.npe = spec.npe;
+  total.accelerated = spec.accelerated;
+  const SimTime start = hal.now();
+  for (std::size_t s = 0; s < segments.size(); ++s)
+    imprint_flashmark(hal, segments[s], patterns[s], io);
+  total.elapsed = hal.now() - start;
+  total.mean_cycle_time = SimTime::ns(
+      total.elapsed.as_ns() /
+      static_cast<std::int64_t>(spec.npe * segments.size()));
+  return total;
+}
+
+ExtendedVerifyReport verify_extended(FlashHal& hal,
+                                     const std::vector<Addr>& segments,
+                                     const ExtendedVerifyOptions& opts) {
+  const auto& g = hal.geometry();
+  if (segments.empty())
+    throw std::invalid_argument("verify_extended: no segments");
+  const std::size_t cells = g.segment_cells(g.segment_index(segments[0]));
+  const std::size_t chunk = chunk_bits_for(cells, opts.n_replicas);
+  const ReplicaLayout layout{chunk, opts.n_replicas};
+
+  ExtendedVerifyReport report;
+  const SimTime start = hal.now();
+
+  BitVec soft_stream;
+  std::size_t invalid00 = 0;
+  double worst_segment_pair_frac = 0.0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    ExtractOptions eo;
+    eo.t_pew = opts.t_pew;
+    eo.rounds = opts.rounds;
+    eo.n_reads = opts.n_reads;
+    const ExtractResult ext = extract_flashmark(hal, segments[s], eo);
+    if (s == 0) {
+      const BitVec region = ext.bits.slice(0, layout.used_bits());
+      report.first_segment_zero_fraction =
+          static_cast<double>(region.zero_count()) /
+          static_cast<double>(region.size());
+    }
+    const BitVec voted = decode_replicas(ext.bits, layout, VoteMode::kMajority);
+    const DualRailDecode rails = dual_rail_decode(voted);
+    invalid00 += rails.invalid_00;
+    // Tampering is often localized to one segment: judge each on its own.
+    worst_segment_pair_frac = std::max(
+        worst_segment_pair_frac, static_cast<double>(rails.invalid_00) /
+                                     static_cast<double>(rails.payload.size()));
+    soft_stream.append(soft_decode_dual_rail(ext.bits, layout));
+  }
+  report.extract_time = hal.now() - start;
+  report.invalid_00_pairs = invalid00;
+
+  if (report.first_segment_zero_fraction < opts.min_zero_fraction) {
+    report.verdict = Verdict::kNoWatermark;
+    return report;
+  }
+
+  // Expected stream shape from the declared blob size.
+  const std::size_t packed_bits = extended_packed_bits(opts.blob_bytes);
+  const std::size_t signed_bits =
+      packed_bits + (opts.key ? kSignatureBits : 0);
+  const std::size_t coded_bits =
+      inner_bits(opts.blob_bytes, opts.key.has_value(), opts.ecc);
+  if (coded_bits > soft_stream.size()) {
+    report.verdict = Verdict::kUnreadable;
+    return report;
+  }
+  BitVec stream = soft_stream.slice(0, coded_bits);
+  if (opts.ecc)
+    stream = hamming15_decode(stream, signed_bits).payload;
+
+  std::optional<ExtendedPayload> payload;
+  if (opts.key) {
+    const SignedWatermark sw =
+        verify_signed_watermark(*opts.key, stream, packed_bits);
+    report.signature_checked = true;
+    report.signature_ok = sw.signature_ok;
+    payload = unpack_extended(sw.payload);
+  } else {
+    payload = unpack_extended(stream);
+  }
+  report.payload = payload;
+
+  if (worst_segment_pair_frac > opts.tamper_pair_fraction) {
+    report.verdict = Verdict::kTampered;
+    return report;
+  }
+  if (opts.key && !report.signature_ok) {
+    report.verdict = invalid00 == 0 ? Verdict::kTampered : Verdict::kUnreadable;
+    return report;
+  }
+  if (!payload) {
+    report.verdict = Verdict::kUnreadable;
+    return report;
+  }
+  report.verdict = Verdict::kGenuine;
+  return report;
+}
+
+}  // namespace flashmark

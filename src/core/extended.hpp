@@ -1,0 +1,116 @@
+// Extended watermarks: variable-length manufacturing payloads spanning
+// multiple segments.
+//
+// The paper's §IV watermark carries fixed metadata; production flows also
+// want free-form data (lot number, wafer coordinates, test-site logs). This
+// module packs a versioned header + fields + blob + CRC-32, signs it,
+// dual-rail encodes it, and splits the encoded stream into chunks — one
+// chunk per segment, each chunk replicated R times inside its segment.
+// Verification soft-decodes each segment, reassembles the stream, and
+// checks signature and CRC.
+//
+// Bit layout of the packed stream (before signing):
+//   [0..3]   version (currently 1)
+//   [4..11]  blob length in bytes (0..255)
+//   [12..75] WatermarkFields body (same 64-bit layout as pack_fields)
+//   [76..]   blob bytes, LSB-first
+//   [..+32]  CRC-32 over everything above
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/imprint.hpp"
+#include "core/watermark.hpp"
+#include "flash/hal.hpp"
+#include "util/siphash.hpp"
+
+namespace flashmark {
+
+inline constexpr std::uint8_t kExtendedVersion = 1;
+inline constexpr std::size_t kExtendedMaxBlobBytes = 255;
+
+struct ExtendedPayload {
+  WatermarkFields fields;
+  std::vector<std::uint8_t> blob;  ///< up to 255 bytes of free-form data
+
+  bool operator==(const ExtendedPayload&) const = default;
+};
+
+/// Packed size in bits for a blob of `blob_bytes` (before signing).
+std::size_t extended_packed_bits(std::size_t blob_bytes);
+
+/// Serialize payload + CRC-32. Throws on oversized blob / field overflow.
+BitVec pack_extended(const ExtendedPayload& payload);
+
+/// Parse a packed stream (exact length required); nullopt on bad version,
+/// bad length, or CRC mismatch.
+std::optional<ExtendedPayload> unpack_extended(const BitVec& bits);
+
+struct ExtendedSpec {
+  ExtendedPayload payload;
+  std::optional<SipHashKey> key;
+  std::size_t n_replicas = 3;
+  /// Hamming(15,11)-protect the signed stream before dual-rail encoding.
+  /// With only 3 replicas a long stream keeps a couple of residual soft-
+  /// decode errors (persistently-fast stressed columns); single-error
+  /// correction per 15-bit block absorbs them — the paper's "error
+  /// correction techniques instead of replication" suggestion, applied on
+  /// top of light replication.
+  bool ecc = true;
+  std::uint32_t npe = 60'000;
+  ImprintStrategy strategy = ImprintStrategy::kLoop;
+  bool accelerated = true;
+};
+
+struct ExtendedLayout {
+  std::size_t encoded_bits = 0;  ///< dual-rail stream length (even)
+  std::size_t chunk_bits = 0;    ///< encoded bits per segment (even)
+  std::size_t n_segments = 0;    ///< segments required
+};
+
+/// Chunking plan for a given segment size. Throws if a single replica of a
+/// chunk cannot fit.
+ExtendedLayout plan_extended(const ExtendedSpec& spec,
+                             std::size_t segment_cells);
+
+/// Per-segment imprint patterns (chunked, replicated, padded with 1s).
+std::vector<BitVec> encode_extended_patterns(const ExtendedSpec& spec,
+                                             std::size_t segment_cells);
+
+/// Imprint across `segments` (must be exactly plan.n_segments addresses,
+/// each in a distinct segment). Returns the aggregate imprint report.
+ImprintReport imprint_extended(FlashHal& hal,
+                               const std::vector<Addr>& segments,
+                               const ExtendedSpec& spec);
+
+struct ExtendedVerifyReport {
+  Verdict verdict = Verdict::kUnreadable;
+  std::optional<ExtendedPayload> payload;
+  bool signature_checked = false;
+  bool signature_ok = false;
+  std::size_t invalid_00_pairs = 0;
+  double first_segment_zero_fraction = 0.0;
+  SimTime extract_time;
+};
+
+struct ExtendedVerifyOptions {
+  SimTime t_pew = SimTime::us(30);
+  std::size_t n_replicas = 3;
+  std::optional<SipHashKey> key;
+  std::size_t blob_bytes = 0;  ///< expected blob size (defines the layout)
+  bool ecc = true;             ///< must match the imprint's spec.ecc
+  int rounds = 1;
+  int n_reads = 1;
+  double min_zero_fraction = 0.10;
+  double tamper_pair_fraction = 0.05;
+};
+
+/// Extract + decode + judge a multi-segment extended watermark.
+ExtendedVerifyReport verify_extended(FlashHal& hal,
+                                     const std::vector<Addr>& segments,
+                                     const ExtendedVerifyOptions& opts);
+
+}  // namespace flashmark

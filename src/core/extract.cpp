@@ -1,0 +1,53 @@
+#include "core/extract.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
+                                const ExtractOptions& opts) {
+  if (opts.n_reads < 1 || opts.n_reads % 2 == 0)
+    throw std::invalid_argument("extract_flashmark: n_reads must be odd >= 1");
+  if (opts.rounds < 1 || opts.rounds % 2 == 0)
+    throw std::invalid_argument("extract_flashmark: rounds must be odd >= 1");
+  if (opts.t_pew < SimTime{})
+    throw std::invalid_argument("extract_flashmark: negative t_pew");
+
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const Addr base = g.segment_base(seg);
+  const std::size_t n_words = g.segment_bytes(seg) / g.word_bytes;
+  const std::size_t n_cells = g.segment_cells(seg);
+  const std::vector<std::uint16_t> zeros(n_words, 0x0000);
+
+  const SimTime start = hal.now();
+  ExtractResult result;
+  result.round_bits.reserve(static_cast<std::size_t>(opts.rounds));
+
+  for (int r = 0; r < opts.rounds; ++r) {
+    if (opts.accelerated_erase)
+      hal.erase_segment_auto(base);   // all cells read as 1s
+    else
+      hal.erase_segment(base);
+    hal.program_block(base, zeros);   // all cells read as 0s
+    hal.partial_erase_segment(base, opts.t_pew);
+    result.round_bits.push_back(analyze_segment(hal, base, opts.n_reads).bitmap);
+  }
+
+  if (opts.rounds == 1) {
+    result.bits = result.round_bits.front();
+  } else {
+    result.bits = BitVec(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      int ones = 0;
+      for (const auto& rb : result.round_bits) ones += rb.get(i) ? 1 : 0;
+      result.bits.set(i, ones * 2 > opts.rounds);
+    }
+  }
+
+  if (opts.final_erase) hal.erase_segment(base);
+  result.elapsed = hal.now() - start;
+  return result;
+}
+
+}  // namespace flashmark

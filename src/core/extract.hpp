@@ -1,0 +1,48 @@
+// ExtractFlashmark (paper Fig. 8): read a physical watermark back through
+// the digital interface.
+//
+// One extraction round: erase the segment, program every cell, start an
+// erase and abort it after the published window tPEW, then read the segment.
+// Fresh ("good") cells have already transitioned and read 1; stressed
+// ("bad") cells resist erase and still read 0 — recovering the imprinted
+// bit pattern directly.
+//
+// Knobs beyond the paper's Fig. 8 baseline (single round, single read):
+//  * n_reads  — per-round N-read majority (Fig. 3's AnalyzeSegment),
+//  * rounds   — repeat the whole round and majority-vote across rounds
+//               (the paper's 170 ms extraction corresponds to multiple
+//               rounds of the baseline implementation).
+#pragma once
+
+#include <vector>
+
+#include "core/analyze.hpp"
+#include "flash/hal.hpp"
+#include "util/bitvec.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+struct ExtractOptions {
+  SimTime t_pew = SimTime::us(28);  ///< partial erase window (family-specific)
+  int n_reads = 1;                  ///< reads per word per round (odd)
+  int rounds = 1;                   ///< independent rounds (odd)
+  /// Use the erase-verify early exit for the round's leading erase. Saves
+  /// most of the round time without touching the result.
+  bool accelerated_erase = false;
+  /// Erase the segment after the last round so it is not left in the
+  /// undefined post-abort state.
+  bool final_erase = false;
+};
+
+struct ExtractResult {
+  BitVec bits;                      ///< extracted bitmap (1 = good cell)
+  std::vector<BitVec> round_bits;   ///< per-round bitmaps
+  SimTime elapsed;
+};
+
+/// Extract the watermark bitmap of the segment at `addr`.
+ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
+                                const ExtractOptions& opts = {});
+
+}  // namespace flashmark

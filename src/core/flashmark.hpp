@@ -1,0 +1,24 @@
+// Umbrella header for the Flashmark library.
+//
+// Quick tour:
+//   mcu/device.hpp        — simulate a chip (Device dev(cfg, die_seed))
+//   core/watermark.hpp    — imprint_watermark / verify_watermark pipelines
+//   core/characterize.hpp — Fig. 3 characterization & tPEW selection
+//   core/imprint.hpp      — Fig. 7 low-level imprint
+//   core/extract.hpp      — Fig. 8 low-level extraction
+//
+// See examples/quickstart.cpp for a ~50 line end-to-end walkthrough.
+#pragma once
+
+#include "core/analyze.hpp"
+#include "core/characterize.hpp"
+#include "core/codec.hpp"
+#include "core/ecc.hpp"
+#include "core/extended.hpp"
+#include "core/extract.hpp"
+#include "core/imprint.hpp"
+#include "core/metrics.hpp"
+#include "core/registry.hpp"
+#include "core/replicate.hpp"
+#include "core/signature.hpp"
+#include "core/watermark.hpp"

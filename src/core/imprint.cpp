@@ -1,0 +1,57 @@
+#include "core/imprint.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+std::vector<std::uint16_t> pattern_to_words(const FlashGeometry& g,
+                                            std::size_t seg,
+                                            const BitVec& pattern) {
+  const std::size_t n_cells = g.segment_cells(seg);
+  if (pattern.size() != n_cells)
+    throw std::invalid_argument(
+        "pattern_to_words: pattern size must equal segment cell count");
+  const std::size_t bpw = g.bits_per_word();
+  std::vector<std::uint16_t> words(n_cells / bpw, 0);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint16_t v = 0;
+    for (std::size_t b = 0; b < bpw; ++b)
+      if (pattern.get(w * bpw + b)) v |= static_cast<std::uint16_t>(1u << b);
+    words[w] = v;
+  }
+  return words;
+}
+
+ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
+                                const ImprintOptions& opts) {
+  if (opts.npe == 0)
+    throw std::invalid_argument("imprint_flashmark: npe must be > 0");
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const Addr base = g.segment_base(seg);
+
+  const SimTime start = hal.now();
+  ImprintReport report;
+  report.npe = opts.npe;
+  report.accelerated = opts.accelerated;
+
+  if (opts.strategy == ImprintStrategy::kBatchWear) {
+    hal.wear_segment(base, static_cast<double>(opts.npe), &pattern);
+  } else {
+    const auto words = pattern_to_words(g, seg, pattern);
+    for (std::uint32_t cycle = 0; cycle < opts.npe; ++cycle) {
+      if (opts.accelerated)
+        hal.erase_segment_auto(base);
+      else
+        hal.erase_segment(base);
+      hal.program_block(base, words);
+    }
+  }
+
+  report.elapsed = hal.now() - start;
+  report.mean_cycle_time =
+      SimTime::ns(report.elapsed.as_ns() / static_cast<std::int64_t>(opts.npe));
+  return report;
+}
+
+}  // namespace flashmark

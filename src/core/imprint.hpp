@@ -1,0 +1,56 @@
+// ImprintFlashmark (paper Fig. 7): burn a watermark into the physical
+// properties of a segment by NPE repeated erase+program(watermark) cycles.
+//
+// Cells whose watermark bit is 0 are charged/discharged every cycle and
+// accumulate permanent oxide damage ("bad" cells); cells whose bit is 1 stay
+// erased and remain "good". The damage contrast *is* the watermark — it
+// survives any later digital erase/program and cannot be reversed.
+//
+// Two execution strategies:
+//  * kLoop      — the verbatim Fig. 7 loop through the digital interface;
+//                 exact simulated-time accounting (used by the imprint-time
+//                 benchmarks). With `accelerated` the erase of each cycle
+//                 exits as soon as the segment verifies erased, the paper's
+//                 ~3.5x speedup, wear-neutral by construction.
+//  * kBatchWear — simulation-only fast path equivalent to the loop's effect
+//                 on cell wear (used to precondition the big BER sweeps).
+#pragma once
+
+#include <cstdint>
+
+#include "flash/hal.hpp"
+#include "util/bitvec.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+enum class ImprintStrategy : std::uint8_t { kLoop, kBatchWear };
+
+struct ImprintOptions {
+  std::uint32_t npe = 40'000;  ///< P/E stress cycles
+  /// Exit each erase as soon as the segment verifies erased instead of
+  /// running the nominal erase time (§V "accelerated imprint").
+  bool accelerated = false;
+  ImprintStrategy strategy = ImprintStrategy::kLoop;
+};
+
+struct ImprintReport {
+  std::uint32_t npe = 0;
+  SimTime elapsed;            ///< simulated imprint time
+  SimTime mean_cycle_time;    ///< elapsed / npe
+  bool accelerated = false;
+};
+
+/// Imprint `pattern` (one bit per cell of the segment at `addr`; bit 0 =>
+/// stressed) with `opts.npe` P/E cycles. The pattern must match the segment
+/// cell count exactly. Leaves the segment erased.
+ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
+                                const ImprintOptions& opts = {});
+
+/// Helper: expand a pattern into the per-word program values of the segment
+/// (word bit b at word w <- pattern bit w*bits_per_word + b).
+std::vector<std::uint16_t> pattern_to_words(const FlashGeometry& g,
+                                            std::size_t seg,
+                                            const BitVec& pattern);
+
+}  // namespace flashmark

@@ -1,0 +1,30 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+BerBreakdown compare_bits(const BitVec& reference, const BitVec& extracted) {
+  if (reference.size() != extracted.size())
+    throw std::invalid_argument("compare_bits: length mismatch");
+  BerBreakdown b;
+  b.total_bits = reference.size();
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const bool ref = reference.get(i);
+    const bool got = extracted.get(i);
+    if (ref)
+      ++b.expected_ones;
+    else
+      ++b.expected_zeros;
+    if (ref != got) {
+      ++b.errors;
+      if (ref)
+        ++b.errors_on_ones;
+      else
+        ++b.errors_on_zeros;
+    }
+  }
+  return b;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,42 @@
+// Bit-error-rate accounting used throughout the evaluation benches.
+//
+// The paper's key observation (Fig. 10) is that extraction errors are
+// asymmetric: stressed "bad" (0) bits are misread as "good" (1) far more
+// often than the reverse. BerBreakdown keeps the two directions separate.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitvec.hpp"
+
+namespace flashmark {
+
+struct BerBreakdown {
+  std::size_t total_bits = 0;
+  std::size_t errors = 0;
+  std::size_t expected_zeros = 0;  ///< stressed ("bad") bits in the reference
+  std::size_t expected_ones = 0;   ///< fresh ("good") bits in the reference
+  std::size_t errors_on_zeros = 0; ///< bad read as good (0 -> 1)
+  std::size_t errors_on_ones = 0;  ///< good read as bad (1 -> 0)
+
+  double ber() const {
+    return total_bits ? static_cast<double>(errors) /
+                            static_cast<double>(total_bits)
+                      : 0.0;
+  }
+  double ber_on_zeros() const {
+    return expected_zeros ? static_cast<double>(errors_on_zeros) /
+                                static_cast<double>(expected_zeros)
+                          : 0.0;
+  }
+  double ber_on_ones() const {
+    return expected_ones ? static_cast<double>(errors_on_ones) /
+                               static_cast<double>(expected_ones)
+                         : 0.0;
+  }
+};
+
+/// Compare an extracted bit string against the imprinted reference.
+BerBreakdown compare_bits(const BitVec& reference, const BitVec& extracted);
+
+}  // namespace flashmark

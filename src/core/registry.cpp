@@ -1,0 +1,36 @@
+#include "core/registry.hpp"
+
+namespace flashmark {
+
+const char* to_string(RegistryVerdict v) {
+  switch (v) {
+    case RegistryVerdict::kOk: return "ok";
+    case RegistryVerdict::kUnknownDie: return "unknown-die";
+    case RegistryVerdict::kDuplicate: return "duplicate-sighting";
+    case RegistryVerdict::kFieldMismatch: return "field-mismatch";
+  }
+  return "unknown";
+}
+
+bool WatermarkRegistry::register_die(const WatermarkFields& fields) {
+  return issued_.emplace(fields.die_id, fields).second;
+}
+
+RegistryVerdict WatermarkRegistry::check_in(const WatermarkFields& fields,
+                                            const std::string& location) {
+  const auto it = issued_.find(fields.die_id);
+  if (it == issued_.end()) return RegistryVerdict::kUnknownDie;
+  if (!(it->second == fields)) return RegistryVerdict::kFieldMismatch;
+  const bool seen = sightings_.count(fields.die_id) > 0;
+  sightings_.emplace(fields.die_id, Sighting{fields.die_id, location});
+  return seen ? RegistryVerdict::kDuplicate : RegistryVerdict::kOk;
+}
+
+std::vector<Sighting> WatermarkRegistry::sightings(std::uint32_t die_id) const {
+  std::vector<Sighting> out;
+  const auto [lo, hi] = sightings_.equal_range(die_id);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,57 @@
+// Die-identity registry — closes the clone-attack gap.
+//
+// A Flashmark watermark binds metadata to physics, but a counterfeiter can
+// copy a *valid* watermark bit-for-bit onto a blank die (tests/attack_test
+// demonstrates it). The paper's §V answer is procedural: watermarks carry
+// unique die identifiers, so clones surface as duplicate sightings. This
+// registry implements that procedure for the manufacturer ("I issued these
+// die ids") and the integrator ("I have seen this die id before").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/codec.hpp"
+
+namespace flashmark {
+
+enum class RegistryVerdict : std::uint8_t {
+  kOk = 0,          ///< known die, first sighting
+  kUnknownDie,      ///< die id was never issued by this manufacturer
+  kDuplicate,       ///< die id sighted before: clone suspect (either chip)
+  kFieldMismatch,   ///< die id known but other fields differ: forged payload
+};
+
+const char* to_string(RegistryVerdict v);
+
+struct Sighting {
+  std::uint32_t die_id = 0;
+  std::string location;  ///< free-form: integrator / lot / board id
+};
+
+class WatermarkRegistry {
+ public:
+  /// Manufacturer side: record an issued die at die-sort time.
+  /// Returns false (and ignores the call) if the die id was already issued.
+  bool register_die(const WatermarkFields& fields);
+
+  std::size_t issued_count() const { return issued_.size(); }
+  bool issued(std::uint32_t die_id) const { return issued_.count(die_id) > 0; }
+
+  /// Integrator side: report a verified watermark sighting. Applies the
+  /// checks in order: issued? fields match the issued record? seen before?
+  RegistryVerdict check_in(const WatermarkFields& fields,
+                           const std::string& location);
+
+  /// All sightings of one die id (clone forensics).
+  std::vector<Sighting> sightings(std::uint32_t die_id) const;
+
+ private:
+  std::map<std::uint32_t, WatermarkFields> issued_;
+  std::multimap<std::uint32_t, Sighting> sightings_;
+};
+
+}  // namespace flashmark

@@ -1,0 +1,97 @@
+#include "core/replicate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flashmark {
+
+BitVec replicate_pattern(const BitVec& payload, std::size_t n_replicas,
+                         std::size_t segment_cells) {
+  if (payload.empty() || n_replicas == 0)
+    throw std::invalid_argument("replicate_pattern: empty payload or R == 0");
+  if (payload.size() * n_replicas > segment_cells)
+    throw std::invalid_argument(
+        "replicate_pattern: replicas do not fit in the segment");
+  BitVec pattern(segment_cells, true);  // filler stays erased ("good")
+  for (std::size_t r = 0; r < n_replicas; ++r)
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      pattern.set(r * payload.size() + i, payload.get(i));
+  return pattern;
+}
+
+std::vector<BitVec> split_replicas(const BitVec& segment_bits,
+                                   const ReplicaLayout& layout) {
+  if (layout.payload_bits == 0 || layout.n_replicas == 0)
+    throw std::invalid_argument("split_replicas: empty layout");
+  if (layout.used_bits() > segment_bits.size())
+    throw std::invalid_argument("split_replicas: layout exceeds bitmap");
+  std::vector<BitVec> out;
+  out.reserve(layout.n_replicas);
+  for (std::size_t r = 0; r < layout.n_replicas; ++r)
+    out.push_back(
+        segment_bits.slice(r * layout.payload_bits, layout.payload_bits));
+  return out;
+}
+
+BitVec decode_replicas(const BitVec& segment_bits, const ReplicaLayout& layout,
+                       VoteMode mode, std::size_t zero_vote_threshold) {
+  const auto replicas = split_replicas(segment_bits, layout);
+  const std::size_t R = replicas.size();
+  std::size_t zt = zero_vote_threshold;
+  if (mode == VoteMode::kAsymmetric && zt == 0) zt = std::max<std::size_t>(1, R / 3);
+
+  BitVec decoded(layout.payload_bits);
+  for (std::size_t i = 0; i < layout.payload_bits; ++i) {
+    std::size_t zeros = 0;
+    for (const auto& rep : replicas)
+      if (!rep.get(i)) ++zeros;
+    bool bit;
+    if (mode == VoteMode::kAsymmetric)
+      bit = zeros < zt;  // a few confident 0 votes decide for 0
+    else
+      bit = zeros * 2 < R;  // plain majority (ties -> 0, conservative)
+    decoded.set(i, bit);
+  }
+  return decoded;
+}
+
+BitVec soft_decode_dual_rail(const BitVec& segment_bits,
+                             const ReplicaLayout& layout) {
+  if (layout.payload_bits % 2 != 0)
+    throw std::invalid_argument("soft_decode_dual_rail: odd replica length");
+  const auto replicas = split_replicas(segment_bits, layout);
+  const std::size_t n_payload = layout.payload_bits / 2;
+  BitVec out(n_payload);
+  for (std::size_t i = 0; i < n_payload; ++i) {
+    std::size_t zeros_a = 0;  // rail carrying b
+    std::size_t zeros_b = 0;  // rail carrying ~b
+    for (const auto& rep : replicas) {
+      if (!rep.get(2 * i)) ++zeros_a;
+      if (!rep.get(2 * i + 1)) ++zeros_b;
+    }
+    bool bit;
+    if (zeros_a > zeros_b)
+      bit = false;  // first rail is the stressed one => b == 0
+    else if (zeros_b > zeros_a)
+      bit = true;
+    else
+      bit = zeros_a * 2 < replicas.size();  // tie: majority of rail a
+    out.set(i, bit);
+  }
+  return out;
+}
+
+double replica_disagreement(const BitVec& segment_bits,
+                            const ReplicaLayout& layout,
+                            const BitVec& decoded) {
+  if (decoded.size() != layout.payload_bits)
+    throw std::invalid_argument("replica_disagreement: decoded size mismatch");
+  const auto replicas = split_replicas(segment_bits, layout);
+  std::size_t diff = 0;
+  for (const auto& rep : replicas)
+    diff += BitVec::hamming_distance(rep, decoded);
+  return static_cast<double>(diff) /
+         static_cast<double>(layout.used_bits());
+}
+
+}  // namespace flashmark

@@ -1,0 +1,65 @@
+// Watermark replication and voting (paper §V, Figs. 10-11).
+//
+// A watermark is tiny compared to a 4096-cell segment, so the paper imprints
+// R copies back-to-back and majority-votes the extracted replicas. Because
+// extraction errors are strongly asymmetric — a stressed ("bad", 0) cell is
+// far more likely to be misread as good (1) than the reverse — we also
+// provide an asymmetry-aware vote: any `zero_vote_threshold` zero votes
+// decide for 0 even when zeros are not the majority. The paper observes
+// exactly this error structure in Fig. 10 and suggests exploiting it.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitvec.hpp"
+
+namespace flashmark {
+
+enum class VoteMode : std::uint8_t {
+  kMajority,    ///< plain per-bit majority over replicas
+  kAsymmetric,  ///< 0 wins once it has >= zero_vote_threshold votes
+};
+
+struct ReplicaLayout {
+  std::size_t payload_bits = 0;  ///< length L of one replica
+  std::size_t n_replicas = 1;    ///< R copies, laid out back-to-back
+
+  std::size_t used_bits() const { return payload_bits * n_replicas; }
+};
+
+/// Expand `payload` into a full segment pattern of `segment_cells` bits:
+/// R back-to-back copies followed by filler 1s (filler cells stay erased and
+/// unstressed). Throws if the copies do not fit.
+BitVec replicate_pattern(const BitVec& payload, std::size_t n_replicas,
+                         std::size_t segment_cells);
+
+/// Per-replica slices of an extracted segment bitmap.
+std::vector<BitVec> split_replicas(const BitVec& segment_bits,
+                                   const ReplicaLayout& layout);
+
+/// Decode the payload from an extracted segment bitmap.
+/// `zero_vote_threshold` only applies to kAsymmetric; a value of 0 derives
+/// the default max(1, R/3).
+BitVec decode_replicas(const BitVec& segment_bits, const ReplicaLayout& layout,
+                       VoteMode mode = VoteMode::kMajority,
+                       std::size_t zero_vote_threshold = 0);
+
+/// Fraction of replica bits that disagree with the decoded consensus —
+/// a confidence/diagnostic signal (0 = perfectly consistent replicas).
+double replica_disagreement(const BitVec& segment_bits,
+                            const ReplicaLayout& layout,
+                            const BitVec& decoded);
+
+/// Soft dual-rail decode across replicas. The layout's payload_bits is the
+/// dual-rail-encoded replica length (even); the result is half that long.
+/// For payload bit i, the rails at 2i and 2i+1 carry (b, ~b): exactly one
+/// of them was stressed. Counting zero reads of each rail across all
+/// replicas and picking the rail with MORE zeros as the stressed one uses
+/// the full 2R observations per payload bit, and — unlike hard per-rail
+/// voting — is immune to a single persistently-fast stressed cell column
+/// (the failure mode behind the paper's residual replication errors).
+/// Ties fall back to the majority value of the first rail.
+BitVec soft_decode_dual_rail(const BitVec& segment_bits,
+                             const ReplicaLayout& layout);
+
+}  // namespace flashmark

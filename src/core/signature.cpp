@@ -1,0 +1,42 @@
+#include "core/signature.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+std::uint64_t watermark_tag(const SipHashKey& key, const BitVec& payload) {
+  auto bytes = payload.to_bytes();
+  // Mix in the exact bit length so "payload plus chopped tail" never
+  // collides with a shorter legitimate payload.
+  const std::uint64_t n = payload.size();
+  for (int i = 0; i < 8; ++i)
+    bytes.push_back(static_cast<std::uint8_t>((n >> (8 * i)) & 0xFF));
+  return siphash24(key, bytes);
+}
+
+BitVec sign_watermark(const SipHashKey& key, const BitVec& payload) {
+  const std::uint64_t tag = watermark_tag(key, payload);
+  BitVec out = payload;
+  BitVec tag_bits(kSignatureBits);
+  for (std::size_t i = 0; i < kSignatureBits; ++i)
+    tag_bits.set(i, (tag >> i) & 1ull);
+  out.append(tag_bits);
+  return out;
+}
+
+SignedWatermark verify_signed_watermark(const SipHashKey& key,
+                                        const BitVec& signed_bits,
+                                        std::size_t payload_bits) {
+  if (signed_bits.size() != payload_bits + kSignatureBits)
+    throw std::invalid_argument(
+        "verify_signed_watermark: stream length mismatch");
+  SignedWatermark out;
+  out.payload = signed_bits.slice(0, payload_bits);
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < kSignatureBits; ++i)
+    if (signed_bits.get(payload_bits + i)) tag |= 1ull << i;
+  out.signature_ok = (tag == watermark_tag(key, out.payload));
+  return out;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,39 @@
+// Keyed watermark signatures (paper §V: "in addition to watermarks we may
+// imprint watermark signatures that will ensure that concurrent tampering by
+// attackers cannot go undetected").
+//
+// The manufacturer signs the packed payload with a secret SipHash-2-4 key
+// and imprints payload || tag. A counterfeiter can physically only stress
+// additional cells (1 -> 0), and cannot compute a valid tag for any modified
+// payload without the key — so every physical tamper is caught either by the
+// dual-rail check or by the signature.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+#include "util/siphash.hpp"
+
+namespace flashmark {
+
+inline constexpr std::size_t kSignatureBits = 64;
+
+/// 64-bit tag over the payload bits (serialized LSB-first to bytes, with the
+/// bit length mixed in so truncation is detected).
+std::uint64_t watermark_tag(const SipHashKey& key, const BitVec& payload);
+
+/// payload || tag.
+BitVec sign_watermark(const SipHashKey& key, const BitVec& payload);
+
+struct SignedWatermark {
+  BitVec payload;
+  bool signature_ok = false;
+};
+
+/// Split a signed stream and verify the tag. `payload_bits` = size of the
+/// original payload; signed stream must be payload_bits + 64 long.
+SignedWatermark verify_signed_watermark(const SipHashKey& key,
+                                        const BitVec& signed_bits,
+                                        std::size_t payload_bits);
+
+}  // namespace flashmark

@@ -1,0 +1,165 @@
+#include "core/watermark.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flashmark {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kGenuine: return "genuine";
+    case Verdict::kNoWatermark: return "no-watermark";
+    case Verdict::kTampered: return "tampered";
+    case Verdict::kUnreadable: return "unreadable";
+  }
+  return "unknown";
+}
+
+EncodedWatermark encode_watermark(const WatermarkSpec& spec,
+                                  std::size_t segment_cells) {
+  EncodedWatermark e;
+  const BitVec packed = pack_fields(spec.fields);
+  e.signed_payload = spec.key ? sign_watermark(*spec.key, packed) : packed;
+  e.replica = dual_rail_encode(e.signed_payload);
+  e.layout = ReplicaLayout{e.replica.size(), spec.n_replicas};
+  e.segment_pattern =
+      replicate_pattern(e.replica, spec.n_replicas, segment_cells);
+  return e;
+}
+
+ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
+                                const WatermarkSpec& spec) {
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const EncodedWatermark e = encode_watermark(spec, g.segment_cells(seg));
+  ImprintOptions opts;
+  opts.npe = spec.npe;
+  opts.accelerated = spec.accelerated;
+  opts.strategy = spec.strategy;
+  return imprint_flashmark(hal, g.segment_base(seg), e.segment_pattern, opts);
+}
+
+VerifyReport verify_watermark(FlashHal& hal, Addr addr,
+                              const VerifyOptions& opts) {
+  // 1. Extract the physical bitmap, then judge it.
+  ExtractOptions eo;
+  eo.t_pew = opts.t_pew;
+  eo.n_reads = opts.n_reads;
+  eo.rounds = opts.rounds;
+  eo.accelerated_erase = opts.accelerated_erase;
+  const ExtractResult ext = extract_flashmark(hal, addr, eo);
+  VerifyReport report = judge_extracted_bits(ext.bits, opts);
+  report.extract_time = ext.elapsed;
+  return report;
+}
+
+VerifyReport judge_extracted_bits(const BitVec& extracted,
+                                  const VerifyOptions& opts) {
+  VerifyReport report;
+
+  // 2. Replica layout implied by the verify options.
+  const std::size_t payload_bits =
+      kFieldsBits + (opts.key ? kSignatureBits : 0);
+  const ReplicaLayout layout{payload_bits * 2, opts.n_replicas};
+  if (layout.used_bits() > extracted.size())
+    throw std::invalid_argument(
+        "judge_extracted_bits: replicas exceed segment size");
+
+  // 3. Stress contrast over the watermark region. A legitimate dual-rail
+  // watermark stresses exactly half the cells; a fresh or digitally-forged
+  // chip shows (almost) none.
+  const BitVec region = extracted.slice(0, layout.used_bits());
+  report.zero_fraction = static_cast<double>(region.zero_count()) /
+                         static_cast<double>(region.size());
+  if (report.zero_fraction < opts.min_zero_fraction) {
+    report.verdict = Verdict::kNoWatermark;
+    return report;
+  }
+
+  // 4. Decode. The hard per-rail vote feeds the tamper statistics ((0,0)
+  // pairs can only come from extra stress); the soft dual-rail decode —
+  // which compares the two rails' zero-vote counts — recovers the payload
+  // and is robust to the occasional persistently-fast stressed cell column
+  // that defeats plain majority voting.
+  const BitVec voted = decode_replicas(extracted, layout, opts.vote);
+  report.replica_disagreement =
+      replica_disagreement(extracted, layout, voted);
+  const DualRailDecode rails = dual_rail_decode(voted);
+  report.invalid_00_pairs = rails.invalid_00;
+  report.invalid_11_pairs = rails.invalid_11;
+  const double pair_frac =
+      static_cast<double>(rails.invalid_00) /
+      static_cast<double>(rails.payload.size());
+  const BitVec soft_payload = soft_decode_dual_rail(extracted, layout);
+
+  // 5. Signature / CRC.
+  std::optional<WatermarkFields> fields;
+  if (opts.key) {
+    const SignedWatermark sw =
+        verify_signed_watermark(*opts.key, soft_payload, kFieldsBits);
+    report.signature_checked = true;
+    report.signature_ok = sw.signature_ok;
+    fields = unpack_fields(sw.payload);
+  } else {
+    fields = unpack_fields(soft_payload);
+  }
+  report.fields = fields;
+
+  // 6. Verdict. Stress-attack signature first: (0,0) pairs can only come
+  // from extra stress on good cells (or rare good->bad read noise, hence the
+  // threshold).
+  if (pair_frac > opts.tamper_pair_fraction) {
+    report.verdict = Verdict::kTampered;
+    return report;
+  }
+  if (opts.key && !report.signature_ok) {
+    // Readable but signature does not verify: either tampered or decoded
+    // with errors; a clean dual-rail stream with a bad tag is tampering.
+    report.verdict = rails.clean() ? Verdict::kTampered : Verdict::kUnreadable;
+    return report;
+  }
+  if (!fields) {
+    report.verdict = Verdict::kUnreadable;
+    return report;
+  }
+  report.verdict = Verdict::kGenuine;
+  return report;
+}
+
+}  // namespace flashmark
+
+namespace flashmark {
+
+TpewTuneResult auto_tune_tpew(FlashHal& hal, Addr addr,
+                              const VerifyOptions& base, SimTime lo,
+                              SimTime hi, SimTime step) {
+  if (step <= SimTime{} || hi < lo)
+    throw std::invalid_argument("auto_tune_tpew: bad sweep range");
+  const std::size_t payload_bits =
+      kFieldsBits + (base.key ? kSignatureBits : 0);
+  const ReplicaLayout layout{payload_bits * 2, base.n_replicas};
+
+  TpewTuneResult best;
+  bool first = true;
+  for (SimTime t = lo; t <= hi; t += step) {
+    ExtractOptions eo;
+    eo.t_pew = t;
+    const ExtractResult ext = extract_flashmark(hal, addr, eo);
+    const BitVec region = ext.bits.slice(0, layout.used_bits());
+    const double zero_frac = static_cast<double>(region.zero_count()) /
+                             static_cast<double>(region.size());
+    const BitVec voted = decode_replicas(ext.bits, layout, base.vote);
+    const double disagreement =
+        replica_disagreement(ext.bits, layout, voted);
+    // Balance term dominates (a dual-rail watermark is exactly half
+    // stressed); disagreement breaks ties between balanced windows.
+    const double score = std::abs(zero_frac - 0.5) + disagreement;
+    if (first || score < best.score) {
+      best = TpewTuneResult{t, score};
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace flashmark

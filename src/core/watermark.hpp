@@ -1,0 +1,138 @@
+// End-to-end Flashmark pipeline: the manufacturer-side imprint flow and the
+// system-integrator-side verification flow (paper §IV), combining the codec,
+// signature, replication, imprint and extraction layers.
+//
+// Encoding chain (manufacturer, at die sort):
+//   fields --pack+CRC--> 80 b --sign (optional)--> +64 b
+//          --dual-rail--> 2x  --replicate R times--> segment pattern
+//          --ImprintFlashmark(NPE cycles)--> physical watermark
+//
+// Verification chain (system integrator, incoming inspection):
+//   ExtractFlashmark(tPEW) --replica vote--> dual-rail decode
+//   --signature check--> field unpack --> verdict
+//
+// Verdicts:
+//   kGenuine     — decoded cleanly, signature/CRC valid
+//   kNoWatermark — no stress contrast in the watermark region: fresh, fully
+//                  recycled-and-rebranded, or digitally "forged" chip
+//   kTampered    — stress contrast present but dual-rail pairs were driven
+//                  to (0,0) or the signature fails: someone stressed extra
+//                  cells trying to alter the watermark
+//   kUnreadable  — contrast present but too corrupted to decode (wrong
+//                  tPEW, insufficient NPE, or severe wear)
+#pragma once
+
+#include <optional>
+
+#include "core/codec.hpp"
+#include "core/extract.hpp"
+#include "core/imprint.hpp"
+#include "core/replicate.hpp"
+#include "core/signature.hpp"
+#include "flash/hal.hpp"
+#include "util/siphash.hpp"
+
+namespace flashmark {
+
+struct WatermarkSpec {
+  WatermarkFields fields;
+  /// Present => payload is signed with this key before dual-rail encoding.
+  std::optional<SipHashKey> key;
+  std::size_t n_replicas = 7;
+  std::uint32_t npe = 60'000;
+  ImprintStrategy strategy = ImprintStrategy::kLoop;
+  bool accelerated = true;  ///< premature-exit erases during imprint
+
+  /// Bits of one replica after signing and dual-rail encoding.
+  std::size_t replica_bits() const {
+    return (kFieldsBits + (key ? kSignatureBits : 0)) * 2;
+  }
+};
+
+struct EncodedWatermark {
+  BitVec signed_payload;   ///< fields (+tag) before dual-rail
+  BitVec replica;          ///< one dual-rail-encoded replica
+  BitVec segment_pattern;  ///< full segment imprint pattern
+  ReplicaLayout layout;
+};
+
+/// Build the segment imprint pattern for `spec` on a segment of
+/// `segment_cells` cells. Throws if the replicas do not fit.
+EncodedWatermark encode_watermark(const WatermarkSpec& spec,
+                                  std::size_t segment_cells);
+
+/// Manufacturer flow: encode and imprint in one call. Returns the imprint
+/// report (timing) — keep the EncodedWatermark if the reference pattern is
+/// needed for BER studies.
+ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
+                                const WatermarkSpec& spec);
+
+struct VerifyOptions {
+  SimTime t_pew = SimTime::us(28);  ///< family window published by the vendor
+  std::size_t n_replicas = 7;
+  /// Must match the manufacturer's choice to check signatures; without it
+  /// only CRC and dual-rail integrity are checked.
+  std::optional<SipHashKey> key;
+  VoteMode vote = VoteMode::kMajority;
+  int n_reads = 1;
+  int rounds = 1;
+  bool accelerated_erase = false;
+  /// Below this fraction of stressed (0) bits in the watermark region the
+  /// chip is declared kNoWatermark (a real watermark is ~50% by
+  /// construction of the dual-rail code).
+  double min_zero_fraction = 0.10;
+  /// Above this fraction of (0,0) dual-rail pairs the chip is declared
+  /// kTampered even if the payload still decodes.
+  double tamper_pair_fraction = 0.05;
+};
+
+enum class Verdict : std::uint8_t {
+  kGenuine,
+  kNoWatermark,
+  kTampered,
+  kUnreadable,
+};
+
+const char* to_string(Verdict v);
+
+struct VerifyReport {
+  Verdict verdict = Verdict::kUnreadable;
+  std::optional<WatermarkFields> fields;  ///< decoded metadata if readable
+  bool signature_checked = false;
+  bool signature_ok = false;
+  std::size_t invalid_00_pairs = 0;
+  std::size_t invalid_11_pairs = 0;
+  double zero_fraction = 0.0;         ///< stress contrast in watermark region
+  double replica_disagreement = 0.0;  ///< replica consistency (0 = perfect)
+  SimTime extract_time;
+};
+
+/// System-integrator flow: extract, decode, and judge the chip at `addr`.
+VerifyReport verify_watermark(FlashHal& hal, Addr addr,
+                              const VerifyOptions& opts);
+
+/// Substrate-independent back half of verification: decode an extracted
+/// bitmap (from any flash technology) and produce the verdict. Used by the
+/// NOR pipeline above and by the NAND extension; extract_time is left zero
+/// for the caller to fill.
+VerifyReport judge_extracted_bits(const BitVec& extracted,
+                                  const VerifyOptions& opts);
+
+struct TpewTuneResult {
+  SimTime t_pew;       ///< best window found
+  double score = 0.0;  ///< lower is better (see auto_tune_tpew)
+};
+
+/// Integrator-side window search when the family's published tPEW is
+/// unavailable: sweep [lo, hi] with single-read extractions and pick the
+/// window whose watermark region looks most like a healthy dual-rail
+/// watermark — zero fraction closest to 1/2 and replicas most consistent.
+/// Each probe costs one P/E cycle of wear on the watermark segment
+/// (identical to one extraction round).
+TpewTuneResult auto_tune_tpew(FlashHal& hal, Addr addr,
+                              const VerifyOptions& base,
+                              SimTime lo = SimTime::us(15),
+                              SimTime hi = SimTime::us(60),
+                              SimTime step = SimTime::us(3));
+
+}  // namespace flashmark

@@ -1,0 +1,246 @@
+#include "flash/array.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace flashmark {
+
+FlashArray::FlashArray(FlashGeometry geometry, PhysParams phys,
+                       std::uint64_t die_seed)
+    : geom_(geometry),
+      phys_(phys),
+      die_seed_(die_seed),
+      noise_rng_(die_seed ^ 0xC0FFEE5EED5A11ADull),
+      segments_(geometry.n_segments()) {
+  geom_.validate();
+  phys_.validate();
+}
+
+std::vector<Cell>& FlashArray::ensure_segment(std::size_t seg) {
+  if (seg >= segments_.size())
+    throw std::out_of_range("FlashArray: segment index out of range");
+  auto& slot = segments_[seg];
+  if (!slot) {
+    // Per-segment manufacturing stream: independent of touch order.
+    std::uint64_t sm = die_seed_ ^ (0x9E3779B97F4A7C15ull * (seg + 1));
+    Rng seg_rng(splitmix64(sm));
+    const std::size_t n = geom_.segment_cells(seg);
+    slot = std::make_unique<std::vector<Cell>>();
+    slot->reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      slot->push_back(Cell::manufacture(phys_, seg_rng));
+  }
+  return *slot;
+}
+
+std::pair<std::size_t, std::size_t> FlashArray::locate_word(Addr addr) const {
+  if (!geom_.valid(addr))
+    throw std::out_of_range("FlashArray: address outside flash");
+  if (!geom_.word_aligned(addr))
+    throw std::invalid_argument("FlashArray: unaligned word address");
+  const std::size_t seg = geom_.segment_index(addr);
+  const Addr base = geom_.segment_base(seg);
+  const std::size_t cell0 = static_cast<std::size_t>(addr - base) * 8;
+  return {seg, cell0};
+}
+
+void FlashArray::erase_segment(std::size_t seg) {
+  for (auto& c : ensure_segment(seg)) c.full_erase(phys_);
+}
+
+void FlashArray::set_temperature_c(double t) {
+  const double factor = 1.0 + phys_.temp_erase_accel_per_K * (t - 25.0);
+  if (factor <= 0.05)
+    throw std::invalid_argument("set_temperature_c: temperature out of model range");
+  temperature_c_ = t;
+}
+
+void FlashArray::partial_erase_segment(std::size_t seg, double t_pe_us) {
+  if (t_pe_us < 0.0)
+    throw std::invalid_argument("partial_erase_segment: negative time");
+  // Hot silicon erases faster: the same wall-clock pulse delivers more
+  // effective exposure.
+  const double effective =
+      t_pe_us *
+      (1.0 + phys_.temp_erase_accel_per_K * (temperature_c_ - 25.0));
+  for (auto& c : ensure_segment(seg))
+    c.partial_erase(phys_, effective, noise_rng_);
+}
+
+void FlashArray::program_word(Addr addr, std::uint16_t value) {
+  const auto [seg, cell0] = locate_word(addr);
+  auto& cells = ensure_segment(seg);
+  for (std::size_t b = 0; b < geom_.bits_per_word(); ++b)
+    if (((value >> b) & 1u) == 0) cells[cell0 + b].program(phys_);
+}
+
+void FlashArray::partial_program_word(Addr addr, std::uint16_t value,
+                                      double fraction) {
+  if (fraction <= 0.0)
+    throw std::invalid_argument("partial_program_word: fraction must be > 0");
+  const auto [seg, cell0] = locate_word(addr);
+  auto& cells = ensure_segment(seg);
+  for (std::size_t b = 0; b < geom_.bits_per_word(); ++b)
+    if (((value >> b) & 1u) == 0)
+      cells[cell0 + b].partial_program(phys_, fraction, noise_rng_);
+}
+
+std::uint16_t FlashArray::read_word(Addr addr) {
+  const auto [seg, cell0] = locate_word(addr);
+  auto& cells = ensure_segment(seg);
+  std::uint16_t value = 0;
+  for (std::size_t b = 0; b < geom_.bits_per_word(); ++b)
+    if (cells[cell0 + b].read(phys_, noise_rng_))
+      value |= static_cast<std::uint16_t>(1u << b);
+  return value;
+}
+
+std::size_t FlashArray::count_erased(std::size_t seg) {
+  const auto& cells = ensure_segment(seg);
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const Cell& c) { return c.erased(); }));
+}
+
+BitVec FlashArray::snapshot(std::size_t seg) {
+  const auto& cells = ensure_segment(seg);
+  BitVec v(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) v.set(i, cells[i].erased());
+  return v;
+}
+
+double FlashArray::time_to_full_erase_us(std::size_t seg) {
+  const auto& cells = ensure_segment(seg);
+  double max_tte = 0.0;
+  for (const auto& c : cells)
+    if (!c.erased()) max_tte = std::max(max_tte, c.tte_us(phys_));
+  return max_tte;
+}
+
+SegmentWearStats FlashArray::wear_stats(std::size_t seg) {
+  const auto& cells = ensure_segment(seg);
+  SegmentWearStats s;
+  bool first = true;
+  double sum_cycles = 0.0;
+  double sum_tte = 0.0;
+  for (const auto& c : cells) {
+    const double n = c.eff_cycles();
+    const double tte = c.tte_us(phys_);
+    if (first) {
+      s.eff_cycles_min = s.eff_cycles_max = n;
+      s.tte_min_us = s.tte_max_us = tte;
+      first = false;
+    } else {
+      s.eff_cycles_min = std::min(s.eff_cycles_min, n);
+      s.eff_cycles_max = std::max(s.eff_cycles_max, n);
+      s.tte_min_us = std::min(s.tte_min_us, tte);
+      s.tte_max_us = std::max(s.tte_max_us, tte);
+    }
+    sum_cycles += n;
+    sum_tte += tte;
+  }
+  if (!cells.empty()) {
+    s.eff_cycles_mean = sum_cycles / static_cast<double>(cells.size());
+    s.tte_mean_us = sum_tte / static_cast<double>(cells.size());
+  }
+  return s;
+}
+
+const Cell& FlashArray::cell(std::size_t seg, std::size_t idx) {
+  const auto& cells = ensure_segment(seg);
+  if (idx >= cells.size())
+    throw std::out_of_range("FlashArray::cell: cell index out of range");
+  return cells[idx];
+}
+
+bool FlashArray::segment_materialized(std::size_t seg) const {
+  if (seg >= segments_.size())
+    throw std::out_of_range("segment_materialized: segment out of range");
+  return segments_[seg] != nullptr;
+}
+
+void FlashArray::save_segments(std::ostream& os) const {
+  std::size_t n = 0;
+  for (const auto& slot : segments_)
+    if (slot) ++n;
+  os << "FMSEGS 1\n" << n << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t seg = 0; seg < segments_.size(); ++seg) {
+    if (!segments_[seg]) continue;
+    const auto& cells = *segments_[seg];
+    os << "SEG " << seg << " " << cells.size() << "\n";
+    for (const Cell& c : cells) {
+      const Cell::Snapshot s = c.snapshot_state();
+      os << s.tte_fresh_us << ' ' << s.susceptibility << ' ' << s.eff_cycles
+         << ' ' << s.annealed << ' ' << static_cast<int>(s.level) << ' '
+         << static_cast<int>(s.defect) << ' ' << static_cast<int>(s.metastable)
+         << ' ' << s.margin_us << "\n";
+    }
+  }
+  os << "END\n";
+}
+
+void FlashArray::load_segments(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "FMSEGS" || version != 1)
+    throw std::runtime_error("load_segments: bad header");
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error("load_segments: bad segment count");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string tag;
+    std::size_t seg = 0, ncells = 0;
+    if (!(is >> tag >> seg >> ncells) || tag != "SEG")
+      throw std::runtime_error("load_segments: bad segment header");
+    if (seg >= segments_.size() || ncells != geom_.segment_cells(seg))
+      throw std::runtime_error("load_segments: segment shape mismatch");
+    auto cells = std::make_unique<std::vector<Cell>>();
+    cells->reserve(ncells);
+    for (std::size_t c = 0; c < ncells; ++c) {
+      Cell::Snapshot s{};
+      int level = 0, defect = 0, meta = 0;
+      if (!(is >> s.tte_fresh_us >> s.susceptibility >> s.eff_cycles >>
+            s.annealed >> level >> defect >> meta >> s.margin_us))
+        throw std::runtime_error("load_segments: truncated cell data");
+      s.level = static_cast<std::uint8_t>(level);
+      s.defect = static_cast<std::uint8_t>(defect);
+      s.metastable = static_cast<std::uint8_t>(meta);
+      cells->push_back(Cell::restore(s));
+    }
+    segments_[seg] = std::move(cells);
+  }
+  std::string end;
+  if (!(is >> end) || end != "END")
+    throw std::runtime_error("load_segments: missing END");
+}
+
+void FlashArray::bake(double hours) {
+  for (auto& slot : segments_)
+    if (slot)
+      for (auto& c : *slot) c.bake(phys_, hours);
+}
+
+void FlashArray::age(double years) {
+  for (auto& slot : segments_)
+    if (slot)
+      for (auto& c : *slot) c.age(phys_, years, noise_rng_);
+}
+
+void FlashArray::wear_segment(std::size_t seg, double cycles,
+                              const BitVec* pattern) {
+  auto& cells = ensure_segment(seg);
+  if (pattern && pattern->size() != cells.size())
+    throw std::invalid_argument(
+        "wear_segment: pattern length must equal cell count");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool programmed_each_cycle = pattern ? !pattern->get(i) : true;
+    cells[i].batch_stress(phys_, cycles, programmed_each_cycle,
+                          /*end_programmed=*/pattern != nullptr);
+  }
+}
+
+}  // namespace flashmark

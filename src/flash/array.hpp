@@ -1,0 +1,122 @@
+// The flash cell matrix of one die.
+//
+// Owns every Cell, maps word addresses onto cells, and implements the
+// physical side of each controller command. Segments are manufactured
+// lazily, each from its own RNG stream derived from (die seed, segment
+// index), so a given die always grows the same cells no matter which
+// experiment touches which segment first.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "flash/geometry.hpp"
+#include "phys/cell.hpp"
+#include "phys/params.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+
+/// Wear summary of a segment, used by the recycled-flash detector baseline
+/// and by white-box tests.
+struct SegmentWearStats {
+  double eff_cycles_min = 0.0;
+  double eff_cycles_mean = 0.0;
+  double eff_cycles_max = 0.0;
+  double tte_min_us = 0.0;
+  double tte_mean_us = 0.0;
+  double tte_max_us = 0.0;
+};
+
+class FlashArray {
+ public:
+  FlashArray(FlashGeometry geometry, PhysParams phys, std::uint64_t die_seed);
+
+  const FlashGeometry& geometry() const { return geom_; }
+  const PhysParams& phys() const { return phys_; }
+  std::uint64_t die_seed() const { return die_seed_; }
+
+  /// Junction temperature in Celsius (default 25). Erase physics speeds up
+  /// when hot: a partial-erase pulse of t delivers an effective exposure of
+  /// t * (1 + temp_erase_accel_per_K * (T - 25)). Models verifying on a
+  /// hot/cold production line with a 25 C-published window.
+  void set_temperature_c(double t);
+  double temperature_c() const { return temperature_c_; }
+
+  // --- physical operations (called by the controller) -------------------
+  /// Full erase pulse over one segment.
+  void erase_segment(std::size_t seg);
+  /// Erase pulse over one segment aborted after t_pe_us microseconds.
+  void partial_erase_segment(std::size_t seg, double t_pe_us);
+  /// Program `value` into the word at `addr`: bits that are 0 receive a
+  /// program pulse; bits that are 1 leave their cells untouched (NOR flash
+  /// can only clear bits).
+  void program_word(Addr addr, std::uint16_t value);
+  /// Program pulse aborted at `fraction` (0..1] of the nominal word time.
+  void partial_program_word(Addr addr, std::uint16_t value, double fraction);
+  /// One (noisy) read of the word at `addr`.
+  std::uint16_t read_word(Addr addr);
+
+  // --- introspection ------------------------------------------------------
+  /// Noise-free count of erased cells in a segment.
+  std::size_t count_erased(std::size_t seg);
+  /// Noise-free snapshot of a segment: bit i == 1 iff cell i is erased.
+  BitVec snapshot(std::size_t seg);
+  /// Time (us) an erase pulse must run before every currently-programmed
+  /// cell of the segment has transitioned (max nominal tte). Models the
+  /// controller-side erase-verify used by the accelerated imprint. Returns 0
+  /// for a fully-erased segment.
+  double time_to_full_erase_us(std::size_t seg);
+  SegmentWearStats wear_stats(std::size_t seg);
+  /// Direct cell access for white-box tests and physics dumps.
+  const Cell& cell(std::size_t seg, std::size_t idx);
+
+  // --- persistence ---------------------------------------------------------
+  /// True if the segment's cells have been manufactured (touched) already.
+  bool segment_materialized(std::size_t seg) const;
+  /// Write all materialized segments as a versioned text block ("FMSEGS").
+  void save_segments(std::ostream& os) const;
+  /// Restore segments from a save_segments block. Untouched segments stay
+  /// lazy (they re-manufacture identically from the die seed). Throws
+  /// std::runtime_error on format errors.
+  void load_segments(std::istream& is);
+
+  /// High-temperature bake of the whole die for `hours` (thermal, not a
+  /// digital command — the counterfeiter's refurbishing oven). Applies
+  /// Cell::bake to every manufactured cell; untouched segments are fresh
+  /// and unaffected by definition.
+  void bake(double hours);
+
+  /// Shelf aging of the whole die by `years`: programmed cells may leak
+  /// below the sense level (Cell::age); wear is untouched. Stored data
+  /// decays; the watermark contrast survives.
+  void age(double years);
+
+  // --- simulation-only accelerator ---------------------------------------
+  /// Apply the stress of `cycles` imprint P/E cycles in O(cells): cells
+  /// whose `pattern` bit is 0 are treated as programmed every cycle, bit 1
+  /// as kept erased. With a pattern the segment finishes holding the
+  /// pattern (the Fig. 7 imprint loop ends on a program); a null pattern
+  /// stresses every cell and finishes erased (the §III pre-conditioning
+  /// loop ends on an erase). Verified against the real loop by tests.
+  void wear_segment(std::size_t seg, double cycles,
+                    const BitVec* pattern = nullptr);
+
+ private:
+  std::vector<Cell>& ensure_segment(std::size_t seg);
+  /// Maps a word address to (segment, first cell index); validates
+  /// alignment and range.
+  std::pair<std::size_t, std::size_t> locate_word(Addr addr) const;
+
+  FlashGeometry geom_;
+  PhysParams phys_;
+  std::uint64_t die_seed_;
+  double temperature_c_ = 25.0;
+  Rng noise_rng_;
+  std::vector<std::unique_ptr<std::vector<Cell>>> segments_;
+};
+
+}  // namespace flashmark

@@ -1,0 +1,232 @@
+#include "flash/controller.hpp"
+
+#include <algorithm>
+
+namespace flashmark {
+
+const char* to_string(FlashStatus s) {
+  switch (s) {
+    case FlashStatus::kOk: return "ok";
+    case FlashStatus::kBusy: return "busy";
+    case FlashStatus::kNotBusy: return "not-busy";
+    case FlashStatus::kLocked: return "locked";
+    case FlashStatus::kInvalidAddress: return "invalid-address";
+    case FlashStatus::kInvalidArgument: return "invalid-argument";
+  }
+  return "unknown";
+}
+
+FlashController::FlashController(FlashArray& array, FlashTiming timing,
+                                 SimClock& clock)
+    : array_(array), timing_(timing), clock_(clock) {}
+
+std::size_t FlashController::bank_of(Addr addr) const {
+  const auto& g = geometry();
+  if (g.in_main(addr)) return g.bank_index(addr);
+  return g.n_banks;  // info region pseudo-bank
+}
+
+FlashStatus FlashController::check_command(Addr addr) {
+  if (busy()) {
+    accv_ = true;
+    return FlashStatus::kBusy;
+  }
+  if (locked_) return FlashStatus::kLocked;
+  if (!geometry().valid(addr)) return FlashStatus::kInvalidAddress;
+  return FlashStatus::kOk;
+}
+
+FlashStatus FlashController::begin_segment_erase(Addr addr) {
+  if (auto st = check_command(addr); st != FlashStatus::kOk) return st;
+  const SimTime deadline =
+      clock_.now() + timing_.t_vpp_setup + timing_.t_erase_segment + timing_.t_vpp_setup;
+  op_ = Op{OpKind::kSegmentErase, addr, 0, clock_.now(), deadline};
+  return FlashStatus::kOk;
+}
+
+FlashStatus FlashController::begin_mass_erase(Addr addr) {
+  if (auto st = check_command(addr); st != FlashStatus::kOk) return st;
+  const SimTime deadline =
+      clock_.now() + timing_.t_vpp_setup + timing_.t_mass_erase + timing_.t_vpp_setup;
+  op_ = Op{OpKind::kMassErase, addr, 0, clock_.now(), deadline};
+  return FlashStatus::kOk;
+}
+
+FlashStatus FlashController::begin_program_word(Addr addr, std::uint16_t value) {
+  if (auto st = check_command(addr); st != FlashStatus::kOk) return st;
+  if (!geometry().word_aligned(addr)) return FlashStatus::kInvalidAddress;
+  const SimTime deadline =
+      clock_.now() + timing_.t_vpp_setup + timing_.t_prog_word;
+  op_ = Op{OpKind::kProgramWord, addr, value, clock_.now(), deadline};
+  return FlashStatus::kOk;
+}
+
+void FlashController::advance(SimTime dt) {
+  clock_.advance(dt);
+  if (op_ && clock_.now() >= op_->deadline) complete_op();
+}
+
+void FlashController::complete_op() {
+  const Op op = *op_;
+  op_.reset();
+  const auto& g = geometry();
+  switch (op.kind) {
+    case OpKind::kSegmentErase:
+      array_.erase_segment(g.segment_index(op.addr));
+      break;
+    case OpKind::kMassErase: {
+      const std::size_t bank = bank_of(op.addr);
+      for (std::size_t seg = 0; seg < g.n_segments(); ++seg)
+        if (bank_of(g.segment_base(seg)) == bank) array_.erase_segment(seg);
+      break;
+    }
+    case OpKind::kProgramWord:
+      array_.program_word(op.addr, op.value);
+      break;
+  }
+}
+
+FlashStatus FlashController::emergency_exit() {
+  if (!op_) return FlashStatus::kNotBusy;
+  abort_op();
+  return FlashStatus::kOk;
+}
+
+void FlashController::abort_op() {
+  const Op op = *op_;
+  op_.reset();
+  const auto& g = geometry();
+  // Pulse time excludes the voltage bring-up window at the start.
+  const SimTime elapsed = clock_.now() - op.start;
+  const SimTime pulse = std::max(SimTime{}, elapsed - timing_.t_vpp_setup);
+  switch (op.kind) {
+    case OpKind::kSegmentErase:
+      array_.partial_erase_segment(g.segment_index(op.addr), pulse.as_us());
+      break;
+    case OpKind::kMassErase: {
+      const std::size_t bank = bank_of(op.addr);
+      for (std::size_t seg = 0; seg < g.n_segments(); ++seg)
+        if (bank_of(g.segment_base(seg)) == bank)
+          array_.partial_erase_segment(seg, pulse.as_us());
+      break;
+    }
+    case OpKind::kProgramWord: {
+      const double frac = std::min(
+          1.0, pulse.as_us() / timing_.t_prog_word.as_us());
+      if (frac > 0.0)
+        array_.partial_program_word(op.addr, op.value, frac);
+      break;
+    }
+  }
+}
+
+FlashStatus FlashController::wait_complete() {
+  if (!op_) return FlashStatus::kNotBusy;
+  const SimTime dt = op_->deadline - clock_.now();
+  advance(dt > SimTime{} ? dt : SimTime{});
+  if (op_) complete_op();  // deadline exactly reached
+  return FlashStatus::kOk;
+}
+
+FlashStatus FlashController::segment_erase(Addr addr) {
+  if (auto st = begin_segment_erase(addr); st != FlashStatus::kOk) return st;
+  return wait_complete();
+}
+
+FlashStatus FlashController::segment_erase_auto(Addr addr, SimTime* pulse_out) {
+  if (auto st = check_command(addr); st != FlashStatus::kOk) return st;
+  const std::size_t seg = geometry().segment_index(addr);
+  const double needed_us = array_.time_to_full_erase_us(seg);
+  // Guard band over per-pulse jitter (sigma ~2%: x1.2 is ~9 sigma) plus a
+  // fixed verify margin.
+  const SimTime pulse =
+      needed_us > 0.0 ? SimTime::from_us(needed_us * 1.2 + 3.0) : SimTime::us(2);
+  if (pulse_out) *pulse_out = pulse;
+  if (pulse >= timing_.t_erase_segment) return segment_erase(addr);
+  return partial_segment_erase(addr, pulse);
+}
+
+FlashStatus FlashController::partial_segment_erase(Addr addr, SimTime t_pe) {
+  if (t_pe < SimTime{}) return FlashStatus::kInvalidArgument;
+  if (t_pe >= timing_.t_erase_segment) return segment_erase(addr);
+  if (auto st = begin_segment_erase(addr); st != FlashStatus::kOk) return st;
+  advance(timing_.t_vpp_setup + t_pe);
+  return emergency_exit();
+}
+
+FlashStatus FlashController::mass_erase(Addr addr) {
+  if (auto st = begin_mass_erase(addr); st != FlashStatus::kOk) return st;
+  return wait_complete();
+}
+
+FlashStatus FlashController::program_word(Addr addr, std::uint16_t value) {
+  if (auto st = begin_program_word(addr, value); st != FlashStatus::kOk)
+    return st;
+  return wait_complete();
+}
+
+FlashStatus FlashController::program_block(Addr addr,
+                                           const std::vector<std::uint16_t>& words) {
+  if (words.empty()) return FlashStatus::kInvalidArgument;
+  if (auto st = check_command(addr); st != FlashStatus::kOk) return st;
+  if (!geometry().word_aligned(addr)) return FlashStatus::kInvalidAddress;
+  const auto& g = geometry();
+  const Addr last = addr + static_cast<Addr>((words.size() - 1) * g.word_bytes);
+  if (!g.valid(last) || g.segment_index(addr) != g.segment_index(last))
+    return FlashStatus::kInvalidArgument;  // block must stay in one segment
+  clock_.advance(timing_.t_vpp_setup);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    array_.program_word(addr + static_cast<Addr>(i * g.word_bytes), words[i]);
+    clock_.advance(timing_.t_prog_word_block);
+  }
+  clock_.advance(timing_.t_vpp_setup);
+  return FlashStatus::kOk;
+}
+
+FlashStatus FlashController::partial_program_word(Addr addr, std::uint16_t value,
+                                                  SimTime t_prog) {
+  if (t_prog < SimTime{}) return FlashStatus::kInvalidArgument;
+  if (t_prog >= timing_.t_prog_word) return program_word(addr, value);
+  if (auto st = begin_program_word(addr, value); st != FlashStatus::kOk)
+    return st;
+  advance(timing_.t_vpp_setup + t_prog);
+  return emergency_exit();
+}
+
+std::uint16_t FlashController::read_word(Addr addr) {
+  if (!geometry().valid(addr) || !geometry().word_aligned(addr)) {
+    accv_ = true;
+    return 0xFFFF;
+  }
+  if (op_ && bank_of(op_->addr) == bank_of(addr)) {
+    accv_ = true;  // reading the bank being mutated
+    return 0xFFFF;
+  }
+  clock_.advance(timing_.t_read_word);
+  return array_.read_word(addr);
+}
+
+SimTime FlashController::imprint_cycle_time(std::size_t seg) const {
+  const std::size_t words =
+      array_.geometry().segment_bytes(seg) / array_.geometry().word_bytes;
+  const SimTime erase = timing_.t_vpp_setup + timing_.t_erase_segment +
+                        timing_.t_vpp_setup;
+  const SimTime prog = timing_.t_vpp_setup +
+                       timing_.t_prog_word_block * static_cast<std::int64_t>(words) +
+                       timing_.t_vpp_setup;
+  return erase + prog;
+}
+
+FlashStatus FlashController::wear_segment(Addr addr, double cycles,
+                                          const BitVec* pattern) {
+  if (busy()) return FlashStatus::kBusy;
+  if (locked_) return FlashStatus::kLocked;
+  if (!geometry().valid(addr)) return FlashStatus::kInvalidAddress;
+  if (cycles < 0.0) return FlashStatus::kInvalidArgument;
+  const std::size_t seg = geometry().segment_index(addr);
+  array_.wear_segment(seg, cycles, pattern);
+  clock_.advance(imprint_cycle_time(seg) * static_cast<std::int64_t>(cycles));
+  return FlashStatus::kOk;
+}
+
+}  // namespace flashmark

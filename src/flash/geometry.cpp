@@ -1,0 +1,73 @@
+#include "flash/geometry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flashmark {
+
+std::size_t FlashGeometry::segment_index(Addr a) const {
+  if (in_main(a))
+    return static_cast<std::size_t>(a - main_base) / main_segment_bytes;
+  if (in_info(a))
+    return n_main_segments() +
+           static_cast<std::size_t>(a - info_base) / info_segment_bytes;
+  throw std::out_of_range("FlashGeometry::segment_index: invalid address");
+}
+
+Addr FlashGeometry::segment_base(std::size_t idx) const {
+  if (idx < n_main_segments())
+    return main_base + static_cast<Addr>(idx * main_segment_bytes);
+  if (idx < n_segments())
+    return info_base +
+           static_cast<Addr>((idx - n_main_segments()) * info_segment_bytes);
+  throw std::out_of_range("FlashGeometry::segment_base: invalid segment");
+}
+
+std::size_t FlashGeometry::segment_bytes(std::size_t idx) const {
+  if (idx < n_main_segments()) return main_segment_bytes;
+  if (idx < n_segments()) return info_segment_bytes;
+  throw std::out_of_range("FlashGeometry::segment_bytes: invalid segment");
+}
+
+std::size_t FlashGeometry::bank_index(Addr a) const {
+  if (!in_main(a))
+    throw std::out_of_range("FlashGeometry::bank_index: not in main flash");
+  return static_cast<std::size_t>(a - main_base) / bank_bytes;
+}
+
+void FlashGeometry::validate() const {
+  auto require = [](bool cond, const char* what) {
+    if (!cond) throw std::invalid_argument(std::string("FlashGeometry: ") + what);
+  };
+  require(word_bytes > 0, "word_bytes must be > 0");
+  require(main_segment_bytes > 0 && main_segment_bytes % word_bytes == 0,
+          "main segment must be a multiple of the word size");
+  require(info_segment_bytes > 0 && info_segment_bytes % word_bytes == 0,
+          "info segment must be a multiple of the word size");
+  require(bank_bytes > 0 && bank_bytes % main_segment_bytes == 0,
+          "bank must be a multiple of the segment size");
+  require(n_banks > 0, "need at least one bank");
+  // The two regions must not overlap.
+  require(info_end() <= main_base || main_end() <= info_base,
+          "info and main regions overlap");
+}
+
+std::string FlashGeometry::describe() const {
+  std::ostringstream os;
+  os << "main " << main_bytes() / 1024 << "KiB @0x" << std::hex << main_base
+     << std::dec << " (" << main_segment_bytes << "B segs, " << n_banks
+     << " banks), info " << n_info_segments << "x" << info_segment_bytes
+     << "B @0x" << std::hex << info_base << std::dec;
+  return os.str();
+}
+
+FlashGeometry FlashGeometry::msp430f5438() { return FlashGeometry{}; }
+
+FlashGeometry FlashGeometry::msp430f5529() {
+  FlashGeometry g;
+  g.main_base = 0x4400;
+  g.n_banks = 2;  // 128 KiB
+  return g;
+}
+
+}  // namespace flashmark

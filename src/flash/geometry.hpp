@@ -1,0 +1,77 @@
+// NOR flash address-space geometry (paper §II).
+//
+// Mirrors the layout of MSP430F5xx embedded flash: a main memory of one or
+// more 64 KiB banks split into 512-byte segments, plus a small information
+// memory of 128-byte segments. Words are 16 bits; reads are random-access at
+// word granularity; erase granularity is one segment (or a whole bank for
+// mass erase).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flashmark {
+
+using Addr = std::uint32_t;
+
+struct FlashGeometry {
+  Addr main_base = 0x5C00;           ///< first byte of main flash
+  std::size_t bank_bytes = 64 * 1024;
+  std::size_t n_banks = 4;           ///< 256 KiB main flash (F5438 default)
+  std::size_t main_segment_bytes = 512;
+
+  Addr info_base = 0x1800;           ///< information memory (segments D..A)
+  std::size_t n_info_segments = 4;
+  std::size_t info_segment_bytes = 128;
+
+  std::size_t word_bytes = 2;        ///< 16-bit words
+
+  // --- derived quantities ------------------------------------------------
+  std::size_t main_bytes() const { return bank_bytes * n_banks; }
+  std::size_t segments_per_bank() const { return bank_bytes / main_segment_bytes; }
+  std::size_t n_main_segments() const { return n_banks * segments_per_bank(); }
+  std::size_t n_segments() const { return n_main_segments() + n_info_segments; }
+  std::size_t bits_per_word() const { return word_bytes * 8; }
+
+  Addr main_end() const { return main_base + static_cast<Addr>(main_bytes()); }
+  Addr info_end() const {
+    return info_base + static_cast<Addr>(n_info_segments * info_segment_bytes);
+  }
+
+  bool in_main(Addr a) const { return a >= main_base && a < main_end(); }
+  bool in_info(Addr a) const { return a >= info_base && a < info_end(); }
+  bool valid(Addr a) const { return in_main(a) || in_info(a); }
+
+  /// True if `a` is aligned to the word size.
+  bool word_aligned(Addr a) const { return a % word_bytes == 0; }
+
+  /// Global segment index: main segments first, then info segments.
+  /// Precondition: valid(a).
+  std::size_t segment_index(Addr a) const;
+
+  /// First byte address of global segment `idx`.
+  Addr segment_base(std::size_t idx) const;
+
+  /// Size in bytes of global segment `idx`.
+  std::size_t segment_bytes(std::size_t idx) const;
+
+  /// Number of cells (bits) in global segment `idx`.
+  std::size_t segment_cells(std::size_t idx) const { return segment_bytes(idx) * 8; }
+
+  /// Bank index of a main-memory address. Precondition: in_main(a).
+  std::size_t bank_index(Addr a) const;
+
+  /// Validation (sizes positive, segment divides bank, word divides segment);
+  /// throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// Debug rendering, e.g. "main 256KiB @0x5C00 (512B segs), info 4x128B @0x1800".
+  std::string describe() const;
+
+  // --- family presets ------------------------------------------------------
+  static FlashGeometry msp430f5438();  ///< 256 KiB main flash
+  static FlashGeometry msp430f5529();  ///< 128 KiB main flash
+};
+
+}  // namespace flashmark

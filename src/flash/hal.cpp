@@ -1,0 +1,80 @@
+#include "flash/hal.hpp"
+
+namespace flashmark {
+
+FlashHalError::FlashHalError(const std::string& op, FlashStatus status)
+    : std::runtime_error("flash HAL: " + op + " failed: " + to_string(status)),
+      status_(status) {}
+
+namespace {
+void check(FlashStatus st, const char* op) {
+  if (st != FlashStatus::kOk) throw FlashHalError(op, st);
+}
+
+/// Unlocks the controller for one command and restores the lock after —
+/// the host-driver discipline around every mutating flash command.
+class ScopedUnlock {
+ public:
+  explicit ScopedUnlock(FlashController& ctrl)
+      : ctrl_(ctrl), was_locked_(ctrl.locked()) {
+    ctrl_.set_lock(false);
+  }
+  ~ScopedUnlock() { ctrl_.set_lock(was_locked_); }
+
+ private:
+  FlashController& ctrl_;
+  bool was_locked_;
+};
+}  // namespace
+
+void ControllerHal::erase_segment(Addr addr) {
+  ScopedUnlock unlock(ctrl_);
+  check(ctrl_.segment_erase(addr), "erase_segment");
+}
+
+SimTime ControllerHal::erase_segment_auto(Addr addr) {
+  ScopedUnlock unlock(ctrl_);
+  SimTime pulse;
+  check(ctrl_.segment_erase_auto(addr, &pulse), "erase_segment_auto");
+  return pulse;
+}
+
+void ControllerHal::partial_erase_segment(Addr addr, SimTime t_pe) {
+  ScopedUnlock unlock(ctrl_);
+  check(ctrl_.partial_segment_erase(addr, t_pe), "partial_erase_segment");
+}
+
+void ControllerHal::program_word(Addr addr, std::uint16_t value) {
+  ScopedUnlock unlock(ctrl_);
+  check(ctrl_.program_word(addr, value), "program_word");
+}
+
+void ControllerHal::partial_program_word(Addr addr, std::uint16_t value,
+                                         SimTime t_prog) {
+  ScopedUnlock unlock(ctrl_);
+  check(ctrl_.partial_program_word(addr, value, t_prog),
+        "partial_program_word");
+}
+
+void ControllerHal::program_block(Addr addr,
+                                  const std::vector<std::uint16_t>& words) {
+  ScopedUnlock unlock(ctrl_);
+  check(ctrl_.program_block(addr, words), "program_block");
+}
+
+std::uint16_t ControllerHal::read_word(Addr addr) {
+  const std::uint16_t v = ctrl_.read_word(addr);
+  if (ctrl_.access_violation()) {
+    ctrl_.clear_access_violation();
+    throw FlashHalError("read_word", FlashStatus::kInvalidAddress);
+  }
+  return v;
+}
+
+void ControllerHal::wear_segment(Addr addr, double cycles,
+                                 const BitVec* pattern) {
+  ScopedUnlock unlock(ctrl_);
+  check(ctrl_.wear_segment(addr, cycles, pattern), "wear_segment");
+}
+
+}  // namespace flashmark

@@ -1,0 +1,90 @@
+// Hardware-abstraction boundary between the Flashmark algorithms and a
+// flash device.
+//
+// The paper's central deployment claim is that imprinting and extraction use
+// only standard digital commands. This interface *is* that command set; the
+// core library is written against it exclusively. Two implementations ship:
+// ControllerHal (directly over FlashController) and McuFlashHal (driving the
+// MSP430-style memory-mapped register front end), demonstrating that the
+// algorithms run unchanged over a register-level interface.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "flash/controller.hpp"
+#include "flash/geometry.hpp"
+#include "flash/timing.hpp"
+#include "util/bitvec.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+/// Thrown when a HAL command is refused by the device (protocol misuse,
+/// invalid address...). Algorithms treat this as a programming error.
+class FlashHalError : public std::runtime_error {
+ public:
+  FlashHalError(const std::string& op, FlashStatus status);
+  FlashStatus status() const { return status_; }
+
+ private:
+  FlashStatus status_;
+};
+
+class FlashHal {
+ public:
+  virtual ~FlashHal() = default;
+
+  virtual const FlashGeometry& geometry() const = 0;
+  virtual const FlashTiming& timing() const = 0;
+  virtual SimTime now() const = 0;
+
+  /// Full nominal erase of the segment containing `addr`.
+  virtual void erase_segment(Addr addr) = 0;
+  /// Erase-with-verify early exit; returns the pulse time used.
+  virtual SimTime erase_segment_auto(Addr addr) = 0;
+  /// Erase pulse of exactly `t_pe`, then emergency exit.
+  virtual void partial_erase_segment(Addr addr, SimTime t_pe) = 0;
+  virtual void program_word(Addr addr, std::uint16_t value) = 0;
+  /// Program pulse of exactly `t_prog` (< nominal), then emergency exit —
+  /// the sweeping-partial-program primitive of the FFD baseline (ref [6]).
+  virtual void partial_program_word(Addr addr, std::uint16_t value,
+                                    SimTime t_prog) = 0;
+  /// Block write (must stay within one segment).
+  virtual void program_block(Addr addr,
+                             const std::vector<std::uint16_t>& words) = 0;
+  virtual std::uint16_t read_word(Addr addr) = 0;
+
+  /// Simulation-only accelerator equivalent to `cycles` imprint P/E cycles
+  /// (see FlashController::wear_segment). Implementations without it throw.
+  virtual void wear_segment(Addr addr, double cycles,
+                            const BitVec* pattern = nullptr) = 0;
+};
+
+/// Direct adapter over FlashController; converts status codes to exceptions.
+class ControllerHal final : public FlashHal {
+ public:
+  explicit ControllerHal(FlashController& ctrl) : ctrl_(ctrl) {}
+
+  const FlashGeometry& geometry() const override { return ctrl_.geometry(); }
+  const FlashTiming& timing() const override { return ctrl_.timing(); }
+  SimTime now() const override { return ctrl_.now(); }
+
+  void erase_segment(Addr addr) override;
+  SimTime erase_segment_auto(Addr addr) override;
+  void partial_erase_segment(Addr addr, SimTime t_pe) override;
+  void program_word(Addr addr, std::uint16_t value) override;
+  void partial_program_word(Addr addr, std::uint16_t value,
+                            SimTime t_prog) override;
+  void program_block(Addr addr,
+                     const std::vector<std::uint16_t>& words) override;
+  std::uint16_t read_word(Addr addr) override;
+  void wear_segment(Addr addr, double cycles,
+                    const BitVec* pattern = nullptr) override;
+
+ private:
+  FlashController& ctrl_;
+};
+
+}  // namespace flashmark

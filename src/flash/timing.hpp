@@ -1,0 +1,41 @@
+// Datasheet-style timing constants for the simulated flash controller.
+//
+// Values track the MSP430F543x datasheet ranges quoted in the paper
+// (TERASE ~ 23-35 ms, TPROG ~ 64-85 us) plus the paper's block-write
+// observation (~10 ms to program a 512-byte segment, i.e. ~40 us/word).
+#pragma once
+
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+struct FlashTiming {
+  /// Nominal full segment-erase time (voltage ramp + pulse + ramp-down).
+  SimTime t_erase_segment = SimTime::us(24'000);
+  /// Mass (bank) erase.
+  SimTime t_mass_erase = SimTime::us(24'000);
+  /// Single word program, byte/word write mode.
+  SimTime t_prog_word = SimTime::us(75);
+  /// Per-word program time in block-write mode (amortized setup).
+  SimTime t_prog_word_block = SimTime::us(40);
+  /// Random word read through the controller.
+  SimTime t_read_word = SimTime::ns(200);
+  /// Bring-up / removal of the programming voltage generators around every
+  /// program or erase command (paper §II.B).
+  SimTime t_vpp_setup = SimTime::us(5);
+
+  static FlashTiming msp430f5438() { return FlashTiming{}; }
+  static FlashTiming msp430f5529() { return FlashTiming{}; }
+};
+
+/// Monotone simulated clock shared by a device's flash subsystem.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+  void advance(SimTime dt) { now_ += dt; }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace flashmark

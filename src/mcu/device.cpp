@@ -1,0 +1,33 @@
+#include "mcu/device.hpp"
+
+namespace flashmark {
+
+DeviceConfig DeviceConfig::msp430f5438() {
+  DeviceConfig c;
+  c.family = "MSP430F5438";
+  c.geometry = FlashGeometry::msp430f5438();
+  c.timing = FlashTiming::msp430f5438();
+  c.phys = PhysParams::msp430_calibrated();
+  return c;
+}
+
+DeviceConfig DeviceConfig::msp430f5529() {
+  DeviceConfig c;
+  c.family = "MSP430F5529";
+  c.geometry = FlashGeometry::msp430f5529();
+  c.timing = FlashTiming::msp430f5529();
+  c.phys = PhysParams::msp430_calibrated();
+  return c;
+}
+
+Device::Device(DeviceConfig config, std::uint64_t die_seed)
+    : config_(std::move(config)), die_seed_(die_seed) {
+  array_ = std::make_unique<FlashArray>(config_.geometry, config_.phys,
+                                        die_seed_);
+  ctrl_ = std::make_unique<FlashController>(*array_, config_.timing, clock_);
+  module_ = std::make_unique<McuFlashModule>(*ctrl_);
+  direct_hal_ = std::make_unique<ControllerHal>(*ctrl_);
+  mcu_hal_ = std::make_unique<McuFlashHal>(*module_);
+}
+
+}  // namespace flashmark

@@ -1,0 +1,67 @@
+// A simulated microcontroller die: clock + flash array + controller +
+// register front end, created from a family preset and a die seed.
+//
+// One Device == one physical chip. The die seed determines every cell's
+// manufacturing variation, so two Devices with the same seed are the same
+// chip and two seeds are two samples from the same production line — this is
+// how the multi-chip experiments of the paper are expressed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "flash/array.hpp"
+#include "flash/controller.hpp"
+#include "flash/hal.hpp"
+#include "mcu/flash_module.hpp"
+#include "mcu/mcu_hal.hpp"
+
+namespace flashmark {
+
+struct DeviceConfig {
+  std::string family;  ///< e.g. "MSP430F5438"
+  FlashGeometry geometry;
+  FlashTiming timing;
+  PhysParams phys;
+
+  static DeviceConfig msp430f5438();
+  static DeviceConfig msp430f5529();
+};
+
+class Device {
+ public:
+  Device(DeviceConfig config, std::uint64_t die_seed);
+
+  // Non-copyable, non-movable: internal references tie the parts together.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceConfig& config() const { return config_; }
+  std::uint64_t die_seed() const { return die_seed_; }
+
+  SimClock& clock() { return clock_; }
+  FlashArray& array() { return *array_; }
+  FlashController& controller() { return *ctrl_; }
+  McuFlashModule& flash_module() { return *module_; }
+
+  /// Direct HAL (host driving the controller API).
+  FlashHal& hal() { return *direct_hal_; }
+  /// Register-level HAL (firmware driving FCTL registers).
+  FlashHal& mcu_hal() { return *mcu_hal_; }
+
+  /// Busy-wait `dt` of simulated time (e.g. a timer delay in firmware).
+  void delay(SimTime dt) { ctrl_->advance(dt); }
+
+ private:
+  DeviceConfig config_;
+  std::uint64_t die_seed_;
+  SimClock clock_;
+  std::unique_ptr<FlashArray> array_;
+  std::unique_ptr<FlashController> ctrl_;
+  std::unique_ptr<McuFlashModule> module_;
+  std::unique_ptr<ControllerHal> direct_hal_;
+  std::unique_ptr<McuFlashHal> mcu_hal_;
+};
+
+}  // namespace flashmark

@@ -1,0 +1,73 @@
+#include "mcu/flash_module.hpp"
+
+namespace flashmark {
+
+using namespace fctl;
+
+std::uint16_t McuFlashModule::read_reg(Addr reg) const {
+  switch (reg) {
+    case kFctl1:
+      return kFwKeyRead | fctl1_bits_;
+    case kFctl3: {
+      std::uint16_t v = kFwKeyRead;
+      if (ctrl_.busy()) v |= kBusy;
+      if (ctrl_.locked()) v |= kLock;
+      if (ctrl_.access_violation()) v |= kAccvifg;
+      if (keyv_) v |= kKeyv;
+      return v;
+    }
+    case kFctl4:
+    default:
+      return 0;
+  }
+}
+
+void McuFlashModule::write_reg(Addr reg, std::uint16_t value) {
+  if ((value & 0xFF00) != kFwKeyWrite) {
+    keyv_ = true;  // wrong password: write ignored, sticky flag raised
+    return;
+  }
+  const std::uint16_t bits = value & 0x00FF;
+  switch (reg) {
+    case kFctl1:
+      // Mode bits may only be changed while no operation is in flight.
+      if (!ctrl_.busy()) fctl1_bits_ = bits & (kErase | kMeras | kWrt | kBlkWrt);
+      break;
+    case kFctl3:
+      if (bits & kEmex) ctrl_.emergency_exit();
+      ctrl_.set_lock(bits & kLock);
+      if (!(bits & kAccvifg)) ctrl_.clear_access_violation();
+      if (!(bits & kKeyv)) keyv_ = false;
+      break;
+    default:
+      break;
+  }
+}
+
+void McuFlashModule::bus_write_word(Addr addr, std::uint16_t value) {
+  if (fctl1_bits_ & kErase) {
+    ctrl_.begin_segment_erase(addr);  // dummy write: value ignored
+    return;
+  }
+  if (fctl1_bits_ & kMeras) {
+    ctrl_.begin_mass_erase(addr);
+    return;
+  }
+  if (fctl1_bits_ & (kWrt | kBlkWrt)) {
+    ctrl_.begin_program_word(addr, value);
+    return;
+  }
+  // ROM-like: plain stores to flash do nothing but flag a violation.
+  (void)value;
+  ctrl_.raise_access_violation();
+}
+
+std::uint16_t McuFlashModule::bus_read_word(Addr addr) {
+  return ctrl_.read_word(addr);
+}
+
+void McuFlashModule::wait_while_busy(SimTime quantum) {
+  while (ctrl_.busy()) ctrl_.advance(quantum);
+}
+
+}  // namespace flashmark

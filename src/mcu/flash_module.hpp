@@ -1,0 +1,85 @@
+// Register-level flash-module front end, modeled after the MSP430F5xx
+// flash controller programming model (paper §II.B).
+//
+// The point of this layer is fidelity to the paper's deployment story:
+// watermarks are written and read "from the flash controller with standard
+// system commands". Everything the core library needs is reachable through
+// three memory-mapped registers and plain bus reads/writes:
+//
+//   FCTL1 (0x0140): FWKEY | BLKWRT | WRT | MERAS | ERASE   (mode bits)
+//   FCTL3 (0x0144): FWKEY | EMEX | LOCK | ACCVIFG | KEYV | BUSY
+//   FCTL4 (0x0146): reserved, reads 0 (kept for layout fidelity)
+//
+// Every write to FCTL1/FCTL3 must carry the FWKEY password (0xA5) in the
+// high byte; a wrong key sets the sticky KEYV flag and the write is ignored
+// (real silicon additionally resets the chip). With ERASE set, a dummy bus
+// write anywhere inside a segment starts that segment's erase; with MERAS,
+// a bank erase; with WRT, bus word-writes program words. EMEX aborts the
+// operation in flight — the primitive partial erase is built on.
+#pragma once
+
+#include <cstdint>
+
+#include "flash/controller.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+namespace fctl {
+// Register addresses (word access).
+inline constexpr Addr kFctl1 = 0x0140;
+inline constexpr Addr kFctl3 = 0x0144;
+inline constexpr Addr kFctl4 = 0x0146;
+
+// Password: high byte of every control-register write; reads back as 0x96xx.
+inline constexpr std::uint16_t kFwKeyWrite = 0xA500;
+inline constexpr std::uint16_t kFwKeyRead = 0x9600;
+
+// FCTL1 bits.
+inline constexpr std::uint16_t kErase = 0x0002;
+inline constexpr std::uint16_t kMeras = 0x0004;
+inline constexpr std::uint16_t kWrt = 0x0040;
+inline constexpr std::uint16_t kBlkWrt = 0x0080;
+
+// FCTL3 bits.
+inline constexpr std::uint16_t kBusy = 0x0001;
+inline constexpr std::uint16_t kKeyv = 0x0002;
+inline constexpr std::uint16_t kAccvifg = 0x0004;
+inline constexpr std::uint16_t kLock = 0x0010;
+inline constexpr std::uint16_t kEmex = 0x0020;
+}  // namespace fctl
+
+class McuFlashModule {
+ public:
+  explicit McuFlashModule(FlashController& ctrl) : ctrl_(ctrl) {}
+
+  /// Word read of a control register. Unknown register addresses read 0.
+  std::uint16_t read_reg(Addr reg) const;
+
+  /// Word write to a control register (password-checked).
+  void write_reg(Addr reg, std::uint16_t value);
+
+  /// CPU bus word write. Depending on the FCTL1 mode bits this triggers an
+  /// erase (value ignored) or programs `value`. With no mode bits set the
+  /// write is ignored (flash is ROM-like) and ACCVIFG is raised.
+  void bus_write_word(Addr addr, std::uint16_t value);
+
+  /// CPU bus word read (forwards the controller's busy-bank semantics).
+  std::uint16_t bus_read_word(Addr addr);
+
+  /// Spin-poll FCTL3.BUSY, advancing simulated time by `quantum` per poll,
+  /// until the in-flight operation completes.
+  void wait_while_busy(SimTime quantum = SimTime::us(1));
+
+  bool key_violation() const { return keyv_; }
+  void clear_key_violation() { keyv_ = false; }
+
+  FlashController& controller() { return ctrl_; }
+
+ private:
+  FlashController& ctrl_;
+  bool keyv_ = false;
+  std::uint16_t fctl1_bits_ = 0;  // mode bits currently latched
+};
+
+}  // namespace flashmark

@@ -1,0 +1,101 @@
+#include "mcu/mcu_hal.hpp"
+
+namespace flashmark {
+
+using namespace fctl;
+
+template <typename Fn>
+void McuFlashHal::with_mode(std::uint16_t mode_bits, Fn&& trigger) {
+  mod_.write_reg(kFctl3, kFwKeyWrite);              // clear LOCK
+  mod_.write_reg(kFctl1, kFwKeyWrite | mode_bits);  // arm mode
+  trigger();
+  mod_.write_reg(kFctl1, kFwKeyWrite);              // disarm
+  mod_.write_reg(kFctl3, kFwKeyWrite | kLock);      // re-lock
+}
+
+void McuFlashHal::erase_segment(Addr addr) {
+  with_mode(kErase, [&] {
+    mod_.bus_write_word(addr, 0);  // dummy write starts the erase
+    mod_.wait_while_busy(poll_quantum_);
+  });
+  if (mod_.controller().access_violation())
+    throw FlashHalError("mcu erase_segment", FlashStatus::kInvalidAddress);
+}
+
+SimTime McuFlashHal::erase_segment_auto(Addr addr) {
+  // The firmware driver cannot see cell analog state; it relies on the
+  // controller's erase-verify service, exposed here through the same
+  // synchronous entry the direct HAL uses.
+  SimTime pulse;
+  mod_.write_reg(kFctl3, kFwKeyWrite);
+  const FlashStatus st = mod_.controller().segment_erase_auto(addr, &pulse);
+  mod_.write_reg(kFctl3, kFwKeyWrite | kLock);
+  if (st != FlashStatus::kOk) throw FlashHalError("mcu erase_segment_auto", st);
+  return pulse;
+}
+
+void McuFlashHal::partial_erase_segment(Addr addr, SimTime t_pe) {
+  if (t_pe >= timing().t_erase_segment) {
+    erase_segment(addr);
+    return;
+  }
+  with_mode(kErase, [&] {
+    mod_.bus_write_word(addr, 0);
+    // Precise delay from a hardware timer, then emergency exit. The pulse
+    // starts after the voltage generators come up.
+    mod_.controller().advance(timing().t_vpp_setup + t_pe);
+    mod_.write_reg(kFctl3, kFwKeyWrite | kEmex);
+  });
+}
+
+void McuFlashHal::program_word(Addr addr, std::uint16_t value) {
+  with_mode(kWrt, [&] {
+    mod_.bus_write_word(addr, value);
+    mod_.wait_while_busy(poll_quantum_);
+  });
+}
+
+void McuFlashHal::partial_program_word(Addr addr, std::uint16_t value,
+                                       SimTime t_prog) {
+  if (t_prog >= timing().t_prog_word) {
+    program_word(addr, value);
+    return;
+  }
+  with_mode(kWrt, [&] {
+    mod_.bus_write_word(addr, value);
+    mod_.controller().advance(timing().t_vpp_setup + t_prog);
+    mod_.write_reg(kFctl3, kFwKeyWrite | kEmex);
+  });
+}
+
+void McuFlashHal::program_block(Addr addr,
+                                const std::vector<std::uint16_t>& words) {
+  // The register front end has no block engine of its own; it delegates to
+  // the controller's block-write service under BLKWRT, like the ROM-resident
+  // routine on real parts.
+  mod_.write_reg(kFctl3, kFwKeyWrite);
+  mod_.write_reg(kFctl1, kFwKeyWrite | kBlkWrt);
+  const FlashStatus st = mod_.controller().program_block(addr, words);
+  mod_.write_reg(kFctl1, kFwKeyWrite);
+  mod_.write_reg(kFctl3, kFwKeyWrite | kLock);
+  if (st != FlashStatus::kOk) throw FlashHalError("mcu program_block", st);
+}
+
+std::uint16_t McuFlashHal::read_word(Addr addr) {
+  const std::uint16_t v = mod_.bus_read_word(addr);
+  if (mod_.controller().access_violation()) {
+    mod_.controller().clear_access_violation();
+    throw FlashHalError("mcu read_word", FlashStatus::kInvalidAddress);
+  }
+  return v;
+}
+
+void McuFlashHal::wear_segment(Addr addr, double cycles,
+                               const BitVec* pattern) {
+  mod_.write_reg(kFctl3, kFwKeyWrite);
+  const FlashStatus st = mod_.controller().wear_segment(addr, cycles, pattern);
+  mod_.write_reg(kFctl3, kFwKeyWrite | kLock);
+  if (st != FlashStatus::kOk) throw FlashHalError("mcu wear_segment", st);
+}
+
+}  // namespace flashmark

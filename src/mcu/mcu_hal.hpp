@@ -1,0 +1,52 @@
+// FlashHal implementation that drives the register-level MCU front end.
+//
+// Exercises the same code path a firmware driver would: unlock via FCTL3,
+// arm the mode bits in FCTL1, trigger with bus writes, poll BUSY, use EMEX
+// for partial operations. The core algorithms run unchanged over this HAL —
+// the repository's demonstration of the paper's "standard digital
+// interface" claim (tests/integration assert ControllerHal and McuFlashHal
+// produce identical watermark behaviour).
+#pragma once
+
+#include "flash/hal.hpp"
+#include "mcu/flash_module.hpp"
+
+namespace flashmark {
+
+class McuFlashHal final : public FlashHal {
+ public:
+  /// `poll_quantum` is the simulated cost of one BUSY poll iteration.
+  explicit McuFlashHal(McuFlashModule& module,
+                       SimTime poll_quantum = SimTime::us(1))
+      : mod_(module), poll_quantum_(poll_quantum) {}
+
+  const FlashGeometry& geometry() const override {
+    return mod_.controller().geometry();
+  }
+  const FlashTiming& timing() const override {
+    return mod_.controller().timing();
+  }
+  SimTime now() const override { return mod_.controller().now(); }
+
+  void erase_segment(Addr addr) override;
+  SimTime erase_segment_auto(Addr addr) override;
+  void partial_erase_segment(Addr addr, SimTime t_pe) override;
+  void program_word(Addr addr, std::uint16_t value) override;
+  void partial_program_word(Addr addr, std::uint16_t value,
+                            SimTime t_prog) override;
+  void program_block(Addr addr,
+                     const std::vector<std::uint16_t>& words) override;
+  std::uint16_t read_word(Addr addr) override;
+  void wear_segment(Addr addr, double cycles,
+                    const BitVec* pattern = nullptr) override;
+
+ private:
+  /// Unlock, set FCTL1 mode bits, run `trigger`, then restore lock.
+  template <typename Fn>
+  void with_mode(std::uint16_t mode_bits, Fn&& trigger);
+
+  McuFlashModule& mod_;
+  SimTime poll_quantum_;
+};
+
+}  // namespace flashmark

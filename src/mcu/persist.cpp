@@ -1,0 +1,57 @@
+#include "mcu/persist.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace flashmark {
+
+DeviceConfig config_for_family(const std::string& family) {
+  if (family == "MSP430F5438") return DeviceConfig::msp430f5438();
+  if (family == "MSP430F5529") return DeviceConfig::msp430f5529();
+  throw std::runtime_error("unknown device family: " + family);
+}
+
+void save_device(Device& dev, std::ostream& os) {
+  os << "FLASHMARK-DIE 1\n"
+     << "family " << dev.config().family << "\n"
+     << "seed " << dev.die_seed() << "\n"
+     << "clock_ns " << dev.clock().now().as_ns() << "\n";
+  dev.array().save_segments(os);
+}
+
+bool save_device_file(Device& dev, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  save_device(dev, f);
+  return static_cast<bool>(f);
+}
+
+std::unique_ptr<Device> load_device(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "FLASHMARK-DIE" || version != 1)
+    throw std::runtime_error("load_device: bad header");
+
+  std::string tag, family;
+  std::uint64_t seed = 0;
+  std::int64_t clock_ns = 0;
+  if (!(is >> tag >> family) || tag != "family")
+    throw std::runtime_error("load_device: missing family");
+  if (!(is >> tag >> seed) || tag != "seed")
+    throw std::runtime_error("load_device: missing seed");
+  if (!(is >> tag >> clock_ns) || tag != "clock_ns")
+    throw std::runtime_error("load_device: missing clock");
+
+  auto dev = std::make_unique<Device>(config_for_family(family), seed);
+  dev->clock().advance(SimTime::ns(clock_ns));
+  dev->array().load_segments(is);
+  return dev;
+}
+
+std::unique_ptr<Device> load_device_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_device: cannot open " + path);
+  return load_device(f);
+}
+
+}  // namespace flashmark

@@ -1,0 +1,37 @@
+// Device persistence: save a simulated die to a file and load it back.
+//
+// Enables multi-step CLI workflows ("imprint today, verify tomorrow") and
+// exchanging die files between tools. Format is a versioned, human-readable
+// text file:
+//
+//   FLASHMARK-DIE 1
+//   family <preset name>
+//   seed <u64>
+//   clock_ns <i64>
+//   <FMSEGS block with every materialized segment's cell state>
+//
+// Limitations (documented, by design): the device is rebuilt from its
+// family *preset* (custom PhysParams/geometry are not persisted), and the
+// read-noise RNG stream restarts from the die seed — physical state is
+// exact, noise draws are not replayed.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "mcu/device.hpp"
+
+namespace flashmark {
+
+void save_device(Device& dev, std::ostream& os);
+bool save_device_file(Device& dev, const std::string& path);
+
+/// Throws std::runtime_error on format errors or unknown family names.
+std::unique_ptr<Device> load_device(std::istream& is);
+std::unique_ptr<Device> load_device_file(const std::string& path);
+
+/// Family preset lookup used by the loader ("MSP430F5438", "MSP430F5529").
+DeviceConfig config_for_family(const std::string& family);
+
+}  // namespace flashmark

@@ -1,0 +1,152 @@
+#include "nand/ftl.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace flashmark {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+void check(NandStatus st, const char* op) {
+  if (st != NandStatus::kOk)
+    throw std::runtime_error(std::string("ftl: ") + op +
+                             " failed: " + to_string(st));
+}
+}  // namespace
+
+Ftl::Ftl(NandController& nand, std::size_t first_block, std::size_t n_blocks,
+         std::size_t reserve_blocks)
+    : nand_(nand), reserve_blocks_(reserve_blocks) {
+  if (reserve_blocks_ < 2)
+    throw std::invalid_argument("Ftl: need at least 2 reserve blocks");
+  for (std::size_t b = first_block; b < first_block + n_blocks; ++b) {
+    if (!nand_.geometry().valid_block(b))
+      throw std::invalid_argument("Ftl: block range outside the chip");
+    if (!nand_.array().factory_bad(b)) blocks_.push_back(b);
+  }
+  if (blocks_.size() <= reserve_blocks_)
+    throw std::invalid_argument("Ftl: not enough good blocks");
+
+  state_.assign(blocks_.size(), BlockState{});
+  reverse_.assign(blocks_.size(),
+                  std::vector<std::size_t>(pages_per_block(), kNone));
+  logical_pages_ = (blocks_.size() - reserve_blocks_) * pages_per_block();
+  map_.assign(logical_pages_, std::nullopt);
+
+  open_slot_ = 0;
+  state_[0].free = false;
+}
+
+void Ftl::open_new_block() {
+  // Dynamic wear leveling: pick the free slot with the lowest erase count.
+  std::size_t best = kNone;
+  for (std::size_t s = 0; s < state_.size(); ++s) {
+    if (!state_[s].free) continue;
+    if (best == kNone || state_[s].erase_count < state_[best].erase_count)
+      best = s;
+  }
+  if (best == kNone) throw std::logic_error("Ftl: no free block to open");
+  state_[best].free = false;
+  open_slot_ = best;
+}
+
+Ftl::PhysAddr Ftl::append(const BitVec& data) {
+  BlockState& open = state_[open_slot_];
+  if (open.next_page >= pages_per_block())
+    throw std::logic_error("Ftl: open block full (caller must rotate)");
+  const PhysAddr pa{open_slot_, open.next_page};
+  check(nand_.page_program(blocks_[open_slot_], pa.page, data),
+        "page_program");
+  ++open.next_page;
+  ++open.valid_pages;
+  ++stats_.nand_writes;
+  return pa;
+}
+
+void Ftl::write(std::size_t logical_page, const BitVec& data) {
+  if (logical_page >= logical_pages_)
+    throw std::out_of_range("Ftl::write: logical page out of range");
+  if (data.size() != nand_.geometry().page_cells())
+    throw std::invalid_argument("Ftl::write: data size != page cells");
+  ++stats_.host_writes;
+
+  // Rotate the open block when full; GC if we are running out of space.
+  // GC itself may rotate the open block while relocating, in which case the
+  // post-GC open block already has room and must not be abandoned.
+  if (state_[open_slot_].next_page >= pages_per_block()) {
+    std::size_t free_count = 0;
+    for (const auto& s : state_) free_count += s.free ? 1 : 0;
+    if (free_count <= 1) garbage_collect();
+    if (state_[open_slot_].next_page >= pages_per_block()) open_new_block();
+  }
+
+  // Invalidate the previous location.
+  if (map_[logical_page]) {
+    const PhysAddr old = *map_[logical_page];
+    --state_[old.block_slot].valid_pages;
+    reverse_[old.block_slot][old.page] = kNone;
+  }
+  const PhysAddr pa = append(data);
+  map_[logical_page] = pa;
+  reverse_[pa.block_slot][pa.page] = logical_page;
+}
+
+void Ftl::garbage_collect() {
+  ++stats_.gc_runs;
+  // Victim: the non-open block with the fewest valid pages; ties broken by
+  // the LOWEST erase count so reclamation itself levels wear (a fixed
+  // tie-break would hammer one slot forever under hot workloads).
+  std::size_t victim = kNone;
+  for (std::size_t s = 0; s < state_.size(); ++s) {
+    if (s == open_slot_ || state_[s].free) continue;
+    if (victim == kNone ||
+        state_[s].valid_pages < state_[victim].valid_pages ||
+        (state_[s].valid_pages == state_[victim].valid_pages &&
+         state_[s].erase_count < state_[victim].erase_count))
+      victim = s;
+  }
+  if (victim == kNone) throw std::logic_error("Ftl: no GC victim");
+
+  // Relocate the victim's valid pages into the open block (the caller
+  // guarantees the open block has room or will rotate right after; to keep
+  // the invariant simple we relocate through fresh open blocks as needed).
+  for (std::size_t page = 0; page < pages_per_block(); ++page) {
+    const std::size_t lp = reverse_[victim][page];
+    if (lp == kNone) continue;
+    if (state_[open_slot_].next_page >= pages_per_block()) open_new_block();
+    BitVec data;
+    check(nand_.page_read(blocks_[victim], page, &data), "gc read");
+    const PhysAddr pa = append(data);
+    map_[lp] = pa;
+    reverse_[pa.block_slot][pa.page] = lp;
+    reverse_[victim][page] = kNone;
+  }
+  check(nand_.block_erase(blocks_[victim]), "gc erase");
+  ++stats_.block_erases;
+  const std::uint64_t erases = state_[victim].erase_count + 1;
+  state_[victim] = BlockState{};
+  state_[victim].erase_count = erases;
+  std::fill(reverse_[victim].begin(), reverse_[victim].end(), kNone);
+}
+
+BitVec Ftl::read(std::size_t logical_page) {
+  if (logical_page >= logical_pages_)
+    throw std::out_of_range("Ftl::read: logical page out of range");
+  if (!map_[logical_page])
+    return BitVec(nand_.geometry().page_cells(), true);
+  const PhysAddr pa = *map_[logical_page];
+  BitVec data;
+  check(nand_.page_read(blocks_[pa.block_slot], pa.page, &data), "read");
+  return data;
+}
+
+std::vector<std::uint64_t> Ftl::erase_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(state_.size());
+  for (const auto& s : state_) out.push_back(s.erase_count);
+  return out;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,99 @@
+// Minimal flash translation layer (FTL) over the NAND substrate.
+//
+// Why it is here: the paper's threat model starts from flash chips that
+// lived inside products. Products do not P/E-hammer one block — they run a
+// wear-leveled FTL that spreads erases across the whole array. This module
+// provides that realistic "field life" workload generator: logical page
+// writes go through a log-structured mapping with round-robin-least-worn
+// block allocation and garbage collection, so a simulated used chip shows
+// the genuine wear *distribution* a recycled-flash detector faces.
+//
+// Design (deliberately classic):
+//   * page-mapped, log-structured: each logical-page write appends to the
+//     currently open block and invalidates the old physical page;
+//   * allocation picks the free block with the lowest erase count
+//     (dynamic wear leveling);
+//   * GC triggers when free blocks run low: the block with the fewest
+//     valid pages is compacted into the open block and erased;
+//   * factory-bad blocks are skipped at mount.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nand/nand_controller.hpp"
+#include "nand/nand_watermark.hpp"
+
+namespace flashmark {
+
+struct FtlStats {
+  std::uint64_t host_writes = 0;   ///< logical page writes
+  std::uint64_t nand_writes = 0;   ///< physical page programs (incl. GC)
+  std::uint64_t gc_runs = 0;
+  std::uint64_t block_erases = 0;
+  double write_amplification() const {
+    return host_writes ? static_cast<double>(nand_writes) /
+                             static_cast<double>(host_writes)
+                       : 0.0;
+  }
+};
+
+class Ftl {
+ public:
+  /// Mounts the FTL on blocks [first_block, first_block + n_blocks) of the
+  /// chip, skipping factory-bad blocks. `reserve_blocks` (>= 2) are kept
+  /// free for GC headroom; the rest carry data.
+  Ftl(NandController& nand, std::size_t first_block, std::size_t n_blocks,
+      std::size_t reserve_blocks = 2);
+
+  /// Number of logical pages exposed to the host.
+  std::size_t logical_pages() const { return logical_pages_; }
+
+  /// Write one logical page (data sized page_cells bits).
+  void write(std::size_t logical_page, const BitVec& data);
+
+  /// Read a logical page; all-ones if never written.
+  BitVec read(std::size_t logical_page);
+
+  const FtlStats& stats() const { return stats_; }
+
+  /// Erase counts per managed block (wear-leveling observability).
+  std::vector<std::uint64_t> erase_counts() const;
+
+  /// Managed physical block indices (for detector probes).
+  const std::vector<std::size_t>& managed_blocks() const { return blocks_; }
+
+ private:
+  struct PhysAddr {
+    std::size_t block_slot;  ///< index into blocks_
+    std::size_t page;
+  };
+
+  struct BlockState {
+    std::uint64_t erase_count = 0;
+    std::size_t next_page = 0;           ///< append cursor
+    std::size_t valid_pages = 0;
+    bool free = true;
+  };
+
+  std::size_t pages_per_block() const {
+    return nand_.geometry().pages_per_block;
+  }
+  void open_new_block();
+  void garbage_collect();
+  PhysAddr append(const BitVec& data);
+
+  NandController& nand_;
+  std::vector<std::size_t> blocks_;     ///< physical block per slot
+  std::vector<BlockState> state_;       ///< per slot
+  std::vector<std::optional<PhysAddr>> map_;  ///< logical page -> phys
+  /// Reverse map: (slot, page) -> logical page (or npos) for GC.
+  std::vector<std::vector<std::size_t>> reverse_;
+  std::size_t open_slot_ = 0;
+  std::size_t reserve_blocks_;
+  std::size_t logical_pages_;
+  FtlStats stats_;
+};
+
+}  // namespace flashmark

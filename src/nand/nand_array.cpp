@@ -1,0 +1,154 @@
+#include "nand/nand_array.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+PhysParams nand_slc_phys() {
+  PhysParams p = PhysParams::msp430_calibrated();
+  // A block-erase pulse discharges cells over ~hundreds of us to ~2 ms.
+  p.tte_fresh_median_us = 400.0;
+  p.tte_fresh_log_sigma = 0.11;
+  // Denser, weaker oxides: full watermark contrast within the ~10 K-cycle
+  // SLC endurance budget (10x the NOR damage rate at equal cycles).
+  p.k_damage = 0.42;
+  p.read_noise_tau_us = 12.0;  // scales with the slower erase dynamics
+  p.validate();
+  return p;
+}
+
+NandArray::NandArray(NandGeometry geometry, PhysParams phys,
+                     std::uint64_t die_seed)
+    : geom_(geometry),
+      phys_(phys),
+      die_seed_(die_seed),
+      noise_rng_(die_seed ^ 0x4E414E44534545Dull),
+      blocks_(geometry.n_blocks) {
+  geom_.validate();
+  phys_.validate();
+}
+
+bool NandArray::factory_bad(std::size_t block) const {
+  if (!geom_.valid_block(block))
+    throw std::out_of_range("NandArray: block out of range");
+  std::uint64_t sm = die_seed_ ^ (0xBADB10C000000000ull + block);
+  const std::uint64_t h = splitmix64(sm);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 <
+         geom_.factory_bad_block_ppm * 1e-6;
+}
+
+std::vector<Cell>& NandArray::ensure_block(std::size_t block) {
+  if (!geom_.valid_block(block))
+    throw std::out_of_range("NandArray: block out of range");
+  auto& slot = blocks_[block];
+  if (!slot) {
+    std::uint64_t sm = die_seed_ ^ (0xA24BAED4963EE407ull * (block + 1));
+    Rng block_rng(splitmix64(sm));
+    const std::size_t n = geom_.pages_per_block * geom_.page_cells();
+    slot = std::make_unique<std::vector<Cell>>();
+    slot->reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      slot->push_back(Cell::manufacture(phys_, block_rng));
+    if (factory_bad(block)) {
+      // ONFI bad-block marker: first spare byte of page 0 reads 0x00,
+      // implemented as stuck-programmed cells so no erase removes it.
+      const std::size_t marker0 = geom_.page_bytes * 8;
+      for (std::size_t b = 0; b < 8; ++b) {
+        Cell::Snapshot s = (*slot)[marker0 + b].snapshot_state();
+        s.level = static_cast<std::uint8_t>(CellLevel::kProgrammed);
+        s.defect = static_cast<std::uint8_t>(CellDefect::kStuckProgrammed);
+        (*slot)[marker0 + b] = Cell::restore(s);
+      }
+    }
+  }
+  return *slot;
+}
+
+void NandArray::erase_block(std::size_t block) {
+  for (auto& c : ensure_block(block)) c.full_erase(phys_);
+}
+
+void NandArray::partial_erase_block(std::size_t block, double t_pe_us) {
+  if (t_pe_us < 0.0)
+    throw std::invalid_argument("partial_erase_block: negative time");
+  for (auto& c : ensure_block(block))
+    c.partial_erase(phys_, t_pe_us, noise_rng_);
+}
+
+void NandArray::program_page(std::size_t block, std::size_t page,
+                             const BitVec& data) {
+  if (!geom_.valid_page(block, page))
+    throw std::out_of_range("NandArray: page out of range");
+  if (data.size() != geom_.page_cells())
+    throw std::invalid_argument("program_page: data size != page cells");
+  auto& cells = ensure_block(block);
+  const std::size_t base = page_cell0(page);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (!data.get(i)) cells[base + i].program(phys_);
+}
+
+void NandArray::partial_program_page(std::size_t block, std::size_t page,
+                                     const BitVec& data, double fraction) {
+  if (!geom_.valid_page(block, page))
+    throw std::out_of_range("NandArray: page out of range");
+  if (data.size() != geom_.page_cells())
+    throw std::invalid_argument("partial_program_page: data size mismatch");
+  if (fraction <= 0.0)
+    throw std::invalid_argument("partial_program_page: fraction must be > 0");
+  auto& cells = ensure_block(block);
+  const std::size_t base = page_cell0(page);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (!data.get(i))
+      cells[base + i].partial_program(phys_, fraction, noise_rng_);
+}
+
+BitVec NandArray::read_page(std::size_t block, std::size_t page) {
+  if (!geom_.valid_page(block, page))
+    throw std::out_of_range("NandArray: page out of range");
+  auto& cells = ensure_block(block);
+  const std::size_t base = page_cell0(page);
+  BitVec out(geom_.page_cells());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.set(i, cells[base + i].read(phys_, noise_rng_));
+  return out;
+}
+
+std::size_t NandArray::count_erased(std::size_t block, std::size_t page) {
+  if (!geom_.valid_page(block, page))
+    throw std::out_of_range("NandArray: page out of range");
+  auto& cells = ensure_block(block);
+  const std::size_t base = page_cell0(page);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < geom_.page_cells(); ++i)
+    if (cells[base + i].erased()) ++n;
+  return n;
+}
+
+void NandArray::wear_block(std::size_t block, double cycles,
+                           const BitVec* page_pattern,
+                           std::size_t pattern_page) {
+  auto& cells = ensure_block(block);
+  if (page_pattern && page_pattern->size() != geom_.page_cells())
+    throw std::invalid_argument("wear_block: pattern size != page cells");
+  for (std::size_t page = 0; page < geom_.pages_per_block; ++page) {
+    const std::size_t base = page_cell0(page);
+    for (std::size_t i = 0; i < geom_.page_cells(); ++i) {
+      bool programmed;
+      if (page_pattern)
+        programmed = page == pattern_page && !page_pattern->get(i);
+      else
+        programmed = true;
+      cells[base + i].batch_stress(phys_, cycles, programmed,
+                                   /*end_programmed=*/page_pattern != nullptr);
+    }
+  }
+}
+
+const Cell& NandArray::cell(std::size_t block, std::size_t page,
+                            std::size_t idx) {
+  if (!geom_.valid_page(block, page) || idx >= geom_.page_cells())
+    throw std::out_of_range("NandArray::cell: out of range");
+  return ensure_block(block)[page_cell0(page) + idx];
+}
+
+}  // namespace flashmark

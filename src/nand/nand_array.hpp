@@ -1,0 +1,73 @@
+// NAND cell matrix. Reuses the floating-gate Cell physics of src/phys with
+// a NAND-calibrated parameter set: NAND cells are denser and less robust
+// than the MSP430's embedded NOR (typical SLC endurance ~10 K cycles versus
+// 100 K), so the same watermark contrast appears at roughly 10x fewer
+// imprint cycles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nand/nand_geometry.hpp"
+#include "phys/cell.hpp"
+#include "phys/params.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+
+/// NAND-calibrated physics: slower absolute erase (a block needs ~2 ms),
+/// damage visible within the ~10 K-cycle endurance budget.
+PhysParams nand_slc_phys();
+
+class NandArray {
+ public:
+  NandArray(NandGeometry geometry, PhysParams phys, std::uint64_t die_seed);
+
+  const NandGeometry& geometry() const { return geom_; }
+  const PhysParams& phys() const { return phys_; }
+
+  /// Full block-erase pulse.
+  void erase_block(std::size_t block);
+  /// Block-erase pulse aborted after t_pe_us.
+  void partial_erase_block(std::size_t block, double t_pe_us);
+  /// Program a page: data bit 0 -> program pulse on that cell (NAND programs
+  /// whole pages; 1 bits leave cells untouched). `data` covers main+spare.
+  void program_page(std::size_t block, std::size_t page, const BitVec& data);
+  /// Program pulse train aborted at `fraction` (0..1] of the nominal page
+  /// program time.
+  void partial_program_page(std::size_t block, std::size_t page,
+                            const BitVec& data, double fraction);
+  /// One noisy read of a whole page (main+spare), LSB-first per byte.
+  BitVec read_page(std::size_t block, std::size_t page);
+
+  /// Noise-free erased-cell count of one page.
+  std::size_t count_erased(std::size_t block, std::size_t page);
+  /// True if the block was marked bad at the factory (deterministic per
+  /// die seed). Bad blocks carry the ONFI 0x00 marker in the first spare
+  /// byte of page 0 as stuck-programmed cells, so the marker survives
+  /// erases — exactly how real parts guarantee it.
+  bool factory_bad(std::size_t block) const;
+
+  /// Simulation-only batch stress of a whole block (see FlashArray).
+  void wear_block(std::size_t block, double cycles,
+                  const BitVec* page_pattern = nullptr,
+                  std::size_t pattern_page = 0);
+  /// White-box access.
+  const Cell& cell(std::size_t block, std::size_t page, std::size_t idx);
+
+ private:
+  std::vector<Cell>& ensure_block(std::size_t block);
+  std::size_t page_cell0(std::size_t page) const {
+    return page * geom_.page_cells();
+  }
+
+  NandGeometry geom_;
+  PhysParams phys_;
+  std::uint64_t die_seed_;
+  Rng noise_rng_;
+  std::vector<std::unique_ptr<std::vector<Cell>>> blocks_;
+};
+
+}  // namespace flashmark

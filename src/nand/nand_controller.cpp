@@ -1,0 +1,121 @@
+#include "nand/nand_controller.hpp"
+
+#include <algorithm>
+
+namespace flashmark {
+
+const char* to_string(NandStatus s) {
+  switch (s) {
+    case NandStatus::kOk: return "ok";
+    case NandStatus::kBusy: return "busy";
+    case NandStatus::kNotBusy: return "not-busy";
+    case NandStatus::kInvalidAddress: return "invalid-address";
+    case NandStatus::kInvalidArgument: return "invalid-argument";
+    case NandStatus::kProtocolError: return "protocol-error";
+  }
+  return "unknown";
+}
+
+NandController::NandController(NandArray& array, NandTiming timing,
+                               SimClock& clock)
+    : array_(array), timing_(timing), clock_(clock) {}
+
+NandStatus NandController::begin_block_erase(std::size_t block) {
+  if (busy()) return NandStatus::kBusy;
+  if (!geometry().valid_block(block)) return NandStatus::kInvalidAddress;
+  op_ = Op{OpKind::kErase, block, 0, BitVec{}, clock_.now(),
+           clock_.now() + timing_.t_block_erase};
+  return NandStatus::kOk;
+}
+
+NandStatus NandController::begin_page_program(std::size_t block,
+                                              std::size_t page,
+                                              const BitVec& data) {
+  if (busy()) return NandStatus::kBusy;
+  if (!geometry().valid_page(block, page)) return NandStatus::kInvalidAddress;
+  if (data.size() != geometry().page_cells())
+    return NandStatus::kInvalidArgument;
+  // Host streams the data into the page register first.
+  clock_.advance(timing_.t_byte_io *
+                 static_cast<std::int64_t>(geometry().page_total_bytes()));
+  op_ = Op{OpKind::kProgram, block, page, data, clock_.now(),
+           clock_.now() + timing_.t_page_program};
+  return NandStatus::kOk;
+}
+
+void NandController::advance(SimTime dt) {
+  clock_.advance(dt);
+  if (op_ && clock_.now() >= op_->deadline) complete_op();
+}
+
+void NandController::complete_op() {
+  const Op op = std::move(*op_);
+  op_.reset();
+  if (op.kind == OpKind::kErase)
+    array_.erase_block(op.block);
+  else
+    array_.program_page(op.block, op.page, op.data);
+}
+
+NandStatus NandController::reset() {
+  if (!op_) return NandStatus::kNotBusy;
+  const Op op = std::move(*op_);
+  op_.reset();
+  const SimTime elapsed = clock_.now() - op.start;
+  if (op.kind == OpKind::kErase) {
+    array_.partial_erase_block(op.block, elapsed.as_us());
+  } else {
+    // Aborted program: NAND programs are multi-pulse ISPP trains; an abort
+    // at `frac` of the nominal time leaves each target cell programmed iff
+    // its charge crossed the sense level by then.
+    const double frac =
+        std::min(1.0, elapsed.as_us() / timing_.t_page_program.as_us());
+    if (frac > 0.0)
+      array_.partial_program_page(op.block, op.page, op.data, frac);
+  }
+  clock_.advance(timing_.t_reset_during_erase);
+  return NandStatus::kOk;
+}
+
+NandStatus NandController::wait_ready() {
+  if (!op_) return NandStatus::kNotBusy;
+  const SimTime dt = op_->deadline - clock_.now();
+  advance(dt > SimTime{} ? dt : SimTime{});
+  if (op_) complete_op();
+  return NandStatus::kOk;
+}
+
+NandStatus NandController::block_erase(std::size_t block) {
+  if (auto st = begin_block_erase(block); st != NandStatus::kOk) return st;
+  return wait_ready();
+}
+
+NandStatus NandController::partial_block_erase(std::size_t block,
+                                               SimTime t_pe) {
+  if (t_pe < SimTime{}) return NandStatus::kInvalidArgument;
+  if (t_pe >= timing_.t_block_erase) return block_erase(block);
+  if (auto st = begin_block_erase(block); st != NandStatus::kOk) return st;
+  advance(t_pe);
+  return reset();
+}
+
+NandStatus NandController::page_program(std::size_t block, std::size_t page,
+                                        const BitVec& data) {
+  if (auto st = begin_page_program(block, page, data); st != NandStatus::kOk)
+    return st;
+  return wait_ready();
+}
+
+NandStatus NandController::page_read(std::size_t block, std::size_t page,
+                                     BitVec* out) {
+  if (busy()) return NandStatus::kBusy;
+  if (!geometry().valid_page(block, page)) return NandStatus::kInvalidAddress;
+  if (out == nullptr) return NandStatus::kInvalidArgument;
+  clock_.advance(timing_.t_page_read);
+  clock_.advance(timing_.t_byte_io *
+                 static_cast<std::int64_t>(geometry().page_total_bytes()));
+  *out = array_.read_page(block, page);
+  return NandStatus::kOk;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,86 @@
+// ONFI-style NAND command interface.
+//
+// Commands are issued as (command byte, addresses, data) sequences like a
+// real raw-NAND bus: READ (00h..30h), PAGE PROGRAM (80h..10h), BLOCK ERASE
+// (60h..D0h), RESET (FFh) and READ STATUS (70h). The watermark-relevant
+// primitive is RESET issued while a block erase is in flight: it aborts the
+// erase after the elapsed pulse time — the NAND equivalent of the MSP430's
+// emergency exit, and exactly how prior work performs partial erases on
+// stand-alone chips through the standard interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "nand/nand_array.hpp"
+#include "flash/timing.hpp"  // SimClock
+
+namespace flashmark {
+
+enum class NandStatus : std::uint8_t {
+  kOk = 0,
+  kBusy,
+  kNotBusy,
+  kInvalidAddress,
+  kInvalidArgument,
+  kProtocolError,  ///< command sequence violated (e.g. program without data)
+};
+
+const char* to_string(NandStatus s);
+
+class NandController {
+ public:
+  NandController(NandArray& array, NandTiming timing, SimClock& clock);
+
+  const NandGeometry& geometry() const { return array_.geometry(); }
+  const NandTiming& timing() const { return timing_; }
+  SimTime now() const { return clock_.now(); }
+  NandArray& array() { return array_; }
+
+  bool busy() const { return op_.has_value(); }
+
+  // --- asynchronous protocol ---------------------------------------------
+  /// BLOCK ERASE: 60h + row address + D0h.
+  NandStatus begin_block_erase(std::size_t block);
+  /// PAGE PROGRAM: 80h + address + data + 10h.
+  NandStatus begin_page_program(std::size_t block, std::size_t page,
+                                const BitVec& data);
+  /// Advance the chip's clock; completes the in-flight operation when its
+  /// deadline passes.
+  void advance(SimTime dt);
+  /// RESET (FFh). Issued while an erase is in flight it aborts the pulse at
+  /// the elapsed time (partial erase); while a program is in flight it
+  /// aborts the program; idle it is a no-op.
+  NandStatus reset();
+  /// Poll until the in-flight operation completes.
+  NandStatus wait_ready();
+
+  // --- synchronous conveniences -------------------------------------------
+  NandStatus block_erase(std::size_t block);
+  /// Erase pulse of exactly t_pe, then RESET.
+  NandStatus partial_block_erase(std::size_t block, SimTime t_pe);
+  NandStatus page_program(std::size_t block, std::size_t page,
+                          const BitVec& data);
+  /// READ: 00h + address + 30h, wait tR, stream the page out.
+  NandStatus page_read(std::size_t block, std::size_t page, BitVec* out);
+
+ private:
+  enum class OpKind { kErase, kProgram };
+  struct Op {
+    OpKind kind;
+    std::size_t block;
+    std::size_t page;
+    BitVec data;
+    SimTime start;
+    SimTime deadline;
+  };
+
+  void complete_op();
+
+  NandArray& array_;
+  NandTiming timing_;
+  SimClock& clock_;
+  std::optional<Op> op_;
+};
+
+}  // namespace flashmark

@@ -1,0 +1,43 @@
+#include "nand/nand_geometry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flashmark {
+
+void NandGeometry::validate() const {
+  auto require = [](bool cond, const char* what) {
+    if (!cond) throw std::invalid_argument(std::string("NandGeometry: ") + what);
+  };
+  require(n_blocks > 0, "need at least one block");
+  require(pages_per_block > 0, "need at least one page per block");
+  require(page_bytes > 0, "page_bytes must be > 0");
+}
+
+std::string NandGeometry::describe() const {
+  std::ostringstream os;
+  os << n_blocks << " blocks x " << pages_per_block << " pages x "
+     << page_bytes << "+" << spare_bytes << "B ("
+     << capacity_bytes() / (1024 * 1024) << " MiB main)";
+  return os.str();
+}
+
+NandGeometry NandGeometry::slc_2gbit() {
+  NandGeometry g;
+  g.n_blocks = 2048;
+  g.pages_per_block = 64;
+  g.page_bytes = 2048;
+  g.spare_bytes = 64;
+  return g;
+}
+
+NandGeometry NandGeometry::tiny() {
+  NandGeometry g;
+  g.n_blocks = 8;
+  g.pages_per_block = 4;
+  g.page_bytes = 256;
+  g.spare_bytes = 8;
+  return g;
+}
+
+}  // namespace flashmark

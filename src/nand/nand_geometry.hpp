@@ -1,0 +1,64 @@
+// NAND flash organization (paper §II.A and §VI).
+//
+// The paper's conclusion claims Flashmark "is applicable broadly to NOR and
+// NAND flash memories"; this module plus nand_controller realizes that
+// extension. NAND differs from NOR in exactly the ways that matter to the
+// watermark flow: no random word access (reads/programs are whole pages),
+// erase granularity is a multi-page block, and the partial-erase primitive
+// is a RESET issued while a block erase is in flight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace flashmark {
+
+struct NandGeometry {
+  std::size_t n_blocks = 1024;
+  std::size_t pages_per_block = 64;
+  std::size_t page_bytes = 2048;   ///< main area
+  std::size_t spare_bytes = 64;    ///< OOB area (metadata/ECC)
+  /// Parts-per-million of factory-bad blocks, marked per ONFI convention
+  /// with 0x00 in the first spare byte of the block's first page. Typical
+  /// datasheets allow up to 2% over life; shipped parts carry a few.
+  double factory_bad_block_ppm = 5'000.0;  ///< 0.5%
+
+  std::size_t page_total_bytes() const { return page_bytes + spare_bytes; }
+  std::size_t page_cells() const { return page_total_bytes() * 8; }
+  std::size_t block_pages() const { return pages_per_block; }
+  std::size_t capacity_bytes() const {
+    return n_blocks * pages_per_block * page_bytes;
+  }
+
+  bool valid_block(std::size_t block) const { return block < n_blocks; }
+  bool valid_page(std::size_t block, std::size_t page) const {
+    return block < n_blocks && page < pages_per_block;
+  }
+
+  void validate() const;
+  std::string describe() const;
+
+  /// 2 Gbit SLC part in the spirit of small ONFI chips.
+  static NandGeometry slc_2gbit();
+  /// Tiny geometry for fast unit tests.
+  static NandGeometry tiny();
+};
+
+/// NAND timing (ONFI-ish SLC datasheet values). NAND erases a whole block
+/// in a few ms and programs a whole 2 KiB page in a few hundred us, so the
+/// per-byte imprint cost is far below the MSP430's — the paper's §V remark
+/// that stand-alone chips will imprint much faster.
+struct NandTiming {
+  SimTime t_block_erase = SimTime::us(3'000);  ///< tBERS
+  SimTime t_page_program = SimTime::us(300);   ///< tPROG
+  SimTime t_page_read = SimTime::us(25);       ///< tR (array -> register)
+  SimTime t_byte_io = SimTime::ns(25);         ///< register <-> host, per byte
+  SimTime t_reset_during_erase = SimTime::us(5);  ///< tRST while erasing
+
+  static NandTiming slc_datasheet() { return NandTiming{}; }
+};
+
+}  // namespace flashmark

@@ -1,0 +1,130 @@
+#include "nand/nand_watermark.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flashmark {
+
+namespace {
+void check(NandStatus st, const char* op) {
+  if (st != NandStatus::kOk)
+    throw std::runtime_error(std::string("nand watermark: ") + op +
+                             " failed: " + to_string(st));
+}
+}  // namespace
+
+ImprintReport imprint_flashmark_nand(NandController& nand, std::size_t block,
+                                     std::size_t page, const BitVec& pattern,
+                                     const NandImprintOptions& opts) {
+  if (opts.npe == 0)
+    throw std::invalid_argument("imprint_flashmark_nand: npe must be > 0");
+  if (pattern.size() != nand.geometry().page_cells())
+    throw std::invalid_argument(
+        "imprint_flashmark_nand: pattern size != page cells");
+
+  const SimTime start = nand.now();
+  ImprintReport report;
+  report.npe = opts.npe;
+
+  if (opts.strategy == ImprintStrategy::kBatchWear) {
+    nand.array().wear_block(block, opts.npe, &pattern, page);
+    // Account the clock like the real loop would.
+    const SimTime cycle =
+        nand.timing().t_block_erase + nand.timing().t_page_program +
+        nand.timing().t_byte_io *
+            static_cast<std::int64_t>(nand.geometry().page_total_bytes());
+    // The simulated clock lives in the controller's SimClock; advance it.
+    nand.advance(cycle * static_cast<std::int64_t>(opts.npe));
+  } else {
+    for (std::uint32_t cycle = 0; cycle < opts.npe; ++cycle) {
+      check(nand.block_erase(block), "block_erase");
+      check(nand.page_program(block, page, pattern), "page_program");
+    }
+  }
+
+  report.elapsed = nand.now() - start;
+  report.mean_cycle_time =
+      SimTime::ns(report.elapsed.as_ns() / static_cast<std::int64_t>(opts.npe));
+  return report;
+}
+
+NandExtractResult extract_flashmark_nand(NandController& nand,
+                                         std::size_t block, std::size_t page,
+                                         const NandExtractOptions& opts) {
+  if (opts.rounds < 1 || opts.rounds % 2 == 0)
+    throw std::invalid_argument("extract_flashmark_nand: rounds must be odd");
+  const std::size_t n_cells = nand.geometry().page_cells();
+  const BitVec zeros(n_cells);  // all-programmed page
+
+  const SimTime start = nand.now();
+  std::vector<BitVec> rounds;
+  for (int r = 0; r < opts.rounds; ++r) {
+    check(nand.block_erase(block), "block_erase");
+    check(nand.page_program(block, page, zeros), "page_program");
+    check(nand.partial_block_erase(block, opts.t_pew), "partial_block_erase");
+    BitVec bits;
+    check(nand.page_read(block, page, &bits), "page_read");
+    rounds.push_back(std::move(bits));
+  }
+
+  NandExtractResult result;
+  if (opts.rounds == 1) {
+    result.bits = std::move(rounds.front());
+  } else {
+    result.bits = BitVec(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      int ones = 0;
+      for (const auto& rb : rounds) ones += rb.get(i) ? 1 : 0;
+      result.bits.set(i, ones * 2 > opts.rounds);
+    }
+  }
+  result.elapsed = nand.now() - start;
+  return result;
+}
+
+std::vector<std::size_t> scan_bad_blocks(NandController& nand,
+                                         std::size_t limit) {
+  std::vector<std::size_t> bad;
+  const std::size_t marker_bit = nand.geometry().page_bytes * 8;
+  for (std::size_t b = 0; b < limit && b < nand.geometry().n_blocks; ++b) {
+    BitVec page;
+    check(nand.page_read(b, 0, &page), "page_read(bad-block scan)");
+    // Marker byte good == 0xFF: all eight spare bits read 1.
+    bool good = true;
+    for (std::size_t i = 0; i < 8; ++i)
+      if (!page.get(marker_bit + i)) good = false;
+    if (!good) bad.push_back(b);
+  }
+  return bad;
+}
+
+std::size_t first_good_block(NandController& nand, std::size_t limit) {
+  const auto bad = scan_bad_blocks(nand, limit);
+  for (std::size_t b = 0; b < limit && b < nand.geometry().n_blocks; ++b)
+    if (std::find(bad.begin(), bad.end(), b) == bad.end()) return b;
+  throw std::runtime_error("first_good_block: no good block found");
+}
+
+ImprintReport imprint_watermark_nand(NandController& nand, std::size_t block,
+                                     const WatermarkSpec& spec) {
+  const EncodedWatermark enc =
+      encode_watermark(spec, nand.geometry().page_cells());
+  NandImprintOptions opts;
+  opts.npe = spec.npe;
+  opts.strategy = spec.strategy;
+  return imprint_flashmark_nand(nand, block, /*page=*/0, enc.segment_pattern,
+                                opts);
+}
+
+VerifyReport verify_watermark_nand(NandController& nand, std::size_t block,
+                                   const VerifyOptions& opts) {
+  NandExtractOptions eo;
+  eo.t_pew = opts.t_pew;
+  eo.rounds = opts.rounds;
+  const NandExtractResult ext = extract_flashmark_nand(nand, block, 0, eo);
+  VerifyReport report = judge_extracted_bits(ext.bits, opts);
+  report.extract_time = ext.elapsed;
+  return report;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,68 @@
+// Flashmark on NAND (paper §VI: "the proposed method is applicable broadly
+// to NOR and NAND flash memories").
+//
+// The flow mirrors the NOR pipeline with NAND-shaped primitives: the
+// watermark lives in page 0 of a dedicated block, imprinting alternates
+// BLOCK ERASE with PAGE PROGRAM of the watermark page, and extraction
+// programs the page to all-zeros, starts a block erase and RESETs it after
+// the published window. The codec layers (dual-rail, signatures,
+// replication, soft decode) are shared with the NOR implementation — they
+// operate on bit vectors and are substrate-agnostic by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/codec.hpp"
+#include "core/imprint.hpp"
+#include "core/replicate.hpp"
+#include "core/signature.hpp"
+#include "core/watermark.hpp"
+#include "nand/nand_controller.hpp"
+
+namespace flashmark {
+
+struct NandImprintOptions {
+  std::uint32_t npe = 5'000;  ///< SLC endurance ~10 K: contrast needs fewer cycles
+  ImprintStrategy strategy = ImprintStrategy::kLoop;
+};
+
+/// Imprint `pattern` (page_cells bits, bit 0 => stressed) into page `page`
+/// of `block`. Returns the imprint report with simulated timing.
+ImprintReport imprint_flashmark_nand(NandController& nand, std::size_t block,
+                                     std::size_t page, const BitVec& pattern,
+                                     const NandImprintOptions& opts = {});
+
+struct NandExtractOptions {
+  SimTime t_pew = SimTime::us(520);  ///< NAND-family window (slower erase)
+  int rounds = 1;                    ///< odd
+};
+
+struct NandExtractResult {
+  BitVec bits;
+  SimTime elapsed;
+};
+
+/// Extract the watermark bitmap of (block, page).
+NandExtractResult extract_flashmark_nand(NandController& nand,
+                                         std::size_t block, std::size_t page,
+                                         const NandExtractOptions& opts = {});
+
+/// Scan the chip's bad-block markers (ONFI convention: 0x00 in the first
+/// spare byte of page 0). Returns the bad block indices in [0, limit).
+std::vector<std::size_t> scan_bad_blocks(NandController& nand,
+                                         std::size_t limit);
+
+/// First block in [0, limit) whose marker reads good; throws
+/// std::runtime_error if every block is bad. The manufacturer places the
+/// watermark here.
+std::size_t first_good_block(NandController& nand, std::size_t limit);
+
+/// Convenience: full manufacturer/integrator pipeline on NAND, reusing the
+/// NOR WatermarkSpec / VerifyOptions vocabulary (t_pew and npe are
+/// interpreted in NAND terms).
+ImprintReport imprint_watermark_nand(NandController& nand, std::size_t block,
+                                     const WatermarkSpec& spec);
+VerifyReport verify_watermark_nand(NandController& nand, std::size_t block,
+                                   const VerifyOptions& opts);
+
+}  // namespace flashmark

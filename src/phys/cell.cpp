@@ -1,0 +1,177 @@
+#include "phys/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flashmark {
+
+Cell Cell::manufacture(const PhysParams& p, Rng& rng) {
+  Cell c;
+  c.tte_fresh_us_ = static_cast<float>(
+      p.tte_fresh_median_us *
+      std::exp(rng.normal(0.0, p.tte_fresh_log_sigma)));
+  c.susceptibility_ = static_cast<float>(std::min(
+      p.suscept_cap,
+      p.suscept_min +
+          rng.gamma(p.suscept_gamma_shape, p.suscept_gamma_scale())));
+  c.eff_cycles_ = 0.0;
+  if (rng.bernoulli(p.defect_stuck_erased_ppm * 1e-6))
+    c.defect_ = CellDefect::kStuckErased;
+  else if (rng.bernoulli(p.defect_stuck_programmed_ppm * 1e-6))
+    c.defect_ = CellDefect::kStuckProgrammed;
+  c.settle(c.defect_ == CellDefect::kStuckProgrammed ? CellLevel::kProgrammed
+                                                     : CellLevel::kErased);
+  return c;
+}
+
+double Cell::tte_us(const PhysParams& p) const {
+  return static_cast<double>(tte_fresh_us_) *
+         p.slowdown(static_cast<double>(susceptibility_), eff_cycles_);
+}
+
+double Cell::damage(const PhysParams& p) const {
+  return static_cast<double>(susceptibility_) * p.growth(eff_cycles_);
+}
+
+void Cell::full_erase(const PhysParams& p) {
+  if (defect_ != CellDefect::kNone) return;  // stuck cells never move
+  eff_cycles_ += erased() ? p.stress_erase_idle : p.stress_erase_transition;
+  settle(CellLevel::kErased);
+}
+
+void Cell::partial_erase(const PhysParams& p, double t_pe_us, Rng& rng) {
+  if (defect_ != CellDefect::kNone) return;
+  if (erased()) {
+    // Already conducting: the short pulse adds a prorated sliver of idle
+    // stress and leaves the cell deeply erased (settled) if the pulse is
+    // long, or simply untouched if aborted immediately.
+    const double nominal = tte_us(p);
+    const double frac = nominal > 0.0 ? std::min(t_pe_us / nominal, 1.0) : 1.0;
+    eff_cycles_ += p.stress_erase_idle * frac;
+    return;  // state unchanged; an erased cell stays erased
+  }
+  // Per-pulse jitter of the transition instant.
+  double tte = tte_us(p);
+  if (p.tte_event_jitter_sigma > 0.0)
+    tte *= std::exp(rng.normal(0.0, p.tte_event_jitter_sigma));
+
+  const double margin = tte - t_pe_us;  // >0: still programmed; <0: erased
+  if (margin <= 0.0) {
+    // Charge transited: full erase-transition stress.
+    eff_cycles_ += p.stress_erase_transition;
+    level_ = CellLevel::kErased;
+  } else {
+    // Aborted mid-flight; partial charge removal costs a prorated share of
+    // the transition stress (the paper's premature-exit imprint relies on
+    // aborts being at worst wear-neutral).
+    eff_cycles_ += p.stress_erase_transition * std::min(t_pe_us / tte, 1.0) * 0.5;
+    level_ = CellLevel::kProgrammed;
+  }
+  metastable_ = true;
+  margin_us_ = static_cast<float>(margin);
+}
+
+void Cell::program(const PhysParams& p) {
+  if (defect_ != CellDefect::kNone) return;
+  eff_cycles_ += erased() ? p.stress_program : p.stress_reprogram;
+  settle(CellLevel::kProgrammed);
+}
+
+void Cell::partial_program(const PhysParams& p, double fraction, Rng& rng) {
+  if (defect_ != CellDefect::kNone) return;
+  if (!erased()) {
+    // Top-up pulse on an already-programmed cell.
+    eff_cycles_ += p.stress_reprogram * std::min(fraction, 1.0);
+    return;
+  }
+  // Trap-assisted injection: accumulated damage lowers the completion
+  // threshold, i.e. worn cells program faster (FFD's detection signal).
+  const double threshold =
+      rng.normal(p.prog_completion_mean, p.prog_completion_sigma) /
+      (1.0 + p.k_prog_speedup * damage(p));
+  const double margin = threshold - fraction;  // >0: not yet programmed
+  eff_cycles_ += p.stress_program * std::min(fraction, 1.0);
+  level_ = margin <= 0.0 ? CellLevel::kProgrammed : CellLevel::kErased;
+  metastable_ = true;
+  // Express the program margin on the same microsecond-ish scale the read
+  // noise model expects; one "program unit" is roughly the erase tau scale.
+  margin_us_ = static_cast<float>(margin * 10.0);
+}
+
+bool Cell::read(const PhysParams& p, Rng& rng) const {
+  bool value = erased();
+  if (defect_ != CellDefect::kNone) return value;  // stuck: no noise either
+  if (metastable_) {
+    const double dist = std::abs(static_cast<double>(margin_us_));
+    const double p_flip = 0.5 * std::exp(-dist / p.read_noise_tau_us);
+    if (rng.bernoulli(p_flip)) value = !value;
+  }
+  return value;
+}
+
+void Cell::age(const PhysParams& p, double years, Rng& rng) {
+  if (years <= 0.0 || defect_ != CellDefect::kNone) return;
+  if (level_ != CellLevel::kProgrammed) return;
+  // Charge leakage: wear opens trap-assisted leakage paths, shortening the
+  // retention half-life. Damage itself is structural and unaffected.
+  const double halflife =
+      p.retention_halflife_years / (1.0 + p.retention_wear_accel * damage(p));
+  const double p_lost = 1.0 - std::exp2(-years / halflife);
+  if (rng.bernoulli(p_lost)) settle(CellLevel::kErased);
+}
+
+void Cell::bake(const PhysParams& p, double hours) {
+  if (hours <= 0.0) return;
+  // Lifetime anneal budget: frac of all stress ever accumulated; what has
+  // already been annealed counts against it.
+  const double lifetime_stress = eff_cycles_ + annealed_;
+  const double budget =
+      std::max(0.0, p.anneal_recovery_frac * lifetime_stress - annealed_);
+  const double delta = budget * (1.0 - std::exp(-hours / p.anneal_tau_hours));
+  eff_cycles_ -= delta;
+  annealed_ += delta;
+}
+
+Cell::Snapshot Cell::snapshot_state() const {
+  return Snapshot{tte_fresh_us_,
+                  susceptibility_,
+                  eff_cycles_,
+                  annealed_,
+                  static_cast<std::uint8_t>(level_),
+                  static_cast<std::uint8_t>(defect_),
+                  static_cast<std::uint8_t>(metastable_ ? 1 : 0),
+                  margin_us_};
+}
+
+Cell Cell::restore(const Snapshot& s) {
+  if (!(s.tte_fresh_us > 0.0f) || !(s.susceptibility >= 0.0f) ||
+      !(s.eff_cycles >= 0.0) || !(s.annealed >= 0.0))
+    throw std::invalid_argument("Cell::restore: out-of-domain value");
+  if (s.level > 1 || s.defect > 2 || s.metastable > 1)
+    throw std::invalid_argument("Cell::restore: unknown enum code");
+  Cell c;
+  c.tte_fresh_us_ = s.tte_fresh_us;
+  c.susceptibility_ = s.susceptibility;
+  c.eff_cycles_ = s.eff_cycles;
+  c.annealed_ = s.annealed;
+  c.level_ = static_cast<CellLevel>(s.level);
+  c.defect_ = static_cast<CellDefect>(s.defect);
+  c.metastable_ = s.metastable != 0;
+  c.margin_us_ = s.margin_us;
+  return c;
+}
+
+void Cell::batch_stress(const PhysParams& p, double cycles,
+                        bool programmed_each_cycle, bool end_programmed) {
+  if (defect_ != CellDefect::kNone) return;
+  if (cycles < 0.0) cycles = 0.0;
+  const double per_cycle =
+      programmed_each_cycle ? p.stress_program + p.stress_erase_transition
+                            : p.stress_erase_idle;
+  eff_cycles_ += cycles * per_cycle;
+  settle(programmed_each_cycle && end_programmed ? CellLevel::kProgrammed
+                                                 : CellLevel::kErased);
+}
+
+}  // namespace flashmark

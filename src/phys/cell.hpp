@@ -1,0 +1,141 @@
+// Per-cell physical state.
+//
+// A cell is 20 bytes: two immutable manufacturing parameters, the
+// irreversible cumulative stress counter, the logical charge state, and the
+// analog margin left behind by the most recent aborted operation. All state
+// transitions funnel through the member functions so the irreversibility
+// invariant (eff_cycles never decreases) is enforced in exactly one place.
+#pragma once
+
+#include <cstdint>
+
+#include "phys/params.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+
+/// Logical charge state as seen by a noise-free read.
+enum class CellLevel : std::uint8_t {
+  kErased = 1,      ///< no charge on the floating gate, reads '1'
+  kProgrammed = 0,  ///< charge trapped, reads '0'
+};
+
+/// Factory defect class of a cell.
+enum class CellDefect : std::uint8_t {
+  kNone = 0,
+  kStuckErased,      ///< never traps charge: always reads 1
+  kStuckProgrammed,  ///< permanently charged: always reads 0
+};
+
+class Cell {
+ public:
+  Cell() = default;
+
+  /// Manufacture a fresh, erased cell: samples tte_fresh and susceptibility.
+  static Cell manufacture(const PhysParams& p, Rng& rng);
+
+  // --- observers --------------------------------------------------------
+  CellLevel level() const { return level_; }
+  bool erased() const { return level_ == CellLevel::kErased; }
+  CellDefect defect() const { return defect_; }
+  float tte_fresh_us() const { return tte_fresh_us_; }
+  float susceptibility() const { return susceptibility_; }
+  double eff_cycles() const { return eff_cycles_; }
+
+  /// Nominal (jitter-free) time-to-erase at the current wear level, in us.
+  double tte_us(const PhysParams& p) const;
+
+  /// Cumulative oxide damage D = susceptibility * growth(eff_cycles).
+  double damage(const PhysParams& p) const;
+
+  /// True if the last operation left the cell near the sense threshold, so
+  /// reads are metastable until the next full program/erase.
+  bool metastable() const { return metastable_; }
+  /// Signed distance (us) from the abort instant to this cell's transition;
+  /// only meaningful while metastable().
+  float margin_us() const { return margin_us_; }
+
+  // --- state transitions -------------------------------------------------
+  /// Full segment-erase pulse observed by this cell. Adds transition or
+  /// idle stress depending on the prior state; always ends erased and
+  /// settled.
+  void full_erase(const PhysParams& p);
+
+  /// Erase pulse aborted after t_pe microseconds. The cell transitions iff
+  /// its (jittered) time-to-erase is below t_pe; either way it may be left
+  /// metastable if the abort lands near its transition. Stress is only the
+  /// charge-transit component when the transition happened; an aborted pulse
+  /// that moved no charge costs (almost) nothing — this is what makes the
+  /// paper's accelerated imprint wear-neutral.
+  void partial_erase(const PhysParams& p, double t_pe_us, Rng& rng);
+
+  /// Program pulse targeting this cell (word bit was 0). Adds program or
+  /// reprogram stress; ends programmed and settled.
+  void program(const PhysParams& p);
+
+  /// Program pulse aborted at `fraction` of the nominal word-program time.
+  /// The cell ends programmed iff the charge had crossed the sense level by
+  /// then; may be left metastable. Worn cells cross earlier
+  /// (trap-assisted injection — the FFD detection signal).
+  void partial_program(const PhysParams& p, double fraction, Rng& rng);
+
+  /// Shelf aging: `years` in storage. Programmed cells may leak below the
+  /// sense level (probability follows the retention half-life, accelerated
+  /// by wear); erased cells and — crucially — accumulated damage are
+  /// untouched. Stored data decays, the watermark does not.
+  void age(const PhysParams& p, double years, Rng& rng);
+
+  /// High-temperature bake for `hours`. Anneals at most
+  /// p.anneal_recovery_frac of the cumulative stress (deep oxide traps are
+  /// permanent), so the near-irreversibility invariant becomes:
+  /// eff_cycles never drops below (1 - frac) * historical peak.
+  void bake(const PhysParams& p, double hours);
+
+  /// One noisy read. Settled cells read deterministically; metastable cells
+  /// flip with probability 0.5*exp(-|margin|/tau).
+  bool read(const PhysParams& p, Rng& rng) const;
+
+  /// Serializable value snapshot of the full cell state (persistence).
+  struct Snapshot {
+    float tte_fresh_us;
+    float susceptibility;
+    double eff_cycles;
+    double annealed;
+    std::uint8_t level;
+    std::uint8_t defect;
+    std::uint8_t metastable;
+    float margin_us;
+  };
+  Snapshot snapshot_state() const;
+  /// Rebuild a cell from a snapshot; throws std::invalid_argument on
+  /// out-of-domain values (negative stress, unknown enum codes...).
+  static Cell restore(const Snapshot& s);
+
+  /// Simulation-only accelerator: apply the stress of `cycles` regular
+  /// imprint P/E cycles in O(1), with `programmed_each_cycle` selecting the
+  /// watermark role of this cell. Equivalent to looping full_erase+program
+  /// (asserted by tests). The final state matches the last real operation:
+  /// the Fig. 7 imprint loop ends on a program (stressed cells finish
+  /// programmed), the §III pre-conditioning loop ends on an erase — pass
+  /// `end_programmed` accordingly.
+  void batch_stress(const PhysParams& p, double cycles,
+                    bool programmed_each_cycle, bool end_programmed);
+
+ private:
+  void settle(CellLevel level) {
+    level_ = level;
+    metastable_ = false;
+    margin_us_ = 0.0f;
+  }
+
+  float tte_fresh_us_ = 24.0f;
+  float susceptibility_ = 1.0f;
+  double eff_cycles_ = 0.0;
+  double annealed_ = 0.0;  ///< stress removed by bakes (bounded, see bake())
+  CellLevel level_ = CellLevel::kErased;
+  CellDefect defect_ = CellDefect::kNone;
+  bool metastable_ = false;
+  float margin_us_ = 0.0f;
+};
+
+}  // namespace flashmark

@@ -1,0 +1,57 @@
+#include "phys/erase_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace flashmark {
+
+std::vector<double> sample_tte_values(const PhysParams& p,
+                                      std::size_t n_cells, double eff_cycles,
+                                      Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n_cells);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const double tte_fresh =
+        p.tte_fresh_median_us * std::exp(rng.normal(0.0, p.tte_fresh_log_sigma));
+    const double s =
+        p.suscept_min + rng.gamma(p.suscept_gamma_shape, p.suscept_gamma_scale());
+    out.push_back(tte_fresh * p.slowdown(s, eff_cycles));
+  }
+  return out;
+}
+
+TteSummary sample_tte_population(const PhysParams& p, std::size_t n_cells,
+                                 double eff_cycles, Rng& rng) {
+  auto values = sample_tte_values(p, n_cells, eff_cycles, rng);
+  RunningStats st;
+  for (double v : values) st.add(v);
+  TteSummary s;
+  s.min_us = st.min();
+  s.max_us = st.max();
+  s.mean_us = st.mean();
+  s.median_us = median(values);
+  return s;
+}
+
+double prob_still_programmed(const PhysParams& p, double t_pe_us,
+                             double eff_cycles, std::size_t n_cells,
+                             Rng& rng) {
+  if (n_cells == 0) return 0.0;
+  const auto values = sample_tte_values(p, n_cells, eff_cycles, rng);
+  const auto still = static_cast<std::size_t>(
+      std::count_if(values.begin(), values.end(),
+                    [&](double tte) { return tte > t_pe_us; }));
+  return static_cast<double>(still) / static_cast<double>(n_cells);
+}
+
+double eff_cycles_bad(const PhysParams& p, double npe) {
+  return npe * (p.stress_program + p.stress_erase_transition);
+}
+
+double eff_cycles_good(const PhysParams& p, double npe) {
+  return npe * p.stress_erase_idle;
+}
+
+}  // namespace flashmark

@@ -1,0 +1,43 @@
+// Closed-form helpers over the erase-dynamics model. These are the
+// quantities the calibration benches and property tests reason about without
+// instantiating a full array.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "phys/params.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+
+/// Population summary of time-to-erase for `n_cells` cells after
+/// `eff_cycles` of full-pattern stress.
+struct TteSummary {
+  double min_us = 0.0;
+  double median_us = 0.0;
+  double max_us = 0.0;
+  double mean_us = 0.0;
+};
+
+/// Monte-Carlo sample of the time-to-erase distribution (used by calibration
+/// and by the recycled-flash detector's reference curves).
+TteSummary sample_tte_population(const PhysParams& p, std::size_t n_cells,
+                                 double eff_cycles, Rng& rng);
+
+/// Draw `n_cells` time-to-erase values after `eff_cycles` of stress.
+std::vector<double> sample_tte_values(const PhysParams& p,
+                                      std::size_t n_cells, double eff_cycles,
+                                      Rng& rng);
+
+/// P(cell still programmed after a partial erase of t_pe), estimated from
+/// `n_cells` Monte-Carlo draws. The deterministic counterpart of Fig. 4.
+double prob_still_programmed(const PhysParams& p, double t_pe_us,
+                             double eff_cycles, std::size_t n_cells, Rng& rng);
+
+/// Equivalent cumulative stress of NPE imprint cycles for a stressed
+/// ("bad") watermark cell and for a kept-erased ("good") cell.
+double eff_cycles_bad(const PhysParams& p, double npe);
+double eff_cycles_good(const PhysParams& p, double npe);
+
+}  // namespace flashmark

@@ -1,0 +1,72 @@
+#include "phys/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flashmark {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(std::string("PhysParams: ") + what);
+}
+}  // namespace
+
+void PhysParams::validate() const {
+  require(tte_fresh_median_us > 0.0, "tte_fresh_median_us must be > 0");
+  require(tte_fresh_log_sigma >= 0.0, "tte_fresh_log_sigma must be >= 0");
+  require(k_damage >= 0.0, "k_damage must be >= 0");
+  require(damage_exponent > 0.0, "damage_exponent must be > 0");
+  require(suscept_min >= 0.0 && suscept_min < 1.0,
+          "suscept_min must be in [0, 1)");
+  require(suscept_gamma_shape > 0.0, "suscept_gamma_shape must be > 0");
+  require(suscept_cap > suscept_min, "suscept_cap must exceed suscept_min");
+  require(stress_program >= 0.0, "stress_program must be >= 0");
+  require(stress_erase_transition >= 0.0,
+          "stress_erase_transition must be >= 0");
+  require(stress_erase_idle >= 0.0, "stress_erase_idle must be >= 0");
+  require(stress_reprogram >= 0.0, "stress_reprogram must be >= 0");
+  require(read_noise_tau_us > 0.0, "read_noise_tau_us must be > 0");
+  require(tte_event_jitter_sigma >= 0.0,
+          "tte_event_jitter_sigma must be >= 0");
+  require(prog_completion_mean > 0.0 && prog_completion_mean <= 1.0,
+          "prog_completion_mean must be in (0, 1]");
+  require(prog_completion_sigma >= 0.0, "prog_completion_sigma must be >= 0");
+  require(k_prog_speedup >= 0.0, "k_prog_speedup must be >= 0");
+  require(defect_stuck_erased_ppm >= 0.0,
+          "defect_stuck_erased_ppm must be >= 0");
+  require(defect_stuck_programmed_ppm >= 0.0,
+          "defect_stuck_programmed_ppm must be >= 0");
+  require(temp_erase_accel_per_K >= 0.0,
+          "temp_erase_accel_per_K must be >= 0");
+  require(retention_halflife_years > 0.0,
+          "retention_halflife_years must be > 0");
+  require(retention_wear_accel >= 0.0, "retention_wear_accel must be >= 0");
+  require(anneal_recovery_frac >= 0.0 && anneal_recovery_frac < 1.0,
+          "anneal_recovery_frac must be in [0, 1)");
+  require(anneal_tau_hours > 0.0, "anneal_tau_hours must be > 0");
+}
+
+double PhysParams::suscept_gamma_scale() const {
+  // E[s] = suscept_min + shape * scale == 1.
+  return (1.0 - suscept_min) / suscept_gamma_shape;
+}
+
+double PhysParams::growth(double eff_cycles) const {
+  if (eff_cycles <= 0.0) return 0.0;
+  return std::pow(eff_cycles / 1000.0, damage_exponent);
+}
+
+double PhysParams::slowdown(double susceptibility, double eff_cycles) const {
+  return 1.0 + k_damage * susceptibility * growth(eff_cycles);
+}
+
+PhysParams PhysParams::msp430_calibrated() { return PhysParams{}; }
+
+PhysParams PhysParams::msp430_with_defects() {
+  PhysParams p;
+  p.defect_stuck_erased_ppm = 30.0;
+  p.defect_stuck_programmed_ppm = 10.0;
+  return p;
+}
+
+}  // namespace flashmark

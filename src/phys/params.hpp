@@ -1,0 +1,148 @@
+// Physics-model parameters for the simulated floating-gate NOR flash.
+//
+// The reproduction replaces the paper's MSP430 silicon with a stochastic
+// per-cell model. Everything observable through the digital interface is
+// derived from three per-cell quantities:
+//
+//   * tte_fresh  — time-to-erase of the pristine cell under a segment erase
+//                  pulse (manufacturing variation, sampled once per cell),
+//   * susceptibility — how quickly this cell's oxide accumulates damage
+//                  under P/E stress (sampled once per cell; heavy-left-tailed
+//                  so a sub-population of stressed cells stays fast, which is
+//                  what produces the paper's asymmetric bit errors),
+//   * eff_cycles — cumulative, irreversible stress exposure in units of
+//                  "equivalent full P/E cycles".
+//
+// Time-to-erase of a cell after stress:
+//
+//   tte = tte_fresh * (1 + k_damage * susceptibility * growth(eff_cycles))
+//   growth(n) = (n / 1000)^damage_exponent
+//
+// The defaults below are calibrated against the paper's MSP430F5438 numbers:
+// a fresh segment transitions between ~18 and ~35 us (Fig. 4, 0 K curve) and
+// the slowest cell of a 4096-cell segment needs ~115/203/.../811 us after
+// 20 K/40 K/.../100 K cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flashmark {
+
+struct PhysParams {
+  // --- manufacturing variation of fresh erase speed -------------------
+  /// Median time-to-erase of a fresh cell, microseconds.
+  double tte_fresh_median_us = 24.0;
+  /// Sigma of log(tte_fresh). 0.095 puts the min/max of 4096 samples at
+  /// roughly 18/33 us, matching the paper's fresh-segment transition.
+  double tte_fresh_log_sigma = 0.095;
+
+  // --- oxide damage accumulation ---------------------------------------
+  /// Scale applied to susceptibility * growth(n) in the tte formula.
+  double k_damage = 0.0198;
+  /// growth(n) = (n/1000)^damage_exponent; >1 because oxide wear-out
+  /// accelerates with accumulated trap density.
+  double damage_exponent = 1.3;
+  /// Susceptibility = suscept_min + Gamma(shape, scale); mean held at 1.
+  /// suscept_min > 0 guarantees every cell eventually slows down, producing
+  /// the steep BER drop at high NPE the paper reports.
+  double suscept_min = 0.04;
+  double suscept_gamma_shape = 0.58;
+  /// Upper cap on susceptibility: trap-site density saturates, so the
+  /// slowest cells of a heavily stressed segment cluster instead of running
+  /// off into a long tail. Calibrated against the paper's max-erase-time
+  /// ladder (115/203/.../811 us).
+  double suscept_cap = 3.0;
+
+  // --- per-event stress weights (sum to 1 for a full P/E cycle) --------
+  /// Stress added by a program event that injects charge (1 -> 0 transition).
+  double stress_program = 0.60;
+  /// Stress added by an erase event that removes charge (0 -> 1 transition).
+  double stress_erase_transition = 0.40;
+  /// Stress added to an already-erased cell by a full erase pulse (the cell
+  /// sees the field but transfers almost no charge). This is what slowly
+  /// wears the "good" watermark cells and shifts the optimal partial-erase
+  /// window right as NPE grows (Fig. 9).
+  double stress_erase_idle = 0.016;
+  /// Stress added by re-programming an already-programmed cell.
+  double stress_reprogram = 0.10;
+
+  // --- read behaviour ---------------------------------------------------
+  /// After an aborted erase, a cell whose time-to-erase is within a few
+  /// tau of the abort instant sits near the sense threshold and reads
+  /// metastably: P(flip) = 0.5 * exp(-|tte - t_pe| / read_noise_tau_us).
+  double read_noise_tau_us = 0.8;
+  /// Per-partial-erase multiplicative jitter of the effective tte:
+  /// tte_event = tte * exp(N(0, sigma)). Models pulse-to-pulse variation.
+  double tte_event_jitter_sigma = 0.035;
+
+  // --- program dynamics (for partial-program extensions) ---------------
+  /// Fraction of the nominal word-program time at which a typical cell has
+  /// trapped enough charge to read as programmed.
+  double prog_completion_mean = 0.70;
+  double prog_completion_sigma = 0.05;
+  /// Worn cells program FASTER (trap-assisted injection): the completion
+  /// threshold divides by (1 + k_prog_speedup * damage). This is the
+  /// physical effect behind the FFD partial-program detector (Guo et al.,
+  /// DAC'17 — the paper's ref [6]), reproduced as a baseline here.
+  double k_prog_speedup = 0.06;
+
+  // --- manufacturing defects --------------------------------------------
+  /// Parts-per-million of cells stuck erased (never trap charge) or stuck
+  /// programmed (permanently charged), as shipped. Real arrays carry a few
+  /// tens of ppm; the default here is 0 so experiments are exact by
+  /// default — failure-injection tests and benches opt in (e.g. via
+  /// msp430_with_defects()).
+  double defect_stuck_erased_ppm = 0.0;
+  double defect_stuck_programmed_ppm = 0.0;
+
+  // --- temperature ---------------------------------------------------------
+  /// Erase (FN tunneling) speeds up with junction temperature: the
+  /// effective time-to-erase divides by (1 + temp_erase_accel_per_K * dT)
+  /// where dT = T - 25 C. A watermark imprinted at 25 C and extracted on a
+  /// hot or cold line sees a shifted window; the verifier must tolerate
+  /// the rated range (see tests/temperature_test.cpp).
+  double temp_erase_accel_per_K = 0.004;
+
+  // --- retention ----------------------------------------------------------
+  /// Programmed cells slowly leak charge in storage; after
+  /// `retention_halflife_years` at rated temperature a programmed cell has
+  /// a 50% chance of having dropped below the sense level. Wear accelerates
+  /// leakage: halflife divides by (1 + retention_wear_accel * damage).
+  /// Stored DATA therefore decays with shelf time — the stress-based
+  /// watermark does not (damage is structural, not charge).
+  double retention_halflife_years = 80.0;
+  double retention_wear_accel = 0.15;
+
+  // --- thermal annealing (bake-attack model) ----------------------------
+  /// A high-temperature bake anneals shallow interface traps but not the
+  /// deep oxide traps that slow erase: at most `anneal_recovery_frac` of
+  /// accumulated stress can ever be recovered, approached exponentially
+  /// with `anneal_tau_hours` of bake time. This bounds the classic
+  /// counterfeiter refurbishing move — the imprint survives any bake.
+  double anneal_recovery_frac = 0.08;
+  double anneal_tau_hours = 48.0;
+
+  /// Validates ranges; throws std::invalid_argument with a description of
+  /// the offending field.
+  void validate() const;
+
+  /// Gamma scale that keeps E[susceptibility] == 1 for the current
+  /// suscept_min / suscept_gamma_shape.
+  double suscept_gamma_scale() const;
+
+  /// Damage growth g(n); monotone non-decreasing, g(0) == 0.
+  double growth(double eff_cycles) const;
+
+  /// Deterministic part of the slowdown multiplier for given susceptibility
+  /// and cumulative stress: 1 + k_damage * s * growth(n).
+  double slowdown(double susceptibility, double eff_cycles) const;
+
+  /// Defaults above, named for readability at call sites.
+  static PhysParams msp430_calibrated();
+  /// Calibrated parameters with a realistic factory defect density
+  /// (failure-injection preset).
+  static PhysParams msp430_with_defects();
+};
+
+}  // namespace flashmark

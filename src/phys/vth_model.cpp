@@ -1,0 +1,24 @@
+#include "phys/vth_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashmark {
+
+double vth_settled(const VthParams& vp, const Cell& cell) {
+  return cell.erased() ? vp.vth_erased : vp.vth_programmed;
+}
+
+double vth_during_erase(const VthParams& vp, const PhysParams& p,
+                        const Cell& cell, double t_us) {
+  const double tte = cell.tte_us(p);
+  if (t_us <= 0.0) return vp.vth_programmed;
+  // Log-time Fowler–Nordheim discharge pinned so that Vth == v_ref at
+  // t == tte. Clamped to the settled levels at both ends.
+  const double vth = vp.v_ref - vp.fn_slope * std::log10(t_us / tte);
+  return std::clamp(vth, vp.vth_erased, vp.vth_programmed);
+}
+
+bool reads_erased(const VthParams& vp, double vth) { return vth < vp.v_ref; }
+
+}  // namespace flashmark

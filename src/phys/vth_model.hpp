@@ -1,0 +1,39 @@
+// Threshold-voltage view of the cell model (paper Fig. 1(c)/(d)).
+//
+// The digital interface never exposes Vth directly, but the model keeps the
+// analog picture consistent: erased cells sit below VREF, programmed cells
+// above, and a partial erase moves a cell along a log-time trajectory from
+// VTHP towards VTHE. This module exists for documentation, visualization and
+// property tests (e.g. "a cell reads 1 iff its modeled Vth < VREF"); the
+// production read path uses the equivalent time-margin formulation in Cell.
+#pragma once
+
+#include "phys/cell.hpp"
+#include "phys/params.hpp"
+
+namespace flashmark {
+
+struct VthParams {
+  double vth_erased = 1.6;      ///< center of the erased distribution, volts
+  double vth_programmed = 4.4;  ///< center of the programmed distribution
+  double v_ref = 3.0;           ///< read sense threshold (VREAD ~ 3 V)
+  /// Slope of the Fowler–Nordheim discharge trajectory: Vth falls by
+  /// `fn_slope` volts per decade of erase time around the transition.
+  double fn_slope = 2.0;
+};
+
+/// Analog threshold voltage of a cell during a segment erase pulse, t_us
+/// after the pulse started. Before the pulse reaches the cell's
+/// time-to-erase the cell is still above VREF; it crosses VREF exactly at
+/// tte and saturates at the erased level afterwards.
+double vth_during_erase(const VthParams& vp, const PhysParams& p,
+                        const Cell& cell, double t_us);
+
+/// Static Vth of a settled cell.
+double vth_settled(const VthParams& vp, const Cell& cell);
+
+/// Digital read decision from the analog view: true (reads '1') iff
+/// vth < v_ref.
+bool reads_erased(const VthParams& vp, double vth);
+
+}  // namespace flashmark

@@ -1,0 +1,265 @@
+#include "spinor/spinor_chip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flashmark {
+
+void SpiNorGeometry::validate() const {
+  if (n_sectors == 0 || sector_bytes == 0 || page_bytes == 0)
+    throw std::invalid_argument("SpiNorGeometry: zero dimension");
+  if (sector_bytes % page_bytes != 0)
+    throw std::invalid_argument("SpiNorGeometry: page must divide sector");
+}
+
+SpiNorGeometry SpiNorGeometry::w25q256() { return SpiNorGeometry{}; }
+
+SpiNorGeometry SpiNorGeometry::tiny() {
+  SpiNorGeometry g;
+  g.n_sectors = 8;
+  g.sector_bytes = 1024;
+  g.page_bytes = 256;
+  return g;
+}
+
+PhysParams spinor_phys() {
+  PhysParams p = PhysParams::msp430_calibrated();
+  // Dense serial NOR: per-cell erase transitions over ~100-500 us within
+  // the ~45 ms sector erase (most of which is pulse train + verify
+  // overhead), endurance ~100 K like the MCU's embedded NOR.
+  p.tte_fresh_median_us = 150.0;
+  p.tte_fresh_log_sigma = 0.10;
+  p.read_noise_tau_us = 5.0;
+  p.validate();
+  return p;
+}
+
+const char* to_string(SpiNorStatus s) {
+  switch (s) {
+    case SpiNorStatus::kOk: return "ok";
+    case SpiNorStatus::kBusy: return "busy";
+    case SpiNorStatus::kNotWriteEnabled: return "not-write-enabled";
+    case SpiNorStatus::kInvalidAddress: return "invalid-address";
+    case SpiNorStatus::kInvalidArgument: return "invalid-argument";
+    case SpiNorStatus::kNotSuspended: return "not-suspended";
+    case SpiNorStatus::kNothingToResume: return "nothing-to-resume";
+  }
+  return "unknown";
+}
+
+SpiNorChip::SpiNorChip(SpiNorGeometry geometry, SpiNorTiming timing,
+                       PhysParams phys, std::uint64_t die_seed,
+                       SimClock& clock)
+    : geom_(geometry),
+      timing_(timing),
+      phys_(phys),
+      die_seed_(die_seed),
+      clock_(clock),
+      noise_rng_(die_seed ^ 0x5B14025ull),
+      sectors_(geometry.n_sectors) {
+  geom_.validate();
+  phys_.validate();
+}
+
+std::vector<Cell>& SpiNorChip::ensure_sector(std::size_t sector) {
+  if (sector >= sectors_.size())
+    throw std::out_of_range("SpiNorChip: sector out of range");
+  auto& slot = sectors_[sector];
+  if (!slot) {
+    std::uint64_t sm = die_seed_ ^ (0xD6E8FEB86659FD93ull * (sector + 1));
+    Rng rng(splitmix64(sm));
+    slot = std::make_unique<std::vector<Cell>>();
+    slot->reserve(geom_.sector_cells());
+    for (std::size_t i = 0; i < geom_.sector_cells(); ++i)
+      slot->push_back(Cell::manufacture(phys_, rng));
+  }
+  return *slot;
+}
+
+void SpiNorChip::write_enable() {
+  clock_.advance(timing_.t_byte_xfer);
+  if (!busy()) wel_ = true;
+}
+
+void SpiNorChip::write_disable() {
+  clock_.advance(timing_.t_byte_xfer);
+  wel_ = false;
+}
+
+std::uint8_t SpiNorChip::read_status() {
+  clock_.advance(timing_.t_byte_xfer * 2);
+  if (op_ && !suspended_ && clock_.now() >= op_->deadline) complete_op();
+  std::uint8_t sr = 0;
+  if (busy()) sr |= spinor_sr::kWip;
+  if (wel_) sr |= spinor_sr::kWel;
+  if (suspended_) sr |= spinor_sr::kSus;
+  return sr;
+}
+
+void SpiNorChip::advance(SimTime dt) {
+  clock_.advance(dt);
+  if (op_ && !suspended_ && clock_.now() >= op_->deadline) complete_op();
+}
+
+void SpiNorChip::wait_idle(SimTime poll) {
+  while (read_status() & spinor_sr::kWip) clock_.advance(poll);
+}
+
+void SpiNorChip::complete_op() {
+  const Op op = std::move(*op_);
+  op_.reset();
+  wel_ = false;  // latch self-clears
+  const std::size_t sector = op.addr / geom_.sector_bytes;
+  if (op.kind == OpKind::kErase) {
+    for (auto& c : ensure_sector(sector)) c.full_erase(phys_);
+  } else {
+    auto& cells = ensure_sector(sector);
+    const std::size_t base = (op.addr % geom_.sector_bytes) * 8;
+    for (std::size_t i = 0; i < op.data.size(); ++i)
+      for (int b = 0; b < 8; ++b)
+        if (((op.data[i] >> b) & 1u) == 0)
+          cells[base + i * 8 + static_cast<std::size_t>(b)].program(phys_);
+  }
+}
+
+SpiNorStatus SpiNorChip::read(std::uint32_t addr, std::size_t n,
+                              std::vector<std::uint8_t>* out) {
+  if (out == nullptr) return SpiNorStatus::kInvalidArgument;
+  if (busy()) return SpiNorStatus::kBusy;
+  if (!geom_.valid_addr(addr) || !geom_.valid_addr(addr + n - 1) || n == 0)
+    return SpiNorStatus::kInvalidAddress;
+  // While suspended, reading the sector being erased is explicitly allowed
+  // (and is how the watermark is extracted).
+  clock_.advance(timing_.t_byte_xfer * static_cast<std::int64_t>(4 + n));
+  out->assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t a = addr + static_cast<std::uint32_t>(i);
+    auto& cells = ensure_sector(a / geom_.sector_bytes);
+    const std::size_t base = (a % geom_.sector_bytes) * 8;
+    std::uint8_t byte = 0;
+    for (int b = 0; b < 8; ++b)
+      if (cells[base + static_cast<std::size_t>(b)].read(phys_, noise_rng_))
+        byte |= static_cast<std::uint8_t>(1u << b);
+    (*out)[i] = byte;
+  }
+  return SpiNorStatus::kOk;
+}
+
+SpiNorStatus SpiNorChip::page_program(std::uint32_t addr,
+                                      const std::vector<std::uint8_t>& data) {
+  if (busy() || suspended_) return SpiNorStatus::kBusy;
+  if (!wel_) return SpiNorStatus::kNotWriteEnabled;
+  if (data.empty() || data.size() > geom_.page_bytes)
+    return SpiNorStatus::kInvalidArgument;
+  if (!geom_.valid_addr(addr)) return SpiNorStatus::kInvalidAddress;
+  // Page programs must not wrap a page boundary.
+  if (addr / geom_.page_bytes !=
+      (addr + data.size() - 1) / geom_.page_bytes)
+    return SpiNorStatus::kInvalidArgument;
+  clock_.advance(timing_.t_byte_xfer *
+                 static_cast<std::int64_t>(4 + data.size()));
+  op_ = Op{OpKind::kProgram, addr, data, SimTime{}, clock_.now(),
+           clock_.now() + timing_.t_page_program};
+  return SpiNorStatus::kOk;
+}
+
+SpiNorStatus SpiNorChip::sector_erase(std::uint32_t addr) {
+  if (busy() || suspended_) return SpiNorStatus::kBusy;
+  if (!wel_) return SpiNorStatus::kNotWriteEnabled;
+  if (!geom_.valid_addr(addr)) return SpiNorStatus::kInvalidAddress;
+  clock_.advance(timing_.t_byte_xfer * 4);
+  op_ = Op{OpKind::kErase, addr, {}, SimTime{}, clock_.now(),
+           clock_.now() + timing_.t_sector_erase};
+  return SpiNorStatus::kOk;
+}
+
+SpiNorStatus SpiNorChip::erase_suspend() {
+  if (!op_ || op_->kind != OpKind::kErase || suspended_)
+    return SpiNorStatus::kNotSuspended;
+  clock_.advance(timing_.t_suspend_latency);
+  // Accumulate the pulse time delivered so far (capped at the deadline).
+  const SimTime ran =
+      std::min(clock_.now(), op_->deadline) - op_->started_at;
+  op_->pulse_done += ran > SimTime{} ? ran : SimTime{};
+  suspended_ = true;
+  // The array must reflect the partially-delivered train NOW — reads are
+  // legal while suspended and must see the intermediate state.
+  apply_partial_erase(op_->addr / geom_.sector_bytes, op_->pulse_done);
+  return SpiNorStatus::kOk;
+}
+
+void SpiNorChip::apply_partial_erase(std::size_t sector, SimTime pulse) {
+  // Map delivered train time to per-cell exposure: the nominal train fully
+  // erases the sector, i.e. covers the slowest credible cell (~40x the
+  // median transition time, including verify overhead).
+  const double frac =
+      std::clamp(pulse.as_us() / timing_.t_sector_erase.as_us(), 0.0, 1.0);
+  const double cell_time_us = frac * phys_.tte_fresh_median_us * 40.0;
+  for (auto& c : ensure_sector(sector))
+    c.partial_erase(phys_, cell_time_us, noise_rng_);
+}
+
+SpiNorStatus SpiNorChip::erase_resume() {
+  if (!op_ || !suspended_) return SpiNorStatus::kNothingToResume;
+  clock_.advance(timing_.t_byte_xfer);
+  suspended_ = false;
+  op_->started_at = clock_.now();
+  op_->deadline =
+      clock_.now() + timing_.t_sector_erase - op_->pulse_done;
+  return SpiNorStatus::kOk;
+}
+
+void SpiNorChip::reset() {
+  clock_.advance(timing_.t_byte_xfer * 2);
+  if (op_) {
+    // Abandon the erase: the sector keeps the partial-erase state implied
+    // by the pulse time delivered so far. The erase-dynamics mapping from
+    // the full ~45 ms pulse train to per-cell transition time scales the
+    // train down to the cell timescale: cells see pulse_frac * t_max_cell.
+    const bool was_suspended = suspended_;
+    const Op op = std::move(*op_);
+    op_.reset();
+    suspended_ = false;
+    if (op.kind == OpKind::kErase && !was_suspended) {
+      // Reset during an ACTIVE erase: apply the exposure delivered so far.
+      // (A suspended erase already materialized its state at suspend time.)
+      SimTime pulse = op.pulse_done;
+      if (clock_.now() > op.started_at)
+        pulse += std::min(clock_.now(), op.deadline) - op.started_at;
+      apply_partial_erase(op.addr / geom_.sector_bytes, pulse);
+    }
+  }
+  wel_ = false;
+}
+
+void SpiNorChip::wear_sector(std::size_t sector, double cycles,
+                             const BitVec* pattern) {
+  auto& cells = ensure_sector(sector);
+  if (pattern && pattern->size() != cells.size())
+    throw std::invalid_argument("wear_sector: pattern size mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool programmed = pattern ? !pattern->get(i) : true;
+    cells[i].batch_stress(phys_, cycles, programmed,
+                          /*end_programmed=*/pattern != nullptr);
+  }
+  const SimTime cycle =
+      timing_.t_sector_erase +
+      timing_.t_page_program *
+          static_cast<std::int64_t>(geom_.pages_per_sector());
+  clock_.advance(cycle * static_cast<std::int64_t>(cycles));
+}
+
+std::size_t SpiNorChip::count_erased(std::size_t sector) {
+  const auto& cells = ensure_sector(sector);
+  return static_cast<std::size_t>(std::count_if(
+      cells.begin(), cells.end(), [](const Cell& c) { return c.erased(); }));
+}
+
+const Cell& SpiNorChip::cell(std::size_t sector, std::size_t idx) {
+  const auto& cells = ensure_sector(sector);
+  if (idx >= cells.size())
+    throw std::out_of_range("SpiNorChip::cell: index out of range");
+  return cells[idx];
+}
+
+}  // namespace flashmark

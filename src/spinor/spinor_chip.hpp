@@ -1,0 +1,161 @@
+// Stand-alone SPI NOR flash chip (paper §V: "A number of stand-alone NOR
+// flash memory chips have significantly faster erase and program operations
+// and we expect that their imprint time will be significantly smaller").
+//
+// Models a W25Q/MX25-style serial NOR at the SPI transaction level:
+//
+//   * JEDEC command set: WREN (06h), WRDI (04h), RDSR (05h), READ (03h),
+//     PAGE PROGRAM (02h), SECTOR ERASE 4KiB (20h), ERASE SUSPEND (75h),
+//     ERASE RESUME (7Ah), RESET (66h+99h);
+//   * write-enable-latch discipline: every program/erase must be preceded
+//     by WREN, and the latch self-clears after the operation;
+//   * status register with WIP (write in progress), WEL (write enable
+//     latch) and SUS (suspend) bits;
+//   * the Flashmark partial-erase primitive maps to a *documented* feature
+//     of these parts: start a sector erase, ERASE SUSPEND after tPE, read
+//     the sector while suspended, then RESET to abandon the erase.
+//
+// Cells reuse the floating-gate physics of src/phys with a parameter set
+// for a modern 256-Mbit-class serial NOR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "flash/timing.hpp"  // SimClock
+#include "phys/cell.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+
+struct SpiNorGeometry {
+  std::size_t n_sectors = 8192;      ///< 4 KiB sectors (32 MiB part)
+  std::size_t sector_bytes = 4096;
+  std::size_t page_bytes = 256;      ///< program granularity
+
+  std::size_t sector_cells() const { return sector_bytes * 8; }
+  std::size_t pages_per_sector() const { return sector_bytes / page_bytes; }
+  std::size_t capacity_bytes() const { return n_sectors * sector_bytes; }
+  bool valid_addr(std::uint32_t a) const { return a < capacity_bytes(); }
+
+  void validate() const;
+
+  static SpiNorGeometry w25q256();  ///< 32 MiB
+  static SpiNorGeometry tiny();     ///< small part for unit tests
+};
+
+struct SpiNorTiming {
+  SimTime t_sector_erase = SimTime::ms(45);   ///< tSE typ
+  SimTime t_page_program = SimTime::us(700);  ///< tPP typ
+  SimTime t_byte_xfer = SimTime::ns(80);      ///< ~100 MHz SPI, per byte
+  SimTime t_suspend_latency = SimTime::us(20);///< tSUS
+
+  static SpiNorTiming w25q_datasheet() { return SpiNorTiming{}; }
+};
+
+/// Physics calibration for a modern dense serial NOR: erase transitions in
+/// the low hundreds of us, endurance ~100 K like the MSP430.
+PhysParams spinor_phys();
+
+// Status register bits.
+namespace spinor_sr {
+inline constexpr std::uint8_t kWip = 0x01;
+inline constexpr std::uint8_t kWel = 0x02;
+inline constexpr std::uint8_t kSus = 0x80;
+}  // namespace spinor_sr
+
+enum class SpiNorStatus : std::uint8_t {
+  kOk = 0,
+  kBusy,            ///< WIP set and the command is not allowed while busy
+  kNotWriteEnabled, ///< WREN missing
+  kInvalidAddress,
+  kInvalidArgument,
+  kNotSuspended,    ///< resume/abort without a suspended erase
+  kNothingToResume,
+};
+
+const char* to_string(SpiNorStatus s);
+
+class SpiNorChip {
+ public:
+  SpiNorChip(SpiNorGeometry geometry, SpiNorTiming timing, PhysParams phys,
+             std::uint64_t die_seed, SimClock& clock);
+
+  const SpiNorGeometry& geometry() const { return geom_; }
+  const SpiNorTiming& timing() const { return timing_; }
+  const PhysParams& phys() const { return phys_; }
+  SimTime now() const { return clock_.now(); }
+
+  // --- SPI commands --------------------------------------------------------
+  void write_enable();   // 06h
+  void write_disable();  // 04h
+  std::uint8_t read_status();  // 05h (advances bus time; polls complete ops)
+
+  /// 03h: read `n` bytes starting at `addr`. Allowed while an erase is
+  /// suspended (that is the point); refused (kBusy) while WIP.
+  SpiNorStatus read(std::uint32_t addr, std::size_t n,
+                    std::vector<std::uint8_t>* out);
+
+  /// 02h: program up to one page; data must not cross a page boundary.
+  SpiNorStatus page_program(std::uint32_t addr,
+                            const std::vector<std::uint8_t>& data);
+
+  /// 20h: start a 4 KiB sector erase (asynchronous; poll RDSR.WIP).
+  SpiNorStatus sector_erase(std::uint32_t addr);
+
+  /// 75h: suspend the in-flight erase after the elapsed pulse time.
+  SpiNorStatus erase_suspend();
+  /// 7Ah: resume a suspended erase (continues to completion on next waits).
+  SpiNorStatus erase_resume();
+  /// 66h+99h: reset; abandons a suspended or in-flight erase, leaving the
+  /// sector in its partially-erased state.
+  void reset();
+
+  /// Advance time; completes the in-flight operation at its deadline.
+  void advance(SimTime dt);
+  /// Poll RDSR until WIP clears.
+  void wait_idle(SimTime poll = SimTime::us(10));
+
+  bool busy() const { return op_.has_value() && !suspended_; }
+  bool suspended() const { return suspended_; }
+
+  // --- simulation-only ------------------------------------------------------
+  /// Batch wear of one sector (see FlashArray::wear_segment).
+  void wear_sector(std::size_t sector, double cycles,
+                   const BitVec* pattern = nullptr);
+  /// Noise-free erased count of a sector.
+  std::size_t count_erased(std::size_t sector);
+  const Cell& cell(std::size_t sector, std::size_t idx);
+
+ private:
+  enum class OpKind { kErase, kProgram };
+  struct Op {
+    OpKind kind;
+    std::uint32_t addr;
+    std::vector<std::uint8_t> data;
+    SimTime pulse_done;   ///< accumulated pulse time before suspension
+    SimTime started_at;
+    SimTime deadline;
+  };
+
+  std::vector<Cell>& ensure_sector(std::size_t sector);
+  void complete_op();
+  /// Materialize the partial-erase state after `pulse` of delivered train.
+  void apply_partial_erase(std::size_t sector, SimTime pulse);
+
+  SpiNorGeometry geom_;
+  SpiNorTiming timing_;
+  PhysParams phys_;
+  std::uint64_t die_seed_;
+  SimClock& clock_;
+  Rng noise_rng_;
+  bool wel_ = false;
+  bool suspended_ = false;
+  std::optional<Op> op_;
+  std::vector<std::unique_ptr<std::vector<Cell>>> sectors_;
+};
+
+}  // namespace flashmark

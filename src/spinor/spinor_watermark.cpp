@@ -1,0 +1,141 @@
+#include "spinor/spinor_watermark.hpp"
+
+#include <stdexcept>
+
+namespace flashmark {
+
+namespace {
+void check(SpiNorStatus st, const char* op) {
+  if (st != SpiNorStatus::kOk)
+    throw std::runtime_error(std::string("spinor watermark: ") + op +
+                             " failed: " + to_string(st));
+}
+
+/// Program a whole sector with `pattern` bits (bit i of the sector <->
+/// bit i%8 of byte i/8), page by page.
+void program_sector_pattern(SpiNorChip& chip, std::size_t sector,
+                            const BitVec& pattern) {
+  const auto& g = chip.geometry();
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(sector * g.sector_bytes);
+  const auto bytes = pattern.to_bytes();
+  for (std::size_t page = 0; page < g.pages_per_sector(); ++page) {
+    const std::size_t off = page * g.page_bytes;
+    std::vector<std::uint8_t> data(bytes.begin() + static_cast<long>(off),
+                                   bytes.begin() +
+                                       static_cast<long>(off + g.page_bytes));
+    chip.write_enable();
+    check(chip.page_program(base + static_cast<std::uint32_t>(off), data),
+          "page_program");
+    chip.wait_idle();
+  }
+}
+}  // namespace
+
+SimTime spinor_train_time_for_cell_us(const SpiNorTiming& timing,
+                                      const PhysParams& phys,
+                                      double cell_us) {
+  // Inverse of the mapping in SpiNorChip::reset():
+  //   cell_us = (train / t_sector_erase) * median * 40
+  const double frac = cell_us / (phys.tte_fresh_median_us * 40.0);
+  return SimTime::from_us(timing.t_sector_erase.as_us() * frac);
+}
+
+ImprintReport imprint_flashmark_spinor(SpiNorChip& chip, std::size_t sector,
+                                       const BitVec& pattern,
+                                       const SpiNorImprintOptions& opts) {
+  if (opts.npe == 0)
+    throw std::invalid_argument("imprint_flashmark_spinor: npe must be > 0");
+  if (pattern.size() != chip.geometry().sector_cells())
+    throw std::invalid_argument(
+        "imprint_flashmark_spinor: pattern size != sector cells");
+  const std::uint32_t base = static_cast<std::uint32_t>(
+      sector * chip.geometry().sector_bytes);
+
+  const SimTime start = chip.now();
+  ImprintReport report;
+  report.npe = opts.npe;
+
+  if (opts.strategy == ImprintStrategy::kBatchWear) {
+    chip.wear_sector(sector, opts.npe, &pattern);
+  } else {
+    for (std::uint32_t cycle = 0; cycle < opts.npe; ++cycle) {
+      chip.write_enable();
+      check(chip.sector_erase(base), "sector_erase");
+      chip.wait_idle(SimTime::us(100));
+      program_sector_pattern(chip, sector, pattern);
+    }
+  }
+
+  report.elapsed = chip.now() - start;
+  report.mean_cycle_time =
+      SimTime::ns(report.elapsed.as_ns() / static_cast<std::int64_t>(opts.npe));
+  return report;
+}
+
+SpiNorExtractResult extract_flashmark_spinor(
+    SpiNorChip& chip, std::size_t sector, const SpiNorExtractOptions& opts) {
+  if (opts.rounds < 1 || opts.rounds % 2 == 0)
+    throw std::invalid_argument("extract_flashmark_spinor: rounds must be odd");
+  const auto& g = chip.geometry();
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(sector * g.sector_bytes);
+  const SimTime t_train = spinor_train_time_for_cell_us(
+      chip.timing(), chip.phys(), opts.t_pew_cell_us);
+
+  const SimTime start = chip.now();
+  std::vector<BitVec> rounds;
+  for (int r = 0; r < opts.rounds; ++r) {
+    // Erase, program all-zeros.
+    chip.write_enable();
+    check(chip.sector_erase(base), "sector_erase");
+    chip.wait_idle(SimTime::us(100));
+    program_sector_pattern(chip, sector, BitVec(g.sector_cells()));
+    // Partial erase: start, suspend after the window, read, abandon.
+    chip.write_enable();
+    check(chip.sector_erase(base), "sector_erase(partial)");
+    chip.advance(t_train);
+    check(chip.erase_suspend(), "erase_suspend");
+    std::vector<std::uint8_t> bytes;
+    check(chip.read(base, g.sector_bytes, &bytes), "read");
+    chip.reset();
+    rounds.push_back(BitVec::from_bytes(bytes, g.sector_cells()));
+  }
+
+  SpiNorExtractResult result;
+  if (opts.rounds == 1) {
+    result.bits = std::move(rounds.front());
+  } else {
+    result.bits = BitVec(g.sector_cells());
+    for (std::size_t i = 0; i < result.bits.size(); ++i) {
+      int ones = 0;
+      for (const auto& rb : rounds) ones += rb.get(i) ? 1 : 0;
+      result.bits.set(i, ones * 2 > opts.rounds);
+    }
+  }
+  result.elapsed = chip.now() - start;
+  return result;
+}
+
+ImprintReport imprint_watermark_spinor(SpiNorChip& chip, std::size_t sector,
+                                       const WatermarkSpec& spec) {
+  const EncodedWatermark enc =
+      encode_watermark(spec, chip.geometry().sector_cells());
+  SpiNorImprintOptions opts;
+  opts.npe = spec.npe;
+  opts.strategy = spec.strategy;
+  return imprint_flashmark_spinor(chip, sector, enc.segment_pattern, opts);
+}
+
+VerifyReport verify_watermark_spinor(SpiNorChip& chip, std::size_t sector,
+                                     const VerifyOptions& opts) {
+  SpiNorExtractOptions eo;
+  eo.t_pew_cell_us = opts.t_pew.as_us();
+  eo.rounds = opts.rounds;
+  const SpiNorExtractResult ext = extract_flashmark_spinor(chip, sector, eo);
+  VerifyReport report = judge_extracted_bits(ext.bits, opts);
+  report.extract_time = ext.elapsed;
+  return report;
+}
+
+}  // namespace flashmark

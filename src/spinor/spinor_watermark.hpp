@@ -1,0 +1,61 @@
+// Flashmark on a stand-alone SPI NOR chip, through the JEDEC command set
+// only: WREN/erase/program/read plus the documented ERASE SUSPEND feature
+// as the partial-erase primitive. The codec layers are shared with the NOR
+// and NAND implementations.
+//
+// Timescale note: a ~45 ms sector erase is a pulse train with verify
+// overhead; individual cells transition within the first few hundred us of
+// accumulated field exposure. The chip model maps "train time delivered"
+// to per-cell exposure linearly (see SpiNorChip::reset); the helpers below
+// convert between the two so windows can be specified on the familiar
+// cell-time axis.
+#pragma once
+
+#include <cstdint>
+
+#include "core/imprint.hpp"
+#include "core/watermark.hpp"
+#include "spinor/spinor_chip.hpp"
+
+namespace flashmark {
+
+/// Train time that delivers `cell_us` of per-cell erase exposure.
+SimTime spinor_train_time_for_cell_us(const SpiNorTiming& timing,
+                                      const PhysParams& phys, double cell_us);
+
+struct SpiNorImprintOptions {
+  std::uint32_t npe = 60'000;
+  ImprintStrategy strategy = ImprintStrategy::kLoop;
+};
+
+/// Imprint `pattern` (sector_cells bits) into `sector` via WREN + sector
+/// erase + page programs per cycle.
+ImprintReport imprint_flashmark_spinor(SpiNorChip& chip, std::size_t sector,
+                                       const BitVec& pattern,
+                                       const SpiNorImprintOptions& opts = {});
+
+struct SpiNorExtractOptions {
+  /// Partial-erase window on the per-cell axis (like the MCU's tPEW).
+  double t_pew_cell_us = 190.0;
+  int rounds = 1;  ///< odd
+};
+
+struct SpiNorExtractResult {
+  BitVec bits;
+  SimTime elapsed;
+};
+
+/// One extraction: erase, program all-zeros, start erase, SUSPEND after the
+/// window, READ while suspended, RESET to abandon the erase.
+SpiNorExtractResult extract_flashmark_spinor(
+    SpiNorChip& chip, std::size_t sector,
+    const SpiNorExtractOptions& opts = {});
+
+/// Full pipeline reusing the NOR WatermarkSpec / VerifyOptions vocabulary
+/// (VerifyOptions::t_pew is interpreted on the cell axis in us).
+ImprintReport imprint_watermark_spinor(SpiNorChip& chip, std::size_t sector,
+                                       const WatermarkSpec& spec);
+VerifyReport verify_watermark_spinor(SpiNorChip& chip, std::size_t sector,
+                                     const VerifyOptions& opts);
+
+}  // namespace flashmark

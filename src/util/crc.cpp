@@ -1,0 +1,34 @@
+#include "util/crc.hpp"
+
+namespace flashmark {
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t len) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+    for (int b = 0; b < 8; ++b)
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+std::uint16_t crc16_ccitt(const std::vector<std::uint8_t>& data) {
+  return crc16_ccitt(data.data(), data.size());
+}
+
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b)
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_ieee(const std::vector<std::uint8_t>& data) {
+  return crc32_ieee(data.data(), data.size());
+}
+
+}  // namespace flashmark

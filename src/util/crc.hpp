@@ -1,0 +1,26 @@
+// CRC checksums used by the watermark codec for integrity fields.
+//
+// CRC-16/CCITT-FALSE protects short watermark payloads; CRC-32 (IEEE 802.3)
+// is available for larger payloads. Both are table-free bitwise
+// implementations — watermarks are tiny, speed is irrelevant, and the
+// bitwise form is trivially auditable against the published polynomials.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flashmark {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+/// check("123456789") == 0x29B1.
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t len);
+std::uint16_t crc16_ccitt(const std::vector<std::uint8_t>& data);
+
+/// CRC-32 (IEEE 802.3, as used by zlib): poly 0x04C11DB7 reflected, init
+/// 0xFFFFFFFF, reflected IO, final xor 0xFFFFFFFF. check("123456789") ==
+/// 0xCBF43926.
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t len);
+std::uint32_t crc32_ieee(const std::vector<std::uint8_t>& data);
+
+}  // namespace flashmark

@@ -1,0 +1,70 @@
+// Deterministic random number generation for the simulator.
+//
+// The whole reproduction must be bit-reproducible across platforms and
+// standard-library versions, so we ship our own generator (xoshiro256**) and
+// our own samplers instead of relying on std::normal_distribution etc., whose
+// outputs are implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace flashmark {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Fast, 256-bit state, passes BigCrush; seeded via SplitMix64 so that any
+/// 64-bit seed (including 0) yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+
+  /// Normal with mean mu and standard deviation sigma.
+  double normal(double mu, double sigma);
+
+  /// Log-normal: exp(N(mu, sigma)). mu/sigma are parameters of the
+  /// underlying normal (i.e. of log X).
+  double lognormal(double mu, double sigma);
+
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang; handles k < 1 via the
+  /// boosting trick. Both parameters must be > 0.
+  double gamma(double shape, double scale);
+
+  /// Poisson(lambda). Knuth's method for small lambda, normal approximation
+  /// (rounded, clamped at 0) for lambda > 64 — plenty for our trap counts.
+  std::uint64_t poisson(double lambda);
+
+  /// Derive an independent child generator. Streams are decorrelated by
+  /// hashing (parent-draw, tag) through SplitMix64. Used to give each die /
+  /// segment / cell population its own stream so experiments compose without
+  /// perturbing one another's sequences.
+  Rng split(std::uint64_t tag);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// SplitMix64 step — also exposed for seed-derivation utilities.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace flashmark

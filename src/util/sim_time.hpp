@@ -1,0 +1,60 @@
+// Simulated-time value type used throughout the flash simulator.
+//
+// All controller operations (program, erase, partial erase, reads) advance a
+// simulated clock. The paper's headline timing numbers (imprint time, extract
+// time, partial erase windows) are sums of these per-command durations, so a
+// strongly-typed, exact representation matters: we use signed 64-bit
+// nanoseconds, which covers ±292 years without rounding.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace flashmark {
+
+/// A duration (or instant, when measured from simulation start) in simulated
+/// time. Integer nanoseconds; never floats, so accumulation is exact.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors. Prefer these over the raw-ns constructor.
+  static constexpr SimTime ns(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime us(std::int64_t v) { return SimTime{v * 1000}; }
+  static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  static constexpr SimTime sec(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+
+  /// Construct from a floating-point number of microseconds (rounded to ns).
+  /// Useful for physics-model outputs that are naturally real-valued.
+  static constexpr SimTime from_us(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1000.0 + (v >= 0 ? 0.5 : -0.5))};
+  }
+
+  constexpr std::int64_t as_ns() const { return ns_; }
+  constexpr double as_us() const { return static_cast<double>(ns_) / 1000.0; }
+  constexpr double as_ms() const { return static_cast<double>(ns_) / 1'000'000.0; }
+  constexpr double as_sec() const { return static_cast<double>(ns_) / 1'000'000'000.0; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  explicit constexpr SimTime(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+inline constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) { return SimTime::ns(static_cast<std::int64_t>(v)); }
+constexpr SimTime operator""_us(unsigned long long v) { return SimTime::us(static_cast<std::int64_t>(v)); }
+constexpr SimTime operator""_ms(unsigned long long v) { return SimTime::ms(static_cast<std::int64_t>(v)); }
+constexpr SimTime operator""_s(unsigned long long v) { return SimTime::sec(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace flashmark

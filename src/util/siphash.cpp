@@ -1,0 +1,74 @@
+#include "util/siphash.hpp"
+
+namespace flashmark {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t r = 0;
+  for (int i = 7; i >= 0; --i) r = (r << 8) | p[i];
+  return r;
+}
+}  // namespace
+
+std::uint64_t siphash24(const SipHashKey& key, const std::uint8_t* data,
+                        std::size_t len) {
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ull ^ key.k1;
+
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le64(data + i * 8);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length byte in the top position.
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xFF) << 56;
+  const std::uint8_t* tail = data + full_blocks * 8;
+  for (std::size_t i = 0; i < (len & 7); ++i)
+    b |= static_cast<std::uint64_t>(tail[i]) << (8 * i);
+  v3 ^= b;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xFF;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t siphash24(const SipHashKey& key,
+                        const std::vector<std::uint8_t>& data) {
+  return siphash24(key, data.data(), data.size());
+}
+
+}  // namespace flashmark

@@ -1,0 +1,32 @@
+// SipHash-2-4 keyed hash.
+//
+// The paper (§V) notes that "in addition to watermarks we may imprint
+// watermark signatures so that concurrent tampering by attackers cannot go
+// undetected". We realize that extension with a 64-bit keyed MAC over the
+// watermark payload: only the manufacturer holds the key, so a counterfeiter
+// who stresses extra cells (the only physical modification available — the
+// good→bad direction) cannot produce a payload+tag pair that verifies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flashmark {
+
+/// 128-bit key for SipHash.
+struct SipHashKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 of `len` bytes under `key` (reference algorithm by
+/// Aumasson & Bernstein; test vectors from the reference implementation).
+std::uint64_t siphash24(const SipHashKey& key, const std::uint8_t* data,
+                        std::size_t len);
+
+std::uint64_t siphash24(const SipHashKey& key,
+                        const std::vector<std::uint8_t>& data);
+
+}  // namespace flashmark

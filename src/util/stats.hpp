@@ -1,0 +1,57 @@
+// Small statistics helpers used by the characterization experiments and the
+// recycled-flash detector baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flashmark {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation between order statistics.
+/// Copies and sorts; fine for the segment-sized vectors we use.
+double percentile(std::vector<double> values, double p);
+
+/// Median convenience wrapper.
+double median(std::vector<double> values);
+
+/// Simple fixed-width histogram over [lo, hi); values outside are clamped to
+/// the edge bins. Used by characterization reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace flashmark

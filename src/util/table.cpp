@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flashmark {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt(std::size_t v) { return std::to_string(v); }
+std::string Table::fmt(long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-') << (c + 1 == header_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace flashmark

@@ -1,0 +1,43 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// numbers; this helper keeps the formatting uniform (aligned text table to
+// stdout, optional CSV to a file) so figure data can be re-plotted directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flashmark {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(long long v);
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; returns false (and keeps going) on IO failure so
+  /// bench binaries never abort over a missing directory.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flashmark

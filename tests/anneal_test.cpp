@@ -1,0 +1,139 @@
+// Thermal-anneal ("bake") model and the bake-attack outcome: bounded
+// recovery, watermark survives, recycled-wear signal survives.
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+#include "baseline/recycled_detector.hpp"
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+PhysParams params() { return PhysParams::msp430_calibrated(); }
+
+TEST(Anneal, ZeroOrNegativeHoursNoop) {
+  const PhysParams p = params();
+  Rng rng(1);
+  Cell c = Cell::manufacture(p, rng);
+  c.batch_stress(p, 10'000, true, false);
+  const double before = c.eff_cycles();
+  c.bake(p, 0.0);
+  c.bake(p, -5.0);
+  EXPECT_EQ(c.eff_cycles(), before);
+}
+
+TEST(Anneal, RecoveryBoundedByFraction) {
+  const PhysParams p = params();
+  Rng rng(2);
+  Cell c = Cell::manufacture(p, rng);
+  c.batch_stress(p, 10'000, true, false);
+  const double before = c.eff_cycles();
+  c.bake(p, 1e6);  // geological bake
+  EXPECT_LT(c.eff_cycles(), before);
+  EXPECT_GE(c.eff_cycles(), before * (1.0 - p.anneal_recovery_frac) - 1e-9);
+}
+
+TEST(Anneal, RepeatedBakesDoNotCompound) {
+  // The budget is a fraction of lifetime stress, not per-bake: baking ten
+  // times recovers no more than one infinite bake.
+  const PhysParams p = params();
+  Rng rng(3);
+  Cell a = Cell::manufacture(p, rng);
+  Cell b = a;
+  a.batch_stress(p, 10'000, true, false);
+  b.batch_stress(p, 10'000, true, false);
+  for (int i = 0; i < 10; ++i) a.bake(p, 500.0);
+  b.bake(p, 1e9);
+  EXPECT_GE(a.eff_cycles(), b.eff_cycles() - 1e-6);
+}
+
+TEST(Anneal, ShortBakeRecoversLessThanLongBake) {
+  const PhysParams p = params();
+  Rng rng(4);
+  Cell a = Cell::manufacture(p, rng);
+  Cell b = a;
+  a.batch_stress(p, 10'000, true, false);
+  b.batch_stress(p, 10'000, true, false);
+  a.bake(p, 5.0);
+  b.bake(p, 500.0);
+  EXPECT_GT(a.eff_cycles(), b.eff_cycles());
+}
+
+TEST(Anneal, FreshCellUnaffected) {
+  const PhysParams p = params();
+  Rng rng(5);
+  Cell c = Cell::manufacture(p, rng);
+  c.bake(p, 1000.0);
+  EXPECT_EQ(c.eff_cycles(), 0.0);
+}
+
+TEST(Anneal, StressAfterBakeReopensBudgetProportionally) {
+  const PhysParams p = params();
+  Rng rng(6);
+  Cell c = Cell::manufacture(p, rng);
+  c.batch_stress(p, 10'000, true, false);
+  c.bake(p, 1e6);  // budget exhausted
+  const double after_first = c.eff_cycles();
+  c.batch_stress(p, 10'000, true, false);
+  c.bake(p, 1e6);  // new stress -> new (fractional) budget
+  EXPECT_LT(c.eff_cycles(), after_first + 10'000.0);
+  EXPECT_GT(c.eff_cycles(), after_first + 10'000.0 * 0.85);
+}
+
+TEST(BakeAttack, WatermarkSurvivesTheOven) {
+  const SipHashKey key{0xBA, 0x4E};
+  Device chip(DeviceConfig::msp430f5438(), 501);
+  const Addr wm = chip.config().geometry.segment_base(0);
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, 0x99, 1, TestStatus::kReject, 0x200};
+  spec.key = key;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  imprint_watermark(chip.hal(), wm, spec);
+
+  bake_attack(chip, 500.0);  // three weeks in the oven
+
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.key = key;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  const VerifyReport r = verify_watermark(chip.hal(), wm, vo);
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->status, TestStatus::kReject);
+}
+
+TEST(BakeAttack, RecycledWearStillDetected) {
+  Device golden(DeviceConfig::msp430f5438(), 502);
+  Device suspect(DeviceConfig::msp430f5438(), 503);
+  const auto& g = golden.config().geometry;
+  simulate_field_usage(suspect.hal(), {g.segment_base(1)}, 50'000);
+  bake_attack(suspect, 500.0);
+
+  RecycledDetector det;
+  det.calibrate(golden.hal(), g.segment_base(0));
+  EXPECT_TRUE(det.assess(suspect.hal(), g.segment_base(1)).recycled);
+}
+
+TEST(BakeAttack, BakeDoesShaveTheWearScore) {
+  // The model is honest: a bake recovers a little (bounded), visible as a
+  // slightly lower wear score — but nowhere near the fresh band.
+  Device a(DeviceConfig::msp430f5438(), 504);
+  Device b(DeviceConfig::msp430f5438(), 504);  // same die
+  const auto& g = a.config().geometry;
+  simulate_field_usage(a.hal(), {g.segment_base(1)}, 50'000);
+  simulate_field_usage(b.hal(), {g.segment_base(1)}, 50'000);
+  bake_attack(b, 1e6);
+
+  RecycledDetector det;
+  det.calibrate_from(SimTime::us(40));
+  const double unbaked = det.assess(a.hal(), g.segment_base(1)).wear_score;
+  const double baked = det.assess(b.hal(), g.segment_base(1)).wear_score;
+  EXPECT_LT(baked, unbaked);
+  EXPECT_GT(baked, 1.5);  // still far above the recycled threshold
+}
+
+}  // namespace
+}  // namespace flashmark

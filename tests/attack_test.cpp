@@ -1,0 +1,177 @@
+#include "attack/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+const SipHashKey kKey{0xA1, 0xB2};
+
+WatermarkSpec spec(TestStatus status = TestStatus::kReject) {
+  WatermarkSpec s;
+  s.fields = {0x7C01, 0x1234, 1, status, 0x111};
+  s.key = kKey;
+  s.n_replicas = 7;
+  s.npe = 60'000;
+  s.strategy = ImprintStrategy::kBatchWear;
+  return s;
+}
+
+VerifyOptions vopts() {
+  VerifyOptions v;
+  v.t_pew = SimTime::us(30);
+  v.n_replicas = 7;
+  v.key = kKey;
+  v.rounds = 3;
+  v.n_reads = 3;
+  return v;
+}
+
+TEST(Attack, ForgeOnBlankChipYieldsNoWatermark) {
+  Device dev(DeviceConfig::msp430f5438(), 201);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  const auto enc = encode_watermark(spec(TestStatus::kAccept), 4096);
+  forge_attack(dev.hal(), addr, enc.segment_pattern);
+  // The digital content is there...
+  EXPECT_NE(dev.hal().read_word(addr), 0xFFFF);
+  // ...but extraction sees no stress contrast.
+  EXPECT_EQ(verify_watermark(dev.hal(), addr, vopts()).verdict,
+            Verdict::kNoWatermark);
+}
+
+TEST(Attack, ForgeCannotOverwritePhysicalWatermark) {
+  // Irreversibility: erase + reprogram leaves the imprint intact.
+  Device dev(DeviceConfig::msp430f5438(), 202);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  imprint_watermark(dev.hal(), addr, spec(TestStatus::kReject));
+
+  const auto forged = encode_watermark(spec(TestStatus::kAccept), 4096);
+  forge_attack(dev.hal(), addr, forged.segment_pattern);
+
+  const VerifyReport r = verify_watermark(dev.hal(), addr, vopts());
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->status, TestStatus::kReject);  // original survives
+}
+
+TEST(Attack, StressAttackDetectedAsTampered) {
+  Device dev(DeviceConfig::msp430f5438(), 203);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  imprint_watermark(dev.hal(), addr, spec());
+
+  // A layout-aware attacker stresses the SAME payload bits in every
+  // replica (anything less is healed by the replica vote). Build a target
+  // that zeroes 30 payload-bit rails across all 7 copies.
+  const std::size_t replica_bits = spec().replica_bits();
+  BitVec slice(replica_bits, true);
+  for (std::size_t i = 0; i < 30; ++i) slice.set(i * 9 % replica_bits, false);
+  const BitVec target = replicate_pattern(slice, 7, 4096);
+  stress_attack(dev.hal(), addr, target, 60'000);
+
+  const VerifyReport r = verify_watermark(dev.hal(), addr, vopts());
+  EXPECT_EQ(r.verdict, Verdict::kTampered);
+  EXPECT_GT(r.invalid_00_pairs, 0u);
+}
+
+TEST(Attack, ScatteredLightStressHealedByReplication) {
+  // A lazy attacker stresses scattered cells (different payload positions
+  // in different replicas). The replica vote heals it: the chip still
+  // verifies genuine with its ORIGINAL payload — the attack achieved
+  // nothing.
+  Device dev(DeviceConfig::msp430f5438(), 212);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  imprint_watermark(dev.hal(), addr, spec(TestStatus::kReject));
+
+  BitVec target(4096, true);
+  for (std::size_t i = 0; i < 60; ++i) target.set((i * 97) % 4096, false);
+  stress_attack(dev.hal(), addr, target, 60'000);
+
+  const VerifyReport r = verify_watermark(dev.hal(), addr, vopts());
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->status, TestStatus::kReject);
+}
+
+TEST(Attack, RewriteAttackReportsImpossibleFlips) {
+  Device dev(DeviceConfig::msp430f5438(), 204);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  const auto cur = encode_watermark(spec(TestStatus::kReject), 4096);
+  const auto want = encode_watermark(spec(TestStatus::kAccept), 4096);
+  imprint_watermark(dev.hal(), addr, spec(TestStatus::kReject));
+
+  const RewriteAttackReport r =
+      rewrite_attack(dev.hal(), addr, cur.segment_pattern, want.segment_pattern,
+                     60'000);
+  // Dual-rail: every payload bit change needs one 0->1 flip, so exactly as
+  // many impossible flips as applied ones, and both are non-zero.
+  EXPECT_GT(r.flips_impossible, 0u);
+  EXPECT_EQ(r.flips_applied, r.flips_impossible);
+
+  // And the result is not a valid accept watermark.
+  const VerifyReport v = verify_watermark(dev.hal(), addr, vopts());
+  EXPECT_NE(v.verdict, Verdict::kGenuine);
+}
+
+TEST(Attack, RewriteIdenticalPatternsIsNoop) {
+  Device dev(DeviceConfig::msp430f5438(), 205);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  const auto cur = encode_watermark(spec(), 4096);
+  const RewriteAttackReport r =
+      rewrite_attack(dev.hal(), addr, cur.segment_pattern, cur.segment_pattern,
+                     1000);
+  EXPECT_EQ(r.flips_applied, 0u);
+  EXPECT_EQ(r.flips_impossible, 0u);
+  EXPECT_EQ(r.stress.cycles, 0u);
+}
+
+TEST(Attack, RewriteSizeMismatchThrows) {
+  Device dev(DeviceConfig::msp430f5438(), 206);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  EXPECT_THROW(rewrite_attack(dev.hal(), addr, BitVec(10), BitVec(12), 10),
+               std::invalid_argument);
+}
+
+TEST(Attack, CloneOfValidWatermarkVerifies) {
+  // Documented residual risk: cloning a *valid* watermark works; catching
+  // it requires die-id tracking, not physics.
+  Device genuine(DeviceConfig::msp430f5438(), 207);
+  Device blank(DeviceConfig::msp430f5438(), 208);
+  const Addr ga = genuine.config().geometry.segment_base(0);
+  const Addr ba = blank.config().geometry.segment_base(0);
+  imprint_watermark(genuine.hal(), ga, spec(TestStatus::kAccept));
+
+  clone_attack(genuine.hal(), ga, blank.hal(), ba, vopts(), 60'000);
+  const VerifyReport r = verify_watermark(blank.hal(), ba, vopts());
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  // The clone carries the genuine die's id — a die-id registry flags it.
+  EXPECT_EQ(r.fields->die_id, spec().fields.die_id);
+}
+
+TEST(Attack, CloneCannotUpgradeRejectToAccept) {
+  // Cloning copies bits; without the key the attacker cannot make a
+  // *different* payload verify. Clone a REJECT die and check the clone
+  // still says reject.
+  Device genuine(DeviceConfig::msp430f5438(), 209);
+  Device blank(DeviceConfig::msp430f5438(), 210);
+  const Addr ga = genuine.config().geometry.segment_base(0);
+  const Addr ba = blank.config().geometry.segment_base(0);
+  imprint_watermark(genuine.hal(), ga, spec(TestStatus::kReject));
+  clone_attack(genuine.hal(), ga, blank.hal(), ba, vopts(), 60'000);
+  const VerifyReport r = verify_watermark(blank.hal(), ba, vopts());
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->status, TestStatus::kReject);
+}
+
+TEST(Attack, SimulateFieldUsageWearsSegments) {
+  Device dev(DeviceConfig::msp430f5438(), 211);
+  const auto& g = dev.config().geometry;
+  simulate_field_usage(dev.hal(), {g.segment_base(1), g.segment_base(2)},
+                       30'000);
+  EXPECT_GT(dev.array().wear_stats(1).eff_cycles_mean, 10'000.0);
+  EXPECT_GT(dev.array().wear_stats(2).eff_cycles_mean, 10'000.0);
+  EXPECT_EQ(dev.array().wear_stats(3).eff_cycles_mean, 0.0);
+}
+
+}  // namespace
+}  // namespace flashmark

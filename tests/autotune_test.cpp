@@ -1,0 +1,98 @@
+// Integrator-side tPEW auto-tuning: recover the extraction window without
+// the vendor-published value.
+#include <gtest/gtest.h>
+
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+const SipHashKey kKey{0x70, 0x4E};
+
+WatermarkSpec spec() {
+  WatermarkSpec s;
+  s.fields = {0x7C01, 0x777, 2, TestStatus::kAccept, 0x3AA};
+  s.key = kKey;
+  s.n_replicas = 7;
+  s.npe = 60'000;
+  s.strategy = ImprintStrategy::kBatchWear;
+  return s;
+}
+
+VerifyOptions vopts() {
+  VerifyOptions v;
+  v.n_replicas = 7;
+  v.key = kKey;
+  v.rounds = 3;
+  v.n_reads = 3;
+  return v;
+}
+
+TEST(AutoTune, RejectsBadRange) {
+  Device dev(DeviceConfig::msp430f5438(), 601);
+  const Addr a = dev.config().geometry.segment_base(0);
+  EXPECT_THROW(
+      auto_tune_tpew(dev.hal(), a, vopts(), SimTime::us(30), SimTime::us(20)),
+      std::invalid_argument);
+  EXPECT_THROW(auto_tune_tpew(dev.hal(), a, vopts(), SimTime::us(10),
+                              SimTime::us(20), SimTime::us(0)),
+               std::invalid_argument);
+}
+
+TEST(AutoTune, FindsAWorkingWindow) {
+  Device dev(DeviceConfig::msp430f5438(), 602);
+  const Addr a = dev.config().geometry.segment_base(0);
+  imprint_watermark(dev.hal(), a, spec());
+
+  const TpewTuneResult tuned = auto_tune_tpew(dev.hal(), a, vopts());
+  // The healthy window for this family sits in the mid-20s..40s us.
+  EXPECT_GE(tuned.t_pew, SimTime::us(20));
+  EXPECT_LE(tuned.t_pew, SimTime::us(45));
+
+  VerifyOptions v = vopts();
+  v.t_pew = tuned.t_pew;
+  const VerifyReport r = verify_watermark(dev.hal(), a, v);
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->die_id, 0x777u);
+}
+
+class AutoTuneNpeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AutoTuneNpeSweep, TracksTheShiftingWindow) {
+  // Fig. 9: the optimal window shifts right as NPE grows; auto-tuning must
+  // follow it and still decode.
+  Device dev(DeviceConfig::msp430f5438(), 603 + GetParam());
+  const Addr a = dev.config().geometry.segment_base(0);
+  WatermarkSpec s = spec();
+  s.npe = GetParam();
+  imprint_watermark(dev.hal(), a, s);
+
+  const TpewTuneResult tuned = auto_tune_tpew(dev.hal(), a, vopts());
+  VerifyOptions v = vopts();
+  v.t_pew = tuned.t_pew;
+  const VerifyReport r = verify_watermark(dev.hal(), a, v);
+  EXPECT_EQ(r.verdict, Verdict::kGenuine) << "npe " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Npe, AutoTuneNpeSweep,
+                         ::testing::Values(40'000, 60'000, 80'000));
+
+TEST(AutoTune, ScoreHighOnFreshSegment) {
+  // A fresh segment never looks half-stressed: the best score stays far
+  // from a genuine watermark's near-zero score.
+  Device dev(DeviceConfig::msp430f5438(), 604);
+  const Addr a = dev.config().geometry.segment_base(0);
+  const TpewTuneResult fresh = auto_tune_tpew(dev.hal(), a, vopts());
+
+  Device marked(DeviceConfig::msp430f5438(), 605);
+  const Addr b = marked.config().geometry.segment_base(0);
+  imprint_watermark(marked.hal(), b, spec());
+  const TpewTuneResult genuine = auto_tune_tpew(marked.hal(), b, vopts());
+
+  EXPECT_GT(fresh.score, genuine.score * 3);
+}
+
+}  // namespace
+}  // namespace flashmark

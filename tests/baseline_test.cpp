@@ -1,0 +1,146 @@
+#include "baseline/conventional_mark.hpp"
+#include "baseline/recycled_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+WatermarkFields fields(TestStatus st = TestStatus::kAccept) {
+  return {0x7C01, 0xFEED, 4, st, 0x222};
+}
+
+TEST(ConventionalMark, WriteReadRoundtrip) {
+  Device dev(DeviceConfig::msp430f5438(), 301);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  conventional_mark_write(dev.hal(), addr, fields());
+  const auto back = conventional_mark_read(dev.hal(), addr);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fields());
+}
+
+TEST(ConventionalMark, UnwrittenSegmentUnreadable) {
+  Device dev(DeviceConfig::msp430f5438(), 302);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  EXPECT_FALSE(conventional_mark_read(dev.hal(), addr).has_value());
+}
+
+TEST(ConventionalMark, ForgerySucceedsTrivially) {
+  // The whole point of the baseline: any party can rewrite it.
+  Device dev(DeviceConfig::msp430f5438(), 303);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  conventional_mark_write(dev.hal(), addr, fields(TestStatus::kReject));
+  conventional_mark_forge(dev.hal(), addr, fields(TestStatus::kAccept));
+  const auto back = conventional_mark_read(dev.hal(), addr);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, TestStatus::kAccept);  // forged, undetected
+}
+
+TEST(ConventionalMark, ForgeryIsFast) {
+  Device dev(DeviceConfig::msp430f5438(), 304);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  conventional_mark_write(dev.hal(), addr, fields(TestStatus::kReject));
+  const SimTime t0 = dev.hal().now();
+  conventional_mark_forge(dev.hal(), addr, fields(TestStatus::kAccept));
+  // Sub-second forgery vs hundreds of seconds of imprint stress.
+  EXPECT_LT(dev.hal().now() - t0, SimTime::ms(100));
+}
+
+TEST(RecycledDetector, AssessBeforeCalibrateThrows) {
+  Device dev(DeviceConfig::msp430f5438(), 305);
+  RecycledDetector det;
+  EXPECT_THROW(det.assess(dev.hal(), dev.config().geometry.segment_base(0)),
+               std::logic_error);
+}
+
+TEST(RecycledDetector, CalibrateFromValidates) {
+  RecycledDetector det;
+  EXPECT_THROW(det.calibrate_from(SimTime::us(0)), std::invalid_argument);
+  det.calibrate_from(SimTime::us(40));
+  EXPECT_TRUE(det.calibrated());
+  EXPECT_EQ(det.threshold(), SimTime::us(60));  // x1.5 guard
+}
+
+TEST(RecycledDetector, FreshChipPasses) {
+  Device dev(DeviceConfig::msp430f5438(), 306);
+  const auto& g = dev.config().geometry;
+  RecycledDetector det;
+  det.calibrate(dev.hal(), g.segment_base(0));
+  const RecycledAssessment a = det.assess(dev.hal(), g.segment_base(1));
+  EXPECT_FALSE(a.recycled);
+  EXPECT_LT(a.wear_score, 1.0);
+}
+
+class RecycledUsageSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RecycledUsageSweep, UsedChipFlagged) {
+  Device golden(DeviceConfig::msp430f5438(), 307);
+  Device suspect(DeviceConfig::msp430f5438(), 308);
+  const auto& g = golden.config().geometry;
+
+  RecycledDetector det;
+  det.calibrate(golden.hal(), g.segment_base(0));
+
+  simulate_field_usage(suspect.hal(), {g.segment_base(1)}, GetParam());
+  const RecycledAssessment a = det.assess(suspect.hal(), g.segment_base(1));
+  EXPECT_TRUE(a.recycled) << "cycles=" << GetParam();
+  EXPECT_GT(a.wear_score, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Usage, RecycledUsageSweep,
+                         ::testing::Values(10'000, 30'000, 80'000));
+
+TEST(RecycledDetector, LightUsageBelowGuardPasses) {
+  // A few hundred cycles keeps erase times inside the fresh guard band —
+  // the documented blind spot of timing-based recycled detection.
+  Device golden(DeviceConfig::msp430f5438(), 309);
+  Device suspect(DeviceConfig::msp430f5438(), 310);
+  const auto& g = golden.config().geometry;
+  RecycledDetector det;
+  det.calibrate(golden.hal(), g.segment_base(0));
+  simulate_field_usage(suspect.hal(), {g.segment_base(1)}, 200);
+  EXPECT_FALSE(det.assess(suspect.hal(), g.segment_base(1)).recycled);
+}
+
+TEST(RecycledDetector, ChipLevelVotePicksWorstSegment) {
+  Device golden(DeviceConfig::msp430f5438(), 311);
+  Device suspect(DeviceConfig::msp430f5438(), 312);
+  const auto& g = golden.config().geometry;
+  RecycledDetector det;
+  det.calibrate(golden.hal(), g.segment_base(0));
+
+  // Only one of three probed segments was heavily used.
+  simulate_field_usage(suspect.hal(), {g.segment_base(2)}, 50'000);
+  const RecycledAssessment a = det.assess_chip(
+      suspect.hal(),
+      {g.segment_base(1), g.segment_base(2), g.segment_base(3)});
+  EXPECT_TRUE(a.recycled);
+}
+
+TEST(RecycledDetector, AssessChipRequiresSegments) {
+  Device dev(DeviceConfig::msp430f5438(), 313);
+  RecycledDetector det;
+  det.calibrate_from(SimTime::us(40));
+  EXPECT_THROW(det.assess_chip(dev.hal(), {}), std::invalid_argument);
+}
+
+TEST(RecycledDetector, CannotReadManufacturerPayload) {
+  // Contrast with Flashmark: the recycled detector answers "was it used?",
+  // never "who made it / was it accepted?". This is structural — its only
+  // output is a timing score.
+  Device dev(DeviceConfig::msp430f5438(), 314);
+  const auto& g = dev.config().geometry;
+  RecycledDetector det;
+  det.calibrate(dev.hal(), g.segment_base(0));
+  const RecycledAssessment a = det.assess(dev.hal(), g.segment_base(1));
+  EXPECT_FALSE(a.recycled);
+  // Nothing in RecycledAssessment carries identity: its entire output is
+  // the timing score asserted above.
+  EXPECT_GT(a.wear_score, 0.0);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,95 @@
+#include "core/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  Device dev{DeviceConfig::msp430f5438(), 11};
+  FlashHal& hal = dev.hal();
+  Addr addr = dev.config().geometry.segment_base(0);
+};
+
+TEST(Analyze, RejectsEvenOrZeroReads) {
+  Rig r;
+  EXPECT_THROW(analyze_segment(r.hal, r.addr, 0), std::invalid_argument);
+  EXPECT_THROW(analyze_segment(r.hal, r.addr, 2), std::invalid_argument);
+  EXPECT_THROW(analyze_segment(r.hal, r.addr, 4), std::invalid_argument);
+}
+
+TEST(Analyze, FreshSegmentAllErased) {
+  Rig r;
+  const SegmentAnalysis a = analyze_segment(r.hal, r.addr, 1);
+  EXPECT_EQ(a.cells_1, 4096u);
+  EXPECT_EQ(a.cells_0, 0u);
+  EXPECT_EQ(a.bitmap, BitVec(4096, true));
+}
+
+TEST(Analyze, ProgrammedSegmentAllZero) {
+  Rig r;
+  r.hal.program_block(r.addr, std::vector<std::uint16_t>(256, 0));
+  const SegmentAnalysis a = analyze_segment(r.hal, r.addr, 3);
+  EXPECT_EQ(a.cells_0, 4096u);
+  EXPECT_EQ(a.cells_1, 0u);
+}
+
+TEST(Analyze, CountsAlwaysSumToCells) {
+  Rig r;
+  r.hal.program_block(r.addr, std::vector<std::uint16_t>(256, 0));
+  r.hal.partial_erase_segment(r.addr, SimTime::us(24));
+  for (int n : {1, 3, 5}) {
+    const SegmentAnalysis a = analyze_segment(r.hal, r.addr, n);
+    EXPECT_EQ(a.cells_0 + a.cells_1, 4096u);
+    EXPECT_EQ(a.bitmap.popcount(), a.cells_1);
+  }
+}
+
+TEST(Analyze, BitmapMatchesWordLayout) {
+  Rig r;
+  r.hal.program_word(r.addr, 0xFFFE);        // clear bit 0 of word 0
+  r.hal.program_word(r.addr + 2, 0x7FFF);    // clear bit 15 of word 1
+  const SegmentAnalysis a = analyze_segment(r.hal, r.addr, 1);
+  EXPECT_FALSE(a.bitmap.get(0));
+  EXPECT_TRUE(a.bitmap.get(1));
+  EXPECT_FALSE(a.bitmap.get(16 + 15));
+  EXPECT_EQ(a.cells_0, 2u);
+}
+
+TEST(Analyze, MajorityVoteStabilizesMetastableCells) {
+  // After a partial erase near the median tte, many cells are metastable;
+  // repeated 9-read analyses agree with each other far more than repeated
+  // single-read analyses do.
+  Rig r;
+  r.hal.program_block(r.addr, std::vector<std::uint16_t>(256, 0));
+  r.hal.partial_erase_segment(r.addr, SimTime::us(24));
+
+  const BitVec s1a = analyze_segment(r.hal, r.addr, 1).bitmap;
+  const BitVec s1b = analyze_segment(r.hal, r.addr, 1).bitmap;
+  const BitVec s9a = analyze_segment(r.hal, r.addr, 9).bitmap;
+  const BitVec s9b = analyze_segment(r.hal, r.addr, 9).bitmap;
+
+  const std::size_t d1 = BitVec::hamming_distance(s1a, s1b);
+  const std::size_t d9 = BitVec::hamming_distance(s9a, s9b);
+  EXPECT_LT(d9, d1);
+  EXPECT_GT(d1, 0u);  // single reads do disagree on this workload
+}
+
+TEST(Analyze, WorksOnInfoSegments) {
+  Rig r;
+  const auto& g = r.dev.config().geometry;
+  const Addr info = g.segment_base(g.n_main_segments());
+  const SegmentAnalysis a = analyze_segment(r.hal, info, 3);
+  EXPECT_EQ(a.cells_1, g.info_segment_bytes * 8);
+}
+
+TEST(Analyze, MidSegmentAddressAnalyzesWholeSegment) {
+  Rig r;
+  const SegmentAnalysis a = analyze_segment(r.hal, r.addr + 100, 1);
+  EXPECT_EQ(a.cells_0 + a.cells_1, 4096u);
+}
+
+}  // namespace
+}  // namespace flashmark

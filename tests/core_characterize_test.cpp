@@ -1,0 +1,129 @@
+#include "core/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  Device dev{DeviceConfig::msp430f5438(), 21};
+  FlashHal& hal = dev.hal();
+  Addr addr(std::size_t i) { return dev.config().geometry.segment_base(i); }
+};
+
+TEST(Characterize, RejectsBadOptions) {
+  Rig r;
+  CharacterizeOptions o;
+  o.t_step = SimTime::us(0);
+  EXPECT_THROW(characterize_segment(r.hal, r.addr(0), o), std::invalid_argument);
+  o = {};
+  o.t_end = SimTime::us(-1);
+  EXPECT_THROW(characterize_segment(r.hal, r.addr(0), o), std::invalid_argument);
+}
+
+TEST(Characterize, FreshSegmentCurveShape) {
+  // Paper Fig. 4, 0 K: all programmed below ~18 us, all erased above ~35 us,
+  // abrupt transition in between.
+  Rig r;
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(60);
+  o.t_step = SimTime::us(2);
+  const auto curve = characterize_segment(r.hal, r.addr(0), o);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_EQ(curve.front().cells_0, 4096u);  // t=0: nothing erased
+  EXPECT_EQ(curve.back().cells_1, 4096u);   // t=60us: everything erased
+  for (const auto& p : curve) EXPECT_EQ(p.cells_0 + p.cells_1, 4096u);
+  // Before 15 us nothing moves; after 40 us everything has.
+  for (const auto& p : curve) {
+    if (p.t_pe <= SimTime::us(14)) {
+      EXPECT_GE(p.cells_0, 4090u);
+    }
+    if (p.t_pe >= SimTime::us(40)) {
+      EXPECT_EQ(p.cells_0, 0u);
+    }
+  }
+}
+
+TEST(Characterize, StressedSegmentTransitionsLaterAndWider) {
+  Rig r;
+  r.hal.wear_segment(r.addr(1), 20'000);
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(150);
+  o.t_step = SimTime::us(2);
+  const auto fresh = characterize_segment(r.hal, r.addr(0), o);
+  const auto worn = characterize_segment(r.hal, r.addr(1), o);
+  EXPECT_GT(full_erase_time(worn), full_erase_time(fresh));
+  // At 40 us the fresh segment is done but the worn one is not.
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (fresh[i].t_pe == SimTime::us(40)) {
+      EXPECT_EQ(fresh[i].cells_0, 0u);
+      EXPECT_GT(worn[i].cells_0, 100u);
+    }
+  }
+}
+
+class CharacterizeStressSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CharacterizeStressSweep, FullEraseTimeMonotoneInStress) {
+  Rig r;
+  const std::uint32_t cycles = GetParam();
+  r.hal.wear_segment(r.addr(2), cycles);
+  r.hal.wear_segment(r.addr(3), cycles * 2);
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(1500);
+  o.t_step = SimTime::us(5);
+  o.settle_points = 2;
+  const SimTime lo = full_erase_time(characterize_segment(r.hal, r.addr(2), o));
+  const SimTime hi = full_erase_time(characterize_segment(r.hal, r.addr(3), o));
+  EXPECT_GT(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, CharacterizeStressSweep,
+                         ::testing::Values(10'000, 25'000, 50'000));
+
+TEST(Characterize, SettlePointsStopsEarly) {
+  Rig r;
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(2000);
+  o.t_step = SimTime::us(2);
+  o.settle_points = 3;
+  const auto curve = characterize_segment(r.hal, r.addr(0), o);
+  // A fresh segment settles around 35 us; with early exit the sweep must
+  // stop far before 2000 us.
+  EXPECT_LT(curve.back().t_pe, SimTime::us(100));
+}
+
+TEST(Characterize, FullEraseTimeOfEmptyCurveThrows) {
+  EXPECT_THROW(full_erase_time({}), std::invalid_argument);
+}
+
+TEST(Characterize, FullEraseTimeNeverSettledReturnsLastPoint) {
+  std::vector<CharacterizePoint> curve = {{SimTime::us(5), 10, 0},
+                                          {SimTime::us(10), 5, 5}};
+  EXPECT_EQ(full_erase_time(curve), SimTime::us(10));
+}
+
+TEST(Characterize, RecommendTpewJustPastFreshWindow) {
+  Rig r;
+  const SimTime tpew = recommend_tpew(r.hal, r.addr(4));
+  // Fresh cells all erase by ~36 us; the window lands slightly past that.
+  EXPECT_GT(tpew, SimTime::us(30));
+  EXPECT_LT(tpew, SimTime::us(55));
+}
+
+TEST(Characterize, SweepUsesOnePECyclePerPoint) {
+  Rig r;
+  const double before = r.dev.array().wear_stats(5).eff_cycles_mean;
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(20);
+  o.t_step = SimTime::us(10);  // 3 points
+  characterize_segment(r.hal, r.addr(5), o);
+  const double after = r.dev.array().wear_stats(5).eff_cycles_mean;
+  EXPECT_GT(after, before);
+  EXPECT_LT(after - before, 5.0);  // a few cycles, not thousands
+}
+
+}  // namespace
+}  // namespace flashmark

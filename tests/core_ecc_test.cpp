@@ -1,0 +1,104 @@
+#include "core/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace flashmark {
+namespace {
+
+BitVec data11(std::uint16_t v) {
+  BitVec d(kHammingDataBits);
+  for (std::size_t i = 0; i < kHammingDataBits; ++i)
+    d.set(i, (v >> i) & 1u);
+  return d;
+}
+
+TEST(Hamming, BlockRoundtripCleanAllValues) {
+  for (std::uint16_t v = 0; v < (1u << kHammingDataBits); v += 37) {
+    const BitVec code = hamming15_encode_block(data11(v));
+    EXPECT_EQ(code.size(), kHammingCodeBits);
+    const HammingBlockDecode d = hamming15_decode_block(code);
+    EXPECT_FALSE(d.corrected);
+    EXPECT_EQ(d.data, data11(v));
+  }
+}
+
+class HammingErrorPosition : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HammingErrorPosition, CorrectsSingleBitAnywhere) {
+  const BitVec data = data11(0x5A5);
+  BitVec code = hamming15_encode_block(data);
+  code.flip(GetParam());
+  const HammingBlockDecode d = hamming15_decode_block(code);
+  EXPECT_TRUE(d.corrected);
+  EXPECT_EQ(d.data, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, HammingErrorPosition,
+                         ::testing::Range<std::size_t>(0, kHammingCodeBits));
+
+TEST(Hamming, BlockSizeValidation) {
+  EXPECT_THROW(hamming15_encode_block(BitVec(10)), std::invalid_argument);
+  EXPECT_THROW(hamming15_decode_block(BitVec(14)), std::invalid_argument);
+}
+
+TEST(Hamming, StreamRoundtrip) {
+  Rng rng(1);
+  BitVec payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload.set(i, rng.bernoulli(0.5));
+  const BitVec code = hamming15_encode(payload);
+  EXPECT_EQ(code.size(), hamming15_encoded_bits(100));
+  const HammingDecode d = hamming15_decode(code, 100);
+  EXPECT_EQ(d.payload, payload);
+  EXPECT_EQ(d.corrected_blocks, 0u);
+}
+
+TEST(Hamming, StreamCorrectsOneErrorPerBlock) {
+  Rng rng(2);
+  BitVec payload(88);  // exactly 8 blocks
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload.set(i, rng.bernoulli(0.5));
+  BitVec code = hamming15_encode(payload);
+  // One error in every block, at varying positions.
+  for (std::size_t b = 0; b < 8; ++b)
+    code.flip(b * kHammingCodeBits + (b * 3) % kHammingCodeBits);
+  const HammingDecode d = hamming15_decode(code, 88);
+  EXPECT_EQ(d.payload, payload);
+  EXPECT_EQ(d.corrected_blocks, 8u);
+}
+
+TEST(Hamming, TwoErrorsInABlockMisdecode) {
+  // Documented limitation: Hamming(15,11) is SEC only.
+  const BitVec data = data11(0x2BC);
+  BitVec code = hamming15_encode_block(data);
+  code.flip(1);
+  code.flip(9);
+  const HammingBlockDecode d = hamming15_decode_block(code);
+  EXPECT_NE(d.data, data);
+}
+
+TEST(Hamming, EncodedBitsArithmetic) {
+  EXPECT_EQ(hamming15_encoded_bits(11), 15u);
+  EXPECT_EQ(hamming15_encoded_bits(12), 30u);
+  EXPECT_EQ(hamming15_encoded_bits(22), 30u);
+  EXPECT_EQ(hamming15_encoded_bits(1), 15u);
+}
+
+TEST(Hamming, StreamValidation) {
+  EXPECT_THROW(hamming15_encode(BitVec()), std::invalid_argument);
+  EXPECT_THROW(hamming15_decode(BitVec(14), 5), std::invalid_argument);
+  EXPECT_THROW(hamming15_decode(BitVec(15), 12), std::invalid_argument);
+}
+
+TEST(Hamming, PaddingBitsDoNotLeak) {
+  BitVec payload(5, true);
+  const BitVec code = hamming15_encode(payload);
+  const HammingDecode d = hamming15_decode(code, 5);
+  EXPECT_EQ(d.payload.size(), 5u);
+  EXPECT_EQ(d.payload, payload);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,227 @@
+#include "core/extended.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ecc.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+const SipHashKey kKey{0xE0, 0xE1};
+
+ExtendedPayload payload(std::size_t blob_bytes) {
+  ExtendedPayload p;
+  p.fields = {0x7C01, 0xCAFE, 3, TestStatus::kAccept, 0x28A};
+  p.blob.resize(blob_bytes);
+  for (std::size_t i = 0; i < blob_bytes; ++i)
+    p.blob[i] = static_cast<std::uint8_t>(i * 37 + 5);
+  return p;
+}
+
+TEST(ExtendedCodec, PackedBitsArithmetic) {
+  EXPECT_EQ(extended_packed_bits(0), 12u + 64 + 32);
+  EXPECT_EQ(extended_packed_bits(10), 12u + 64 + 80 + 32);
+}
+
+class ExtendedBlobSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExtendedBlobSweep, PackUnpackRoundtrip) {
+  const ExtendedPayload p = payload(GetParam());
+  const BitVec bits = pack_extended(p);
+  EXPECT_EQ(bits.size(), extended_packed_bits(GetParam()));
+  const auto back = unpack_extended(bits);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExtendedBlobSweep,
+                         ::testing::Values(0, 1, 7, 32, 100, 255));
+
+TEST(ExtendedCodec, OversizedBlobRejected) {
+  ExtendedPayload p = payload(0);
+  p.blob.resize(256);
+  EXPECT_THROW(pack_extended(p), std::invalid_argument);
+}
+
+TEST(ExtendedCodec, UnpackRejectsCorruption) {
+  const BitVec bits = pack_extended(payload(16));
+  for (std::size_t i = 0; i < bits.size(); i += 13) {
+    BitVec bad = bits;
+    bad.flip(i);
+    EXPECT_FALSE(unpack_extended(bad).has_value()) << "bit " << i;
+  }
+}
+
+TEST(ExtendedCodec, UnpackRejectsBadVersionAndSize) {
+  BitVec bits = pack_extended(payload(4));
+  BitVec wrong_version = bits;
+  wrong_version.flip(1);  // version field
+  EXPECT_FALSE(unpack_extended(wrong_version).has_value());
+  EXPECT_FALSE(unpack_extended(bits.slice(0, bits.size() - 1)).has_value());
+  EXPECT_FALSE(unpack_extended(BitVec(10)).has_value());
+}
+
+TEST(ExtendedPlan, SingleSegmentForSmallBlobs) {
+  ExtendedSpec spec;
+  spec.payload = payload(16);
+  spec.key = kKey;
+  spec.n_replicas = 3;
+  const ExtendedLayout layout = plan_extended(spec, 4096);
+  EXPECT_EQ(layout.n_segments, 1u);
+  EXPECT_EQ(layout.chunk_bits % 2, 0u);
+  // signed = 236 + 64 = 300 bits; Hamming(15,11) -> 420; dual-rail -> 840.
+  EXPECT_EQ(layout.encoded_bits,
+            2 * hamming15_encoded_bits(extended_packed_bits(16) +
+                                       kSignatureBits));
+}
+
+TEST(ExtendedPlan, LargeBlobSpansSegments) {
+  ExtendedSpec spec;
+  spec.payload = payload(255);
+  spec.key = kKey;
+  spec.n_replicas = 3;
+  const ExtendedLayout layout = plan_extended(spec, 4096);
+  // signed = 2148+64 = 2212 bits; Hamming -> 3030; dual-rail -> 6060;
+  // chunk = floor(4096/3) even = 1364 -> 5 segments.
+  EXPECT_EQ(layout.encoded_bits, 6060u);
+  EXPECT_EQ(layout.n_segments, 5u);
+}
+
+TEST(ExtendedPlan, ReplicasMustFit) {
+  ExtendedSpec spec;
+  spec.payload = payload(0);
+  spec.n_replicas = 0;
+  EXPECT_THROW(plan_extended(spec, 4096), std::invalid_argument);
+  spec.n_replicas = 5000;
+  EXPECT_THROW(plan_extended(spec, 4096), std::invalid_argument);
+}
+
+TEST(ExtendedPatterns, PaddingIsUnstressed) {
+  ExtendedSpec spec;
+  spec.payload = payload(8);
+  spec.key = kKey;
+  spec.n_replicas = 3;
+  const auto patterns = encode_extended_patterns(spec, 4096);
+  ASSERT_EQ(patterns.size(), 1u);
+  // A dual-rail stream stresses exactly half its bits; everything else in
+  // the pattern (padding + replica tail) stays 1.
+  const ExtendedLayout layout = plan_extended(spec, 4096);
+  EXPECT_EQ(patterns[0].zero_count(), 3 * layout.encoded_bits / 2);
+}
+
+struct EndToEnd {
+  Device dev{DeviceConfig::msp430f5438(), 801};
+  std::vector<Addr> segs;
+
+  explicit EndToEnd(const ExtendedSpec& spec) {
+    const auto layout = plan_extended(spec, 4096);
+    for (std::size_t s = 0; s < layout.n_segments; ++s)
+      segs.push_back(dev.config().geometry.segment_base(s));
+  }
+};
+
+ExtendedSpec make_spec(std::size_t blob_bytes) {
+  ExtendedSpec spec;
+  spec.payload = payload(blob_bytes);
+  spec.key = kKey;
+  spec.n_replicas = 3;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  return spec;
+}
+
+ExtendedVerifyOptions make_vopts(std::size_t blob_bytes) {
+  ExtendedVerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.n_replicas = 3;
+  vo.key = kKey;
+  vo.blob_bytes = blob_bytes;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  return vo;
+}
+
+TEST(ExtendedEndToEnd, SingleSegmentRoundtrip) {
+  const ExtendedSpec spec = make_spec(16);
+  EndToEnd rig(spec);
+  imprint_extended(rig.dev.hal(), rig.segs, spec);
+  const ExtendedVerifyReport r =
+      verify_extended(rig.dev.hal(), rig.segs, make_vopts(16));
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.payload.has_value());
+  EXPECT_EQ(*r.payload, spec.payload);
+  EXPECT_TRUE(r.signature_ok);
+}
+
+TEST(ExtendedEndToEnd, MultiSegmentRoundtrip) {
+  const ExtendedSpec spec = make_spec(255);
+  EndToEnd rig(spec);
+  ASSERT_EQ(rig.segs.size(), 5u);
+  imprint_extended(rig.dev.hal(), rig.segs, spec);
+  const ExtendedVerifyReport r =
+      verify_extended(rig.dev.hal(), rig.segs, make_vopts(255));
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.payload.has_value());
+  EXPECT_EQ(r.payload->blob, spec.payload.blob);
+}
+
+TEST(ExtendedEndToEnd, SegmentCountMismatchThrows) {
+  const ExtendedSpec spec = make_spec(255);
+  EndToEnd rig(spec);
+  std::vector<Addr> too_few(rig.segs.begin(), rig.segs.end() - 1);
+  EXPECT_THROW(imprint_extended(rig.dev.hal(), too_few, spec),
+               std::invalid_argument);
+  EXPECT_THROW(imprint_extended(rig.dev.hal(), {}, spec),
+               std::invalid_argument);
+}
+
+TEST(ExtendedEndToEnd, FreshSegmentsNoWatermark) {
+  Device dev(DeviceConfig::msp430f5438(), 802);
+  const ExtendedVerifyReport r = verify_extended(
+      dev.hal(), {dev.config().geometry.segment_base(0)}, make_vopts(16));
+  EXPECT_EQ(r.verdict, Verdict::kNoWatermark);
+}
+
+TEST(ExtendedEndToEnd, WrongKeyFailsSignature) {
+  const ExtendedSpec spec = make_spec(16);
+  EndToEnd rig(spec);
+  imprint_extended(rig.dev.hal(), rig.segs, spec);
+  ExtendedVerifyOptions vo = make_vopts(16);
+  vo.key = SipHashKey{9, 9};
+  const ExtendedVerifyReport r = verify_extended(rig.dev.hal(), rig.segs, vo);
+  EXPECT_NE(r.verdict, Verdict::kGenuine);
+  EXPECT_FALSE(r.signature_ok);
+}
+
+TEST(ExtendedEndToEnd, WrongBlobSizeUnreadable) {
+  const ExtendedSpec spec = make_spec(16);
+  EndToEnd rig(spec);
+  imprint_extended(rig.dev.hal(), rig.segs, spec);
+  const ExtendedVerifyReport r =
+      verify_extended(rig.dev.hal(), rig.segs, make_vopts(32));
+  EXPECT_NE(r.verdict, Verdict::kGenuine);
+}
+
+TEST(ExtendedEndToEnd, StressAttackOnOneSegmentDetected) {
+  const ExtendedSpec spec = make_spec(255);
+  EndToEnd rig(spec);
+  imprint_extended(rig.dev.hal(), rig.segs, spec);
+  // Attacker re-stresses consistent positions of segment 2's chunk.
+  const auto layout = plan_extended(spec, 4096);
+  BitVec slice(layout.chunk_bits, true);
+  for (std::size_t i = 0; i < 160; ++i)
+    slice.set((i * 7) % layout.chunk_bits, false);
+  BitVec target = replicate_pattern(slice, 3, 4096);
+  ImprintOptions io;
+  io.npe = 60'000;
+  io.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark(rig.dev.hal(), rig.segs[2], target, io);
+
+  const ExtendedVerifyReport r =
+      verify_extended(rig.dev.hal(), rig.segs, make_vopts(255));
+  EXPECT_NE(r.verdict, Verdict::kGenuine);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,166 @@
+#include "core/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/imprint.hpp"
+#include "core/metrics.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  Device dev{DeviceConfig::msp430f5438(), 41};
+  FlashHal& hal = dev.hal();
+  Addr addr(std::size_t i) { return dev.config().geometry.segment_base(i); }
+
+  BitVec imprint(std::size_t seg, std::uint32_t npe) {
+    BitVec pattern(4096);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+      pattern.set(i, (i / 3) % 2 == 0);  // mixed pattern
+    ImprintOptions o;
+    o.npe = npe;
+    o.strategy = ImprintStrategy::kBatchWear;
+    imprint_flashmark(hal, addr(seg), pattern, o);
+    return pattern;
+  }
+};
+
+TEST(Extract, RejectsBadOptions) {
+  Rig r;
+  ExtractOptions o;
+  o.n_reads = 2;
+  EXPECT_THROW(extract_flashmark(r.hal, r.addr(0), o), std::invalid_argument);
+  o = {};
+  o.rounds = 0;
+  EXPECT_THROW(extract_flashmark(r.hal, r.addr(0), o), std::invalid_argument);
+  o = {};
+  o.t_pew = SimTime::us(-5);
+  EXPECT_THROW(extract_flashmark(r.hal, r.addr(0), o), std::invalid_argument);
+}
+
+TEST(Extract, FreshSegmentReadsAllGoodAtWindow) {
+  Rig r;
+  ExtractOptions o;
+  o.t_pew = SimTime::us(45);  // past every fresh cell's tte
+  const ExtractResult e = extract_flashmark(r.hal, r.addr(0), o);
+  EXPECT_EQ(e.bits.popcount(), 4096u);
+}
+
+TEST(Extract, ZeroWindowReadsAllBad) {
+  Rig r;
+  ExtractOptions o;
+  o.t_pew = SimTime::us(0);
+  const ExtractResult e = extract_flashmark(r.hal, r.addr(0), o);
+  EXPECT_EQ(e.bits.popcount(), 0u);
+}
+
+class ExtractNpeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ExtractNpeSweep, BerImprovesWithNpe) {
+  Rig r;
+  const std::uint32_t npe = GetParam();
+  const BitVec ref = r.imprint(1, npe);
+  ExtractOptions o;
+  o.t_pew = SimTime::us(30);
+  const ExtractResult e = extract_flashmark(r.hal, r.addr(1), o);
+  const double ber = compare_bits(ref, e.bits).ber();
+  // Thresholds derived from the Fig. 9 calibration, with slack.
+  if (npe >= 80'000)
+    EXPECT_LT(ber, 0.08);
+  else if (npe >= 40'000)
+    EXPECT_LT(ber, 0.16);
+  else
+    EXPECT_LT(ber, 0.30);
+  EXPECT_GT(ber, 0.0001);  // never error-free unreplicated
+}
+
+INSTANTIATE_TEST_SUITE_P(Npe, ExtractNpeSweep,
+                         ::testing::Values(20'000, 40'000, 80'000));
+
+TEST(Extract, ErrorsAreAsymmetricTowardStressedBits) {
+  // Paper Fig. 10: bad-read-as-good dominates good-read-as-bad.
+  Rig r;
+  const BitVec ref = r.imprint(2, 40'000);
+  ExtractOptions o;
+  o.t_pew = SimTime::us(30);
+  const ExtractResult e = extract_flashmark(r.hal, r.addr(2), o);
+  const BerBreakdown b = compare_bits(ref, e.bits);
+  EXPECT_GT(b.errors_on_zeros, b.errors_on_ones * 2);
+}
+
+TEST(Extract, MultiRoundMajorityNotWorse) {
+  Rig r;
+  const BitVec ref = r.imprint(3, 40'000);
+  ExtractOptions single;
+  single.t_pew = SimTime::us(30);
+  ExtractOptions multi = single;
+  multi.rounds = 5;
+  multi.n_reads = 3;
+  // Average a few trials to damp noise.
+  double ber1 = 0, ber5 = 0;
+  for (int t = 0; t < 3; ++t) {
+    ber1 += compare_bits(ref, extract_flashmark(r.hal, r.addr(3), single).bits).ber();
+    ber5 += compare_bits(ref, extract_flashmark(r.hal, r.addr(3), multi).bits).ber();
+  }
+  EXPECT_LE(ber5, ber1 * 1.05 + 0.001);
+}
+
+TEST(Extract, RoundBitsSizeAndConsensus) {
+  Rig r;
+  r.imprint(4, 60'000);
+  ExtractOptions o;
+  o.t_pew = SimTime::us(30);
+  o.rounds = 3;
+  const ExtractResult e = extract_flashmark(r.hal, r.addr(4), o);
+  ASSERT_EQ(e.round_bits.size(), 3u);
+  // Consensus bit must equal majority of round bits everywhere.
+  for (std::size_t i = 0; i < 4096; i += 37) {
+    int ones = 0;
+    for (const auto& rb : e.round_bits) ones += rb.get(i);
+    EXPECT_EQ(e.bits.get(i), ones >= 2) << i;
+  }
+}
+
+TEST(Extract, TimingDominatedByEraseAndProgram) {
+  Rig r;
+  ExtractOptions o;
+  o.t_pew = SimTime::us(30);
+  const ExtractResult e = extract_flashmark(r.hal, r.addr(5), o);
+  // One round: ~24 ms erase + ~10.2 ms program + window + reads.
+  EXPECT_GT(e.elapsed, SimTime::ms(30));
+  EXPECT_LT(e.elapsed, SimTime::ms(45));
+}
+
+TEST(Extract, AcceleratedEraseCutsRoundTime) {
+  Rig r;
+  ExtractOptions slow;
+  slow.t_pew = SimTime::us(30);
+  ExtractOptions fast = slow;
+  fast.accelerated_erase = true;
+  const SimTime t_slow = extract_flashmark(r.hal, r.addr(6), slow).elapsed;
+  const SimTime t_fast = extract_flashmark(r.hal, r.addr(6), fast).elapsed;
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(Extract, FinalEraseLeavesSegmentClean) {
+  Rig r;
+  ExtractOptions o;
+  o.t_pew = SimTime::us(20);
+  o.final_erase = true;
+  extract_flashmark(r.hal, r.addr(7), o);
+  EXPECT_EQ(r.dev.array().count_erased(7), 4096u);
+}
+
+TEST(Extract, WithoutFinalEraseSegmentLeftPartial) {
+  Rig r;
+  ExtractOptions o;
+  o.t_pew = SimTime::us(20);  // inside the fresh transition window
+  extract_flashmark(r.hal, r.addr(8), o);
+  const std::size_t erased = r.dev.array().count_erased(8);
+  EXPECT_GT(erased, 0u);
+  EXPECT_LT(erased, 4096u);
+}
+
+}  // namespace
+}  // namespace flashmark

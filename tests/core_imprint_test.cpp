@@ -1,0 +1,177 @@
+#include "core/imprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  Device dev{DeviceConfig::msp430f5438(), 31};
+  FlashHal& hal = dev.hal();
+  Addr addr(std::size_t i) { return dev.config().geometry.segment_base(i); }
+
+  static BitVec checker() {
+    BitVec p(4096);
+    for (std::size_t i = 0; i < p.size(); i += 2) p.set(i, true);
+    return p;
+  }
+};
+
+TEST(Imprint, RejectsBadArguments) {
+  Rig r;
+  ImprintOptions o;
+  o.npe = 0;
+  EXPECT_THROW(imprint_flashmark(r.hal, r.addr(0), Rig::checker(), o),
+               std::invalid_argument);
+  o.npe = 10;
+  EXPECT_THROW(imprint_flashmark(r.hal, r.addr(0), BitVec(100), o),
+               std::invalid_argument);
+}
+
+TEST(Imprint, PatternToWordsMapping) {
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  BitVec p(4096, true);
+  p.set(0, false);    // word 0 bit 0
+  p.set(17, false);   // word 1 bit 1
+  p.set(4095, false); // word 255 bit 15
+  const auto words = pattern_to_words(g, 0, p);
+  ASSERT_EQ(words.size(), 256u);
+  EXPECT_EQ(words[0], 0xFFFE);
+  EXPECT_EQ(words[1], 0xFFFD);
+  EXPECT_EQ(words[255], 0x7FFF);
+  EXPECT_EQ(words[2], 0xFFFF);
+}
+
+TEST(Imprint, PatternToWordsSizeChecked) {
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  EXPECT_THROW(pattern_to_words(g, 0, BitVec(100)), std::invalid_argument);
+}
+
+TEST(Imprint, LoopCreatesWearContrast) {
+  Rig r;
+  ImprintOptions o;
+  o.npe = 500;
+  const BitVec pattern = Rig::checker();
+  imprint_flashmark(r.hal, r.addr(0), pattern, o);
+  // Cells with pattern bit 0 (stressed) wear hard; bit-1 cells barely.
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double n = r.dev.array().cell(0, i).eff_cycles();
+    if (pattern.get(i))
+      EXPECT_LT(n, 50.0) << i;
+    else
+      EXPECT_GT(n, 400.0) << i;
+  }
+}
+
+TEST(Imprint, LeavesWatermarkContentProgrammed) {
+  // Fig. 7 ends on a program: the digital content of the segment after an
+  // imprint is the watermark pattern itself (both strategies agree).
+  Rig r;
+  const BitVec pattern = Rig::checker();
+  for (auto strategy : {ImprintStrategy::kLoop, ImprintStrategy::kBatchWear}) {
+    ImprintOptions o;
+    o.npe = 10;
+    o.strategy = strategy;
+    imprint_flashmark(r.hal, r.addr(1), pattern, o);
+    EXPECT_EQ(r.dev.array().snapshot(1), pattern);
+    r.hal.erase_segment(r.addr(1));
+  }
+}
+
+TEST(Imprint, BatchMatchesLoopWear) {
+  Device a(DeviceConfig::msp430f5438(), 33);
+  Device b(DeviceConfig::msp430f5438(), 33);
+  const Addr addr = a.config().geometry.segment_base(0);
+  const BitVec pattern = Rig::checker();
+
+  ImprintOptions loop;
+  loop.npe = 200;
+  loop.strategy = ImprintStrategy::kLoop;
+  imprint_flashmark(a.hal(), addr, pattern, loop);
+
+  ImprintOptions batch = loop;
+  batch.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark(b.hal(), addr, pattern, batch);
+
+  for (std::size_t i = 0; i < 4096; i += 61) {
+    EXPECT_NEAR(a.array().cell(0, i).eff_cycles(),
+                b.array().cell(0, i).eff_cycles(), 3.0)
+        << "cell " << i;
+  }
+}
+
+TEST(Imprint, BatchClockMatchesBaselineLoopClock) {
+  Device a(DeviceConfig::msp430f5438(), 34);
+  Device b(DeviceConfig::msp430f5438(), 34);
+  const Addr addr = a.config().geometry.segment_base(0);
+  const BitVec pattern = Rig::checker();
+
+  ImprintOptions loop;
+  loop.npe = 50;
+  const ImprintReport rl = imprint_flashmark(a.hal(), addr, pattern, loop);
+
+  ImprintOptions batch = loop;
+  batch.strategy = ImprintStrategy::kBatchWear;
+  const ImprintReport rb = imprint_flashmark(b.hal(), addr, pattern, batch);
+
+  EXPECT_EQ(rl.elapsed, rb.elapsed);
+}
+
+TEST(Imprint, AcceleratedIsFasterAndEquallyEffective) {
+  Device a(DeviceConfig::msp430f5438(), 35);
+  Device b(DeviceConfig::msp430f5438(), 35);
+  const Addr addr = a.config().geometry.segment_base(0);
+  const BitVec pattern = Rig::checker();
+
+  ImprintOptions base;
+  base.npe = 300;
+  const ImprintReport rbase = imprint_flashmark(a.hal(), addr, pattern, base);
+
+  ImprintOptions accel = base;
+  accel.accelerated = true;
+  const ImprintReport raccel = imprint_flashmark(b.hal(), addr, pattern, accel);
+
+  // Paper: ~3.5x faster with premature erase exit.
+  EXPECT_GT(rbase.elapsed.as_sec() / raccel.elapsed.as_sec(), 2.5);
+  // Wear-neutral: stressed cells accumulate the same contrast.
+  EXPECT_NEAR(a.array().cell(0, 1).eff_cycles(),
+              b.array().cell(0, 1).eff_cycles(),
+              0.2 * a.array().cell(0, 1).eff_cycles());
+}
+
+TEST(Imprint, ReportFields) {
+  Rig r;
+  ImprintOptions o;
+  o.npe = 20;
+  const ImprintReport rep = imprint_flashmark(r.hal, r.addr(2), Rig::checker(), o);
+  EXPECT_EQ(rep.npe, 20u);
+  EXPECT_FALSE(rep.accelerated);
+  EXPECT_GT(rep.elapsed, SimTime{});
+  EXPECT_EQ(rep.mean_cycle_time.as_ns(), rep.elapsed.as_ns() / 20);
+  // One baseline cycle: ~24 ms erase + 256 * 40 us block program + ramps.
+  EXPECT_NEAR(rep.mean_cycle_time.as_ms(), 34.3, 1.0);
+}
+
+TEST(Imprint, BaselineCycleTimeMatchesPaperArithmetic) {
+  // Paper: 1380 s at 40 K cycles => 34.5 ms per cycle.
+  Rig r;
+  ImprintOptions o;
+  o.npe = 100;
+  const ImprintReport rep = imprint_flashmark(r.hal, r.addr(3), Rig::checker(), o);
+  const double projected_40k = rep.mean_cycle_time.as_sec() * 40'000;
+  EXPECT_NEAR(projected_40k, 1380.0, 60.0);
+}
+
+TEST(Imprint, AllOnesPatternOnlyIdleWear) {
+  Rig r;
+  ImprintOptions o;
+  o.npe = 100;
+  imprint_flashmark(r.hal, r.addr(4), BitVec(4096, true), o);
+  const SegmentWearStats s = r.dev.array().wear_stats(4);
+  EXPECT_LT(s.eff_cycles_max, 10.0);  // idle erase stress only
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,57 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+TEST(Metrics, IdenticalVectorsZeroBer) {
+  const BitVec v = BitVec::from_string("0110100");
+  const BerBreakdown b = compare_bits(v, v);
+  EXPECT_EQ(b.errors, 0u);
+  EXPECT_EQ(b.ber(), 0.0);
+  EXPECT_EQ(b.total_bits, 7u);
+  EXPECT_EQ(b.expected_zeros + b.expected_ones, 7u);
+}
+
+TEST(Metrics, CountsDirectionalErrors) {
+  const BitVec ref = BitVec::from_string("0011");
+  const BitVec got = BitVec::from_string("0110");
+  const BerBreakdown b = compare_bits(ref, got);
+  EXPECT_EQ(b.errors, 2u);
+  EXPECT_DOUBLE_EQ(b.ber(), 0.5);
+  EXPECT_EQ(b.errors_on_zeros, 1u);  // ref bit 1: 0 -> 1
+  EXPECT_EQ(b.errors_on_ones, 1u);   // ref bit 3: 1 -> 0
+  EXPECT_DOUBLE_EQ(b.ber_on_zeros(), 0.5);
+  EXPECT_DOUBLE_EQ(b.ber_on_ones(), 0.5);
+}
+
+TEST(Metrics, AllWrong) {
+  const BitVec ref = BitVec::from_string("0101");
+  const BitVec got = BitVec::from_string("1010");
+  EXPECT_DOUBLE_EQ(compare_bits(ref, got).ber(), 1.0);
+}
+
+TEST(Metrics, LengthMismatchThrows) {
+  EXPECT_THROW(compare_bits(BitVec(4), BitVec(5)), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyVectorsSafe) {
+  const BerBreakdown b = compare_bits(BitVec(), BitVec());
+  EXPECT_EQ(b.ber(), 0.0);
+  EXPECT_EQ(b.ber_on_zeros(), 0.0);
+  EXPECT_EQ(b.ber_on_ones(), 0.0);
+}
+
+TEST(Metrics, RatesUseCorrectDenominators) {
+  // 3 zeros, 1 one; one error on a zero.
+  const BitVec ref = BitVec::from_string("0001");
+  const BitVec got = BitVec::from_string("0101");
+  const BerBreakdown b = compare_bits(ref, got);
+  EXPECT_DOUBLE_EQ(b.ber_on_zeros(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(b.ber_on_ones(), 0.0);
+  EXPECT_DOUBLE_EQ(b.ber(), 0.25);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,72 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+WatermarkFields die(std::uint32_t id, TestStatus st = TestStatus::kAccept) {
+  return {0x7C01, id, 2, st, 0x333};
+}
+
+TEST(Registry, RegisterOnceOnly) {
+  WatermarkRegistry reg;
+  EXPECT_TRUE(reg.register_die(die(1)));
+  EXPECT_FALSE(reg.register_die(die(1)));
+  EXPECT_EQ(reg.issued_count(), 1u);
+  EXPECT_TRUE(reg.issued(1));
+  EXPECT_FALSE(reg.issued(2));
+}
+
+TEST(Registry, FirstSightingOk) {
+  WatermarkRegistry reg;
+  reg.register_die(die(5));
+  EXPECT_EQ(reg.check_in(die(5), "integratorA"), RegistryVerdict::kOk);
+}
+
+TEST(Registry, UnknownDieFlagged) {
+  WatermarkRegistry reg;
+  EXPECT_EQ(reg.check_in(die(9), "broker"), RegistryVerdict::kUnknownDie);
+  // Unknown dies are not recorded as sightings.
+  EXPECT_TRUE(reg.sightings(9).empty());
+}
+
+TEST(Registry, DuplicateSightingIsCloneSuspect) {
+  WatermarkRegistry reg;
+  reg.register_die(die(7));
+  EXPECT_EQ(reg.check_in(die(7), "factoryA"), RegistryVerdict::kOk);
+  EXPECT_EQ(reg.check_in(die(7), "brokerB"), RegistryVerdict::kDuplicate);
+  EXPECT_EQ(reg.check_in(die(7), "brokerC"), RegistryVerdict::kDuplicate);
+  const auto s = reg.sightings(7);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].location, "factoryA");
+  EXPECT_EQ(s[2].location, "brokerC");
+}
+
+TEST(Registry, FieldMismatchIsForgery) {
+  // Die id exists but the rest of the payload differs from what was
+  // issued — e.g. a reject die whose clone claims accept.
+  WatermarkRegistry reg;
+  reg.register_die(die(3, TestStatus::kReject));
+  EXPECT_EQ(reg.check_in(die(3, TestStatus::kAccept), "x"),
+            RegistryVerdict::kFieldMismatch);
+  EXPECT_TRUE(reg.sightings(3).empty());  // rejected check-ins not recorded
+}
+
+TEST(Registry, IndependentDiesTracked) {
+  WatermarkRegistry reg;
+  for (std::uint32_t i = 0; i < 10; ++i) reg.register_die(die(i));
+  for (std::uint32_t i = 0; i < 10; ++i)
+    EXPECT_EQ(reg.check_in(die(i), "loc"), RegistryVerdict::kOk) << i;
+  EXPECT_EQ(reg.issued_count(), 10u);
+}
+
+TEST(Registry, VerdictToString) {
+  EXPECT_STREQ(to_string(RegistryVerdict::kOk), "ok");
+  EXPECT_STREQ(to_string(RegistryVerdict::kDuplicate), "duplicate-sighting");
+  EXPECT_STREQ(to_string(RegistryVerdict::kUnknownDie), "unknown-die");
+  EXPECT_STREQ(to_string(RegistryVerdict::kFieldMismatch), "field-mismatch");
+}
+
+}  // namespace
+}  // namespace flashmark

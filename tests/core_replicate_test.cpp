@@ -1,0 +1,187 @@
+#include "core/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+
+namespace flashmark {
+namespace {
+
+BitVec payload10() { return BitVec::from_string("0110010111"); }
+
+TEST(Replicate, PatternLayout) {
+  const BitVec p = payload10();
+  const BitVec pattern = replicate_pattern(p, 3, 64);
+  EXPECT_EQ(pattern.size(), 64u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_EQ(pattern.get(r * 10 + i), p.get(i)) << r << "," << i;
+  // Filler bits stay 1 (erased / unstressed).
+  for (std::size_t i = 30; i < 64; ++i) EXPECT_TRUE(pattern.get(i));
+}
+
+TEST(Replicate, RejectsBadInputs) {
+  EXPECT_THROW(replicate_pattern(BitVec(), 3, 64), std::invalid_argument);
+  EXPECT_THROW(replicate_pattern(payload10(), 0, 64), std::invalid_argument);
+  EXPECT_THROW(replicate_pattern(payload10(), 7, 64), std::invalid_argument);
+}
+
+TEST(Replicate, SplitRoundtrip) {
+  const BitVec p = payload10();
+  const BitVec pattern = replicate_pattern(p, 5, 100);
+  const auto replicas = split_replicas(pattern, ReplicaLayout{10, 5});
+  ASSERT_EQ(replicas.size(), 5u);
+  for (const auto& rep : replicas) EXPECT_EQ(rep, p);
+}
+
+TEST(Replicate, SplitValidatesLayout) {
+  EXPECT_THROW(split_replicas(BitVec(64), ReplicaLayout{0, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(split_replicas(BitVec(64), ReplicaLayout{30, 3}),
+               std::invalid_argument);
+}
+
+TEST(Replicate, MajorityDecodeCorrectsMinorityErrors) {
+  const BitVec p = payload10();
+  BitVec pattern = replicate_pattern(p, 5, 64);
+  // Corrupt bit 2 in two of five replicas: majority still wins.
+  pattern.flip(0 * 10 + 2);
+  pattern.flip(3 * 10 + 2);
+  const BitVec out = decode_replicas(pattern, ReplicaLayout{10, 5});
+  EXPECT_EQ(out, p);
+}
+
+TEST(Replicate, MajorityDecodeFailsOnMajorityErrors) {
+  const BitVec p = payload10();
+  BitVec pattern = replicate_pattern(p, 5, 64);
+  for (std::size_t r : {0u, 1u, 2u}) pattern.flip(r * 10 + 4);
+  const BitVec out = decode_replicas(pattern, ReplicaLayout{10, 5});
+  EXPECT_NE(out, p);
+  EXPECT_EQ(out.get(4), !p.get(4));
+}
+
+TEST(Replicate, AsymmetricVoteASingleZeroWins) {
+  // Model: true bit is 0 (stressed), four of five replicas misread it as 1
+  // (the dominant error direction). Majority gets it wrong; the asymmetric
+  // vote with threshold 1 recovers it.
+  BitVec p = payload10();
+  p.set(7, false);
+  BitVec pattern = replicate_pattern(p, 5, 64);
+  for (std::size_t r : {0u, 1u, 2u, 3u}) pattern.set(r * 10 + 7, true);
+
+  const BitVec maj = decode_replicas(pattern, ReplicaLayout{10, 5},
+                                     VoteMode::kMajority);
+  EXPECT_TRUE(maj.get(7));  // majority fooled
+
+  const BitVec asym = decode_replicas(pattern, ReplicaLayout{10, 5},
+                                      VoteMode::kAsymmetric, 1);
+  EXPECT_FALSE(asym.get(7));  // one confident 0 vote decides
+}
+
+TEST(Replicate, AsymmetricDefaultThreshold) {
+  // R=7 -> default threshold max(1, 7/3) = 2.
+  BitVec p(3, true);
+  BitVec pattern = replicate_pattern(p, 7, 21);
+  // One zero vote on bit 0: not enough; two zero votes on bit 1: flips to 0.
+  pattern.set(0 * 3 + 0, false);
+  pattern.set(0 * 3 + 1, false);
+  pattern.set(1 * 3 + 1, false);
+  const BitVec out = decode_replicas(pattern, ReplicaLayout{3, 7},
+                                     VoteMode::kAsymmetric);
+  EXPECT_TRUE(out.get(0));
+  EXPECT_FALSE(out.get(1));
+  EXPECT_TRUE(out.get(2));
+}
+
+TEST(Replicate, DisagreementZeroWhenClean) {
+  const BitVec p = payload10();
+  const BitVec pattern = replicate_pattern(p, 3, 64);
+  const BitVec decoded = decode_replicas(pattern, ReplicaLayout{10, 3});
+  EXPECT_EQ(replica_disagreement(pattern, ReplicaLayout{10, 3}, decoded), 0.0);
+}
+
+TEST(Replicate, DisagreementCountsFlips) {
+  const BitVec p = payload10();
+  BitVec pattern = replicate_pattern(p, 3, 64);
+  pattern.flip(0);  // one replica bit off
+  const BitVec decoded = decode_replicas(pattern, ReplicaLayout{10, 3});
+  EXPECT_NEAR(replica_disagreement(pattern, ReplicaLayout{10, 3}, decoded),
+              1.0 / 30.0, 1e-12);
+}
+
+TEST(Replicate, DisagreementValidatesDecodedSize) {
+  const BitVec pattern = replicate_pattern(payload10(), 3, 64);
+  EXPECT_THROW(
+      replica_disagreement(pattern, ReplicaLayout{10, 3}, BitVec(5)),
+      std::invalid_argument);
+}
+
+TEST(Replicate, SingleReplicaDecodeIsIdentity) {
+  const BitVec p = payload10();
+  const BitVec pattern = replicate_pattern(p, 1, 16);
+  EXPECT_EQ(decode_replicas(pattern, ReplicaLayout{10, 1}), p);
+}
+
+// --- soft dual-rail decode --------------------------------------------
+
+TEST(SoftDecode, CleanStreamRoundtrips) {
+  const BitVec payload = BitVec::from_string("01101001");
+  const BitVec replica = dual_rail_encode(payload);
+  const BitVec pattern = replicate_pattern(replica, 5, 128);
+  EXPECT_EQ(soft_decode_dual_rail(pattern, ReplicaLayout{replica.size(), 5}),
+            payload);
+}
+
+TEST(SoftDecode, OddReplicaLengthThrows) {
+  EXPECT_THROW(soft_decode_dual_rail(BitVec(15), ReplicaLayout{15, 1}),
+               std::invalid_argument);
+}
+
+TEST(SoftDecode, SurvivesPersistentlyFastStressedColumn) {
+  // True payload bit 0: rail A stressed (reads 0), rail B good (reads 1).
+  // A persistently fast stressed cell column makes rail A read 1 in FOUR
+  // of five replicas — plain majority decodes the rail as 1 and produces a
+  // (1,1) pair; the soft decode still sees rail A with more zeros (1) than
+  // rail B (0) and recovers the bit.
+  BitVec payload(3, true);
+  payload.set(1, false);
+  const BitVec replica = dual_rail_encode(payload);  // pairs at bits 2,3
+  BitVec pattern = replicate_pattern(replica, 5, 64);
+  for (std::size_t r : {0u, 1u, 2u, 3u})
+    pattern.set(r * replica.size() + 2, true);  // rail A misreads 1
+
+  const ReplicaLayout layout{replica.size(), 5};
+  const BitVec hard = decode_replicas(pattern, layout, VoteMode::kMajority);
+  EXPECT_TRUE(hard.get(2));  // hard vote fooled -> (1,1) pair
+  const BitVec soft = soft_decode_dual_rail(pattern, layout);
+  EXPECT_FALSE(soft.get(1));  // soft decode recovers payload bit 1 == 0
+  EXPECT_EQ(soft, payload);
+}
+
+TEST(SoftDecode, TieFallsBackToRailAMajority) {
+  // Construct equal zero counts on both rails: payload bit defined by the
+  // majority of rail A.
+  BitVec pattern(6);            // 3 replicas of a 2-bit (1-payload) stream
+  // replica r bits: [railA, railB]
+  // zeros: railA = 2 (r0,r1), railB = 2 (r1,r2): tie; rail A majority is 0.
+  pattern.set(0, false);  // r0 A=0
+  pattern.set(1, true);   // r0 B=1
+  pattern.set(2, false);  // r1 A=0
+  pattern.set(3, false);  // r1 B=0
+  pattern.set(4, true);   // r2 A=1
+  pattern.set(5, false);  // r2 B=0
+  const BitVec soft = soft_decode_dual_rail(pattern, ReplicaLayout{2, 3});
+  ASSERT_EQ(soft.size(), 1u);
+  EXPECT_FALSE(soft.get(0));
+}
+
+TEST(SoftDecode, AllGoodColumnsDecodeOnes) {
+  // Filler-style region: both rails read 1 everywhere -> payload bit 1
+  // (tie with zero zeros; rail A majority is 1).
+  const BitVec pattern(70, true);
+  const BitVec soft = soft_decode_dual_rail(pattern, ReplicaLayout{10, 7});
+  EXPECT_EQ(soft, BitVec(5, true));
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,74 @@
+#include "core/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+const SipHashKey kKey{0x1122334455667788ull, 0x99AABBCCDDEEFF00ull};
+
+BitVec payload() { return BitVec::from_string("01100101110010101101"); }
+
+TEST(Signature, SignVerifyRoundtrip) {
+  const BitVec signed_bits = sign_watermark(kKey, payload());
+  EXPECT_EQ(signed_bits.size(), payload().size() + kSignatureBits);
+  const SignedWatermark v =
+      verify_signed_watermark(kKey, signed_bits, payload().size());
+  EXPECT_TRUE(v.signature_ok);
+  EXPECT_EQ(v.payload, payload());
+}
+
+TEST(Signature, WrongKeyFails) {
+  const BitVec signed_bits = sign_watermark(kKey, payload());
+  const SipHashKey other{1, 2};
+  EXPECT_FALSE(
+      verify_signed_watermark(other, signed_bits, payload().size()).signature_ok);
+}
+
+TEST(Signature, AnyPayloadBitFlipFails) {
+  const BitVec signed_bits = sign_watermark(kKey, payload());
+  for (std::size_t i = 0; i < payload().size(); ++i) {
+    BitVec tampered = signed_bits;
+    tampered.flip(i);
+    EXPECT_FALSE(
+        verify_signed_watermark(kKey, tampered, payload().size()).signature_ok)
+        << "payload bit " << i;
+  }
+}
+
+TEST(Signature, AnyTagBitFlipFails) {
+  const BitVec signed_bits = sign_watermark(kKey, payload());
+  for (std::size_t i = payload().size(); i < signed_bits.size(); i += 7) {
+    BitVec tampered = signed_bits;
+    tampered.flip(i);
+    EXPECT_FALSE(
+        verify_signed_watermark(kKey, tampered, payload().size()).signature_ok);
+  }
+}
+
+TEST(Signature, LengthMismatchThrows) {
+  const BitVec signed_bits = sign_watermark(kKey, payload());
+  EXPECT_THROW(verify_signed_watermark(kKey, signed_bits, payload().size() + 1),
+               std::invalid_argument);
+}
+
+TEST(Signature, TagDependsOnPayloadLength) {
+  // Same leading bits, different declared length: tags must differ
+  // (truncation/extension detection).
+  const BitVec a(16);
+  const BitVec b(24);
+  EXPECT_NE(watermark_tag(kKey, a), watermark_tag(kKey, b));
+}
+
+TEST(Signature, DeterministicTag) {
+  EXPECT_EQ(watermark_tag(kKey, payload()), watermark_tag(kKey, payload()));
+}
+
+TEST(Signature, EmptyPayloadSignable) {
+  const BitVec signed_bits = sign_watermark(kKey, BitVec());
+  EXPECT_EQ(signed_bits.size(), kSignatureBits);
+  EXPECT_TRUE(verify_signed_watermark(kKey, signed_bits, 0).signature_ok);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,97 @@
+#include "baseline/ffd_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+TEST(FfdCharacterize, RejectsBadFractions) {
+  Device dev(DeviceConfig::msp430f5438(), 401);
+  const Addr a = dev.config().geometry.segment_base(0);
+  EXPECT_THROW(characterize_partial_program(dev.hal(), a, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(characterize_partial_program(dev.hal(), a, {1.5}),
+               std::invalid_argument);
+}
+
+TEST(FfdCharacterize, FreshCurveShape) {
+  // Fresh cells complete programming around 70% of the nominal pulse: a
+  // low fraction programs (almost) nothing, a full pulse programs all.
+  Device dev(DeviceConfig::msp430f5438(), 402);
+  const Addr a = dev.config().geometry.segment_base(0);
+  const auto curve =
+      characterize_partial_program(dev.hal(), a, {0.3, 0.5, 0.9, 1.0});
+  EXPECT_LT(curve[0].programmed, curve[0].cells / 100);
+  EXPECT_LT(curve[1].programmed, curve[1].cells / 50);
+  EXPECT_GT(curve[2].programmed, curve[2].cells * 95 / 100);
+  EXPECT_EQ(curve[3].programmed, curve[3].cells);
+}
+
+TEST(FfdCharacterize, WornSegmentProgramsEarlier) {
+  // The FFD signal: trap-assisted injection speeds up programming.
+  Device dev(DeviceConfig::msp430f5438(), 403);
+  const auto& g = dev.config().geometry;
+  dev.hal().wear_segment(g.segment_base(1), 30'000);
+  const auto fresh =
+      characterize_partial_program(dev.hal(), g.segment_base(0), {0.5});
+  const auto worn =
+      characterize_partial_program(dev.hal(), g.segment_base(1), {0.5});
+  EXPECT_GT(worn[0].programmed, fresh[0].programmed + 100);
+}
+
+class FfdUsageSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FfdUsageSweep, DetectsUsedChips) {
+  Device suspect(DeviceConfig::msp430f5438(), 404);
+  const auto& g = suspect.config().geometry;
+  simulate_field_usage(suspect.hal(), {g.segment_base(1)}, GetParam());
+  FfdDetector det;
+  const FfdAssessment a = det.assess(suspect.hal(), g.segment_base(1));
+  EXPECT_TRUE(a.used) << "cycles=" << GetParam();
+  EXPECT_GT(a.programmed_fraction, a.threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Usage, FfdUsageSweep,
+                         ::testing::Values(10'000, 30'000, 80'000));
+
+TEST(FfdDetector, FreshChipPasses) {
+  Device dev(DeviceConfig::msp430f5438(), 405);
+  FfdDetector det;
+  const FfdAssessment a =
+      det.assess(dev.hal(), dev.config().geometry.segment_base(2));
+  EXPECT_FALSE(a.used);
+}
+
+TEST(FfdDetector, CalibrateKeepsProbeBelowFreshThreshold) {
+  Device dev(DeviceConfig::msp430f5438(), 406);
+  FfdDetector det;
+  det.calibrate(dev.hal(), dev.config().geometry.segment_base(3));
+  EXPECT_GE(det.probe_fraction(), 0.30);
+  EXPECT_LE(det.probe_fraction(), 0.65);
+  // Post-calibration, a fresh segment still passes.
+  EXPECT_FALSE(det.assess(dev.hal(), dev.config().geometry.segment_base(4)).used);
+}
+
+TEST(FfdDetector, AgreesWithEraseTimingDetector) {
+  // Both prior-art baselines flag the same moderately-used chip.
+  Device suspect(DeviceConfig::msp430f5438(), 407);
+  const auto& g = suspect.config().geometry;
+  simulate_field_usage(suspect.hal(), {g.segment_base(1), g.segment_base(2)},
+                       25'000);
+  FfdDetector ffd;
+  EXPECT_TRUE(ffd.assess(suspect.hal(), g.segment_base(1)).used);
+}
+
+TEST(FfdDetector, WorksThroughMcuRegisters) {
+  Device suspect(DeviceConfig::msp430f5438(), 408);
+  const auto& g = suspect.config().geometry;
+  suspect.hal().wear_segment(g.segment_base(1), 30'000);
+  FfdDetector det;
+  EXPECT_TRUE(det.assess(suspect.mcu_hal(), g.segment_base(1)).used);
+}
+
+}  // namespace
+}  // namespace flashmark

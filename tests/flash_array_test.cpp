@@ -1,0 +1,198 @@
+#include "flash/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flashmark {
+namespace {
+
+FlashArray make_array(std::uint64_t seed = 1) {
+  return FlashArray(FlashGeometry::msp430f5438(),
+                    PhysParams::msp430_calibrated(), seed);
+}
+
+Addr base(const FlashArray& a, std::size_t seg) {
+  return a.geometry().segment_base(seg);
+}
+
+TEST(FlashArray, StartsFullyErased) {
+  FlashArray a = make_array();
+  EXPECT_EQ(a.count_erased(0), 4096u);
+  EXPECT_EQ(a.read_word(base(a, 0)), 0xFFFF);
+}
+
+TEST(FlashArray, ProgramClearsZeroBitsOnly) {
+  FlashArray a = make_array();
+  const Addr w = base(a, 0);
+  a.program_word(w, 0xF0F0);
+  EXPECT_EQ(a.read_word(w), 0xF0F0);
+  EXPECT_EQ(a.count_erased(0), 4096u - 8);
+}
+
+TEST(FlashArray, ProgramIsAndSemantics) {
+  // NOR flash can only clear bits: programming B over A yields A & B.
+  FlashArray a = make_array();
+  const Addr w = base(a, 0);
+  a.program_word(w, 0xFF00);
+  a.program_word(w, 0x0FF0);
+  EXPECT_EQ(a.read_word(w), 0x0F00);
+}
+
+TEST(FlashArray, EraseRestoresOnes) {
+  FlashArray a = make_array();
+  const Addr w = base(a, 3);
+  a.program_word(w, 0x0000);
+  EXPECT_EQ(a.read_word(w), 0x0000);
+  a.erase_segment(3);
+  EXPECT_EQ(a.read_word(w), 0xFFFF);
+  EXPECT_EQ(a.count_erased(3), 4096u);
+}
+
+TEST(FlashArray, WordsAreIndependent) {
+  FlashArray a = make_array();
+  const Addr w0 = base(a, 0);
+  a.program_word(w0, 0x1234);
+  EXPECT_EQ(a.read_word(w0 + 2), 0xFFFF);
+  EXPECT_EQ(a.read_word(w0), 0x1234);
+}
+
+TEST(FlashArray, SegmentsAreIndependent) {
+  FlashArray a = make_array();
+  a.program_word(base(a, 0), 0x0000);
+  EXPECT_EQ(a.count_erased(1), 4096u);
+  a.erase_segment(1);
+  EXPECT_EQ(a.read_word(base(a, 0)), 0x0000);
+}
+
+TEST(FlashArray, UnalignedAddressThrows) {
+  FlashArray a = make_array();
+  EXPECT_THROW(a.read_word(base(a, 0) + 1), std::invalid_argument);
+  EXPECT_THROW(a.program_word(base(a, 0) + 1, 0), std::invalid_argument);
+}
+
+TEST(FlashArray, InvalidAddressThrows) {
+  FlashArray a = make_array();
+  EXPECT_THROW(a.read_word(0), std::out_of_range);
+  EXPECT_THROW(a.program_word(2, 0), std::out_of_range);
+  EXPECT_THROW(a.erase_segment(a.geometry().n_segments()), std::out_of_range);
+}
+
+TEST(FlashArray, NegativePartialEraseThrows) {
+  FlashArray a = make_array();
+  EXPECT_THROW(a.partial_erase_segment(0, -1.0), std::invalid_argument);
+}
+
+TEST(FlashArray, PartialEraseSplitsByTte) {
+  FlashArray a = make_array();
+  // Program everything, partially erase at the median fresh tte: roughly
+  // half the cells should have transitioned.
+  for (std::size_t w = 0; w < 256; ++w)
+    a.program_word(base(a, 0) + static_cast<Addr>(w * 2), 0x0000);
+  a.partial_erase_segment(0, 24.0);
+  const std::size_t erased = a.count_erased(0);
+  EXPECT_GT(erased, 4096u / 4);
+  EXPECT_LT(erased, 4096u * 3 / 4);
+}
+
+TEST(FlashArray, SnapshotMatchesCounts) {
+  FlashArray a = make_array();
+  a.program_word(base(a, 0), 0x00FF);
+  const BitVec s = a.snapshot(0);
+  EXPECT_EQ(s.size(), 4096u);
+  EXPECT_EQ(s.popcount(), a.count_erased(0));
+  for (std::size_t b = 0; b < 8; ++b) EXPECT_FALSE(s.get(8 + b));
+  for (std::size_t b = 0; b < 8; ++b) EXPECT_TRUE(s.get(b));
+}
+
+TEST(FlashArray, SameSeedSameCells) {
+  FlashArray a = make_array(77);
+  FlashArray b = make_array(77);
+  for (std::size_t i = 0; i < 4096; i += 97)
+    EXPECT_FLOAT_EQ(a.cell(2, i).tte_fresh_us(), b.cell(2, i).tte_fresh_us());
+}
+
+TEST(FlashArray, TouchOrderDoesNotChangeManufacturing) {
+  FlashArray a = make_array(88);
+  FlashArray b = make_array(88);
+  // a touches segment 5 first, b touches 1 then 5: cells of 5 must match.
+  (void)a.cell(5, 0);
+  (void)b.cell(1, 0);
+  (void)b.cell(5, 0);
+  for (std::size_t i = 0; i < 4096; i += 131)
+    EXPECT_FLOAT_EQ(a.cell(5, i).tte_fresh_us(), b.cell(5, i).tte_fresh_us());
+}
+
+TEST(FlashArray, DifferentSeedsDifferentCells) {
+  FlashArray a = make_array(1);
+  FlashArray b = make_array(2);
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i)
+    if (a.cell(0, i).tte_fresh_us() == b.cell(0, i).tte_fresh_us()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(FlashArray, TimeToFullEraseZeroWhenErased) {
+  FlashArray a = make_array();
+  EXPECT_EQ(a.time_to_full_erase_us(0), 0.0);
+}
+
+TEST(FlashArray, TimeToFullEraseIsMaxOfProgrammed) {
+  FlashArray a = make_array();
+  a.program_word(base(a, 0), 0x0000);
+  const double t = a.time_to_full_erase_us(0);
+  EXPECT_GT(t, 15.0);
+  EXPECT_LT(t, 45.0);
+  // Stressing raises it.
+  a.wear_segment(0, 20'000, nullptr);
+  a.program_word(base(a, 0), 0x0000);
+  EXPECT_GT(a.time_to_full_erase_us(0), t);
+}
+
+TEST(FlashArray, WearStatsReflectStress) {
+  FlashArray a = make_array();
+  const SegmentWearStats fresh = a.wear_stats(0);
+  EXPECT_EQ(fresh.eff_cycles_max, 0.0);
+  a.wear_segment(0, 10'000, nullptr);
+  const SegmentWearStats worn = a.wear_stats(0);
+  EXPECT_GT(worn.eff_cycles_min, 0.0);
+  EXPECT_GT(worn.tte_mean_us, fresh.tte_mean_us);
+  EXPECT_GE(worn.tte_max_us, worn.tte_mean_us);
+  EXPECT_LE(worn.tte_min_us, worn.tte_mean_us);
+}
+
+TEST(FlashArray, WearPatternLengthChecked) {
+  FlashArray a = make_array();
+  BitVec wrong(100);
+  EXPECT_THROW(a.wear_segment(0, 10, &wrong), std::invalid_argument);
+}
+
+TEST(FlashArray, WearPatternOnlyStressesZeroBits) {
+  FlashArray a = make_array();
+  BitVec pattern(4096, true);
+  pattern.set(0, false);
+  pattern.set(100, false);
+  a.wear_segment(0, 1000, &pattern);
+  EXPECT_GT(a.cell(0, 0).eff_cycles(), 500.0);
+  EXPECT_GT(a.cell(0, 100).eff_cycles(), 500.0);
+  EXPECT_LT(a.cell(0, 1).eff_cycles(), 100.0);
+}
+
+TEST(FlashArray, CellIndexOutOfRangeThrows) {
+  FlashArray a = make_array();
+  EXPECT_THROW(a.cell(0, 4096), std::out_of_range);
+}
+
+TEST(FlashArray, InfoSegmentOperations) {
+  FlashArray a = make_array();
+  const std::size_t info_seg = a.geometry().n_main_segments();
+  const Addr info_addr = a.geometry().segment_base(info_seg);
+  EXPECT_EQ(a.count_erased(info_seg), 128u * 8);
+  a.program_word(info_addr, 0xABCD);
+  EXPECT_EQ(a.read_word(info_addr), 0xABCD);
+  a.erase_segment(info_seg);
+  EXPECT_EQ(a.read_word(info_addr), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,238 @@
+#include "flash/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  FlashGeometry geom = FlashGeometry::msp430f5438();
+  PhysParams phys = PhysParams::msp430_calibrated();
+  FlashArray array{geom, phys, 42};
+  SimClock clock;
+  FlashTiming timing = FlashTiming::msp430f5438();
+  FlashController ctrl{array, timing, clock};
+
+  Rig() { ctrl.set_lock(false); }
+  Addr seg(std::size_t i) const { return geom.segment_base(i); }
+};
+
+TEST(Controller, LockedOutOfReset) {
+  Rig r;
+  FlashController fresh{r.array, r.timing, r.clock};
+  EXPECT_TRUE(fresh.locked());
+  EXPECT_EQ(fresh.segment_erase(r.seg(0)), FlashStatus::kLocked);
+  EXPECT_EQ(fresh.program_word(r.seg(0), 0), FlashStatus::kLocked);
+  EXPECT_EQ(fresh.wear_segment(r.seg(0), 10), FlashStatus::kLocked);
+}
+
+TEST(Controller, UnlockEnablesCommands) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.segment_erase(r.seg(0)), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.program_word(r.seg(0), 0x1234), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.read_word(r.seg(0)), 0x1234);
+}
+
+TEST(Controller, InvalidAddressRejected) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.segment_erase(0x10), FlashStatus::kInvalidAddress);
+  EXPECT_EQ(r.ctrl.program_word(0x10, 0), FlashStatus::kInvalidAddress);
+  EXPECT_EQ(r.ctrl.program_word(r.seg(0) + 1, 0), FlashStatus::kInvalidAddress);
+}
+
+TEST(Controller, EraseTimingAccounting) {
+  Rig r;
+  const SimTime t0 = r.ctrl.now();
+  ASSERT_EQ(r.ctrl.segment_erase(r.seg(0)), FlashStatus::kOk);
+  const SimTime dt = r.ctrl.now() - t0;
+  EXPECT_EQ(dt, r.timing.t_vpp_setup * 2 + r.timing.t_erase_segment);
+}
+
+TEST(Controller, ProgramWordTiming) {
+  Rig r;
+  const SimTime t0 = r.ctrl.now();
+  ASSERT_EQ(r.ctrl.program_word(r.seg(0), 0xAAAA), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.now() - t0, r.timing.t_vpp_setup + r.timing.t_prog_word);
+}
+
+TEST(Controller, BlockProgramTimingAndContent) {
+  Rig r;
+  const std::vector<std::uint16_t> words = {0x1111, 0x2222, 0x3333, 0x4444};
+  const SimTime t0 = r.ctrl.now();
+  ASSERT_EQ(r.ctrl.program_block(r.seg(1), words), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.now() - t0,
+            r.timing.t_vpp_setup * 2 + r.timing.t_prog_word_block * 4);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    EXPECT_EQ(r.ctrl.read_word(r.seg(1) + static_cast<Addr>(i * 2)), words[i]);
+}
+
+TEST(Controller, BlockProgramValidation) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.program_block(r.seg(0), {}), FlashStatus::kInvalidArgument);
+  // Crossing a segment boundary is refused.
+  const std::vector<std::uint16_t> two(2, 0);
+  EXPECT_EQ(r.ctrl.program_block(r.seg(1) - 2, two),
+            FlashStatus::kInvalidArgument);
+}
+
+TEST(Controller, BusyProtocol) {
+  Rig r;
+  ASSERT_EQ(r.ctrl.begin_segment_erase(r.seg(0)), FlashStatus::kOk);
+  EXPECT_TRUE(r.ctrl.busy());
+  // Further commands are refused while busy and raise the access flag.
+  EXPECT_EQ(r.ctrl.begin_program_word(r.seg(5), 0), FlashStatus::kBusy);
+  EXPECT_TRUE(r.ctrl.access_violation());
+  r.ctrl.clear_access_violation();
+  EXPECT_EQ(r.ctrl.wait_complete(), FlashStatus::kOk);
+  EXPECT_FALSE(r.ctrl.busy());
+}
+
+TEST(Controller, AdvanceCompletesAtDeadline) {
+  Rig r;
+  r.ctrl.program_word(r.seg(0), 0x0000);  // program something to erase
+  ASSERT_EQ(r.ctrl.begin_segment_erase(r.seg(0)), FlashStatus::kOk);
+  r.ctrl.advance(SimTime::us(10));
+  EXPECT_TRUE(r.ctrl.busy());  // long before the ~24 ms erase completes
+  r.ctrl.advance(SimTime::ms(30));
+  EXPECT_FALSE(r.ctrl.busy());
+  EXPECT_EQ(r.ctrl.read_word(r.seg(0)), 0xFFFF);
+}
+
+TEST(Controller, ReadOfBusyBankViolates) {
+  Rig r;
+  ASSERT_EQ(r.ctrl.begin_segment_erase(r.seg(0)), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.read_word(r.seg(1)), 0xFFFF);  // same bank
+  EXPECT_TRUE(r.ctrl.access_violation());
+  r.ctrl.clear_access_violation();
+  // A segment in another bank reads fine (firmware running from RAM).
+  const Addr other_bank = r.seg(r.geom.segments_per_bank());
+  (void)r.ctrl.read_word(other_bank);
+  EXPECT_FALSE(r.ctrl.access_violation());
+  r.ctrl.wait_complete();
+}
+
+TEST(Controller, EmergencyExitWithoutOpIsNotBusy) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.emergency_exit(), FlashStatus::kNotBusy);
+  EXPECT_EQ(r.ctrl.wait_complete(), FlashStatus::kNotBusy);
+}
+
+TEST(Controller, PartialEraseLeavesMixedState) {
+  Rig r;
+  const std::size_t seg_idx = 0;
+  const std::vector<std::uint16_t> zeros(256, 0);
+  ASSERT_EQ(r.ctrl.program_block(r.seg(seg_idx), zeros), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.partial_segment_erase(r.seg(seg_idx), SimTime::us(24)),
+            FlashStatus::kOk);
+  const std::size_t erased = r.array.count_erased(seg_idx);
+  EXPECT_GT(erased, 100u);
+  EXPECT_LT(erased, 4000u);
+}
+
+TEST(Controller, PartialEraseZeroLeavesProgrammed) {
+  Rig r;
+  const std::vector<std::uint16_t> zeros(256, 0);
+  ASSERT_EQ(r.ctrl.program_block(r.seg(0), zeros), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.partial_segment_erase(r.seg(0), SimTime::us(0)),
+            FlashStatus::kOk);
+  EXPECT_EQ(r.array.count_erased(0), 0u);
+}
+
+TEST(Controller, PartialEraseBeyondNominalActsAsFullErase) {
+  Rig r;
+  const std::vector<std::uint16_t> zeros(256, 0);
+  ASSERT_EQ(r.ctrl.program_block(r.seg(0), zeros), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.partial_segment_erase(r.seg(0), SimTime::ms(50)),
+            FlashStatus::kOk);
+  EXPECT_EQ(r.array.count_erased(0), 4096u);
+}
+
+TEST(Controller, PartialEraseNegativeRejected) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.partial_segment_erase(r.seg(0), SimTime::us(-1)),
+            FlashStatus::kInvalidArgument);
+}
+
+TEST(Controller, AutoEraseErasesWithShortPulse) {
+  Rig r;
+  const std::vector<std::uint16_t> zeros(256, 0);
+  ASSERT_EQ(r.ctrl.program_block(r.seg(0), zeros), FlashStatus::kOk);
+  SimTime pulse;
+  ASSERT_EQ(r.ctrl.segment_erase_auto(r.seg(0), &pulse), FlashStatus::kOk);
+  EXPECT_EQ(r.array.count_erased(0), 4096u);
+  // Fresh segment: every cell erases within ~40 us, far below nominal 24 ms.
+  EXPECT_LT(pulse, SimTime::us(100));
+  EXPECT_GT(pulse, SimTime::us(10));
+}
+
+TEST(Controller, AutoEraseOnErasedSegmentIsCheap) {
+  Rig r;
+  SimTime pulse;
+  ASSERT_EQ(r.ctrl.segment_erase_auto(r.seg(2), &pulse), FlashStatus::kOk);
+  EXPECT_LE(pulse, SimTime::us(2));
+}
+
+TEST(Controller, MassEraseClearsWholeBankOnly) {
+  Rig r;
+  const Addr bank0 = r.seg(0);
+  const Addr bank1 = r.seg(r.geom.segments_per_bank());
+  ASSERT_EQ(r.ctrl.program_word(bank0, 0x0000), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.program_word(bank1, 0x0000), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.mass_erase(bank0), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.read_word(bank0), 0xFFFF);
+  EXPECT_EQ(r.ctrl.read_word(bank1), 0x0000);  // other bank untouched
+}
+
+TEST(Controller, InfoRegionIsItsOwnBank) {
+  Rig r;
+  const Addr info = r.geom.info_base;
+  ASSERT_EQ(r.ctrl.program_word(info, 0x0000), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.program_word(r.seg(0), 0x0000), FlashStatus::kOk);
+  ASSERT_EQ(r.ctrl.mass_erase(info), FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.read_word(info), 0xFFFF);
+  EXPECT_EQ(r.ctrl.read_word(r.seg(0)), 0x0000);
+}
+
+TEST(Controller, PartialProgramWord) {
+  Rig r;
+  // A very short program pulse leaves most target cells unprogrammed.
+  ASSERT_EQ(r.ctrl.partial_program_word(r.seg(0), 0x0000, SimTime::us(5)),
+            FlashStatus::kOk);
+  const std::uint16_t v = r.ctrl.read_word(r.seg(0));
+  int zeros = 0;
+  for (int b = 0; b < 16; ++b) zeros += ((v >> b) & 1) == 0;
+  EXPECT_LT(zeros, 8);
+  // Full-length partial program behaves like a program.
+  ASSERT_EQ(r.ctrl.partial_program_word(r.seg(0) + 2, 0x0000, SimTime::us(75)),
+            FlashStatus::kOk);
+  EXPECT_EQ(r.ctrl.read_word(r.seg(0) + 2), 0x0000);
+}
+
+TEST(Controller, ReadUnalignedViolates) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.read_word(r.seg(0) + 1), 0xFFFF);
+  EXPECT_TRUE(r.ctrl.access_violation());
+}
+
+TEST(Controller, WearSegmentAdvancesClockLikeLoop) {
+  Rig r;
+  const SimTime t0 = r.ctrl.now();
+  ASSERT_EQ(r.ctrl.wear_segment(r.seg(0), 100), FlashStatus::kOk);
+  const SimTime expected = r.ctrl.imprint_cycle_time(0) * 100;
+  EXPECT_EQ(r.ctrl.now() - t0, expected);
+}
+
+TEST(Controller, WearSegmentValidation) {
+  Rig r;
+  EXPECT_EQ(r.ctrl.wear_segment(0x2, 10), FlashStatus::kInvalidAddress);
+  EXPECT_EQ(r.ctrl.wear_segment(r.seg(0), -1), FlashStatus::kInvalidArgument);
+}
+
+TEST(Controller, StatusToString) {
+  EXPECT_STREQ(to_string(FlashStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(FlashStatus::kBusy), "busy");
+  EXPECT_STREQ(to_string(FlashStatus::kLocked), "locked");
+}
+
+}  // namespace
+}  // namespace flashmark

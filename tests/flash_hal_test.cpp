@@ -1,0 +1,99 @@
+#include "flash/hal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  FlashGeometry geom = FlashGeometry::msp430f5438();
+  FlashArray array{geom, PhysParams::msp430_calibrated(), 7};
+  SimClock clock;
+  FlashController ctrl{array, FlashTiming::msp430f5438(), clock};
+  ControllerHal hal{ctrl};
+
+  Addr seg(std::size_t i) const { return geom.segment_base(i); }
+};
+
+TEST(ControllerHal, WorksWithoutManualUnlock) {
+  // The HAL manages the LOCK bit itself (host-driver discipline); the
+  // controller stays locked between commands.
+  Rig r;
+  EXPECT_TRUE(r.ctrl.locked());
+  EXPECT_NO_THROW(r.hal.erase_segment(r.seg(0)));
+  EXPECT_TRUE(r.ctrl.locked());
+  EXPECT_NO_THROW(r.hal.program_word(r.seg(0), 0x00FF));
+  EXPECT_TRUE(r.ctrl.locked());
+  EXPECT_EQ(r.hal.read_word(r.seg(0)), 0x00FF);
+}
+
+TEST(ControllerHal, GeometryAndTimingPassthrough) {
+  Rig r;
+  EXPECT_EQ(&r.hal.geometry(), &r.ctrl.geometry());
+  EXPECT_EQ(r.hal.timing().t_erase_segment,
+            FlashTiming::msp430f5438().t_erase_segment);
+}
+
+TEST(ControllerHal, NowTracksClock) {
+  Rig r;
+  const SimTime t0 = r.hal.now();
+  r.hal.erase_segment(r.seg(0));
+  EXPECT_GT(r.hal.now(), t0);
+}
+
+TEST(ControllerHal, InvalidAddressThrowsWithStatus) {
+  Rig r;
+  try {
+    r.hal.erase_segment(0x2);
+    FAIL() << "expected FlashHalError";
+  } catch (const FlashHalError& e) {
+    EXPECT_EQ(e.status(), FlashStatus::kInvalidAddress);
+    EXPECT_NE(std::string(e.what()).find("erase_segment"), std::string::npos);
+  }
+}
+
+TEST(ControllerHal, ReadInvalidThrowsAndClearsFlag) {
+  Rig r;
+  EXPECT_THROW(r.hal.read_word(r.seg(0) + 1), FlashHalError);
+  EXPECT_FALSE(r.ctrl.access_violation());  // flag consumed by the HAL
+  EXPECT_NO_THROW(r.hal.read_word(r.seg(0)));
+}
+
+TEST(ControllerHal, PartialEraseAndAutoErase) {
+  Rig r;
+  const std::vector<std::uint16_t> zeros(256, 0);
+  r.hal.program_block(r.seg(0), zeros);
+  r.hal.partial_erase_segment(r.seg(0), SimTime::us(10));
+  EXPECT_EQ(r.array.count_erased(0), 0u);  // nothing erases in 10 us
+  const SimTime pulse = r.hal.erase_segment_auto(r.seg(0));
+  EXPECT_EQ(r.array.count_erased(0), 4096u);
+  EXPECT_LT(pulse, SimTime::us(200));
+}
+
+TEST(ControllerHal, WearSegment) {
+  Rig r;
+  r.hal.wear_segment(r.seg(0), 1000);
+  EXPECT_GT(r.array.wear_stats(0).eff_cycles_mean, 500.0);
+}
+
+TEST(ControllerHal, PartialProgramWord) {
+  Rig r;
+  // A tiny pulse programs (almost) nothing; a full-length one everything.
+  r.hal.partial_program_word(r.seg(0), 0x0000, SimTime::us(5));
+  const std::uint16_t after_short = r.hal.read_word(r.seg(0));
+  int zeros = 0;
+  for (int b = 0; b < 16; ++b) zeros += ((after_short >> b) & 1) == 0;
+  EXPECT_LT(zeros, 8);
+  r.hal.erase_segment(r.seg(0));
+  r.hal.partial_program_word(r.seg(0), 0x0000, SimTime::us(80));
+  EXPECT_EQ(r.hal.read_word(r.seg(0)), 0x0000);
+  EXPECT_TRUE(r.ctrl.locked());  // lock restored either way
+}
+
+TEST(ControllerHal, ProgramBlockCrossSegmentThrows) {
+  Rig r;
+  EXPECT_THROW(r.hal.program_block(r.seg(1) - 2, {0, 0}), FlashHalError);
+}
+
+}  // namespace
+}  // namespace flashmark

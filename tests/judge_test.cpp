@@ -1,0 +1,153 @@
+// Direct unit tests of the substrate-independent verdict logic
+// (judge_extracted_bits): synthetic extracted bitmaps with precisely
+// controlled corruption, no flash simulation involved.
+#include <gtest/gtest.h>
+
+#include "core/flashmark.hpp"
+
+namespace flashmark {
+namespace {
+
+const SipHashKey kKey{0x1D6E, 0x0BB1};
+
+WatermarkSpec spec() {
+  WatermarkSpec s;
+  s.fields = {0x7C01, 0xF00, 1, TestStatus::kAccept, 0x0AB};
+  s.key = kKey;
+  s.n_replicas = 7;
+  return s;
+}
+
+VerifyOptions vopts() {
+  VerifyOptions v;
+  v.n_replicas = 7;
+  v.key = kKey;
+  return v;
+}
+
+/// The bitmap a noise-free extraction of a perfect imprint would return:
+/// exactly the imprint pattern (stressed cells read 0, good cells 1).
+BitVec perfect_extraction() {
+  return encode_watermark(spec(), 4096).segment_pattern;
+}
+
+TEST(Judge, PerfectExtractionIsGenuine) {
+  const VerifyReport r = judge_extracted_bits(perfect_extraction(), vopts());
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(*r.fields, spec().fields);
+  EXPECT_TRUE(r.signature_ok);
+  EXPECT_EQ(r.invalid_00_pairs, 0u);
+  EXPECT_EQ(r.invalid_11_pairs, 0u);
+  EXPECT_NEAR(r.zero_fraction, 0.5, 1e-9);
+  EXPECT_EQ(r.replica_disagreement, 0.0);
+}
+
+TEST(Judge, AllOnesIsNoWatermark) {
+  const VerifyReport r = judge_extracted_bits(BitVec(4096, true), vopts());
+  EXPECT_EQ(r.verdict, Verdict::kNoWatermark);
+  EXPECT_EQ(r.zero_fraction, 0.0);
+  EXPECT_FALSE(r.fields.has_value());
+}
+
+TEST(Judge, SparseContrastIsNoWatermark) {
+  // Under 10% stressed bits in the watermark region: below threshold.
+  BitVec bits(4096, true);
+  for (std::size_t i = 0; i < 150; ++i) bits.set(i * 13 % 2016, false);
+  EXPECT_EQ(judge_extracted_bits(bits, vopts()).verdict,
+            Verdict::kNoWatermark);
+}
+
+TEST(Judge, MinorityReplicaErrorsStillGenuine) {
+  // Flip bits in 2 of 7 replicas at the same payload position: both hard
+  // vote and soft decode ride over it.
+  BitVec bits = perfect_extraction();
+  const std::size_t L = spec().replica_bits();
+  bits.flip(0 * L + 10);
+  bits.flip(3 * L + 10);
+  const VerifyReport r = judge_extracted_bits(bits, vopts());
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  EXPECT_GT(r.replica_disagreement, 0.0);
+}
+
+TEST(Judge, ZeroFloodIsTampered) {
+  // Stress-attack signature: many pairs driven to (0,0) consistently
+  // across replicas.
+  BitVec bits = perfect_extraction();
+  const std::size_t L = spec().replica_bits();
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t i = 0; i < 40; ++i) {
+      bits.set(r * L + 2 * i, false);
+      bits.set(r * L + 2 * i + 1, false);
+    }
+  const VerifyReport rep = judge_extracted_bits(bits, vopts());
+  EXPECT_EQ(rep.verdict, Verdict::kTampered);
+  EXPECT_GE(rep.invalid_00_pairs, 35u);
+}
+
+TEST(Judge, CleanRailsBadSignatureIsTampered) {
+  // A well-formed dual-rail stream whose payload was never signed with the
+  // factory key: physically consistent but cryptographically wrong.
+  WatermarkSpec forged = spec();
+  forged.key = SipHashKey{0xBAD, 0xBAD};
+  const BitVec bits = encode_watermark(forged, 4096).segment_pattern;
+  const VerifyReport r = judge_extracted_bits(bits, vopts());
+  EXPECT_EQ(r.verdict, Verdict::kTampered);
+  EXPECT_TRUE(r.signature_checked);
+  EXPECT_FALSE(r.signature_ok);
+  EXPECT_EQ(r.invalid_00_pairs, 0u);
+}
+
+TEST(Judge, UnkeyedVerifyUsesCrcOnly) {
+  WatermarkSpec s = spec();
+  s.key.reset();
+  const BitVec bits = encode_watermark(s, 4096).segment_pattern;
+  VerifyOptions v = vopts();
+  v.key.reset();
+  const VerifyReport r = judge_extracted_bits(bits, v);
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  EXPECT_FALSE(r.signature_checked);
+}
+
+TEST(Judge, LayoutOverflowThrows) {
+  VerifyOptions v = vopts();
+  v.n_replicas = 15;  // 15 * 288 > 4096
+  EXPECT_THROW(judge_extracted_bits(BitVec(4096), v), std::invalid_argument);
+}
+
+TEST(Judge, TamperThresholdIsConfigurable) {
+  BitVec bits = perfect_extraction();
+  const std::size_t L = spec().replica_bits();
+  // Exactly 4 (0,0) pairs of 144: 2.8%.
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t i = 0; i < 4; ++i) {
+      bits.set(r * L + 2 * i, false);
+      bits.set(r * L + 2 * i + 1, false);
+    }
+  VerifyOptions lax = vopts();
+  lax.tamper_pair_fraction = 0.05;
+  VerifyOptions strict = vopts();
+  strict.tamper_pair_fraction = 0.01;
+  // 2.8% passes the 5% gate (but the corrupted payload then fails the
+  // signature), and trips the 1% gate directly.
+  EXPECT_NE(judge_extracted_bits(bits, lax).verdict, Verdict::kNoWatermark);
+  EXPECT_EQ(judge_extracted_bits(bits, strict).verdict, Verdict::kTampered);
+}
+
+TEST(Judge, GoodCellErrorsProduceInvalid11NotTamper) {
+  // Extraction erasure direction: pairs read (1,1) — counted, but never a
+  // tamper signal.
+  BitVec bits = perfect_extraction();
+  const std::size_t L = spec().replica_bits();
+  for (std::size_t r = 0; r < 4; ++r) {  // majority of replicas
+    bits.set(r * L + 0, true);
+    bits.set(r * L + 1, true);
+  }
+  const VerifyReport rep = judge_extracted_bits(bits, vopts());
+  EXPECT_GE(rep.invalid_11_pairs, 1u);
+  EXPECT_EQ(rep.invalid_00_pairs, 0u);
+  EXPECT_NE(rep.verdict, Verdict::kTampered);
+}
+
+}  // namespace
+}  // namespace flashmark

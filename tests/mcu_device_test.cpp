@@ -1,0 +1,112 @@
+#include "mcu/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analyze.hpp"
+
+namespace flashmark {
+namespace {
+
+TEST(DeviceConfig, FamilyPresets) {
+  const DeviceConfig a = DeviceConfig::msp430f5438();
+  EXPECT_EQ(a.family, "MSP430F5438");
+  EXPECT_EQ(a.geometry.main_bytes(), 256u * 1024);
+  const DeviceConfig b = DeviceConfig::msp430f5529();
+  EXPECT_EQ(b.family, "MSP430F5529");
+  EXPECT_EQ(b.geometry.main_bytes(), 128u * 1024);
+}
+
+TEST(Device, ConstructionWiresEverything) {
+  Device dev(DeviceConfig::msp430f5438(), 123);
+  EXPECT_EQ(dev.die_seed(), 123u);
+  EXPECT_EQ(&dev.controller().geometry(), &dev.array().geometry());
+  EXPECT_EQ(dev.hal().now(), SimTime{});
+}
+
+TEST(Device, DelayAdvancesClock) {
+  Device dev(DeviceConfig::msp430f5438(), 1);
+  dev.delay(SimTime::ms(5));
+  EXPECT_EQ(dev.clock().now(), SimTime::ms(5));
+  EXPECT_EQ(dev.hal().now(), SimTime::ms(5));
+}
+
+TEST(Device, SameSeedSameSilicon) {
+  Device a(DeviceConfig::msp430f5438(), 55);
+  Device b(DeviceConfig::msp430f5438(), 55);
+  for (std::size_t i = 0; i < 4096; i += 211)
+    EXPECT_FLOAT_EQ(a.array().cell(0, i).tte_fresh_us(),
+                    b.array().cell(0, i).tte_fresh_us());
+}
+
+TEST(Device, BothHalsDriveTheSameFlash) {
+  Device dev(DeviceConfig::msp430f5438(), 2);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  dev.hal().program_word(addr, 0x0F0F);
+  // The register-level HAL observes the direct HAL's write, and vice versa.
+  EXPECT_EQ(dev.mcu_hal().read_word(addr), 0x0F0F);
+  dev.mcu_hal().erase_segment(addr);
+  EXPECT_EQ(dev.hal().read_word(addr), 0xFFFF);
+}
+
+TEST(Device, HalsProduceIdenticalDeterministicState) {
+  // Deterministic command sequences (no metastability involved) must leave
+  // identical cell states through either interface.
+  Device a(DeviceConfig::msp430f5438(), 3);
+  Device b(DeviceConfig::msp430f5438(), 3);
+  const Addr addr = a.config().geometry.segment_base(0);
+  const std::vector<std::uint16_t> words = {0xAAAA, 0x5555, 0x0F0F, 0xF0F0};
+
+  a.hal().erase_segment(addr);
+  a.hal().program_block(addr, words);
+  b.mcu_hal().erase_segment(addr);
+  b.mcu_hal().program_block(addr, words);
+
+  EXPECT_EQ(a.array().snapshot(0), b.array().snapshot(0));
+}
+
+TEST(Device, McuHalPartialEraseMatchesDirectHalStatistically) {
+  // Same die seed, same op sequence: the partial erase outcome is identical
+  // because the per-die noise stream is consumed identically.
+  Device a(DeviceConfig::msp430f5438(), 4);
+  Device b(DeviceConfig::msp430f5438(), 4);
+  const Addr addr = a.config().geometry.segment_base(0);
+  const std::vector<std::uint16_t> zeros(256, 0);
+
+  a.hal().erase_segment(addr);
+  a.hal().program_block(addr, zeros);
+  a.hal().partial_erase_segment(addr, SimTime::us(24));
+
+  b.mcu_hal().erase_segment(addr);
+  b.mcu_hal().program_block(addr, zeros);
+  b.mcu_hal().partial_erase_segment(addr, SimTime::us(24));
+
+  EXPECT_EQ(a.array().snapshot(0), b.array().snapshot(0));
+}
+
+TEST(Device, McuHalPartialProgramMatchesDirect) {
+  Device a(DeviceConfig::msp430f5438(), 40);
+  Device b(DeviceConfig::msp430f5438(), 40);
+  const Addr addr = a.config().geometry.segment_base(0);
+  a.hal().partial_program_word(addr, 0x0000, SimTime::us(40));
+  b.mcu_hal().partial_program_word(addr, 0x0000, SimTime::us(40));
+  EXPECT_EQ(a.array().snapshot(0), b.array().snapshot(0));
+}
+
+TEST(Device, F5529SegmentAnalysis) {
+  Device dev(DeviceConfig::msp430f5529(), 5);
+  const Addr addr = dev.config().geometry.segment_base(0);
+  const SegmentAnalysis an = analyze_segment(dev.hal(), addr, 3);
+  EXPECT_EQ(an.cells_1, 4096u);
+  EXPECT_EQ(an.cells_0, 0u);
+}
+
+TEST(Device, InfoMemoryUsableForWatermarks) {
+  Device dev(DeviceConfig::msp430f5438(), 6);
+  const auto& g = dev.config().geometry;
+  const Addr info = g.segment_base(g.n_main_segments());
+  dev.hal().wear_segment(info, 1000);
+  EXPECT_GT(dev.array().wear_stats(g.n_main_segments()).eff_cycles_mean, 500.0);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,165 @@
+#include "mcu/flash_module.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+using namespace fctl;
+
+struct Rig {
+  FlashGeometry geom = FlashGeometry::msp430f5438();
+  FlashArray array{geom, PhysParams::msp430_calibrated(), 9};
+  SimClock clock;
+  FlashController ctrl{array, FlashTiming::msp430f5438(), clock};
+  McuFlashModule mod{ctrl};
+
+  Addr seg(std::size_t i) const { return geom.segment_base(i); }
+  void unlock() { mod.write_reg(kFctl3, kFwKeyWrite); }
+  void lock() { mod.write_reg(kFctl3, kFwKeyWrite | kLock); }
+};
+
+TEST(McuFlashModule, ResetStateLockedNotBusy) {
+  Rig r;
+  const std::uint16_t fctl3 = r.mod.read_reg(kFctl3);
+  EXPECT_EQ(fctl3 & 0xFF00, kFwKeyRead);
+  EXPECT_TRUE(fctl3 & kLock);
+  EXPECT_FALSE(fctl3 & kBusy);
+  EXPECT_FALSE(fctl3 & kKeyv);
+}
+
+TEST(McuFlashModule, WrongPasswordSetsKeyvAndIgnoresWrite) {
+  Rig r;
+  r.mod.write_reg(kFctl3, 0x1200);  // bad key, tries to clear LOCK
+  EXPECT_TRUE(r.mod.key_violation());
+  EXPECT_TRUE(r.mod.read_reg(kFctl3) & kKeyv);
+  EXPECT_TRUE(r.ctrl.locked());  // write was ignored
+  // Clearing KEYV with the proper password works.
+  r.mod.write_reg(kFctl3, kFwKeyWrite | kLock);
+  EXPECT_FALSE(r.mod.key_violation());
+}
+
+TEST(McuFlashModule, UnlockViaRegister) {
+  Rig r;
+  r.unlock();
+  EXPECT_FALSE(r.ctrl.locked());
+  r.lock();
+  EXPECT_TRUE(r.ctrl.locked());
+}
+
+TEST(McuFlashModule, EraseProtocol) {
+  Rig r;
+  // Program a word first so the erase is observable.
+  r.unlock();
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kWrt);
+  r.mod.bus_write_word(r.seg(0), 0x1234);
+  r.mod.wait_while_busy();
+  EXPECT_EQ(r.mod.bus_read_word(r.seg(0)), 0x1234);
+
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kErase);
+  r.mod.bus_write_word(r.seg(0), 0);  // dummy write triggers erase
+  EXPECT_TRUE(r.mod.read_reg(kFctl3) & kBusy);
+  r.mod.wait_while_busy();
+  EXPECT_FALSE(r.mod.read_reg(kFctl3) & kBusy);
+  r.mod.write_reg(kFctl1, kFwKeyWrite);
+  r.lock();
+  EXPECT_EQ(r.mod.bus_read_word(r.seg(0)), 0xFFFF);
+}
+
+TEST(McuFlashModule, ProgramRequiresWrtBit) {
+  Rig r;
+  r.unlock();
+  // Plain store with no mode bits: ignored, ACCVIFG raised.
+  r.mod.bus_write_word(r.seg(0), 0x0000);
+  EXPECT_TRUE(r.mod.read_reg(kFctl3) & kAccvifg);
+  EXPECT_EQ(r.array.count_erased(0), 4096u);
+  // Clear the flag through the register interface.
+  r.mod.write_reg(kFctl3, kFwKeyWrite);
+  EXPECT_FALSE(r.mod.read_reg(kFctl3) & kAccvifg);
+}
+
+TEST(McuFlashModule, LockedEraseRefused) {
+  Rig r;
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kErase);  // mode armed but LOCKed
+  r.mod.bus_write_word(r.seg(0), 0);
+  EXPECT_FALSE(r.mod.read_reg(kFctl3) & kBusy);  // nothing started
+}
+
+TEST(McuFlashModule, EmexAbortsOperation) {
+  Rig r;
+  r.unlock();
+  // Fill the segment, then start an erase and abort it almost immediately:
+  // the partial erase leaves the segment still mostly programmed.
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kWrt);
+  for (std::size_t w = 0; w < 256; ++w) {
+    r.mod.bus_write_word(r.seg(0) + static_cast<Addr>(w * 2), 0x0000);
+    r.mod.wait_while_busy();
+  }
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kErase);
+  r.mod.bus_write_word(r.seg(0), 0);
+  ASSERT_TRUE(r.ctrl.busy());
+  r.ctrl.advance(SimTime::us(10));  // vpp ramp + 5 us of pulse
+  r.mod.write_reg(kFctl3, kFwKeyWrite | kEmex);
+  EXPECT_FALSE(r.ctrl.busy());
+  EXPECT_EQ(r.array.count_erased(0), 0u);  // 5 us pulse erases nothing
+}
+
+TEST(McuFlashModule, ModeBitsLatchedAndReadBack) {
+  Rig r;
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kWrt);
+  EXPECT_TRUE(r.mod.read_reg(kFctl1) & kWrt);
+  EXPECT_EQ(r.mod.read_reg(kFctl1) & 0xFF00, kFwKeyRead);
+  r.mod.write_reg(kFctl1, kFwKeyWrite);
+  EXPECT_FALSE(r.mod.read_reg(kFctl1) & kWrt);
+}
+
+TEST(McuFlashModule, ModeBitsFrozenWhileBusy) {
+  Rig r;
+  r.unlock();
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kErase);
+  r.mod.bus_write_word(r.seg(0), 0);
+  ASSERT_TRUE(r.ctrl.busy());
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kWrt);  // ignored while busy
+  EXPECT_TRUE(r.mod.read_reg(kFctl1) & kErase);
+  r.mod.wait_while_busy();
+}
+
+TEST(McuFlashModule, MassEraseProtocol) {
+  Rig r;
+  r.unlock();
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kWrt);
+  r.mod.bus_write_word(r.seg(0), 0x0000);
+  r.mod.wait_while_busy();
+  r.mod.bus_write_word(r.seg(1), 0x0000);
+  r.mod.wait_while_busy();
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kMeras);
+  r.mod.bus_write_word(r.seg(0), 0);
+  r.mod.wait_while_busy();
+  EXPECT_EQ(r.mod.bus_read_word(r.seg(0)), 0xFFFF);
+  EXPECT_EQ(r.mod.bus_read_word(r.seg(1)), 0xFFFF);
+}
+
+TEST(McuFlashModule, UnknownRegisterReadsZero) {
+  Rig r;
+  EXPECT_EQ(r.mod.read_reg(kFctl4), 0);
+  EXPECT_EQ(r.mod.read_reg(0x0666), 0);
+}
+
+TEST(McuFlashModule, BusyBitVisibleDuringOperation) {
+  Rig r;
+  r.unlock();
+  r.mod.write_reg(kFctl1, kFwKeyWrite | kErase);
+  r.mod.bus_write_word(r.seg(0), 0);
+  int polls = 0;
+  while (r.mod.read_reg(kFctl3) & kBusy) {
+    r.ctrl.advance(SimTime::ms(1));
+    ++polls;
+    ASSERT_LT(polls, 100);
+  }
+  // Nominal erase ~24 ms + ramps at 1 ms per poll.
+  EXPECT_GE(polls, 20);
+  EXPECT_LE(polls, 30);
+}
+
+}  // namespace
+}  // namespace flashmark

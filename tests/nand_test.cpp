@@ -1,0 +1,299 @@
+#include "nand/nand_watermark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+
+namespace flashmark {
+namespace {
+
+struct Rig {
+  NandGeometry geom = NandGeometry::tiny();
+  NandArray array{geom, nand_slc_phys(), 77};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+};
+
+TEST(NandGeometry, Presets) {
+  const NandGeometry g = NandGeometry::slc_2gbit();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.capacity_bytes(), 2048u * 64 * 2048);
+  EXPECT_EQ(g.page_cells(), (2048u + 64) * 8);
+  EXPECT_NO_THROW(NandGeometry::tiny().validate());
+}
+
+TEST(NandGeometry, ValidationCatchesZeroes) {
+  NandGeometry g = NandGeometry::tiny();
+  g.n_blocks = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = NandGeometry::tiny();
+  g.page_bytes = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(NandGeometry, DescribeMentionsShape) {
+  EXPECT_NE(NandGeometry::slc_2gbit().describe().find("blocks"),
+            std::string::npos);
+}
+
+TEST(NandPhys, CalibrationSane) {
+  const PhysParams p = nand_slc_phys();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_GT(p.tte_fresh_median_us, 100.0);  // ms-scale block erase
+  EXPECT_GT(p.k_damage, PhysParams::msp430_calibrated().k_damage);
+}
+
+TEST(NandArray, StartsErased) {
+  Rig r;
+  EXPECT_EQ(r.array.count_erased(0, 0), r.geom.page_cells());
+}
+
+TEST(NandArray, ProgramReadRoundtrip) {
+  Rig r;
+  BitVec data(r.geom.page_cells(), true);
+  for (std::size_t i = 0; i < data.size(); i += 3) data.set(i, false);
+  r.array.program_page(0, 1, data);
+  EXPECT_EQ(r.array.read_page(0, 1), data);
+  // Neighbour pages untouched.
+  EXPECT_EQ(r.array.count_erased(0, 0), r.geom.page_cells());
+}
+
+TEST(NandArray, EraseIsBlockWide) {
+  Rig r;
+  const BitVec zeros(r.geom.page_cells());
+  r.array.program_page(1, 0, zeros);
+  r.array.program_page(1, 3, zeros);
+  r.array.erase_block(1);
+  EXPECT_EQ(r.array.count_erased(1, 0), r.geom.page_cells());
+  EXPECT_EQ(r.array.count_erased(1, 3), r.geom.page_cells());
+}
+
+TEST(NandArray, BoundsChecked) {
+  Rig r;
+  EXPECT_THROW(r.array.read_page(99, 0), std::out_of_range);
+  EXPECT_THROW(r.array.read_page(0, 99), std::out_of_range);
+  EXPECT_THROW(r.array.program_page(0, 0, BitVec(7)), std::invalid_argument);
+  EXPECT_THROW(r.array.partial_erase_block(0, -1.0), std::invalid_argument);
+}
+
+TEST(NandController, EraseProgramReadFlow) {
+  Rig r;
+  BitVec data(r.geom.page_cells(), true);
+  data.set(0, false);
+  data.set(100, false);
+  ASSERT_EQ(r.nand.page_program(0, 0, data), NandStatus::kOk);
+  BitVec out;
+  ASSERT_EQ(r.nand.page_read(0, 0, &out), NandStatus::kOk);
+  EXPECT_EQ(out, data);
+  ASSERT_EQ(r.nand.block_erase(0), NandStatus::kOk);
+  ASSERT_EQ(r.nand.page_read(0, 0, &out), NandStatus::kOk);
+  EXPECT_EQ(out.popcount(), r.geom.page_cells());
+}
+
+TEST(NandController, BusyProtocol) {
+  Rig r;
+  ASSERT_EQ(r.nand.begin_block_erase(0), NandStatus::kOk);
+  EXPECT_TRUE(r.nand.busy());
+  EXPECT_EQ(r.nand.begin_block_erase(1), NandStatus::kBusy);
+  BitVec out;
+  EXPECT_EQ(r.nand.page_read(0, 0, &out), NandStatus::kBusy);
+  EXPECT_EQ(r.nand.wait_ready(), NandStatus::kOk);
+  EXPECT_FALSE(r.nand.busy());
+}
+
+TEST(NandController, ResetIdleIsNotBusy) {
+  Rig r;
+  EXPECT_EQ(r.nand.reset(), NandStatus::kNotBusy);
+}
+
+TEST(NandController, TimingAccounting) {
+  Rig r;
+  const SimTime t0 = r.nand.now();
+  ASSERT_EQ(r.nand.block_erase(0), NandStatus::kOk);
+  EXPECT_EQ(r.nand.now() - t0, r.nand.timing().t_block_erase);
+}
+
+TEST(NandController, ResetDuringEraseIsPartialErase) {
+  Rig r;
+  const BitVec zeros(r.geom.page_cells());
+  ASSERT_EQ(r.nand.page_program(0, 0, zeros), NandStatus::kOk);
+  // Abort at the median fresh tte: roughly half the cells transition.
+  ASSERT_EQ(r.nand.partial_block_erase(0, SimTime::us(400)), NandStatus::kOk);
+  const std::size_t erased = r.array.count_erased(0, 0);
+  EXPECT_GT(erased, r.geom.page_cells() / 4);
+  EXPECT_LT(erased, r.geom.page_cells() * 3 / 4);
+}
+
+TEST(NandController, PartialEraseBeyondNominalIsFullErase) {
+  Rig r;
+  const BitVec zeros(r.geom.page_cells());
+  ASSERT_EQ(r.nand.page_program(0, 0, zeros), NandStatus::kOk);
+  ASSERT_EQ(r.nand.partial_block_erase(0, SimTime::ms(10)), NandStatus::kOk);
+  EXPECT_EQ(r.array.count_erased(0, 0), r.geom.page_cells());
+}
+
+TEST(NandController, AbortedProgramLeavesPartialPage) {
+  Rig r;
+  const BitVec zeros(r.geom.page_cells());
+  ASSERT_EQ(r.nand.begin_page_program(0, 0, zeros), NandStatus::kOk);
+  r.nand.advance(SimTime::us(30));  // 10% of tPROG
+  ASSERT_EQ(r.nand.reset(), NandStatus::kOk);
+  // Nearly nothing programmed at 10% of the pulse train.
+  EXPECT_GT(r.array.count_erased(0, 0), r.geom.page_cells() * 8 / 10);
+}
+
+TEST(NandWatermark, ImprintExtractRoundtrip) {
+  Rig r;
+  BitVec pattern(r.geom.page_cells(), true);
+  for (std::size_t i = 0; i < pattern.size(); i += 2) pattern.set(i, false);
+  NandImprintOptions io;
+  io.npe = 8'000;
+  io.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark_nand(r.nand, 2, 0, pattern, io);
+
+  NandExtractOptions eo;
+  eo.t_pew = SimTime::us(650);
+  const NandExtractResult ext = extract_flashmark_nand(r.nand, 2, 0, eo);
+  const BerBreakdown ber = compare_bits(pattern, ext.bits);
+  EXPECT_LT(ber.ber(), 0.20);
+  EXPECT_GT(ber.errors_on_zeros, ber.errors_on_ones);  // same asymmetry
+}
+
+TEST(NandWatermark, FullPipelineGenuine) {
+  NandGeometry geom = NandGeometry::tiny();
+  geom.page_bytes = 512;  // fit 7 replicas of the 288-bit payload
+  NandArray array{geom, nand_slc_phys(), 78};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+
+  const SipHashKey key{0xA0 + 1, 2};
+  WatermarkSpec spec;
+  spec.fields = {0x7C02, 0xAB, 1, TestStatus::kAccept, 0x100};
+  spec.key = key;
+  spec.n_replicas = 7;
+  spec.npe = 8'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  imprint_watermark_nand(nand, 0, spec);
+
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(650);
+  vo.n_replicas = 7;
+  vo.key = key;
+  vo.rounds = 3;
+  const VerifyReport r = verify_watermark_nand(nand, 0, vo);
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->die_id, 0xABu);
+}
+
+TEST(NandWatermark, FreshBlockIsNoWatermark) {
+  NandGeometry geom = NandGeometry::tiny();
+  geom.page_bytes = 512;
+  NandArray array{geom, nand_slc_phys(), 79};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(650);
+  vo.n_replicas = 7;
+  vo.key = SipHashKey{1, 2};
+  EXPECT_EQ(verify_watermark_nand(nand, 1, vo).verdict, Verdict::kNoWatermark);
+}
+
+TEST(NandWatermark, ImprintFasterThanMcuNor) {
+  // §V: stand-alone chips with fast erase/program imprint much faster.
+  // NAND cycle: ~3 ms erase + ~0.3 ms program vs MSP430's ~34 ms cycle,
+  // and contrast needs ~8x fewer cycles.
+  Rig r;
+  BitVec pattern(r.geom.page_cells(), true);
+  pattern.set(0, false);
+  NandImprintOptions io;
+  io.npe = 8'000;
+  const ImprintReport rep = imprint_flashmark_nand(r.nand, 3, 0, pattern, io);
+  EXPECT_LT(rep.elapsed, SimTime::sec(40));  // vs ~2000 s on the MCU
+}
+
+TEST(NandBadBlocks, ScannerFindsFactoryMarkers) {
+  // High bad-block density so the tiny geometry reliably contains some.
+  NandGeometry geom = NandGeometry::tiny();
+  geom.n_blocks = 64;
+  geom.factory_bad_block_ppm = 100'000.0;  // 10%
+  NandArray array{geom, nand_slc_phys(), 0xBAD};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+
+  const auto bad = scan_bad_blocks(nand, geom.n_blocks);
+  EXPECT_GT(bad.size(), 1u);
+  EXPECT_LT(bad.size(), 20u);
+  for (std::size_t b : bad) EXPECT_TRUE(array.factory_bad(b));
+  // And every unscanned-good block really is good.
+  std::size_t checked = 0;
+  for (std::size_t b = 0; b < geom.n_blocks; ++b)
+    if (std::find(bad.begin(), bad.end(), b) == bad.end()) {
+      EXPECT_FALSE(array.factory_bad(b));
+      ++checked;
+    }
+  EXPECT_GT(checked, 40u);
+}
+
+TEST(NandBadBlocks, MarkerSurvivesErase) {
+  NandGeometry geom = NandGeometry::tiny();
+  geom.factory_bad_block_ppm = 1e6;  // every block bad
+  NandArray array{geom, nand_slc_phys(), 0xBAD2};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+  ASSERT_TRUE(array.factory_bad(0));
+  nand.block_erase(0);
+  const auto bad = scan_bad_blocks(nand, 1);
+  EXPECT_EQ(bad.size(), 1u);  // marker still reads 0x00 after the erase
+}
+
+TEST(NandBadBlocks, FirstGoodBlockSkipsBad) {
+  NandGeometry geom = NandGeometry::tiny();
+  geom.n_blocks = 64;
+  geom.factory_bad_block_ppm = 100'000.0;
+  NandArray array{geom, nand_slc_phys(), 0xBAD};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+  const std::size_t good = first_good_block(nand, geom.n_blocks);
+  EXPECT_FALSE(array.factory_bad(good));
+}
+
+TEST(NandBadBlocks, AllBadThrows) {
+  NandGeometry geom = NandGeometry::tiny();
+  geom.factory_bad_block_ppm = 1e6;
+  NandArray array{geom, nand_slc_phys(), 0xBAD3};
+  SimClock clock;
+  NandController nand{array, NandTiming::slc_datasheet(), clock};
+  EXPECT_THROW(first_good_block(nand, geom.n_blocks), std::runtime_error);
+}
+
+TEST(NandBadBlocks, DefaultDensityIsLow) {
+  // At the default 0.5% a 64-block scan is usually clean; assert the
+  // deterministic result for this seed and that the fraction is plausible
+  // over many blocks.
+  NandGeometry geom = NandGeometry::slc_2gbit();
+  NandArray array{geom, nand_slc_phys(), 0xBAD4};
+  std::size_t bad = 0;
+  for (std::size_t b = 0; b < 2048; ++b)
+    if (array.factory_bad(b)) ++bad;
+  EXPECT_LT(bad, 30u);  // ~10 expected at 0.5%
+}
+
+TEST(NandWatermark, OptionValidation) {
+  Rig r;
+  EXPECT_THROW(imprint_flashmark_nand(r.nand, 0, 0, BitVec(8), {}),
+               std::invalid_argument);
+  NandImprintOptions io;
+  io.npe = 0;
+  EXPECT_THROW(
+      imprint_flashmark_nand(r.nand, 0, 0, BitVec(r.geom.page_cells()), io),
+      std::invalid_argument);
+  NandExtractOptions eo;
+  eo.rounds = 2;
+  EXPECT_THROW(extract_flashmark_nand(r.nand, 0, 0, eo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashmark

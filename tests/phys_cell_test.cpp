@@ -1,0 +1,271 @@
+#include "phys/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phys/erase_model.hpp"
+#include "util/stats.hpp"
+
+namespace flashmark {
+namespace {
+
+PhysParams params() { return PhysParams::msp430_calibrated(); }
+
+TEST(Cell, ManufacturedFreshAndErased) {
+  const PhysParams p = params();
+  Rng rng(1);
+  const Cell c = Cell::manufacture(p, rng);
+  EXPECT_TRUE(c.erased());
+  EXPECT_EQ(c.eff_cycles(), 0.0);
+  EXPECT_FALSE(c.metastable());
+  EXPECT_GT(c.tte_fresh_us(), 0.0f);
+  EXPECT_GE(c.susceptibility(), static_cast<float>(p.suscept_min));
+  EXPECT_LE(c.susceptibility(), static_cast<float>(p.suscept_cap));
+}
+
+TEST(Cell, FreshTtePopulationMatchesPaperWindow) {
+  // Paper Fig. 4, 0 K curve: a 4096-cell segment transitions between ~18 and
+  // ~35 us.
+  const PhysParams p = params();
+  Rng rng(2);
+  RunningStats tte;
+  for (int i = 0; i < 4096; ++i)
+    tte.add(Cell::manufacture(p, rng).tte_us(p));
+  EXPECT_GT(tte.min(), 15.0);
+  EXPECT_LT(tte.min(), 22.0);
+  EXPECT_GT(tte.max(), 29.0);
+  EXPECT_LT(tte.max(), 40.0);
+  EXPECT_NEAR(tte.mean(), 24.0, 1.0);
+}
+
+TEST(Cell, ProgramAndEraseToggleState) {
+  const PhysParams p = params();
+  Rng rng(3);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  EXPECT_FALSE(c.erased());
+  EXPECT_EQ(c.level(), CellLevel::kProgrammed);
+  c.full_erase(p);
+  EXPECT_TRUE(c.erased());
+  EXPECT_EQ(c.level(), CellLevel::kErased);
+}
+
+TEST(Cell, StressAccountingPerEvent) {
+  const PhysParams p = params();
+  Rng rng(4);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);  // erased -> programmed
+  EXPECT_DOUBLE_EQ(c.eff_cycles(), p.stress_program);
+  c.program(p);  // reprogram
+  EXPECT_DOUBLE_EQ(c.eff_cycles(), p.stress_program + p.stress_reprogram);
+  c.full_erase(p);  // programmed -> erased
+  EXPECT_DOUBLE_EQ(c.eff_cycles(),
+                   p.stress_program + p.stress_reprogram +
+                       p.stress_erase_transition);
+  c.full_erase(p);  // idle erase
+  EXPECT_DOUBLE_EQ(c.eff_cycles(),
+                   p.stress_program + p.stress_reprogram +
+                       p.stress_erase_transition + p.stress_erase_idle);
+}
+
+TEST(Cell, EffCyclesNeverDecreases) {
+  // Irreversibility property: random op sequences only accumulate stress.
+  const PhysParams p = params();
+  Rng rng(5);
+  Cell c = Cell::manufacture(p, rng);
+  double prev = 0.0;
+  Rng ops(99);
+  for (int i = 0; i < 2000; ++i) {
+    switch (ops.uniform_u64(4)) {
+      case 0: c.program(p); break;
+      case 1: c.full_erase(p); break;
+      case 2: c.partial_erase(p, ops.uniform(0.0, 100.0), ops); break;
+      case 3: c.partial_program(p, ops.uniform(0.05, 1.0), ops); break;
+    }
+    EXPECT_GE(c.eff_cycles(), prev);
+    prev = c.eff_cycles();
+  }
+}
+
+TEST(Cell, TteGrowsWithStress) {
+  const PhysParams p = params();
+  Rng rng(6);
+  Cell c = Cell::manufacture(p, rng);
+  const double fresh = c.tte_us(p);
+  c.batch_stress(p, 20'000, true, false);
+  const double worn20 = c.tte_us(p);
+  c.batch_stress(p, 20'000, true, false);
+  const double worn40 = c.tte_us(p);
+  EXPECT_GT(worn20, fresh);
+  EXPECT_GT(worn40, worn20);
+}
+
+TEST(Cell, PartialEraseZeroTimeKeepsProgrammed) {
+  const PhysParams p = params();
+  Rng rng(7);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  c.partial_erase(p, 0.0, rng);
+  EXPECT_FALSE(c.erased());
+}
+
+TEST(Cell, PartialEraseLongTimeErases) {
+  const PhysParams p = params();
+  Rng rng(8);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  c.partial_erase(p, 10'000.0, rng);  // far beyond any tte
+  EXPECT_TRUE(c.erased());
+}
+
+TEST(Cell, PartialEraseOnErasedCellIsNoopState) {
+  const PhysParams p = params();
+  Rng rng(9);
+  Cell c = Cell::manufacture(p, rng);
+  c.partial_erase(p, 50.0, rng);
+  EXPECT_TRUE(c.erased());
+  EXPECT_FALSE(c.metastable());
+}
+
+TEST(Cell, PartialEraseThresholdBehaviour) {
+  // Without jitter the transition happens exactly at tte.
+  PhysParams p = params();
+  p.tte_event_jitter_sigma = 0.0;
+  Rng rng(10);
+  Cell c = Cell::manufacture(p, rng);
+  const double tte = c.tte_us(p);
+  c.program(p);
+  c.partial_erase(p, tte * 0.9, rng);
+  EXPECT_FALSE(c.erased());
+  c.full_erase(p);
+  c.program(p);
+  c.partial_erase(p, c.tte_us(p) * 1.1, rng);
+  EXPECT_TRUE(c.erased());
+}
+
+TEST(Cell, AbortedEraseCostsLessStressThanTransition) {
+  PhysParams p = params();
+  p.tte_event_jitter_sigma = 0.0;
+  Rng rng(11);
+  Cell a = Cell::manufacture(p, rng);
+  Cell b = a;
+  a.program(p);
+  b.program(p);
+  const double before = a.eff_cycles();
+  a.partial_erase(p, a.tte_us(p) * 0.5, rng);  // aborted mid-flight
+  b.full_erase(p);                             // full transition
+  EXPECT_LT(a.eff_cycles() - before, p.stress_erase_transition);
+  EXPECT_GT(a.eff_cycles(), before);
+}
+
+TEST(Cell, SettledReadsAreDeterministic) {
+  const PhysParams p = params();
+  Rng rng(12);
+  Cell c = Cell::manufacture(p, rng);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(c.read(p, rng));
+  c.program(p);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(c.read(p, rng));
+}
+
+TEST(Cell, MetastableReadsFlipSometimes) {
+  PhysParams p = params();
+  p.tte_event_jitter_sigma = 0.0;
+  Rng rng(13);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  // Abort exactly at the transition: margin ~ 0, flip probability ~ 0.5.
+  c.partial_erase(p, c.tte_us(p), rng);
+  int flips = 0;
+  const int n = 2000;
+  const bool nominal = c.erased();
+  for (int i = 0; i < n; ++i)
+    if (c.read(p, rng) != nominal) ++flips;
+  EXPECT_GT(flips, n / 5);
+  EXPECT_LT(flips, n * 4 / 5);
+}
+
+TEST(Cell, FarMarginReadsStable) {
+  PhysParams p = params();
+  p.tte_event_jitter_sigma = 0.0;
+  Rng rng(14);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  c.partial_erase(p, c.tte_us(p) * 3.0, rng);  // margin >> tau
+  ASSERT_TRUE(c.erased());
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(c.read(p, rng));
+}
+
+TEST(Cell, FullOperationsClearMetastability) {
+  const PhysParams p = params();
+  Rng rng(15);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  c.partial_erase(p, c.tte_us(p), rng);
+  EXPECT_TRUE(c.metastable());
+  c.full_erase(p);
+  EXPECT_FALSE(c.metastable());
+  c.program(p);
+  c.partial_erase(p, c.tte_us(p), rng);
+  c.program(p);
+  EXPECT_FALSE(c.metastable());
+}
+
+TEST(Cell, PartialProgramCompletesAtHighFraction) {
+  const PhysParams p = params();
+  Rng rng(16);
+  Cell c = Cell::manufacture(p, rng);
+  c.partial_program(p, 1.0, rng);
+  EXPECT_FALSE(c.erased());
+}
+
+TEST(Cell, PartialProgramTinyFractionStaysErased) {
+  const PhysParams p = params();
+  Rng rng(17);
+  Cell c = Cell::manufacture(p, rng);
+  c.partial_program(p, 0.05, rng);
+  EXPECT_TRUE(c.erased());
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchEquivalence, BatchMatchesLoopStress) {
+  // batch_stress(cycles) must accumulate the same eff_cycles as the real
+  // Fig. 7 erase/program loop (up to the first-cycle boundary effect) and
+  // finish in the same logical state the loop's last operation leaves.
+  const PhysParams p = params();
+  const int cycles = GetParam();
+  Rng rng(18);
+  Cell stressed_loop = Cell::manufacture(p, rng);
+  Cell stressed_batch = stressed_loop;
+  Cell idle_loop = Cell::manufacture(p, rng);
+  Cell idle_batch = idle_loop;
+
+  for (int i = 0; i < cycles; ++i) {
+    stressed_loop.full_erase(p);
+    stressed_loop.program(p);  // imprint loop ends on a program
+    idle_loop.full_erase(p);
+  }
+
+  stressed_batch.batch_stress(p, cycles, true, /*end_programmed=*/true);
+  idle_batch.batch_stress(p, cycles, false, /*end_programmed=*/false);
+
+  EXPECT_NEAR(stressed_batch.eff_cycles(), stressed_loop.eff_cycles(),
+              1.0 + 0.01 * cycles);
+  EXPECT_NEAR(idle_batch.eff_cycles(), idle_loop.eff_cycles(),
+              0.05 + 0.001 * cycles);
+  EXPECT_FALSE(stressed_batch.erased());
+  EXPECT_TRUE(idle_batch.erased());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, BatchEquivalence,
+                         ::testing::Values(1, 10, 100, 1000));
+
+TEST(Cell, BatchStressNegativeClamped) {
+  const PhysParams p = params();
+  Rng rng(19);
+  Cell c = Cell::manufacture(p, rng);
+  c.batch_stress(p, -5.0, true, false);
+  EXPECT_EQ(c.eff_cycles(), 0.0);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,91 @@
+#include "phys/erase_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+PhysParams params() { return PhysParams::msp430_calibrated(); }
+
+TEST(EraseModel, SampleCount) {
+  Rng rng(1);
+  EXPECT_EQ(sample_tte_values(params(), 100, 0.0, rng).size(), 100u);
+}
+
+TEST(EraseModel, FreshSummaryMatchesCalibration) {
+  Rng rng(2);
+  const TteSummary s = sample_tte_population(params(), 4096, 0.0, rng);
+  EXPECT_NEAR(s.median_us, 24.0, 1.0);
+  EXPECT_GT(s.min_us, 15.0);
+  EXPECT_LT(s.max_us, 40.0);
+  EXPECT_GE(s.max_us, s.mean_us);
+  EXPECT_GE(s.mean_us, s.min_us);
+}
+
+class EraseModelStressSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EraseModelStressSweep, MeanTteGrowsWithStress) {
+  const double cycles = GetParam();
+  Rng a(3), b(3);
+  const TteSummary fresh = sample_tte_population(params(), 2048, 0.0, a);
+  const TteSummary worn = sample_tte_population(params(), 2048, cycles, b);
+  EXPECT_GT(worn.mean_us, fresh.mean_us);
+  EXPECT_GT(worn.max_us, fresh.max_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, EraseModelStressSweep,
+                         ::testing::Values(5'000.0, 20'000.0, 50'000.0,
+                                           100'000.0));
+
+TEST(EraseModel, ProbStillProgrammedMonotoneInTime) {
+  const PhysParams p = params();
+  Rng rng(4);
+  double prev = 1.0;
+  for (double t : {5.0, 15.0, 25.0, 35.0, 60.0, 200.0}) {
+    Rng local(5);
+    const double q = prob_still_programmed(p, t, 20'000.0, 4096, local);
+    EXPECT_LE(q, prev + 0.02);  // allow tiny MC noise
+    prev = q;
+  }
+  (void)rng;
+}
+
+TEST(EraseModel, ProbStillProgrammedMonotoneInStress) {
+  const PhysParams p = params();
+  const double t = 40.0;
+  double prev = 0.0;
+  for (double n : {0.0, 10'000.0, 30'000.0, 80'000.0}) {
+    Rng local(6);
+    const double q = prob_still_programmed(p, t, n, 4096, local);
+    EXPECT_GE(q, prev - 0.02);
+    prev = q;
+  }
+}
+
+TEST(EraseModel, ProbEdges) {
+  const PhysParams p = params();
+  Rng rng(7);
+  EXPECT_EQ(prob_still_programmed(p, 40.0, 0.0, 0, rng), 0.0);
+  Rng r2(8);
+  EXPECT_EQ(prob_still_programmed(p, 0.0, 0.0, 512, r2), 1.0);
+  Rng r3(9);
+  EXPECT_EQ(prob_still_programmed(p, 1e9, 0.0, 512, r3), 0.0);
+}
+
+TEST(EraseModel, EffCyclesHelpers) {
+  const PhysParams p = params();
+  EXPECT_DOUBLE_EQ(eff_cycles_bad(p, 10'000),
+                   10'000 * (p.stress_program + p.stress_erase_transition));
+  EXPECT_DOUBLE_EQ(eff_cycles_good(p, 10'000), 10'000 * p.stress_erase_idle);
+  EXPECT_GT(eff_cycles_bad(p, 1000), eff_cycles_good(p, 1000));
+}
+
+TEST(EraseModel, GoodCellsWearFarSlower) {
+  // The imprint contrast: at any NPE the "good" cells accumulate under 3%
+  // of the stress of the "bad" cells.
+  const PhysParams p = params();
+  EXPECT_LT(eff_cycles_good(p, 50'000) / eff_cycles_bad(p, 50'000), 0.03);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,93 @@
+#include "phys/vth_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+PhysParams params() { return PhysParams::msp430_calibrated(); }
+
+TEST(VthModel, SettledLevels) {
+  const VthParams vp;
+  const PhysParams p = params();
+  Rng rng(1);
+  Cell c = Cell::manufacture(p, rng);
+  EXPECT_DOUBLE_EQ(vth_settled(vp, c), vp.vth_erased);
+  c.program(p);
+  EXPECT_DOUBLE_EQ(vth_settled(vp, c), vp.vth_programmed);
+}
+
+TEST(VthModel, ErasedBelowRefProgrammedAbove) {
+  const VthParams vp;
+  EXPECT_TRUE(reads_erased(vp, vp.vth_erased));
+  EXPECT_FALSE(reads_erased(vp, vp.vth_programmed));
+}
+
+TEST(VthModel, CrossesRefExactlyAtTte) {
+  const VthParams vp;
+  const PhysParams p = params();
+  Rng rng(2);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  const double tte = c.tte_us(p);
+  EXPECT_NEAR(vth_during_erase(vp, p, c, tte), vp.v_ref, 1e-9);
+  EXPECT_GT(vth_during_erase(vp, p, c, tte * 0.8), vp.v_ref);
+  EXPECT_LT(vth_during_erase(vp, p, c, tte * 1.3), vp.v_ref);
+}
+
+TEST(VthModel, MonotoneDecreasingDuringErase) {
+  const VthParams vp;
+  const PhysParams p = params();
+  Rng rng(3);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  double prev = vp.vth_programmed + 1.0;
+  for (double t : {0.1, 1.0, 5.0, 10.0, 20.0, 40.0, 100.0, 1000.0}) {
+    const double v = vth_during_erase(vp, p, c, t);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(VthModel, ClampedToSettledLevels) {
+  const VthParams vp;
+  const PhysParams p = params();
+  Rng rng(4);
+  Cell c = Cell::manufacture(p, rng);
+  c.program(p);
+  EXPECT_DOUBLE_EQ(vth_during_erase(vp, p, c, 0.0), vp.vth_programmed);
+  EXPECT_DOUBLE_EQ(vth_during_erase(vp, p, c, 1e9), vp.vth_erased);
+}
+
+TEST(VthModel, DigitalReadMatchesAnalogDecision) {
+  // Consistency between the production (time-margin) read path and the
+  // analog Vth view, in the jitter-free model.
+  PhysParams p = params();
+  p.tte_event_jitter_sigma = 0.0;
+  const VthParams vp;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Cell c = Cell::manufacture(p, rng);
+    c.program(p);
+    const double t_pe = rng.uniform(5.0, 60.0);
+    const bool analog_erased = reads_erased(vp, vth_during_erase(vp, p, c, t_pe));
+    c.partial_erase(p, t_pe, rng);
+    EXPECT_EQ(c.erased(), analog_erased) << "cell " << i;
+  }
+}
+
+TEST(VthModel, StressedCellStaysAboveRefLonger) {
+  const VthParams vp;
+  const PhysParams p = params();
+  Rng rng(6);
+  Cell fresh = Cell::manufacture(p, rng);
+  Cell worn = fresh;
+  worn.batch_stress(p, 50'000, true, false);
+  fresh.program(p);
+  worn.program(p);
+  const double t = 30.0;
+  EXPECT_LT(vth_during_erase(vp, p, fresh, t), vth_during_erase(vp, p, worn, t));
+}
+
+}  // namespace
+}  // namespace flashmark

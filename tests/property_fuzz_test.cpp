@@ -1,0 +1,189 @@
+// Randomized differential / invariant tests: long random command sequences
+// against global invariants the substrate must never violate, plus codec
+// fuzzing. All sequences are seeded and reproducible.
+#include <gtest/gtest.h>
+
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+class ControllerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControllerFuzz, InvariantsHoldUnderRandomCommands) {
+  Device dev(DeviceConfig::msp430f5438(), GetParam());
+  FlashController& ctrl = dev.controller();
+  const auto& g = dev.config().geometry;
+  Rng fuzz(GetParam() ^ 0xF022);
+  ctrl.set_lock(false);
+
+  SimTime last_clock = ctrl.now();
+  double last_wear_seg0 = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    const Addr addr =
+        g.segment_base(fuzz.uniform_u64(8)) +
+        static_cast<Addr>(fuzz.uniform_u64(256) * 2);
+    switch (fuzz.uniform_u64(8)) {
+      case 0: ctrl.segment_erase(addr); break;
+      case 1: ctrl.program_word(addr, static_cast<std::uint16_t>(fuzz.next_u64())); break;
+      case 2:
+        ctrl.partial_segment_erase(addr,
+                                   SimTime::us(static_cast<std::int64_t>(fuzz.uniform_u64(100))));
+        break;
+      case 3: ctrl.begin_segment_erase(addr); break;
+      case 4: ctrl.advance(SimTime::us(static_cast<std::int64_t>(fuzz.uniform_u64(30'000)))); break;
+      case 5: ctrl.emergency_exit(); break;
+      case 6: (void)ctrl.read_word(addr); ctrl.clear_access_violation(); break;
+      case 7: ctrl.wait_complete(); break;
+    }
+    // Invariant 1: simulated time is monotone.
+    EXPECT_GE(ctrl.now(), last_clock);
+    last_clock = ctrl.now();
+    // Invariant 2: wear is monotone (irreversibility).
+    if (!ctrl.busy()) {
+      const double wear = dev.array().wear_stats(0).eff_cycles_mean;
+      EXPECT_GE(wear, last_wear_seg0 - 1e-9);
+      last_wear_seg0 = wear;
+    }
+  }
+  // Invariant 3: after settling, every segment analyzes to a full count.
+  ctrl.wait_complete();
+  ctrl.clear_access_violation();  // fuzz legally raised it along the way
+  for (std::size_t s = 0; s < 8; ++s) {
+    const auto a = analyze_segment(dev.hal(), g.segment_base(s), 3);
+    EXPECT_EQ(a.cells_0 + a.cells_1, 4096u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class HalDifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HalDifferentialFuzz, DirectAndMcuHalsAgreeOnRandomSequences) {
+  // Same die seed, same random command sequence through the two HALs:
+  // final cell states must be identical.
+  Device a(DeviceConfig::msp430f5438(), GetParam());
+  Device b(DeviceConfig::msp430f5438(), GetParam());
+  Rng fuzz(GetParam() ^ 0xD1FF);
+  const auto& g = a.config().geometry;
+
+  for (int step = 0; step < 60; ++step) {
+    const std::size_t seg = fuzz.uniform_u64(4);
+    const Addr addr = g.segment_base(seg) +
+                      static_cast<Addr>(fuzz.uniform_u64(256) * 2);
+    const auto v = static_cast<std::uint16_t>(fuzz.next_u64());
+    const auto t = SimTime::us(static_cast<std::int64_t>(fuzz.uniform_u64(60)));
+    switch (fuzz.uniform_u64(4)) {
+      case 0:
+        a.hal().erase_segment(addr);
+        b.mcu_hal().erase_segment(addr);
+        break;
+      case 1:
+        a.hal().program_word(addr, v);
+        b.mcu_hal().program_word(addr, v);
+        break;
+      case 2:
+        a.hal().partial_erase_segment(addr, t);
+        b.mcu_hal().partial_erase_segment(addr, t);
+        break;
+      case 3:
+        a.hal().partial_program_word(addr, v, t);
+        b.mcu_hal().partial_program_word(addr, v, t);
+        break;
+    }
+  }
+  for (std::size_t seg = 0; seg < 4; ++seg)
+    EXPECT_EQ(a.array().snapshot(seg), b.array().snapshot(seg)) << seg;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HalDifferentialFuzz,
+                         ::testing::Values(11, 12, 13));
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomPayloadsRoundtripThroughEveryCodecLayer) {
+  Rng fuzz(GetParam() ^ 0xC0DEC);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random fields.
+    WatermarkFields f;
+    f.manufacturer_id = static_cast<std::uint16_t>(fuzz.next_u64());
+    f.die_id = static_cast<std::uint32_t>(fuzz.next_u64());
+    f.speed_grade = static_cast<std::uint8_t>(fuzz.uniform_u64(16));
+    f.status = fuzz.bernoulli(0.5) ? TestStatus::kAccept : TestStatus::kReject;
+    f.date_code = static_cast<std::uint16_t>(fuzz.uniform_u64(0x800));
+    const auto fields_back = unpack_fields(pack_fields(f));
+    ASSERT_TRUE(fields_back.has_value());
+    EXPECT_EQ(*fields_back, f);
+
+    // Random bit payload through signature + dual rail + Hamming.
+    BitVec payload(1 + fuzz.uniform_u64(200));
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload.set(i, fuzz.bernoulli(0.5));
+    const SipHashKey key{fuzz.next_u64(), fuzz.next_u64()};
+    const BitVec signed_bits = sign_watermark(key, payload);
+    const SignedWatermark sw =
+        verify_signed_watermark(key, signed_bits, payload.size());
+    EXPECT_TRUE(sw.signature_ok);
+    EXPECT_EQ(sw.payload, payload);
+
+    const DualRailDecode dr = dual_rail_decode(dual_rail_encode(payload));
+    EXPECT_TRUE(dr.clean());
+    EXPECT_EQ(dr.payload, payload);
+
+    const BitVec code = hamming15_encode(payload);
+    EXPECT_EQ(hamming15_decode(code, payload.size()).payload, payload);
+
+    // Extended payload with a random blob.
+    ExtendedPayload ep;
+    ep.fields = f;
+    ep.blob.resize(fuzz.uniform_u64(64));
+    for (auto& byte : ep.blob)
+      byte = static_cast<std::uint8_t>(fuzz.next_u64());
+    const auto ep_back = unpack_extended(pack_extended(ep));
+    ASSERT_TRUE(ep_back.has_value());
+    EXPECT_EQ(*ep_back, ep);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(21, 22, 23));
+
+class ReplicaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplicaFuzz, SoftDecodeNeverWorseThanHardUnderAsymmetricNoise) {
+  // Inject the physical error model (0->1 flips dominate) into clean
+  // replica sets and compare decoders. Soft must match or beat hard
+  // majority on every trial.
+  Rng fuzz(GetParam() ^ 0x50F7);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitVec payload(64);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload.set(i, fuzz.bernoulli(0.5));
+    const BitVec replica = dual_rail_encode(payload);
+    const std::size_t R = 7;
+    BitVec pattern = replicate_pattern(replica, R, 1024);
+    // Asymmetric noise: each stressed (0) bit flips to 1 w.p. 0.12; each
+    // good (1) bit flips to 0 w.p. 0.005.
+    for (std::size_t r = 0; r < R; ++r)
+      for (std::size_t i = 0; i < replica.size(); ++i) {
+        const std::size_t pos = r * replica.size() + i;
+        if (!pattern.get(pos) && fuzz.bernoulli(0.12)) pattern.set(pos, true);
+        else if (pattern.get(pos) && fuzz.bernoulli(0.005))
+          pattern.set(pos, false);
+      }
+    const ReplicaLayout layout{replica.size(), R};
+    const BitVec hard =
+        dual_rail_decode(decode_replicas(pattern, layout, VoteMode::kMajority))
+            .payload;
+    const BitVec soft = soft_decode_dual_rail(pattern, layout);
+    const std::size_t hard_err = BitVec::hamming_distance(hard, payload);
+    const std::size_t soft_err = BitVec::hamming_distance(soft, payload);
+    EXPECT_LE(soft_err, hard_err) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaFuzz, ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace flashmark

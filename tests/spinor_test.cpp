@@ -1,0 +1,255 @@
+#include "spinor/spinor_watermark.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace flashmark {
+namespace {
+
+using namespace spinor_sr;
+
+struct Rig {
+  SpiNorGeometry geom = SpiNorGeometry::tiny();
+  SimClock clock;
+  SpiNorChip chip{geom, SpiNorTiming::w25q_datasheet(), spinor_phys(), 0x51,
+                  clock};
+};
+
+TEST(SpiNorGeometry, Presets) {
+  EXPECT_NO_THROW(SpiNorGeometry::w25q256().validate());
+  EXPECT_EQ(SpiNorGeometry::w25q256().capacity_bytes(), 32u * 1024 * 1024);
+  EXPECT_EQ(SpiNorGeometry::tiny().sector_cells(), 8192u);
+}
+
+TEST(SpiNorGeometry, ValidationCatchesBadShapes) {
+  SpiNorGeometry g = SpiNorGeometry::tiny();
+  g.page_bytes = 300;  // does not divide the sector
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = SpiNorGeometry::tiny();
+  g.n_sectors = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(SpiNor, FreshChipReadsFF) {
+  Rig r;
+  std::vector<std::uint8_t> bytes;
+  ASSERT_EQ(r.chip.read(0, 16, &bytes), SpiNorStatus::kOk);
+  for (auto b : bytes) EXPECT_EQ(b, 0xFF);
+}
+
+TEST(SpiNor, ProgramRequiresWren) {
+  Rig r;
+  EXPECT_EQ(r.chip.page_program(0, {0x00}), SpiNorStatus::kNotWriteEnabled);
+  r.chip.write_enable();
+  EXPECT_EQ(r.chip.page_program(0, {0x00}), SpiNorStatus::kOk);
+  r.chip.wait_idle();
+  std::vector<std::uint8_t> bytes;
+  r.chip.read(0, 1, &bytes);
+  EXPECT_EQ(bytes[0], 0x00);
+}
+
+TEST(SpiNor, WelSelfClearsAfterOperation) {
+  Rig r;
+  r.chip.write_enable();
+  EXPECT_TRUE(r.chip.read_status() & kWel);
+  r.chip.page_program(0, {0xAB});
+  r.chip.wait_idle();
+  EXPECT_FALSE(r.chip.read_status() & kWel);
+  // Next program needs a fresh WREN.
+  EXPECT_EQ(r.chip.page_program(2, {0x00}), SpiNorStatus::kNotWriteEnabled);
+}
+
+TEST(SpiNor, WriteDisableClearsLatch) {
+  Rig r;
+  r.chip.write_enable();
+  r.chip.write_disable();
+  EXPECT_EQ(r.chip.page_program(0, {0x00}), SpiNorStatus::kNotWriteEnabled);
+}
+
+TEST(SpiNor, ProgramIsAndSemantics) {
+  Rig r;
+  r.chip.write_enable();
+  r.chip.page_program(0, {0xF0});
+  r.chip.wait_idle();
+  r.chip.write_enable();
+  r.chip.page_program(0, {0x0F});
+  r.chip.wait_idle();
+  std::vector<std::uint8_t> bytes;
+  r.chip.read(0, 1, &bytes);
+  EXPECT_EQ(bytes[0], 0x00);
+}
+
+TEST(SpiNor, PageBoundaryEnforced) {
+  Rig r;
+  r.chip.write_enable();
+  EXPECT_EQ(r.chip.page_program(250, std::vector<std::uint8_t>(10, 0)),
+            SpiNorStatus::kInvalidArgument);
+  EXPECT_EQ(r.chip.page_program(0, std::vector<std::uint8_t>(257, 0)),
+            SpiNorStatus::kInvalidArgument);
+}
+
+TEST(SpiNor, SectorEraseFlow) {
+  Rig r;
+  r.chip.write_enable();
+  r.chip.page_program(0, {0x00, 0x00});
+  r.chip.wait_idle();
+  r.chip.write_enable();
+  ASSERT_EQ(r.chip.sector_erase(0), SpiNorStatus::kOk);
+  EXPECT_TRUE(r.chip.read_status() & kWip);
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(r.chip.read(0, 1, &bytes), SpiNorStatus::kBusy);
+  r.chip.wait_idle(SimTime::ms(1));
+  r.chip.read(0, 2, &bytes);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0xFF);
+}
+
+TEST(SpiNor, EraseTimingMatchesDatasheet) {
+  Rig r;
+  r.chip.write_enable();
+  const SimTime t0 = r.chip.now();
+  r.chip.sector_erase(0);
+  r.chip.wait_idle(SimTime::us(100));
+  const SimTime dt = r.chip.now() - t0;
+  EXPECT_GT(dt, SimTime::ms(44));
+  EXPECT_LT(dt, SimTime::ms(47));
+}
+
+TEST(SpiNor, SuspendReadResume) {
+  Rig r;
+  // Fill sector 0, erase, suspend mid-train, read while suspended.
+  BitVec zeros(r.geom.sector_cells());
+  r.chip.write_enable();
+  r.chip.sector_erase(0);
+  r.chip.wait_idle(SimTime::ms(1));
+  for (std::size_t page = 0; page < r.geom.pages_per_sector(); ++page) {
+    r.chip.write_enable();
+    r.chip.page_program(static_cast<std::uint32_t>(page * 256),
+                        std::vector<std::uint8_t>(256, 0x00));
+    r.chip.wait_idle();
+  }
+  r.chip.write_enable();
+  ASSERT_EQ(r.chip.sector_erase(0), SpiNorStatus::kOk);
+  r.chip.advance(SimTime::ms(10));
+  ASSERT_EQ(r.chip.erase_suspend(), SpiNorStatus::kOk);
+  EXPECT_TRUE(r.chip.read_status() & kSus);
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(r.chip.read(0, 16, &bytes), SpiNorStatus::kOk);  // allowed
+  ASSERT_EQ(r.chip.erase_resume(), SpiNorStatus::kOk);
+  r.chip.wait_idle(SimTime::ms(1));
+  EXPECT_EQ(r.chip.count_erased(0), r.geom.sector_cells());
+}
+
+TEST(SpiNor, SuspendWithoutEraseRefused) {
+  Rig r;
+  EXPECT_EQ(r.chip.erase_suspend(), SpiNorStatus::kNotSuspended);
+  EXPECT_EQ(r.chip.erase_resume(), SpiNorStatus::kNothingToResume);
+}
+
+TEST(SpiNor, ResetAbandonsEraseAsPartial) {
+  Rig r;
+  // Program the sector, then erase + reset early: almost nothing erased.
+  for (std::size_t page = 0; page < r.geom.pages_per_sector(); ++page) {
+    r.chip.write_enable();
+    r.chip.page_program(static_cast<std::uint32_t>(page * 256),
+                        std::vector<std::uint8_t>(256, 0x00));
+    r.chip.wait_idle();
+  }
+  r.chip.write_enable();
+  r.chip.sector_erase(0);
+  r.chip.advance(SimTime::us(300));  // ~0.7% of the train
+  r.chip.reset();
+  EXPECT_FALSE(r.chip.read_status() & kWip);
+  EXPECT_LT(r.chip.count_erased(0), r.geom.sector_cells() / 10);
+}
+
+TEST(SpiNor, TrainTimeMapping) {
+  const SpiNorTiming t = SpiNorTiming::w25q_datasheet();
+  const PhysParams p = spinor_phys();
+  // 150 us of cell exposure (the fresh median) is 2.5% of the 45 ms train.
+  const SimTime train = spinor_train_time_for_cell_us(t, p, 150.0);
+  EXPECT_NEAR(train.as_ms(), 45.0 * 0.025, 0.01);
+}
+
+TEST(SpiNorWatermark, ImprintExtractRoundtrip) {
+  Rig r;
+  BitVec pattern(r.geom.sector_cells(), true);
+  for (std::size_t i = 0; i < pattern.size(); i += 2) pattern.set(i, false);
+  SpiNorImprintOptions io;
+  io.npe = 60'000;
+  io.strategy = ImprintStrategy::kBatchWear;
+  imprint_flashmark_spinor(r.chip, 1, pattern, io);
+
+  SpiNorExtractOptions eo;
+  eo.t_pew_cell_us = 190.0;
+  const SpiNorExtractResult ext = extract_flashmark_spinor(r.chip, 1, eo);
+  const BerBreakdown ber = compare_bits(pattern, ext.bits);
+  EXPECT_LT(ber.ber(), 0.15);
+  EXPECT_GT(ber.errors_on_zeros, ber.errors_on_ones);
+}
+
+TEST(SpiNorWatermark, FullPipelineGenuine) {
+  Rig r;
+  const SipHashKey key{0x5B1, 0x40C};
+  WatermarkSpec spec;
+  spec.fields = {0x7C03, 0xCC, 1, TestStatus::kAccept, 0x155};
+  spec.key = key;
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  imprint_watermark_spinor(r.chip, 0, spec);
+
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(190);  // cell-axis window for this family
+  vo.n_replicas = 7;
+  vo.key = key;
+  vo.rounds = 3;
+  const VerifyReport rep = verify_watermark_spinor(r.chip, 0, vo);
+  EXPECT_EQ(rep.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(rep.fields.has_value());
+  EXPECT_EQ(rep.fields->die_id, 0xCCu);
+}
+
+TEST(SpiNorWatermark, FreshSectorNoWatermark) {
+  Rig r;
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(190);
+  vo.key = SipHashKey{1, 2};
+  EXPECT_EQ(verify_watermark_spinor(r.chip, 2, vo).verdict,
+            Verdict::kNoWatermark);
+}
+
+TEST(SpiNorWatermark, RealLoopImprintTimePerByteBeatsMcu) {
+  // The paper's §V expectation quantified: one SPI NOR imprint cycle covers
+  // a 4 KiB sector in ~56 ms (45 erase + 16x0.7 program) = ~14 us/byte,
+  // vs the MCU's ~34 ms per 512 B segment = ~67 us/byte.
+  SimClock clock;
+  SpiNorChip chip{SpiNorGeometry::tiny(), SpiNorTiming::w25q_datasheet(),
+                  spinor_phys(), 0x52, clock};
+  BitVec pattern(chip.geometry().sector_cells(), true);
+  pattern.set(0, false);
+  SpiNorImprintOptions io;
+  io.npe = 50;
+  const ImprintReport rep = imprint_flashmark_spinor(chip, 0, pattern, io);
+  const double us_per_byte =
+      rep.mean_cycle_time.as_us() / static_cast<double>(chip.geometry().sector_bytes);
+  EXPECT_LT(us_per_byte, 67.0 / 1.3);  // comfortably better than the MCU
+}
+
+TEST(SpiNorWatermark, OptionValidation) {
+  Rig r;
+  EXPECT_THROW(imprint_flashmark_spinor(r.chip, 0, BitVec(5), {}),
+               std::invalid_argument);
+  SpiNorImprintOptions io;
+  io.npe = 0;
+  EXPECT_THROW(
+      imprint_flashmark_spinor(r.chip, 0, BitVec(r.geom.sector_cells()), io),
+      std::invalid_argument);
+  SpiNorExtractOptions eo;
+  eo.rounds = 4;
+  EXPECT_THROW(extract_flashmark_spinor(r.chip, 0, eo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashmark

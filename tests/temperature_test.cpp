@@ -1,0 +1,121 @@
+// Temperature dependence of extraction: a window published at 25 C shifts
+// when verifying hot or cold. Quantifies how much headroom the replication
+// + soft-decode stack buys, and shows the trivial compensation (scale the
+// window by the datasheet factor).
+#include <gtest/gtest.h>
+
+#include "core/flashmark.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+const SipHashKey kKey{0x7E, 0x3A};
+
+WatermarkSpec spec() {
+  WatermarkSpec s;
+  s.fields = {0x7C01, 0x7777, 2, TestStatus::kAccept, 0x2AA};
+  s.key = kKey;
+  s.n_replicas = 7;
+  s.npe = 60'000;
+  s.strategy = ImprintStrategy::kBatchWear;
+  return s;
+}
+
+VerifyOptions vopts(SimTime t_pew = SimTime::us(30)) {
+  VerifyOptions v;
+  v.t_pew = t_pew;
+  v.n_replicas = 7;
+  v.key = kKey;
+  v.rounds = 3;
+  v.n_reads = 3;
+  return v;
+}
+
+TEST(Temperature, DefaultIs25C) {
+  Device dev(DeviceConfig::msp430f5438(), 1001);
+  EXPECT_EQ(dev.array().temperature_c(), 25.0);
+}
+
+TEST(Temperature, OutOfModelRangeRejected) {
+  Device dev(DeviceConfig::msp430f5438(), 1002);
+  EXPECT_THROW(dev.array().set_temperature_c(-400.0), std::invalid_argument);
+  EXPECT_NO_THROW(dev.array().set_temperature_c(-40.0));
+  EXPECT_NO_THROW(dev.array().set_temperature_c(85.0));
+}
+
+TEST(Temperature, HotErasesFaster) {
+  Device cold(DeviceConfig::msp430f5438(), 1003);
+  Device hot(DeviceConfig::msp430f5438(), 1003);  // same die
+  hot.array().set_temperature_c(85.0);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  for (Device* d : {&cold, &hot}) {
+    const Addr a = d->config().geometry.segment_base(0);
+    d->hal().program_block(a, zeros);
+    d->hal().partial_erase_segment(a, SimTime::us(24));
+  }
+  EXPECT_GT(hot.array().count_erased(0), cold.array().count_erased(0) + 200);
+}
+
+TEST(Temperature, VerifiesAcrossWarmRange) {
+  // 7 replicas + soft decode tolerate 0..85 C at the 25 C-published
+  // window for this family. (Deep cold shrinks the effective exposure
+  // below the good-cell transition band and needs compensation — next
+  // test.)
+  for (double temp : {0.0, 25.0, 60.0, 85.0}) {
+    Device dev(DeviceConfig::msp430f5438(), 1004);
+    const Addr wm = dev.config().geometry.segment_base(0);
+    imprint_watermark(dev.hal(), wm, spec());
+    dev.array().set_temperature_c(temp);
+    const VerifyReport r = verify_watermark(dev.hal(), wm, vopts());
+    EXPECT_EQ(r.verdict, Verdict::kGenuine) << "T=" << temp;
+  }
+}
+
+TEST(Temperature, ExtremeHeatShiftsTheWindowOut) {
+  // Far outside the rated range the fixed window no longer matches; the
+  // verdict degrades but NEVER to a wrong genuine payload.
+  Device dev(DeviceConfig::msp430f5438(), 1005);
+  const Addr wm = dev.config().geometry.segment_base(0);
+  imprint_watermark(dev.hal(), wm, spec());
+  dev.array().set_temperature_c(200.0);
+  const VerifyReport r = verify_watermark(dev.hal(), wm, vopts());
+  if (r.verdict == Verdict::kGenuine) {
+    ASSERT_TRUE(r.fields.has_value());
+    EXPECT_EQ(*r.fields, spec().fields);
+  }
+}
+
+TEST(Temperature, WindowCompensationRestoresMargin) {
+  // Datasheet compensation: divide the window by the temperature factor.
+  // Covers both deep cold (-40 C) and far-out-of-spec heat (200 C).
+  for (double temp : {-40.0, 200.0}) {
+    Device dev(DeviceConfig::msp430f5438(), 1006);
+    const Addr wm = dev.config().geometry.segment_base(0);
+    imprint_watermark(dev.hal(), wm, spec());
+    dev.array().set_temperature_c(temp);
+    const double factor =
+        1.0 + dev.config().phys.temp_erase_accel_per_K * (temp - 25.0);
+    const VerifyReport r = verify_watermark(
+        dev.hal(), wm, vopts(SimTime::from_us(30.0 / factor)));
+    EXPECT_EQ(r.verdict, Verdict::kGenuine) << "T=" << temp;
+    ASSERT_TRUE(r.fields.has_value());
+    EXPECT_EQ(*r.fields, spec().fields);
+  }
+}
+
+TEST(Temperature, CharacterizationCurveShiftsLeftWhenHot) {
+  Device dev(DeviceConfig::msp430f5438(), 1007);
+  const Addr a = dev.config().geometry.segment_base(0);
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(60);
+  o.t_step = SimTime::us(2);
+  o.settle_points = 2;
+  const SimTime cold = full_erase_time(characterize_segment(dev.hal(), a, o));
+  dev.array().set_temperature_c(85.0);
+  const SimTime hot = full_erase_time(characterize_segment(dev.hal(), a, o));
+  EXPECT_LT(hot, cold);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,180 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flashmark {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ZeroInitialized) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.get(i));
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.zero_count(), 100u);
+}
+
+TEST(BitVec, AllOnesConstructorClearsTailBits) {
+  // Non-multiple-of-64 size: popcount must not see the padding bits.
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 100u, 4096u}) {
+    BitVec v(n, true);
+    EXPECT_EQ(v.popcount(), n) << "n=" << n;
+  }
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.get(10), std::out_of_range);
+  EXPECT_THROW(v.set(10, true), std::out_of_range);
+  EXPECT_THROW(v.flip(10), std::out_of_range);
+  EXPECT_THROW(BitVec().get(0), std::out_of_range);
+}
+
+TEST(BitVec, FromStringRoundtrip) {
+  const std::string s = "0110100111010001";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 8u);
+}
+
+TEST(BitVec, FromStringRejectsJunk) {
+  EXPECT_THROW(BitVec::from_string("01102"), std::invalid_argument);
+  EXPECT_THROW(BitVec::from_string("01 0"), std::invalid_argument);
+}
+
+TEST(BitVec, BytesRoundtrip) {
+  const std::vector<std::uint8_t> bytes = {0xA5, 0x3C, 0xFF, 0x00, 0x81};
+  const BitVec v = BitVec::from_bytes(bytes, 40);
+  EXPECT_EQ(v.to_bytes(), bytes);
+}
+
+TEST(BitVec, BytesPartialFinalByte) {
+  const BitVec v = BitVec::from_bytes({0xFF}, 5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.popcount(), 5u);
+  EXPECT_EQ(v.to_bytes(), std::vector<std::uint8_t>{0x1F});
+}
+
+TEST(BitVec, FromBytesRejectsOverrun) {
+  EXPECT_THROW(BitVec::from_bytes({0xFF}, 9), std::invalid_argument);
+}
+
+TEST(BitVec, PaperFig6TcExample) {
+  // Fig. 6: "TC" = 5443h = 01010100 01000011 b, MSB-first per character.
+  const BitVec v = BitVec::from_ascii_msb_first("TC");
+  EXPECT_EQ(v.to_string(), "0101010001000011");
+  EXPECT_EQ(v.to_ascii_msb_first(), "TC");
+}
+
+TEST(BitVec, AsciiRoundtrip) {
+  const std::string text = "FLASHMARK-2020 accept";
+  const BitVec v = BitVec::from_ascii_msb_first(text);
+  EXPECT_EQ(v.size(), text.size() * 8);
+  EXPECT_EQ(v.to_ascii_msb_first(), text);
+}
+
+TEST(BitVec, AsciiDecodeRequiresMultipleOf8) {
+  EXPECT_THROW(BitVec(13).to_ascii_msb_first(), std::invalid_argument);
+}
+
+TEST(BitVec, HammingDistance) {
+  const BitVec a = BitVec::from_string("110010");
+  const BitVec b = BitVec::from_string("010011");
+  EXPECT_EQ(BitVec::hamming_distance(a, b), 2u);
+  EXPECT_EQ(BitVec::hamming_distance(a, a), 0u);
+}
+
+TEST(BitVec, HammingDistanceLengthMismatchThrows) {
+  EXPECT_THROW(BitVec::hamming_distance(BitVec(3), BitVec(4)),
+               std::invalid_argument);
+}
+
+TEST(BitVec, XorMatchesPerBit) {
+  const BitVec a = BitVec::from_string("11001010");
+  const BitVec b = BitVec::from_string("01100110");
+  const BitVec x = a ^ b;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(x.get(i), a.get(i) != b.get(i));
+  EXPECT_THROW(a ^ BitVec(3), std::invalid_argument);
+}
+
+TEST(BitVec, AppendConcatenates) {
+  BitVec a = BitVec::from_string("101");
+  a.append(BitVec::from_string("0011"));
+  EXPECT_EQ(a.to_string(), "1010011");
+}
+
+TEST(BitVec, AppendToEmpty) {
+  BitVec a;
+  a.append(BitVec::from_string("110"));
+  EXPECT_EQ(a.to_string(), "110");
+}
+
+TEST(BitVec, SliceExtracts) {
+  const BitVec v = BitVec::from_string("0110100111");
+  EXPECT_EQ(v.slice(2, 5).to_string(), "10100");
+  EXPECT_EQ(v.slice(0, 10).to_string(), "0110100111");
+  EXPECT_EQ(v.slice(9, 1).to_string(), "1");
+  EXPECT_THROW(v.slice(6, 5), std::out_of_range);
+}
+
+TEST(BitVec, EqualityBySizeAndContent) {
+  EXPECT_EQ(BitVec::from_string("101"), BitVec::from_string("101"));
+  EXPECT_FALSE(BitVec::from_string("101") == BitVec::from_string("1010"));
+  EXPECT_FALSE(BitVec::from_string("101") == BitVec::from_string("100"));
+}
+
+class BitVecSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecSizeSweep, SetEveryBitThenClear) {
+  const std::size_t n = GetParam();
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, true);
+  EXPECT_EQ(v.popcount(), n);
+  EXPECT_EQ(v, BitVec(n, true));
+  for (std::size_t i = 0; i < n; ++i) v.set(i, false);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST_P(BitVecSizeSweep, SliceAppendIdentity) {
+  const std::size_t n = GetParam();
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; i += 3) v.set(i, true);
+  const std::size_t cut = n / 2;
+  BitVec left = v.slice(0, cut);
+  left.append(v.slice(cut, n - cut));
+  EXPECT_EQ(left, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecSizeSweep,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           4096));
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,69 @@
+#include "util/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flashmark {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc16, StandardCheckValue) {
+  // CRC-16/CCITT-FALSE check value for "123456789".
+  EXPECT_EQ(crc16_ccitt(bytes("123456789")), 0x29B1);
+}
+
+TEST(Crc16, EmptyInputIsInit) {
+  EXPECT_EQ(crc16_ccitt(nullptr, 0), 0xFFFF);
+}
+
+TEST(Crc16, SingleByteKnown) {
+  // 'A' (0x41) through CRC-16/CCITT-FALSE.
+  EXPECT_EQ(crc16_ccitt(bytes("A")), 0xB915);
+}
+
+TEST(Crc16, DetectsSingleBitFlip) {
+  auto data = bytes("flashmark watermark payload");
+  const std::uint16_t ref = crc16_ccitt(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16_ccitt(data), ref) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc32, StandardCheckValue) {
+  EXPECT_EQ(crc32_ieee(bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32_ieee(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32, KnownStrings) {
+  EXPECT_EQ(crc32_ieee(bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32_ieee(bytes("abc")), 0x352441C2u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  auto data = bytes("another payload worth protecting");
+  const std::uint32_t ref = crc32_ieee(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    data[byte] ^= 0x01;
+    EXPECT_NE(crc32_ieee(data), ref);
+    data[byte] ^= 0x01;
+  }
+}
+
+TEST(Crc, OrderSensitive) {
+  EXPECT_NE(crc16_ccitt(bytes("AB")), crc16_ccitt(bytes("BA")));
+  EXPECT_NE(crc32_ieee(bytes("AB")), crc32_ieee(bytes("BA")));
+}
+
+}  // namespace
+}  // namespace flashmark

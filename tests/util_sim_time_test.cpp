@@ -1,0 +1,71 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flashmark {
+namespace {
+
+using namespace flashmark::literals;
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.as_ns(), 0);
+}
+
+TEST(SimTime, NamedConstructors) {
+  EXPECT_EQ(SimTime::ns(5).as_ns(), 5);
+  EXPECT_EQ(SimTime::us(5).as_ns(), 5'000);
+  EXPECT_EQ(SimTime::ms(5).as_ns(), 5'000'000);
+  EXPECT_EQ(SimTime::sec(5).as_ns(), 5'000'000'000);
+}
+
+TEST(SimTime, Literals) {
+  EXPECT_EQ(7_us, SimTime::us(7));
+  EXPECT_EQ(2_ms, SimTime::ms(2));
+  EXPECT_EQ(1_s, SimTime::sec(1));
+  EXPECT_EQ(100_ns, SimTime::ns(100));
+}
+
+TEST(SimTime, FromUsRounds) {
+  EXPECT_EQ(SimTime::from_us(1.0004).as_ns(), 1000);
+  EXPECT_EQ(SimTime::from_us(1.0006).as_ns(), 1001);
+  EXPECT_EQ(SimTime::from_us(0.0).as_ns(), 0);
+  EXPECT_EQ(SimTime::from_us(-1.5).as_ns(), -1500);
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t = SimTime::us(1500);
+  EXPECT_DOUBLE_EQ(t.as_us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.as_sec(), 0.0015);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::us(10);
+  const SimTime b = SimTime::us(4);
+  EXPECT_EQ((a + b).as_us(), 14.0);
+  EXPECT_EQ((a - b).as_us(), 6.0);
+  EXPECT_EQ((a * 3).as_us(), 30.0);
+  EXPECT_EQ((3 * a).as_us(), 30.0);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::us(14));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::us(1), SimTime::us(2));
+  EXPECT_GT(SimTime::ms(1), SimTime::us(999));
+  EXPECT_LE(SimTime::us(1), SimTime::us(1));
+  EXPECT_EQ(SimTime::us(1000), SimTime::ms(1));
+}
+
+TEST(SimTime, ExactAccumulationOverManyAdds) {
+  // 100k imprint cycles of 35 ms accumulate without drift: integer ns.
+  SimTime t;
+  for (int i = 0; i < 100'000; ++i) t += SimTime::us(35'000);
+  EXPECT_EQ(t, SimTime::sec(3500));
+}
+
+}  // namespace
+}  // namespace flashmark

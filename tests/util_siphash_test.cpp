@@ -1,0 +1,85 @@
+#include "util/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace flashmark {
+namespace {
+
+/// Reference key from the SipHash paper/implementation:
+/// k = 00 01 02 ... 0f (little-endian words).
+SipHashKey reference_key() {
+  return SipHashKey{0x0706050403020100ull, 0x0F0E0D0C0B0A0908ull};
+}
+
+/// Reference message: bytes 0, 1, 2, ..., n-1.
+std::vector<std::uint8_t> reference_msg(std::size_t n) {
+  std::vector<std::uint8_t> m(n);
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+
+// First entries of the official vectors_sip64 table from the reference
+// implementation (Aumasson & Bernstein).
+TEST(SipHash, OfficialVectorEmpty) {
+  EXPECT_EQ(siphash24(reference_key(), reference_msg(0)),
+            0x726FDB47DD0E0E31ull);
+}
+
+TEST(SipHash, OfficialVectorOneByte) {
+  EXPECT_EQ(siphash24(reference_key(), reference_msg(1)),
+            0x74F839C593DC67FDull);
+}
+
+TEST(SipHash, OfficialVectorSevenBytes) {
+  EXPECT_EQ(siphash24(reference_key(), reference_msg(7)),
+            0xAB0200F58B01D137ull);
+}
+
+TEST(SipHash, OfficialVectorEightBytes) {
+  EXPECT_EQ(siphash24(reference_key(), reference_msg(8)),
+            0x93F5F5799A932462ull);
+}
+
+TEST(SipHash, OfficialVectorFifteenBytes) {
+  EXPECT_EQ(siphash24(reference_key(), reference_msg(15)),
+            0xA129CA6149BE45E5ull);
+}
+
+TEST(SipHash, KeySensitivity) {
+  const auto msg = reference_msg(32);
+  const auto h1 = siphash24(SipHashKey{1, 2}, msg);
+  const auto h2 = siphash24(SipHashKey{1, 3}, msg);
+  const auto h3 = siphash24(SipHashKey{2, 2}, msg);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const SipHashKey key{42, 43};
+  auto msg = reference_msg(20);
+  const auto ref = siphash24(key, msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] ^= 0x80;
+    EXPECT_NE(siphash24(key, msg), ref) << "byte " << i;
+    msg[i] ^= 0x80;
+  }
+}
+
+TEST(SipHash, LengthSensitivity) {
+  const SipHashKey key{7, 7};
+  // A message and its zero-extended version must differ (length is hashed).
+  std::vector<std::uint8_t> a(8, 0);
+  std::vector<std::uint8_t> b(9, 0);
+  EXPECT_NE(siphash24(key, a), siphash24(key, b));
+}
+
+TEST(SipHash, Deterministic) {
+  const SipHashKey key{11, 13};
+  const auto msg = reference_msg(33);
+  EXPECT_EQ(siphash24(key, msg), siphash24(key, msg));
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace flashmark {
+namespace {
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2.5"});
+  t.add_row({"3", "4.0"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2.5\n3,4.0\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"id", "value"});
+  t.add_row({"1", "10"});
+  t.add_row({"100", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("id"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, FmtIntegers) {
+  EXPECT_EQ(Table::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(Table::fmt(static_cast<long long>(-7)), "-7");
+}
+
+TEST(Table, WriteCsvRoundtrip) {
+  Table t({"a"});
+  t.add_row({"7"});
+  const std::string path = "table_test_tmp.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "a\n7\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathReturnsFalse) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_xyz/out.csv"));
+}
+
+TEST(Table, RowsCounts) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace flashmark
