@@ -6,13 +6,33 @@
 #include <string>
 
 #include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
 #include "mcu/device.hpp"
+#include "util/crc.hpp"
 #include "util/table.hpp"
 
 namespace flashmark::bench {
 
-/// Fixed seed so every bench run regenerates identical series.
+/// Fixed master seed so every bench run regenerates identical series.
 inline constexpr std::uint64_t kDieSeed = 0xF1A5'0001;
+
+/// Seed of the idx-th die of a bench lot. Historically every bench Device
+/// shared kDieSeed (or a weak linear tweak of it), so "multi-die" sweeps
+/// re-sampled strongly correlated silicon; deriving through the fleet
+/// SplitMix64/SipHash scheme gives each die an independent sample of the
+/// production line. `stream` separates unrelated lots within one bench
+/// (pass e.g. a figure number or family salt).
+inline std::uint64_t die_seed(std::uint64_t idx, std::uint64_t stream = 0) {
+  return fleet::derive_die_seed(kDieSeed ^ stream, idx);
+}
+
+/// Stable 64-bit salt for a family/scenario name. std::hash is
+/// implementation-defined and banned from anything that feeds a die seed
+/// (docs/REPRODUCIBILITY.md); CRC-32 of the bytes is bit-exact everywhere.
+inline std::uint64_t name_salt(const std::string& name) {
+  return crc32_ieee(reinterpret_cast<const std::uint8_t*>(name.data()),
+                    name.size());
+}
 
 /// Address of the idx-th main-flash segment.
 inline Addr seg_addr(const Device& dev, std::size_t idx) {

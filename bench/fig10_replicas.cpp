@@ -5,6 +5,13 @@
 // Paper reference: individual replicas show scattered bit errors,
 // overwhelmingly on stressed ("bad") bits; the 7-way majority vote recovers
 // the watermark with BER = 0.
+//
+// The detailed replica rendering uses die 0; a lot-wide section then runs
+// the same imprint+vote on `--lot N` independent dies (default 8) through
+// the fleet layer (--threads M) to show the vote recovering cleanly across
+// the production spread, not just on one sample.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -24,31 +31,68 @@ std::string render(const BitVec& bits, const BitVec& ref) {
   }
   return s;
 }
+
+struct DieVote {
+  std::size_t errors = 0;
+  std::size_t errors_on_zeros = 0;
+  std::size_t errors_on_ones = 0;
+  std::size_t replica_errors = 0;  // summed over the 7 individual replicas
+};
 }  // namespace
 
-int main() {
-  Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ 0x10);
-  FlashHal& hal = dev.hal();
-  const Addr addr = seg_addr(dev, 0);
-  const std::size_t cells = dev.config().geometry.segment_cells(0);
+int main(int argc, char** argv) {
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  std::size_t lot = 8;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--lot") == 0)
+      lot = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
 
   // 30-bit slice of an ASCII watermark, replicated 7 times.
   const BitVec slice = ascii_watermark("FMK!").slice(0, 30);
   const std::size_t R = 7;
-  const BitVec pattern = replicate_pattern(slice, R, cells);
-
-  ImprintOptions io;
-  io.npe = 50'000;
-  io.strategy = ImprintStrategy::kBatchWear;
-  imprint_flashmark(hal, addr, pattern, io);
-
-  ExtractOptions eo;
-  eo.t_pew = SimTime::us(28);
-  const ExtractResult ext = extract_flashmark(hal, addr, eo);
-
   const ReplicaLayout layout{slice.size(), R};
-  const auto replicas = split_replicas(ext.bits, layout);
-  const BitVec voted = decode_replicas(ext.bits, layout, VoteMode::kMajority);
+
+  // One fleet job per die: imprint the replicated slice, extract, vote.
+  std::vector<DieVote> votes(lot);
+  std::vector<std::vector<BitVec>> die0_replicas(1);
+  std::vector<BitVec> die0_voted(1);
+  const fleet::FleetReport batch = fleet::run_dies(
+      lot,
+      [&](std::size_t die, fleet::DieCounters& counters) {
+        Device dev(DeviceConfig::msp430f5438(), die_seed(die, 0x10));
+        FlashHal& hal = dev.hal();
+        const Addr addr = seg_addr(dev, 0);
+        const std::size_t cells = dev.config().geometry.segment_cells(0);
+
+        ImprintOptions io;
+        io.npe = 50'000;
+        io.strategy = ImprintStrategy::kBatchWear;
+        imprint_flashmark(hal, addr, replicate_pattern(slice, R, cells), io);
+
+        ExtractOptions eo;
+        eo.t_pew = SimTime::us(28);
+        const ExtractResult ext = extract_flashmark(hal, addr, eo);
+
+        const auto replicas = split_replicas(ext.bits, layout);
+        const BitVec voted =
+            decode_replicas(ext.bits, layout, VoteMode::kMajority);
+        DieVote& v = votes[die];
+        for (const auto& r : replicas)
+          v.replica_errors += compare_bits(slice, r).errors;
+        const auto b = compare_bits(slice, voted);
+        v.errors = b.errors;
+        v.errors_on_zeros = b.errors_on_zeros;
+        v.errors_on_ones = b.errors_on_ones;
+        if (die == 0) {
+          die0_replicas[0] = replicas;
+          die0_voted[0] = voted;
+        }
+        counters.absorb(dev);
+      },
+      fopt);
+
+  const auto& replicas = die0_replicas[0];
+  const BitVec& voted = die0_voted[0];
 
   std::cout << "Fig. 10 — 7-way replication of a 30-bit watermark, NPE=50K, "
                "tPEW=28us\n"
@@ -84,5 +128,22 @@ int main() {
              Table::fmt(voted_ber.errors_on_ones)});
   std::cout << "\n";
   emit(t, "fig10_replicas.csv");
+
+  std::cout << "lot-wide majority vote across " << lot
+            << " independent dies:\n";
+  Table lt({"die", "replica_errors_total", "vote_errors", "vote_err_bad",
+            "vote_err_good"});
+  std::size_t clean = 0;
+  for (std::size_t die = 0; die < lot; ++die) {
+    const DieVote& v = votes[die];
+    if (v.errors == 0) ++clean;
+    lt.add_row({Table::fmt(die), Table::fmt(v.replica_errors),
+                Table::fmt(v.errors), Table::fmt(v.errors_on_zeros),
+                Table::fmt(v.errors_on_ones)});
+  }
+  emit(lt, "fig10_lot.csv");
+  std::cout << clean << "/" << lot
+            << " dies recover the watermark error-free after the vote\n";
+  batch.print_summary(std::cerr);
   return 0;
 }

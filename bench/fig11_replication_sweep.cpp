@@ -6,11 +6,16 @@
 // with zero errors already at 3 replicas; replication widens the usable
 // tPEW window.
 //
+// Each NPE level runs on its own die (seed derived per level) as one fleet
+// job — imprint plus the whole tPE sweep — so the four levels execute
+// concurrently with --threads N yet emit identical tables for any N.
+//
 // Ablations (DESIGN.md §6):
 //   --asymmetric : use the asymmetry-aware vote instead of plain majority
 //   --ecc        : add a Hamming(15,11)-protected single-copy row
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -25,79 +30,93 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--asymmetric") == 0) asymmetric = true;
     if (std::strcmp(argv[i], "--ecc") == 0) with_ecc = true;
   }
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
   const VoteMode mode = asymmetric ? VoteMode::kAsymmetric : VoteMode::kMajority;
-
-  Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ 0x11);
-  FlashHal& hal = dev.hal();
-  const std::size_t cells = dev.config().geometry.segment_cells(0);
 
   // 512-bit payload (64 ASCII chars), 7 replicas = 3584 of 4096 cells.
   const BitVec payload = ascii_watermark(ascii_text(64));
   const std::size_t max_R = 7;
-  const BitVec pattern = replicate_pattern(payload, max_R, cells);
-
   // ECC variant: Hamming-encoded payload as a single copy (~698 bits).
   const BitVec ecc_code = hamming15_encode(payload);
 
   const std::vector<std::uint32_t> levels = {40'000, 50'000, 60'000, 70'000};
-  std::vector<Addr> seg(levels.size());
-  std::vector<Addr> ecc_seg(levels.size());
-  for (std::size_t i = 0; i < levels.size(); ++i) {
-    seg[i] = seg_addr(dev, i);
-    ImprintOptions io;
-    io.npe = levels[i];
-    io.strategy = ImprintStrategy::kBatchWear;
-    imprint_flashmark(hal, seg[i], pattern, io);
-    if (with_ecc) {
-      ecc_seg[i] = seg_addr(dev, levels.size() + i);
-      imprint_flashmark(hal, ecc_seg[i],
-                        replicate_pattern(ecc_code, 1, cells), io);
-    }
-  }
+
+  struct LevelResult {
+    std::optional<Table> table;
+    std::vector<double> min_ber = std::vector<double>(4, 100.0);
+  };
+  std::vector<LevelResult> out(levels.size());
+
+  const fleet::FleetReport batch = fleet::run_dies(
+      levels.size(),
+      [&](std::size_t i, fleet::DieCounters& counters) {
+        Device dev(DeviceConfig::msp430f5438(), die_seed(i, 0x11));
+        FlashHal& hal = dev.hal();
+        const std::size_t cells = dev.config().geometry.segment_cells(0);
+        const BitVec pattern = replicate_pattern(payload, max_R, cells);
+
+        const Addr seg = seg_addr(dev, 0);
+        ImprintOptions io;
+        io.npe = levels[i];
+        io.strategy = ImprintStrategy::kBatchWear;
+        imprint_flashmark(hal, seg, pattern, io);
+        Addr ecc_seg = 0;
+        if (with_ecc) {
+          ecc_seg = seg_addr(dev, 1);
+          imprint_flashmark(hal, ecc_seg,
+                            replicate_pattern(ecc_code, 1, cells), io);
+        }
+
+        std::vector<std::string> header = {"tPE_us", "R3_%", "R5_%", "R7_%"};
+        if (with_ecc) header.push_back("hamming_%");
+        Table t(header);
+        LevelResult& res = out[i];
+        for (int tpe = 20; tpe <= 56; tpe += 2) {
+          ExtractOptions eo;
+          eo.t_pew = SimTime::us(tpe);
+          const ExtractResult ext = extract_flashmark(hal, seg, eo);
+          std::vector<std::string> row{Table::fmt(static_cast<long long>(tpe))};
+          int col = 0;
+          for (std::size_t R : {3u, 5u, 7u}) {
+            const ReplicaLayout layout{payload.size(), R};
+            const BitVec voted = decode_replicas(ext.bits, layout, mode);
+            const double ber = compare_bits(payload, voted).ber() * 100.0;
+            res.min_ber[col] = std::min(res.min_ber[col], ber);
+            ++col;
+            row.push_back(Table::fmt(ber, 2));
+          }
+          if (with_ecc) {
+            const ExtractResult ee = extract_flashmark(hal, ecc_seg, eo);
+            const BitVec code_bits = ee.bits.slice(0, ecc_code.size());
+            const HammingDecode hd = hamming15_decode(code_bits, payload.size());
+            const double ber = compare_bits(payload, hd.payload).ber() * 100.0;
+            res.min_ber[3] = std::min(res.min_ber[3], ber);
+            row.push_back(Table::fmt(ber, 2));
+          }
+          t.add_row(std::move(row));
+        }
+        res.table = std::move(t);
+        counters.absorb(dev);
+      },
+      fopt);
 
   std::cout << "Fig. 11 — replication vs BER (vote="
             << (asymmetric ? "asymmetric" : "majority") << ")\n\n";
 
   for (std::size_t i = 0; i < levels.size(); ++i) {
-    std::vector<std::string> header = {"tPE_us", "R3_%", "R5_%", "R7_%"};
-    if (with_ecc) header.push_back("hamming_%");
-    Table t(header);
-    std::vector<double> min_ber(4, 100.0);
-    for (int tpe = 20; tpe <= 56; tpe += 2) {
-      ExtractOptions eo;
-      eo.t_pew = SimTime::us(tpe);
-      const ExtractResult ext = extract_flashmark(hal, seg[i], eo);
-      std::vector<std::string> row{Table::fmt(static_cast<long long>(tpe))};
-      int col = 0;
-      for (std::size_t R : {3u, 5u, 7u}) {
-        const ReplicaLayout layout{payload.size(), R};
-        const BitVec voted = decode_replicas(ext.bits, layout, mode);
-        const double ber = compare_bits(payload, voted).ber() * 100.0;
-        min_ber[col] = std::min(min_ber[col], ber);
-        ++col;
-        row.push_back(Table::fmt(ber, 2));
-      }
-      if (with_ecc) {
-        const ExtractResult ee = extract_flashmark(hal, ecc_seg[i], eo);
-        const BitVec code_bits = ee.bits.slice(0, ecc_code.size());
-        const HammingDecode hd = hamming15_decode(code_bits, payload.size());
-        const double ber = compare_bits(payload, hd.payload).ber() * 100.0;
-        min_ber[3] = std::min(min_ber[3], ber);
-        row.push_back(Table::fmt(ber, 2));
-      }
-      t.add_row(std::move(row));
-    }
+    const LevelResult& res = out[i];
     std::cout << "--- NPE = " << levels[i] / 1000 << " K ---\n";
-    emit(t, "fig11_npe" + std::to_string(levels[i] / 1000) + "k.csv");
-    std::cout << "min BER%: R3=" << Table::fmt(min_ber[0], 2)
-              << " R5=" << Table::fmt(min_ber[1], 2)
-              << " R7=" << Table::fmt(min_ber[2], 2);
-    if (with_ecc) std::cout << " hamming=" << Table::fmt(min_ber[3], 2);
+    emit(*res.table, "fig11_npe" + std::to_string(levels[i] / 1000) + "k.csv");
+    std::cout << "min BER%: R3=" << Table::fmt(res.min_ber[0], 2)
+              << " R5=" << Table::fmt(res.min_ber[1], 2)
+              << " R7=" << Table::fmt(res.min_ber[2], 2);
+    if (with_ecc) std::cout << " hamming=" << Table::fmt(res.min_ber[3], 2);
     if (levels[i] == 40'000)
       std::cout << "   (paper @40K: 5.2 / 2.4 / 0.96)";
     if (levels[i] == 70'000)
       std::cout << "   (paper @70K: 0 with 3 replicas)";
     std::cout << "\n\n";
   }
+  batch.print_summary(std::cerr);
   return 0;
 }

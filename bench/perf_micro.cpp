@@ -1,6 +1,8 @@
-// Host-side performance microbenchmarks of the simulator itself
-// (google-benchmark). These measure wall-clock cost of the building blocks
-// so users can size their own sweeps; they are not paper results.
+// Host-side performance microbenchmarks of the simulator itself and of the
+// fleet batch layer (google-benchmark). They measure wall-clock cost of the
+// building blocks — erase/program/imprint/extract primitives plus the batch
+// variants (fleet::imprint_batch / audit_batch at 1 and N threads) — so
+// users can size their own sweeps; they are not paper results.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
@@ -148,6 +150,51 @@ void BM_SpiNorExtractRound(benchmark::State& state) {
     benchmark::DoNotOptimize(extract_flashmark_spinor(chip, 0, eo));
 }
 BENCHMARK(BM_SpiNorExtractRound);
+
+// Batch variants: whole-fleet throughput through the fleet layer. Arg 0 is
+// the lot size, arg 1 the thread count (0 = hardware concurrency); compare
+// {N,1} against {N,0} for the multi-core speedup on this host.
+void BM_FleetImprintBatch(benchmark::State& state) {
+  const auto n_dies = static_cast<std::size_t>(state.range(0));
+  fleet::FleetOptions fo;
+  fo.threads = static_cast<unsigned>(state.range(1));
+  WatermarkSpec spec;
+  spec.fields = {1, 2, 3, TestStatus::kAccept, 4};
+  spec.key = SipHashKey{1, 2};
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  for (auto _ : state) {
+    auto batch = fleet::imprint_batch(
+        DeviceConfig::msp430f5438(), kDieSeed, n_dies, 0,
+        [&](std::size_t) { return spec; }, fo);
+    benchmark::DoNotOptimize(batch.reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetImprintBatch)->Args({8, 1})->Args({8, 0});
+
+void BM_FleetAuditBatch(benchmark::State& state) {
+  const auto n_dies = static_cast<std::size_t>(state.range(0));
+  fleet::FleetOptions fo;
+  fo.threads = static_cast<unsigned>(state.range(1));
+  WatermarkSpec spec;
+  spec.fields = {1, 2, 3, TestStatus::kAccept, 4};
+  spec.key = SipHashKey{1, 2};
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  auto lot = fleet::imprint_batch(
+      DeviceConfig::msp430f5438(), kDieSeed, n_dies, 0,
+      [&](std::size_t) { return spec; }, fo);
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.key = SipHashKey{1, 2};
+  for (auto _ : state) {
+    auto audited = fleet::audit_batch(lot.dies, 0, vo, fo);
+    benchmark::DoNotOptimize(audited.reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetAuditBatch)->Args({8, 1})->Args({8, 0});
 
 void BM_McuHal_WordProgram(benchmark::State& state) {
   Device dev(DeviceConfig::msp430f5438(), kDieSeed);

@@ -9,7 +9,14 @@
 //     are "easily uncovered"  -> dual-rail (0,0) pairs / signature  ->
 //     verdict tampered;
 //   * a reject die can never be turned into an accept die.
+//
+// Every attack scenario is an independent die, so the scenarios run as one
+// fleet batch (--threads N); rows and notes are collected into slots indexed
+// by scenario, keeping stdout identical for any thread count.
+#include <functional>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "attack/attacks.hpp"
 #include "baseline/conventional_mark.hpp"
@@ -18,7 +25,8 @@
 using namespace flashmark;
 using namespace flashmark::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
   const SipHashKey key{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
   const SimTime tpew = SimTime::us(30);
 
@@ -36,97 +44,127 @@ int main() {
   vo.rounds = 3;
   vo.n_reads = 3;
 
-  Table t({"scenario", "flashmark_verdict", "status_field", "sig_ok",
-           "conventional_mark"});
-
-  auto run = [&](const std::string& name, auto&& mutate) {
-    Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ std::hash<std::string>{}(name));
-    FlashHal& hal = dev.hal();
-    const Addr fm_addr = seg_addr(dev, 0);
-    const Addr conv_addr = seg_addr(dev, 1);
-    imprint_watermark(hal, fm_addr, spec);
-    conventional_mark_write(hal, conv_addr, spec.fields);
-
-    mutate(dev, hal, fm_addr, conv_addr);
-
-    const VerifyReport r = verify_watermark(hal, fm_addr, vo);
-    const auto conv = conventional_mark_read(hal, conv_addr);
-    t.add_row({name, to_string(r.verdict),
-               r.fields ? to_string(r.fields->status) : "-",
-               r.signature_checked ? (r.signature_ok ? "yes" : "NO") : "-",
-               conv ? to_string(conv->status) : "unreadable"});
+  // A scenario: imprint (or not), mutate, verify. `note` is printed after
+  // the table so parallel scenarios cannot interleave stdout.
+  struct Scenario {
+    std::string name;
+    bool imprint_genuine = true;
+    std::function<void(Device&, FlashHal&, Addr fm, Addr conv,
+                       std::ostringstream& note)>
+        mutate;
   };
 
-  run("untouched genuine", [&](Device&, FlashHal&, Addr, Addr) {});
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"untouched genuine", true,
+                       [](Device&, FlashHal&, Addr, Addr, std::ostringstream&) {}});
 
   // Blank inferior/out-of-spec chip: the counterfeiter only has the digital
   // interface and writes an "accept" watermark pattern as plain data. No
   // stress contrast exists, so extraction sees a fresh segment.
-  {
-    Device dev(DeviceConfig::msp430f5438(), kDieSeed ^ 0xB1A);
-    FlashHal& hal = dev.hal();
-    const Addr fm_addr = seg_addr(dev, 0);
-    const Addr conv_addr = seg_addr(dev, 1);
-    WatermarkFields forged = spec.fields;
-    forged.status = TestStatus::kAccept;
-    const auto enc = encode_watermark(
-        WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
-        dev.config().geometry.segment_cells(0));
-    forge_attack(hal, fm_addr, enc.segment_pattern);
-    conventional_mark_write(hal, conv_addr, forged);
-    const VerifyReport r = verify_watermark(hal, fm_addr, vo);
-    const auto conv = conventional_mark_read(hal, conv_addr);
-    t.add_row({"blank chip + digital-only accept mark", to_string(r.verdict),
-               r.fields ? to_string(r.fields->status) : "-",
-               r.signature_checked ? (r.signature_ok ? "yes" : "NO") : "-",
-               conv ? to_string(conv->status) : "unreadable"});
-  }
+  scenarios.push_back(
+      {"blank chip + digital-only accept mark", false,
+       [&](Device& dev, FlashHal& hal, Addr fm, Addr conv,
+           std::ostringstream&) {
+         WatermarkFields forged = spec.fields;
+         forged.status = TestStatus::kAccept;
+         const auto enc = encode_watermark(
+             WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
+             dev.config().geometry.segment_cells(0));
+         forge_attack(hal, fm, enc.segment_pattern);
+         conventional_mark_write(hal, conv, forged);
+       }});
 
   // Genuine REJECT die: the counterfeiter erases and digitally rewrites the
   // watermark segment as "accept". The physical imprint survives the
   // rewrite — extraction still recovers the original REJECT watermark.
-  run("digital forge: rewrite status=accept", [&](Device& dev, FlashHal& hal,
-                                                  Addr fm, Addr conv) {
-    WatermarkFields forged = spec.fields;
-    forged.status = TestStatus::kAccept;
-    // Forge both marks digitally: erase + program the accept payload.
-    const auto enc = encode_watermark(
-        WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
-        dev.config().geometry.segment_cells(0));
-    forge_attack(hal, fm, enc.segment_pattern);
-    conventional_mark_forge(hal, conv, forged);
-  });
+  scenarios.push_back(
+      {"digital forge: rewrite status=accept", true,
+       [&](Device& dev, FlashHal& hal, Addr fm, Addr conv,
+           std::ostringstream&) {
+         WatermarkFields forged = spec.fields;
+         forged.status = TestStatus::kAccept;
+         // Forge both marks digitally: erase + program the accept payload.
+         const auto enc = encode_watermark(
+             WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
+             dev.config().geometry.segment_cells(0));
+         forge_attack(hal, fm, enc.segment_pattern);
+         conventional_mark_forge(hal, conv, forged);
+       }});
 
-  run("stress attack: flip good cells toward accept", [&](Device& dev,
-                                                          FlashHal& hal,
-                                                          Addr fm, Addr) {
-    WatermarkFields forged = spec.fields;
-    forged.status = TestStatus::kAccept;
-    const std::size_t cells = dev.config().geometry.segment_cells(0);
-    const auto cur = encode_watermark(spec, cells);
-    const auto want = encode_watermark(
-        WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false}, cells);
-    const auto rw =
-        rewrite_attack(hal, fm, cur.segment_pattern, want.segment_pattern, 60'000);
-    std::cout << "[stress attack] flips applied (good->bad): "
+  scenarios.push_back(
+      {"stress attack: flip good cells toward accept", true,
+       [&](Device& dev, FlashHal& hal, Addr fm, Addr,
+           std::ostringstream& note) {
+         WatermarkFields forged = spec.fields;
+         forged.status = TestStatus::kAccept;
+         const std::size_t cells = dev.config().geometry.segment_cells(0);
+         const auto cur = encode_watermark(spec, cells);
+         const auto want = encode_watermark(
+             WatermarkSpec{forged, key, 7, 1, ImprintStrategy::kLoop, false},
+             cells);
+         const auto rw = rewrite_attack(hal, fm, cur.segment_pattern,
+                                        want.segment_pattern, 60'000);
+         note << "[stress attack] flips applied (good->bad): "
               << rw.flips_applied
               << ", physically impossible (bad->good): " << rw.flips_impossible
               << "\n";
-  });
+       }});
 
-  run("blunt stress: wear the whole watermark region", [&](Device&, FlashHal& hal,
-                                                           Addr fm, Addr) {
-    hal.wear_segment(fm, 60'000, nullptr);
-  });
+  scenarios.push_back({"blunt stress: wear the whole watermark region", true,
+                       [](Device&, FlashHal& hal, Addr fm, Addr,
+                          std::ostringstream&) {
+                         hal.wear_segment(fm, 60'000, nullptr);
+                       }});
+
+  struct Row {
+    std::vector<std::string> cells;
+    std::string note;
+  };
+  std::vector<Row> rows(scenarios.size());
+
+  const fleet::FleetReport batch = fleet::run_dies(
+      scenarios.size(),
+      [&](std::size_t i, fleet::DieCounters& counters) {
+        const Scenario& sc = scenarios[i];
+        Device dev(DeviceConfig::msp430f5438(),
+                   die_seed(i, name_salt(sc.name)));
+        FlashHal& hal = dev.hal();
+        const Addr fm_addr = seg_addr(dev, 0);
+        const Addr conv_addr = seg_addr(dev, 1);
+        if (sc.imprint_genuine) {
+          imprint_watermark(hal, fm_addr, spec);
+          conventional_mark_write(hal, conv_addr, spec.fields);
+        }
+
+        std::ostringstream note;
+        sc.mutate(dev, hal, fm_addr, conv_addr, note);
+
+        const VerifyReport r = verify_watermark(hal, fm_addr, vo);
+        const auto conv = conventional_mark_read(hal, conv_addr);
+        rows[i] = {{sc.name, to_string(r.verdict),
+                    r.fields ? to_string(r.fields->status) : "-",
+                    r.signature_checked ? (r.signature_ok ? "yes" : "NO") : "-",
+                    conv ? to_string(conv->status) : "unreadable"},
+                   note.str()};
+        counters.absorb(dev);
+      },
+      fopt);
+
+  Table t({"scenario", "flashmark_verdict", "status_field", "sig_ok",
+           "conventional_mark"});
+  for (auto& row : rows) t.add_row(std::move(row.cells));
+  for (const auto& row : rows)
+    if (!row.note.empty()) std::cout << row.note;
 
   std::cout << "\n";
   emit(t, "tamper_resistance.csv");
 
   // Clone attack: valid watermark copied onto a blank die — the documented
-  // residual risk (requires die-id tracking to catch).
+  // residual risk (requires die-id tracking to catch). Two dies in one job,
+  // so it stays a single sequential tail step.
   {
-    Device genuine(DeviceConfig::msp430f5438(), kDieSeed ^ 0x77);
-    Device blank(DeviceConfig::msp430f5438(), kDieSeed ^ 0x78);
+    Device genuine(DeviceConfig::msp430f5438(), die_seed(0, 0x77));
+    Device blank(DeviceConfig::msp430f5438(), die_seed(1, 0x77));
     imprint_watermark(genuine.hal(), seg_addr(genuine, 0), spec);
     clone_attack(genuine.hal(), seg_addr(genuine, 0), blank.hal(),
                  seg_addr(blank, 0), vo, 60'000);
@@ -136,5 +174,6 @@ int main() {
               << "  -> clones of VALID watermarks need die-id tracking; "
                  "forging a DIFFERENT payload still fails the signature\n";
   }
+  batch.print_summary(std::cerr);
   return 0;
 }

@@ -7,17 +7,25 @@
 // die-unique identifiers plus a sighting registry: the first chip with die
 // id N checks in fine, every further sighting of N is a clone suspect.
 //
-//   $ ./die_tracking
+// Factory imprinting and integrator-side verification fan out on the fleet
+// layer (--threads N); the registry — order-sensitive shared state — is
+// driven sequentially in sighting order, so the output is identical for any
+// thread count.
+//
+//   $ ./die_tracking [--threads N]
 #include <iostream>
 
 #include "attack/attacks.hpp"
 #include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
 #include "mcu/device.hpp"
 
 using namespace flashmark;
 
-int main() {
+int main(int argc, char** argv) {
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
   const SipHashKey key{0x1D, 0x2E};
+  constexpr std::uint64_t kFactorySeed = 0x1D001;
   WatermarkRegistry registry;
 
   VerifyOptions vo;
@@ -36,21 +44,26 @@ int main() {
     return s;
   };
 
-  // Manufacturer: watermark three dies and register them.
+  // Manufacturer: watermark three dies as one fleet batch, then register
+  // them in id order.
   std::cout << "== factory: imprint + register three dies ==\n";
-  std::vector<std::unique_ptr<Device>> lot;
+  auto imprinted = fleet::imprint_batch(
+      DeviceConfig::msp430f5438(), kFactorySeed, 3, 0,
+      [&](std::size_t i) {
+        return make_spec(100 + static_cast<std::uint32_t>(i),
+                         TestStatus::kAccept);
+      },
+      fopt);
+  imprinted.fleet.print_summary(std::cerr);
+  std::vector<std::unique_ptr<Device>>& lot = imprinted.dies;
   for (std::uint32_t id = 100; id < 103; ++id) {
-    auto chip = std::make_unique<Device>(DeviceConfig::msp430f5438(),
-                                         0x1D000 + id);
-    const auto spec = make_spec(id, TestStatus::kAccept);
-    imprint_watermark(chip->hal(), chip->config().geometry.segment_base(0),
-                      spec);
-    registry.register_die(spec.fields);
+    registry.register_die(make_spec(id, TestStatus::kAccept).fields);
     std::cout << "  die " << id << " registered\n";
-    lot.push_back(std::move(chip));
   }
 
-  // Counterfeiter: clone die 101's watermark onto two blank chips.
+  // Counterfeiter: clone die 101's watermark onto two blank chips. Each
+  // clone_attack extracts from the SAME genuine die (mutating its state), so
+  // this stays sequential — two jobs sharing lot[1] would be a data race.
   std::cout << "\n== counterfeiter: clone die 101 onto two blanks ==\n";
   std::vector<std::unique_ptr<Device>> clones;
   for (int i = 0; i < 2; ++i) {
@@ -62,14 +75,36 @@ int main() {
     clones.push_back(std::move(blank));
   }
 
-  // Integrator: every chip that arrives is verified, then checked in.
+  // Integrator: every arriving chip is verified (parallel — each job owns
+  // its chip), then checked in against the registry in arrival order.
   std::cout << "\n== integrator: verify + registry check-in ==\n";
-  auto inspect = [&](Device& chip, const std::string& where) {
-    const VerifyReport r = verify_watermark(
-        chip.hal(), chip.config().geometry.segment_base(0), vo);
-    std::cout << "  " << where << ": watermark=" << to_string(r.verdict);
+  struct Arrival {
+    Device* chip;
+    std::string where;
+  };
+  const std::vector<Arrival> arrivals = {
+      {lot[0].get(), "lineA"},    {lot[1].get(), "lineA"},
+      {clones[0].get(), "brokerB"},  // valid watermark, duplicate id
+      {lot[2].get(), "lineA"},
+      {clones[1].get(), "brokerC"},  // another duplicate
+  };
+  std::vector<VerifyReport> reports(arrivals.size());
+  fleet::run_dies(
+      arrivals.size(),
+      [&](std::size_t i, fleet::DieCounters& counters) {
+        Device& chip = *arrivals[i].chip;
+        reports[i] = verify_watermark(
+            chip.hal(), chip.config().geometry.segment_base(0), vo);
+        counters.absorb(chip);
+      },
+      fopt);
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const VerifyReport& r = reports[i];
+    std::cout << "  " << arrivals[i].where
+              << ": watermark=" << to_string(r.verdict);
     if (r.verdict == Verdict::kGenuine && r.fields) {
-      const RegistryVerdict rv = registry.check_in(*r.fields, where);
+      const RegistryVerdict rv = registry.check_in(*r.fields, arrivals[i].where);
       std::cout << " die=" << r.fields->die_id
                 << " registry=" << to_string(rv);
       if (rv == RegistryVerdict::kDuplicate)
@@ -77,13 +112,7 @@ int main() {
                   << registry.sightings(r.fields->die_id).size() << "x)";
     }
     std::cout << "\n";
-  };
-
-  inspect(*lot[0], "lineA");
-  inspect(*lot[1], "lineA");   // genuine 101, first sighting: ok
-  inspect(*clones[0], "brokerB");  // valid watermark, duplicate id
-  inspect(*lot[2], "lineA");
-  inspect(*clones[1], "brokerC");  // another duplicate
+  }
 
   std::cout << "\nforensics for die 101:\n";
   for (const auto& s : registry.sightings(101))

@@ -8,13 +8,19 @@
 // The lot contains genuine new parts, a relabeled REJECT die, a recycled
 // refurbished part, a digitally-forged blank, and a clone.
 //
-//   $ ./lot_audit
+// Both the factory imprint of the genuine dies and the audit itself run on
+// the fleet layer: one job per chip, --threads N workers (default hardware
+// concurrency). Stateful steps — registry registration/check-in — stay
+// sequential in lot order, so the report is identical for any N.
+//
+//   $ ./lot_audit [--threads N]
 #include <iomanip>
 #include <iostream>
 
 #include "attack/attacks.hpp"
 #include "baseline/recycled_detector.hpp"
 #include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
 #include "mcu/device.hpp"
 
 using namespace flashmark;
@@ -22,6 +28,7 @@ using namespace flashmark;
 namespace {
 
 const SipHashKey kKey{0xA0D17, 0x10715};
+constexpr std::uint64_t kLotMasterSeed = 0xA0D17;
 
 ExtendedSpec make_spec(std::uint32_t die_id, TestStatus st) {
   ExtendedSpec s;
@@ -47,7 +54,8 @@ ExtendedVerifyOptions audit_opts() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
   WatermarkRegistry registry;
   const auto& geom = DeviceConfig::msp430f5438().geometry;
   const std::vector<Addr> wm_segs = {geom.segment_base(0)};
@@ -58,18 +66,35 @@ int main() {
   };
   std::vector<LotEntry> lot;
 
-  // Factory: four genuine dies (one REJECT), registered.
-  for (std::uint32_t id = 500; id < 504; ++id) {
-    auto chip = std::make_unique<Device>(DeviceConfig::msp430f5438(),
-                                         0xA0D17000 + id);
-    const TestStatus st = id == 503 ? TestStatus::kReject : TestStatus::kAccept;
-    const auto spec = make_spec(id, st);
-    imprint_extended(chip->hal(), wm_segs, spec);
-    registry.register_die(spec.payload.fields);
-    lot.push_back({st == TestStatus::kReject
-                       ? "reject die relabeled as new"
-                       : "genuine new part",
-                   std::move(chip)});
+  // Factory: four genuine dies (one REJECT), imprinted as one fleet batch —
+  // seeds derive from (lot master seed, die index) — then registered
+  // sequentially in id order.
+  {
+    std::vector<std::unique_ptr<Device>> dies(4);
+    const fleet::FleetReport batch = fleet::run_dies(
+        dies.size(),
+        [&](std::size_t i, fleet::DieCounters& counters) {
+          const std::uint32_t id = 500 + static_cast<std::uint32_t>(i);
+          auto chip = std::make_unique<Device>(
+              DeviceConfig::msp430f5438(),
+              fleet::derive_die_seed(kLotMasterSeed, id));
+          const TestStatus st =
+              id == 503 ? TestStatus::kReject : TestStatus::kAccept;
+          imprint_extended(chip->hal(), wm_segs, make_spec(id, st));
+          counters.absorb(*chip);
+          dies[i] = std::move(chip);
+        },
+        fopt);
+    batch.print_summary(std::cerr);
+    for (std::size_t i = 0; i < dies.size(); ++i) {
+      const std::uint32_t id = 500 + static_cast<std::uint32_t>(i);
+      const TestStatus st =
+          id == 503 ? TestStatus::kReject : TestStatus::kAccept;
+      registry.register_die(make_spec(id, st).payload.fields);
+      lot.push_back({st == TestStatus::kReject ? "reject die relabeled as new"
+                                               : "genuine new part",
+                     std::move(dies[i])});
+    }
   }
 
   // One genuine part lived a previous life and was refurbished.
@@ -105,28 +130,44 @@ int main() {
   }
 
   // --- the audit ----------------------------------------------------------
+  // Watermark verification and the destructive wear probe fan out across the
+  // lot (each job owns its chip; the calibrated detector is read-only).
+  // Registry check-in is order-sensitive shared state, so it runs after the
+  // batch, sequentially in lot order.
   RecycledDetector wear_probe;
   Device golden(DeviceConfig::msp430f5438(), 0x601D2);
   wear_probe.calibrate(golden.hal(), geom.segment_base(0));
+
+  std::vector<ExtendedVerifyReport> wm_reports(lot.size());
+  std::vector<RecycledAssessment> wear_reports(lot.size());
+  const fleet::FleetReport audit = fleet::run_dies(
+      lot.size(),
+      [&](std::size_t i, fleet::DieCounters& counters) {
+        Device& chip = *lot[i].chip;
+        chip.controller().reset_op_counters();
+        wm_reports[i] = verify_extended(chip.hal(), wm_segs, audit_opts());
+        wear_reports[i] = wear_probe.assess_chip(
+            chip.hal(), {geom.segment_base(8), geom.segment_base(9)});
+        counters.absorb(chip);
+      },
+      fopt);
 
   std::cout << "== lot audit: " << lot.size() << " chips ==\n\n"
             << std::left << std::setw(38) << "chip" << std::setw(14)
             << "watermark" << std::setw(10) << "status" << std::setw(20)
             << "registry" << std::setw(10) << "wear" << "decision\n";
 
-  for (auto& entry : lot) {
-    const ExtendedVerifyReport wm =
-        verify_extended(entry.chip->hal(), wm_segs, audit_opts());
+  for (std::size_t i = 0; i < lot.size(); ++i) {
+    const ExtendedVerifyReport& wm = wm_reports[i];
+    const RecycledAssessment& wear = wear_reports[i];
     std::string reg = "-";
     if (wm.verdict == Verdict::kGenuine && wm.payload)
       reg = to_string(registry.check_in(wm.payload->fields, "audit"));
-    const RecycledAssessment wear = wear_probe.assess_chip(
-        entry.chip->hal(), {geom.segment_base(8), geom.segment_base(9)});
 
     const bool pass = wm.verdict == Verdict::kGenuine && wm.payload &&
                       wm.payload->fields.status == TestStatus::kAccept &&
                       reg == "ok" && !wear.recycled;
-    std::cout << std::setw(38) << entry.description << std::setw(14)
+    std::cout << std::setw(38) << lot[i].description << std::setw(14)
               << to_string(wm.verdict) << std::setw(10)
               << (wm.payload ? to_string(wm.payload->fields.status) : "-")
               << std::setw(20) << reg << std::setw(10)
@@ -134,5 +175,6 @@ int main() {
               << (pass ? "ACCEPT" : "REJECT") << "\n";
   }
   std::cout << "\nonly untouched genuine ACCEPT parts pass all three gates.\n";
+  audit.print_summary(std::cerr);
   return 0;
 }

@@ -73,15 +73,18 @@ void FlashController::complete_op() {
   switch (op.kind) {
     case OpKind::kSegmentErase:
       array_.erase_segment(g.segment_index(op.addr));
+      ++counters_.erase_ops;
       break;
     case OpKind::kMassErase: {
       const std::size_t bank = bank_of(op.addr);
       for (std::size_t seg = 0; seg < g.n_segments(); ++seg)
         if (bank_of(g.segment_base(seg)) == bank) array_.erase_segment(seg);
+      ++counters_.erase_ops;
       break;
     }
     case OpKind::kProgramWord:
       array_.program_word(op.addr, op.value);
+      ++counters_.program_ops;
       break;
   }
 }
@@ -102,12 +105,14 @@ void FlashController::abort_op() {
   switch (op.kind) {
     case OpKind::kSegmentErase:
       array_.partial_erase_segment(g.segment_index(op.addr), pulse.as_us());
+      ++counters_.erase_ops;
       break;
     case OpKind::kMassErase: {
       const std::size_t bank = bank_of(op.addr);
       for (std::size_t seg = 0; seg < g.n_segments(); ++seg)
         if (bank_of(g.segment_base(seg)) == bank)
           array_.partial_erase_segment(seg, pulse.as_us());
+      ++counters_.erase_ops;
       break;
     }
     case OpKind::kProgramWord: {
@@ -115,6 +120,7 @@ void FlashController::abort_op() {
           1.0, pulse.as_us() / timing_.t_prog_word.as_us());
       if (frac > 0.0)
         array_.partial_program_word(op.addr, op.value, frac);
+      ++counters_.program_ops;
       break;
     }
   }
@@ -179,6 +185,7 @@ FlashStatus FlashController::program_block(Addr addr,
     array_.program_word(addr + static_cast<Addr>(i * g.word_bytes), words[i]);
     clock_.advance(timing_.t_prog_word_block);
   }
+  counters_.program_ops += words.size();
   clock_.advance(timing_.t_vpp_setup);
   return FlashStatus::kOk;
 }
@@ -203,6 +210,7 @@ std::uint16_t FlashController::read_word(Addr addr) {
     return 0xFFFF;
   }
   clock_.advance(timing_.t_read_word);
+  ++counters_.read_ops;
   return array_.read_word(addr);
 }
 
@@ -225,6 +233,7 @@ FlashStatus FlashController::wear_segment(Addr addr, double cycles,
   if (cycles < 0.0) return FlashStatus::kInvalidArgument;
   const std::size_t seg = geometry().segment_index(addr);
   array_.wear_segment(seg, cycles, pattern);
+  counters_.wear_pe_cycles += cycles;
   clock_.advance(imprint_cycle_time(seg) * static_cast<std::int64_t>(cycles));
   return FlashStatus::kOk;
 }

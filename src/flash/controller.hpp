@@ -32,6 +32,18 @@ enum class FlashStatus : std::uint8_t {
 
 const char* to_string(FlashStatus s);
 
+/// Cumulative operation counters for one controller (== one die).
+///
+/// Pure observability: the simulation never reads these back, so they cannot
+/// perturb results (docs/REPRODUCIBILITY.md). The fleet layer aggregates them
+/// across a batch of dies.
+struct FlashOpCounters {
+  std::uint64_t erase_ops = 0;    ///< erase pulses issued (full or partial)
+  std::uint64_t program_ops = 0;  ///< program-word pulses (block words count)
+  std::uint64_t read_ops = 0;     ///< word reads served
+  double wear_pe_cycles = 0.0;    ///< batch-wear P/E cycles applied
+};
+
 class FlashController {
  public:
   /// The controller borrows the array and the clock; both must outlive it.
@@ -108,6 +120,11 @@ class FlashController {
   /// program of the whole segment) — used by wear_segment's accounting.
   SimTime imprint_cycle_time(std::size_t seg) const;
 
+  /// Operation counters accumulated since construction (or the last
+  /// reset_op_counters). Observability only — see FlashOpCounters.
+  const FlashOpCounters& op_counters() const { return counters_; }
+  void reset_op_counters() { counters_ = {}; }
+
  private:
   enum class OpKind { kSegmentErase, kMassErase, kProgramWord };
   struct Op {
@@ -130,6 +147,7 @@ class FlashController {
   bool locked_ = true;  // like hardware: locked out of reset
   bool accv_ = false;
   std::optional<Op> op_;
+  FlashOpCounters counters_;
 };
 
 }  // namespace flashmark

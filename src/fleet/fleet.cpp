@@ -1,0 +1,224 @@
+#include "fleet/fleet.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <sstream>
+
+#include "fleet/thread_pool.hpp"
+#include "util/rng.hpp"
+#include "util/siphash.hpp"
+
+namespace flashmark::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::uint64_t derive_die_seed(std::uint64_t master_seed,
+                              std::uint64_t die_index) {
+  // Expand the master seed into a SipHash key, then MAC the die index. Both
+  // primitives are the repo's own bit-exact implementations, so the mapping
+  // (master, die) -> seed is identical on every platform and compiler.
+  std::uint64_t sm = master_seed;
+  const SipHashKey key{splitmix64(sm), splitmix64(sm)};
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(die_index >> (8 * i));
+  return siphash24(key, bytes, sizeof bytes);
+}
+
+FleetOptions parse_cli_options(int argc, char** argv) {
+  FleetOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads requires a value\n";
+        std::exit(2);
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || v < 0) {
+        std::cerr << "--threads: invalid value '" << argv[i + 1] << "'\n";
+        std::exit(2);
+      }
+      opts.threads = static_cast<unsigned>(v);
+      ++i;
+    }
+  }
+  return opts;
+}
+
+void DieCounters::absorb(Device& dev) {
+  const FlashOpCounters& c = dev.controller().op_counters();
+  erase_ops += c.erase_ops;
+  program_ops += c.program_ops;
+  read_ops += c.read_ops;
+  // Every erase pulse heads one P/E cycle of the Fig. 7 loop; batch wear
+  // accounts its cycles directly.
+  pe_cycles += c.wear_pe_cycles + static_cast<double>(c.erase_ops);
+  sim_time += dev.clock().now();
+}
+
+DieCounters FleetReport::totals() const {
+  DieCounters t;
+  t.die = dies.size();
+  for (const auto& d : dies) {
+    t.wall_ms += d.wall_ms;
+    t.pe_cycles += d.pe_cycles;
+    t.sim_time += d.sim_time;
+    t.erase_ops += d.erase_ops;
+    t.program_ops += d.program_ops;
+    t.read_ops += d.read_ops;
+    if (d.failed) t.failed = true;
+  }
+  return t;
+}
+
+std::size_t FleetReport::failures() const {
+  std::size_t n = 0;
+  for (const auto& d : dies)
+    if (d.failed) ++n;
+  return n;
+}
+
+void FleetReport::merge(const FleetReport& other) {
+  const std::size_t base = dies.size();
+  dies.reserve(base + other.dies.size());
+  for (const auto& d : other.dies) {
+    dies.push_back(d);
+    dies.back().die = base + d.die;
+  }
+  wall_ms += other.wall_ms;
+  if (threads_used == 0) threads_used = other.threads_used;
+}
+
+std::string FleetReport::counters_csv() const {
+  std::ostringstream os;
+  os << "die,wall_ms,pe_cycles,sim_ms,erase_ops,program_ops,read_ops,failed\n";
+  for (const auto& d : dies) {
+    os << d.die << ',' << d.wall_ms << ',' << d.pe_cycles << ','
+       << d.sim_time.as_ms() << ',' << d.erase_ops << ',' << d.program_ops
+       << ',' << d.read_ops << ',' << (d.failed ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+void FleetReport::print_summary(std::ostream& os) const {
+  const DieCounters t = totals();
+  os << "[fleet] " << dies.size() << " dies on " << threads_used
+     << " thread(s): wall " << wall_ms << " ms (sum of jobs " << t.wall_ms
+     << " ms), " << t.pe_cycles << " P/E cycles, " << t.erase_ops
+     << " erase / " << t.program_ops << " program / " << t.read_ops
+     << " read ops, " << t.sim_time.as_sec() << " s simulated";
+  if (const std::size_t f = failures()) os << ", " << f << " FAILED";
+  os << "\n";
+}
+
+FleetReport run_dies(std::size_t n_dies, const DieJob& job,
+                     const FleetOptions& opts) {
+  FleetReport report;
+  report.dies.resize(n_dies);
+  for (std::size_t i = 0; i < n_dies; ++i) report.dies[i].die = i;
+  report.threads_used = resolve_threads(opts.threads);
+
+  const auto t0 = Clock::now();
+  auto run_one = [&report, &job](std::size_t die) {
+    DieCounters& slot = report.dies[die];
+    const auto job_t0 = Clock::now();
+    try {
+      job(die, slot);
+    } catch (const std::exception& e) {
+      slot.failed = true;
+      slot.error = e.what();
+    } catch (...) {
+      slot.failed = true;
+      slot.error = "unknown exception";
+    }
+    slot.wall_ms = ms_since(job_t0);
+  };
+
+  if (report.threads_used <= 1 || n_dies <= 1) {
+    // Inline path: byte-for-byte the pre-fleet sequential behavior.
+    for (std::size_t i = 0; i < n_dies; ++i) run_one(i);
+  } else {
+    ThreadPool pool(report.threads_used);
+    for (std::size_t i = 0; i < n_dies; ++i)
+      pool.submit([&run_one, i] { run_one(i); });
+    pool.wait_idle();
+  }
+  report.wall_ms = ms_since(t0);
+  return report;
+}
+
+ImprintBatchResult imprint_batch(
+    const DeviceConfig& config, std::uint64_t master_seed, std::size_t n_dies,
+    std::size_t segment,
+    const std::function<WatermarkSpec(std::size_t)>& spec_of,
+    const FleetOptions& opts) {
+  ImprintBatchResult out;
+  out.dies.resize(n_dies);
+  out.reports.resize(n_dies);
+  out.fleet = run_dies(
+      n_dies,
+      [&](std::size_t die, DieCounters& counters) {
+        auto dev = std::make_unique<Device>(config,
+                                            derive_die_seed(master_seed, die));
+        const Addr addr = dev->config().geometry.segment_base(segment);
+        out.reports[die] = imprint_watermark(dev->hal(), addr, spec_of(die));
+        counters.absorb(*dev);
+        out.dies[die] = std::move(dev);
+      },
+      opts);
+  return out;
+}
+
+ExtractBatchResult extract_batch(
+    const std::vector<std::unique_ptr<Device>>& dies, std::size_t segment,
+    const ExtractOptions& eo, const FleetOptions& opts) {
+  ExtractBatchResult out;
+  out.results.resize(dies.size());
+  out.fleet = run_dies(
+      dies.size(),
+      [&](std::size_t die, DieCounters& counters) {
+        Device& dev = *dies[die];
+        dev.controller().reset_op_counters();
+        const SimTime before = dev.clock().now();
+        const Addr addr = dev.config().geometry.segment_base(segment);
+        out.results[die] = extract_flashmark(dev.hal(), addr, eo);
+        counters.absorb(dev);
+        counters.sim_time -= before;  // only time advanced by this batch
+      },
+      opts);
+  return out;
+}
+
+AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
+                             std::size_t segment, const VerifyOptions& vo,
+                             const FleetOptions& opts) {
+  AuditBatchResult out;
+  out.reports.resize(dies.size());
+  out.fleet = run_dies(
+      dies.size(),
+      [&](std::size_t die, DieCounters& counters) {
+        Device& dev = *dies[die];
+        dev.controller().reset_op_counters();
+        const SimTime before = dev.clock().now();
+        const Addr addr = dev.config().geometry.segment_base(segment);
+        out.reports[die] = verify_watermark(dev.hal(), addr, vo);
+        counters.absorb(dev);
+        counters.sim_time -= before;  // only time advanced by this batch
+      },
+      opts);
+  return out;
+}
+
+}  // namespace flashmark::fleet

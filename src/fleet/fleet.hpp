@@ -1,0 +1,161 @@
+// Fleet layer — batch simulation of many independent dies.
+//
+// The paper's counterfeit-detection use case is fleet-scale: a lot audit
+// checks hundreds of chips, and every die is an independent `Device`. This
+// subsystem industrializes that fan-out: a fixed-size thread pool runs one
+// job per die, each die's RNG seed is derived deterministically from
+// (master seed, die index), and results land in pre-sized slots indexed by
+// die — never by completion order. Consequently batch results are bitwise
+// identical for any `--threads` value, including 1 (the pre-fleet sequential
+// behavior). The determinism contract is specified in
+// docs/REPRODUCIBILITY.md; the architecture is sketched in DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/extract.hpp"
+#include "core/watermark.hpp"
+#include "mcu/device.hpp"
+#include "util/sim_time.hpp"
+
+namespace flashmark::fleet {
+
+/// Derive the RNG seed of die `die_index` in a fleet grown from
+/// `master_seed`.
+///
+/// Scheme (pinned by regression_pins_test.cpp — do not change casually):
+/// SplitMix64 expands the master seed into a 128-bit SipHash key, and the
+/// little-endian die index is hashed under that key. Substreams are
+/// decorrelated for any master seed (including 0 and adjacent integers), and
+/// the derivation is identical on every platform — unlike std::hash, which
+/// is implementation-defined and banned from simulation decisions.
+std::uint64_t derive_die_seed(std::uint64_t master_seed,
+                              std::uint64_t die_index);
+
+/// Knobs for one batch run.
+struct FleetOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). With 1 the
+  /// jobs run inline on the calling thread (no pool), which reproduces the
+  /// pre-fleet sequential behavior instruction-for-instruction.
+  unsigned threads = 0;
+};
+
+/// Parse a `--threads N` flag out of argv (shared by the bench/example
+/// binaries). Returns defaults when the flag is absent; exits with a message
+/// on a malformed value.
+FleetOptions parse_cli_options(int argc, char** argv);
+
+/// Per-die observability counters, filled by the job and aggregated by the
+/// batch runner.
+///
+/// `wall_ms` is host wall time and therefore run-to-run noise; everything
+/// else is a deterministic function of the die's job. Keeping the two kinds
+/// in one row is safe because counters are write-only from the simulation's
+/// point of view.
+struct DieCounters {
+  std::size_t die = 0;            ///< slot index (== die index)
+  double wall_ms = 0.0;           ///< host wall time of this die's job
+  double pe_cycles = 0.0;         ///< P/E cycles issued (wear + erase pulses)
+  SimTime sim_time;               ///< simulated time advanced on the die
+  std::uint64_t erase_ops = 0;    ///< erase pulses (full or partial)
+  std::uint64_t program_ops = 0;  ///< program-word pulses
+  std::uint64_t read_ops = 0;     ///< word reads
+  bool failed = false;            ///< job threw; `error` holds the message
+  std::string error;
+
+  /// Pull the controller op counters and the simulated clock from `dev`
+  /// into this row. Call at the end of a job, after all device activity.
+  void absorb(Device& dev);
+};
+
+/// Result of one batch run: per-die counter rows plus batch-level totals.
+struct FleetReport {
+  std::vector<DieCounters> dies;  ///< indexed by die, pre-sized by run_dies
+  unsigned threads_used = 0;      ///< resolved worker count
+  double wall_ms = 0.0;           ///< wall time of the whole batch
+
+  /// Sum of every per-die row (wall_ms sums too: total CPU-ish time, which
+  /// exceeds `wall_ms` when threads overlap). `die` is set to dies.size().
+  DieCounters totals() const;
+
+  /// Number of failed slots.
+  std::size_t failures() const;
+
+  /// Merge another report's rows and wall time into this one (used by
+  /// benches that run several batches but want one summary).
+  void merge(const FleetReport& other);
+
+  /// Per-die rows as CSV (die,wall_ms,pe_cycles,sim_ms,erase_ops,
+  /// program_ops,read_ops,failed). Wall times make this nondeterministic —
+  /// route it to stderr or a side file, never into result CSVs.
+  std::string counters_csv() const;
+
+  /// One-paragraph human summary (dies, threads, wall, aggregate ops).
+  void print_summary(std::ostream& os) const;
+};
+
+/// A per-die job: simulate die `die` and record its counters. Results must
+/// be written to slots indexed by `die` only; jobs must not touch shared
+/// mutable state (see docs/REPRODUCIBILITY.md).
+using DieJob = std::function<void(std::size_t die, DieCounters& counters)>;
+
+/// Run `job` for dies 0..n_dies-1 on a fixed-size thread pool.
+///
+/// A job that throws marks only its own slot failed (`failed`/`error`);
+/// other slots are unaffected and the run completes. The returned report has
+/// exactly `n_dies` rows in die order regardless of scheduling.
+FleetReport run_dies(std::size_t n_dies, const DieJob& job,
+                     const FleetOptions& opts = {});
+
+/// A freshly manufactured fleet: dies[i] has seed
+/// derive_die_seed(master_seed, i).
+struct DieBatch {
+  std::vector<std::unique_ptr<Device>> dies;
+  FleetReport fleet;
+};
+
+/// Result slots of imprint_batch, indexed by die.
+struct ImprintBatchResult {
+  std::vector<std::unique_ptr<Device>> dies;  ///< the imprinted fleet
+  std::vector<ImprintReport> reports;
+  FleetReport fleet;
+};
+
+/// Manufacture `n_dies` dies from (config, master_seed) and imprint each
+/// with the watermark returned by `spec_of(die)` at main segment
+/// `segment`. One thread-pool job per die.
+ImprintBatchResult imprint_batch(
+    const DeviceConfig& config, std::uint64_t master_seed, std::size_t n_dies,
+    std::size_t segment, const std::function<WatermarkSpec(std::size_t)>& spec_of,
+    const FleetOptions& opts = {});
+
+/// Result slots of extract_batch, indexed by die.
+struct ExtractBatchResult {
+  std::vector<ExtractResult> results;
+  FleetReport fleet;
+};
+
+/// Extract the watermark bitmap of main segment `segment` on every die of
+/// an existing fleet. Each job touches only its own Device.
+ExtractBatchResult extract_batch(
+    const std::vector<std::unique_ptr<Device>>& dies, std::size_t segment,
+    const ExtractOptions& eo, const FleetOptions& opts = {});
+
+/// Result slots of audit_batch, indexed by die.
+struct AuditBatchResult {
+  std::vector<VerifyReport> reports;
+  FleetReport fleet;
+};
+
+/// Run the full integrator-side verification pipeline on every die of an
+/// existing fleet (the incoming-inspection hot path of a lot audit).
+AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
+                             std::size_t segment, const VerifyOptions& vo,
+                             const FleetOptions& opts = {});
+
+}  // namespace flashmark::fleet

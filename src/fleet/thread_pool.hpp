@@ -1,0 +1,64 @@
+// Fixed-size thread pool used by the fleet batch runner.
+//
+// Deliberately minimal: a bounded worker set draining a FIFO queue of
+// type-erased jobs. Determinism of fleet results does NOT depend on this
+// class — jobs write into pre-sized slots keyed by die index, so scheduling
+// order is invisible in the output. The pool only decides *when* a job runs,
+// never *what* it computes (see docs/REPRODUCIBILITY.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flashmark::fleet {
+
+/// A fixed-size pool of worker threads draining a FIFO job queue.
+///
+/// Lifecycle: construct with a worker count, `submit()` any number of jobs,
+/// `wait_idle()` to block until every submitted job has finished. The
+/// destructor drains the queue before joining, so dropping the pool is also
+/// a barrier.
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Joins all workers after the queue drains.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Jobs must not throw — wrap user code and capture errors
+  /// into a result slot instead (ThreadPool terminates on a leaked
+  /// exception, like an unhandled exception on any thread).
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and no worker is mid-job.
+  void wait_idle();
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on submit / shutdown
+  std::condition_variable idle_cv_;   // signalled when a job finishes
+  std::size_t in_flight_ = 0;         // jobs popped but not yet finished
+  bool stop_ = false;
+};
+
+/// Resolve a user-requested thread count: 0 means "use the hardware", and a
+/// hardware report of 0 (unknown) falls back to 1.
+unsigned resolve_threads(unsigned requested);
+
+}  // namespace flashmark::fleet

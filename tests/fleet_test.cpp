@@ -1,0 +1,219 @@
+// Fleet layer: the determinism contract (docs/REPRODUCIBILITY.md), counter
+// aggregation, and fault isolation of the batch runner.
+//
+// The headline guarantee under test: batch results are bitwise identical
+// regardless of thread count or scheduling order, because every die's seed
+// is a pure function of (master seed, die index) and results land in slots
+// indexed by die. These tests run under TSan in the FLASHMARK_SANITIZE=thread
+// CI step (ctest -L fleet).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "fleet/fleet.hpp"
+#include "fleet/thread_pool.hpp"
+
+namespace flashmark {
+namespace {
+
+constexpr std::uint64_t kMaster = 0xF1EE7000;
+
+WatermarkSpec lot_spec(std::size_t die) {
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, static_cast<std::uint32_t>(die), 2,
+                 TestStatus::kAccept, 0x3AA};
+  spec.key = SipHashKey{0xD1E, 0x107};
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  return spec;
+}
+
+VerifyOptions lot_verify() {
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.key = SipHashKey{0xD1E, 0x107};
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  return vo;
+}
+
+TEST(FleetSeeds, DerivationIsPureAndDecorrelated) {
+  EXPECT_EQ(fleet::derive_die_seed(kMaster, 3),
+            fleet::derive_die_seed(kMaster, 3));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t die = 0; die < 256; ++die)
+    seen.insert(fleet::derive_die_seed(kMaster, die));
+  EXPECT_EQ(seen.size(), 256u);  // no collisions in a small fleet
+  // Adjacent master seeds must yield unrelated substreams.
+  EXPECT_NE(fleet::derive_die_seed(kMaster, 0),
+            fleet::derive_die_seed(kMaster + 1, 0));
+}
+
+TEST(FleetThreadPool, RunsEverySubmittedJob) {
+  fleet::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool must be reusable after an idle period.
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+// (a) Bitwise-identical batch results for --threads 1 / 2 / 8 on the same
+// master seed: the full imprint -> extract -> verify pipeline.
+TEST(FleetDeterminism, ThreadCountInvariantResults) {
+  constexpr std::size_t kDies = 6;
+  const DeviceConfig cfg = DeviceConfig::msp430f5438();
+
+  struct Snapshot {
+    std::vector<std::string> extracted_bits;
+    std::vector<Verdict> verdicts;
+    std::vector<std::uint32_t> die_ids;
+    std::vector<double> zero_fractions;   // compared with EXPECT_EQ: bitwise
+    std::vector<std::int64_t> sim_times_ns;
+  };
+
+  auto run_at = [&](unsigned threads) {
+    fleet::FleetOptions fo;
+    fo.threads = threads;
+    auto imprinted =
+        fleet::imprint_batch(cfg, kMaster, kDies, 0, lot_spec, fo);
+    ExtractOptions eo;
+    eo.t_pew = SimTime::us(30);
+    auto extracted = fleet::extract_batch(imprinted.dies, 0, eo, fo);
+    auto audited = fleet::audit_batch(imprinted.dies, 0, lot_verify(), fo);
+
+    Snapshot s;
+    for (std::size_t d = 0; d < kDies; ++d) {
+      s.extracted_bits.push_back(extracted.results[d].bits.to_string());
+      s.verdicts.push_back(audited.reports[d].verdict);
+      s.die_ids.push_back(audited.reports[d].fields
+                              ? audited.reports[d].fields->die_id
+                              : 0xFFFFFFFF);
+      s.zero_fractions.push_back(audited.reports[d].zero_fraction);
+      s.sim_times_ns.push_back(imprinted.fleet.dies[d].sim_time.as_ns());
+    }
+    EXPECT_EQ(imprinted.fleet.failures(), 0u);
+    EXPECT_EQ(audited.fleet.failures(), 0u);
+    return s;
+  };
+
+  const Snapshot t1 = run_at(1);
+  const Snapshot t2 = run_at(2);
+  const Snapshot t8 = run_at(8);
+
+  EXPECT_EQ(t1.extracted_bits, t2.extracted_bits);
+  EXPECT_EQ(t1.extracted_bits, t8.extracted_bits);
+  EXPECT_EQ(t1.verdicts, t2.verdicts);
+  EXPECT_EQ(t1.verdicts, t8.verdicts);
+  EXPECT_EQ(t1.die_ids, t2.die_ids);
+  EXPECT_EQ(t1.die_ids, t8.die_ids);
+  EXPECT_EQ(t1.zero_fractions, t2.zero_fractions);
+  EXPECT_EQ(t1.zero_fractions, t8.zero_fractions);
+  EXPECT_EQ(t1.sim_times_ns, t2.sim_times_ns);
+  EXPECT_EQ(t1.sim_times_ns, t8.sim_times_ns);
+
+  // Sanity: the pipeline actually did something per die.
+  for (std::size_t d = 0; d < kDies; ++d) {
+    EXPECT_EQ(t8.verdicts[d], Verdict::kGenuine) << d;
+    EXPECT_EQ(t8.die_ids[d], d);
+  }
+}
+
+// (b) Aggregated counter totals equal the sum of the per-die counters.
+TEST(FleetCounters, TotalsEqualPerDieSums) {
+  const DeviceConfig cfg = DeviceConfig::msp430f5438();
+  fleet::FleetOptions fo;
+  fo.threads = 4;
+  auto imprinted = fleet::imprint_batch(cfg, kMaster, 5, 0, lot_spec, fo);
+  auto audited = fleet::audit_batch(imprinted.dies, 0, lot_verify(), fo);
+
+  for (const fleet::FleetReport* rep :
+       {&imprinted.fleet, &audited.fleet}) {
+    const fleet::DieCounters t = rep->totals();
+    double pe = 0, wall = 0;
+    std::int64_t sim = 0;
+    std::uint64_t erase = 0, program = 0, read = 0;
+    for (const auto& d : rep->dies) {
+      pe += d.pe_cycles;
+      wall += d.wall_ms;
+      sim += d.sim_time.as_ns();
+      erase += d.erase_ops;
+      program += d.program_ops;
+      read += d.read_ops;
+    }
+    EXPECT_EQ(t.pe_cycles, pe);
+    EXPECT_EQ(t.wall_ms, wall);
+    EXPECT_EQ(t.sim_time.as_ns(), sim);
+    EXPECT_EQ(t.erase_ops, erase);
+    EXPECT_EQ(t.program_ops, program);
+    EXPECT_EQ(t.read_ops, read);
+  }
+
+  // The audit really issued work on every die and the counters saw it.
+  for (const auto& d : audited.fleet.dies) {
+    EXPECT_GT(d.erase_ops, 0u) << d.die;
+    EXPECT_GT(d.read_ops, 0u) << d.die;
+    EXPECT_GT(d.sim_time.as_ns(), 0) << d.die;
+  }
+
+  // CSV dump has one row per die plus the header.
+  std::istringstream csv(audited.fleet.counters_csv());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(csv, line)) ++lines;
+  EXPECT_EQ(lines, audited.fleet.dies.size() + 1);
+}
+
+// (c) An exception in one die's job fails that slot without corrupting the
+// other slots or aborting the batch.
+TEST(FleetFaults, OneFailingDieDoesNotPoisonTheBatch) {
+  constexpr std::size_t kDies = 8;
+  std::vector<std::uint64_t> results(kDies, 0);
+  const fleet::FleetReport rep = fleet::run_dies(
+      kDies,
+      [&](std::size_t die, fleet::DieCounters&) {
+        if (die == 2) throw std::runtime_error("die 2 exploded");
+        results[die] = fleet::derive_die_seed(kMaster, die);
+      },
+      {.threads = 4});
+
+  EXPECT_EQ(rep.failures(), 1u);
+  EXPECT_TRUE(rep.dies[2].failed);
+  EXPECT_EQ(rep.dies[2].error, "die 2 exploded");
+  EXPECT_TRUE(rep.totals().failed);
+  for (std::size_t d = 0; d < kDies; ++d) {
+    if (d == 2) continue;
+    EXPECT_FALSE(rep.dies[d].failed) << d;
+    EXPECT_EQ(results[d], fleet::derive_die_seed(kMaster, d)) << d;
+  }
+}
+
+TEST(FleetReportMerge, ConcatenatesAndReindexes) {
+  auto mk = [](std::size_t n) {
+    fleet::FleetReport r;
+    r.dies.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      r.dies[i].die = i;
+      r.dies[i].erase_ops = 10 + i;
+    }
+    r.wall_ms = 1.5;
+    r.threads_used = 2;
+    return r;
+  };
+  fleet::FleetReport a = mk(2);
+  a.merge(mk(3));
+  ASSERT_EQ(a.dies.size(), 5u);
+  EXPECT_EQ(a.dies[4].die, 4u);       // reindexed past the first batch
+  EXPECT_EQ(a.dies[4].erase_ops, 12u);  // row content preserved
+  EXPECT_DOUBLE_EQ(a.wall_ms, 3.0);
+}
+
+}  // namespace
+}  // namespace flashmark

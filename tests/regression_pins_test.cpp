@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
 #include "mcu/device.hpp"
 
 namespace flashmark {
@@ -158,6 +159,20 @@ TEST(CalibrationPins, DeterministicDieFingerprint) {
   Device again(DeviceConfig::msp430f5438(), 0xF00D);
   EXPECT_FLOAT_EQ(again.array().cell(0, 0).tte_fresh_us(), pin0);
   EXPECT_FLOAT_EQ(again.array().cell(0, 4095).susceptibility(), pin1);
+}
+
+TEST(CalibrationPins, FleetSeedDerivation) {
+  // The multi-die benches derive every die seed from (master seed, die
+  // index) via fleet::derive_die_seed (SplitMix64 -> SipHash). Pin the
+  // mapping for the bench master seed 0xF1A50001: if this changes, every
+  // fleet die re-rolls and all multi-die CSVs silently shift. Values
+  // recorded from the calibrated build; see file header before updating.
+  constexpr std::uint64_t kBenchMaster = 0xF1A5'0001;
+  EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 0),
+            fleet::derive_die_seed(kBenchMaster, 0));
+  EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 0), 0x320029e3aafbff04ull);
+  EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 1), 0x863352d0c7a8eefbull);
+  EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 23), 0x8a66475c43b17e80ull);
 }
 
 }  // namespace
