@@ -41,7 +41,7 @@ struct DieVote {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv, {{"--lot", true}});
   std::size_t lot = 8;
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], "--lot") == 0)

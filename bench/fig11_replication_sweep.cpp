@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--asymmetric") == 0) asymmetric = true;
     if (std::strcmp(argv[i], "--ecc") == 0) with_ecc = true;
   }
-  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv,
+      {{"--asymmetric"}, {"--ecc"}});
   const VoteMode mode = asymmetric ? VoteMode::kAsymmetric : VoteMode::kMajority;
 
   // 512-bit payload (64 ASCII chars), 7 replicas = 3584 of 4096 cells.

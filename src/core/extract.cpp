@@ -24,14 +24,43 @@ ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
   ExtractResult result;
   result.round_bits.reserve(static_cast<std::size_t>(opts.rounds));
 
+  std::uint32_t budget = opts.max_retries;
   for (int r = 0; r < opts.rounds; ++r) {
-    if (opts.accelerated_erase)
-      hal.erase_segment_auto(base);   // all cells read as 1s
-    else
-      hal.erase_segment(base);
-    hal.program_block(base, zeros);   // all cells read as 0s
-    hal.partial_erase_segment(base, opts.t_pew);
-    result.round_bits.push_back(analyze_segment(hal, base, opts.n_reads).bitmap);
+    // A round is restartable by construction: its leading erase resets the
+    // segment, so a power-loss abort anywhere inside the round is repaired
+    // by running the whole round again (bounded by max_retries).
+    for (;;) {
+      try {
+        if (opts.accelerated_erase)
+          hal.erase_segment_auto(base);   // all cells read as 1s
+        else
+          hal.erase_segment(base);
+        hal.program_block(base, zeros);   // all cells read as 0s
+        if (opts.verify_program) {
+          // Read-back verification of the program step: any word still
+          // holding erased bits missed (part of) its pulse — re-issue it
+          // once. One pass only: a cell that stays 1 after the re-pulse is
+          // stuck, and repeating would spin forever.
+          for (std::size_t w = 0; w < n_words; ++w) {
+            const Addr wa = base + static_cast<Addr>(w * g.word_bytes);
+            if (hal.read_word(wa) != 0x0000) {
+              hal.program_word(wa, 0x0000);
+              ++result.reprogrammed_words;
+            }
+          }
+        }
+        hal.partial_erase_segment(base, opts.t_pew);
+        result.round_bits.push_back(
+            analyze_segment(hal, base, opts.n_reads).bitmap);
+        break;
+      } catch (const TransientFlashError& e) {
+        if (budget == 0)
+          throw RetryExhaustedError("extract round", opts.max_retries + 1,
+                                    e.what());
+        --budget;
+        ++result.retries;
+      }
+    }
   }
 
   if (opts.rounds == 1) {
@@ -45,7 +74,21 @@ ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
     }
   }
 
-  if (opts.final_erase) hal.erase_segment(base);
+  if (opts.final_erase) {
+    for (;;) {
+      try {
+        hal.erase_segment(base);
+        break;
+      } catch (const TransientFlashError& e) {
+        // The bitmap is already recovered; only the cleanup erase failed.
+        if (budget == 0)
+          throw RetryExhaustedError("extract final erase",
+                                    opts.max_retries + 1, e.what());
+        --budget;
+        ++result.retries;
+      }
+    }
+  }
   result.elapsed = hal.now() - start;
   return result;
 }

@@ -33,12 +33,25 @@ struct ExtractOptions {
   /// Erase the segment after the last round so it is not left in the
   /// undefined post-abort state.
   bool final_erase = false;
+  /// Transient-fault retry budget for the whole extraction (power-loss
+  /// aborts from a degraded device, see src/fault). A failed round is
+  /// restarted from its leading erase, so retries cannot skew the vote.
+  /// 0 = fail fast; exhaustion throws RetryExhaustedError.
+  std::uint32_t max_retries = 0;
+  /// Verify the all-zeros program step of each round by reading the segment
+  /// back and re-pulsing any word that kept erased bits (one corrective
+  /// pass — a dropped program pulse would otherwise masquerade as a block
+  /// of stressed-free "good" cells). Stuck-at-1 cells stay wrong after the
+  /// re-pulse; those are the ECC layer's job.
+  bool verify_program = false;
 };
 
 struct ExtractResult {
   BitVec bits;                      ///< extracted bitmap (1 = good cell)
   std::vector<BitVec> round_bits;   ///< per-round bitmaps
   SimTime elapsed;
+  std::uint64_t retries = 0;            ///< transient-fault retries consumed
+  std::uint64_t reprogrammed_words = 0; ///< words re-pulsed by verify_program
 };
 
 /// Extract the watermark bitmap of the segment at `addr`.

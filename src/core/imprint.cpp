@@ -35,16 +35,40 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
   report.npe = opts.npe;
   report.accelerated = opts.accelerated;
 
+  // Bounded retry around a unit of work: a TransientFlashError (power-loss
+  // abort) consumes budget and the unit is reissued; both the P/E loop cycle
+  // and the batch-wear call are idempotent-enough units (re-running only adds
+  // stress, and stress is the watermark). Exhaustion surfaces as a
+  // structured RetryExhaustedError for fleet-level classification.
+  std::uint32_t budget = opts.max_retries;
+  auto with_retry = [&](const char* op, auto&& unit) {
+    for (;;) {
+      try {
+        unit();
+        return;
+      } catch (const TransientFlashError& e) {
+        if (budget == 0)
+          throw RetryExhaustedError(op, opts.max_retries + 1, e.what());
+        --budget;
+        ++report.retries;
+      }
+    }
+  };
+
   if (opts.strategy == ImprintStrategy::kBatchWear) {
-    hal.wear_segment(base, static_cast<double>(opts.npe), &pattern);
+    with_retry("imprint wear_segment", [&] {
+      hal.wear_segment(base, static_cast<double>(opts.npe), &pattern);
+    });
   } else {
     const auto words = pattern_to_words(g, seg, pattern);
     for (std::uint32_t cycle = 0; cycle < opts.npe; ++cycle) {
-      if (opts.accelerated)
-        hal.erase_segment_auto(base);
-      else
-        hal.erase_segment(base);
-      hal.program_block(base, words);
+      with_retry("imprint cycle", [&] {
+        if (opts.accelerated)
+          hal.erase_segment_auto(base);
+        else
+          hal.erase_segment(base);
+        hal.program_block(base, words);
+      });
     }
   }
 

@@ -29,9 +29,16 @@ enum class ImprintStrategy : std::uint8_t { kLoop, kBatchWear };
 struct ImprintOptions {
   std::uint32_t npe = 40'000;  ///< P/E stress cycles
   /// Exit each erase as soon as the segment verifies erased instead of
-  /// running the nominal erase time (§V "accelerated imprint").
+  /// running the nominal erase time (§V "accelerated imprint"). Doubles as
+  /// the imprint loop's erase *verification*: an undershot pulse is detected
+  /// and extended rather than silently accepted.
   bool accelerated = false;
   ImprintStrategy strategy = ImprintStrategy::kLoop;
+  /// Transient-fault retry budget for the whole imprint (power-loss aborts
+  /// from a degraded device, see src/fault). 0 = fail fast: the first
+  /// TransientFlashError propagates. When the budget is exhausted a
+  /// RetryExhaustedError is thrown instead.
+  std::uint32_t max_retries = 0;
 };
 
 struct ImprintReport {
@@ -39,6 +46,7 @@ struct ImprintReport {
   SimTime elapsed;            ///< simulated imprint time
   SimTime mean_cycle_time;    ///< elapsed / npe
   bool accelerated = false;
+  std::uint64_t retries = 0;  ///< transient-fault retries consumed
 };
 
 /// Imprint `pattern` (one bit per cell of the segment at `addr`; bit 0 =>

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/ecc.hpp"
+
 namespace flashmark {
 
 const char* to_string(Verdict v) {
@@ -15,12 +17,18 @@ const char* to_string(Verdict v) {
   return "unknown";
 }
 
+std::size_t WatermarkSpec::inner_bits() const {
+  const std::size_t signed_bits = kFieldsBits + (key ? kSignatureBits : 0);
+  return ecc ? hamming15_encoded_bits(signed_bits) : signed_bits;
+}
+
 EncodedWatermark encode_watermark(const WatermarkSpec& spec,
                                   std::size_t segment_cells) {
   EncodedWatermark e;
   const BitVec packed = pack_fields(spec.fields);
   e.signed_payload = spec.key ? sign_watermark(*spec.key, packed) : packed;
-  e.replica = dual_rail_encode(e.signed_payload);
+  e.replica = dual_rail_encode(spec.ecc ? hamming15_encode(e.signed_payload)
+                                        : e.signed_payload);
   e.layout = ReplicaLayout{e.replica.size(), spec.n_replicas};
   e.segment_pattern =
       replicate_pattern(e.replica, spec.n_replicas, segment_cells);
@@ -36,6 +44,7 @@ ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
   opts.npe = spec.npe;
   opts.accelerated = spec.accelerated;
   opts.strategy = spec.strategy;
+  opts.max_retries = spec.max_retries;
   return imprint_flashmark(hal, g.segment_base(seg), e.segment_pattern, opts);
 }
 
@@ -47,9 +56,12 @@ VerifyReport verify_watermark(FlashHal& hal, Addr addr,
   eo.n_reads = opts.n_reads;
   eo.rounds = opts.rounds;
   eo.accelerated_erase = opts.accelerated_erase;
+  eo.max_retries = opts.max_retries;
+  eo.verify_program = opts.verify_program;
   const ExtractResult ext = extract_flashmark(hal, addr, eo);
   VerifyReport report = judge_extracted_bits(ext.bits, opts);
   report.extract_time = ext.elapsed;
+  report.retries = ext.retries;
   return report;
 }
 
@@ -57,10 +69,14 @@ VerifyReport judge_extracted_bits(const BitVec& extracted,
                                   const VerifyOptions& opts) {
   VerifyReport report;
 
-  // 2. Replica layout implied by the verify options.
-  const std::size_t payload_bits =
+  // 2. Replica layout implied by the verify options. With ECC the dual-rail
+  // stream carries the Hamming-expanded payload, so the layout grows by the
+  // same 15/11 factor the manufacturer's encoder applied.
+  const std::size_t signed_bits =
       kFieldsBits + (opts.key ? kSignatureBits : 0);
-  const ReplicaLayout layout{payload_bits * 2, opts.n_replicas};
+  const std::size_t inner_bits =
+      opts.ecc ? hamming15_encoded_bits(signed_bits) : signed_bits;
+  const ReplicaLayout layout{inner_bits * 2, opts.n_replicas};
   if (layout.used_bits() > extracted.size())
     throw std::invalid_argument(
         "judge_extracted_bits: replicas exceed segment size");
@@ -90,7 +106,15 @@ VerifyReport judge_extracted_bits(const BitVec& extracted,
   const double pair_frac =
       static_cast<double>(rails.invalid_00) /
       static_cast<double>(rails.payload.size());
-  const BitVec soft_payload = soft_decode_dual_rail(extracted, layout);
+  BitVec soft_payload = soft_decode_dual_rail(extracted, layout);
+  if (opts.ecc) {
+    // ECC-assisted recovery: the soft vote leaves at most a few residual
+    // errors (stuck cells, persistently-fast columns); single-error
+    // correction per 15-bit block absorbs them before the signature gate.
+    const HammingDecode hd = hamming15_decode(soft_payload, signed_bits);
+    report.ecc_corrected_blocks = hd.corrected_blocks;
+    soft_payload = hd.payload;
+  }
 
   // 5. Signature / CRC.
   std::optional<WatermarkFields> fields;
@@ -135,9 +159,11 @@ TpewTuneResult auto_tune_tpew(FlashHal& hal, Addr addr,
                               SimTime hi, SimTime step) {
   if (step <= SimTime{} || hi < lo)
     throw std::invalid_argument("auto_tune_tpew: bad sweep range");
-  const std::size_t payload_bits =
+  const std::size_t signed_bits =
       kFieldsBits + (base.key ? kSignatureBits : 0);
-  const ReplicaLayout layout{payload_bits * 2, base.n_replicas};
+  const std::size_t inner_bits =
+      base.ecc ? hamming15_encoded_bits(signed_bits) : signed_bits;
+  const ReplicaLayout layout{inner_bits * 2, base.n_replicas};
 
   TpewTuneResult best;
   bool first = true;

@@ -42,11 +42,22 @@ struct WatermarkSpec {
   std::uint32_t npe = 60'000;
   ImprintStrategy strategy = ImprintStrategy::kLoop;
   bool accelerated = true;  ///< premature-exit erases during imprint
+  /// Hamming(15,11)-protect the signed payload before dual-rail encoding
+  /// (same layering as ExtendedSpec::ecc). Costs ~36% more cells per
+  /// replica but corrects one residual error per 15-bit block after the
+  /// replica vote — the margin that keeps stuck cells and pulse-failure
+  /// erasures decodable on degraded dies. Verification must set the
+  /// matching VerifyOptions::ecc.
+  bool ecc = false;
+  /// Transient-fault retry budget for the imprint (ImprintOptions).
+  std::uint32_t max_retries = 0;
 
-  /// Bits of one replica after signing and dual-rail encoding.
-  std::size_t replica_bits() const {
-    return (kFieldsBits + (key ? kSignatureBits : 0)) * 2;
-  }
+  /// Bits of the stream fed to the dual-rail encoder (after signing and
+  /// optional ECC expansion).
+  std::size_t inner_bits() const;
+
+  /// Bits of one replica after signing, ECC and dual-rail encoding.
+  std::size_t replica_bits() const { return inner_bits() * 2; }
 };
 
 struct EncodedWatermark {
@@ -77,6 +88,15 @@ struct VerifyOptions {
   int n_reads = 1;
   int rounds = 1;
   bool accelerated_erase = false;
+  /// Must match the manufacturer's WatermarkSpec::ecc: the replica layout
+  /// changes with the ECC expansion, and decoding runs the Hamming layer
+  /// between the dual-rail decode and the signature check.
+  bool ecc = false;
+  /// Transient-fault retry budget passed to extraction (ExtractOptions).
+  std::uint32_t max_retries = 0;
+  /// Read-back verification of each extraction round's program step
+  /// (ExtractOptions::verify_program).
+  bool verify_program = false;
   /// Below this fraction of stressed (0) bits in the watermark region the
   /// chip is declared kNoWatermark (a real watermark is ~50% by
   /// construction of the dual-rail code).
@@ -105,6 +125,12 @@ struct VerifyReport {
   double zero_fraction = 0.0;         ///< stress contrast in watermark region
   double replica_disagreement = 0.0;  ///< replica consistency (0 = perfect)
   SimTime extract_time;
+  /// Hamming blocks repaired on the way to the verdict (ECC-assisted
+  /// recovery; only nonzero with VerifyOptions::ecc). A genuine verdict
+  /// with corrections is a *degraded* die, not a clean one — the fleet
+  /// layer reports the distinction.
+  std::size_t ecc_corrected_blocks = 0;
+  std::uint64_t retries = 0;          ///< extraction retries consumed
 };
 
 /// System-integrator flow: extract, decode, and judge the chip at `addr`.

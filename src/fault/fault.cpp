@@ -1,0 +1,241 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+namespace flashmark::fault {
+
+FaultPlan FaultPlan::for_die(const FaultConfig& cfg, std::uint64_t die_seed,
+                             const FlashGeometry& geometry) {
+  FaultPlan plan;
+  plan.cfg_ = cfg;
+
+  // One private stream per die, decorrelated from the manufacturing-
+  // variation streams by the tag (FlashArray splits on small segment
+  // indices; kFaultStreamTag is far outside that range). Stuck cells are
+  // drawn first from the same stream, then the remainder becomes the
+  // per-operation event stream.
+  Rng stream = Rng(die_seed).split(kFaultStreamTag);
+
+  const std::size_t bpw = geometry.bits_per_word();
+  auto pin_cells = [&](double per_segment, bool stuck_at1) {
+    if (per_segment <= 0.0) return;
+    for (std::size_t seg = 0; seg < geometry.n_main_segments(); ++seg) {
+      const std::uint64_t n = stream.poisson(per_segment);
+      const std::size_t cells = geometry.segment_cells(seg);
+      const Addr base = geometry.segment_base(seg);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t cell = stream.uniform_u64(cells);
+        const Addr word_addr =
+            base + static_cast<Addr>(cell / bpw * geometry.word_bytes);
+        const auto bit = static_cast<std::uint16_t>(1u << (cell % bpw));
+        auto& masks = plan.stuck_
+                          .try_emplace(word_addr, std::uint16_t{0xFFFF},
+                                       std::uint16_t{0x0000})
+                          .first->second;
+        if (stuck_at1)
+          masks.second |= bit;
+        else
+          masks.first &= static_cast<std::uint16_t>(~bit);
+        ++plan.n_stuck_;
+      }
+    }
+  };
+  pin_cells(cfg.stuck_at0_per_segment, /*stuck_at1=*/false);
+  pin_cells(cfg.stuck_at1_per_segment, /*stuck_at1=*/true);
+
+  plan.events_ = stream;
+  return plan;
+}
+
+std::pair<std::uint16_t, std::uint16_t> FaultPlan::stuck_masks(
+    Addr addr) const {
+  const auto it = stuck_.find(addr);
+  if (it == stuck_.end()) return {0xFFFF, 0x0000};
+  return it->second;
+}
+
+bool FaultyHal::draw_power_loss() {
+  const FaultConfig& cfg = plan_.config();
+  if (cfg.power_loss_p <= 0.0 ||
+      counters_.power_losses >= cfg.max_power_losses)
+    return false;
+  if (!plan_.events().bernoulli(cfg.power_loss_p)) return false;
+  ++counters_.power_losses;
+  return true;
+}
+
+SimTime FaultyHal::draw_erase_pulse(SimTime t) {
+  const FaultConfig& cfg = plan_.config();
+  if (cfg.erase_fail_p > 0.0 && plan_.events().bernoulli(cfg.erase_fail_p)) {
+    ++counters_.erase_fails;
+    return SimTime::ns(static_cast<std::int64_t>(
+        static_cast<double>(t.as_ns()) * cfg.erase_fail_fraction));
+  }
+  return t;
+}
+
+void FaultyHal::erase_segment(Addr addr) {
+  const SimTime nominal = timing().t_erase_segment;
+  if (draw_power_loss()) {
+    // Power dropped partway through the pulse: deliver a random fraction of
+    // the nominal erase time, then surface the abort.
+    const double frac = plan_.events().uniform();
+    inner_.partial_erase_segment(
+        addr, SimTime::ns(static_cast<std::int64_t>(
+                  static_cast<double>(nominal.as_ns()) * frac)));
+    throw PowerLossError("erase_segment");
+  }
+  const SimTime pulse = draw_erase_pulse(nominal);
+  if (pulse == nominal)
+    inner_.erase_segment(addr);
+  else
+    inner_.partial_erase_segment(addr, pulse);  // silent undershoot
+}
+
+SimTime FaultyHal::erase_segment_auto(Addr addr) {
+  if (draw_power_loss()) {
+    const double frac = plan_.events().uniform();
+    const SimTime pulse = SimTime::ns(static_cast<std::int64_t>(
+        static_cast<double>(timing().t_erase_segment.as_ns()) * frac));
+    inner_.partial_erase_segment(addr, pulse);
+    throw PowerLossError("erase_segment_auto");
+  }
+  const FaultConfig& cfg = plan_.config();
+  if (cfg.erase_fail_p > 0.0 && plan_.events().bernoulli(cfg.erase_fail_p)) {
+    // The verify logic of the auto-erase is what fails: the pulse exits far
+    // too early and reports the undershot time it used.
+    ++counters_.erase_fails;
+    const SimTime pulse = SimTime::ns(static_cast<std::int64_t>(
+        static_cast<double>(timing().t_erase_segment.as_ns()) *
+        cfg.erase_fail_fraction));
+    inner_.partial_erase_segment(addr, pulse);
+    return pulse;
+  }
+  return inner_.erase_segment_auto(addr);
+}
+
+void FaultyHal::partial_erase_segment(Addr addr, SimTime t_pe) {
+  if (draw_power_loss()) {
+    const double frac = plan_.events().uniform();
+    inner_.partial_erase_segment(
+        addr, SimTime::ns(static_cast<std::int64_t>(
+                  static_cast<double>(t_pe.as_ns()) * frac)));
+    throw PowerLossError("partial_erase_segment");
+  }
+  inner_.partial_erase_segment(addr, draw_erase_pulse(t_pe));
+}
+
+void FaultyHal::program_word(Addr addr, std::uint16_t value) {
+  if (draw_power_loss()) {
+    // A truncated program pulse leaves the cells partially charged.
+    const double frac = plan_.events().uniform();
+    inner_.partial_program_word(
+        addr, value,
+        SimTime::ns(static_cast<std::int64_t>(
+            static_cast<double>(timing().t_prog_word.as_ns()) * frac)));
+    throw PowerLossError("program_word");
+  }
+  const FaultConfig& cfg = plan_.config();
+  if (cfg.program_fail_p > 0.0 &&
+      plan_.events().bernoulli(cfg.program_fail_p)) {
+    // Dropped pulse: programming 0xFFFF clears no bits — the word is
+    // untouched but the command time is still spent.
+    ++counters_.program_fails;
+    inner_.program_word(addr, 0xFFFF);
+    return;
+  }
+  inner_.program_word(addr, value);
+}
+
+void FaultyHal::partial_program_word(Addr addr, std::uint16_t value,
+                                     SimTime t_prog) {
+  if (draw_power_loss()) {
+    const double frac = plan_.events().uniform();
+    inner_.partial_program_word(
+        addr, value,
+        SimTime::ns(static_cast<std::int64_t>(
+            static_cast<double>(t_prog.as_ns()) * frac)));
+    throw PowerLossError("partial_program_word");
+  }
+  const FaultConfig& cfg = plan_.config();
+  if (cfg.program_fail_p > 0.0 &&
+      plan_.events().bernoulli(cfg.program_fail_p)) {
+    ++counters_.program_fails;
+    inner_.partial_program_word(addr, 0xFFFF, t_prog);
+    return;
+  }
+  inner_.partial_program_word(addr, value, t_prog);
+}
+
+void FaultyHal::program_block(Addr addr,
+                              const std::vector<std::uint16_t>& words) {
+  if (draw_power_loss()) {
+    // The block write stops after a random word count; everything before
+    // the cut was committed, everything after never happened.
+    const std::uint64_t cut = plan_.events().uniform_u64(words.size() + 1);
+    if (cut > 0)
+      inner_.program_block(
+          addr, std::vector<std::uint16_t>(words.begin(),
+                                           words.begin() +
+                                               static_cast<long>(cut)));
+    throw PowerLossError("program_block");
+  }
+  const FaultConfig& cfg = plan_.config();
+  if (cfg.program_fail_p <= 0.0) {
+    inner_.program_block(addr, words);
+    return;
+  }
+  // Per-word pulse-drop draws. A dropped word becomes 0xFFFF (clears no
+  // bits), so the block command shape — and its amortized timing — is
+  // preserved while the cell contents miss the update.
+  std::vector<std::uint16_t> delivered = words;
+  for (auto& w : delivered) {
+    if (plan_.events().bernoulli(cfg.program_fail_p)) {
+      ++counters_.program_fails;
+      w = 0xFFFF;
+    }
+  }
+  inner_.program_block(addr, delivered);
+}
+
+std::uint16_t FaultyHal::read_word(Addr addr) {
+  std::uint16_t v = inner_.read_word(addr);
+  const FaultConfig& cfg = plan_.config();
+
+  // Transient noise burst: once triggered, the next `read_burst_len` reads
+  // (this one included) flip bits independently.
+  if (burst_reads_left_ == 0 && cfg.read_burst_p > 0.0 &&
+      plan_.events().bernoulli(cfg.read_burst_p)) {
+    burst_reads_left_ = std::max<std::uint32_t>(1, cfg.read_burst_len);
+    ++counters_.noise_bursts;
+  }
+  if (burst_reads_left_ > 0) {
+    --burst_reads_left_;
+    const std::size_t bits = geometry().bits_per_word();
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (plan_.events().bernoulli(cfg.read_burst_flip_p)) {
+        v ^= static_cast<std::uint16_t>(1u << b);
+        ++counters_.noise_bits;
+      }
+    }
+  }
+
+  // Stuck cells win over everything — they are physical, not transient.
+  const auto [and_mask, or_mask] = plan_.stuck_masks(addr);
+  const auto pinned = static_cast<std::uint16_t>((v & and_mask) | or_mask);
+  if (pinned != v) ++counters_.stuck_reads;
+  return pinned;
+}
+
+void FaultyHal::wear_segment(Addr addr, double cycles, const BitVec* pattern) {
+  if (draw_power_loss()) {
+    // The batch-wear accelerator stands in for a long real-world loop, so a
+    // power loss lands a random fraction of the cycles before aborting.
+    const double frac = plan_.events().uniform();
+    if (frac > 0.0) inner_.wear_segment(addr, cycles * frac, pattern);
+    throw PowerLossError("wear_segment");
+  }
+  inner_.wear_segment(addr, cycles, pattern);
+}
+
+}  // namespace flashmark::fault

@@ -1,0 +1,194 @@
+// Deterministic fault injection — exercising the pipelines against the
+// misbehaving silicon the paper is actually about.
+//
+// The whole premise of Flashmark is that counterfeit and recycled dies
+// *misbehave*: stuck cells, weak pulses, marginal supplies. A detection
+// pipeline that only ever saw healthy simulated silicon has never earned the
+// "survives degraded cells" claim the related watermarking work stresses
+// (Watermarked ReRAM, NAND-PUF disturbance studies). This layer injects that
+// misbehavior reproducibly:
+//
+//   * FaultConfig  — the fault *profile*: rates and intensities.
+//   * FaultPlan    — the fault *instance* for one die: concrete stuck cells
+//                    and a private event RNG stream, derived purely from
+//                    (config, die seed, geometry). Same inputs, same faults,
+//                    on every platform and thread count — the fleet
+//                    determinism contract (docs/REPRODUCIBILITY.md) extends
+//                    to faulted runs unchanged.
+//   * FaultyHal    — a FlashHal decorator applying the plan: stuck-at-0/1
+//                    cells pin read bits, read-noise bursts flip them
+//                    transiently, erase/program pulses fail silently
+//                    (undershoot / drop), and power-loss events abort a
+//                    mutating operation mid-flight with TransientFlashError.
+//
+// Consumers survive the injected faults with bounded retry
+// (ImprintOptions/ExtractOptions::max_retries), read-back verification
+// (ExtractOptions::verify_program) and ECC (WatermarkSpec/VerifyOptions::
+// ecc); the fleet layer classifies the outcome per die (clean / degraded /
+// failed) instead of aborting the batch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "flash/geometry.hpp"
+#include "flash/hal.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark::fault {
+
+/// Power dropped mid-operation. The affected cells keep whatever partial
+/// charge the truncated pulse left; software sees the exception and — if it
+/// has retry budget — reissues the work after "power returns".
+class PowerLossError : public TransientFlashError {
+ public:
+  explicit PowerLossError(const std::string& op)
+      : TransientFlashError("power loss during " + op) {}
+};
+
+/// Fault profile: rates and intensities, no die-specific state. A profile
+/// with every rate at zero is inert (FaultyHal passes straight through).
+struct FaultConfig {
+  // -- permanent cell defects (drawn once per die by FaultPlan) ------------
+  /// Expected stuck-at-0 cells per main segment (Poisson-distributed).
+  double stuck_at0_per_segment = 0.0;
+  /// Expected stuck-at-1 cells per main segment (Poisson-distributed).
+  double stuck_at1_per_segment = 0.0;
+
+  // -- transient read noise ------------------------------------------------
+  /// Probability that a word read starts a noise burst.
+  double read_burst_p = 0.0;
+  /// Word reads affected once a burst starts (including the triggering one).
+  std::uint32_t read_burst_len = 32;
+  /// Per-bit flip probability while a burst is active.
+  double read_burst_flip_p = 0.02;
+
+  // -- pulse failures (silent, caught by verify/vote/ECC) ------------------
+  /// Probability an erase pulse (full, auto or partial) undershoots: only
+  /// `erase_fail_fraction` of the requested pulse time is delivered.
+  double erase_fail_p = 0.0;
+  double erase_fail_fraction = 0.25;
+  /// Probability a program-word pulse drops entirely (cell unchanged). In
+  /// block mode the draw is per word.
+  double program_fail_p = 0.0;
+
+  // -- power-loss aborts (loud: TransientFlashError) -----------------------
+  /// Probability a mutating operation aborts mid-flight with
+  /// PowerLossError after delivering a random fraction of its effect.
+  double power_loss_p = 0.0;
+  /// Injection stops after this many power losses on the die, so a bounded
+  /// retry budget can always make progress. Raise it (with max_retries low)
+  /// to exercise retry exhaustion.
+  std::uint32_t max_power_losses = 2;
+
+  /// True if any fault mechanism is enabled.
+  bool any() const {
+    return stuck_at0_per_segment > 0.0 || stuck_at1_per_segment > 0.0 ||
+           read_burst_p > 0.0 || erase_fail_p > 0.0 || program_fail_p > 0.0 ||
+           power_loss_p > 0.0;
+  }
+};
+
+/// Injection totals for one die. Observability only: the simulation never
+/// reads these back (same write-only rule as FlashOpCounters).
+struct FaultCounters {
+  std::uint64_t stuck_cells = 0;     ///< cells pinned by the plan (static)
+  std::uint64_t stuck_reads = 0;     ///< reads where a stuck mask changed bits
+  std::uint64_t noise_bursts = 0;    ///< read-noise bursts started
+  std::uint64_t noise_bits = 0;      ///< bits flipped by bursts
+  std::uint64_t erase_fails = 0;     ///< undershot erase pulses
+  std::uint64_t program_fails = 0;   ///< dropped program-word pulses
+  std::uint64_t power_losses = 0;    ///< aborted operations
+
+  /// Injected fault *events* (everything except the static stuck_cells
+  /// inventory) — what DieCounters::faults_injected aggregates.
+  std::uint64_t events() const {
+    return stuck_reads + noise_bursts + erase_fails + program_fails +
+           power_losses;
+  }
+};
+
+/// The concrete faults of one die: stuck-cell masks plus the private RNG
+/// stream all per-operation event draws come from.
+///
+/// Determinism: for_die derives everything from (config, die_seed, geometry)
+/// through the repo's own generators — the stream is
+/// Rng(die_seed).split(kFaultStreamTag), decorrelated from the die's
+/// manufacturing-variation streams (FlashArray uses small segment-index
+/// tags). Because one FaultyHal serves one die on one thread, the event
+/// sequence is a pure function of the die's operation sequence, and faulted
+/// batches stay bitwise thread-count-invariant.
+class FaultPlan {
+ public:
+  /// Stream tag reserved for fault plans (far above any segment index).
+  static constexpr std::uint64_t kFaultStreamTag = 0xFA017'F417ull;
+
+  /// Build the plan of die `die_seed` under profile `cfg`.
+  static FaultPlan for_die(const FaultConfig& cfg, std::uint64_t die_seed,
+                           const FlashGeometry& geometry);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// (clear-mask, set-mask) for the word at `addr`: stuck-at-0 bits are
+  /// cleared, stuck-at-1 bits are set. Identity masks when no cell of the
+  /// word is stuck.
+  std::pair<std::uint16_t, std::uint16_t> stuck_masks(Addr addr) const;
+
+  /// Number of stuck cells drawn for this die.
+  std::uint64_t stuck_cells() const { return n_stuck_; }
+
+  /// The per-operation event stream (consumed by FaultyHal).
+  Rng& events() { return events_; }
+
+ private:
+  FaultConfig cfg_;
+  // word address -> (and-mask for stuck-at-0, or-mask for stuck-at-1)
+  std::map<Addr, std::pair<std::uint16_t, std::uint16_t>> stuck_;
+  std::uint64_t n_stuck_ = 0;
+  Rng events_{0};
+};
+
+/// FlashHal decorator applying a FaultPlan to every operation. Owns its plan
+/// (one FaultyHal == one die's degraded front end); the inner HAL must
+/// outlive it.
+class FaultyHal final : public FlashHal {
+ public:
+  FaultyHal(FlashHal& inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)) {
+    counters_.stuck_cells = plan_.stuck_cells();
+  }
+
+  const FlashGeometry& geometry() const override { return inner_.geometry(); }
+  const FlashTiming& timing() const override { return inner_.timing(); }
+  SimTime now() const override { return inner_.now(); }
+
+  void erase_segment(Addr addr) override;
+  SimTime erase_segment_auto(Addr addr) override;
+  void partial_erase_segment(Addr addr, SimTime t_pe) override;
+  void program_word(Addr addr, std::uint16_t value) override;
+  void partial_program_word(Addr addr, std::uint16_t value,
+                            SimTime t_prog) override;
+  void program_block(Addr addr,
+                     const std::vector<std::uint16_t>& words) override;
+  std::uint16_t read_word(Addr addr) override;
+  void wear_segment(Addr addr, double cycles,
+                    const BitVec* pattern = nullptr) override;
+
+  const FaultCounters& counters() const { return counters_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Draw a power-loss event (bounded by config().max_power_losses).
+  bool draw_power_loss();
+  /// Draw an erase undershoot; returns the delivered pulse time (== t when
+  /// the pulse is healthy).
+  SimTime draw_erase_pulse(SimTime t);
+
+  FlashHal& inner_;
+  FaultPlan plan_;
+  FaultCounters counters_;
+  std::uint32_t burst_reads_left_ = 0;
+};
+
+}  // namespace flashmark::fault

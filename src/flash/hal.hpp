@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "flash/controller.hpp"
@@ -30,6 +31,39 @@ class FlashHalError : public std::runtime_error {
 
  private:
   FlashStatus status_;
+};
+
+/// A transient, retryable device failure: the command was legal but the
+/// hardware dropped it mid-flight (brown-out, power-loss abort, supply
+/// glitch). Unlike FlashHalError this is NOT a programming error — consumers
+/// with a retry budget (ImprintOptions/ExtractOptions `max_retries`) catch
+/// it and reissue the work. Raised today by the fault-injection layer
+/// (src/fault); a real driver would map its power-fail interrupt here.
+class TransientFlashError : public std::runtime_error {
+ public:
+  explicit TransientFlashError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by a retrying consumer once its transient-fault budget is spent.
+/// Carries the failing operation and the attempt count so fleet-level
+/// reporting can classify the die (FailureReason::kRetryExhausted) instead
+/// of parsing a message string.
+class RetryExhaustedError : public std::runtime_error {
+ public:
+  RetryExhaustedError(const std::string& op, std::uint32_t attempts,
+                      const std::string& last_error)
+      : std::runtime_error(op + ": retry budget exhausted after " +
+                           std::to_string(attempts) + " attempt(s): " +
+                           last_error),
+        op_(op),
+        attempts_(attempts) {}
+  const std::string& op() const { return op_; }
+  std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  std::string op_;
+  std::uint32_t attempts_;
 };
 
 class FlashHal {

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "fleet/thread_pool.hpp"
@@ -36,7 +37,41 @@ std::uint64_t derive_die_seed(std::uint64_t master_seed,
   return siphash24(key, bytes, sizeof bytes);
 }
 
-FleetOptions parse_cli_options(int argc, char** argv) {
+const char* to_string(DieHealth h) {
+  switch (h) {
+    case DieHealth::kClean: return "clean";
+    case DieHealth::kDegraded: return "degraded";
+    case DieHealth::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(FailureReason r) {
+  switch (r) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kPowerLoss: return "power-loss";
+    case FailureReason::kRetryExhausted: return "retry-exhausted";
+    case FailureReason::kFlashProtocol: return "flash-protocol";
+    case FailureReason::kOther: return "other";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void cli_usage_exit(const char* argv0,
+                                 std::initializer_list<CliFlag> extra) {
+  std::cerr << "usage: " << argv0 << " [--threads N]";
+  for (const CliFlag& f : extra)
+    std::cerr << " [" << f.name << (f.takes_value ? " V]" : "]");
+  std::cerr << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+FleetOptions parse_cli_options(int argc, char** argv,
+                               std::initializer_list<CliFlag> extra) {
   FleetOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
@@ -52,6 +87,27 @@ FleetOptions parse_cli_options(int argc, char** argv) {
       }
       opts.threads = static_cast<unsigned>(v);
       ++i;
+      continue;
+    }
+    // Flags the binary parses itself are skipped here (with their value);
+    // everything else is a typo and must not silently run a default sweep.
+    bool known = false;
+    for (const CliFlag& f : extra) {
+      if (std::strcmp(argv[i], f.name) == 0) {
+        known = true;
+        if (f.takes_value) {
+          if (i + 1 >= argc) {
+            std::cerr << f.name << " requires a value\n";
+            std::exit(2);
+          }
+          ++i;
+        }
+        break;
+      }
+    }
+    if (!known) {
+      std::cerr << "unknown argument '" << argv[i] << "'\n";
+      cli_usage_exit(argv[0], extra);
     }
   }
   return opts;
@@ -68,6 +124,15 @@ void DieCounters::absorb(Device& dev) {
   sim_time += dev.clock().now();
 }
 
+void DieCounters::absorb_faults(const fault::FaultyHal& hal) {
+  faults_injected += hal.counters().events();
+}
+
+void DieCounters::absorb_recovery(const VerifyReport& report) {
+  retries += report.retries;
+  ecc_corrected += report.ecc_corrected_blocks;
+}
+
 DieCounters FleetReport::totals() const {
   DieCounters t;
   t.die = dies.size();
@@ -78,7 +143,15 @@ DieCounters FleetReport::totals() const {
     t.erase_ops += d.erase_ops;
     t.program_ops += d.program_ops;
     t.read_ops += d.read_ops;
+    t.faults_injected += d.faults_injected;
+    t.retries += d.retries;
+    t.ecc_corrected += d.ecc_corrected;
     if (d.failed) t.failed = true;
+    // Worst-of across the batch; the enum is ordered clean < degraded <
+    // failed. The first failure's reason wins (die order, deterministic).
+    if (d.health > t.health) t.health = d.health;
+    if (t.reason == FailureReason::kNone && d.reason != FailureReason::kNone)
+      t.reason = d.reason;
   }
   return t;
 }
@@ -87,6 +160,13 @@ std::size_t FleetReport::failures() const {
   std::size_t n = 0;
   for (const auto& d : dies)
     if (d.failed) ++n;
+  return n;
+}
+
+std::size_t FleetReport::degraded() const {
+  std::size_t n = 0;
+  for (const auto& d : dies)
+    if (d.health == DieHealth::kDegraded) ++n;
   return n;
 }
 
@@ -103,11 +183,14 @@ void FleetReport::merge(const FleetReport& other) {
 
 std::string FleetReport::counters_csv() const {
   std::ostringstream os;
-  os << "die,wall_ms,pe_cycles,sim_ms,erase_ops,program_ops,read_ops,failed\n";
+  os << "die,wall_ms,pe_cycles,sim_ms,erase_ops,program_ops,read_ops,"
+        "faults,retries,ecc_corrected,health,reason,failed\n";
   for (const auto& d : dies) {
     os << d.die << ',' << d.wall_ms << ',' << d.pe_cycles << ','
        << d.sim_time.as_ms() << ',' << d.erase_ops << ',' << d.program_ops
-       << ',' << d.read_ops << ',' << (d.failed ? 1 : 0) << '\n';
+       << ',' << d.read_ops << ',' << d.faults_injected << ',' << d.retries
+       << ',' << d.ecc_corrected << ',' << to_string(d.health) << ','
+       << to_string(d.reason) << ',' << (d.failed ? 1 : 0) << '\n';
   }
   return os.str();
 }
@@ -119,6 +202,10 @@ void FleetReport::print_summary(std::ostream& os) const {
      << " ms), " << t.pe_cycles << " P/E cycles, " << t.erase_ops
      << " erase / " << t.program_ops << " program / " << t.read_ops
      << " read ops, " << t.sim_time.as_sec() << " s simulated";
+  if (t.faults_injected)
+    os << ", " << t.faults_injected << " faults injected (" << t.retries
+       << " retries, " << t.ecc_corrected << " ECC fixes)";
+  if (const std::size_t d = degraded()) os << ", " << d << " degraded";
   if (const std::size_t f = failures()) os << ", " << f << " FAILED";
   os << "\n";
 }
@@ -134,14 +221,31 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
   auto run_one = [&report, &job](std::size_t die) {
     DieCounters& slot = report.dies[die];
     const auto job_t0 = Clock::now();
+    auto fail = [&slot](FailureReason reason, const char* what) {
+      slot.failed = true;
+      slot.health = DieHealth::kFailed;
+      slot.reason = reason;
+      slot.error = what;
+    };
     try {
       job(die, slot);
+      // A job that completed but consumed recovery budget (or had faults
+      // injected) ran on degraded silicon — classify it as such unless the
+      // job already picked a stronger verdict.
+      if (slot.health == DieHealth::kClean &&
+          (slot.retries > 0 || slot.ecc_corrected > 0 ||
+           slot.faults_injected > 0))
+        slot.health = DieHealth::kDegraded;
+    } catch (const RetryExhaustedError& e) {
+      fail(FailureReason::kRetryExhausted, e.what());
+    } catch (const TransientFlashError& e) {
+      fail(FailureReason::kPowerLoss, e.what());
+    } catch (const FlashHalError& e) {
+      fail(FailureReason::kFlashProtocol, e.what());
     } catch (const std::exception& e) {
-      slot.failed = true;
-      slot.error = e.what();
+      fail(FailureReason::kOther, e.what());
     } catch (...) {
-      slot.failed = true;
-      slot.error = "unknown exception";
+      fail(FailureReason::kOther, "unknown exception");
     }
     slot.wall_ms = ms_since(job_t0);
   };
@@ -159,11 +263,27 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
   return report;
 }
 
+namespace {
+
+/// One die's HAL under a fault policy: the plain direct HAL, or a FaultyHal
+/// decorating it when the policy afflicts the die. The decorator (if any)
+/// lives in `storage` so its injection counters outlive the pipeline call.
+FlashHal& policy_hal(Device& dev, std::size_t die, const FaultPolicy& policy,
+                     std::optional<fault::FaultyHal>& storage) {
+  if (!policy.afflicts(die)) return dev.hal();
+  storage.emplace(dev.hal(),
+                  fault::FaultPlan::for_die(policy.config, dev.die_seed(),
+                                            dev.config().geometry));
+  return *storage;
+}
+
+}  // namespace
+
 ImprintBatchResult imprint_batch(
     const DeviceConfig& config, std::uint64_t master_seed, std::size_t n_dies,
     std::size_t segment,
     const std::function<WatermarkSpec(std::size_t)>& spec_of,
-    const FleetOptions& opts) {
+    const FleetOptions& opts, const FaultPolicy& faults) {
   ImprintBatchResult out;
   out.dies.resize(n_dies);
   out.reports.resize(n_dies);
@@ -173,9 +293,21 @@ ImprintBatchResult imprint_batch(
         auto dev = std::make_unique<Device>(config,
                                             derive_die_seed(master_seed, die));
         const Addr addr = dev->config().geometry.segment_base(segment);
-        out.reports[die] = imprint_watermark(dev->hal(), addr, spec_of(die));
-        counters.absorb(*dev);
+        std::optional<fault::FaultyHal> fhal;
+        FlashHal& hal = policy_hal(*dev, die, faults, fhal);
+        // The die must land in its slot even when the imprint aborts —
+        // a power-lost die still exists and can be re-tested.
         out.dies[die] = std::move(dev);
+        try {
+          out.reports[die] = imprint_watermark(hal, addr, spec_of(die));
+          counters.retries += out.reports[die].retries;
+        } catch (...) {
+          counters.absorb(*out.dies[die]);
+          if (fhal) counters.absorb_faults(*fhal);
+          throw;
+        }
+        counters.absorb(*out.dies[die]);
+        if (fhal) counters.absorb_faults(*fhal);
       },
       opts);
   return out;
@@ -183,7 +315,8 @@ ImprintBatchResult imprint_batch(
 
 ExtractBatchResult extract_batch(
     const std::vector<std::unique_ptr<Device>>& dies, std::size_t segment,
-    const ExtractOptions& eo, const FleetOptions& opts) {
+    const ExtractOptions& eo, const FleetOptions& opts,
+    const FaultPolicy& faults) {
   ExtractBatchResult out;
   out.results.resize(dies.size());
   out.fleet = run_dies(
@@ -193,9 +326,20 @@ ExtractBatchResult extract_batch(
         dev.controller().reset_op_counters();
         const SimTime before = dev.clock().now();
         const Addr addr = dev.config().geometry.segment_base(segment);
-        out.results[die] = extract_flashmark(dev.hal(), addr, eo);
+        std::optional<fault::FaultyHal> fhal;
+        FlashHal& hal = policy_hal(dev, die, faults, fhal);
+        try {
+          out.results[die] = extract_flashmark(hal, addr, eo);
+          counters.retries += out.results[die].retries;
+        } catch (...) {
+          counters.absorb(dev);
+          counters.sim_time -= before;
+          if (fhal) counters.absorb_faults(*fhal);
+          throw;
+        }
         counters.absorb(dev);
         counters.sim_time -= before;  // only time advanced by this batch
+        if (fhal) counters.absorb_faults(*fhal);
       },
       opts);
   return out;
@@ -203,7 +347,8 @@ ExtractBatchResult extract_batch(
 
 AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
                              std::size_t segment, const VerifyOptions& vo,
-                             const FleetOptions& opts) {
+                             const FleetOptions& opts,
+                             const FaultPolicy& faults) {
   AuditBatchResult out;
   out.reports.resize(dies.size());
   out.fleet = run_dies(
@@ -213,9 +358,20 @@ AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
         dev.controller().reset_op_counters();
         const SimTime before = dev.clock().now();
         const Addr addr = dev.config().geometry.segment_base(segment);
-        out.reports[die] = verify_watermark(dev.hal(), addr, vo);
+        std::optional<fault::FaultyHal> fhal;
+        FlashHal& hal = policy_hal(dev, die, faults, fhal);
+        try {
+          out.reports[die] = verify_watermark(hal, addr, vo);
+          counters.absorb_recovery(out.reports[die]);
+        } catch (...) {
+          counters.absorb(dev);
+          counters.sim_time -= before;
+          if (fhal) counters.absorb_faults(*fhal);
+          throw;
+        }
         counters.absorb(dev);
         counters.sim_time -= before;  // only time advanced by this batch
+        if (fhal) counters.absorb_faults(*fhal);
       },
       opts);
   return out;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "core/extract.hpp"
 #include "core/watermark.hpp"
+#include "fault/fault.hpp"
 #include "mcu/device.hpp"
 #include "util/sim_time.hpp"
 
@@ -45,10 +47,41 @@ struct FleetOptions {
   unsigned threads = 0;
 };
 
-/// Parse a `--threads N` flag out of argv (shared by the bench/example
-/// binaries). Returns defaults when the flag is absent; exits with a message
-/// on a malformed value.
-FleetOptions parse_cli_options(int argc, char** argv);
+/// A flag a binary accepts on top of the shared fleet flags (so
+/// parse_cli_options can reject everything else).
+struct CliFlag {
+  const char* name;         ///< e.g. "--lot"
+  bool takes_value = false; ///< flag consumes the following argv entry
+};
+
+/// Parse the shared `--threads N` flag out of argv (used by every
+/// bench/example fan-out binary). Arguments named in `extra` are skipped
+/// (the binary parses them itself); anything else is rejected with a usage
+/// line on stderr and exit code 2 — a typo like `--thread 8` must not
+/// silently run the whole sweep single-config. Malformed `--threads` values
+/// also exit 2.
+FleetOptions parse_cli_options(int argc, char** argv,
+                               std::initializer_list<CliFlag> extra = {});
+
+/// How healthy a die's job left it.
+enum class DieHealth : std::uint8_t {
+  kClean = 0,   ///< completed without any recovery activity
+  kDegraded,    ///< completed, but needed retries / ECC / absorbed faults
+  kFailed,      ///< job aborted; `reason` says why
+};
+
+/// Structured failure taxonomy for a failed die — fleet consumers branch on
+/// this instead of parsing `error` strings.
+enum class FailureReason : std::uint8_t {
+  kNone = 0,         ///< not failed
+  kPowerLoss,        ///< un-retried transient fault surfaced (power loss)
+  kRetryExhausted,   ///< retry budget spent (RetryExhaustedError)
+  kFlashProtocol,    ///< device refused a command (FlashHalError)
+  kOther,            ///< any other exception
+};
+
+const char* to_string(DieHealth h);
+const char* to_string(FailureReason r);
 
 /// Per-die observability counters, filled by the job and aggregated by the
 /// batch runner.
@@ -65,12 +98,26 @@ struct DieCounters {
   std::uint64_t erase_ops = 0;    ///< erase pulses (full or partial)
   std::uint64_t program_ops = 0;  ///< program-word pulses
   std::uint64_t read_ops = 0;     ///< word reads
-  bool failed = false;            ///< job threw; `error` holds the message
-  std::string error;
+
+  // --- fault / recovery taxonomy ---------------------------------------
+  std::uint64_t faults_injected = 0;  ///< fault events applied (FaultyHal)
+  std::uint64_t retries = 0;          ///< transient-fault retries consumed
+  std::uint64_t ecc_corrected = 0;    ///< Hamming blocks repaired
+  DieHealth health = DieHealth::kClean;
+  FailureReason reason = FailureReason::kNone;
+  bool failed = false;            ///< == (health == kFailed); kept for CSV
+  std::string error;              ///< human-readable failure detail
 
   /// Pull the controller op counters and the simulated clock from `dev`
   /// into this row. Call at the end of a job, after all device activity.
   void absorb(Device& dev);
+
+  /// Pull the injection counters of a die's FaultyHal into this row (call
+  /// alongside absorb when the job drove a decorated HAL).
+  void absorb_faults(const fault::FaultyHal& hal);
+
+  /// Fold a verification report's recovery activity into this row.
+  void absorb_recovery(const VerifyReport& report);
 };
 
 /// Result of one batch run: per-die counter rows plus batch-level totals.
@@ -86,13 +133,17 @@ struct FleetReport {
   /// Number of failed slots.
   std::size_t failures() const;
 
+  /// Number of degraded (completed-with-recovery) slots.
+  std::size_t degraded() const;
+
   /// Merge another report's rows and wall time into this one (used by
   /// benches that run several batches but want one summary).
   void merge(const FleetReport& other);
 
   /// Per-die rows as CSV (die,wall_ms,pe_cycles,sim_ms,erase_ops,
-  /// program_ops,read_ops,failed). Wall times make this nondeterministic —
-  /// route it to stderr or a side file, never into result CSVs.
+  /// program_ops,read_ops,faults,retries,ecc_corrected,health,reason,
+  /// failed). Wall times make this nondeterministic — route it to stderr or
+  /// a side file, never into result CSVs.
   std::string counters_csv() const;
 
   /// One-paragraph human summary (dies, threads, wall, aggregate ops).
@@ -119,6 +170,21 @@ struct DieBatch {
   FleetReport fleet;
 };
 
+/// Which dies of a batch misbehave, and how. The per-die FaultPlan is
+/// derived from (config, die seed) inside the job, so a faulted batch obeys
+/// the same thread-count-invariance contract as a healthy one.
+struct FaultPolicy {
+  fault::FaultConfig config;  ///< fault profile of the afflicted dies
+  /// Predicate selecting afflicted dies; empty = every die (when the
+  /// config has any fault enabled).
+  std::function<bool(std::size_t die)> applies;
+
+  /// True if `die` gets a FaultyHal under this policy.
+  bool afflicts(std::size_t die) const {
+    return config.any() && (!applies || applies(die));
+  }
+};
+
 /// Result slots of imprint_batch, indexed by die.
 struct ImprintBatchResult {
   std::vector<std::unique_ptr<Device>> dies;  ///< the imprinted fleet
@@ -128,11 +194,13 @@ struct ImprintBatchResult {
 
 /// Manufacture `n_dies` dies from (config, master_seed) and imprint each
 /// with the watermark returned by `spec_of(die)` at main segment
-/// `segment`. One thread-pool job per die.
+/// `segment`. One thread-pool job per die. With a `faults` policy the
+/// afflicted dies are imprinted through a FaultyHal (their specs'
+/// max_retries decides whether they survive power losses).
 ImprintBatchResult imprint_batch(
     const DeviceConfig& config, std::uint64_t master_seed, std::size_t n_dies,
     std::size_t segment, const std::function<WatermarkSpec(std::size_t)>& spec_of,
-    const FleetOptions& opts = {});
+    const FleetOptions& opts = {}, const FaultPolicy& faults = {});
 
 /// Result slots of extract_batch, indexed by die.
 struct ExtractBatchResult {
@@ -141,10 +209,12 @@ struct ExtractBatchResult {
 };
 
 /// Extract the watermark bitmap of main segment `segment` on every die of
-/// an existing fleet. Each job touches only its own Device.
+/// an existing fleet. Each job touches only its own Device. Afflicted dies
+/// (per `faults`) extract through a FaultyHal.
 ExtractBatchResult extract_batch(
     const std::vector<std::unique_ptr<Device>>& dies, std::size_t segment,
-    const ExtractOptions& eo, const FleetOptions& opts = {});
+    const ExtractOptions& eo, const FleetOptions& opts = {},
+    const FaultPolicy& faults = {});
 
 /// Result slots of audit_batch, indexed by die.
 struct AuditBatchResult {
@@ -154,8 +224,16 @@ struct AuditBatchResult {
 
 /// Run the full integrator-side verification pipeline on every die of an
 /// existing fleet (the incoming-inspection hot path of a lot audit).
+///
+/// With a `faults` policy the afflicted dies are audited through a
+/// FaultyHal; the batch never aborts on their account. Each row of
+/// `fleet.dies` classifies its die: kClean (no recovery activity),
+/// kDegraded (verified, but retries / ECC corrections / injected faults
+/// were involved), or kFailed with a structured FailureReason (e.g.
+/// kRetryExhausted when the retry budget ran out).
 AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
                              std::size_t segment, const VerifyOptions& vo,
-                             const FleetOptions& opts = {});
+                             const FleetOptions& opts = {},
+                             const FaultPolicy& faults = {});
 
 }  // namespace flashmark::fleet

@@ -93,10 +93,14 @@ BitVec BitVec::operator^(const BitVec& o) const {
 }
 
 void BitVec::append(const BitVec& o) {
+  // Snapshot the source length before growing: with `v.append(v)` the
+  // mutations below are visible through `o`, and reading `o.size_` after
+  // them would double-count (and walk into the freshly zeroed tail).
   const std::size_t old = size_;
-  size_ += o.size_;
+  const std::size_t n = o.size_;
+  size_ += n;
   words_.resize((size_ + 63) / 64, 0);
-  for (std::size_t i = 0; i < o.size_; ++i) set(old + i, o.get(i));
+  for (std::size_t i = 0; i < n; ++i) set(old + i, o.get(i));
 }
 
 BitVec BitVec::slice(std::size_t begin, std::size_t len) const {

@@ -28,6 +28,8 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  for (const double v : values)
+    if (std::isnan(v)) throw std::invalid_argument("percentile: NaN input");
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
   std::sort(values.begin(), values.end());
@@ -47,10 +49,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) throw std::invalid_argument("Histogram::add: NaN sample");
+  if (x < lo_) {
+    ++underflow_;
+    ++total_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++total_;
+    return;
+  }
   const double span = hi_ - lo_;
-  auto idx = static_cast<long>((x - lo_) / span * static_cast<double>(counts_.size()));
-  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  auto idx = static_cast<std::size_t>((x - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  // Rounding at the top edge can land exactly on bins(); fold it back.
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
   ++total_;
 }
 

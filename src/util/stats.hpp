@@ -29,14 +29,18 @@ class RunningStats {
 };
 
 /// p-th percentile (0..100) by linear interpolation between order statistics.
-/// Copies and sorts; fine for the segment-sized vectors we use.
+/// Copies and sorts; fine for the segment-sized vectors we use. Throws
+/// std::invalid_argument on an empty input or any NaN value — NaN breaks the
+/// strict weak ordering std::sort requires, so the result would be garbage.
 double percentile(std::vector<double> values, double p);
 
 /// Median convenience wrapper.
 double median(std::vector<double> values);
 
-/// Simple fixed-width histogram over [lo, hi); values outside are clamped to
-/// the edge bins. Used by characterization reports.
+/// Simple fixed-width histogram over [lo, hi). Out-of-range samples are NOT
+/// folded into the edge bins (that silently skews tail statistics); they are
+/// tallied in `underflow()` / `overflow()` instead. NaN samples are rejected
+/// with std::invalid_argument. Used by characterization reports.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -45,13 +49,20 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   double bin_low(std::size_t i) const;
+  /// Samples accepted (in-range + underflow + overflow).
   std::size_t total() const { return total_; }
+  /// Samples below `lo`.
+  std::size_t underflow() const { return underflow_; }
+  /// Samples at or above `hi`.
+  std::size_t overflow() const { return overflow_; }
 
  private:
   double lo_;
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace flashmark

@@ -1,0 +1,255 @@
+// Fault-injection layer: plan determinism, FaultyHal semantics, and the
+// recovery paths (retry budgets, verify_program, ECC) that let the watermark
+// pipelines survive degraded silicon. Runs under ctest -L fault, including
+// the FLASHMARK_SANITIZE CI steps.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/watermark.hpp"
+#include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xFA17'5EED;
+
+WatermarkSpec ecc_spec(std::uint32_t die_id) {
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, die_id, 2, TestStatus::kAccept, 0x3AA};
+  spec.key = SipHashKey{0xD1E, 0x107};
+  spec.ecc = true;
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  return spec;
+}
+
+VerifyOptions ecc_verify() {
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.key = SipHashKey{0xD1E, 0x107};
+  vo.ecc = true;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  return vo;
+}
+
+TEST(FaultPlan, PureFunctionOfConfigSeedGeometry) {
+  fault::FaultConfig cfg;
+  cfg.stuck_at0_per_segment = 2.0;
+  cfg.stuck_at1_per_segment = 1.0;
+  cfg.read_burst_p = 0.01;
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+
+  fault::FaultPlan a = fault::FaultPlan::for_die(cfg, kSeed, g);
+  fault::FaultPlan b = fault::FaultPlan::for_die(cfg, kSeed, g);
+  EXPECT_EQ(a.stuck_cells(), b.stuck_cells());
+  EXPECT_GT(a.stuck_cells(), 0u);
+  // Same stuck masks on every word of the first segments...
+  for (std::size_t seg = 0; seg < 8; ++seg) {
+    const Addr base = g.segment_base(seg);
+    for (std::size_t w = 0; w < g.segment_bytes(seg) / g.word_bytes; ++w) {
+      const Addr addr = base + static_cast<Addr>(w * g.word_bytes);
+      EXPECT_EQ(a.stuck_masks(addr), b.stuck_masks(addr));
+    }
+  }
+  // ...and the same event stream afterwards.
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(a.events().uniform_u64(1u << 20), b.events().uniform_u64(1u << 20));
+  // A different die draws different faults.
+  fault::FaultPlan c = fault::FaultPlan::for_die(cfg, kSeed + 1, g);
+  bool any_diff = c.stuck_cells() != a.stuck_cells();
+  for (std::size_t seg = 0; seg < g.n_main_segments() && !any_diff; ++seg) {
+    const Addr base = g.segment_base(seg);
+    for (std::size_t w = 0; w < g.segment_bytes(seg) / g.word_bytes; ++w) {
+      const Addr addr = base + static_cast<Addr>(w * g.word_bytes);
+      if (a.stuck_masks(addr) != c.stuck_masks(addr)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultyHal, InertConfigPassesThrough) {
+  Device dev(DeviceConfig::msp430f5438(), kSeed);
+  const FlashGeometry& g = dev.config().geometry;
+  fault::FaultConfig cfg;  // all rates zero
+  EXPECT_FALSE(cfg.any());
+  fault::FaultyHal hal(dev.hal(),
+                       fault::FaultPlan::for_die(cfg, kSeed, g));
+
+  const Addr base = g.segment_base(0);
+  hal.erase_segment(base);
+  hal.program_word(base, 0xA5A5);
+  EXPECT_EQ(hal.read_word(base), 0xA5A5);
+  EXPECT_EQ(hal.read_word(base + 2), 0xFFFF);
+  EXPECT_EQ(hal.counters().events(), 0u);
+  EXPECT_EQ(hal.counters().stuck_cells, 0u);
+}
+
+TEST(FaultyHal, StuckCellsPinReads) {
+  Device dev(DeviceConfig::msp430f5438(), kSeed);
+  const FlashGeometry& g = dev.config().geometry;
+  fault::FaultConfig cfg;
+  cfg.stuck_at0_per_segment = 8.0;
+  cfg.stuck_at1_per_segment = 8.0;
+  fault::FaultyHal hal(dev.hal(),
+                       fault::FaultPlan::for_die(cfg, kSeed, g));
+  ASSERT_GT(hal.plan().stuck_cells(), 0u);
+
+  // Erased segment reads all-ones except stuck-at-0 bits; programmed-to-zero
+  // words read all-zeros except stuck-at-1 bits. In both states the faulty
+  // read must equal (raw & and_mask) | or_mask.
+  const Addr base = g.segment_base(0);
+  const std::size_t n_words = g.segment_bytes(0) / g.word_bytes;
+  hal.erase_segment(base);
+  std::uint64_t pinned_words = 0;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const Addr addr = base + static_cast<Addr>(w * g.word_bytes);
+    const auto [and_mask, or_mask] = hal.plan().stuck_masks(addr);
+    EXPECT_EQ(hal.read_word(addr), (0xFFFF & and_mask) | or_mask);
+    if (and_mask != 0xFFFF || or_mask != 0x0000) ++pinned_words;
+  }
+  for (std::size_t w = 0; w < n_words; ++w)
+    hal.program_word(base + static_cast<Addr>(w * g.word_bytes), 0x0000);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const Addr addr = base + static_cast<Addr>(w * g.word_bytes);
+    const auto [and_mask, or_mask] = hal.plan().stuck_masks(addr);
+    EXPECT_EQ(hal.read_word(addr), (0x0000 & and_mask) | or_mask);
+  }
+  EXPECT_GT(hal.counters().stuck_reads, 0u);
+  // Other segments of the die also drew faults (the plan covers the whole
+  // main array, not just the segment under test).
+  EXPECT_GT(hal.plan().stuck_cells(), pinned_words);
+}
+
+// Satellite: a die with stuck cells in the watermark region still decodes
+// kGenuine when the spec carries ECC — replica voting absorbs most pinned
+// bits and Hamming(15,11) repairs the residue.
+TEST(FaultRecovery, StuckCellExtractionDecodesUnderEcc) {
+  Device dev(DeviceConfig::msp430f5438(), kSeed);
+  const FlashGeometry& g = dev.config().geometry;
+  fault::FaultConfig cfg;
+  cfg.stuck_at0_per_segment = 6.0;
+  cfg.stuck_at1_per_segment = 6.0;
+  fault::FaultyHal hal(dev.hal(),
+                       fault::FaultPlan::for_die(cfg, dev.die_seed(), g));
+  ASSERT_GT(hal.plan().stuck_cells(), 0u);
+
+  const Addr addr = g.segment_base(0);
+  imprint_watermark(hal, addr, ecc_spec(42));
+  const VerifyReport report = verify_watermark(hal, addr, ecc_verify());
+  EXPECT_EQ(report.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(report.fields.has_value());
+  EXPECT_EQ(report.fields->die_id, 42u);
+  EXPECT_GT(hal.counters().stuck_reads, 0u);
+}
+
+// A bounded retry budget rides out power-loss aborts: the fault model stops
+// injecting after max_power_losses, so a budget >= that bound always lands
+// the operation, and the report says how much budget was spent.
+TEST(FaultRecovery, RetryRecoversFromPowerLoss) {
+  Device dev(DeviceConfig::msp430f5438(), kSeed);
+  const FlashGeometry& g = dev.config().geometry;
+  fault::FaultConfig cfg;
+  cfg.power_loss_p = 1.0;
+  cfg.max_power_losses = 2;
+  const Addr addr = g.segment_base(0);
+
+  WatermarkSpec spec = ecc_spec(7);
+  spec.max_retries = 3;
+  {
+    fault::FaultyHal hal(dev.hal(),
+                         fault::FaultPlan::for_die(cfg, dev.die_seed(), g));
+    const ImprintReport rep = imprint_watermark(hal, addr, spec);
+    EXPECT_GE(rep.retries, 1u);
+    EXPECT_EQ(hal.counters().power_losses, 2u);
+  }
+  {
+    // Fresh decorator for the field audit: its own power-loss budget.
+    fault::FaultyHal hal(dev.hal(),
+                         fault::FaultPlan::for_die(cfg, dev.die_seed(), g));
+    VerifyOptions vo = ecc_verify();
+    vo.max_retries = 4;
+    const VerifyReport report = verify_watermark(hal, addr, vo);
+    EXPECT_EQ(report.verdict, Verdict::kGenuine);
+    EXPECT_GE(report.retries, 1u);
+  }
+}
+
+// Satellite: retry exhaustion surfaces as the structured RetryExhaustedError
+// (not a generic runtime_error), and the fleet layer maps it to
+// FailureReason::kRetryExhausted without poisoning neighboring dies.
+TEST(FaultRecovery, RetryExhaustionSurfacesStructuredReason) {
+  fault::FaultConfig cfg;
+  cfg.power_loss_p = 1.0;
+  cfg.max_power_losses = 1000;  // never stops injecting
+
+  {
+    Device dev(DeviceConfig::msp430f5438(), kSeed);
+    fault::FaultyHal hal(
+        dev.hal(), fault::FaultPlan::for_die(cfg, dev.die_seed(),
+                                             dev.config().geometry));
+    WatermarkSpec spec = ecc_spec(7);
+    spec.max_retries = 2;
+    try {
+      imprint_watermark(hal, dev.config().geometry.segment_base(0), spec);
+      FAIL() << "expected RetryExhaustedError";
+    } catch (const RetryExhaustedError& e) {
+      EXPECT_EQ(e.attempts(), 3u);  // 1 initial + 2 retries
+      EXPECT_NE(std::string(e.what()).find("retry budget exhausted"),
+                std::string::npos);
+    }
+  }
+
+  // Fleet mapping: only the afflicted die fails, with the right taxonomy.
+  fleet::FaultPolicy policy;
+  policy.config = cfg;
+  policy.applies = [](std::size_t die) { return die == 1; };
+  auto spec_of = [](std::size_t die) {
+    WatermarkSpec s = ecc_spec(static_cast<std::uint32_t>(die));
+    s.max_retries = 2;
+    return s;
+  };
+  const auto batch = fleet::imprint_batch(DeviceConfig::msp430f5438(), kSeed,
+                                          4, 0, spec_of, {.threads = 2},
+                                          policy);
+  EXPECT_EQ(batch.fleet.failures(), 1u);
+  EXPECT_EQ(batch.fleet.dies[1].health, fleet::DieHealth::kFailed);
+  EXPECT_EQ(batch.fleet.dies[1].reason, fleet::FailureReason::kRetryExhausted);
+  EXPECT_GT(batch.fleet.dies[1].faults_injected, 0u);
+  for (std::size_t d : {0u, 2u, 3u}) {
+    EXPECT_EQ(batch.fleet.dies[d].health, fleet::DieHealth::kClean) << d;
+    EXPECT_EQ(batch.fleet.dies[d].reason, fleet::FailureReason::kNone) << d;
+  }
+  // The failed die still landed in its slot — it exists and can be retested.
+  ASSERT_NE(batch.dies[1], nullptr);
+}
+
+// verify_program catches silently dropped program pulses: the read-back pass
+// reissues the zero-programming of any word the fault swallowed.
+TEST(FaultRecovery, VerifyProgramRepairsDroppedPulses) {
+  Device dev(DeviceConfig::msp430f5438(), kSeed);
+  const FlashGeometry& g = dev.config().geometry;
+  fault::FaultConfig cfg;
+  cfg.program_fail_p = 0.05;
+  fault::FaultyHal hal(dev.hal(),
+                       fault::FaultPlan::for_die(cfg, dev.die_seed(), g));
+
+  const Addr addr = g.segment_base(0);
+  imprint_watermark(hal, addr, ecc_spec(3));
+  ExtractOptions eo;
+  eo.t_pew = SimTime::us(30);
+  eo.verify_program = true;
+  const ExtractResult ext = extract_flashmark(hal, addr, eo);
+  EXPECT_GT(hal.counters().program_fails, 0u);
+  EXPECT_GT(ext.reprogrammed_words, 0u);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -195,6 +195,103 @@ TEST(FleetFaults, OneFailingDieDoesNotPoisonTheBatch) {
   }
 }
 
+// (d) A fault policy afflicting a quarter of the fleet is fully isolated:
+// the healthy dies' results are bit-identical to an unfaulted audit of an
+// identical fleet, every die gets a classification, and the whole faulted
+// batch is thread-count invariant.
+TEST(FleetFaults, FaultedAuditIsolatedAndThreadInvariant) {
+  constexpr std::size_t kDies = 32;
+  const DeviceConfig cfg = DeviceConfig::msp430f5438();
+
+  auto spec_of = [](std::size_t die) {
+    WatermarkSpec s = lot_spec(die);
+    s.ecc = true;
+    return s;
+  };
+  VerifyOptions vo = lot_verify();
+  vo.ecc = true;
+  vo.max_retries = 4;
+
+  fleet::FaultPolicy policy;
+  policy.config.stuck_at0_per_segment = 4.0;
+  policy.config.stuck_at1_per_segment = 4.0;
+  policy.config.read_burst_p = 0.002;
+  policy.config.erase_fail_p = 0.05;
+  policy.config.power_loss_p = 0.02;
+  policy.applies = [](std::size_t die) { return die % 4 == 0; };
+
+  struct Snapshot {
+    std::vector<std::string> bits;
+    std::vector<Verdict> verdicts;
+    std::vector<fleet::DieHealth> health;
+    std::vector<fleet::FailureReason> reasons;
+    std::vector<std::uint64_t> faults, retries, ecc;
+  };
+  auto run_at = [&](unsigned threads, bool faulted) {
+    fleet::FleetOptions fo;
+    fo.threads = threads;
+    auto imprinted = fleet::imprint_batch(cfg, kMaster, kDies, 0, spec_of, fo);
+    ExtractOptions eo;
+    eo.t_pew = SimTime::us(30);
+    eo.max_retries = 4;
+    const fleet::FaultPolicy no_faults;
+    const fleet::FaultPolicy& pol = faulted ? policy : no_faults;
+    auto extracted = fleet::extract_batch(imprinted.dies, 0, eo, fo, pol);
+    auto audited = fleet::audit_batch(imprinted.dies, 0, vo, fo, pol);
+
+    Snapshot s;
+    for (std::size_t d = 0; d < kDies; ++d) {
+      s.bits.push_back(extracted.results[d].bits.to_string());
+      s.verdicts.push_back(audited.reports[d].verdict);
+      s.health.push_back(audited.fleet.dies[d].health);
+      s.reasons.push_back(audited.fleet.dies[d].reason);
+      s.faults.push_back(audited.fleet.dies[d].faults_injected);
+      s.retries.push_back(audited.fleet.dies[d].retries);
+      s.ecc.push_back(audited.fleet.dies[d].ecc_corrected);
+    }
+    return s;
+  };
+
+  const Snapshot clean = run_at(2, /*faulted=*/false);
+  const Snapshot f1 = run_at(1, /*faulted=*/true);
+  const Snapshot f2 = run_at(2, /*faulted=*/true);
+  const Snapshot f8 = run_at(8, /*faulted=*/true);
+
+  // Thread-count invariance extends to faulted batches, bit for bit.
+  EXPECT_EQ(f1.bits, f2.bits);
+  EXPECT_EQ(f1.bits, f8.bits);
+  EXPECT_EQ(f1.verdicts, f2.verdicts);
+  EXPECT_EQ(f1.verdicts, f8.verdicts);
+  EXPECT_EQ(f1.health, f2.health);
+  EXPECT_EQ(f1.health, f8.health);
+  EXPECT_EQ(f1.reasons, f2.reasons);
+  EXPECT_EQ(f1.reasons, f8.reasons);
+  EXPECT_EQ(f1.faults, f2.faults);
+  EXPECT_EQ(f1.faults, f8.faults);
+  EXPECT_EQ(f1.retries, f2.retries);
+  EXPECT_EQ(f1.retries, f8.retries);
+  EXPECT_EQ(f1.ecc, f2.ecc);
+  EXPECT_EQ(f1.ecc, f8.ecc);
+
+  std::size_t afflicted_seen = 0;
+  for (std::size_t d = 0; d < kDies; ++d) {
+    if (policy.afflicts(d)) {
+      // Afflicted dies carry fault counters and never report kClean.
+      ++afflicted_seen;
+      EXPECT_NE(f2.health[d], fleet::DieHealth::kClean) << d;
+    } else {
+      // Neighbors are untouched: same extracted bitmap, same verdict, clean
+      // classification — the faulted quarter did not disturb them.
+      EXPECT_EQ(f2.bits[d], clean.bits[d]) << d;
+      EXPECT_EQ(f2.verdicts[d], clean.verdicts[d]) << d;
+      EXPECT_EQ(f2.verdicts[d], Verdict::kGenuine) << d;
+      EXPECT_EQ(f2.health[d], fleet::DieHealth::kClean) << d;
+      EXPECT_EQ(f2.faults[d], 0u) << d;
+    }
+  }
+  EXPECT_EQ(afflicted_seen, kDies / 4);
+}
+
 TEST(FleetReportMerge, ConcatenatesAndReindexes) {
   auto mk = [](std::size_t n) {
     fleet::FleetReport r;

@@ -136,6 +136,26 @@ TEST(BitVec, AppendToEmpty) {
   EXPECT_EQ(a.to_string(), "110");
 }
 
+TEST(BitVec, AppendSelfDoubles) {
+  // Regression: `v.append(v)` used to read o.size_ after growing v, so the
+  // copy loop ran over the doubled length and threw std::out_of_range.
+  for (const char* s : {"1", "101", "0110100111010001"}) {
+    BitVec v = BitVec::from_string(s);
+    v.append(v);
+    EXPECT_EQ(v.to_string(), std::string(s) + s);
+  }
+  // Word-boundary sizes, where the resize grows the backing storage.
+  for (std::size_t n : {63u, 64u, 65u, 130u}) {
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; i += 7) v.set(i, true);
+    const BitVec orig = v;
+    v.append(v);
+    EXPECT_EQ(v.size(), 2 * n);
+    EXPECT_EQ(v.slice(0, n), orig);
+    EXPECT_EQ(v.slice(n, n), orig);
+  }
+}
+
 TEST(BitVec, SliceExtracts) {
   const BitVec v = BitVec::from_string("0110100111");
   EXPECT_EQ(v.slice(2, 5).to_string(), "10100");

@@ -73,6 +73,12 @@ TEST(Percentile, OutOfRangePClamped) {
   EXPECT_DOUBLE_EQ(percentile(v, 200.0), 2.0);
 }
 
+TEST(Percentile, NanInputThrows) {
+  const double nan = std::nan("");
+  EXPECT_THROW(percentile({nan}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0, nan, 3.0}, 50.0), std::invalid_argument);
+}
+
 TEST(Median, OddAndEven) {
   EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
@@ -95,12 +101,24 @@ TEST(Histogram, BinsValues) {
   EXPECT_EQ(h.total(), 3u);
 }
 
-TEST(Histogram, ClampsOutliersToEdgeBins) {
+TEST(Histogram, CountsOutliersSeparately) {
+  // Out-of-range samples must not be folded into the edge bins — that used
+  // to silently fatten the tails of characterization reports.
   Histogram h(0.0, 10.0, 5);
   h.add(-100.0);
   h.add(100.0);
-  EXPECT_EQ(h.bin_count(0), 1u);
-  EXPECT_EQ(h.bin_count(4), 1u);
+  h.add(10.0);  // hi is exclusive
+  EXPECT_EQ(h.bin_count(0), 0u);
+  EXPECT_EQ(h.bin_count(4), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, NanSampleThrows) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_THROW(h.add(std::nan("")), std::invalid_argument);
+  EXPECT_EQ(h.total(), 0u);
 }
 
 TEST(Histogram, BinLowEdges) {
