@@ -1,0 +1,135 @@
+// Checkpoint overhead — cost of crash-recoverability vs checkpoint cadence.
+//
+// The resumable imprint driver (src/session) buys durability with two knobs:
+// how often it checkpoints the die (checkpoint_every) and whether each
+// checkpoint + journal append is fsync'd (durable). This bench quantifies the
+// trade-off DESIGN.md §10 describes: one fixed imprint workload (16k
+// accelerated P/E cycles on one segment) is run plain (no journal, the
+// baseline) and then journaled across a cadence sweep with durability off and
+// on. Every journaled run is byte-compared against the baseline die state —
+// the overhead columns are only meaningful while the determinism contract
+// holds.
+//
+// Output: one row per (checkpoint_every, durable) with wall time, overhead
+// relative to the plain baseline, checkpoint count, and on-disk footprint
+// (checkpoint_overhead.csv).
+//
+//   $ ./checkpoint_overhead
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mcu/persist.hpp"
+#include "session/resumable.hpp"
+
+using namespace flashmark;
+using namespace flashmark::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kNpe = 16'000;
+constexpr std::size_t kSegment = 0;
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string serialize(Device& dev) {
+  std::ostringstream os;
+  save_device(dev, os);
+  return os.str();
+}
+
+std::uintmax_t dir_bytes(const fs::path& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.is_regular_file()) total += e.file_size();
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const DeviceConfig cfg = DeviceConfig::msp430f5438();
+  const std::uint64_t seed = die_seed(0, name_salt("checkpoint_overhead"));
+
+  Device probe(cfg, seed);
+  const auto& g = probe.config().geometry;
+  const Addr addr = seg_addr(probe, kSegment);
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, 0xC4EC, 2, TestStatus::kAccept, 0x3AA};
+  spec.npe = kNpe;
+  const BitVec pattern =
+      encode_watermark(spec, g.segment_cells(kSegment)).segment_pattern;
+
+  // Baseline: the same cycles with no journal, no checkpoints, no fsync.
+  double base_ms = 0.0;
+  std::string base_state;
+  {
+    Device dev(cfg, seed);
+    ImprintOptions io;
+    io.npe = kNpe;
+    io.strategy = ImprintStrategy::kLoop;
+    io.accelerated = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    imprint_flashmark(dev.hal(), addr, pattern, io);
+    base_ms = wall_ms_since(t0);
+    base_state = serialize(dev);
+  }
+
+  const fs::path root =
+      fs::temp_directory_path() / "fm_checkpoint_overhead_bench";
+  fs::remove_all(root);
+
+  const std::vector<std::uint32_t> cadences = {512, 2048, 8192, 32768};
+
+  Table t({"checkpoint_every", "durable", "wall_ms", "overhead_pct",
+           "checkpoints", "journal_bytes", "dir_bytes", "identical"});
+  t.add_row({"none", "-", Table::fmt(base_ms, 1), Table::fmt(0.0, 1), "0", "0",
+             "0", "yes"});
+
+  for (const bool durable : {false, true}) {
+    for (const std::uint32_t every : cadences) {
+      const fs::path dir =
+          root / (std::string(durable ? "durable" : "fast") + "-" +
+                  std::to_string(every));
+      fs::create_directories(dir);
+
+      session::SessionConfig scfg;
+      scfg.checkpoint_every = every;
+      scfg.durable = durable;
+      scfg.gc_checkpoints = true;
+      scfg.accelerated = true;
+
+      Device dev(cfg, seed);
+      const auto t0 = std::chrono::steady_clock::now();
+      session::run_imprint_session(dir.string(), dev, addr, pattern, kNpe,
+                                   scfg);
+      const double ms = wall_ms_since(t0);
+
+      const std::uintmax_t journal =
+          fs::file_size(session::imprint_journal_path(dir.string()));
+      t.add_row({Table::fmt(static_cast<std::size_t>(every)),
+                 durable ? "yes" : "no", Table::fmt(ms, 1),
+                 Table::fmt(100.0 * (ms - base_ms) / base_ms, 1),
+                 Table::fmt(static_cast<std::size_t>(kNpe / every)),
+                 Table::fmt(static_cast<std::size_t>(journal)),
+                 Table::fmt(static_cast<std::size_t>(dir_bytes(dir))),
+                 serialize(dev) == base_state ? "yes" : "NO"});
+    }
+  }
+  fs::remove_all(root);
+
+  std::cout << "Checkpoint overhead — journaled imprint vs plain baseline ("
+            << kNpe << " accelerated P/E cycles, one segment)\n\n";
+  emit(t, "checkpoint_overhead.csv");
+  return 0;
+}

@@ -9,6 +9,13 @@
 //   $ ./flashmark_cli wear die.fm --segment 3 --cycles 50000
 //   $ ./flashmark_cli characterize die.fm --segment 3
 //   $ ./flashmark_cli info die.fm
+//
+// Crash-recoverable imprints journal their progress into a session
+// directory; an interrupted run continues from its last checkpoint:
+//
+//   $ ./flashmark_cli imprint die.fm --die-id 66 --journal sess/
+//                     --checkpoint-every 2048          # ^C survivable
+//   $ ./flashmark_cli imprint die.fm --resume sess/    # pick up where it died
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -17,6 +24,7 @@
 
 #include "core/flashmark.hpp"
 #include "mcu/persist.hpp"
+#include "session/resumable.hpp"
 
 using namespace flashmark;
 
@@ -29,6 +37,7 @@ namespace {
       "  info        FILE\n"
       "  imprint     FILE [--segment N] --die-id N [--status accept|reject]\n"
       "              [--manufacturer N] [--key K0:K1] [--npe N] [--replicas R]\n"
+      "              [--journal DIR [--checkpoint-every N]] [--resume DIR]\n"
       "  verify      FILE [--segment N] [--key K0:K1] [--tpew US] [--replicas R]\n"
       "  wear        FILE --segment N --cycles N\n"
       "  characterize FILE [--segment N] [--step US] [--end US]\n";
@@ -72,6 +81,15 @@ std::optional<SipHashKey> parse_key(const std::string& s) {
                     std::strtoull(s.substr(colon + 1).c_str(), nullptr, 16)};
 }
 
+/// Save `dev` to `path`, reporting the failure cause on stderr.
+int save_or_complain(Device& dev, const std::string& path) {
+  if (const IoStatus st = save_device_file(dev, path); !st) {
+    std::cerr << "cannot write " << path << ": " << st.error << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_new(const Args& a) {
   const std::string out = a.get("out", "");
   if (out.empty()) usage();
@@ -79,10 +97,7 @@ int cmd_new(const Args& a) {
   const DeviceConfig cfg = fam == "f5529" ? DeviceConfig::msp430f5529()
                                           : DeviceConfig::msp430f5438();
   Device dev(cfg, a.get_u64("seed", 1));
-  if (!save_device_file(dev, out)) {
-    std::cerr << "cannot write " << out << "\n";
-    return 1;
-  }
+  if (save_or_complain(dev, out) != 0) return 1;
   std::cout << "created " << cfg.family << " die (seed "
             << a.get_u64("seed", 1) << ") -> " << out << "\n";
   return 0;
@@ -107,6 +122,22 @@ int cmd_info(const Args& a) {
 }
 
 int cmd_imprint(const Args& a) {
+  // Resume path: everything (segment, NPE, pattern, cadence) comes from the
+  // journal's begin record; the die comes from its newest checkpoint. The
+  // completed die is written back over FILE.
+  const std::string resume_dir = a.get("resume", "");
+  if (!resume_dir.empty()) {
+    session::ResumeResult r = session::resume_imprint_session(resume_dir);
+    if (r.already_complete)
+      std::cout << "session " << resume_dir << " already complete ("
+                << r.report.npe << " cycles)\n";
+    else
+      std::cout << "resumed session " << resume_dir << " from cycle "
+                << r.resumed_from << ", ran " << r.report.npe - r.resumed_from
+                << " more cycles\n";
+    return save_or_complain(*r.dev, a.file);
+  }
+
   auto dev = load_device_file(a.file);
   const std::size_t seg = a.get_u64("segment", 0);
   WatermarkSpec spec;
@@ -119,14 +150,37 @@ int cmd_imprint(const Args& a) {
   spec.key = parse_key(a.get("key", ""));
   spec.n_replicas = a.get_u64("replicas", 7);
   spec.npe = static_cast<std::uint32_t>(a.get_u64("npe", 60'000));
-  spec.strategy = ImprintStrategy::kBatchWear;
   const Addr addr = dev->config().geometry.segment_base(seg);
+
+  const std::string journal_dir = a.get("journal", "");
+  if (!journal_dir.empty()) {
+    // Journaled (crash-recoverable) imprint: checkpoints land in DIR; a
+    // killed run continues with `imprint FILE --resume DIR`. Sessions use
+    // the cycle-accurate loop driver, so large NPE values take a while —
+    // that is exactly the run worth journaling.
+    session::SessionConfig cfg;
+    cfg.checkpoint_every =
+        static_cast<std::uint32_t>(a.get_u64("checkpoint-every", 4096));
+    cfg.accelerated = spec.accelerated;
+    cfg.max_retries = spec.max_retries;
+    const auto& g = dev->config().geometry;
+    const EncodedWatermark enc = encode_watermark(spec, g.segment_cells(seg));
+    const ImprintReport r = session::run_imprint_session(
+        journal_dir, *dev, addr, enc.segment_pattern, spec.npe, cfg);
+    std::cout << "imprinted die-id " << spec.fields.die_id
+              << " (journaled, every " << cfg.checkpoint_every
+              << " cycles) into segment " << seg << ": " << r.npe
+              << " cycles\n";
+    return save_or_complain(*dev, a.file);
+  }
+
+  spec.strategy = ImprintStrategy::kBatchWear;
   const ImprintReport r = imprint_watermark(dev->hal(), addr, spec);
   std::cout << "imprinted die-id " << spec.fields.die_id << " ("
             << to_string(spec.fields.status) << ") into segment " << seg
             << ": " << r.npe << " cycles, " << r.elapsed.as_sec()
             << " s simulated\n";
-  return save_device_file(*dev, a.file) ? 0 : 1;
+  return save_or_complain(*dev, a.file);
 }
 
 int cmd_verify(const Args& a) {
@@ -150,7 +204,10 @@ int cmd_verify(const Args& a) {
   std::cout << "  zero fraction " << r.zero_fraction << ", (0,0)-pairs "
             << r.invalid_00_pairs << ", extract "
             << r.extract_time.as_ms() << " ms\n";
-  save_device_file(*dev, a.file);  // extraction wears the segment slightly
+  // Extraction wears the segment slightly; persist that.
+  if (const IoStatus st = save_device_file(*dev, a.file); !st)
+    std::cerr << "warning: could not persist wear to " << a.file << ": "
+              << st.error << "\n";
   return r.verdict == Verdict::kGenuine ? 0 : 1;
 }
 
@@ -160,7 +217,7 @@ int cmd_wear(const Args& a) {
   const double cycles = static_cast<double>(a.get_u64("cycles", 10'000));
   dev->hal().wear_segment(dev->config().geometry.segment_base(seg), cycles);
   std::cout << "applied " << cycles << " P/E cycles to segment " << seg << "\n";
-  return save_device_file(*dev, a.file) ? 0 : 1;
+  return save_or_complain(*dev, a.file);
 }
 
 int cmd_characterize(const Args& a) {
@@ -177,7 +234,10 @@ int cmd_characterize(const Args& a) {
               << p.cells_1 << " erased\n";
   std::cout << "full-erase time: " << full_erase_time(curve).as_us()
             << " us\n";
-  save_device_file(*dev, a.file);  // the sweep wears the segment
+  // The sweep wears the segment; persist that.
+  if (const IoStatus st = save_device_file(*dev, a.file); !st)
+    std::cerr << "warning: could not persist wear to " << a.file << ": "
+              << st.error << "\n";
   return 0;
 }
 

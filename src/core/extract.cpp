@@ -26,6 +26,8 @@ ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
 
   std::uint32_t budget = opts.max_retries;
   for (int r = 0; r < opts.rounds; ++r) {
+    if (opts.cancelled && opts.cancelled())
+      throw OperationCancelledError("extract round");
     // A round is restartable by construction: its leading erase resets the
     // segment, so a power-loss abort anywhere inside the round is repaired
     // by running the whole round again (bounded by max_retries).

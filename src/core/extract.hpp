@@ -14,6 +14,7 @@
 //               rounds of the baseline implementation).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/analyze.hpp"
@@ -44,6 +45,10 @@ struct ExtractOptions {
   /// of stressed-free "good" cells). Stuck-at-1 cells stay wrong after the
   /// re-pulse; those are the ECC layer's job.
   bool verify_program = false;
+  /// Cooperative-cancellation hook, polled before each round. Returning true
+  /// aborts the extraction with OperationCancelledError (fleet watchdog —
+  /// see ImprintOptions::cancelled).
+  std::function<bool()> cancelled;
 };
 
 struct ExtractResult {

@@ -26,6 +26,8 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
                                 const ImprintOptions& opts) {
   if (opts.npe == 0)
     throw std::invalid_argument("imprint_flashmark: npe must be > 0");
+  if (opts.start_cycle > opts.npe)
+    throw std::invalid_argument("imprint_flashmark: start_cycle > npe");
   const auto& g = hal.geometry();
   const std::size_t seg = g.segment_index(addr);
   const Addr base = g.segment_base(seg);
@@ -55,13 +57,19 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
     }
   };
 
+  const std::uint32_t executed = opts.npe - opts.start_cycle;
   if (opts.strategy == ImprintStrategy::kBatchWear) {
-    with_retry("imprint wear_segment", [&] {
-      hal.wear_segment(base, static_cast<double>(opts.npe), &pattern);
-    });
+    if (opts.cancelled && opts.cancelled())
+      throw OperationCancelledError("imprint wear_segment");
+    if (executed > 0)
+      with_retry("imprint wear_segment", [&] {
+        hal.wear_segment(base, static_cast<double>(executed), &pattern);
+      });
   } else {
     const auto words = pattern_to_words(g, seg, pattern);
-    for (std::uint32_t cycle = 0; cycle < opts.npe; ++cycle) {
+    for (std::uint32_t cycle = opts.start_cycle; cycle < opts.npe; ++cycle) {
+      if (opts.cancelled && opts.cancelled())
+        throw OperationCancelledError("imprint cycle");
       with_retry("imprint cycle", [&] {
         if (opts.accelerated)
           hal.erase_segment_auto(base);
@@ -69,12 +77,15 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
           hal.erase_segment(base);
         hal.program_block(base, words);
       });
+      if (opts.on_cycle) opts.on_cycle(cycle + 1);
     }
   }
 
   report.elapsed = hal.now() - start;
   report.mean_cycle_time =
-      SimTime::ns(report.elapsed.as_ns() / static_cast<std::int64_t>(opts.npe));
+      executed == 0 ? SimTime{}
+                    : SimTime::ns(report.elapsed.as_ns() /
+                                  static_cast<std::int64_t>(executed));
   return report;
 }
 

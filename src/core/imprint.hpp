@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "flash/hal.hpp"
 #include "util/bitvec.hpp"
@@ -39,6 +40,22 @@ struct ImprintOptions {
   /// TransientFlashError propagates. When the budget is exhausted a
   /// RetryExhaustedError is thrown instead.
   std::uint32_t max_retries = 0;
+  /// First P/E cycle to execute: the loop runs cycles [start_cycle, npe).
+  /// Resume support — a die reloaded from a checkpoint taken after k cycles
+  /// continues with start_cycle = k and ends byte-identical to an
+  /// uninterrupted run (src/session). Ignored by kBatchWear apart from
+  /// scaling the applied stress to the remaining cycles.
+  std::uint32_t start_cycle = 0;
+  /// Progress hook, called after each completed kLoop cycle with the number
+  /// of cycles done so far (1-based, cumulative across resumes). The session
+  /// layer journals and checkpoints here; the fleet watchdog feeds its
+  /// per-die heartbeat from it. Must not touch the device.
+  std::function<void(std::uint32_t cycles_done)> on_cycle;
+  /// Cooperative-cancellation hook, polled between kLoop cycles (and once
+  /// before a kBatchWear call). Returning true aborts the imprint with
+  /// OperationCancelledError — how the fleet watchdog stops a die that blew
+  /// its deadline without leaving the device mid-command.
+  std::function<bool()> cancelled;
 };
 
 struct ImprintReport {

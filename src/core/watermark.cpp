@@ -37,14 +37,20 @@ EncodedWatermark encode_watermark(const WatermarkSpec& spec,
 
 ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
                                 const WatermarkSpec& spec) {
-  const auto& g = hal.geometry();
-  const std::size_t seg = g.segment_index(addr);
-  const EncodedWatermark e = encode_watermark(spec, g.segment_cells(seg));
   ImprintOptions opts;
   opts.npe = spec.npe;
   opts.accelerated = spec.accelerated;
   opts.strategy = spec.strategy;
   opts.max_retries = spec.max_retries;
+  return imprint_watermark(hal, addr, spec, opts);
+}
+
+ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
+                                const WatermarkSpec& spec,
+                                const ImprintOptions& opts) {
+  const auto& g = hal.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const EncodedWatermark e = encode_watermark(spec, g.segment_cells(seg));
   return imprint_flashmark(hal, g.segment_base(seg), e.segment_pattern, opts);
 }
 
@@ -58,6 +64,7 @@ VerifyReport verify_watermark(FlashHal& hal, Addr addr,
   eo.accelerated_erase = opts.accelerated_erase;
   eo.max_retries = opts.max_retries;
   eo.verify_program = opts.verify_program;
+  eo.cancelled = opts.cancelled;
   const ExtractResult ext = extract_flashmark(hal, addr, eo);
   VerifyReport report = judge_extracted_bits(ext.bits, opts);
   report.extract_time = ext.elapsed;

@@ -78,6 +78,14 @@ EncodedWatermark encode_watermark(const WatermarkSpec& spec,
 ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
                                 const WatermarkSpec& spec);
 
+/// Manufacturer flow with explicit driver options: encode `spec` but drive
+/// the imprint with `opts` (npe/strategy/retries come from `opts`, not the
+/// spec). This is how the session and fleet layers attach resume offsets,
+/// checkpoint hooks, and watchdog cancellation to a watermark imprint.
+ImprintReport imprint_watermark(FlashHal& hal, Addr addr,
+                                const WatermarkSpec& spec,
+                                const ImprintOptions& opts);
+
 struct VerifyOptions {
   SimTime t_pew = SimTime::us(28);  ///< family window published by the vendor
   std::size_t n_replicas = 7;
@@ -97,6 +105,9 @@ struct VerifyOptions {
   /// Read-back verification of each extraction round's program step
   /// (ExtractOptions::verify_program).
   bool verify_program = false;
+  /// Cooperative-cancellation hook forwarded to the extraction rounds
+  /// (ExtractOptions::cancelled) — how the fleet watchdog stops an audit.
+  std::function<bool()> cancelled;
   /// Below this fraction of stressed (0) bits in the watermark region the
   /// chip is declared kNoWatermark (a real watermark is ~50% by
   /// construction of the dual-rail code).

@@ -84,6 +84,13 @@ class FlashArray {
   /// std::runtime_error on format errors.
   void load_segments(std::istream& is);
 
+  /// Serializable state of the shared read-noise stream (die-format v2).
+  /// Persisting it makes a reloaded die continue the *exact* noise draw
+  /// sequence of the saved one — the property resumable imprint sessions
+  /// need for byte-identical crash recovery.
+  Rng::State noise_rng_state() const { return noise_rng_.state(); }
+  void restore_noise_rng(const Rng::State& st) { noise_rng_ = Rng::from_state(st); }
+
   /// High-temperature bake of the whole die for `hours` (thermal, not a
   /// digital command — the counterfeiter's refurbishing oven). Applies
   /// Cell::bake to every manufactured cell; untouched segments are fresh

@@ -66,6 +66,21 @@ class RetryExhaustedError : public std::runtime_error {
   std::uint32_t attempts_;
 };
 
+/// Thrown by a long-running driver (imprint/extract loop) when its
+/// cooperative-cancellation hook fires between units of work. Lives in the
+/// error taxonomy here (not in src/fleet) so fm_core can throw it without
+/// depending on the supervision layer that requested the cancellation; the
+/// fleet watchdog maps it onto a structured FailureReason.
+class OperationCancelledError : public std::runtime_error {
+ public:
+  explicit OperationCancelledError(const std::string& op)
+      : std::runtime_error(op + ": cancelled cooperatively"), op_(op) {}
+  const std::string& op() const { return op_; }
+
+ private:
+  std::string op_;
+};
+
 class FlashHal {
  public:
   virtual ~FlashHal() = default;

@@ -1,14 +1,21 @@
 #include "fleet/fleet.hpp"
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "fleet/thread_pool.hpp"
+#include "session/resumable.hpp"
+#include "util/fsio.hpp"
 #include "util/rng.hpp"
 #include "util/siphash.hpp"
 
@@ -21,6 +28,14 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t ms_to_ns(double ms) { return static_cast<std::int64_t>(ms * 1e6); }
 
 }  // namespace
 
@@ -53,6 +68,8 @@ const char* to_string(FailureReason r) {
     case FailureReason::kRetryExhausted: return "retry-exhausted";
     case FailureReason::kFlashProtocol: return "flash-protocol";
     case FailureReason::kOther: return "other";
+    case FailureReason::kDeadlineExceeded: return "deadline-exceeded";
+    case FailureReason::kStalled: return "stalled";
   }
   return "unknown";
 }
@@ -210,17 +227,89 @@ void FleetReport::print_summary(std::ostream& os) const {
   os << "\n";
 }
 
-FleetReport run_dies(std::size_t n_dies, const DieJob& job,
+namespace {
+
+/// The fleet watchdog: a single thread polling every die's DieProgress
+/// token while the batch runs, arming cooperative cancellation on dies that
+/// blew their deadline or stopped heartbeating. It never touches die state —
+/// only the tokens — so supervision is data-race-free by construction (the
+/// tokens are relaxed atomics) and cannot perturb the simulation of
+/// surviving dies. Construction starts the thread; destruction joins it.
+class Watchdog {
+ public:
+  Watchdog(std::vector<DieProgress>& tokens, const FleetOptions& opts)
+      : tokens_(tokens),
+        opts_(opts),
+        last_ticks_(tokens.size(), 0),
+        last_change_ns_(tokens.size(), -1),
+        thread_([this] { run(); }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    const double poll_ms =
+        opts_.watchdog_poll_ms > 0.0 ? opts_.watchdog_poll_ms : 2.0;
+    const auto poll = std::chrono::duration<double, std::milli>(poll_ms);
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!cv_.wait_for(lk, poll, [this] { return done_; })) {
+      const std::int64_t now = now_ns();
+      for (std::size_t i = 0; i < tokens_.size(); ++i) {
+        DieProgress& t = tokens_[i];
+        if (!t.started() || t.finished()) continue;
+        if (opts_.die_deadline_ms > 0.0 &&
+            now - t.start_ns() > ms_to_ns(opts_.die_deadline_ms)) {
+          t.request_cancel(CancelCause::kDeadline);
+          continue;
+        }
+        if (opts_.die_stall_ms > 0.0) {
+          const std::uint64_t ticks = t.ticks();
+          if (last_change_ns_[i] < 0 || ticks != last_ticks_[i]) {
+            last_ticks_[i] = ticks;
+            last_change_ns_[i] = now;
+          } else if (now - last_change_ns_[i] > ms_to_ns(opts_.die_stall_ms)) {
+            t.request_cancel(CancelCause::kStalled);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<DieProgress>& tokens_;
+  const FleetOptions& opts_;
+  std::vector<std::uint64_t> last_ticks_;   // watchdog-thread-local
+  std::vector<std::int64_t> last_change_ns_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
                      const FleetOptions& opts) {
   FleetReport report;
   report.dies.resize(n_dies);
   for (std::size_t i = 0; i < n_dies; ++i) report.dies[i].die = i;
   report.threads_used = resolve_threads(opts.threads);
 
+  std::vector<DieProgress> progress(n_dies);
+  const bool supervised = opts.die_deadline_ms > 0.0 || opts.die_stall_ms > 0.0;
+
   const auto t0 = Clock::now();
-  auto run_one = [&report, &job](std::size_t die) {
+  auto run_one = [&report, &job, &progress](std::size_t die) {
     DieCounters& slot = report.dies[die];
+    DieProgress& token = progress[die];
     const auto job_t0 = Clock::now();
+    token.mark_started();
     auto fail = [&slot](FailureReason reason, const char* what) {
       slot.failed = true;
       slot.health = DieHealth::kFailed;
@@ -228,7 +317,7 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
       slot.error = what;
     };
     try {
-      job(die, slot);
+      job(die, slot, token);
       // A job that completed but consumed recovery budget (or had faults
       // injected) ran on degraded silicon — classify it as such unless the
       // job already picked a stronger verdict.
@@ -236,6 +325,20 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
           (slot.retries > 0 || slot.ecc_corrected > 0 ||
            slot.faults_injected > 0))
         slot.health = DieHealth::kDegraded;
+    } catch (const OperationCancelledError& e) {
+      // The watchdog's verdict, not the exception, carries the cause: a
+      // job may also abort on a caller-provided hook (cause kNone).
+      switch (token.cause()) {
+        case CancelCause::kDeadline:
+          fail(FailureReason::kDeadlineExceeded, e.what());
+          break;
+        case CancelCause::kStalled:
+          fail(FailureReason::kStalled, e.what());
+          break;
+        case CancelCause::kNone:
+          fail(FailureReason::kOther, e.what());
+          break;
+      }
     } catch (const RetryExhaustedError& e) {
       fail(FailureReason::kRetryExhausted, e.what());
     } catch (const TransientFlashError& e) {
@@ -248,19 +351,36 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
       fail(FailureReason::kOther, "unknown exception");
     }
     slot.wall_ms = ms_since(job_t0);
+    token.mark_finished();
   };
 
-  if (report.threads_used <= 1 || n_dies <= 1) {
-    // Inline path: byte-for-byte the pre-fleet sequential behavior.
-    for (std::size_t i = 0; i < n_dies; ++i) run_one(i);
-  } else {
-    ThreadPool pool(report.threads_used);
-    for (std::size_t i = 0; i < n_dies; ++i)
-      pool.submit([&run_one, i] { run_one(i); });
-    pool.wait_idle();
+  {
+    // Scope: the watchdog must join before the report is finalized.
+    std::optional<Watchdog> watchdog;
+    if (supervised) watchdog.emplace(progress, opts);
+
+    if (report.threads_used <= 1 || n_dies <= 1) {
+      // Inline path: byte-for-byte the pre-fleet sequential behavior.
+      for (std::size_t i = 0; i < n_dies; ++i) run_one(i);
+    } else {
+      ThreadPool pool(report.threads_used);
+      for (std::size_t i = 0; i < n_dies; ++i)
+        pool.submit([&run_one, i] { run_one(i); });
+      pool.wait_idle();
+    }
   }
   report.wall_ms = ms_since(t0);
   return report;
+}
+
+FleetReport run_dies(std::size_t n_dies, const DieJob& job,
+                     const FleetOptions& opts) {
+  return run_dies(
+      n_dies,
+      [&job](std::size_t die, DieCounters& counters, DieProgress&) {
+        job(die, counters);
+      },
+      opts);
 }
 
 namespace {
@@ -277,29 +397,192 @@ FlashHal& policy_hal(Device& dev, std::size_t die, const FaultPolicy& policy,
   return *storage;
 }
 
+void reject_session_plus_faults(const char* who, const SessionPolicy& session,
+                                const FaultPolicy& faults) {
+  if (session.enabled() && faults.config.any())
+    throw std::invalid_argument(
+        std::string(who) +
+        ": a journaled session owns the die's HAL end to end and cannot be "
+        "combined with a FaultPolicy");
+}
+
+std::string die_session_dir(const SessionPolicy& session, std::size_t die) {
+  return session.dir + "/die-" + std::to_string(die);
+}
+
+std::string audit_journal_path(const SessionPolicy& session) {
+  return session.dir + "/audit.fmj";
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f) std::fclose(f);
+  return f != nullptr;
+}
+
+// --- audit-journal record vocabulary ------------------------------------
+// One "die" record per completed verdict: every field of the VerifyReport,
+// doubles in hexfloat so the restored report is bit-identical to the one the
+// crashed process computed.
+
+std::string exact_double(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+std::uint64_t audit_u64(const std::map<std::string, std::string>& kv,
+                        const char* key) {
+  const auto it = kv.find(key);
+  if (it == kv.end())
+    throw std::runtime_error(std::string("audit record: missing '") + key +
+                             "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (!end || end == it->second.c_str() || *end != '\0')
+    throw std::runtime_error(std::string("audit record: bad value for '") +
+                             key + "'");
+  return v;
+}
+
+double audit_double(const std::map<std::string, std::string>& kv,
+                    const char* key) {
+  const auto it = kv.find(key);
+  if (it == kv.end())
+    throw std::runtime_error(std::string("audit record: missing '") + key +
+                             "'");
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (!end || end == it->second.c_str() || *end != '\0')
+    throw std::runtime_error(std::string("audit record: bad value for '") +
+                             key + "'");
+  return v;
+}
+
+std::string audit_payload(std::size_t die, const VerifyReport& r) {
+  std::ostringstream os;
+  os << "die=" << die
+     << " verdict=" << unsigned(static_cast<std::uint8_t>(r.verdict))
+     << " sig_checked=" << (r.signature_checked ? 1 : 0)
+     << " sig_ok=" << (r.signature_ok ? 1 : 0) << " p00=" << r.invalid_00_pairs
+     << " p11=" << r.invalid_11_pairs << " ecc=" << r.ecc_corrected_blocks
+     << " retries=" << r.retries << " extract_ns=" << r.extract_time.as_ns()
+     << " zf=" << exact_double(r.zero_fraction)
+     << " rd=" << exact_double(r.replica_disagreement);
+  if (r.fields) {
+    os << " mf=" << r.fields->manufacturer_id << " id=" << r.fields->die_id
+       << " grade=" << unsigned(r.fields->speed_grade)
+       << " status=" << unsigned(static_cast<std::uint8_t>(r.fields->status))
+       << " date=" << r.fields->date_code;
+  }
+  return os.str();
+}
+
+bool parse_audit_record(const std::string& payload, std::size_t& die,
+                        VerifyReport& r) {
+  try {
+    const auto kv = session::parse_kv(payload);
+    die = static_cast<std::size_t>(audit_u64(kv, "die"));
+    r = VerifyReport{};
+    r.verdict =
+        static_cast<Verdict>(static_cast<std::uint8_t>(audit_u64(kv, "verdict")));
+    r.signature_checked = audit_u64(kv, "sig_checked") != 0;
+    r.signature_ok = audit_u64(kv, "sig_ok") != 0;
+    r.invalid_00_pairs = static_cast<std::size_t>(audit_u64(kv, "p00"));
+    r.invalid_11_pairs = static_cast<std::size_t>(audit_u64(kv, "p11"));
+    r.ecc_corrected_blocks = static_cast<std::size_t>(audit_u64(kv, "ecc"));
+    r.retries = audit_u64(kv, "retries");
+    r.extract_time =
+        SimTime::ns(static_cast<std::int64_t>(audit_u64(kv, "extract_ns")));
+    r.zero_fraction = audit_double(kv, "zf");
+    r.replica_disagreement = audit_double(kv, "rd");
+    if (kv.count("mf")) {
+      WatermarkFields f;
+      f.manufacturer_id = static_cast<std::uint16_t>(audit_u64(kv, "mf"));
+      f.die_id = static_cast<std::uint32_t>(audit_u64(kv, "id"));
+      f.speed_grade = static_cast<std::uint8_t>(audit_u64(kv, "grade"));
+      f.status = static_cast<TestStatus>(
+          static_cast<std::uint8_t>(audit_u64(kv, "status")));
+      f.date_code = static_cast<std::uint16_t>(audit_u64(kv, "date"));
+      r.fields = f;
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 ImprintBatchResult imprint_batch(
     const DeviceConfig& config, std::uint64_t master_seed, std::size_t n_dies,
     std::size_t segment,
     const std::function<WatermarkSpec(std::size_t)>& spec_of,
-    const FleetOptions& opts, const FaultPolicy& faults) {
+    const FleetOptions& opts, const FaultPolicy& faults,
+    const SessionPolicy& session) {
+  reject_session_plus_faults("imprint_batch", session, faults);
   ImprintBatchResult out;
   out.dies.resize(n_dies);
   out.reports.resize(n_dies);
   out.fleet = run_dies(
       n_dies,
-      [&](std::size_t die, DieCounters& counters) {
+      [&](std::size_t die, DieCounters& counters, DieProgress& token) {
         auto dev = std::make_unique<Device>(config,
                                             derive_die_seed(master_seed, die));
         const Addr addr = dev->config().geometry.segment_base(segment);
+        const WatermarkSpec spec = spec_of(die);
+
+        if (session.enabled()) {
+          // Journaled path: one session directory per die. Sessions run the
+          // cycle-accurate kLoop driver regardless of spec.strategy (batch
+          // wear has no per-cycle checkpoints to journal).
+          const std::string dir = die_session_dir(session, die);
+          session::SessionConfig cfg;
+          cfg.checkpoint_every = session.checkpoint_every;
+          cfg.durable = session.durable;
+          cfg.accelerated = spec.accelerated;
+          cfg.max_retries = spec.max_retries;
+          cfg.cancelled = [&token] { return token.cancel_requested(); };
+          cfg.on_cycle = [&token](std::uint32_t) { token.tick(); };
+          try {
+            if (session.resume && session::inspect_session(dir).exists) {
+              session::ResumeResult r = session::resume_imprint_session(dir, cfg);
+              out.dies[die] = std::move(r.dev);
+              out.reports[die] = r.report;
+            } else {
+              const auto& g = dev->config().geometry;
+              const EncodedWatermark enc =
+                  encode_watermark(spec, g.segment_cells(segment));
+              out.dies[die] = std::move(dev);
+              out.reports[die] = session::run_imprint_session(
+                  dir, *out.dies[die], addr, enc.segment_pattern, spec.npe,
+                  cfg);
+            }
+            counters.retries += out.reports[die].retries;
+          } catch (...) {
+            // A die interrupted mid-resume never reached its slot; its
+            // checkpoints are still on disk for the next attempt.
+            if (out.dies[die]) counters.absorb(*out.dies[die]);
+            throw;
+          }
+          counters.absorb(*out.dies[die]);
+          return;
+        }
+
         std::optional<fault::FaultyHal> fhal;
         FlashHal& hal = policy_hal(*dev, die, faults, fhal);
         // The die must land in its slot even when the imprint aborts —
         // a power-lost die still exists and can be re-tested.
         out.dies[die] = std::move(dev);
+        ImprintOptions io;
+        io.npe = spec.npe;
+        io.strategy = spec.strategy;
+        io.accelerated = spec.accelerated;
+        io.max_retries = spec.max_retries;
+        io.cancelled = [&token] { return token.cancel_requested(); };
+        io.on_cycle = [&token](std::uint32_t) { token.tick(); };
         try {
-          out.reports[die] = imprint_watermark(hal, addr, spec_of(die));
+          out.reports[die] = imprint_watermark(hal, addr, spec, io);
           counters.retries += out.reports[die].retries;
         } catch (...) {
           counters.absorb(*out.dies[die]);
@@ -321,15 +604,21 @@ ExtractBatchResult extract_batch(
   out.results.resize(dies.size());
   out.fleet = run_dies(
       dies.size(),
-      [&](std::size_t die, DieCounters& counters) {
+      [&](std::size_t die, DieCounters& counters, DieProgress& token) {
         Device& dev = *dies[die];
         dev.controller().reset_op_counters();
         const SimTime before = dev.clock().now();
         const Addr addr = dev.config().geometry.segment_base(segment);
         std::optional<fault::FaultyHal> fhal;
         FlashHal& hal = policy_hal(dev, die, faults, fhal);
+        ExtractOptions eo2 = eo;
+        const std::function<bool()> user_cancel = eo.cancelled;
+        eo2.cancelled = [&token, user_cancel] {
+          token.tick();  // one heartbeat per extraction round
+          return token.cancel_requested() || (user_cancel && user_cancel());
+        };
         try {
-          out.results[die] = extract_flashmark(hal, addr, eo);
+          out.results[die] = extract_flashmark(hal, addr, eo2);
           counters.retries += out.results[die].retries;
         } catch (...) {
           counters.absorb(dev);
@@ -348,26 +637,80 @@ ExtractBatchResult extract_batch(
 AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
                              std::size_t segment, const VerifyOptions& vo,
                              const FleetOptions& opts,
-                             const FaultPolicy& faults) {
+                             const FaultPolicy& faults,
+                             const SessionPolicy& session) {
+  reject_session_plus_faults("audit_batch", session, faults);
   AuditBatchResult out;
   out.reports.resize(dies.size());
+
+  // Audit journaling: one shared journal of per-die verdict records.
+  // Verdicts are appended as each die completes (append order is scheduling-
+  // dependent; the records carry their die index, so restore order isn't).
+  std::vector<char> restored(dies.size(), 0);
+  std::optional<session::JournalWriter> journal;
+  std::mutex journal_mu;
+  if (session.enabled()) {
+    if (const IoStatus st = make_dirs(session.dir); !st)
+      throw std::runtime_error("audit_batch: " + st.error);
+    const std::string path = audit_journal_path(session);
+    if (session.resume && file_exists(path)) {
+      // Open first (truncates any torn tail), then replay the clean file.
+      journal.emplace(session::JournalWriter::open(path, session.durable));
+      const session::ReplayResult replay = session::replay_journal(path);
+      for (const auto& rec : replay.records) {
+        if (rec.type != "die") continue;
+        std::size_t die = 0;
+        VerifyReport rep;
+        if (parse_audit_record(rec.payload, die, rep) && die < dies.size()) {
+          out.reports[die] = rep;
+          restored[die] = 1;
+        }
+      }
+    } else {
+      if (file_exists(path))
+        throw std::runtime_error(
+            "audit_batch: journal already exists in " + session.dir +
+            " — set SessionPolicy::resume or remove it explicitly");
+      journal.emplace(session::JournalWriter::create(
+          path,
+          {{"begin",
+            "seg=" + std::to_string(segment) +
+                " dies=" + std::to_string(dies.size())}},
+          session.durable));
+    }
+  }
+
   out.fleet = run_dies(
       dies.size(),
-      [&](std::size_t die, DieCounters& counters) {
+      [&](std::size_t die, DieCounters& counters, DieProgress& token) {
+        // A verdict restored from the journal is final: the work happened in
+        // the crashed process. Its counter row stays zero in this process.
+        if (restored[die]) return;
         Device& dev = *dies[die];
         dev.controller().reset_op_counters();
         const SimTime before = dev.clock().now();
         const Addr addr = dev.config().geometry.segment_base(segment);
         std::optional<fault::FaultyHal> fhal;
         FlashHal& hal = policy_hal(dev, die, faults, fhal);
+        VerifyOptions vo2 = vo;
+        const std::function<bool()> user_cancel = vo.cancelled;
+        vo2.cancelled = [&token, user_cancel] {
+          token.tick();  // one heartbeat per extraction round
+          return token.cancel_requested() || (user_cancel && user_cancel());
+        };
         try {
-          out.reports[die] = verify_watermark(hal, addr, vo);
+          out.reports[die] = verify_watermark(hal, addr, vo2);
           counters.absorb_recovery(out.reports[die]);
         } catch (...) {
           counters.absorb(dev);
           counters.sim_time -= before;
           if (fhal) counters.absorb_faults(*fhal);
           throw;
+        }
+        if (journal) {
+          const std::string payload = audit_payload(die, out.reports[die]);
+          std::lock_guard<std::mutex> lk(journal_mu);
+          journal->append({"die", payload}, /*sync=*/session.durable);
         }
         counters.absorb(dev);
         counters.sim_time -= before;  // only time advanced by this batch

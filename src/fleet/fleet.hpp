@@ -11,6 +11,8 @@
 // docs/REPRODUCIBILITY.md; the architecture is sketched in DESIGN.md §8.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
@@ -45,6 +47,76 @@ struct FleetOptions {
   /// jobs run inline on the calling thread (no pool), which reproduces the
   /// pre-fleet sequential behavior instruction-for-instruction.
   unsigned threads = 0;
+
+  // --- watchdog (per-die supervision) -----------------------------------
+  // Either limit > 0 arms a watchdog thread that polls every running die
+  // and requests *cooperative* cancellation through its DieProgress token.
+  // Cancelled dies abort at their next poll point (between P/E cycles /
+  // extraction rounds), are classified kDeadlineExceeded / kStalled, and
+  // never block the rest of the batch. Wall-clock limits are host
+  // measurements: they decide only whether a die is cut off, never what a
+  // surviving die computes, so the determinism contract is untouched
+  // (docs/REPRODUCIBILITY.md).
+
+  /// Soft wall-clock deadline per die job, in ms. 0 = no deadline.
+  double die_deadline_ms = 0.0;
+  /// Cancel a die whose job heartbeat has not advanced for this long (a
+  /// stalled/hung die, e.g. livelocked retries). 0 = stall detection off.
+  double die_stall_ms = 0.0;
+  /// Watchdog poll interval, ms.
+  double watchdog_poll_ms = 2.0;
+};
+
+/// Why the watchdog cancelled a die.
+enum class CancelCause : std::uint8_t { kNone = 0, kDeadline, kStalled };
+
+/// Shared progress/cancellation token between one die's job and the fleet
+/// watchdog. The job side heartbeats (`tick`) and polls
+/// (`cancel_requested`); the watchdog side observes heartbeats and arms
+/// `request_cancel`. All accesses are relaxed atomics: the token carries no
+/// data the simulation reads, only supervision signals.
+class DieProgress {
+ public:
+  /// Job side: record forward progress (one P/E cycle, one audit round...).
+  void tick() { ticks_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Job side: poll between units of work; abort via OperationCancelledError
+  /// when true (the pipelines in this header do this automatically).
+  bool cancel_requested() const {
+    return cause_.load(std::memory_order_relaxed) != CancelCause::kNone;
+  }
+
+  CancelCause cause() const { return cause_.load(std::memory_order_relaxed); }
+
+  /// Watchdog side: first cause wins.
+  void request_cancel(CancelCause cause) {
+    CancelCause none = CancelCause::kNone;
+    cause_.compare_exchange_strong(none, cause, std::memory_order_relaxed);
+  }
+
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  // Batch-runner bookkeeping (not for job code).
+  void mark_started() {
+    start_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count(),
+                    std::memory_order_relaxed);
+  }
+  void mark_finished() { finished_.store(true, std::memory_order_relaxed); }
+  bool started() const {
+    return start_ns_.load(std::memory_order_relaxed) >= 0;
+  }
+  bool finished() const { return finished_.load(std::memory_order_relaxed); }
+  std::int64_t start_ns() const {
+    return start_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<CancelCause> cause_{CancelCause::kNone};
+  std::atomic<std::int64_t> start_ns_{-1};
+  std::atomic<bool> finished_{false};
 };
 
 /// A flag a binary accepts on top of the shared fleet flags (so
@@ -73,11 +145,13 @@ enum class DieHealth : std::uint8_t {
 /// Structured failure taxonomy for a failed die — fleet consumers branch on
 /// this instead of parsing `error` strings.
 enum class FailureReason : std::uint8_t {
-  kNone = 0,         ///< not failed
-  kPowerLoss,        ///< un-retried transient fault surfaced (power loss)
-  kRetryExhausted,   ///< retry budget spent (RetryExhaustedError)
-  kFlashProtocol,    ///< device refused a command (FlashHalError)
-  kOther,            ///< any other exception
+  kNone = 0,          ///< not failed
+  kPowerLoss,         ///< un-retried transient fault surfaced (power loss)
+  kRetryExhausted,    ///< retry budget spent (RetryExhaustedError)
+  kFlashProtocol,     ///< device refused a command (FlashHalError)
+  kOther,             ///< any other exception
+  kDeadlineExceeded,  ///< watchdog cancelled: per-die deadline blown
+  kStalled,           ///< watchdog cancelled: heartbeat stopped advancing
 };
 
 const char* to_string(DieHealth h);
@@ -155,12 +229,27 @@ struct FleetReport {
 /// mutable state (see docs/REPRODUCIBILITY.md).
 using DieJob = std::function<void(std::size_t die, DieCounters& counters)>;
 
+/// A supervised per-die job: like DieJob, plus the die's DieProgress token.
+/// The job should `tick()` it on forward progress and either poll
+/// `cancel_requested()` between units of work or wire it into the pipeline's
+/// `cancelled` hook, aborting via OperationCancelledError.
+using SupervisedDieJob = std::function<void(
+    std::size_t die, DieCounters& counters, DieProgress& progress)>;
+
 /// Run `job` for dies 0..n_dies-1 on a fixed-size thread pool.
 ///
 /// A job that throws marks only its own slot failed (`failed`/`error`);
 /// other slots are unaffected and the run completes. The returned report has
 /// exactly `n_dies` rows in die order regardless of scheduling.
 FleetReport run_dies(std::size_t n_dies, const DieJob& job,
+                     const FleetOptions& opts = {});
+
+/// Supervised overload: when `opts` arms a deadline or stall limit, a
+/// watchdog thread polls every die's DieProgress and cancels offenders
+/// cooperatively; a job aborted by its token is classified
+/// kDeadlineExceeded / kStalled instead of kOther. Without limits this is
+/// run_dies with an inert token (no watchdog thread is spawned).
+FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
                      const FleetOptions& opts = {});
 
 /// A freshly manufactured fleet: dies[i] has seed
@@ -185,6 +274,22 @@ struct FaultPolicy {
   }
 };
 
+/// Crash recovery for a whole batch: when `dir` is non-empty, every die of
+/// the batch runs as a journaled session under `dir` (imprint_batch uses
+/// per-die subdirectories `<dir>/die-<n>`; audit_batch one shared
+/// `<dir>/audit.fmj`). A re-run of the same batch with `resume = true` skips
+/// or fast-forwards the dies the journal already recorded — a half-finished
+/// 500-die lot continues instead of restarting. Journaled dies bypass any
+/// FaultPolicy (the session layer owns the die's HAL end to end); combining
+/// the two throws std::invalid_argument.
+struct SessionPolicy {
+  std::string dir;  ///< journal directory; empty = journaling off
+  std::uint32_t checkpoint_every = 4096;  ///< imprint checkpoint cadence
+  bool resume = false;  ///< continue `dir`'s journals instead of starting
+  bool durable = true;  ///< fsync journal appends and checkpoints
+  bool enabled() const { return !dir.empty(); }
+};
+
 /// Result slots of imprint_batch, indexed by die.
 struct ImprintBatchResult {
   std::vector<std::unique_ptr<Device>> dies;  ///< the imprinted fleet
@@ -196,11 +301,14 @@ struct ImprintBatchResult {
 /// with the watermark returned by `spec_of(die)` at main segment
 /// `segment`. One thread-pool job per die. With a `faults` policy the
 /// afflicted dies are imprinted through a FaultyHal (their specs'
-/// max_retries decides whether they survive power losses).
+/// max_retries decides whether they survive power losses). With a `session`
+/// policy each die journals its progress and an interrupted batch resumes
+/// from its checkpoints (byte-identical to an uninterrupted run).
 ImprintBatchResult imprint_batch(
     const DeviceConfig& config, std::uint64_t master_seed, std::size_t n_dies,
     std::size_t segment, const std::function<WatermarkSpec(std::size_t)>& spec_of,
-    const FleetOptions& opts = {}, const FaultPolicy& faults = {});
+    const FleetOptions& opts = {}, const FaultPolicy& faults = {},
+    const SessionPolicy& session = {});
 
 /// Result slots of extract_batch, indexed by die.
 struct ExtractBatchResult {
@@ -231,9 +339,14 @@ struct AuditBatchResult {
 /// kDegraded (verified, but retries / ECC corrections / injected faults
 /// were involved), or kFailed with a structured FailureReason (e.g.
 /// kRetryExhausted when the retry budget ran out).
+/// With a `session` policy every completed die's verdict is appended to
+/// `<dir>/audit.fmj`; a resumed audit restores recorded verdicts without
+/// re-reading those dies (their counter rows stay zero, health kClean —
+/// the work happened in the crashed process).
 AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
                              std::size_t segment, const VerifyOptions& vo,
                              const FleetOptions& opts = {},
-                             const FaultPolicy& faults = {});
+                             const FaultPolicy& faults = {},
+                             const SessionPolicy& session = {});
 
 }  // namespace flashmark::fleet

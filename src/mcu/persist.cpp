@@ -1,6 +1,9 @@
 #include "mcu/persist.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace flashmark {
@@ -12,24 +15,33 @@ DeviceConfig config_for_family(const std::string& family) {
 }
 
 void save_device(Device& dev, std::ostream& os) {
-  os << "FLASHMARK-DIE 1\n"
+  const Rng::State noise = dev.array().noise_rng_state();
+  os << "FLASHMARK-DIE 2\n"
      << "family " << dev.config().family << "\n"
      << "seed " << dev.die_seed() << "\n"
-     << "clock_ns " << dev.clock().now().as_ns() << "\n";
+     << "clock_ns " << dev.clock().now().as_ns() << "\n"
+     << "temperature_c "
+     << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << dev.array().temperature_c() << "\n"
+     << "noise_rng " << noise.s[0] << ' ' << noise.s[1] << ' ' << noise.s[2]
+     << ' ' << noise.s[3] << ' ' << noise.cached_normal_bits << ' '
+     << (noise.has_cached_normal ? 1 : 0) << "\n";
   dev.array().save_segments(os);
 }
 
-bool save_device_file(Device& dev, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return false;
-  save_device(dev, f);
-  return static_cast<bool>(f);
+IoStatus save_device_file(Device& dev, const std::string& path) {
+  std::ostringstream ss;
+  save_device(dev, ss);
+  if (!ss)
+    return IoStatus::failure("save_device_file: serialization failed");
+  return atomic_write_file(path, ss.str());
 }
 
 std::unique_ptr<Device> load_device(std::istream& is) {
   std::string magic;
   int version = 0;
-  if (!(is >> magic >> version) || magic != "FLASHMARK-DIE" || version != 1)
+  if (!(is >> magic >> version) || magic != "FLASHMARK-DIE" ||
+      (version != 1 && version != 2))
     throw std::runtime_error("load_device: bad header");
 
   std::string tag, family;
@@ -41,9 +53,35 @@ std::unique_ptr<Device> load_device(std::istream& is) {
     throw std::runtime_error("load_device: missing seed");
   if (!(is >> tag >> clock_ns) || tag != "clock_ns")
     throw std::runtime_error("load_device: missing clock");
+  if (clock_ns < 0)
+    throw std::runtime_error("load_device: negative clock");
 
   auto dev = std::make_unique<Device>(config_for_family(family), seed);
   dev->clock().advance(SimTime::ns(clock_ns));
+
+  if (version >= 2) {
+    double temperature = 25.0;
+    Rng::State noise;
+    int has_cached = 0;
+    if (!(is >> tag >> temperature) || tag != "temperature_c")
+      throw std::runtime_error("load_device: missing temperature");
+    if (!(is >> tag >> noise.s[0] >> noise.s[1] >> noise.s[2] >> noise.s[3] >>
+          noise.cached_normal_bits >> has_cached) ||
+        tag != "noise_rng" || (has_cached != 0 && has_cached != 1))
+      throw std::runtime_error("load_device: missing noise_rng");
+    noise.has_cached_normal = has_cached == 1;
+    try {
+      dev->array().set_temperature_c(temperature);
+    } catch (const std::exception& e) {
+      // Out-of-model temperature in a corrupted file is a load error, not a
+      // caller logic error.
+      throw std::runtime_error(std::string("load_device: ") + e.what());
+    }
+    dev->array().restore_noise_rng(noise);
+  }
+  // v1 files carry no noise state: the stream restarts from the die seed
+  // (the behavior every v1 consumer was written against).
+
   dev->array().load_segments(is);
   return dev;
 }

@@ -4,16 +4,27 @@
 // exchanging die files between tools. Format is a versioned, human-readable
 // text file:
 //
-//   FLASHMARK-DIE 1
+//   FLASHMARK-DIE 2
 //   family <preset name>
 //   seed <u64>
 //   clock_ns <i64>
+//   temperature_c <double>
+//   noise_rng <s0> <s1> <s2> <s3> <cached_bits> <has_cached>
 //   <FMSEGS block with every materialized segment's cell state>
 //
-// Limitations (documented, by design): the device is rebuilt from its
-// family *preset* (custom PhysParams/geometry are not persisted), and the
-// read-noise RNG stream restarts from the die seed — physical state is
-// exact, noise draws are not replayed.
+// Version 2 persists the junction temperature and the complete read-noise
+// RNG stream state, so a reloaded die continues the exact draw sequence of
+// the saved one — the property resumable imprint sessions depend on for
+// byte-identical crash recovery. Version 1 files (no temperature/noise_rng
+// lines) still load; their noise stream restarts from the die seed, which
+// was the documented v1 behavior.
+//
+// Remaining limitation (documented, by design): the device is rebuilt from
+// its family *preset* — custom PhysParams/geometry are not persisted.
+//
+// File saves are crash-atomic: the die is serialized to a sibling temp file
+// which is fsync'd and renamed over the target, so a kill at any instant
+// leaves either the old or the new checkpoint on disk, never a torn file.
 #pragma once
 
 #include <iosfwd>
@@ -21,13 +32,19 @@
 #include <string>
 
 #include "mcu/device.hpp"
+#include "util/fsio.hpp"
 
 namespace flashmark {
 
 void save_device(Device& dev, std::ostream& os);
-bool save_device_file(Device& dev, const std::string& path);
 
-/// Throws std::runtime_error on format errors or unknown family names.
+/// Atomically replace `path` with the serialized die (temp file + fsync +
+/// rename). The returned status is boolean-testable and carries the failure
+/// cause (errno text) when the save could not be made durable.
+IoStatus save_device_file(Device& dev, const std::string& path);
+
+/// Throws std::runtime_error on format errors, unknown family names, or
+/// invalid persisted state (truncated/corrupted input never crashes).
 std::unique_ptr<Device> load_device(std::istream& is);
 std::unique_ptr<Device> load_device_file(const std::string& path);
 

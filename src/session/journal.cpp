@@ -1,0 +1,140 @@
+#include "session/journal.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/crc.hpp"
+
+namespace flashmark::session {
+
+namespace {
+
+constexpr const char* kHeader = "FLASHMARK-JOURNAL 1";
+
+std::uint32_t record_crc(const std::string& body) {
+  return crc32_ieee(reinterpret_cast<const std::uint8_t*>(body.data()),
+                    body.size());
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+}  // namespace
+
+std::string frame_record(const JournalRecord& rec) {
+  if (rec.type.empty() || rec.type.find(' ') != std::string::npos)
+    throw std::invalid_argument("frame_record: bad record type");
+  if (rec.payload.find('\n') != std::string::npos)
+    throw std::invalid_argument("frame_record: payload must be single-line");
+  const std::string body =
+      rec.payload.empty() ? rec.type : rec.type + " " + rec.payload;
+  return "R " + crc_hex(record_crc(body)) + " " + body + "\n";
+}
+
+ReplayResult replay_journal(const std::string& path) {
+  std::string text;
+  const IoStatus st = read_file(path, &text);
+  if (!st) throw std::runtime_error("replay_journal: " + st.error);
+
+  ReplayResult out;
+  // Header line.
+  const auto head_end = text.find('\n');
+  if (head_end == std::string::npos ||
+      text.substr(0, head_end) != kHeader)
+    throw std::runtime_error("replay_journal: bad journal header in " + path);
+  out.header_ok = true;
+
+  std::size_t pos = head_end + 1;
+  while (pos < text.size()) {
+    const auto eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail: incomplete last line
+    const std::string line = text.substr(pos, eol - pos);
+    // "R <crc8> <body>"
+    if (line.size() < 11 || line.compare(0, 2, "R ") != 0 || line[10] != ' ')
+      break;
+    const std::string body = line.substr(11);
+    const std::string crc_field = line.substr(2, 8);
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(crc_field.c_str(), &end, 16);
+    if (!end || *end != '\0') break;
+    if (static_cast<std::uint32_t>(crc) != record_crc(body)) break;
+    JournalRecord rec;
+    const auto space = body.find(' ');
+    if (space == std::string::npos) {
+      rec.type = body;
+    } else {
+      rec.type = body.substr(0, space);
+      rec.payload = body.substr(space + 1);
+    }
+    out.records.push_back(std::move(rec));
+    pos = eol + 1;
+  }
+  out.dropped_bytes = text.size() - pos;
+  return out;
+}
+
+JournalWriter::JournalWriter(std::FILE* f, std::string path, bool durable)
+    : file_(f), path_(std::move(path)), durable_(durable) {}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const std::vector<JournalRecord>& first,
+                                    bool durable) {
+  std::string content = std::string(kHeader) + "\n";
+  for (const JournalRecord& rec : first) content += frame_record(rec);
+  // Atomic creation: the journal appears on disk complete with its opening
+  // records, or not at all.
+  if (const IoStatus st = atomic_write_file(path, content, durable); !st)
+    throw std::runtime_error("journal create: " + st.error);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f)
+    throw std::runtime_error("journal create: reopen failed: " + path);
+  return JournalWriter(f, path, durable);
+}
+
+JournalWriter JournalWriter::open(const std::string& path, bool durable) {
+  // Validate the header and measure the trusted prefix so appends extend it
+  // rather than a torn tail.
+  const ReplayResult prefix = replay_journal(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (!f) throw std::runtime_error("journal open: cannot open " + path);
+  if (prefix.dropped_bytes > 0) {
+    struct stat sb {};
+    if (::fstat(::fileno(f), &sb) != 0 ||
+        ::ftruncate(::fileno(f),
+                    sb.st_size -
+                        static_cast<off_t>(prefix.dropped_bytes)) != 0) {
+      std::fclose(f);
+      throw std::runtime_error("journal open: cannot truncate torn tail of " +
+                               path);
+    }
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    throw std::runtime_error("journal open: seek failed: " + path);
+  }
+  return JournalWriter(f, path, durable);
+}
+
+void JournalWriter::append(const JournalRecord& rec, bool sync) {
+  const std::string line = frame_record(rec);
+  if (std::fwrite(line.data(), 1, line.size(), file_.get()) != line.size())
+    throw std::runtime_error("journal append: write failed: " + path_);
+  if (sync && durable_) this->sync();
+  if (sync && !durable_) {
+    if (std::fflush(file_.get()) != 0)
+      throw std::runtime_error("journal append: flush failed: " + path_);
+  }
+}
+
+void JournalWriter::sync() {
+  if (const IoStatus st = fsync_stream(file_.get()); !st)
+    throw std::runtime_error("journal sync: " + st.error + " (" + path_ + ")");
+}
+
+}  // namespace flashmark::session

@@ -1,0 +1,93 @@
+// Write-ahead journal framing for crash-recoverable sessions.
+//
+// A journal is an append-only text file of CRC-32-framed records:
+//
+//   FLASHMARK-JOURNAL 1          <- plain header line
+//   R <crc32-hex8> <type> <payload...>\n
+//   R <crc32-hex8> <type> <payload...>\n
+//   ...
+//
+// The CRC covers exactly "<type> <payload>" (the bytes between the checksum
+// field and the newline). Replay accepts the longest valid prefix: a record
+// counts only if its line is complete (newline-terminated) and its CRC
+// matches; the first torn or corrupted line ends the trusted prefix and
+// everything after it is reported as dropped. This is the WAL discipline —
+// a SIGKILL mid-append loses at most the unsynced tail, never the prefix.
+//
+// Durability points are explicit: `append(rec, /*sync=*/true)` fsyncs the
+// file, so a record returned by replay after a crash was *on disk* when the
+// writer last synced. The layer is payload-agnostic; the imprint session and
+// batch-resume record vocabularies live in resumable.hpp / the fleet layer.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/fsio.hpp"
+
+namespace flashmark::session {
+
+/// One framed record: a type word (no spaces) plus free-form payload.
+struct JournalRecord {
+  std::string type;
+  std::string payload;
+};
+
+/// Serialize one record as its framed line (exposed for tests).
+std::string frame_record(const JournalRecord& rec);
+
+/// The longest trusted prefix of a journal file.
+struct ReplayResult {
+  std::vector<JournalRecord> records;
+  std::size_t dropped_bytes = 0;  ///< torn/corrupt tail discarded
+  bool header_ok = false;
+};
+
+/// Parse the journal at `path`. Throws std::runtime_error only when the file
+/// cannot be read at all or its header line is unrecognizable; torn and
+/// corrupted tails are tolerated and reported, not fatal.
+ReplayResult replay_journal(const std::string& path);
+
+/// Append-only journal writer.
+class JournalWriter {
+ public:
+  /// Create (truncate) the journal at `path` and durably write the header
+  /// plus `first` records in one step, so a journal that exists on disk
+  /// always carries its opening records. Throws std::runtime_error on I/O
+  /// failure.
+  static JournalWriter create(const std::string& path,
+                              const std::vector<JournalRecord>& first,
+                              bool durable = true);
+
+  /// Open an existing journal for appending (resume). The trusted prefix
+  /// must already have been read via replay_journal; appending truncates a
+  /// torn tail first so new records extend the valid prefix.
+  static JournalWriter open(const std::string& path, bool durable = true);
+
+  /// Append one record; with `sync` the record is fsync'd before returning.
+  /// Throws std::runtime_error on I/O failure — for an imprint session an
+  /// unsyncable journal means progress can no longer be made durable, which
+  /// callers must treat as fatal rather than silently continuing.
+  void append(const JournalRecord& rec, bool sync);
+
+  /// fsync any buffered appends.
+  void sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::FILE* f, std::string path, bool durable);
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  bool durable_ = true;
+};
+
+}  // namespace flashmark::session

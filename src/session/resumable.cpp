@@ -1,0 +1,334 @@
+#include "session/resumable.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "mcu/persist.hpp"
+
+namespace flashmark::session {
+
+namespace {
+
+constexpr const char* kJournalName = "imprint.fmj";
+
+std::string ckpt_file_name(std::uint32_t cycles) {
+  return "die-" + std::to_string(cycles) + ".fm";
+}
+
+std::uint64_t kv_u64(const std::map<std::string, std::string>& kv,
+                     const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end())
+    throw std::runtime_error("journal record: missing field '" + key + "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (!end || end == it->second.c_str() || *end != '\0')
+    throw std::runtime_error("journal record: bad value for '" + key + "'");
+  return v;
+}
+
+std::string kv_str(const std::map<std::string, std::string>& kv,
+                   const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end())
+    throw std::runtime_error("journal record: missing field '" + key + "'");
+  return it->second;
+}
+
+/// The begin record, parsed: the parameters a session committed to.
+struct BeginInfo {
+  std::size_t segment = 0;
+  std::uint32_t npe = 0;
+  std::uint32_t every = 0;
+  bool accelerated = false;
+  std::uint32_t max_retries = 0;
+  std::string pattern;  ///< '0'/'1' bitstring
+
+  static BeginInfo parse(const JournalRecord& rec) {
+    if (rec.type != "begin")
+      throw std::runtime_error("imprint journal: first record is not 'begin'");
+    const auto kv = parse_kv(rec.payload);
+    BeginInfo b;
+    b.segment = static_cast<std::size_t>(kv_u64(kv, "seg"));
+    b.npe = static_cast<std::uint32_t>(kv_u64(kv, "npe"));
+    b.every = static_cast<std::uint32_t>(kv_u64(kv, "every"));
+    b.accelerated = kv_u64(kv, "accelerated") != 0;
+    b.max_retries = static_cast<std::uint32_t>(kv_u64(kv, "max_retries"));
+    b.pattern = kv_str(kv, "pattern");
+    if (b.npe == 0 || b.every == 0)
+      throw std::runtime_error("imprint journal: corrupt begin record");
+    return b;
+  }
+
+  std::string payload() const {
+    std::ostringstream os;
+    os << "seg=" << segment << " npe=" << npe << " every=" << every
+       << " accelerated=" << (accelerated ? 1 : 0)
+       << " max_retries=" << max_retries << " pattern=" << pattern;
+    return os.str();
+  }
+};
+
+struct CkptInfo {
+  std::uint32_t cycles = 0;
+  std::string file;
+};
+
+/// Everything replay tells us about an imprint journal.
+struct ImprintLog {
+  BeginInfo begin;
+  std::vector<CkptInfo> ckpts;  ///< in journal order
+  bool completed = false;
+  std::uint64_t end_retries = 0;
+  bool torn_tail = false;
+};
+
+ImprintLog parse_imprint_journal(const std::string& dir) {
+  const ReplayResult replay = replay_journal(imprint_journal_path(dir));
+  if (replay.records.empty())
+    throw std::runtime_error("imprint journal: no trusted records in " + dir);
+  ImprintLog log;
+  log.begin = BeginInfo::parse(replay.records.front());
+  log.torn_tail = replay.dropped_bytes > 0;
+  for (std::size_t i = 1; i < replay.records.size(); ++i) {
+    const JournalRecord& rec = replay.records[i];
+    if (rec.type == "ckpt") {
+      const auto kv = parse_kv(rec.payload);
+      log.ckpts.push_back(CkptInfo{
+          static_cast<std::uint32_t>(kv_u64(kv, "cycles")), kv_str(kv, "file")});
+    } else if (rec.type == "end") {
+      const auto kv = parse_kv(rec.payload);
+      log.completed = true;
+      log.end_retries = kv_u64(kv, "retries");
+    }
+    // Unknown record types are skipped: newer writers may add vocabulary
+    // without breaking older readers.
+  }
+  return log;
+}
+
+/// Checkpointing state shared by the fresh-run and resume paths.
+class CheckpointSink {
+ public:
+  CheckpointSink(std::string dir, Device& dev, JournalWriter journal,
+                 const SessionConfig& cfg)
+      : dir_(std::move(dir)),
+        dev_(dev),
+        journal_(std::move(journal)),
+        durable_(cfg.durable),
+        gc_(cfg.gc_checkpoints) {}
+
+  /// WAL step: die state first (atomic file), then the record naming it.
+  void checkpoint(std::uint32_t cycles) {
+    const std::string name = ckpt_file_name(cycles);
+    if (const IoStatus st = save_device_file(dev_, dir_ + "/" + name); !st)
+      throw std::runtime_error("imprint session: checkpoint failed: " +
+                               st.error);
+    journal_.append({"ckpt", "cycles=" + std::to_string(cycles) +
+                                 " file=" + name},
+                    /*sync=*/durable_);
+    note_live(cycles);
+  }
+
+  void end(std::uint32_t cycles, const ImprintReport& report) {
+    std::ostringstream os;
+    os << "cycles=" << cycles << " elapsed_ns=" << report.elapsed.as_ns()
+       << " retries=" << report.retries;
+    journal_.append({"end", os.str()}, /*sync=*/true);
+  }
+
+  /// Seed the GC set with checkpoints an earlier process already wrote.
+  void note_live(std::uint32_t cycles) {
+    if (cycles == 0) return;  // die-0.fm is never collected
+    if (std::find(live_.begin(), live_.end(), cycles) == live_.end())
+      live_.push_back(cycles);
+    if (!gc_) return;
+    std::sort(live_.begin(), live_.end());
+    while (live_.size() > 2) {
+      std::remove((dir_ + "/" + ckpt_file_name(live_.front())).c_str());
+      live_.erase(live_.begin());
+    }
+  }
+
+ private:
+  std::string dir_;
+  Device& dev_;
+  JournalWriter journal_;
+  bool durable_;
+  bool gc_;
+  std::vector<std::uint32_t> live_;
+};
+
+/// Drive the Fig. 7 loop from `start` to `npe` with the session's
+/// checkpoint cadence composed onto the caller's watchdog hooks.
+ImprintReport drive(Device& dev, const BeginInfo& begin, std::uint32_t start,
+                    const SessionConfig& cfg, CheckpointSink& sink) {
+  const Addr addr = dev.config().geometry.segment_base(begin.segment);
+  ImprintOptions opts;
+  opts.npe = begin.npe;
+  opts.start_cycle = start;
+  opts.accelerated = begin.accelerated;
+  opts.strategy = ImprintStrategy::kLoop;
+  opts.max_retries = begin.max_retries;
+  opts.cancelled = cfg.cancelled;
+  opts.on_cycle = [&](std::uint32_t cycles_done) {
+    if (cfg.on_cycle) cfg.on_cycle(cycles_done);
+    // The final checkpoint is written together with the end record by the
+    // caller, after the loop's report is complete.
+    if (cycles_done % begin.every == 0 && cycles_done < begin.npe)
+      sink.checkpoint(cycles_done);
+  };
+  const BitVec pattern = BitVec::from_string(begin.pattern);
+  ImprintReport report = imprint_flashmark(dev.hal(), addr, pattern, opts);
+  sink.checkpoint(begin.npe);
+  sink.end(begin.npe, report);
+  return report;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f) std::fclose(f);
+  return f != nullptr;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_kv(const std::string& payload) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(payload);
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::runtime_error("journal record: bad k=v token '" + tok + "'");
+    kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+std::string imprint_journal_path(const std::string& dir) {
+  return dir + "/" + kJournalName;
+}
+
+SessionStatus inspect_session(const std::string& dir) {
+  SessionStatus st;
+  if (!file_exists(imprint_journal_path(dir))) return st;
+  try {
+    const ImprintLog log = parse_imprint_journal(dir);
+    st.exists = true;
+    st.completed = log.completed;
+    st.torn_tail = log.torn_tail;
+    st.npe = log.begin.npe;
+    st.checkpoint_every = log.begin.every;
+    st.segment = log.begin.segment;
+    st.cycles_done =
+        log.completed ? log.begin.npe
+                      : (log.ckpts.empty() ? 0 : log.ckpts.back().cycles);
+    st.retries = log.end_retries;
+  } catch (const std::exception&) {
+    // Unusable journal (corrupt header / begin record): report "no session"
+    // rather than throwing from a pure inspection call.
+    st = SessionStatus{};
+  }
+  return st;
+}
+
+ImprintReport run_imprint_session(const std::string& dir, Device& dev,
+                                  Addr addr, const BitVec& pattern,
+                                  std::uint32_t npe, const SessionConfig& cfg) {
+  if (npe == 0)
+    throw std::invalid_argument("run_imprint_session: npe must be > 0");
+  if (cfg.checkpoint_every == 0)
+    throw std::invalid_argument(
+        "run_imprint_session: checkpoint_every must be > 0");
+  if (const IoStatus st = make_dirs(dir); !st)
+    throw std::runtime_error("run_imprint_session: " + st.error);
+  if (file_exists(imprint_journal_path(dir)))
+    throw std::runtime_error(
+        "run_imprint_session: journal already exists in " + dir +
+        " — resume it or remove it explicitly");
+
+  BeginInfo begin;
+  begin.segment = dev.config().geometry.segment_index(addr);
+  begin.npe = npe;
+  begin.every = cfg.checkpoint_every;
+  begin.accelerated = cfg.accelerated;
+  begin.max_retries = cfg.max_retries;
+  begin.pattern = pattern.to_string();
+
+  // Pristine pre-imprint state: the resume fallback of last resort.
+  if (const IoStatus st = save_device_file(dev, dir + "/" + ckpt_file_name(0));
+      !st)
+    throw std::runtime_error("run_imprint_session: initial checkpoint: " +
+                             st.error);
+  JournalWriter journal = JournalWriter::create(
+      imprint_journal_path(dir),
+      {{"begin", begin.payload()}, {"ckpt", "cycles=0 file=" + ckpt_file_name(0)}},
+      cfg.durable);
+
+  CheckpointSink sink(dir, dev, std::move(journal), cfg);
+  return drive(dev, begin, /*start=*/0, cfg, sink);
+}
+
+ResumeResult resume_imprint_session(const std::string& dir,
+                                    const SessionConfig& cfg) {
+  const ImprintLog log = parse_imprint_journal(dir);
+
+  // Newest checkpoint that actually loads wins; an orphaned or damaged die
+  // file demotes to the previous one. die-0.fm backs the worst case: resume
+  // from the pristine state re-executes everything, still byte-identical.
+  ResumeResult out;
+  std::size_t used = log.ckpts.size();
+  std::string last_error = "no checkpoint records";
+  for (std::size_t i = log.ckpts.size(); i-- > 0;) {
+    try {
+      out.dev = load_device_file(dir + "/" + log.ckpts[i].file);
+      out.resumed_from = log.ckpts[i].cycles;
+      used = i;
+      break;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+  }
+  if (!out.dev) {
+    // No ckpt record survived (journal torn right after `begin`), but the
+    // pristine checkpoint is written *before* the journal is created, so a
+    // valid begin record implies die-0.fm exists.
+    try {
+      out.dev = load_device_file(dir + "/" + ckpt_file_name(0));
+      out.resumed_from = 0;
+      used = 0;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+  }
+  if (!out.dev)
+    throw std::runtime_error("resume_imprint_session: no loadable checkpoint in " +
+                             dir + " (" + last_error + ")");
+
+  if (log.completed && out.resumed_from == log.begin.npe) {
+    out.already_complete = true;
+    out.report.npe = log.begin.npe;
+    out.report.accelerated = log.begin.accelerated;
+    out.report.retries = log.end_retries;
+    return out;
+  }
+
+  SessionConfig run_cfg = cfg;
+  run_cfg.checkpoint_every = log.begin.every;
+  run_cfg.accelerated = log.begin.accelerated;
+  run_cfg.max_retries = log.begin.max_retries;
+
+  JournalWriter journal =
+      JournalWriter::open(imprint_journal_path(dir), cfg.durable);
+  CheckpointSink sink(dir, *out.dev, std::move(journal), run_cfg);
+  for (std::size_t i = 0; i <= used && i < log.ckpts.size(); ++i)
+    sink.note_live(log.ckpts[i].cycles);
+
+  out.report = drive(*out.dev, log.begin, out.resumed_from, run_cfg, sink);
+  return out;
+}
+
+}  // namespace flashmark::session

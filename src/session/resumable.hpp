@@ -1,0 +1,119 @@
+// Crash-recoverable imprint sessions (the ResumableImprint driver).
+//
+// Imprinting is the long pole of the whole scheme — NPE = 40k–70k P/E
+// cycles at tens of milliseconds each — and oxide damage is monotone and
+// irreversible: an interrupted run can neither restart from zero (the extra
+// cycles would overshoot NPE and distort the partial-erase window) nor be
+// detected after the fact. This driver makes the imprint durable:
+//
+//   <dir>/imprint.fmj     write-ahead journal (journal.hpp framing)
+//   <dir>/die-<k>.fm      atomic die checkpoint taken after cycle k
+//
+// Protocol (WAL discipline — state first, then the record naming it):
+//   1. checkpoint the die to die-<k>.fm (atomic temp+rename+fsync),
+//   2. append "ckpt cycles=<k> file=die-<k>.fm" and fsync the journal.
+// A crash between 1 and 2 leaves an orphaned die file that replay ignores;
+// a crash mid-append leaves a torn tail that replay drops. Either way the
+// journal's last valid ckpt record names a checkpoint that exists and is
+// internally consistent, so resume always has a sound starting point.
+//
+// Resumed runs are *byte-identical* to uninterrupted ones: the die-format-v2
+// checkpoint captures every bit of simulation state (cell physics, clock,
+// temperature, read-noise RNG stream), and the Fig. 7 loop is a
+// deterministic function of that state, so running cycles [k, NPE) on the
+// reloaded die reproduces exactly what the lost process would have done.
+// The contract is specified in docs/REPRODUCIBILITY.md §5 and enforced by
+// tests/session_test.cpp, which truncates the journal at every record
+// boundary and diffs the full serialized die state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/imprint.hpp"
+#include "mcu/device.hpp"
+#include "session/journal.hpp"
+
+namespace flashmark::session {
+
+/// Knobs of a journaled imprint run. Everything that must be identical
+/// across crash and resume (cadence, acceleration, retry budget, NPE,
+/// pattern) is written into the journal's begin record at session start and
+/// re-read on resume — a resumed session cannot accidentally diverge from
+/// the parameters the original run committed to.
+struct SessionConfig {
+  /// Cycles between durable checkpoints. Smaller = less lost work on a
+  /// crash, more fsync overhead (bench/checkpoint_overhead.cpp quantifies
+  /// the trade-off).
+  std::uint32_t checkpoint_every = 1024;
+  /// fsync journal appends and checkpoint files. Disable only in tests and
+  /// benchmarks that measure the non-durability baseline.
+  bool durable = true;
+  /// Checkpoint files older than the two most recent are deleted after each
+  /// checkpoint; die-0.fm (the pristine pre-imprint state) is always kept as
+  /// the fallback of last resort. Set false to keep every checkpoint.
+  bool gc_checkpoints = true;
+  /// Transient-fault retry budget (ImprintOptions::max_retries).
+  std::uint32_t max_retries = 0;
+  /// Accelerated (erase-verify early-exit) imprint cycles.
+  bool accelerated = false;
+  /// Watchdog passthroughs (ImprintOptions::cancelled / ::on_cycle). The
+  /// session layer composes them with its own checkpoint hook.
+  std::function<bool()> cancelled;
+  std::function<void(std::uint32_t cycles_done)> on_cycle;
+};
+
+/// What a session directory's journal says, without touching any die state.
+struct SessionStatus {
+  bool exists = false;     ///< journal present with a valid begin record
+  bool completed = false;  ///< end record seen
+  bool torn_tail = false;  ///< journal carried a torn/corrupt tail
+  std::uint32_t npe = 0;
+  std::uint32_t checkpoint_every = 0;
+  std::uint32_t cycles_done = 0;  ///< last durably recorded checkpoint
+  std::size_t segment = 0;
+  std::uint64_t retries = 0;      ///< from the end record, when completed
+};
+
+/// Inspect `dir`'s imprint journal. Missing/unreadable journal =>
+/// exists == false; never throws for an absent session.
+SessionStatus inspect_session(const std::string& dir);
+
+/// Start a fresh journaled imprint of `pattern` (one bit per cell, bit 0 =>
+/// stressed) on the segment at `addr`, checkpointing into `dir` (created if
+/// needed). Refuses (std::runtime_error) to overwrite an existing journal —
+/// resuming and restarting must be explicit, distinct decisions.
+/// Returns the report of the executed cycles.
+ImprintReport run_imprint_session(const std::string& dir, Device& dev,
+                                  Addr addr, const BitVec& pattern,
+                                  std::uint32_t npe, const SessionConfig& cfg);
+
+/// Outcome of resume_imprint_session.
+struct ResumeResult {
+  std::unique_ptr<Device> dev;    ///< the die, continued to completion
+  ImprintReport report;           ///< cycles executed by *this* process
+  std::uint32_t resumed_from = 0; ///< cycle count of the checkpoint used
+  bool already_complete = false;  ///< journal had an end record; no work run
+};
+
+/// Resume the crashed (or completed) session in `dir`: replay the journal,
+/// load the newest loadable checkpoint, run the remaining cycles with the
+/// begin record's parameters, and write the end record. Only `durable`,
+/// `gc_checkpoints` and the watchdog hooks of `cfg` apply on resume; the
+/// imprint parameters come from the journal. Throws std::runtime_error when
+/// the directory holds no usable session.
+ResumeResult resume_imprint_session(const std::string& dir,
+                                    const SessionConfig& cfg = {});
+
+/// Parse a "k=v k=v ..." record payload (shared vocabulary helper for the
+/// session and fleet record types). Values must not contain spaces; the
+/// trailing field may (it consumes the rest of the line).
+std::map<std::string, std::string> parse_kv(const std::string& payload);
+
+/// The journal path inside a session directory ("<dir>/imprint.fmj").
+std::string imprint_journal_path(const std::string& dir);
+
+}  // namespace flashmark::session

@@ -1,0 +1,104 @@
+#include "util/fsio.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace flashmark {
+
+namespace {
+
+std::string errno_text(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+IoStatus fsync_stream(std::FILE* f) {
+  if (std::fflush(f) != 0) return IoStatus::failure(errno_text("fflush", "stream"));
+  if (::fsync(::fileno(f)) != 0)
+    return IoStatus::failure(errno_text("fsync", "stream"));
+  return IoStatus::success();
+}
+
+IoStatus fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoStatus::failure(errno_text("open dir", dir));
+  IoStatus st = IoStatus::success();
+  if (::fsync(fd) != 0) st = IoStatus::failure(errno_text("fsync dir", dir));
+  ::close(fd);
+  return st;
+}
+
+IoStatus atomic_write_file(const std::string& path, const std::string& content,
+                           bool durable) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return IoStatus::failure(errno_text("open", tmp));
+
+  IoStatus st = IoStatus::success();
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), f) != content.size())
+    st = IoStatus::failure(errno_text("write", tmp));
+  if (st.ok && durable) st = fsync_stream(f);
+  if (std::fclose(f) != 0 && st.ok)
+    st = IoStatus::failure(errno_text("close", tmp));
+  if (st.ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+    st = IoStatus::failure(errno_text("rename", tmp + " -> " + path));
+  if (!st.ok) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (durable) {
+    // The rename itself must survive a crash, not just the bytes.
+    const IoStatus dir = fsync_parent_dir(path);
+    if (!dir.ok) return dir;
+  }
+  return IoStatus::success();
+}
+
+IoStatus read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return IoStatus::failure(errno_text("open", path));
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return IoStatus::failure(errno_text("read", path));
+  return IoStatus::success();
+}
+
+IoStatus make_dirs(const std::string& path) {
+  if (path.empty()) return IoStatus::failure("make_dirs: empty path");
+  std::string accum;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const auto slash = path.find('/', pos);
+    const std::string part =
+        path.substr(0, slash == std::string::npos ? path.size() : slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (part.empty() || part == ".") continue;
+    if (::mkdir(part.c_str(), 0777) != 0 && errno != EEXIST)
+      return IoStatus::failure(errno_text("mkdir", part));
+    accum = part;
+  }
+  struct stat sb {};
+  if (::stat(path.c_str(), &sb) != 0 || !S_ISDIR(sb.st_mode))
+    return IoStatus::failure("make_dirs: not a directory: " + path);
+  return IoStatus::success();
+}
+
+}  // namespace flashmark

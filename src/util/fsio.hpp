@@ -1,0 +1,62 @@
+// Crash-consistent file I/O primitives shared by die persistence and the
+// session journal.
+//
+// The durability story of the whole crash-recovery layer rests on two POSIX
+// idioms implemented here once:
+//
+//  * atomic replace — write a sibling temp file, fsync it, rename(2) over
+//    the target, fsync the directory. A kill at any instant leaves either
+//    the old file or the new file, never a torn mixture.
+//  * synced append — append-only writes with explicit fsync points, so a
+//    journal's on-disk prefix is always a valid record sequence up to the
+//    last sync.
+//
+// Failures are reported as a status + cause string instead of a bare bool:
+// callers surface *why* a checkpoint could not be made durable (disk full,
+// permission, missing directory), which matters operationally for runs that
+// take hours.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace flashmark {
+
+/// Outcome of a filesystem operation. Boolean-testable; `error` holds the
+/// human-readable cause (including errno text) when the operation failed.
+struct IoStatus {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+
+  static IoStatus success() { return {}; }
+  static IoStatus failure(std::string cause) {
+    return {false, std::move(cause)};
+  }
+};
+
+/// Atomically replace `path` with `content`: write `path + ".tmp"`, flush
+/// (+fsync when `durable`), rename over `path`, and fsync the parent
+/// directory. The temp file is removed on any failure.
+IoStatus atomic_write_file(const std::string& path, const std::string& content,
+                           bool durable = true);
+
+/// fsync an open stdio stream (flush C buffers, then fsync the fd).
+IoStatus fsync_stream(std::FILE* f);
+
+/// fsync the directory containing `path` so a rename/creation in it is
+/// durable. A no-op (success) on platforms without directory fsync.
+IoStatus fsync_parent_dir(const std::string& path);
+
+/// Read a whole file into a string. Fails (with cause) if unreadable.
+IoStatus read_file(const std::string& path, std::string* out);
+
+/// Create a directory (and any missing parents). Success if it already
+/// exists as a directory.
+IoStatus make_dirs(const std::string& path);
+
+/// The directory component of `path` ("." when there is none).
+std::string parent_dir(const std::string& path);
+
+}  // namespace flashmark

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace flashmark {
 
@@ -130,6 +131,23 @@ std::uint64_t Rng::poisson(double lambda) {
 Rng Rng::split(std::uint64_t tag) {
   std::uint64_t sm = next_u64() ^ (tag * 0xD1B54A32D192ED03ull);
   return Rng(splitmix64(sm));
+}
+
+Rng::State Rng::state() const {
+  State st;
+  st.s = s_;
+  std::memcpy(&st.cached_normal_bits, &cached_normal_, sizeof cached_normal_);
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+Rng Rng::from_state(const State& st) {
+  Rng r;
+  r.s_ = st.s;
+  std::memcpy(&r.cached_normal_, &st.cached_normal_bits,
+              sizeof r.cached_normal_);
+  r.has_cached_normal_ = st.has_cached_normal;
+  return r;
 }
 
 }  // namespace flashmark

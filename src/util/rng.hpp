@@ -58,6 +58,22 @@ class Rng {
   /// perturbing one another's sequences.
   Rng split(std::uint64_t tag);
 
+  /// Complete serializable generator state: the xoshiro words plus the
+  /// Box–Muller cache (the cached second variate is part of the stream —
+  /// dropping it would shift every later normal() draw by one). The double
+  /// travels as its IEEE-754 bit pattern so a save/load roundtrip through
+  /// text is exact on every platform.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t cached_normal_bits = 0;
+    bool has_cached_normal = false;
+  };
+
+  State state() const;
+
+  /// Rebuild a generator that continues the saved stream exactly.
+  static Rng from_state(const State& st);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

@@ -1,0 +1,326 @@
+// Fleet supervision and batch crash recovery: the watchdog's per-die
+// deadlines and stall detection, the kDeadlineExceeded/kStalled taxonomy,
+// and journal-directory resume for imprint_batch / audit_batch. The whole
+// file is TSan-clean by design — run it under -DFM_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
+#include "mcu/persist.hpp"
+#include "session/resumable.hpp"
+
+namespace flashmark::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::string serialize(Device& dev) {
+  std::ostringstream os;
+  save_device(dev, os);
+  return os.str();
+}
+
+WatermarkSpec small_spec(std::size_t die, std::uint32_t npe) {
+  WatermarkSpec s;
+  s.fields.manufacturer_id = 0x7C01;
+  s.fields.die_id = static_cast<std::uint32_t>(die);
+  s.npe = npe;
+  s.strategy = ImprintStrategy::kLoop;
+  return s;
+}
+
+/// A die job that makes no progress until the watchdog cancels it, then
+/// aborts cooperatively — the canonical shape of a hung die.
+void hang_until_cancelled(DieProgress& progress, bool heartbeat) {
+  while (!progress.cancel_requested()) {
+    if (heartbeat) progress.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  throw OperationCancelledError("hung die");
+}
+
+TEST(Watchdog, DeadlineCancelsOneStalledDieOutOf32) {
+  // The acceptance scenario: a 32-die batch where die 13 hangs. The
+  // watchdog must cancel exactly that die with kDeadlineExceeded while the
+  // other 31 complete clean — the batch never blocks on the straggler.
+  FleetOptions opts;
+  opts.threads = 8;
+  opts.die_deadline_ms = 40.0;
+  opts.watchdog_poll_ms = 2.0;
+  const FleetReport report = run_dies(
+      32,
+      [](std::size_t die, DieCounters& counters, DieProgress& progress) {
+        if (die == 13) hang_until_cancelled(progress, /*heartbeat=*/true);
+        progress.tick();
+        counters.read_ops = 1;  // trivial but nonzero work
+      },
+      opts);
+
+  ASSERT_EQ(report.dies.size(), 32u);
+  EXPECT_EQ(report.failures(), 1u);
+  for (const auto& d : report.dies) {
+    if (d.die == 13) {
+      EXPECT_EQ(d.health, DieHealth::kFailed);
+      EXPECT_EQ(d.reason, FailureReason::kDeadlineExceeded);
+      EXPECT_TRUE(d.failed);
+    } else {
+      EXPECT_EQ(d.health, DieHealth::kClean) << "die " << d.die;
+      EXPECT_EQ(d.reason, FailureReason::kNone) << "die " << d.die;
+    }
+  }
+  EXPECT_STREQ(to_string(FailureReason::kDeadlineExceeded),
+               "deadline-exceeded");
+}
+
+TEST(Watchdog, StallDetectionFiresWhenHeartbeatStops) {
+  FleetOptions opts;
+  opts.threads = 4;
+  opts.die_stall_ms = 30.0;
+  opts.watchdog_poll_ms = 2.0;
+  const FleetReport report = run_dies(
+      8,
+      [](std::size_t die, DieCounters&, DieProgress& progress) {
+        progress.tick();  // one beat, then silence
+        if (die == 2) hang_until_cancelled(progress, /*heartbeat=*/false);
+      },
+      opts);
+  for (const auto& d : report.dies) {
+    if (d.die == 2)
+      EXPECT_EQ(d.reason, FailureReason::kStalled);
+    else
+      EXPECT_EQ(d.health, DieHealth::kClean) << "die " << d.die;
+  }
+  EXPECT_STREQ(to_string(FailureReason::kStalled), "stalled");
+}
+
+TEST(Watchdog, HeartbeatingDieOutlivesItsStallWindow) {
+  // A die that keeps ticking is slow, not stalled — the stall detector must
+  // leave it alone even when the job takes many windows to finish.
+  FleetOptions opts;
+  opts.threads = 2;
+  opts.die_stall_ms = 20.0;
+  opts.watchdog_poll_ms = 2.0;
+  const FleetReport report = run_dies(
+      2,
+      [](std::size_t die, DieCounters&, DieProgress& progress) {
+        if (die == 0) {
+          const auto until =
+              std::chrono::steady_clock::now() + std::chrono::milliseconds(80);
+          while (std::chrono::steady_clock::now() < until) {
+            progress.tick();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      },
+      opts);
+  EXPECT_EQ(report.failures(), 0u);
+}
+
+TEST(Watchdog, NoLimitsMeansNoWatchdogAndNoCancellation) {
+  FleetOptions opts;
+  opts.threads = 4;
+  std::atomic<int> ran{0};
+  const FleetReport report = run_dies(
+      16,
+      [&ran](std::size_t, DieCounters&, DieProgress& progress) {
+        EXPECT_FALSE(progress.cancel_requested());
+        ran.fetch_add(1, std::memory_order_relaxed);
+      },
+      opts);
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(report.failures(), 0u);
+}
+
+TEST(Watchdog, SelfCancelledJobMapsToOther) {
+  // A job aborting on its own hook (cause kNone) is not the watchdog's
+  // verdict — it must not masquerade as a deadline/stall failure.
+  const FleetReport report = run_dies(
+      2,
+      [](std::size_t die, DieCounters&, DieProgress&) {
+        if (die == 1) throw OperationCancelledError("caller hook");
+      },
+      FleetOptions{.threads = 1});
+  EXPECT_EQ(report.dies[1].reason, FailureReason::kOther);
+  EXPECT_EQ(report.dies[0].health, DieHealth::kClean);
+}
+
+TEST(Watchdog, ImprintBatchUnderDeadlineCancelsStragglersOnly) {
+  // Real pipeline wiring: imprint jobs poll their token between P/E cycles.
+  // With a deadline far too tight for the imprint, every die must end
+  // kDeadlineExceeded — cancelled cooperatively, no die left running.
+  FleetOptions opts;
+  opts.threads = 4;
+  opts.die_deadline_ms = 25.0;
+  opts.watchdog_poll_ms = 2.0;
+  const ImprintBatchResult out = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xBEEF, 4, 0,
+      [](std::size_t die) { return small_spec(die, 500'000); }, opts);
+  for (const auto& d : out.fleet.dies) {
+    EXPECT_EQ(d.reason, FailureReason::kDeadlineExceeded) << "die " << d.die;
+    ASSERT_NE(out.dies[d.die], nullptr);  // cancelled die still in its slot
+    EXPECT_GT(d.pe_cycles, 0.0);          // it did make progress first
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionPolicy: journal-directory resume for whole batches.
+
+TEST(BatchResume, JournaledImprintBatchMatchesPlainBatch) {
+  ScratchDir dir("fm_batch_imprint_sess");
+  const std::uint32_t npe = 300;
+  const auto spec_of = [npe](std::size_t die) { return small_spec(die, npe); };
+  FleetOptions opts;
+  opts.threads = 2;
+
+  SessionPolicy sess;
+  sess.dir = dir.str();
+  sess.checkpoint_every = 64;
+  sess.durable = false;
+  const ImprintBatchResult journaled = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xF00D, 3, 0, spec_of, opts, {}, sess);
+  const ImprintBatchResult plain = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xF00D, 3, 0, spec_of, opts);
+
+  ASSERT_EQ(journaled.dies.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_NE(journaled.dies[i], nullptr);
+    EXPECT_EQ(serialize(*journaled.dies[i]), serialize(*plain.dies[i]))
+        << "die " << i;
+  }
+
+  // Re-running with resume=true restores every die from its completed
+  // session instead of redoing the work.
+  SessionPolicy resume = sess;
+  resume.resume = true;
+  const ImprintBatchResult again = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xF00D, 3, 0, spec_of, opts, {}, resume);
+  EXPECT_EQ(again.fleet.failures(), 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(serialize(*again.dies[i]), serialize(*plain.dies[i]))
+        << "die " << i;
+    EXPECT_EQ(again.reports[i].npe, npe);
+  }
+}
+
+TEST(BatchResume, InterruptedImprintBatchResumesByteIdentical) {
+  // Kill a journaled batch mid-flight with a tight deadline, then resume it
+  // with no deadline. Wherever the watchdog happened to cut each die, the
+  // resumed batch must converge to the uninterrupted reference.
+  ScratchDir dir("fm_batch_imprint_kill");
+  const std::uint32_t npe = 2'000;
+  const auto spec_of = [npe](std::size_t die) { return small_spec(die, npe); };
+
+  SessionPolicy sess;
+  sess.dir = dir.str();
+  sess.checkpoint_every = 128;
+  sess.durable = false;
+
+  FleetOptions kill;
+  kill.threads = 2;
+  kill.die_deadline_ms = 30.0;
+  kill.watchdog_poll_ms = 2.0;
+  const ImprintBatchResult first = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xC0FFEE, 3, 0, spec_of, kill, {}, sess);
+  // (Some dies may or may not have finished — that's the point.)
+
+  SessionPolicy resume = sess;
+  resume.resume = true;
+  FleetOptions calm;
+  calm.threads = 2;
+  const ImprintBatchResult second = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xC0FFEE, 3, 0, spec_of, calm, {}, resume);
+  ASSERT_EQ(second.fleet.failures(), 0u);
+
+  const ImprintBatchResult reference = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xC0FFEE, 3, 0, spec_of, calm);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_NE(second.dies[i], nullptr);
+    EXPECT_EQ(serialize(*second.dies[i]), serialize(*reference.dies[i]))
+        << "die " << i;
+  }
+}
+
+TEST(BatchResume, AuditBatchJournalRestoresVerdictsWithoutRereading) {
+  ScratchDir dir("fm_batch_audit_sess");
+  // A small genuine fleet (batch-wear imprint: fast and decodable).
+  const auto spec_of = [](std::size_t die) {
+    WatermarkSpec s;
+    s.fields.die_id = static_cast<std::uint32_t>(die + 1);
+    s.npe = 60'000;
+    s.strategy = ImprintStrategy::kBatchWear;
+    return s;
+  };
+  FleetOptions opts;
+  opts.threads = 2;
+  const ImprintBatchResult fleet = imprint_batch(
+      DeviceConfig::msp430f5438(), 0xA0D17, 3, 0, spec_of, opts);
+
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  SessionPolicy sess;
+  sess.dir = dir.str();
+  sess.durable = false;
+  const AuditBatchResult first =
+      audit_batch(fleet.dies, 0, vo, opts, {}, sess);
+  ASSERT_EQ(first.reports.size(), 3u);
+  for (const auto& r : first.reports)
+    EXPECT_EQ(r.verdict, Verdict::kGenuine);
+
+  // Resume against the same journal: every verdict is restored bit-exactly
+  // from the records, no die is touched (zero op counters this process).
+  SessionPolicy resume = sess;
+  resume.resume = true;
+  const AuditBatchResult second =
+      audit_batch(fleet.dies, 0, vo, opts, {}, resume);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const VerifyReport& a = first.reports[i];
+    const VerifyReport& b = second.reports[i];
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.zero_fraction, b.zero_fraction);
+    EXPECT_EQ(a.replica_disagreement, b.replica_disagreement);
+    EXPECT_EQ(a.invalid_00_pairs, b.invalid_00_pairs);
+    EXPECT_EQ(a.extract_time, b.extract_time);
+    ASSERT_TRUE(b.fields.has_value());
+    EXPECT_EQ(a.fields->die_id, b.fields->die_id);
+    EXPECT_EQ(second.fleet.dies[i].read_ops, 0u) << "die " << i;
+    EXPECT_EQ(second.fleet.dies[i].health, DieHealth::kClean);
+  }
+}
+
+TEST(BatchResume, SessionPlusFaultPolicyIsRejected) {
+  SessionPolicy sess;
+  sess.dir = "/tmp/fm_never_created";
+  FaultPolicy faults;
+  faults.config.power_loss_p = 0.5;
+  const auto spec_of = [](std::size_t die) { return small_spec(die, 100); };
+  EXPECT_THROW(imprint_batch(DeviceConfig::msp430f5438(), 1, 1, 0, spec_of,
+                             {}, faults, sess),
+               std::invalid_argument);
+  std::vector<std::unique_ptr<Device>> dies;
+  EXPECT_THROW(audit_batch(dies, 0, {}, {}, faults, sess),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashmark::fleet

@@ -1,6 +1,7 @@
 // Die-state persistence: save/load roundtrips preserve physical state.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/flashmark.hpp"
@@ -128,9 +129,27 @@ TEST(Persist, FileRoundtrip) {
   std::remove(path.c_str());
 }
 
-TEST(Persist, SaveFileBadPathReturnsFalse) {
+TEST(Persist, SaveFileBadPathReportsCause) {
   Device dev(DeviceConfig::msp430f5438(), 905);
-  EXPECT_FALSE(save_device_file(dev, "/no_such_dir_xyz/die.fm"));
+  const IoStatus st = save_device_file(dev, "/no_such_dir_xyz/die.fm");
+  EXPECT_FALSE(st);
+  // Not a bare bool: the status names why the save failed (errno text).
+  EXPECT_NE(st.error.find("no_such_dir_xyz"), std::string::npos) << st.error;
+}
+
+TEST(Persist, SaveFileIsAtomicReplacement) {
+  Device dev(DeviceConfig::msp430f5438(), 906);
+  const std::string path = "persist_test_atomic.fm";
+  ASSERT_TRUE(save_device_file(dev, path));
+  // A second save lands via temp+rename: the temp file never lingers.
+  dev.hal().program_word(dev.config().geometry.segment_base(0), 0x5A5A);
+  ASSERT_TRUE(save_device_file(dev, path));
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  auto back = load_device_file(path);
+  EXPECT_EQ(back->hal().read_word(back->config().geometry.segment_base(0)),
+            0x5A5A);
+  std::remove(path.c_str());
 }
 
 }  // namespace

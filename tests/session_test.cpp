@@ -1,0 +1,492 @@
+// Crash-recoverable imprint sessions: journal framing, atomic persistence,
+// die-format-v2 state capture, and the resume-determinism contract — a
+// session interrupted anywhere (including a journal torn at *every* record
+// boundary) must resume to a die byte-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flashmark.hpp"
+#include "mcu/persist.hpp"
+#include "session/journal.hpp"
+#include "session/resumable.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+namespace {
+
+namespace fs = std::filesystem;
+using session::JournalRecord;
+using session::JournalWriter;
+using session::ReplayResult;
+
+/// Fresh scratch directory per test (removed on destruction).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  IoStatus st = read_file(path, &out);
+  EXPECT_TRUE(st) << st.error;
+  return out;
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << content;
+  ASSERT_TRUE(os.good());
+}
+
+std::string serialize(Device& dev) {
+  std::ostringstream os;
+  save_device(dev, os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// fsio: the atomic-replace primitive everything else rests on.
+
+TEST(Fsio, AtomicWriteRoundtripAndReplace) {
+  ScratchDir d("fm_fsio_atomic");
+  const std::string p = d.file("x.txt");
+  ASSERT_TRUE(atomic_write_file(p, "first"));
+  EXPECT_EQ(slurp(p), "first");
+  ASSERT_TRUE(atomic_write_file(p, "second, longer content"));
+  EXPECT_EQ(slurp(p), "second, longer content");
+  // No temp litter after success.
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST(Fsio, FailureCarriesCause) {
+  const IoStatus st =
+      atomic_write_file("/no_such_dir_fm_test/x.txt", "payload");
+  EXPECT_FALSE(st);
+  EXPECT_FALSE(st.error.empty());
+}
+
+TEST(Fsio, MakeDirsNestedAndIdempotent) {
+  ScratchDir d("fm_fsio_dirs");
+  const std::string nested = d.file("a/b/c");
+  ASSERT_TRUE(make_dirs(nested));
+  EXPECT_TRUE(fs::is_directory(nested));
+  EXPECT_TRUE(make_dirs(nested));  // already exists: success
+}
+
+// ---------------------------------------------------------------------------
+// Journal framing: CRC-32 records, longest-valid-prefix replay.
+
+TEST(Journal, FrameReplayRoundtrip) {
+  ScratchDir d("fm_journal_rt");
+  const std::string p = d.file("j.fmj");
+  {
+    JournalWriter w = JournalWriter::create(
+        p, {{"begin", "seg=0 npe=10"}}, /*durable=*/false);
+    w.append({"ckpt", "cycles=5 file=die-5.fm"}, false);
+    w.append({"end", "cycles=10 elapsed_ns=1 retries=0"}, false);
+  }
+  const ReplayResult r = session::replay_journal(p);
+  EXPECT_TRUE(r.header_ok);
+  EXPECT_EQ(r.dropped_bytes, 0u);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0].type, "begin");
+  EXPECT_EQ(r.records[1].payload, "cycles=5 file=die-5.fm");
+  EXPECT_EQ(r.records[2].type, "end");
+}
+
+TEST(Journal, FrameRejectsUnframableRecords) {
+  EXPECT_THROW(session::frame_record({"two words", "x"}),
+               std::invalid_argument);
+  EXPECT_THROW(session::frame_record({"t", "line1\nline2"}),
+               std::invalid_argument);
+}
+
+TEST(Journal, BadHeaderThrows) {
+  ScratchDir d("fm_journal_hdr");
+  const std::string p = d.file("j.fmj");
+  spit(p, "NOT-A-JOURNAL 1\n");
+  EXPECT_THROW(session::replay_journal(p), std::runtime_error);
+  EXPECT_THROW(session::replay_journal(d.file("absent.fmj")),
+               std::runtime_error);
+}
+
+TEST(Journal, CorruptedRecordEndsTrustedPrefix) {
+  ScratchDir d("fm_journal_crc");
+  const std::string p = d.file("j.fmj");
+  {
+    JournalWriter w =
+        JournalWriter::create(p, {{"a", "1"}, {"b", "2"}}, false);
+    w.append({"c", "3"}, false);
+  }
+  std::string content = slurp(p);
+  // Flip one payload byte of the middle record; its CRC no longer matches,
+  // so replay trusts only the first record and reports the rest dropped.
+  const auto pos = content.find(" b 2");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos + 3] = '9';
+  spit(p, content);
+  const ReplayResult r = session::replay_journal(p);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].type, "a");
+  EXPECT_GT(r.dropped_bytes, 0u);
+}
+
+TEST(Journal, TornTailDroppedAtEveryTruncationPoint) {
+  ScratchDir d("fm_journal_torn");
+  const std::string p = d.file("j.fmj");
+  {
+    JournalWriter w =
+        JournalWriter::create(p, {{"a", "1"}, {"b", "2"}, {"c", "3"}}, false);
+  }
+  const std::string full = slurp(p);
+  // Record boundaries: offsets just past each newline.
+  std::vector<std::size_t> bounds;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    if (full[i] == '\n') bounds.push_back(i + 1);
+  ASSERT_EQ(bounds.size(), 4u);  // header + 3 records
+  for (std::size_t cut = bounds.front(); cut <= full.size(); ++cut) {
+    spit(p, full.substr(0, cut));
+    const ReplayResult r = session::replay_journal(p);
+    // Trusted records = number of complete record lines before the cut.
+    std::size_t complete = 0;
+    for (std::size_t b = 1; b < bounds.size(); ++b)
+      if (cut >= bounds[b]) ++complete;
+    EXPECT_EQ(r.records.size(), complete) << "cut at " << cut;
+    EXPECT_EQ(r.dropped_bytes, cut - bounds[complete]) << "cut at " << cut;
+  }
+}
+
+TEST(Journal, OpenTruncatesTornTailAndAppendsCleanly) {
+  ScratchDir d("fm_journal_open");
+  const std::string p = d.file("j.fmj");
+  { JournalWriter w = JournalWriter::create(p, {{"a", "1"}}, false); }
+  const std::string full = slurp(p);
+  spit(p, full + "R deadbeef torn rec");  // no newline: torn mid-append
+  {
+    JournalWriter w = JournalWriter::open(p, false);
+    w.append({"b", "2"}, false);
+  }
+  const ReplayResult r = session::replay_journal(p);
+  EXPECT_EQ(r.dropped_bytes, 0u);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[1].type, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Die format v2: complete state capture (the property resume rests on).
+
+TEST(PersistV2, ReloadedDieContinuesNoiseStreamExactly) {
+  Device dev(DeviceConfig::msp430f5438(), 77);
+  const auto& g = dev.config().geometry;
+  // Consume noise draws so the stream is mid-flight, not at its seed.
+  WatermarkSpec spec;
+  spec.fields.die_id = 5;
+  spec.npe = 50;
+  spec.strategy = ImprintStrategy::kLoop;
+  imprint_watermark(dev.hal(), g.segment_base(0), spec);
+
+  std::stringstream ss;
+  save_device(dev, ss);
+  auto back = load_device(ss);
+  EXPECT_EQ(serialize(dev), serialize(*back));
+
+  // The real test: both dies now run the *same* noise-consuming workload;
+  // if the stream state survived the roundtrip they stay byte-identical.
+  ExtractOptions eo;
+  extract_flashmark(dev.hal(), g.segment_base(0), eo);
+  extract_flashmark(back->hal(), g.segment_base(0), eo);
+  EXPECT_EQ(serialize(dev), serialize(*back));
+}
+
+TEST(PersistV2, TemperatureSurvivesRoundtrip) {
+  Device dev(DeviceConfig::msp430f5438(), 78);
+  dev.array().set_temperature_c(61.5);
+  std::stringstream ss;
+  save_device(dev, ss);
+  auto back = load_device(ss);
+  EXPECT_EQ(back->array().temperature_c(), 61.5);
+}
+
+TEST(PersistV2, V1FilesStillLoad) {
+  Device dev(DeviceConfig::msp430f5529(), 79);
+  dev.hal().wear_segment(dev.config().geometry.segment_base(1), 1'000);
+  std::stringstream ss;
+  save_device(dev, ss);
+  // Demote the v2 file to v1: old header, no temperature/noise_rng lines.
+  std::istringstream in(ss.str());
+  std::ostringstream v1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("FLASHMARK-DIE", 0) == 0)
+      v1 << "FLASHMARK-DIE 1\n";
+    else if (line.rfind("temperature_c", 0) == 0 ||
+             line.rfind("noise_rng", 0) == 0)
+      continue;
+    else
+      v1 << line << "\n";
+  }
+  std::istringstream v1in(v1.str());
+  auto back = load_device(v1in);
+  EXPECT_EQ(back->config().family, "MSP430F5529");
+  EXPECT_EQ(back->die_seed(), 79u);
+  EXPECT_EQ(back->array().wear_stats(1).eff_cycles_mean,
+            dev.array().wear_stats(1).eff_cycles_mean);
+}
+
+TEST(PersistV2, CorruptedDieFileFuzzNeverCrashes) {
+  ScratchDir d("fm_persist_fuzz");
+  Device dev(DeviceConfig::msp430f5438(), 80);
+  dev.hal().program_word(dev.config().geometry.segment_base(0), 0xABCD);
+  const std::string p = d.file("die.fm");
+  ASSERT_TRUE(save_device_file(dev, p));
+  const std::string good = slurp(p);
+
+  Rng rng(0xF022);
+  int rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string bad = good;
+    switch (i % 3) {
+      case 0:  // truncate at a pseudorandom offset
+        bad.resize(rng.uniform_u64(bad.size() + 1));
+        break;
+      case 1: {  // flip a byte (single digit flips may legally survive)
+        const std::size_t at = rng.uniform_u64(bad.size());
+        bad[at] = static_cast<char>(bad[at] ^ (1u << (i % 8)));
+        break;
+      }
+      case 2: {  // splice a chunk out of the middle
+        const std::size_t at = rng.uniform_u64(bad.size());
+        const std::size_t len = 1 + rng.uniform_u64(64);
+        bad.erase(at, std::min(len, bad.size() - at));
+        break;
+      }
+    }
+    spit(p, bad);
+    try {
+      auto back = load_device_file(p);
+    } catch (const std::exception&) {
+      // Structured rejection is the contract; crashing/UB is the bug.
+      ++rejected;
+    }
+  }
+  // Structural damage (truncations, splices) must be *detected*, not
+  // silently absorbed — only benign single-digit flips may slip through.
+  EXPECT_GT(rejected, 60);
+}
+
+// ---------------------------------------------------------------------------
+// Resumable sessions: the byte-identical crash/resume contract.
+
+struct SessionFixture {
+  DeviceConfig cfg = DeviceConfig::msp430f5438();
+  std::uint64_t seed = 0x5E55;
+  std::uint32_t npe = 400;
+  std::uint32_t every = 64;
+  BitVec pattern;
+  Addr addr = 0;
+
+  SessionFixture() {
+    Device probe(cfg, seed);
+    const auto& g = probe.config().geometry;
+    addr = g.segment_base(0);
+    WatermarkSpec spec;
+    spec.fields.die_id = 99;
+    spec.npe = npe;
+    pattern = encode_watermark(spec, g.segment_cells(0)).segment_pattern;
+  }
+
+  /// The uninterrupted run every resumed run must match byte for byte.
+  std::string reference() const {
+    Device dev(cfg, seed);
+    ImprintOptions io;
+    io.npe = npe;
+    io.strategy = ImprintStrategy::kLoop;
+    io.accelerated = true;
+    imprint_flashmark(dev.hal(), addr, pattern, io);
+    std::ostringstream os;
+    save_device(dev, os);
+    return os.str();
+  }
+
+  session::SessionConfig config() const {
+    session::SessionConfig c;
+    c.checkpoint_every = every;
+    c.durable = false;  // keep the 70-odd resumes below fast
+    c.accelerated = true;
+    return c;
+  }
+
+  ImprintReport run_full(const std::string& dir) const {
+    Device dev(cfg, seed);
+    return session::run_imprint_session(dir, dev, addr, pattern, npe,
+                                        config());
+  }
+};
+
+TEST(Session, UninterruptedSessionMatchesPlainImprint) {
+  SessionFixture f;
+  ScratchDir d("fm_session_plain");
+  Device dev(f.cfg, f.seed);
+  const ImprintReport r =
+      session::run_imprint_session(d.str(), dev, f.addr, f.pattern, f.npe,
+                                   f.config());
+  EXPECT_EQ(r.npe, f.npe);
+  EXPECT_EQ(serialize(dev), f.reference());
+
+  const session::SessionStatus st = session::inspect_session(d.str());
+  EXPECT_TRUE(st.exists);
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.npe, f.npe);
+  EXPECT_EQ(st.cycles_done, f.npe);
+}
+
+TEST(Session, RefusesToOverwriteExistingJournal) {
+  SessionFixture f;
+  ScratchDir d("fm_session_refuse");
+  f.run_full(d.str());
+  Device dev(f.cfg, f.seed);
+  EXPECT_THROW(session::run_imprint_session(d.str(), dev, f.addr, f.pattern,
+                                            f.npe, f.config()),
+               std::runtime_error);
+}
+
+TEST(Session, ResumingCompletedSessionIsIdempotent) {
+  SessionFixture f;
+  ScratchDir d("fm_session_idem");
+  f.run_full(d.str());
+  session::ResumeResult r = session::resume_imprint_session(d.str(), f.config());
+  EXPECT_TRUE(r.already_complete);
+  EXPECT_EQ(r.resumed_from, f.npe);
+  ASSERT_NE(r.dev, nullptr);
+  EXPECT_EQ(serialize(*r.dev), f.reference());
+}
+
+TEST(Session, CancelledMidRunThenResumedIsByteIdentical) {
+  SessionFixture f;
+  ScratchDir d("fm_session_cancel");
+  Device dev(f.cfg, f.seed);
+  session::SessionConfig cfg = f.config();
+  std::uint32_t done = 0;
+  cfg.on_cycle = [&done](std::uint32_t c) { done = c; };
+  cfg.cancelled = [&done] { return done >= 230; };  // off any boundary
+  EXPECT_THROW(session::run_imprint_session(d.str(), dev, f.addr, f.pattern,
+                                            f.npe, cfg),
+               OperationCancelledError);
+
+  session::ResumeResult r = session::resume_imprint_session(d.str(), f.config());
+  EXPECT_FALSE(r.already_complete);
+  EXPECT_EQ(r.resumed_from, 192u);  // newest durable checkpoint before 230
+  EXPECT_EQ(serialize(*r.dev), f.reference());
+}
+
+/// The acceptance test: truncate the journal of a *completed* session at
+/// every record boundary (and a few bytes past each, simulating torn
+/// appends), resume, and demand the final die is byte-identical to the
+/// uninterrupted reference every single time.
+TEST(Session, TruncateAtEveryRecordBoundaryResumesByteIdentical) {
+  SessionFixture f;
+  ScratchDir d("fm_session_trunc");
+  // Keep every checkpoint file so any truncated journal can load its newest
+  // surviving ckpt record (GC would have deleted older ones, which is fine
+  // in production where the journal is only ever torn at the tail, but the
+  // sweep below rewinds deep into history).
+  {
+    Device dev(f.cfg, f.seed);
+    session::SessionConfig cfg = f.config();
+    cfg.gc_checkpoints = false;
+    session::run_imprint_session(d.str(), dev, f.addr, f.pattern, f.npe, cfg);
+  }
+  const std::string want = f.reference();
+  const std::string jpath = session::imprint_journal_path(d.str());
+  const std::string full = slurp(jpath);
+
+  std::vector<std::size_t> bounds;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    if (full[i] == '\n') bounds.push_back(i + 1);
+  ASSERT_GE(bounds.size(), 4u);
+
+  int checked = 0;
+  for (std::size_t b = 1; b < bounds.size(); ++b) {  // skip header-only cut
+    for (const std::size_t cut :
+         {bounds[b], std::min(bounds[b] + 9, full.size())}) {
+      // Clone the session directory, truncate the clone's journal at `cut`.
+      ScratchDir clone("fm_session_trunc_clone");
+      for (const auto& e : fs::directory_iterator(d.path))
+        fs::copy_file(e.path(), clone.path / e.path().filename());
+      spit(session::imprint_journal_path(clone.str()), full.substr(0, cut));
+
+      session::ResumeResult r =
+          session::resume_imprint_session(clone.str(), f.config());
+      ASSERT_NE(r.dev, nullptr) << "cut at " << cut;
+      EXPECT_EQ(serialize(*r.dev), want) << "cut at " << cut;
+      ++checked;
+
+      // And the re-resumed session is itself a valid completed session.
+      const session::SessionStatus st =
+          session::inspect_session(clone.str());
+      EXPECT_TRUE(st.completed) << "cut at " << cut;
+    }
+  }
+  EXPECT_GE(checked, 12);
+}
+
+TEST(Session, OrphanedCheckpointFileIsSkipped) {
+  // WAL discipline: a crash between the die save and its ckpt record leaves
+  // an orphan die file. Replay never sees it; resume must use the newest
+  // *recorded* checkpoint. Simulate by corrupting the newest recorded die
+  // file instead — resume must demote to the previous one, not fail.
+  SessionFixture f;
+  ScratchDir d("fm_session_orphan");
+  {
+    Device dev(f.cfg, f.seed);
+    session::SessionConfig cfg = f.config();
+    cfg.gc_checkpoints = false;
+    session::run_imprint_session(d.str(), dev, f.addr, f.pattern, f.npe, cfg);
+  }
+  // Tear the journal back to before the `end`+final-ckpt records, then
+  // corrupt the newest surviving recorded checkpoint.
+  const std::string jpath = session::imprint_journal_path(d.str());
+  const std::string full = slurp(jpath);
+  std::vector<std::size_t> bounds;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    if (full[i] == '\n') bounds.push_back(i + 1);
+  spit(jpath, full.substr(0, bounds[bounds.size() - 3]));
+  const session::SessionStatus st = session::inspect_session(d.str());
+  ASSERT_FALSE(st.completed);
+  ASSERT_GT(st.cycles_done, 0u);
+  spit(d.file("die-" + std::to_string(st.cycles_done) + ".fm"),
+       "FLASHMARK-DIE 2\ngarbage\n");
+
+  session::ResumeResult r = session::resume_imprint_session(d.str(), f.config());
+  EXPECT_LT(r.resumed_from, st.cycles_done);
+  EXPECT_EQ(serialize(*r.dev), f.reference());
+}
+
+TEST(Session, InspectAbsentSessionNeverThrows) {
+  const session::SessionStatus st =
+      session::inspect_session("/tmp/no_such_fm_session_dir");
+  EXPECT_FALSE(st.exists);
+  EXPECT_FALSE(st.completed);
+}
+
+}  // namespace
+}  // namespace flashmark
