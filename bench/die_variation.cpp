@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 using namespace flashmark;
@@ -23,6 +24,7 @@ using namespace flashmark::bench;
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   const SipHashKey key{0xD1E, 0x107};
   constexpr int kLot = 24;
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 
 using namespace flashmark;
 using namespace flashmark::bench;
@@ -56,6 +57,7 @@ fleet::FaultPolicy faults_at(double intensity) {
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   const DeviceConfig cfg = DeviceConfig::msp430f5438();
 
   VerifyOptions vo;

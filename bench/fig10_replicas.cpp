@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 
 using namespace flashmark;
 using namespace flashmark::bench;
@@ -42,6 +43,7 @@ struct DieVote {
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv, {{"--lot", true}});
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   std::size_t lot = 8;
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], "--lot") == 0)

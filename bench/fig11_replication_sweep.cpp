@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 
 using namespace flashmark;
 using namespace flashmark::bench;
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   }
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv,
       {{"--asymmetric"}, {"--ecc"}});
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   const VoteMode mode = asymmetric ? VoteMode::kAsymmetric : VoteMode::kMajority;
 
   // 512-bit payload (64 ASCII chars), 7 replicas = 3584 of 4096 cells.

@@ -5,8 +5,12 @@
 // users can size their own sweeps; they are not paper results.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_util.hpp"
 #include "nand/nand_watermark.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spinor/spinor_watermark.hpp"
 
 using namespace flashmark;
@@ -205,6 +209,34 @@ void BM_McuHal_WordProgram(benchmark::State& state) {
 }
 BENCHMARK(BM_McuHal_WordProgram);
 
+// The disabled-path cost of a FLASHMARK_SPAN (no collector installed): one
+// relaxed atomic load plus a steady_clock read at construction. The obs
+// acceptance bar is < 2% on real workloads; this measures the per-span
+// floor directly.
+void BM_DisabledSpan(benchmark::State& state) {
+  obs::TraceCollector::install(nullptr);
+  for (auto _ : state) {
+    FLASHMARK_SPAN("bench.noop");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_DisabledSpan);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus an observability snapshot: the fleet/imprint cases
+// above fold per-batch counters into the global registry, and the JSON dump
+// gives CI a baseline artifact to diff (ISSUE: BENCH_obs.json).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  obs::set_metrics_enabled(true);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::string json = obs::MetricsRegistry::global().to_json();
+  if (std::FILE* f = std::fopen("BENCH_obs.json", "wb")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

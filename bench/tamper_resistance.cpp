@@ -21,12 +21,14 @@
 #include "attack/attacks.hpp"
 #include "baseline/conventional_mark.hpp"
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 
 using namespace flashmark;
 using namespace flashmark::bench;
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   const SipHashKey key{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
   const SimTime tpew = SimTime::us(30);
 

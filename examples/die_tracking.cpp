@@ -18,12 +18,14 @@
 #include "attack/attacks.hpp"
 #include "core/flashmark.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
 #include "mcu/device.hpp"
 
 using namespace flashmark;
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   const SipHashKey key{0x1D, 0x2E};
   constexpr std::uint64_t kFactorySeed = 0x1D001;
   WatermarkRegistry registry;

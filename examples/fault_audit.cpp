@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
 #include "mcu/device.hpp"
 
 using namespace flashmark;
@@ -66,6 +67,7 @@ fleet::FaultPolicy field_faults() {
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   const DeviceConfig cfg = DeviceConfig::msp430f5438();
 
   // Factory: imprint the whole lot on healthy silicon.

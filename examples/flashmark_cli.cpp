@@ -24,6 +24,7 @@
 
 #include "core/flashmark.hpp"
 #include "mcu/persist.hpp"
+#include "obs/metrics.hpp"
 #include "session/resumable.hpp"
 
 using namespace flashmark;
@@ -40,7 +41,10 @@ namespace {
       "              [--journal DIR [--checkpoint-every N]] [--resume DIR]\n"
       "  verify      FILE [--segment N] [--key K0:K1] [--tpew US] [--replicas R]\n"
       "  wear        FILE --segment N --cycles N\n"
-      "  characterize FILE [--segment N] [--step US] [--end US]\n";
+      "  characterize FILE [--segment N] [--step US] [--end US]\n"
+      "global options (any command):\n"
+      "  --trace-out FILE    Chrome trace_event JSON (load in about://tracing)\n"
+      "  --metrics-out FILE  metrics registry dump (.json => JSON, else CSV)\n";
   std::exit(2);
 }
 
@@ -79,6 +83,14 @@ std::optional<SipHashKey> parse_key(const std::string& s) {
   if (colon == std::string::npos) usage();
   return SipHashKey{std::strtoull(s.substr(0, colon).c_str(), nullptr, 16),
                     std::strtoull(s.substr(colon + 1).c_str(), nullptr, 16)};
+}
+
+/// Fold the die's flash op counters into the global registry when
+/// `--metrics-out` armed it. Call once per command, after the work.
+void note_ops(Device& dev) {
+  if (obs::metrics_enabled())
+    dev.controller().op_counters().fold_into(obs::MetricsRegistry::global(),
+                                             "cli.flash");
 }
 
 /// Save `dev` to `path`, reporting the failure cause on stderr.
@@ -135,6 +147,7 @@ int cmd_imprint(const Args& a) {
       std::cout << "resumed session " << resume_dir << " from cycle "
                 << r.resumed_from << ", ran " << r.report.npe - r.resumed_from
                 << " more cycles\n";
+    note_ops(*r.dev);
     return save_or_complain(*r.dev, a.file);
   }
 
@@ -171,6 +184,7 @@ int cmd_imprint(const Args& a) {
               << " (journaled, every " << cfg.checkpoint_every
               << " cycles) into segment " << seg << ": " << r.npe
               << " cycles\n";
+    note_ops(*dev);
     return save_or_complain(*dev, a.file);
   }
 
@@ -180,6 +194,7 @@ int cmd_imprint(const Args& a) {
             << to_string(spec.fields.status) << ") into segment " << seg
             << ": " << r.npe << " cycles, " << r.elapsed.as_sec()
             << " s simulated\n";
+  note_ops(*dev);
   return save_or_complain(*dev, a.file);
 }
 
@@ -204,6 +219,7 @@ int cmd_verify(const Args& a) {
   std::cout << "  zero fraction " << r.zero_fraction << ", (0,0)-pairs "
             << r.invalid_00_pairs << ", extract "
             << r.extract_time.as_ms() << " ms\n";
+  note_ops(*dev);
   // Extraction wears the segment slightly; persist that.
   if (const IoStatus st = save_device_file(*dev, a.file); !st)
     std::cerr << "warning: could not persist wear to " << a.file << ": "
@@ -217,6 +233,7 @@ int cmd_wear(const Args& a) {
   const double cycles = static_cast<double>(a.get_u64("cycles", 10'000));
   dev->hal().wear_segment(dev->config().geometry.segment_base(seg), cycles);
   std::cout << "applied " << cycles << " P/E cycles to segment " << seg << "\n";
+  note_ops(*dev);
   return save_or_complain(*dev, a.file);
 }
 
@@ -234,6 +251,7 @@ int cmd_characterize(const Args& a) {
               << p.cells_1 << " erased\n";
   std::cout << "full-erase time: " << full_erase_time(curve).as_us()
             << " us\n";
+  note_ops(*dev);
   // The sweep wears the segment; persist that.
   if (const IoStatus st = save_device_file(*dev, a.file); !st)
     std::cerr << "warning: could not persist wear to " << a.file << ": "
@@ -245,6 +263,8 @@ int cmd_characterize(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  // Armed by --trace-out / --metrics-out; writes the files at scope exit.
+  obs::Exporter obs_exporter(a.get("trace-out", ""), a.get("metrics-out", ""));
   try {
     if (a.command == "new") return cmd_new(a);
     if (a.file.empty()) usage();

@@ -21,6 +21,7 @@
 #include "baseline/recycled_detector.hpp"
 #include "core/flashmark.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
 #include "mcu/device.hpp"
 
 using namespace flashmark;
@@ -56,6 +57,7 @@ ExtendedVerifyOptions audit_opts() {
 
 int main(int argc, char** argv) {
   const fleet::FleetOptions fopt = fleet::parse_cli_options(argc, argv);
+  obs::Exporter obs_exporter(fopt.trace_out, fopt.metrics_out);
   WatermarkRegistry registry;
   const auto& geom = DeviceConfig::msp430f5438().geometry;
   const std::vector<Addr> wm_segs = {geom.segment_base(0)};

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace flashmark {
 
 ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
@@ -24,6 +26,7 @@ ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
   ExtractResult result;
   result.round_bits.reserve(static_cast<std::size_t>(opts.rounds));
 
+  FLASHMARK_SPAN_SIM("extract", hal);
   std::uint32_t budget = opts.max_retries;
   for (int r = 0; r < opts.rounds; ++r) {
     if (opts.cancelled && opts.cancelled())
@@ -33,25 +36,36 @@ ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
     // by running the whole round again (bounded by max_retries).
     for (;;) {
       try {
-        if (opts.accelerated_erase)
-          hal.erase_segment_auto(base);   // all cells read as 1s
-        else
-          hal.erase_segment(base);
-        hal.program_block(base, zeros);   // all cells read as 0s
-        if (opts.verify_program) {
-          // Read-back verification of the program step: any word still
-          // holding erased bits missed (part of) its pulse — re-issue it
-          // once. One pass only: a cell that stays 1 after the re-pulse is
-          // stuck, and repeating would spin forever.
-          for (std::size_t w = 0; w < n_words; ++w) {
-            const Addr wa = base + static_cast<Addr>(w * g.word_bytes);
-            if (hal.read_word(wa) != 0x0000) {
-              hal.program_word(wa, 0x0000);
-              ++result.reprogrammed_words;
+        FLASHMARK_SPAN_SIM("extract.round", hal);
+        {
+          FLASHMARK_SPAN_SIM("extract.erase", hal);
+          if (opts.accelerated_erase)
+            hal.erase_segment_auto(base);   // all cells read as 1s
+          else
+            hal.erase_segment(base);
+        }
+        {
+          FLASHMARK_SPAN_SIM("extract.program", hal);
+          hal.program_block(base, zeros);   // all cells read as 0s
+          if (opts.verify_program) {
+            // Read-back verification of the program step: any word still
+            // holding erased bits missed (part of) its pulse — re-issue it
+            // once. One pass only: a cell that stays 1 after the re-pulse is
+            // stuck, and repeating would spin forever.
+            for (std::size_t w = 0; w < n_words; ++w) {
+              const Addr wa = base + static_cast<Addr>(w * g.word_bytes);
+              if (hal.read_word(wa) != 0x0000) {
+                hal.program_word(wa, 0x0000);
+                ++result.reprogrammed_words;
+              }
             }
           }
         }
-        hal.partial_erase_segment(base, opts.t_pew);
+        {
+          FLASHMARK_SPAN_SIM("extract.partial_erase", hal);
+          hal.partial_erase_segment(base, opts.t_pew);
+        }
+        FLASHMARK_SPAN_SIM("extract.analyze", hal);
         result.round_bits.push_back(
             analyze_segment(hal, base, opts.n_reads).bitmap);
         break;
@@ -61,6 +75,8 @@ ExtractResult extract_flashmark(FlashHal& hal, Addr addr,
                                     e.what());
         --budget;
         ++result.retries;
+        if (auto* col = obs::TraceCollector::current())
+          col->instant("extract.retry");
       }
     }
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace flashmark {
 
 std::vector<std::uint16_t> pattern_to_words(const FlashGeometry& g,
@@ -53,16 +55,20 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
           throw RetryExhaustedError(op, opts.max_retries + 1, e.what());
         --budget;
         ++report.retries;
+        if (auto* col = obs::TraceCollector::current())
+          col->instant("imprint.retry");
       }
     }
   };
 
+  FLASHMARK_SPAN_SIM("imprint", hal);
   const std::uint32_t executed = opts.npe - opts.start_cycle;
   if (opts.strategy == ImprintStrategy::kBatchWear) {
     if (opts.cancelled && opts.cancelled())
       throw OperationCancelledError("imprint wear_segment");
     if (executed > 0)
       with_retry("imprint wear_segment", [&] {
+        FLASHMARK_SPAN_SIM("imprint.wear_segment", hal);
         hal.wear_segment(base, static_cast<double>(executed), &pattern);
       });
   } else {
@@ -71,10 +77,15 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
       if (opts.cancelled && opts.cancelled())
         throw OperationCancelledError("imprint cycle");
       with_retry("imprint cycle", [&] {
-        if (opts.accelerated)
-          hal.erase_segment_auto(base);
-        else
-          hal.erase_segment(base);
+        FLASHMARK_SPAN_SIM("imprint.cycle", hal);
+        {
+          FLASHMARK_SPAN_SIM("imprint.erase", hal);
+          if (opts.accelerated)
+            hal.erase_segment_auto(base);
+          else
+            hal.erase_segment(base);
+        }
+        FLASHMARK_SPAN_SIM("imprint.program", hal);
         hal.program_block(base, words);
       });
       if (opts.on_cycle) opts.on_cycle(cycle + 1);
@@ -82,10 +93,15 @@ ImprintReport imprint_flashmark(FlashHal& hal, Addr addr, const BitVec& pattern,
   }
 
   report.elapsed = hal.now() - start;
+  // Round-to-nearest: truncating division understated the mean by up to
+  // 1 ns per cycle (enough to fail an exact npe * mean == elapsed
+  // cross-check on paper-scale cycle times like 24.085 ms).
   report.mean_cycle_time =
-      executed == 0 ? SimTime{}
-                    : SimTime::ns(report.elapsed.as_ns() /
-                                  static_cast<std::int64_t>(executed));
+      executed == 0
+          ? SimTime{}
+          : SimTime::ns((report.elapsed.as_ns() +
+                         static_cast<std::int64_t>(executed) / 2) /
+                        static_cast<std::int64_t>(executed));
   return report;
 }
 

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace flashmark {
+
+void FlashOpCounters::fold_into(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.counter(prefix + ".erase_ops").add(erase_ops);
+  reg.counter(prefix + ".program_ops").add(program_ops);
+  reg.counter(prefix + ".read_ops").add(read_ops);
+  reg.gauge(prefix + ".wear_pe_cycles").set(wear_pe_cycles);
+}
 
 const char* to_string(FlashStatus s) {
   switch (s) {

@@ -13,11 +13,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "flash/array.hpp"
 #include "flash/geometry.hpp"
 #include "flash/timing.hpp"
+
+namespace flashmark::obs {
+class MetricsRegistry;
+}  // namespace flashmark::obs
 
 namespace flashmark {
 
@@ -42,6 +47,14 @@ struct FlashOpCounters {
   std::uint64_t program_ops = 0;  ///< program-word pulses (block words count)
   std::uint64_t read_ops = 0;     ///< word reads served
   double wear_pe_cycles = 0.0;    ///< batch-wear P/E cycles applied
+
+  /// Fold this row into `reg` under `<prefix>.erase_ops` etc. Counter
+  /// deltas are integers and gauges carry deterministic values, so folded
+  /// registries keep the byte-identical-export contract
+  /// (docs/REPRODUCIBILITY.md §6). Call sites gate on
+  /// obs::metrics_enabled() themselves when folding per-operation-free
+  /// paths; the fold itself is always safe.
+  void fold_into(obs::MetricsRegistry& reg, const std::string& prefix) const;
 };
 
 class FlashController {

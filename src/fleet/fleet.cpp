@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "fleet/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "session/resumable.hpp"
 #include "util/fsio.hpp"
 #include "util/rng.hpp"
@@ -78,7 +80,8 @@ namespace {
 
 [[noreturn]] void cli_usage_exit(const char* argv0,
                                  std::initializer_list<CliFlag> extra) {
-  std::cerr << "usage: " << argv0 << " [--threads N]";
+  std::cerr << "usage: " << argv0
+            << " [--threads N] [--trace-out FILE] [--metrics-out FILE]";
   for (const CliFlag& f : extra)
     std::cerr << " [" << f.name << (f.takes_value ? " V]" : "]");
   std::cerr << "\n";
@@ -103,6 +106,16 @@ FleetOptions parse_cli_options(int argc, char** argv,
         std::exit(2);
       }
       opts.threads = static_cast<unsigned>(v);
+      ++i;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0 ||
+        std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << argv[i] << " requires a value\n";
+        std::exit(2);
+      }
+      (argv[i][2] == 't' ? opts.trace_out : opts.metrics_out) = argv[i + 1];
       ++i;
       continue;
     }
@@ -212,6 +225,38 @@ std::string FleetReport::counters_csv() const {
   return os.str();
 }
 
+void FleetReport::fold_into(obs::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  auto fold_row = [&reg](const std::string& base, const DieCounters& d) {
+    reg.counter(base + ".erase_ops").add(d.erase_ops);
+    reg.counter(base + ".program_ops").add(d.program_ops);
+    reg.counter(base + ".read_ops").add(d.read_ops);
+    reg.counter(base + ".faults_injected").add(d.faults_injected);
+    reg.counter(base + ".retries").add(d.retries);
+    reg.counter(base + ".ecc_corrected").add(d.ecc_corrected);
+    reg.counter(base + ".sim_ns")
+        .add(static_cast<std::uint64_t>(d.sim_time.as_ns()));
+    reg.gauge(base + ".pe_cycles").set(d.pe_cycles);
+    reg.gauge(base + ".health")
+        .set(static_cast<double>(static_cast<std::uint8_t>(d.health)));
+    reg.gauge(base + ".reason")
+        .set(static_cast<double>(static_cast<std::uint8_t>(d.reason)));
+  };
+  // Histogram of per-die simulated time: range covers everything from an
+  // all-restored resume (0) to a paper-scale 70k-cycle imprint (~0.5 h of
+  // simulated time per die); out-of-range dies land in overflow, counted.
+  auto& sim_hist =
+      reg.histogram(prefix + ".die_sim_ms", 0.0, 4.0e6, 64);
+  for (const auto& d : dies) {
+    fold_row(prefix + "." + obs::die_key(d.die), d);
+    sim_hist.add(d.sim_time.as_ms());
+  }
+  fold_row(prefix + ".total", totals());
+  reg.counter(prefix + ".dies").add(dies.size());
+  reg.counter(prefix + ".failures").add(failures());
+  reg.counter(prefix + ".degraded").add(degraded());
+}
+
 void FleetReport::print_summary(std::ostream& os) const {
   const DieCounters t = totals();
   os << "[fleet] " << dies.size() << " dies on " << threads_used
@@ -228,6 +273,10 @@ void FleetReport::print_summary(std::ostream& os) const {
 }
 
 namespace {
+
+/// Sequence number behind the `fleet.bNNN` metric prefixes (see
+/// reset_batch_counter in fleet.hpp).
+std::atomic<unsigned> g_batch_seq{0};
 
 /// The fleet watchdog: a single thread polling every die's DieProgress
 /// token while the batch runs, arming cooperative cancellation on dies that
@@ -266,7 +315,9 @@ class Watchdog {
         if (!t.started() || t.finished()) continue;
         if (opts_.die_deadline_ms > 0.0 &&
             now - t.start_ns() > ms_to_ns(opts_.die_deadline_ms)) {
-          t.request_cancel(CancelCause::kDeadline);
+          if (t.request_cancel(CancelCause::kDeadline))
+            if (auto* col = obs::TraceCollector::current())
+              col->instant("watchdog.cancel.deadline", i);
           continue;
         }
         if (opts_.die_stall_ms > 0.0) {
@@ -275,7 +326,9 @@ class Watchdog {
             last_ticks_[i] = ticks;
             last_change_ns_[i] = now;
           } else if (now - last_change_ns_[i] > ms_to_ns(opts_.die_stall_ms)) {
-            t.request_cancel(CancelCause::kStalled);
+            if (t.request_cancel(CancelCause::kStalled))
+              if (auto* col = obs::TraceCollector::current())
+                col->instant("watchdog.cancel.stalled", i);
           }
         }
       }
@@ -308,6 +361,11 @@ FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
   auto run_one = [&report, &job, &progress](std::size_t die) {
     DieCounters& slot = report.dies[die];
     DieProgress& token = progress[die];
+    // One async band per die (id = die index) so a die's work reads as a
+    // single horizontal lane in about://tracing even across thread hops,
+    // plus a complete-event span on the worker thread that ran it.
+    obs::AsyncSpan die_band("die", die);
+    FLASHMARK_SPAN("fleet.die");
     const auto job_t0 = Clock::now();
     token.mark_started();
     auto fail = [&slot](FailureReason reason, const char* what) {
@@ -359,6 +417,7 @@ FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
     std::optional<Watchdog> watchdog;
     if (supervised) watchdog.emplace(progress, opts);
 
+    FLASHMARK_SPAN("fleet.batch");
     if (report.threads_used <= 1 || n_dies <= 1) {
       // Inline path: byte-for-byte the pre-fleet sequential behavior.
       for (std::size_t i = 0; i < n_dies; ++i) run_one(i);
@@ -370,6 +429,22 @@ FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
     }
   }
   report.wall_ms = ms_since(t0);
+
+  if (obs::metrics_enabled()) {
+    // Batches are issued sequentially from the caller's thread, so the
+    // sequence number — and with it every metric name — is identical at any
+    // --threads value. Heartbeat gauges (ticks per die) are deterministic
+    // for completed dies; watchdog-cancelled dies are wall-clock truncated
+    // and excluded from the byte-identity contract anyway (§6).
+    char prefix[16];
+    std::snprintf(prefix, sizeof prefix, "fleet.b%03u",
+                  g_batch_seq.fetch_add(1, std::memory_order_relaxed));
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    report.fold_into(reg, prefix);
+    for (std::size_t i = 0; i < n_dies; ++i)
+      reg.gauge(std::string(prefix) + "." + obs::die_key(i) + ".heartbeat")
+          .set(static_cast<double>(progress[i].ticks()));
+  }
   return report;
 }
 
@@ -381,6 +456,10 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
         job(die, counters);
       },
       opts);
+}
+
+void reset_batch_counter() {
+  g_batch_seq.store(0, std::memory_order_relaxed);
 }
 
 namespace {

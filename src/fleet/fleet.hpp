@@ -27,6 +27,10 @@
 #include "mcu/device.hpp"
 #include "util/sim_time.hpp"
 
+namespace flashmark::obs {
+class MetricsRegistry;
+}  // namespace flashmark::obs
+
 namespace flashmark::fleet {
 
 /// Derive the RNG seed of die `die_index` in a fleet grown from
@@ -65,6 +69,19 @@ struct FleetOptions {
   double die_stall_ms = 0.0;
   /// Watchdog poll interval, ms.
   double watchdog_poll_ms = 2.0;
+
+  // --- observability (src/obs) ------------------------------------------
+  // Parsed from the shared --trace-out / --metrics-out flags. The batch
+  // APIs never read these; binaries hand them to obs::Exporter (one scoped
+  // object around the run), which installs the trace collector / enables
+  // the registry and writes the files on scope exit. Metrics exports obey
+  // the byte-identity contract (docs/REPRODUCIBILITY.md §6); trace files
+  // record wall clocks and are nondeterministic by design.
+
+  /// Chrome trace_event JSON output path ("" = tracing off).
+  std::string trace_out = {};
+  /// Metrics registry export path, CSV or *.json ("" = metrics off).
+  std::string metrics_out = {};
 };
 
 /// Why the watchdog cancelled a die.
@@ -88,10 +105,12 @@ class DieProgress {
 
   CancelCause cause() const { return cause_.load(std::memory_order_relaxed); }
 
-  /// Watchdog side: first cause wins.
-  void request_cancel(CancelCause cause) {
+  /// Watchdog side: first cause wins. Returns true when this call installed
+  /// the cause (the watchdog emits its trace cancel-event exactly once).
+  bool request_cancel(CancelCause cause) {
     CancelCause none = CancelCause::kNone;
-    cause_.compare_exchange_strong(none, cause, std::memory_order_relaxed);
+    return cause_.compare_exchange_strong(none, cause,
+                                          std::memory_order_relaxed);
   }
 
   std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
@@ -126,12 +145,12 @@ struct CliFlag {
   bool takes_value = false; ///< flag consumes the following argv entry
 };
 
-/// Parse the shared `--threads N` flag out of argv (used by every
-/// bench/example fan-out binary). Arguments named in `extra` are skipped
-/// (the binary parses them itself); anything else is rejected with a usage
-/// line on stderr and exit code 2 — a typo like `--thread 8` must not
-/// silently run the whole sweep single-config. Malformed `--threads` values
-/// also exit 2.
+/// Parse the shared fleet flags out of argv (used by every bench/example
+/// fan-out binary): `--threads N`, `--trace-out FILE`, `--metrics-out FILE`.
+/// Arguments named in `extra` are skipped (the binary parses them itself);
+/// anything else is rejected with a usage line on stderr and exit code 2 —
+/// a typo like `--thread 8` must not silently run the whole sweep
+/// single-config. Malformed `--threads` values also exit 2.
 FleetOptions parse_cli_options(int argc, char** argv,
                                std::initializer_list<CliFlag> extra = {});
 
@@ -222,6 +241,16 @@ struct FleetReport {
 
   /// One-paragraph human summary (dies, threads, wall, aggregate ops).
   void print_summary(std::ostream& os) const;
+
+  /// Fold the deterministic slice of this report into `reg` under
+  /// `<prefix>`: per-die counter rows (`<prefix>.die.00007.erase_ops`, …,
+  /// zero-padded so export order equals die order), per-die health/reason
+  /// gauges, batch totals, and a sim-time histogram. Wall times are
+  /// excluded on purpose — they would break the byte-identical-export
+  /// contract (docs/REPRODUCIBILITY.md §6); they live in the trace instead.
+  /// run_dies calls this automatically (prefix `fleet.bNNN`, one NNN per
+  /// batch in issue order) when obs::metrics_enabled().
+  void fold_into(obs::MetricsRegistry& reg, const std::string& prefix) const;
 };
 
 /// A per-die job: simulate die `die` and record its counters. Results must
@@ -251,6 +280,12 @@ FleetReport run_dies(std::size_t n_dies, const DieJob& job,
 /// run_dies with an inert token (no watchdog thread is spawned).
 FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
                      const FleetOptions& opts = {});
+
+/// Restart the `fleet.bNNN` metric-prefix sequence at b000. A fresh process
+/// always starts at b000; tests that emulate several processes in one
+/// (clearing the registry between runs) call this alongside
+/// MetricsRegistry::clear() so re-runs reproduce the same metric names.
+void reset_batch_counter();
 
 /// A freshly manufactured fleet: dies[i] has seed
 /// derive_die_seed(master_seed, i).

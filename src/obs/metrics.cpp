@@ -1,0 +1,217 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace flashmark::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Round-trip exact double render (max_digits10) so exports are
+/// byte-identical whenever the values are bit-identical.
+std::string exact(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+/// JSON string escape for metric names (shared shape with the trace
+/// exporter; names are caller-controlled but must not corrupt the file).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& body,
+                std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!(ok && closed)) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void HistogramMetric::add(double x) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool first = hist_.total() == 0;
+  hist_.add(x);  // throws on NaN before min/max are touched
+  if (first) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+std::string HistogramMetric::render() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "count=" << hist_.total() << ";under=" << hist_.underflow()
+     << ";over=" << hist_.overflow();
+  if (hist_.total() > 0) os << ";min=" << exact(min_) << ";max=" << exact(max_);
+  os << ";bins=";
+  for (std::size_t i = 0; i < hist_.bins(); ++i) {
+    if (i) os << '|';
+    os << hist_.bin_count(i);
+  }
+  return os.str();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+  return *slot;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "kind,name,value\n";
+  // std::map iteration is already name-sorted; kinds are emitted in fixed
+  // order, so the full export order is (kind, name) — never insertion or
+  // thread order (docs/REPRODUCIBILITY.md §6).
+  for (const auto& [name, c] : counters_)
+    os << "counter," << name << ',' << c->value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    os << "gauge," << name << ',' << exact(g->value()) << '\n';
+  for (const auto& [name, h] : histograms_)
+    os << "histogram," << name << ',' << h->render() << '\n';
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << exact(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": \""
+       << json_escape(h->render()) << "\"";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+std::string die_key(std::size_t die) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "die.%05zu", die);
+  return buf;
+}
+
+Exporter::Exporter(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) {
+    collector_ = std::make_unique<TraceCollector>();
+    TraceCollector::install(collector_.get());
+  }
+  if (!metrics_path_.empty()) {
+    MetricsRegistry::global().clear();
+    set_metrics_enabled(true);
+  }
+}
+
+Exporter::~Exporter() {
+  if (collector_) {
+    TraceCollector::install(nullptr);
+    std::string error;
+    if (!collector_->write_chrome_json(trace_path_, &error))
+      std::cerr << "[obs] trace export failed: " << error << "\n";
+  }
+  if (!metrics_path_.empty()) {
+    set_metrics_enabled(false);
+    const MetricsRegistry& reg = MetricsRegistry::global();
+    const std::string body =
+        ends_with(metrics_path_, ".json") ? reg.to_json() : reg.to_csv();
+    std::string error;
+    if (!write_file(metrics_path_, body, &error))
+      std::cerr << "[obs] metrics export failed: " << error << "\n";
+  }
+}
+
+}  // namespace flashmark::obs

@@ -1,0 +1,143 @@
+// Metrics registry — named counters, gauges, and fixed-bin histograms.
+//
+// The observability companion to the trace layer (obs/trace.hpp): where a
+// trace answers "where did this one run spend its time", the registry
+// answers "how much work happened, total". Fleet batches fold their per-die
+// op counters in here, the CLI exports it behind --metrics-out, and
+// bench/perf_micro snapshots it into BENCH_obs.json.
+//
+// Determinism contract (docs/REPRODUCIBILITY.md §6): exports are sorted by
+// (kind, name) — never by insertion or thread order — and the values the
+// built-in fold sites record are order-independent (integer counters, per-die
+// gauges, histogram bin counts). Consequently a registry fed only by
+// deterministic fold sites exports byte-identical CSV/JSON at any --threads
+// value. Wall-clock quantities are deliberately kept out of the registry;
+// they belong in the trace.
+//
+// Thread safety: metric handles are created under a registry mutex and are
+// stable for the registry's lifetime; updating a Counter/Gauge is a relaxed
+// atomic, updating a HistogramMetric takes a per-histogram mutex. The
+// whole-registry toggle (set_metrics_enabled) lets hot paths skip fold work
+// with one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace flashmark::obs {
+
+/// Monotone event count. Relaxed atomic: totals are exact, ordering is not
+/// observable (the simulation never reads metrics back).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar. For deterministic export, a gauge written from
+/// fleet worker threads must be per-die (one name per die) — concurrent
+/// writers racing on one shared gauge would make the surviving value
+/// scheduling-dependent.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bin histogram (util/stats Histogram) plus order-independent
+/// min/max. Mean/variance are deliberately not exported: floating-point
+/// accumulation order varies with scheduling, and the export must not.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : hist_(lo, hi, bins) {}
+
+  void add(double x);
+
+  /// Deterministic render: "count=..;under=..;over=..;min=..;max=..;bins=a|b".
+  std::string render() const;
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. Handles are stable references owned by the registry;
+  /// callers may cache them across calls. A histogram re-requested with a
+  /// different shape keeps its original shape (first registration wins).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  /// CSV export: header "kind,name,value", rows sorted by (kind, name).
+  /// Counters render as integers, gauges round-trip exact (max_digits10),
+  /// histograms as their render() string. Byte-identical across --threads
+  /// when fed only deterministic values (docs/REPRODUCIBILITY.md §6).
+  std::string to_csv() const;
+
+  /// JSON export: {"counters":{...},"gauges":{...},"histograms":{...}},
+  /// keys sorted, one metric per line. Same determinism contract as CSV.
+  std::string to_json() const;
+
+  /// Drop every metric (used between CLI commands and by tests).
+  void clear();
+
+  /// The process-wide registry the built-in fold sites target.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Master switch for the built-in fold sites (fleet batch fold, controller
+/// fold, CLI). Off by default: a run that never asks for --metrics-out pays
+/// one relaxed load per *batch*, not per operation. Tests and the Exporter
+/// flip it on.
+void set_metrics_enabled(bool on);
+bool metrics_enabled();
+
+/// Render a die index with fixed width so lexicographic export order equals
+/// numeric die order ("die.00007" < "die.00012").
+std::string die_key(std::size_t die);
+
+/// Scoped exporter driving both obs sinks from CLI flags: a non-empty
+/// `trace_path` installs a process-wide TraceCollector and writes Chrome
+/// trace JSON on destruction; a non-empty `metrics_path` clears + enables
+/// the global registry and writes its CSV (or JSON when the path ends in
+/// ".json") on destruction. Empty paths are inert, so binaries can
+/// construct one unconditionally from parsed flags.
+class Exporter {
+ public:
+  Exporter(std::string trace_path, std::string metrics_path);
+  ~Exporter();
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<class TraceCollector> collector_;
+};
+
+}  // namespace flashmark::obs

@@ -1,0 +1,247 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace flashmark::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Format ns as Chrome's microsecond timestamps with ns resolution kept.
+std::string us_str(std::int64_t ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3)
+     << static_cast<double>(ns) / 1000.0;
+  return os.str();
+}
+
+/// Minimal JSON string escape; span names are literals we control, but a
+/// malformed name must corrupt one string, not the file.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; s && *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Lane bookkeeping: each thread caches (collector, lane) so a fresh
+/// collector re-assigns lanes from 0 instead of inheriting stale ids.
+struct LaneSlot {
+  const void* owner = nullptr;
+  std::uint32_t lane = 0;
+};
+thread_local LaneSlot t_lane;
+
+}  // namespace
+
+std::atomic<TraceCollector*> TraceCollector::current_{nullptr};
+
+TraceCollector::TraceCollector(std::size_t max_events)
+    : max_events_(max_events), epoch_ns_(steady_now_ns()) {
+  events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+TraceCollector::~TraceCollector() {
+  // Leaving a destroyed collector installed would hand spans a dangling
+  // pointer; uninstall defensively (Exporter uninstalls explicitly first).
+  TraceCollector* self = this;
+  current_.compare_exchange_strong(self, nullptr, std::memory_order_relaxed);
+}
+
+TraceCollector* TraceCollector::install(TraceCollector* c) {
+  return current_.exchange(c, std::memory_order_relaxed);
+}
+
+std::int64_t TraceCollector::now_ns() const {
+  return steady_now_ns() - epoch_ns_;
+}
+
+std::uint32_t TraceCollector::lane() const {
+  if (t_lane.owner != this) {
+    t_lane.owner = this;
+    t_lane.lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_lane.lane;
+}
+
+void TraceCollector::record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void TraceCollector::async_begin(const char* name, std::uint64_t id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = "die";
+  ev.ph = 'b';
+  ev.tid = lane();
+  ev.id = id;
+  ev.ts_ns = now_ns();
+  record(ev);
+}
+
+void TraceCollector::async_end(const char* name, std::uint64_t id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = "die";
+  ev.ph = 'e';
+  ev.tid = lane();
+  ev.id = id;
+  ev.ts_ns = now_ns();
+  record(ev);
+}
+
+void TraceCollector::instant(const char* name, std::uint64_t id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ph = 'i';
+  ev.tid = lane();
+  ev.id = id;
+  ev.ts_ns = now_ns();
+  record(ev);
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<TraceEvent> evs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    evs = events_;
+  }
+  // One Chrome lane per worker thread, monotone within the lane: nested
+  // scopes retire inner-first, so buffer order is end-time order — sort by
+  // begin time instead. Stable: same-instant events keep recording order.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return evs;
+}
+
+std::string TraceCollector::chrome_json() const {
+  const std::vector<TraceEvent> evs = snapshot();
+  std::uint32_t max_lane = 0;
+  for (const TraceEvent& ev : evs) max_lane = std::max(max_lane, ev.tid);
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+  // Lane naming metadata first (viewers show it regardless of position,
+  // but leading metadata keeps the event stream contiguous).
+  for (std::uint32_t lane_id = 0; lane_id <= max_lane && !evs.empty();
+       ++lane_id) {
+    std::ostringstream md;
+    md << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << lane_id
+       << ",\"args\":{\"name\":\"lane-" << lane_id << "\"}}";
+    emit(md.str());
+  }
+  for (const TraceEvent& ev : evs) {
+    std::ostringstream ln;
+    ln << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.cat ? ev.cat : "flashmark") << "\",\"ph\":\"" << ev.ph
+       << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << us_str(ev.ts_ns);
+    if (ev.ph == 'X') ln << ",\"dur\":" << us_str(ev.dur_ns);
+    if (ev.ph == 'b' || ev.ph == 'e')
+      ln << ",\"id\":\"0x" << std::hex << ev.id << std::dec << "\"";
+    if (ev.ph == 'i') ln << ",\"s\":\"t\"";
+    if (ev.has_sim || (ev.ph == 'i' && ev.id != 0)) {
+      ln << ",\"args\":{";
+      bool first_arg = true;
+      if (ev.has_sim) {
+        ln << "\"sim_ts_us\":" << us_str(ev.sim_ts_ns)
+           << ",\"sim_dur_us\":" << us_str(ev.sim_dur_ns);
+        first_arg = false;
+      }
+      if (ev.ph == 'i' && ev.id != 0)
+        ln << (first_arg ? "" : ",") << "\"die\":" << ev.id;
+      ln << "}";
+    }
+    ln << "}";
+    emit(ln.str());
+  }
+  os << "\n],\"otherData\":{\"dropped_events\":" << dropped() << "}}\n";
+  return os.str();
+}
+
+bool TraceCollector::write_chrome_json(const std::string& path,
+                                       std::string* error) const {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!(ok && closed)) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+Span::Span(const char* name, SimNowFn sim_now, const void* sim_ctx)
+    : col_(TraceCollector::current()),
+      name_(name),
+      sim_now_(sim_now),
+      sim_ctx_(sim_ctx) {
+  if (!col_) return;  // disabled path: the one atomic load above, nothing else
+  t0_ns_ = col_->now_ns();
+  if (sim_now_) sim0_ns_ = sim_now_(sim_ctx_);
+}
+
+Span::~Span() {
+  if (!col_) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.ph = 'X';
+  ev.tid = col_->lane();
+  ev.ts_ns = t0_ns_;
+  ev.dur_ns = col_->now_ns() - t0_ns_;
+  if (sim_now_) {
+    ev.has_sim = true;
+    ev.sim_ts_ns = sim0_ns_;
+    ev.sim_dur_ns = sim_now_(sim_ctx_) - sim0_ns_;
+  }
+  col_->record(ev);
+}
+
+AsyncSpan::AsyncSpan(const char* name, std::uint64_t id)
+    : col_(TraceCollector::current()), name_(name), id_(id) {
+  if (col_) col_->async_begin(name_, id_);
+}
+
+AsyncSpan::~AsyncSpan() {
+  if (col_) col_->async_end(name_, id_);
+}
+
+}  // namespace flashmark::obs

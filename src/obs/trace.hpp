@@ -1,0 +1,207 @@
+// Trace spans — dual-clock (wall + simulated) scoped timing that exports
+// Chrome trace_event JSON (load the file in about://tracing or
+// https://ui.perfetto.dev).
+//
+// The paper's headline claims are timing claims (40k–70k P/E cycles per
+// imprint, sub-second extraction), so the interesting question inside a
+// fleet batch is *where the time goes*: which phase of which die, on which
+// worker thread, in wall-clock and in simulated time. A Span records both:
+// wall time from std::chrono::steady_clock, simulated time through an
+// optional function-pointer probe (so fm_obs depends on nothing above
+// fm_util — the HAL is plugged in by the caller via FLASHMARK_SPAN_SIM).
+//
+// Cost model:
+//  * No collector installed (the default): a Span is one relaxed atomic
+//    load and a branch — no clock read, no allocation, no lock. This is the
+//    "disabled path" whose overhead tests/obs_test.cpp bounds and
+//    bench/perf_micro quantifies (BM_DisabledSpan).
+//  * FLASHMARK_TRACE=0 (CMake option): FLASHMARK_SPAN compiles to nothing
+//    at all — the belt to the runtime toggle's suspenders.
+//  * Collector installed: each span end is two clock reads plus one
+//    mutex-guarded vector append, bounded by `max_events` (beyond it events
+//    are dropped and counted, never reallocated without bound).
+//
+// Lanes: each OS thread gets a small sequential lane id (tid) on first
+// record; one Chrome lane per fleet worker thread. Per-die work is bracketed
+// with async events ('b'/'e', id = die index) so a die's activity reads as
+// one horizontal band even as it hops threads. Export sorts events by
+// (tid, ts) — ts is monotone within every lane regardless of the order
+// nested scopes retired in.
+//
+// Traces record *wall* timestamps, so trace files are run-to-run noise by
+// design and are NOT covered by the byte-identity contract
+// (docs/REPRODUCIBILITY.md §6). The deterministic side lives in
+// obs/metrics.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace flashmark::obs {
+
+/// Probe returning the current simulated time in ns for an opaque context
+/// (a FlashHal, a SimClock...). Kept as a plain function pointer so span
+/// construction never allocates.
+using SimNowFn = std::int64_t (*)(const void*);
+
+/// Adapter for any object with `SimTime now() const` (FlashHal, SimClock,
+/// FlashController). Use via FLASHMARK_SPAN_SIM.
+template <typename T>
+std::int64_t sim_now_adapter(const void* obj) {
+  return static_cast<const T*>(obj)->now().as_ns();
+}
+
+/// One recorded event. Names must be string literals (or otherwise outlive
+/// the collector) — events store the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;  ///< category; null => "flashmark"
+  char ph = 'X';              ///< 'X' complete, 'b'/'e' async, 'i' instant
+  std::uint32_t tid = 0;      ///< lane (per-thread, registration order)
+  std::uint64_t id = 0;       ///< async correlation id (die index)
+  std::int64_t ts_ns = 0;     ///< wall time since collector epoch
+  std::int64_t dur_ns = 0;    ///< wall duration ('X' only)
+  std::int64_t sim_ts_ns = 0;  ///< simulated clock at span start
+  std::int64_t sim_dur_ns = 0; ///< simulated time the span advanced
+  bool has_sim = false;
+};
+
+/// Collects events from every thread and renders Chrome trace JSON.
+/// Install/uninstall bracket a recording session; spans observe the
+/// installed collector through one relaxed atomic.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t max_events = 1'000'000);
+  ~TraceCollector();
+
+  /// Install `c` as the process-wide collector (nullptr to uninstall).
+  /// Returns the previous collector. Not reentrant with in-flight spans of
+  /// the previous collector — install around batches, not inside them.
+  static TraceCollector* install(TraceCollector* c);
+
+  /// The installed collector, or nullptr (the near-zero disabled path).
+  static TraceCollector* current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall ns since this collector was constructed (the trace epoch).
+  std::int64_t now_ns() const;
+
+  /// Lane id of the calling thread (assigned on first use).
+  std::uint32_t lane() const;
+
+  void record(const TraceEvent& ev);
+
+  /// Async begin/end pair ('b'/'e'): one horizontal band per `id` in the
+  /// viewer. Used for per-die bracketing in the fleet layer.
+  void async_begin(const char* name, std::uint64_t id);
+  void async_end(const char* name, std::uint64_t id);
+
+  /// Thread-scoped instant event ('i') — e.g. a watchdog cancel decision.
+  void instant(const char* name, std::uint64_t id = 0);
+
+  /// Events recorded so far, sorted by (tid, ts_ns) — the exact order the
+  /// JSON export uses. Ties keep recording order (stable sort), so an outer
+  /// scope precedes inner scopes that started the same instant.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events discarded after max_events filled up.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace_event JSON (object form, one event per line). Loads in
+  /// about://tracing and Perfetto; sim times travel in each event's "args".
+  std::string chrome_json() const;
+
+  /// Write chrome_json() to `path`; returns false (and reports on the
+  /// returned message) on I/O failure.
+  bool write_chrome_json(const std::string& path, std::string* error) const;
+
+ private:
+  static std::atomic<TraceCollector*> current_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::int64_t epoch_ns_ = 0;
+  mutable std::atomic<std::uint32_t> next_lane_{0};
+};
+
+/// RAII dual-clock span. Constructed disabled (one atomic load) when no
+/// collector is installed; otherwise stamps wall/sim starts now and records
+/// one complete event when the scope exits. Use the FLASHMARK_SPAN macros
+/// rather than naming Span directly — they compile away under
+/// -DFLASHMARK_TRACE=0.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, nullptr, nullptr) {}
+  Span(const char* name, SimNowFn sim_now, const void* sim_ctx);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceCollector* col_;  // nullptr == disabled for this scope
+  const char* name_;
+  SimNowFn sim_now_;
+  const void* sim_ctx_;
+  std::int64_t t0_ns_ = 0;
+  std::int64_t sim0_ns_ = 0;
+};
+
+/// RAII async band: async_begin on entry, async_end on exit (both no-ops
+/// when no collector is installed at entry).
+class AsyncSpan {
+ public:
+  AsyncSpan(const char* name, std::uint64_t id);
+  ~AsyncSpan();
+  AsyncSpan(const AsyncSpan&) = delete;
+  AsyncSpan& operator=(const AsyncSpan&) = delete;
+
+ private:
+  TraceCollector* col_;
+  const char* name_;
+  std::uint64_t id_;
+};
+
+}  // namespace flashmark::obs
+
+// FLASHMARK_TRACE gates whether spans exist in the binary at all; the
+// runtime install() gate decides whether an existing span costs more than an
+// atomic load. Builds that never define the macro get spans (the runtime
+// default keeps them near-free).
+#ifndef FLASHMARK_TRACE
+#define FLASHMARK_TRACE 1
+#endif
+
+#define FM_OBS_CONCAT2(a, b) a##b
+#define FM_OBS_CONCAT(a, b) FM_OBS_CONCAT2(a, b)
+
+#if FLASHMARK_TRACE
+/// Scoped wall-clock span: FLASHMARK_SPAN("imprint.cycle");
+#define FLASHMARK_SPAN(name) \
+  ::flashmark::obs::Span FM_OBS_CONCAT(fm_span_, __COUNTER__) { name }
+/// Scoped dual-clock span; `obj` is anything with `SimTime now() const`
+/// (a FlashHal, SimClock, controller...) that outlives the scope:
+/// FLASHMARK_SPAN_SIM("extract.round", hal);
+#define FLASHMARK_SPAN_SIM(name, obj)                                         \
+  ::flashmark::obs::Span FM_OBS_CONCAT(fm_span_, __COUNTER__) {               \
+    name,                                                                     \
+        &::flashmark::obs::sim_now_adapter<                                   \
+            std::remove_cv_t<std::remove_reference_t<decltype(obj)>>>,        \
+        &(obj)                                                                \
+  }
+#else
+#define FLASHMARK_SPAN(name) \
+  do {                       \
+  } while (false)
+#define FLASHMARK_SPAN_SIM(name, obj) \
+  do {                                \
+  } while (false)
+#endif

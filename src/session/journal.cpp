@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "util/crc.hpp"
 
 namespace flashmark::session {
@@ -38,6 +39,7 @@ std::string frame_record(const JournalRecord& rec) {
 }
 
 ReplayResult replay_journal(const std::string& path) {
+  FLASHMARK_SPAN("journal.replay");
   std::string text;
   const IoStatus st = read_file(path, &text);
   if (!st) throw std::runtime_error("replay_journal: " + st.error);
@@ -122,6 +124,7 @@ JournalWriter JournalWriter::open(const std::string& path, bool durable) {
 }
 
 void JournalWriter::append(const JournalRecord& rec, bool sync) {
+  FLASHMARK_SPAN("journal.append");
   const std::string line = frame_record(rec);
   if (std::fwrite(line.data(), 1, line.size(), file_.get()) != line.size())
     throw std::runtime_error("journal append: write failed: " + path_);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "mcu/persist.hpp"
+#include "obs/trace.hpp"
 
 namespace flashmark::session {
 
@@ -122,6 +123,7 @@ class CheckpointSink {
 
   /// WAL step: die state first (atomic file), then the record naming it.
   void checkpoint(std::uint32_t cycles) {
+    FLASHMARK_SPAN("session.checkpoint");
     const std::string name = ckpt_file_name(cycles);
     if (const IoStatus st = save_device_file(dev_, dir_ + "/" + name); !st)
       throw std::runtime_error("imprint session: checkpoint failed: " +
@@ -238,6 +240,7 @@ SessionStatus inspect_session(const std::string& dir) {
 ImprintReport run_imprint_session(const std::string& dir, Device& dev,
                                   Addr addr, const BitVec& pattern,
                                   std::uint32_t npe, const SessionConfig& cfg) {
+  FLASHMARK_SPAN("session.run");
   if (npe == 0)
     throw std::invalid_argument("run_imprint_session: npe must be > 0");
   if (cfg.checkpoint_every == 0)
@@ -274,6 +277,7 @@ ImprintReport run_imprint_session(const std::string& dir, Device& dev,
 
 ResumeResult resume_imprint_session(const std::string& dir,
                                     const SessionConfig& cfg) {
+  FLASHMARK_SPAN("session.resume");
   const ImprintLog log = parse_imprint_journal(dir);
 
   // Newest checkpoint that actually loads wins; an orphaned or damaged die

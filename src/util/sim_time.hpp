@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <compare>
+#include <stdexcept>
 
 namespace flashmark {
 
@@ -26,8 +27,19 @@ class SimTime {
 
   /// Construct from a floating-point number of microseconds (rounded to ns).
   /// Useful for physics-model outputs that are naturally real-valued.
+  /// Values beyond the int64 ns range (a pathological physics output, ±inf)
+  /// saturate to the representable extremes — casting an out-of-range double
+  /// to int64 is UB, not saturation. NaN throws std::invalid_argument (and
+  /// fails to compile in constant evaluation).
   static constexpr SimTime from_us(double v) {
-    return SimTime{static_cast<std::int64_t>(v * 1000.0 + (v >= 0 ? 0.5 : -0.5))};
+    if (v != v) throw std::invalid_argument("SimTime::from_us: NaN");
+    const double ns_f = v * 1000.0 + (v >= 0 ? 0.5 : -0.5);
+    // 2^63 is exactly representable as a double; the first double at or
+    // above it is already unrepresentable as int64, and -2^63 itself is the
+    // smallest representable value.
+    if (ns_f >= 9223372036854775808.0) return SimTime{INT64_MAX};
+    if (ns_f < -9223372036854775808.0) return SimTime{INT64_MIN};
+    return SimTime{static_cast<std::int64_t>(ns_f)};
   }
 
   constexpr std::int64_t as_ns() const { return ns_; }

@@ -7,6 +7,11 @@
 namespace flashmark {
 
 void RunningStats::add(double x) {
+  // Uniform NaN policy across util/stats (Histogram::add and percentile
+  // already throw): accepting NaN here would silently poison mean_/min_/max_
+  // for every later sample — min/max comparisons with NaN are always false,
+  // so the poisoning is unrecoverable and invisible.
+  if (std::isnan(x)) throw std::invalid_argument("RunningStats::add: NaN sample");
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -30,6 +35,9 @@ double percentile(std::vector<double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty input");
   for (const double v : values)
     if (std::isnan(v)) throw std::invalid_argument("percentile: NaN input");
+  // A NaN p slips through both clamp comparisons (NaN < 0 and NaN > 100 are
+  // both false), makes `rank` NaN, and the size_t cast of NaN below is UB.
+  if (std::isnan(p)) throw std::invalid_argument("percentile: NaN p");
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
   std::sort(values.begin(), values.end());

@@ -7,7 +7,9 @@
 
 namespace flashmark {
 
-/// Streaming mean/variance/min/max (Welford's algorithm).
+/// Streaming mean/variance/min/max (Welford's algorithm). NaN samples are
+/// rejected with std::invalid_argument (same policy as Histogram::add and
+/// percentile): one NaN would silently poison mean/min/max for good.
 class RunningStats {
  public:
   void add(double x);
@@ -30,8 +32,10 @@ class RunningStats {
 
 /// p-th percentile (0..100) by linear interpolation between order statistics.
 /// Copies and sorts; fine for the segment-sized vectors we use. Throws
-/// std::invalid_argument on an empty input or any NaN value — NaN breaks the
-/// strict weak ordering std::sort requires, so the result would be garbage.
+/// std::invalid_argument on an empty input, any NaN value (NaN breaks the
+/// strict weak ordering std::sort requires) or a NaN `p` (it would sail
+/// through the clamps and reach an UB float->size_t cast); out-of-range
+/// finite `p` is clamped to [0, 100].
 double percentile(std::vector<double> values, double p);
 
 /// Median convenience wrapper.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "mcu/device.hpp"
 
 namespace flashmark {
@@ -149,7 +151,11 @@ TEST(Imprint, ReportFields) {
   EXPECT_EQ(rep.npe, 20u);
   EXPECT_FALSE(rep.accelerated);
   EXPECT_GT(rep.elapsed, SimTime{});
-  EXPECT_EQ(rep.mean_cycle_time.as_ns(), rep.elapsed.as_ns() / 20);
+  // Round-to-nearest, not truncation: mean*npe stays within npe/2 ns of
+  // elapsed, where plain integer division could drift up to npe-1 ns low.
+  EXPECT_EQ(rep.mean_cycle_time.as_ns(), (rep.elapsed.as_ns() + 10) / 20);
+  EXPECT_LE(std::llabs(rep.mean_cycle_time.as_ns() * 20 - rep.elapsed.as_ns()),
+            10);
   // One baseline cycle: ~24 ms erase + 256 * 40 us block program + ramps.
   EXPECT_NEAR(rep.mean_cycle_time.as_ms(), 34.3, 1.0);
 }

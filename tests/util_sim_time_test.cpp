@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 namespace flashmark {
 namespace {
 
@@ -30,6 +33,23 @@ TEST(SimTime, FromUsRounds) {
   EXPECT_EQ(SimTime::from_us(1.0006).as_ns(), 1001);
   EXPECT_EQ(SimTime::from_us(0.0).as_ns(), 0);
   EXPECT_EQ(SimTime::from_us(-1.5).as_ns(), -1500);
+}
+
+TEST(SimTime, FromUsSaturatesInsteadOfOverflowing) {
+  // Values past the int64 ns range clamp to the rails; the float->int cast
+  // of the old code was UB there.
+  EXPECT_EQ(SimTime::from_us(1e30).as_ns(), INT64_MAX);
+  EXPECT_EQ(SimTime::from_us(-1e30).as_ns(), INT64_MIN);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(SimTime::from_us(inf).as_ns(), INT64_MAX);
+  EXPECT_EQ(SimTime::from_us(-inf).as_ns(), INT64_MIN);
+  // Just inside the rails still converts normally (2^63 ns ~ 9.22e15 us).
+  EXPECT_EQ(SimTime::from_us(9.0e15).as_ns(), 9'000'000'000'000'000'000LL);
+}
+
+TEST(SimTime, FromUsNanThrows) {
+  EXPECT_THROW(SimTime::from_us(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(SimTime, Conversions) {

@@ -36,6 +36,17 @@ TEST(RunningStats, KnownSequence) {
   EXPECT_EQ(s.max(), 9.0);
 }
 
+TEST(RunningStats, NanSampleThrows) {
+  // Uniform NaN policy across util/stats: Histogram::add and percentile
+  // already threw; RunningStats::add used to absorb the NaN and poison
+  // mean/variance/min/max silently.
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_THROW(s.add(std::nan("")), std::invalid_argument);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
 TEST(RunningStats, NegativeValues) {
   RunningStats s;
   s.add(-3.0);
@@ -77,6 +88,13 @@ TEST(Percentile, NanInputThrows) {
   const double nan = std::nan("");
   EXPECT_THROW(percentile({nan}, 50.0), std::invalid_argument);
   EXPECT_THROW(percentile({1.0, nan, 3.0}, 50.0), std::invalid_argument);
+}
+
+TEST(Percentile, NanPThrows) {
+  // NaN p slipped past the clamps (NaN compares false) straight into a
+  // float->size_t cast, which is UB. It must be rejected like NaN samples.
+  EXPECT_THROW(percentile({1.0, 2.0, 3.0}, std::nan("")),
+               std::invalid_argument);
 }
 
 TEST(Median, OddAndEven) {
