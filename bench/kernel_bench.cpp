@@ -1,0 +1,217 @@
+// Kernel-layer perf smoke: measures the segment-granularity kernels
+// (src/phys/kernels.*) in both KernelMode paths on identical recipes and
+// pins the batched/reference speedup in BENCH_kernels.json (repo root).
+//
+//   kernel_bench --write [path]   re-measure and (over)write the pin file
+//   kernel_bench --check [path]   re-measure and FAIL (exit 1) if
+//                                 * erase-pulse speedup < 3.0x, or
+//                                 * erase-pulse speedup < 0.75x the pinned
+//                                   value (a >25% regression vs the pin)
+//   kernel_bench                  measure and print, no file I/O
+//
+// `ctest -L perf` runs the --check mode (bench/CMakeLists.txt). The pin is
+// host-dependent in absolute ns but the *speedup ratio* is stable enough to
+// gate on: both paths run the same physics on the same core, so a ratio
+// collapse means someone de-vectorized the batched path (or sped up the
+// reference path without moving the kernels — also worth a look).
+//
+// This deliberately uses a plain chrono harness instead of google-benchmark:
+// the check mode needs a machine-readable artifact with our own pass/fail
+// policy, and the JSON must be trivially parseable without a JSON dep.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flash/array.hpp"
+#include "flash/geometry.hpp"
+#include "phys/kernels.hpp"
+#include "phys/params.hpp"
+
+namespace flashmark {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xBEAC'0DE5;
+constexpr double kMinSeconds = 0.15;  // per measured case
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// ns per erase pulse on the extract-shaped workload: one rep = program
+/// all-zeros + 4 pulses of 30 us (the paper's partial-erase window). Pulse 1
+/// hits a fully programmed segment (per-cell jitter draws); later pulses see
+/// the mixed programmed/erased population extraction and characterization
+/// sweeps spend their time in. Every rep starts from the same state, and the
+/// amortized program step is included identically in both modes.
+double bench_erase_pulse(KernelMode mode) {
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  FlashArray a{g, PhysParams::msp430_calibrated(), kSeed};
+  a.set_kernel_mode(mode);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  constexpr int kPulses = 4;
+  auto rep = [&] {
+    a.erase_segment(0);
+    a.program_words(g.segment_base(0), zeros.data(), zeros.size());
+    for (int i = 0; i < kPulses; ++i) a.partial_erase_segment(0, 30.0);
+  };
+  rep();  // warm-up: materializes the segment, touches the tte cache
+  long reps = 0;
+  const auto t0 = Clock::now();
+  do {
+    rep();
+    ++reps;
+  } while (seconds_since(t0) < kMinSeconds);
+  return seconds_since(t0) * 1e9 / (double(reps) * kPulses);
+}
+
+/// ns per 3-read majority segment read (the analyze/extract hot loop).
+double bench_read_majority(KernelMode mode) {
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  FlashArray a{g, PhysParams::msp430_calibrated(), kSeed};
+  a.set_kernel_mode(mode);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  a.program_words(g.segment_base(0), zeros.data(), zeros.size());
+  a.partial_erase_segment(0, 26.0);  // mid-transition: metastable cells draw
+  std::size_t sink = 0;
+  auto rep = [&] { sink += a.read_segment_majority(0, 3).popcount(); };
+  rep();
+  long reps = 0;
+  const auto t0 = Clock::now();
+  do {
+    rep();
+    ++reps;
+  } while (seconds_since(t0) < kMinSeconds);
+  if (sink == std::size_t(-1)) std::cerr << "";  // keep sink live
+  return seconds_since(t0) * 1e9 / double(reps);
+}
+
+/// ns per 256-word all-zeros block program (fresh erase each rep).
+double bench_program_words(KernelMode mode) {
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  FlashArray a{g, PhysParams::msp430_calibrated(), kSeed};
+  a.set_kernel_mode(mode);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  auto rep = [&] {
+    a.erase_segment(0);
+    a.program_words(g.segment_base(0), zeros.data(), zeros.size());
+  };
+  rep();
+  long reps = 0;
+  const auto t0 = Clock::now();
+  do {
+    rep();
+    ++reps;
+  } while (seconds_since(t0) < kMinSeconds);
+  return seconds_since(t0) * 1e9 / double(reps);
+}
+
+struct Case {
+  const char* key;
+  double (*fn)(KernelMode);
+  double reference_ns = 0;
+  double batched_ns = 0;
+  double speedup() const { return reference_ns / batched_ns; }
+};
+
+std::string to_json(const std::vector<Case>& cases) {
+  std::ostringstream os;
+  os << "{\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    os << "  \"" << c.key << "_reference_ns\": " << long(c.reference_ns)
+       << ",\n";
+    os << "  \"" << c.key << "_batched_ns\": " << long(c.batched_ns) << ",\n";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", c.speedup());
+    os << "  \"" << c.key << "_speedup\": " << buf
+       << (i + 1 < cases.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+  return os.str();
+}
+
+/// Pull `"key": <number>` out of the pin file. Returns -1 if absent — the
+/// pin format is ours, so a missing key means a stale/foreign file and the
+/// caller treats it as "no pin".
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+int run(int argc, char** argv) {
+  bool write = false, check = false;
+  std::string path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--write") == 0)
+      write = true;
+    else if (std::strcmp(argv[i], "--check") == 0)
+      check = true;
+    else
+      path = argv[i];
+  }
+
+  std::vector<Case> cases = {{"erase_pulse", &bench_erase_pulse},
+                             {"read_majority", &bench_read_majority},
+                             {"program_words", &bench_program_words}};
+  for (Case& c : cases) {
+    c.reference_ns = c.fn(KernelMode::kReference);
+    c.batched_ns = c.fn(KernelMode::kBatched);
+    std::printf("%-14s reference %10.0f ns   batched %10.0f ns   %5.2fx\n",
+                c.key, c.reference_ns, c.batched_ns, c.speedup());
+  }
+
+  if (write) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << to_json(cases);
+    if (!out.good()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("[pin written: %s]\n", path.c_str());
+    return 0;
+  }
+
+  if (check) {
+    const Case& pulse = cases[0];
+    if (pulse.speedup() < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: erase_pulse speedup %.2fx < 3.0x floor "
+                   "(batched kernels de-vectorized?)\n",
+                   pulse.speedup());
+      return 1;
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const double pinned = json_number(ss.str(), "erase_pulse_speedup");
+    if (pinned <= 0) {
+      std::printf("[no pin at %s — floor check only]\n", path.c_str());
+      return 0;
+    }
+    if (pulse.speedup() < 0.75 * pinned) {
+      std::fprintf(stderr,
+                   "FAIL: erase_pulse speedup %.2fx regressed >25%% vs "
+                   "pinned %.2fx (%s)\n",
+                   pulse.speedup(), pinned, path.c_str());
+      return 1;
+    }
+    std::printf("[check ok: %.2fx vs pinned %.2fx, floor 3.0x]\n",
+                pulse.speedup(), pinned);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flashmark
+
+int main(int argc, char** argv) { return flashmark::run(argc, argv); }

@@ -200,6 +200,57 @@ void BM_FleetAuditBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetAuditBatch)->Args({8, 1})->Args({8, 0});
 
+// Kernel-layer pair: the same erase-pulse recipe under both KernelMode
+// paths (arg 0). Compare .../0 (reference) against .../1 (batched) for the
+// SoA speedup; the pinned ratio gate lives in kernel_bench (ctest -L perf),
+// this is the exploratory view. Recipe mirrors bench_erase_pulse there.
+void BM_ErasePulseSegment(benchmark::State& state) {
+  DeviceConfig cfg = DeviceConfig::msp430f5438();
+  cfg.kernel_mode = static_cast<KernelMode>(state.range(0));
+  Device dev(cfg, kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  for (auto _ : state) {
+    dev.hal().erase_segment(addr);
+    dev.hal().program_block(addr, zeros);
+    for (int i = 0; i < 4; ++i)
+      dev.hal().partial_erase_segment(addr, SimTime::us(30));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ErasePulseSegment)->Arg(0)->Arg(1);
+
+// Majority-read kernel under both modes (arg 0), mid-transition so the
+// metastable noise draws are live — the analyze/extract hot loop.
+void BM_ReadSegmentMajority(benchmark::State& state) {
+  DeviceConfig cfg = DeviceConfig::msp430f5438();
+  cfg.kernel_mode = static_cast<KernelMode>(state.range(0));
+  Device dev(cfg, kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  const std::vector<std::uint16_t> zeros(256, 0);
+  dev.hal().program_block(addr, zeros);
+  dev.hal().partial_erase_segment(addr, SimTime::us(26));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dev.hal().read_segment(addr, 3));
+}
+BENCHMARK(BM_ReadSegmentMajority)->Arg(0)->Arg(1);
+
+// Allocation guard for the characterize sweep: the all-zeros program block
+// is hoisted out of the per-step loop (src/core/characterize.cpp); this
+// bench regresses visibly if a per-step allocation or per-word path sneaks
+// back in.
+void BM_CharacterizeSweep(benchmark::State& state) {
+  Device dev(DeviceConfig::msp430f5438(), kDieSeed);
+  const Addr addr = seg_addr(dev, 0);
+  CharacterizeOptions o;
+  o.t_end = SimTime::us(40);
+  o.t_step = SimTime::us(4);
+  o.settle_points = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(characterize_segment(dev.hal(), addr, o));
+}
+BENCHMARK(BM_CharacterizeSweep);
+
 void BM_McuHal_WordProgram(benchmark::State& state) {
   Device dev(DeviceConfig::msp430f5438(), kDieSeed);
   const Addr addr = seg_addr(dev, 0);

@@ -1,7 +1,6 @@
 #include "core/analyze.hpp"
 
 #include <stdexcept>
-#include <vector>
 
 namespace flashmark {
 
@@ -9,33 +8,10 @@ SegmentAnalysis analyze_segment(FlashHal& hal, Addr addr, int n_reads) {
   if (n_reads < 1 || n_reads % 2 == 0)
     throw std::invalid_argument("analyze_segment: n_reads must be odd >= 1");
 
-  const auto& g = hal.geometry();
-  const std::size_t seg = g.segment_index(addr);
-  const Addr base = g.segment_base(seg);
-  const std::size_t n_words = g.segment_bytes(seg) / g.word_bytes;
-  const std::size_t bits_per_word = g.bits_per_word();
-
   SegmentAnalysis out;
-  out.bitmap = BitVec(n_words * bits_per_word);
-
-  std::vector<int> ones(bits_per_word);
-  for (std::size_t w = 0; w < n_words; ++w) {
-    const Addr wa = base + static_cast<Addr>(w * g.word_bytes);
-    ones.assign(bits_per_word, 0);
-    for (int r = 0; r < n_reads; ++r) {
-      const std::uint16_t v = hal.read_word(wa);
-      for (std::size_t b = 0; b < bits_per_word; ++b)
-        ones[b] += static_cast<int>((v >> b) & 1u);
-    }
-    for (std::size_t b = 0; b < bits_per_word; ++b) {
-      const bool erased = ones[b] * 2 > n_reads;
-      out.bitmap.set(w * bits_per_word + b, erased);
-      if (erased)
-        ++out.cells_1;
-      else
-        ++out.cells_0;
-    }
-  }
+  out.bitmap = hal.read_segment(addr, n_reads);
+  out.cells_1 = out.bitmap.popcount();
+  out.cells_0 = out.bitmap.size() - out.cells_1;
   return out;
 }
 

@@ -4,17 +4,6 @@
 
 namespace flashmark {
 
-namespace {
-/// Program every word of the segment to 0x0000 in block-write mode.
-void program_all_zero(FlashHal& hal, Addr addr) {
-  const auto& g = hal.geometry();
-  const std::size_t seg = g.segment_index(addr);
-  const Addr base = g.segment_base(seg);
-  const std::size_t n_words = g.segment_bytes(seg) / g.word_bytes;
-  hal.program_block(base, std::vector<std::uint16_t>(n_words, 0x0000));
-}
-}  // namespace
-
 std::vector<CharacterizePoint> characterize_segment(
     FlashHal& hal, Addr addr, const CharacterizeOptions& opts) {
   if (opts.t_step <= SimTime{})
@@ -25,12 +14,16 @@ std::vector<CharacterizePoint> characterize_segment(
   const auto& g = hal.geometry();
   const std::size_t seg = g.segment_index(addr);
   const std::size_t n_cells = g.segment_cells(seg);
+  const Addr base = g.segment_base(seg);
+  // One allocation for the whole sweep (was rebuilt per step).
+  const std::vector<std::uint16_t> zeros(g.segment_bytes(seg) / g.word_bytes,
+                                         0x0000);
 
   std::vector<CharacterizePoint> curve;
   int settled = 0;
   for (SimTime t = opts.t_start; t <= opts.t_end; t += opts.t_step) {
-    hal.erase_segment(addr);        // all cells read as 1s
-    program_all_zero(hal, addr);    // all cells read as 0s
+    hal.erase_segment(addr);         // all cells read as 1s
+    hal.program_block(base, zeros);  // all cells read as 0s
     hal.partial_erase_segment(addr, t);
     const SegmentAnalysis a = analyze_segment(hal, addr, opts.n_reads);
     curve.push_back({t, a.cells_0, a.cells_1});

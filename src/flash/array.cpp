@@ -1,11 +1,11 @@
 #include "flash/array.hpp"
 
-#include <algorithm>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace flashmark {
 
@@ -20,7 +20,7 @@ FlashArray::FlashArray(FlashGeometry geometry, PhysParams phys,
   phys_.validate();
 }
 
-std::vector<Cell>& FlashArray::ensure_segment(std::size_t seg) {
+SegmentSoA& FlashArray::ensure_segment(std::size_t seg) {
   if (seg >= segments_.size())
     throw std::out_of_range("FlashArray: segment index out of range");
   auto& slot = segments_[seg];
@@ -29,10 +29,9 @@ std::vector<Cell>& FlashArray::ensure_segment(std::size_t seg) {
     std::uint64_t sm = die_seed_ ^ (0x9E3779B97F4A7C15ull * (seg + 1));
     Rng seg_rng(splitmix64(sm));
     const std::size_t n = geom_.segment_cells(seg);
-    slot = std::make_unique<std::vector<Cell>>();
-    slot->reserve(n);
+    slot = std::make_unique<SegmentSoA>(n);
     for (std::size_t i = 0; i < n; ++i)
-      slot->push_back(Cell::manufacture(phys_, seg_rng));
+      slot->assign(i, Cell::manufacture(phys_, seg_rng).snapshot_state());
   }
   return *slot;
 }
@@ -49,7 +48,7 @@ std::pair<std::size_t, std::size_t> FlashArray::locate_word(Addr addr) const {
 }
 
 void FlashArray::erase_segment(std::size_t seg) {
-  for (auto& c : ensure_segment(seg)) c.full_erase(phys_);
+  kernels::erase_full_segment(mode_, ensure_segment(seg), phys_);
 }
 
 void FlashArray::set_temperature_c(double t) {
@@ -67,15 +66,25 @@ void FlashArray::partial_erase_segment(std::size_t seg, double t_pe_us) {
   const double effective =
       t_pe_us *
       (1.0 + phys_.temp_erase_accel_per_K * (temperature_c_ - 25.0));
-  for (auto& c : ensure_segment(seg))
-    c.partial_erase(phys_, effective, noise_rng_);
+  kernels::erase_pulse_segment(mode_, ensure_segment(seg), phys_, effective,
+                               noise_rng_);
 }
 
 void FlashArray::program_word(Addr addr, std::uint16_t value) {
   const auto [seg, cell0] = locate_word(addr);
-  auto& cells = ensure_segment(seg);
-  for (std::size_t b = 0; b < geom_.bits_per_word(); ++b)
-    if (((value >> b) & 1u) == 0) cells[cell0 + b].program(phys_);
+  kernels::program_words(mode_, ensure_segment(seg), phys_, cell0, &value, 1,
+                         geom_.bits_per_word());
+}
+
+void FlashArray::program_words(Addr addr, const std::uint16_t* words,
+                               std::size_t n_words) {
+  if (n_words == 0) return;
+  const auto [seg, cell0] = locate_word(addr);
+  SegmentSoA& s = ensure_segment(seg);
+  if (cell0 + n_words * geom_.bits_per_word() > s.size())
+    throw std::out_of_range("program_words: span crosses segment end");
+  kernels::program_words(mode_, s, phys_, cell0, words, n_words,
+                         geom_.bits_per_word());
 }
 
 void FlashArray::partial_program_word(Addr addr, std::uint16_t value,
@@ -83,53 +92,56 @@ void FlashArray::partial_program_word(Addr addr, std::uint16_t value,
   if (fraction <= 0.0)
     throw std::invalid_argument("partial_program_word: fraction must be > 0");
   const auto [seg, cell0] = locate_word(addr);
-  auto& cells = ensure_segment(seg);
-  for (std::size_t b = 0; b < geom_.bits_per_word(); ++b)
-    if (((value >> b) & 1u) == 0)
-      cells[cell0 + b].partial_program(phys_, fraction, noise_rng_);
+  kernels::partial_program_word(mode_, ensure_segment(seg), phys_, cell0,
+                                value, geom_.bits_per_word(), fraction,
+                                noise_rng_);
 }
 
 std::uint16_t FlashArray::read_word(Addr addr) {
   const auto [seg, cell0] = locate_word(addr);
-  auto& cells = ensure_segment(seg);
-  std::uint16_t value = 0;
-  for (std::size_t b = 0; b < geom_.bits_per_word(); ++b)
-    if (cells[cell0 + b].read(phys_, noise_rng_))
-      value |= static_cast<std::uint16_t>(1u << b);
-  return value;
+  return kernels::read_word(mode_, ensure_segment(seg), phys_, cell0,
+                            geom_.bits_per_word(), noise_rng_);
+}
+
+BitVec FlashArray::read_segment_majority(std::size_t seg, int n_reads) {
+  if (n_reads <= 0)
+    throw std::invalid_argument("read_segment_majority: n_reads must be > 0");
+  SegmentSoA& s = ensure_segment(seg);
+  BitVec out(s.size());
+  kernels::read_segment_majority(mode_, s, phys_, geom_.bits_per_word(),
+                                 n_reads, noise_rng_, out);
+  return out;
 }
 
 std::size_t FlashArray::count_erased(std::size_t seg) {
-  const auto& cells = ensure_segment(seg);
-  return static_cast<std::size_t>(
-      std::count_if(cells.begin(), cells.end(),
-                    [](const Cell& c) { return c.erased(); }));
+  const SegmentSoA& s = ensure_segment(seg);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s.level[i] == static_cast<std::uint8_t>(CellLevel::kErased)) ++n;
+  return n;
 }
 
 BitVec FlashArray::snapshot(std::size_t seg) {
-  const auto& cells = ensure_segment(seg);
-  BitVec v(cells.size());
-  for (std::size_t i = 0; i < cells.size(); ++i) v.set(i, cells[i].erased());
+  const SegmentSoA& s = ensure_segment(seg);
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    v.set(i, s.level[i] == static_cast<std::uint8_t>(CellLevel::kErased));
   return v;
 }
 
 double FlashArray::time_to_full_erase_us(std::size_t seg) {
-  const auto& cells = ensure_segment(seg);
-  double max_tte = 0.0;
-  for (const auto& c : cells)
-    if (!c.erased()) max_tte = std::max(max_tte, c.tte_us(phys_));
-  return max_tte;
+  return kernels::time_to_full_erase_us(mode_, ensure_segment(seg), phys_);
 }
 
 SegmentWearStats FlashArray::wear_stats(std::size_t seg) {
-  const auto& cells = ensure_segment(seg);
+  const SegmentSoA& cells = ensure_segment(seg);
   SegmentWearStats s;
   bool first = true;
   double sum_cycles = 0.0;
   double sum_tte = 0.0;
-  for (const auto& c : cells) {
-    const double n = c.eff_cycles();
-    const double tte = c.tte_us(phys_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double n = cells.eff_cycles[i];
+    const double tte = cells.nominal_tte_us(i, phys_);
     if (first) {
       s.eff_cycles_min = s.eff_cycles_max = n;
       s.tte_min_us = s.tte_max_us = tte;
@@ -143,18 +155,18 @@ SegmentWearStats FlashArray::wear_stats(std::size_t seg) {
     sum_cycles += n;
     sum_tte += tte;
   }
-  if (!cells.empty()) {
+  if (cells.size() > 0) {
     s.eff_cycles_mean = sum_cycles / static_cast<double>(cells.size());
     s.tte_mean_us = sum_tte / static_cast<double>(cells.size());
   }
   return s;
 }
 
-const Cell& FlashArray::cell(std::size_t seg, std::size_t idx) {
-  const auto& cells = ensure_segment(seg);
+Cell FlashArray::cell(std::size_t seg, std::size_t idx) {
+  const SegmentSoA& cells = ensure_segment(seg);
   if (idx >= cells.size())
     throw std::out_of_range("FlashArray::cell: cell index out of range");
-  return cells[idx];
+  return Cell::restore(cells.snapshot(idx));
 }
 
 bool FlashArray::segment_materialized(std::size_t seg) const {
@@ -171,10 +183,10 @@ void FlashArray::save_segments(std::ostream& os) const {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (std::size_t seg = 0; seg < segments_.size(); ++seg) {
     if (!segments_[seg]) continue;
-    const auto& cells = *segments_[seg];
+    const SegmentSoA& cells = *segments_[seg];
     os << "SEG " << seg << " " << cells.size() << "\n";
-    for (const Cell& c : cells) {
-      const Cell::Snapshot s = c.snapshot_state();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell::Snapshot s = cells.snapshot(i);
       os << s.tte_fresh_us << ' ' << s.susceptibility << ' ' << s.eff_cycles
          << ' ' << s.annealed << ' ' << static_cast<int>(s.level) << ' '
          << static_cast<int>(s.defect) << ' ' << static_cast<int>(s.metastable)
@@ -198,8 +210,7 @@ void FlashArray::load_segments(std::istream& is) {
       throw std::runtime_error("load_segments: bad segment header");
     if (seg >= segments_.size() || ncells != geom_.segment_cells(seg))
       throw std::runtime_error("load_segments: segment shape mismatch");
-    auto cells = std::make_unique<std::vector<Cell>>();
-    cells->reserve(ncells);
+    auto cells = std::make_unique<SegmentSoA>(ncells);
     for (std::size_t c = 0; c < ncells; ++c) {
       Cell::Snapshot s{};
       int level = 0, defect = 0, meta = 0;
@@ -209,7 +220,8 @@ void FlashArray::load_segments(std::istream& is) {
       s.level = static_cast<std::uint8_t>(level);
       s.defect = static_cast<std::uint8_t>(defect);
       s.metastable = static_cast<std::uint8_t>(meta);
-      cells->push_back(Cell::restore(s));
+      // Round-trip through Cell::restore for domain validation.
+      cells->assign(c, Cell::restore(s).snapshot_state());
     }
     segments_[seg] = std::move(cells);
   }
@@ -220,27 +232,21 @@ void FlashArray::load_segments(std::istream& is) {
 
 void FlashArray::bake(double hours) {
   for (auto& slot : segments_)
-    if (slot)
-      for (auto& c : *slot) c.bake(phys_, hours);
+    if (slot) kernels::bake_segment(mode_, *slot, phys_, hours);
 }
 
 void FlashArray::age(double years) {
   for (auto& slot : segments_)
-    if (slot)
-      for (auto& c : *slot) c.age(phys_, years, noise_rng_);
+    if (slot) kernels::age_segment(mode_, *slot, phys_, years, noise_rng_);
 }
 
 void FlashArray::wear_segment(std::size_t seg, double cycles,
                               const BitVec* pattern) {
-  auto& cells = ensure_segment(seg);
+  SegmentSoA& cells = ensure_segment(seg);
   if (pattern && pattern->size() != cells.size())
     throw std::invalid_argument(
         "wear_segment: pattern length must equal cell count");
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const bool programmed_each_cycle = pattern ? !pattern->get(i) : true;
-    cells[i].batch_stress(phys_, cycles, programmed_each_cycle,
-                          /*end_programmed=*/pattern != nullptr);
-  }
+  kernels::wear_cells(mode_, cells, phys_, cycles, pattern);
 }
 
 }  // namespace flashmark

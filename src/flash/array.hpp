@@ -1,9 +1,13 @@
 // The flash cell matrix of one die.
 //
-// Owns every Cell, maps word addresses onto cells, and implements the
-// physical side of each controller command. Segments are manufactured
-// lazily, each from its own RNG stream derived from (die seed, segment
-// index), so a given die always grows the same cells no matter which
+// Owns every cell, maps word addresses onto cells, and implements the
+// physical side of each controller command. Per-cell state lives in
+// structure-of-arrays form (phys/kernels.hpp) and every operation runs as a
+// segment-granularity kernel; `set_kernel_mode` switches between the batched
+// fast path (default) and the scalar Cell reference path — both byte
+// identical by contract (tests/kernel_diff_test.cpp). Segments are
+// manufactured lazily, each from its own RNG stream derived from (die seed,
+// segment index), so a given die always grows the same cells no matter which
 // experiment touches which segment first.
 #pragma once
 
@@ -14,6 +18,7 @@
 
 #include "flash/geometry.hpp"
 #include "phys/cell.hpp"
+#include "phys/kernels.hpp"
 #include "phys/params.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
@@ -39,6 +44,13 @@ class FlashArray {
   const PhysParams& phys() const { return phys_; }
   std::uint64_t die_seed() const { return die_seed_; }
 
+  /// Kernel implementation selector. Not part of the die's identity: any
+  /// mode produces byte-identical state/outputs for the same seed and
+  /// operation sequence, so the mode is excluded from persistence and from
+  /// the determinism seed (docs/REPRODUCIBILITY.md §7).
+  void set_kernel_mode(KernelMode m) { mode_ = m; }
+  KernelMode kernel_mode() const { return mode_; }
+
   /// Junction temperature in Celsius (default 25). Erase physics speeds up
   /// when hot: a partial-erase pulse of t delivers an effective exposure of
   /// t * (1 + temp_erase_accel_per_K * (T - 25)). Models verifying on a
@@ -55,10 +67,20 @@ class FlashArray {
   /// program pulse; bits that are 1 leave their cells untouched (NOR flash
   /// can only clear bits).
   void program_word(Addr addr, std::uint16_t value);
+  /// Program `n_words` consecutive words starting at `addr` (block-write
+  /// granularity; the whole span must lie within one segment). Equivalent
+  /// to n_words program_word calls, executed as one kernel sweep.
+  void program_words(Addr addr, const std::uint16_t* words,
+                     std::size_t n_words);
   /// Program pulse aborted at `fraction` (0..1] of the nominal word time.
   void partial_program_word(Addr addr, std::uint16_t value, double fraction);
   /// One (noisy) read of the word at `addr`.
   std::uint16_t read_word(Addr addr);
+  /// `n_reads` noisy reads of every word of segment `seg`, majority-voted
+  /// per bit. Bit i of the result is cell i's voted value. The read/draw
+  /// order is word-major then read then bit — exactly a read_word loop —
+  /// so the noise stream matches the scalar path draw-for-draw.
+  BitVec read_segment_majority(std::size_t seg, int n_reads);
 
   // --- introspection ------------------------------------------------------
   /// Noise-free count of erased cells in a segment.
@@ -71,8 +93,9 @@ class FlashArray {
   /// for a fully-erased segment.
   double time_to_full_erase_us(std::size_t seg);
   SegmentWearStats wear_stats(std::size_t seg);
-  /// Direct cell access for white-box tests and physics dumps.
-  const Cell& cell(std::size_t seg, std::size_t idx);
+  /// Value snapshot of one cell for white-box tests and physics dumps.
+  /// (Cells are stored SoA; the returned Cell is materialized on demand.)
+  Cell cell(std::size_t seg, std::size_t idx);
 
   // --- persistence ---------------------------------------------------------
   /// True if the segment's cells have been manufactured (touched) already.
@@ -92,13 +115,13 @@ class FlashArray {
   void restore_noise_rng(const Rng::State& st) { noise_rng_ = Rng::from_state(st); }
 
   /// High-temperature bake of the whole die for `hours` (thermal, not a
-  /// digital command — the counterfeiter's refurbishing oven). Applies
-  /// Cell::bake to every manufactured cell; untouched segments are fresh
+  /// digital command — the counterfeiter's refurbishing oven). Applies the
+  /// bake kernel to every manufactured cell; untouched segments are fresh
   /// and unaffected by definition.
   void bake(double hours);
 
   /// Shelf aging of the whole die by `years`: programmed cells may leak
-  /// below the sense level (Cell::age); wear is untouched. Stored data
+  /// below the sense level (age kernel); wear is untouched. Stored data
   /// decays; the watermark contrast survives.
   void age(double years);
 
@@ -113,7 +136,7 @@ class FlashArray {
                     const BitVec* pattern = nullptr);
 
  private:
-  std::vector<Cell>& ensure_segment(std::size_t seg);
+  SegmentSoA& ensure_segment(std::size_t seg);
   /// Maps a word address to (segment, first cell index); validates
   /// alignment and range.
   std::pair<std::size_t, std::size_t> locate_word(Addr addr) const;
@@ -121,9 +144,10 @@ class FlashArray {
   FlashGeometry geom_;
   PhysParams phys_;
   std::uint64_t die_seed_;
+  KernelMode mode_ = KernelMode::kBatched;
   double temperature_c_ = 25.0;
   Rng noise_rng_;
-  std::vector<std::unique_ptr<std::vector<Cell>>> segments_;
+  std::vector<std::unique_ptr<SegmentSoA>> segments_;
 };
 
 }  // namespace flashmark

@@ -191,10 +191,11 @@ FlashStatus FlashController::program_block(Addr addr,
   if (!g.valid(last) || g.segment_index(addr) != g.segment_index(last))
     return FlashStatus::kInvalidArgument;  // block must stay in one segment
   clock_.advance(timing_.t_vpp_setup);
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    array_.program_word(addr + static_cast<Addr>(i * g.word_bytes), words[i]);
-    clock_.advance(timing_.t_prog_word_block);
-  }
+  // One kernel sweep + one clock advance; the integer-ns clock makes
+  // n * t_prog_word_block exactly equal to n per-word advances.
+  array_.program_words(addr, words.data(), words.size());
+  clock_.advance(timing_.t_prog_word_block *
+                 static_cast<std::int64_t>(words.size()));
   counters_.program_ops += words.size();
   clock_.advance(timing_.t_vpp_setup);
   return FlashStatus::kOk;
@@ -222,6 +223,25 @@ std::uint16_t FlashController::read_word(Addr addr) {
   clock_.advance(timing_.t_read_word);
   ++counters_.read_ops;
   return array_.read_word(addr);
+}
+
+BitVec FlashController::read_segment(Addr addr, int n_reads) {
+  const auto& g = geometry();
+  if (!g.valid(addr) || !g.word_aligned(addr) || n_reads <= 0) {
+    accv_ = true;
+    return BitVec();
+  }
+  const std::size_t seg = g.segment_index(addr);
+  const std::size_t n_cells = g.segment_cells(seg);
+  if (op_ && bank_of(op_->addr) == bank_of(addr)) {
+    accv_ = true;  // every word read would have come back 0xFFFF
+    return BitVec(n_cells, true);
+  }
+  const std::size_t n_words = n_cells / g.bits_per_word();
+  clock_.advance(timing_.t_read_word *
+                 static_cast<std::int64_t>(n_words * static_cast<std::size_t>(n_reads)));
+  counters_.read_ops += n_words * static_cast<std::size_t>(n_reads);
+  return array_.read_segment_majority(seg, n_reads);
 }
 
 SimTime FlashController::imprint_cycle_time(std::size_t seg) const {

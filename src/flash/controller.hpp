@@ -122,6 +122,16 @@ class FlashController {
   /// (code executing from RAM, paper §II.B).
   std::uint16_t read_word(Addr addr);
 
+  /// Segment-granularity read: `n_reads` noisy reads of every word of the
+  /// segment containing `addr`, majority-voted per bit (bit i of the result
+  /// is cell i's voted value). Observably identical to the equivalent
+  /// read_word loop — same noise draws, same total clock advance, read_ops
+  /// incremented by n_words * n_reads — but executed as one array kernel.
+  /// Reading the bank an in-flight operation is mutating raises the access
+  /// violation and returns an all-ones vector (every word read would have
+  /// returned 0xFFFF), with no clock advance or counter update.
+  BitVec read_segment(Addr addr, int n_reads);
+
   // --- simulation-only -----------------------------------------------------
   /// Batch-apply `cycles` imprint P/E cycles to the segment at `addr` (see
   /// FlashArray::wear_segment) and advance the clock by the time the real

@@ -1,6 +1,32 @@
 #include "flash/hal.hpp"
 
+#include <vector>
+
 namespace flashmark {
+
+BitVec FlashHal::read_segment(Addr addr, int n_reads) {
+  if (n_reads <= 0)
+    throw std::invalid_argument("read_segment: n_reads must be > 0");
+  const auto& g = geometry();
+  const std::size_t seg = g.segment_index(addr);
+  const Addr base = g.segment_base(seg);
+  const std::size_t n_words = g.segment_bytes(seg) / g.word_bytes;
+  const std::size_t bits_per_word = g.bits_per_word();
+  BitVec out(n_words * bits_per_word);
+  std::vector<int> ones(bits_per_word);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const Addr wa = base + static_cast<Addr>(w * g.word_bytes);
+    ones.assign(bits_per_word, 0);
+    for (int r = 0; r < n_reads; ++r) {
+      const std::uint16_t v = read_word(wa);
+      for (std::size_t b = 0; b < bits_per_word; ++b)
+        ones[b] += static_cast<int>((v >> b) & 1u);
+    }
+    for (std::size_t b = 0; b < bits_per_word; ++b)
+      out.set(w * bits_per_word + b, ones[b] * 2 > n_reads);
+  }
+  return out;
+}
 
 FlashHalError::FlashHalError(const std::string& op, FlashStatus status)
     : std::runtime_error("flash HAL: " + op + " failed: " + to_string(status)),
@@ -67,6 +93,15 @@ std::uint16_t ControllerHal::read_word(Addr addr) {
   if (ctrl_.access_violation()) {
     ctrl_.clear_access_violation();
     throw FlashHalError("read_word", FlashStatus::kInvalidAddress);
+  }
+  return v;
+}
+
+BitVec ControllerHal::read_segment(Addr addr, int n_reads) {
+  BitVec v = ctrl_.read_segment(addr, n_reads);
+  if (ctrl_.access_violation()) {
+    ctrl_.clear_access_violation();
+    throw FlashHalError("read_segment", FlashStatus::kInvalidAddress);
   }
   return v;
 }

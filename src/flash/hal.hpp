@@ -105,6 +105,14 @@ class FlashHal {
                              const std::vector<std::uint16_t>& words) = 0;
   virtual std::uint16_t read_word(Addr addr) = 0;
 
+  /// `n_reads` noisy reads of every word of the segment containing `addr`,
+  /// majority-voted per bit (bit i of the result is cell i's voted value).
+  /// The default implementation is exactly the read_word loop the analyze
+  /// procedure used to run (word-major, then read, then bit), so decorators
+  /// and register front ends that only override read_word keep byte-identical
+  /// noise streams; ControllerHal overrides it with the segment read kernel.
+  virtual BitVec read_segment(Addr addr, int n_reads);
+
   /// Simulation-only accelerator equivalent to `cycles` imprint P/E cycles
   /// (see FlashController::wear_segment). Implementations without it throw.
   virtual void wear_segment(Addr addr, double cycles,
@@ -129,6 +137,7 @@ class ControllerHal final : public FlashHal {
   void program_block(Addr addr,
                      const std::vector<std::uint16_t>& words) override;
   std::uint16_t read_word(Addr addr) override;
+  BitVec read_segment(Addr addr, int n_reads) override;
   void wear_segment(Addr addr, double cycles,
                     const BitVec* pattern = nullptr) override;
 

@@ -24,6 +24,7 @@ Device::Device(DeviceConfig config, std::uint64_t die_seed)
     : config_(std::move(config)), die_seed_(die_seed) {
   array_ = std::make_unique<FlashArray>(config_.geometry, config_.phys,
                                         die_seed_);
+  array_->set_kernel_mode(config_.kernel_mode);
   ctrl_ = std::make_unique<FlashController>(*array_, config_.timing, clock_);
   module_ = std::make_unique<McuFlashModule>(*ctrl_);
   direct_hal_ = std::make_unique<ControllerHal>(*ctrl_);

@@ -24,6 +24,11 @@ struct DeviceConfig {
   FlashGeometry geometry;
   FlashTiming timing;
   PhysParams phys;
+  /// Physics-kernel implementation the array runs (batched fast path by
+  /// default). Not part of the die's identity: both modes are byte-identical
+  /// by contract, so this is excluded from persistence and from the
+  /// determinism seed (docs/REPRODUCIBILITY.md §7).
+  KernelMode kernel_mode = KernelMode::kBatched;
 
   static DeviceConfig msp430f5438();
   static DeviceConfig msp430f5529();

@@ -4,13 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fm_math.hpp"
+
 namespace flashmark {
 
 Cell Cell::manufacture(const PhysParams& p, Rng& rng) {
   Cell c;
   c.tte_fresh_us_ = static_cast<float>(
       p.tte_fresh_median_us *
-      std::exp(rng.normal(0.0, p.tte_fresh_log_sigma)));
+      fmm::fm_exp(rng.normal(0.0, p.tte_fresh_log_sigma)));
   c.susceptibility_ = static_cast<float>(std::min(
       p.suscept_cap,
       p.suscept_min +
@@ -54,7 +56,7 @@ void Cell::partial_erase(const PhysParams& p, double t_pe_us, Rng& rng) {
   // Per-pulse jitter of the transition instant.
   double tte = tte_us(p);
   if (p.tte_event_jitter_sigma > 0.0)
-    tte *= std::exp(rng.normal(0.0, p.tte_event_jitter_sigma));
+    tte *= fmm::fm_exp(rng.normal(0.0, p.tte_event_jitter_sigma));
 
   const double margin = tte - t_pe_us;  // >0: still programmed; <0: erased
   if (margin <= 0.0) {
@@ -104,7 +106,7 @@ bool Cell::read(const PhysParams& p, Rng& rng) const {
   if (defect_ != CellDefect::kNone) return value;  // stuck: no noise either
   if (metastable_) {
     const double dist = std::abs(static_cast<double>(margin_us_));
-    const double p_flip = 0.5 * std::exp(-dist / p.read_noise_tau_us);
+    const double p_flip = 0.5 * fmm::fm_exp(-dist / p.read_noise_tau_us);
     if (rng.bernoulli(p_flip)) value = !value;
   }
   return value;
@@ -128,7 +130,8 @@ void Cell::bake(const PhysParams& p, double hours) {
   const double lifetime_stress = eff_cycles_ + annealed_;
   const double budget =
       std::max(0.0, p.anneal_recovery_frac * lifetime_stress - annealed_);
-  const double delta = budget * (1.0 - std::exp(-hours / p.anneal_tau_hours));
+  const double delta =
+      budget * (1.0 - fmm::fm_exp(-hours / p.anneal_tau_hours));
   eff_cycles_ -= delta;
   annealed_ += delta;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fm_math.hpp"
 #include "util/stats.hpp"
 
 namespace flashmark {
@@ -14,7 +15,8 @@ std::vector<double> sample_tte_values(const PhysParams& p,
   out.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
     const double tte_fresh =
-        p.tte_fresh_median_us * std::exp(rng.normal(0.0, p.tte_fresh_log_sigma));
+        p.tte_fresh_median_us *
+        fmm::fm_exp(rng.normal(0.0, p.tte_fresh_log_sigma));
     const double s =
         p.suscept_min + rng.gamma(p.suscept_gamma_shape, p.suscept_gamma_scale());
     out.push_back(tte_fresh * p.slowdown(s, eff_cycles));

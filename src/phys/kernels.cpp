@@ -1,0 +1,448 @@
+#include "phys/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/fm_math.hpp"
+
+namespace flashmark {
+
+const char* to_string(KernelMode m) {
+  switch (m) {
+    case KernelMode::kReference: return "reference";
+    case KernelMode::kBatched: return "batched";
+  }
+  return "unknown";
+}
+
+SegmentSoA::SegmentSoA(std::size_t n)
+    : tte_fresh_us(n, 24.0f),
+      susceptibility(n, 1.0f),
+      eff_cycles(n, 0.0),
+      annealed(n, 0.0),
+      level(n, static_cast<std::uint8_t>(CellLevel::kErased)),
+      defect(n, static_cast<std::uint8_t>(CellDefect::kNone)),
+      metastable(n, 0),
+      margin_us(n, 0.0f),
+      n_(n),
+      tte_cache_(n, 0.0),
+      tte_valid_(n, 0) {}
+
+Cell::Snapshot SegmentSoA::snapshot(std::size_t i) const {
+  return Cell::Snapshot{tte_fresh_us[i], susceptibility[i], eff_cycles[i],
+                        annealed[i],     level[i],          defect[i],
+                        metastable[i],   margin_us[i]};
+}
+
+void SegmentSoA::assign(std::size_t i, const Cell::Snapshot& s) {
+  tte_fresh_us[i] = s.tte_fresh_us;
+  susceptibility[i] = s.susceptibility;
+  eff_cycles[i] = s.eff_cycles;
+  annealed[i] = s.annealed;
+  level[i] = s.level;
+  defect[i] = s.defect;
+  metastable[i] = s.metastable;
+  margin_us[i] = s.margin_us;
+  tte_valid_[i] = 0;
+}
+
+namespace kernels {
+
+namespace {
+
+constexpr std::uint8_t kErased = static_cast<std::uint8_t>(CellLevel::kErased);
+constexpr std::uint8_t kNoDefect =
+    static_cast<std::uint8_t>(CellDefect::kNone);
+
+// Reference-path gather/scatter: materialize the scalar Cell, run the
+// member function (the reference semantics, phys/cell.cpp), write it back.
+Cell gather(const SegmentSoA& s, std::size_t i) {
+  return Cell::restore(s.snapshot(i));
+}
+
+void scatter(SegmentSoA& s, std::size_t i, const Cell& c) {
+  s.assign(i, c.snapshot_state());
+}
+
+// Settle cell i into `lvl` (Cell::settle).
+inline void settle(SegmentSoA& s, std::size_t i, std::uint8_t lvl) {
+  s.level[i] = lvl;
+  s.metastable[i] = 0;
+  s.margin_us[i] = 0.0f;
+}
+
+}  // namespace
+
+void erase_full_segment(KernelMode m, SegmentSoA& s, const PhysParams& p) {
+  const std::size_t n = s.size();
+  if (m == KernelMode::kReference) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Cell c = gather(s, i);
+      c.full_erase(p);
+      scatter(s, i, c);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.defect[i] != kNoDefect) continue;  // stuck cells never move
+    s.eff_cycles[i] +=
+        s.level[i] == kErased ? p.stress_erase_idle : p.stress_erase_transition;
+    s.invalidate_tte(i);
+    settle(s, i, kErased);
+  }
+}
+
+void erase_pulse_segment(KernelMode m, SegmentSoA& s, const PhysParams& p,
+                         double t_pe_us, Rng& rng) {
+  const std::size_t n = s.size();
+  if (m == KernelMode::kReference) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Cell c = gather(s, i);
+      c.partial_erase(p, t_pe_us, rng);
+      scatter(s, i, c);
+    }
+    return;
+  }
+  // Mirrors Cell::partial_erase expression-for-expression, in three passes:
+  //
+  //   1. refill stale nominal-erase-time cache entries 4-wide (fm_pow_pos_n
+  //      is bit-identical to the scalar growth() the cache getter runs);
+  //   2. draw the per-cell jitter normals in exact scalar cell order (the
+  //      RNG stream is observable state), then exponentiate the batch;
+  //   3. apply the branch logic per cell from the precomputed values.
+  //
+  // Scratch buffers are thread_local so the fleet's parallel dies never
+  // share them and steady-state pulses allocate nothing.
+  static thread_local std::vector<double> growth_in, growth_out;
+  static thread_local std::vector<std::size_t> draw_idx;
+  static thread_local std::vector<double> jitter;
+
+  growth_in.resize(n);
+  growth_out.resize(n);
+  std::size_t n_stale = 0;
+  static thread_local std::vector<std::size_t> stale_idx;
+  stale_idx.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.tte_cached(i)) continue;
+    stale_idx[n_stale] = i;
+    // growth() guards eff <= 0 -> 0; feed the vector lane a benign 1.0 and
+    // zero the result below so the blend matches the scalar guard exactly.
+    growth_in[n_stale] = s.eff_cycles[i] > 0.0 ? s.eff_cycles[i] / 1000.0 : 1.0;
+    ++n_stale;
+  }
+  fmm::fm_pow_pos_n(growth_in.data(), p.damage_exponent, growth_out.data(),
+                    n_stale);
+  for (std::size_t k = 0; k < n_stale; ++k) {
+    const std::size_t i = stale_idx[k];
+    const double g = s.eff_cycles[i] > 0.0 ? growth_out[k] : 0.0;
+    s.prime_tte(i, static_cast<double>(s.tte_fresh_us[i]) *
+                       p.slowdown_from_growth(
+                           static_cast<double>(s.susceptibility[i]), g));
+  }
+
+  const bool jittered = p.tte_event_jitter_sigma > 0.0;
+  std::size_t n_draws = 0;
+  if (jittered) {
+    draw_idx.resize(n);
+    jitter.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s.defect[i] != kNoDefect || s.level[i] == kErased) continue;
+      draw_idx[n_draws] = i;
+      ++n_draws;
+    }
+    rng.normal_fill(0.0, p.tte_event_jitter_sigma, jitter.data(), n_draws);
+    fmm::fm_exp_n(jitter.data(), jitter.data(), n_draws);
+  }
+
+  std::size_t draw = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.defect[i] != kNoDefect) continue;
+    if (s.level[i] == kErased) {
+      const double nominal = s.nominal_tte_us(i, p);
+      const double frac =
+          nominal > 0.0 ? std::min(t_pe_us / nominal, 1.0) : 1.0;
+      s.eff_cycles[i] += p.stress_erase_idle * frac;
+      s.invalidate_tte(i);
+      continue;  // state unchanged; an erased cell stays erased
+    }
+    double tte = s.nominal_tte_us(i, p);
+    if (jittered) tte *= jitter[draw++];
+    const double margin = tte - t_pe_us;
+    if (margin <= 0.0) {
+      s.eff_cycles[i] += p.stress_erase_transition;
+      s.level[i] = kErased;
+    } else {
+      s.eff_cycles[i] +=
+          p.stress_erase_transition * std::min(t_pe_us / tte, 1.0) * 0.5;
+      s.level[i] = static_cast<std::uint8_t>(CellLevel::kProgrammed);
+    }
+    s.invalidate_tte(i);
+    s.metastable[i] = 1;
+    s.margin_us[i] = static_cast<float>(margin);
+  }
+}
+
+void program_words(KernelMode m, SegmentSoA& s, const PhysParams& p,
+                   std::size_t cell0, const std::uint16_t* words,
+                   std::size_t n_words, std::size_t bits_per_word) {
+  if (m == KernelMode::kReference) {
+    for (std::size_t w = 0; w < n_words; ++w)
+      for (std::size_t b = 0; b < bits_per_word; ++b)
+        if (((words[w] >> b) & 1u) == 0) {
+          const std::size_t i = cell0 + w * bits_per_word + b;
+          Cell c = gather(s, i);
+          c.program(p);
+          scatter(s, i, c);
+        }
+    return;
+  }
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const std::uint16_t value = words[w];
+    if (value == 0xFFFF) continue;  // nothing to program in this word
+    const std::size_t base = cell0 + w * bits_per_word;
+    for (std::size_t b = 0; b < bits_per_word; ++b) {
+      if (((value >> b) & 1u) != 0) continue;
+      const std::size_t i = base + b;
+      if (s.defect[i] != kNoDefect) continue;
+      s.eff_cycles[i] +=
+          s.level[i] == kErased ? p.stress_program : p.stress_reprogram;
+      s.invalidate_tte(i);
+      settle(s, i, static_cast<std::uint8_t>(CellLevel::kProgrammed));
+    }
+  }
+}
+
+void partial_program_word(KernelMode m, SegmentSoA& s, const PhysParams& p,
+                          std::size_t cell0, std::uint16_t value,
+                          std::size_t bits_per_word, double fraction,
+                          Rng& rng) {
+  if (m == KernelMode::kReference) {
+    for (std::size_t b = 0; b < bits_per_word; ++b)
+      if (((value >> b) & 1u) == 0) {
+        Cell c = gather(s, cell0 + b);
+        c.partial_program(p, fraction, rng);
+        scatter(s, cell0 + b, c);
+      }
+    return;
+  }
+  for (std::size_t b = 0; b < bits_per_word; ++b) {
+    if (((value >> b) & 1u) != 0) continue;
+    const std::size_t i = cell0 + b;
+    if (s.defect[i] != kNoDefect) continue;
+    if (s.level[i] != kErased) {
+      s.eff_cycles[i] += p.stress_reprogram * std::min(fraction, 1.0);
+      s.invalidate_tte(i);
+      continue;
+    }
+    // Trap-assisted injection (Cell::partial_program): damage is evaluated
+    // on the pre-pulse stress, then the pulse's own stress lands.
+    const double damage =
+        static_cast<double>(s.susceptibility[i]) * p.growth(s.eff_cycles[i]);
+    const double threshold =
+        rng.normal(p.prog_completion_mean, p.prog_completion_sigma) /
+        (1.0 + p.k_prog_speedup * damage);
+    const double margin = threshold - fraction;
+    s.eff_cycles[i] += p.stress_program * std::min(fraction, 1.0);
+    s.invalidate_tte(i);
+    s.level[i] = margin <= 0.0
+                     ? static_cast<std::uint8_t>(CellLevel::kProgrammed)
+                     : kErased;
+    s.metastable[i] = 1;
+    s.margin_us[i] = static_cast<float>(margin * 10.0);
+  }
+}
+
+std::uint16_t read_word(KernelMode m, const SegmentSoA& s,
+                        const PhysParams& p, std::size_t cell0,
+                        std::size_t bits_per_word, Rng& rng) {
+  std::uint16_t value = 0;
+  if (m == KernelMode::kReference) {
+    for (std::size_t b = 0; b < bits_per_word; ++b)
+      if (gather(s, cell0 + b).read(p, rng))
+        value |= static_cast<std::uint16_t>(1u << b);
+    return value;
+  }
+  for (std::size_t b = 0; b < bits_per_word; ++b) {
+    const std::size_t i = cell0 + b;
+    bool v = s.level[i] == kErased;
+    if (s.defect[i] == kNoDefect && s.metastable[i]) {
+      const double dist = std::abs(static_cast<double>(s.margin_us[i]));
+      const double p_flip = 0.5 * fmm::fm_exp(-dist / p.read_noise_tau_us);
+      if (rng.bernoulli(p_flip)) v = !v;
+    }
+    if (v) value |= static_cast<std::uint16_t>(1u << b);
+  }
+  return value;
+}
+
+void read_segment_majority(KernelMode m, const SegmentSoA& s,
+                           const PhysParams& p, std::size_t bits_per_word,
+                           int n_reads, Rng& rng, BitVec& out) {
+  const std::size_t n_words = s.size() / bits_per_word;
+  // The hoisting buffers below are sized for <= 16-bit words (every
+  // supported geometry); wider words take the reference loop, which is
+  // byte-identical by contract.
+  if (m == KernelMode::kReference || bits_per_word > 16) {
+    std::vector<int> ones(bits_per_word);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      ones.assign(bits_per_word, 0);
+      for (int r = 0; r < n_reads; ++r) {
+        const std::uint16_t v = read_word(KernelMode::kReference, s, p,
+                                          w * bits_per_word, bits_per_word,
+                                          rng);
+        for (std::size_t b = 0; b < bits_per_word; ++b)
+          ones[b] += static_cast<int>((v >> b) & 1u);
+      }
+      for (std::size_t b = 0; b < bits_per_word; ++b)
+        out.set(w * bits_per_word + b, ones[b] * 2 > n_reads);
+    }
+    return;
+  }
+  // Flip probabilities are read-invariant, so hoist them once for the whole
+  // segment and run the exp batch 4-wide (bit-identical to the scalar
+  // 0.5 * fm_exp(-dist / tau) per cell). Scratch is thread_local: parallel
+  // fleet dies never share it, steady-state reads allocate nothing.
+  const std::size_t n = s.size();
+  static thread_local std::vector<double> pflip_seg;
+  static thread_local std::vector<std::size_t> meta_idx;
+  static thread_local std::vector<double> meta_x;
+  pflip_seg.resize(n);
+  meta_idx.resize(n);
+  meta_x.resize(n);
+  std::size_t n_meta = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pflip_seg[i] = -1.0;  // < 0 marks "deterministic, no draw"
+    if (s.defect[i] == kNoDefect && s.metastable[i]) {
+      const double dist = std::abs(static_cast<double>(s.margin_us[i]));
+      meta_idx[n_meta] = i;
+      meta_x[n_meta] = -dist / p.read_noise_tau_us;
+      ++n_meta;
+    }
+  }
+  fmm::fm_exp_n(meta_x.data(), meta_x.data(), n_meta);
+  for (std::size_t k = 0; k < n_meta; ++k)
+    pflip_seg[meta_idx[k]] = 0.5 * meta_x[k];
+
+  // Per word: hoist each bit's settled value, then spin the n_reads
+  // Bernoulli draws in the exact scalar order (read-major, bit-ascending).
+  int ones[16];
+  bool settled_val[16];
+  double p_flip[16];
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const std::size_t base = w * bits_per_word;
+    for (std::size_t b = 0; b < bits_per_word; ++b) {
+      const std::size_t i = base + b;
+      ones[b] = 0;
+      settled_val[b] = s.level[i] == kErased;
+      p_flip[b] = pflip_seg[i];
+    }
+    for (int r = 0; r < n_reads; ++r)
+      for (std::size_t b = 0; b < bits_per_word; ++b) {
+        bool v = settled_val[b];
+        if (p_flip[b] >= 0.0 && rng.bernoulli(p_flip[b])) v = !v;
+        ones[b] += v ? 1 : 0;
+      }
+    for (std::size_t b = 0; b < bits_per_word; ++b)
+      out.set(base + b, ones[b] * 2 > n_reads);
+  }
+}
+
+void wear_cells(KernelMode m, SegmentSoA& s, const PhysParams& p,
+                double cycles, const BitVec* pattern) {
+  const std::size_t n = s.size();
+  if (m == KernelMode::kReference) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Cell c = gather(s, i);
+      c.batch_stress(p, cycles, pattern ? !pattern->get(i) : true,
+                     /*end_programmed=*/pattern != nullptr);
+      scatter(s, i, c);
+    }
+    return;
+  }
+  if (cycles < 0.0) cycles = 0.0;
+  const bool end_programmed = pattern != nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.defect[i] != kNoDefect) continue;
+    const bool programmed_each_cycle = pattern ? !pattern->get(i) : true;
+    const double per_cycle =
+        programmed_each_cycle ? p.stress_program + p.stress_erase_transition
+                              : p.stress_erase_idle;
+    s.eff_cycles[i] += cycles * per_cycle;
+    s.invalidate_tte(i);
+    settle(s, i,
+           programmed_each_cycle && end_programmed
+               ? static_cast<std::uint8_t>(CellLevel::kProgrammed)
+               : kErased);
+  }
+}
+
+void age_segment(KernelMode m, SegmentSoA& s, const PhysParams& p,
+                 double years, Rng& rng) {
+  const std::size_t n = s.size();
+  if (m == KernelMode::kReference) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Cell c = gather(s, i);
+      c.age(p, years, rng);
+      scatter(s, i, c);
+    }
+    return;
+  }
+  if (years <= 0.0) return;  // Cell::age draws nothing in this case
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s.defect[i] != kNoDefect) continue;
+    if (s.level[i] == kErased) continue;  // only programmed cells leak
+    const double damage =
+        static_cast<double>(s.susceptibility[i]) * p.growth(s.eff_cycles[i]);
+    const double halflife =
+        p.retention_halflife_years / (1.0 + p.retention_wear_accel * damage);
+    const double p_lost = 1.0 - std::exp2(-years / halflife);
+    if (rng.bernoulli(p_lost)) settle(s, i, kErased);
+    // Damage is untouched: the erase-time cache stays warm through aging.
+  }
+}
+
+void bake_segment(KernelMode m, SegmentSoA& s, const PhysParams& p,
+                  double hours) {
+  const std::size_t n = s.size();
+  if (m == KernelMode::kReference) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Cell c = gather(s, i);
+      c.bake(p, hours);
+      scatter(s, i, c);
+    }
+    return;
+  }
+  if (hours <= 0.0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lifetime_stress = s.eff_cycles[i] + s.annealed[i];
+    const double budget = std::max(
+        0.0, p.anneal_recovery_frac * lifetime_stress - s.annealed[i]);
+    const double delta =
+        budget * (1.0 - fmm::fm_exp(-hours / p.anneal_tau_hours));
+    s.eff_cycles[i] -= delta;
+    s.annealed[i] += delta;
+    s.invalidate_tte(i);
+  }
+}
+
+double time_to_full_erase_us(KernelMode m, const SegmentSoA& s,
+                             const PhysParams& p) {
+  const std::size_t n = s.size();
+  double max_tte = 0.0;
+  if (m == KernelMode::kReference) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cell c = gather(s, i);
+      if (!c.erased()) max_tte = std::max(max_tte, c.tte_us(p));
+    }
+    return max_tte;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (s.level[i] != kErased)
+      max_tte = std::max(max_tte, s.nominal_tte_us(i, p));
+  return max_tte;
+}
+
+}  // namespace kernels
+
+}  // namespace flashmark

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fm_math.hpp"
+
 namespace flashmark {
 
 namespace {
@@ -53,11 +55,22 @@ double PhysParams::suscept_gamma_scale() const {
 
 double PhysParams::growth(double eff_cycles) const {
   if (eff_cycles <= 0.0) return 0.0;
-  return std::pow(eff_cycles / 1000.0, damage_exponent);
+  // fmm::fm_pow_pos, not std::pow: the wear model is *defined* over the
+  // project's deterministic math kernel so results cannot drift with the
+  // host libm, and the batched kernels can evaluate the same function
+  // 4-wide with bit-identical results (src/phys/kernels.cpp).
+  return fmm::fm_pow_pos(eff_cycles / 1000.0, damage_exponent);
+}
+
+double PhysParams::slowdown_from_growth(double susceptibility,
+                                        double growth_value) const {
+  // Explicit fma: the batched kernels replicate this combine with
+  // _mm256_fmadd_pd, which is the same fused operation by IEEE definition.
+  return std::fma(k_damage * susceptibility, growth_value, 1.0);
 }
 
 double PhysParams::slowdown(double susceptibility, double eff_cycles) const {
-  return 1.0 + k_damage * susceptibility * growth(eff_cycles);
+  return slowdown_from_growth(susceptibility, growth(eff_cycles));
 }
 
 PhysParams PhysParams::msp430_calibrated() { return PhysParams{}; }

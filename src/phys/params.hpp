@@ -138,6 +138,11 @@ struct PhysParams {
   /// and cumulative stress: 1 + k_damage * s * growth(n).
   double slowdown(double susceptibility, double eff_cycles) const;
 
+  /// slowdown() with the growth value already in hand — the single combine
+  /// instance both the scalar path and the vectorized kernels go through,
+  /// so the two cannot disagree bitwise (fma(k_damage * s, g, 1)).
+  double slowdown_from_growth(double susceptibility, double growth_value) const;
+
   /// Defaults above, named for readability at call sites.
   static PhysParams msp430_calibrated();
   /// Calibrated parameters with a realistic factory defect density

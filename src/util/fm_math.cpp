@@ -1,0 +1,443 @@
+// Deterministic exp/log/pow — see fm_math.hpp for the contract.
+//
+// Scalar and AVX2 paths execute the same operation sequence:
+//   exp: k = nearbyint(x/ln2); r = x - k*ln2 (Cody–Waite two-step);
+//        exp(r) by degree-13 Taylor–Horner (all fma); scale by 2^k via
+//        exponent-field construction.
+//   log: x = 2^e * m with m in [sqrt(2)/2, sqrt(2)); s = (m-1)/(m+1);
+//        log(m) = 2s * (1 + sum s^{2k}/(2k+1), k=1..10) (fma Horner);
+//        result = e*ln2 + log(m) (Cody–Waite two-step).
+// Each step is one IEEE-754 operation (or an explicit fma), so the compiler
+// cannot re-associate or contract anything differently between the two
+// paths: identical inputs give identical bits.
+#include "util/fm_math.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define FM_MATH_X86 1
+#include <immintrin.h>
+#else
+#define FM_MATH_X86 0
+#endif
+
+namespace flashmark::fmm {
+namespace {
+
+// Cody–Waite split of ln2: HI carries the top bits exactly, so r = x - k*HI
+// is exact for |k| < 2^20; LO mops up the remainder.
+constexpr double kInvLn2 = 1.44269504088896338700e+00;
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kSqrt2 = 1.41421356237309514547e+00;  // nextafter(sqrt(2))
+
+// 1/k! for the exp Taylor series, k = 2..13 (c0 = c1 = 1 are implicit in
+// the Horner tail). Max |r| = ln2/2, so the truncation error is < 1e-17.
+constexpr double kExpC[] = {
+    1.0 / 6227020800.0,  // 1/13!
+    1.0 / 479001600.0,   // 1/12!
+    1.0 / 39916800.0,    // 1/11!
+    1.0 / 3628800.0,     // 1/10!
+    1.0 / 362880.0,      // 1/9!
+    1.0 / 40320.0,       // 1/8!
+    1.0 / 5040.0,        // 1/7!
+    1.0 / 720.0,         // 1/6!
+    1.0 / 120.0,         // 1/5!
+    1.0 / 24.0,          // 1/4!
+    1.0 / 6.0,           // 1/3!
+    1.0 / 2.0,           // 1/2!
+};
+
+// 1/(2k+1) for the log atanh series, k = 10..1 (k = 0 is the implicit 1).
+// s^2 <= 0.0295 on the reduced range, so the k=10 term is < 3e-17 relative.
+constexpr double kLogC[] = {
+    1.0 / 21.0, 1.0 / 19.0, 1.0 / 17.0, 1.0 / 15.0, 1.0 / 13.0,
+    1.0 / 11.0, 1.0 / 9.0,  1.0 / 7.0,  1.0 / 5.0,  1.0 / 3.0,
+};
+
+// Taylor coefficients for sin(2*pi*r) / cos(2*pi*r) on |r| <= 1/8 (after
+// quadrant reduction), highest degree first for Horner. (2*pi)^(2k+1)/(2k+1)!
+// resp. (2*pi)^(2k)/(2k)! with alternating sign, correctly rounded; the
+// first omitted term is < 1e-19, far below the series' own rounding noise.
+constexpr double kSinC[] = {
+    0x1.aaec32af93359p-4,   // k=8
+    -0x1.6fadb9f155744p-1,  // k=7
+    0x1.e8f434d018d63p+1,   // k=6
+    -0x1.e3074fde8871fp+3,  // k=5
+    0x1.50783487ee782p+5,   // k=4
+    -0x1.32d2cce62bd86p+6,  // k=3
+    0x1.466bc6775aae2p+6,   // k=2
+    -0x1.4abbce625be53p+5,  // k=1
+    0x1.921fb54442d18p+2,   // k=0: 2*pi
+};
+constexpr double kCosC[] = {
+    0x1.20c62c2f2d7f5p-2,   // k=8
+    -0x1.b6e24f44b128fp+0,  // k=7
+    0x1.f9d38a3763cc3p+2,   // k=6
+    -0x1.a6d1f2a204a8cp+4,  // k=5
+    0x1.e1f506891babbp+5,   // k=4
+    -0x1.55d3c7e3cbffap+6,  // k=3
+    0x1.03c1f081b5ac4p+6,   // k=2
+    -0x1.3bd3cc9be45dep+4,  // k=1
+    1.0,                    // k=0
+};
+
+constexpr double kExpHi = 709.0;    // above: saturate to +inf
+constexpr double kExpLo = -700.0;   // below: flush to +0.0
+constexpr double kDblMin = 2.2250738585072014e-308;
+constexpr double kTwo54 = 18014398509481984.0;  // 2^54
+
+double bits_to_double(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof d);
+  return d;
+}
+
+std::uint64_t double_to_bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+// The scalar core is instantiated twice: once for the baseline ISA (where
+// std::fma lowers to the correctly-rounded libm call) and once under the
+// FMA target (where it lowers to vfmadd -- the same fused operation, so the
+// bits cannot differ, only the speed). fm_exp/fm_log dispatch at runtime.
+#define FM_MATH_SCALAR_CORE                                                    \
+  inline double exp_core(double x) {                                          \
+    if (x != x) return x; /* NaN */                                           \
+    if (x > kExpHi) return bits_to_double(0x7FF0000000000000ull);             \
+    if (x < kExpLo) return 0.0;                                               \
+    const double k = std::nearbyint(x * kInvLn2);                             \
+    double r = std::fma(k, -kLn2Hi, x);                                       \
+    r = std::fma(k, -kLn2Lo, r);                                              \
+    double p = kExpC[0];                                                      \
+    for (int i = 1; i < 12; ++i) p = std::fma(p, r, kExpC[i]);                \
+    p = std::fma(p, r, 1.0);                                                  \
+    p = std::fma(p, r, 1.0);                                                  \
+    const std::int64_t ki = static_cast<std::int64_t>(k);                     \
+    const double scale =                                                      \
+        bits_to_double(static_cast<std::uint64_t>(ki + 1023) << 52);          \
+    return p * scale;                                                         \
+  }                                                                           \
+  inline double log_core(double x) {                                          \
+    double eadj = 0.0;                                                        \
+    if (x < kDblMin) { /* subnormal (callers guarantee x > 0) */              \
+      x = x * kTwo54;                                                         \
+      eadj = -54.0;                                                           \
+    }                                                                         \
+    const std::uint64_t u = double_to_bits(x);                                \
+    double e = static_cast<double>(                                           \
+                   static_cast<std::int64_t>(u >> 52) - 1023) + eadj;         \
+    double m = bits_to_double((u & 0x000FFFFFFFFFFFFFull) |                   \
+                              0x3FF0000000000000ull);                         \
+    if (m >= kSqrt2) {                                                        \
+      m = m * 0.5;                                                            \
+      e = e + 1.0;                                                            \
+    }                                                                         \
+    const double f = m - 1.0;                                                 \
+    const double s = f / (m + 1.0);                                           \
+    const double z = s * s;                                                   \
+    double p = kLogC[0];                                                      \
+    for (int i = 1; i < 10; ++i) p = std::fma(p, z, kLogC[i]);                \
+    const double t = z * p;                                                   \
+    const double twos = s + s;                                                \
+    const double logm = std::fma(twos, t, twos);                              \
+    double res = std::fma(e, kLn2Lo, logm);                                   \
+    res = std::fma(e, kLn2Hi, res);                                           \
+    return res;                                                               \
+  }                                                                           \
+  inline void sincos2pi_core(double u, double* sn, double* cs) {              \
+    /* u in [0,1). q in {0..4}; r = u - q/4 is Sterbenz-exact and |r|<=1/8 */ \
+    const double q = std::nearbyint(u * 4.0);                                 \
+    const double r = std::fma(q, -0.25, u);                                   \
+    const double z = r * r;                                                   \
+    double ps = kSinC[0];                                                     \
+    for (int i = 1; i < 9; ++i) ps = std::fma(ps, z, kSinC[i]);               \
+    ps = ps * r;                                                              \
+    double pc = kCosC[0];                                                     \
+    for (int i = 1; i < 9; ++i) pc = std::fma(pc, z, kCosC[i]);               \
+    switch (static_cast<int>(q) & 3) {                                        \
+      case 0: *sn = ps; *cs = pc; break;                                      \
+      case 1: *sn = pc; *cs = -ps; break;                                     \
+      case 2: *sn = -ps; *cs = -pc; break;                                    \
+      default: *sn = -pc; *cs = ps; break;                                    \
+    }                                                                         \
+  }
+
+namespace generic_isa {
+FM_MATH_SCALAR_CORE
+}  // namespace generic_isa
+
+#if FM_MATH_X86
+#pragma GCC push_options
+#pragma GCC target("fma")
+namespace fma_isa {
+FM_MATH_SCALAR_CORE
+}  // namespace fma_isa
+#pragma GCC pop_options
+#endif
+
+bool detect_fma_isa() {
+#if FM_MATH_X86
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+const bool g_fma_isa = detect_fma_isa();
+
+double exp_scalar(double x) {
+#if FM_MATH_X86
+  if (g_fma_isa) return fma_isa::exp_core(x);
+#endif
+  return generic_isa::exp_core(x);
+}
+
+double log_scalar(double x) {
+#if FM_MATH_X86
+  if (g_fma_isa) return fma_isa::log_core(x);
+#endif
+  return generic_isa::log_core(x);
+}
+
+void sincos2pi_scalar(double u, double* sn, double* cs) {
+#if FM_MATH_X86
+  if (g_fma_isa) {
+    fma_isa::sincos2pi_core(u, sn, cs);
+    return;
+  }
+#endif
+  generic_isa::sincos2pi_core(u, sn, cs);
+}
+
+#if FM_MATH_X86
+
+__attribute__((target("avx2,fma"))) __m256d exp_avx2(__m256d x) {
+  const __m256d inf = _mm256_set1_pd(bits_to_double(0x7FF0000000000000ull));
+  const __m256d k =
+      _mm256_round_pd(_mm256_mul_pd(x, _mm256_set1_pd(kInvLn2)),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fmadd_pd(k, _mm256_set1_pd(-kLn2Hi), x);
+  r = _mm256_fmadd_pd(k, _mm256_set1_pd(-kLn2Lo), r);
+  __m256d p = _mm256_set1_pd(kExpC[0]);
+  for (int i = 1; i < 12; ++i)
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kExpC[i]));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  // 2^k: k is integral and |k| <= 1023 here, so int32 conversion is exact.
+  const __m128i ki32 = _mm256_cvtpd_epi32(k);
+  const __m256i ki = _mm256_cvtepi32_epi64(ki32);
+  const __m256i bits = _mm256_slli_epi64(
+      _mm256_add_epi64(ki, _mm256_set1_epi64x(1023)), 52);
+  __m256d res = _mm256_mul_pd(p, _mm256_castsi256_pd(bits));
+  // Clamps, applied exactly as the scalar branch ladder does.
+  const __m256d lo_mask =
+      _mm256_cmp_pd(x, _mm256_set1_pd(kExpLo), _CMP_LT_OQ);
+  res = _mm256_blendv_pd(res, _mm256_setzero_pd(), lo_mask);
+  const __m256d hi_mask =
+      _mm256_cmp_pd(x, _mm256_set1_pd(kExpHi), _CMP_GT_OQ);
+  res = _mm256_blendv_pd(res, inf, hi_mask);
+  const __m256d nan_mask = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+  res = _mm256_blendv_pd(res, x, nan_mask);
+  return res;
+}
+
+__attribute__((target("avx2,fma"))) __m256d log_avx2(__m256d x) {
+  // Subnormal pre-scale (exact: multiply by a power of two).
+  const __m256d tiny =
+      _mm256_cmp_pd(x, _mm256_set1_pd(kDblMin), _CMP_LT_OQ);
+  x = _mm256_blendv_pd(x, _mm256_mul_pd(x, _mm256_set1_pd(kTwo54)), tiny);
+  const __m256d eadj =
+      _mm256_blendv_pd(_mm256_setzero_pd(), _mm256_set1_pd(-54.0), tiny);
+  const __m256i u = _mm256_castpd_si256(x);
+  // Exponent field -> double. All intermediate values are exact integers
+  // below 2^52, so every operation is exact and order-independent.
+  const __m256i e_i = _mm256_sub_epi64(_mm256_srli_epi64(u, 52),
+                                       _mm256_set1_epi64x(1023));
+  // int64 -> double for small |v|: or in 2^52's exponent, subtract 2^52.
+  // e_i is in [-1077, 1024] so bias it positive first (+2048), then undo.
+  const __m256i biased = _mm256_add_epi64(e_i, _mm256_set1_epi64x(2048));
+  const __m256d magic = _mm256_set1_pd(4503599627370496.0);  // 2^52
+  const __m256d e_raw = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_or_si256(biased, _mm256_castpd_si256(magic))),
+      magic);
+  __m256d e = _mm256_add_pd(_mm256_sub_pd(e_raw, _mm256_set1_pd(2048.0)),
+                            eadj);
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(u, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFll)),
+      _mm256_set1_epi64x(0x3FF0000000000000ll)));
+  const __m256d big =
+      _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GE_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), big);
+  e = _mm256_blendv_pd(e, _mm256_add_pd(e, _mm256_set1_pd(1.0)), big);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d f = _mm256_sub_pd(m, one);
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(m, one));
+  const __m256d z = _mm256_mul_pd(s, s);
+  __m256d p = _mm256_set1_pd(kLogC[0]);
+  for (int i = 1; i < 10; ++i)
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kLogC[i]));
+  const __m256d t = _mm256_mul_pd(z, p);
+  const __m256d twos = _mm256_add_pd(s, s);
+  const __m256d logm = _mm256_fmadd_pd(twos, t, twos);
+  __m256d res = _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Lo), logm);
+  res = _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Hi), res);
+  return res;
+}
+
+// Quadrant selection from iq = int(q) & 3, exactly mirroring the scalar
+// switch: odd quadrants swap sin/cos; quadrants {2,3} negate sin; {1,2}
+// negate cos. Swaps and sign flips are bit operations, so the lanes cannot
+// diverge from the scalar branches.
+__attribute__((target("avx2,fma"))) void sincos2pi_avx2(__m256d u,
+                                                        __m256d* sn,
+                                                        __m256d* cs) {
+  const __m256d q =
+      _mm256_round_pd(_mm256_mul_pd(u, _mm256_set1_pd(4.0)),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d r = _mm256_fmadd_pd(q, _mm256_set1_pd(-0.25), u);
+  const __m256d z = _mm256_mul_pd(r, r);
+  __m256d ps = _mm256_set1_pd(kSinC[0]);
+  for (int i = 1; i < 9; ++i)
+    ps = _mm256_fmadd_pd(ps, z, _mm256_set1_pd(kSinC[i]));
+  ps = _mm256_mul_pd(ps, r);
+  __m256d pc = _mm256_set1_pd(kCosC[0]);
+  for (int i = 1; i < 9; ++i)
+    pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(kCosC[i]));
+  const __m256i iq = _mm256_and_si256(
+      _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(q)), _mm256_set1_epi64x(3));
+  const __m256d odd = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+      _mm256_and_si256(iq, _mm256_set1_epi64x(1)), _mm256_set1_epi64x(1)));
+  const __m256d s_base = _mm256_blendv_pd(ps, pc, odd);
+  const __m256d c_base = _mm256_blendv_pd(pc, ps, odd);
+  const __m256d signbit = _mm256_set1_pd(-0.0);
+  const __m256d s_neg = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+      _mm256_and_si256(iq, _mm256_set1_epi64x(2)), _mm256_set1_epi64x(2)));
+  const __m256d c_neg = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+      _mm256_and_si256(_mm256_add_epi64(iq, _mm256_set1_epi64x(1)),
+                       _mm256_set1_epi64x(2)),
+      _mm256_set1_epi64x(2)));
+  *sn = _mm256_xor_pd(s_base, _mm256_and_pd(s_neg, signbit));
+  *cs = _mm256_xor_pd(c_base, _mm256_and_pd(c_neg, signbit));
+}
+
+__attribute__((target("avx2,fma"))) void exp_n_avx2(const double* x,
+                                                    double* out,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, exp_avx2(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = exp_scalar(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void log_n_avx2(const double* x,
+                                                    double* out,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, log_avx2(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = log_scalar(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void sincos2pi_n_avx2(const double* u,
+                                                          double* sin_out,
+                                                          double* cos_out,
+                                                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d sn;
+    __m256d cs;
+    sincos2pi_avx2(_mm256_loadu_pd(u + i), &sn, &cs);
+    _mm256_storeu_pd(sin_out + i, sn);
+    _mm256_storeu_pd(cos_out + i, cs);
+  }
+  for (; i < n; ++i) sincos2pi_scalar(u[i], sin_out + i, cos_out + i);
+}
+
+__attribute__((target("avx2,fma"))) void pow_pos_n_avx2(const double* x,
+                                                        double y, double* out,
+                                                        std::size_t n) {
+  const __m256d vy = _mm256_set1_pd(y);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d lg = log_avx2(_mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(out + i, exp_avx2(_mm256_mul_pd(vy, lg)));
+  }
+  for (; i < n; ++i) out[i] = exp_scalar(y * log_scalar(x[i]));
+}
+
+bool detect_simd() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#else
+
+bool detect_simd() { return false; }
+
+#endif  // FM_MATH_X86
+
+const bool g_simd = detect_simd();
+
+}  // namespace
+
+double fm_exp(double x) { return exp_scalar(x); }
+double fm_log(double x) { return log_scalar(x); }
+double fm_pow_pos(double x, double y) {
+  return exp_scalar(y * log_scalar(x));
+}
+
+void fm_sincos2pi(double u, double* sin_out, double* cos_out) {
+  sincos2pi_scalar(u, sin_out, cos_out);
+}
+
+void fm_exp_n(const double* x, double* out, std::size_t n) {
+#if FM_MATH_X86
+  if (g_simd) {
+    exp_n_avx2(x, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp_scalar(x[i]);
+}
+
+void fm_log_n(const double* x, double* out, std::size_t n) {
+#if FM_MATH_X86
+  if (g_simd) {
+    log_n_avx2(x, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = log_scalar(x[i]);
+}
+
+void fm_sincos2pi_n(const double* u, double* sin_out, double* cos_out,
+                    std::size_t n) {
+#if FM_MATH_X86
+  if (g_simd) {
+    sincos2pi_n_avx2(u, sin_out, cos_out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i)
+    sincos2pi_scalar(u[i], sin_out + i, cos_out + i);
+}
+
+void fm_pow_pos_n(const double* x, double y, double* out, std::size_t n) {
+#if FM_MATH_X86
+  if (g_simd) {
+    pow_pos_n_avx2(x, y, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp_scalar(y * log_scalar(x[i]));
+}
+
+bool simd_active() { return g_simd; }
+
+}  // namespace flashmark::fmm

@@ -1,0 +1,58 @@
+// Deterministic transcendental math for the physics kernels.
+//
+// The cell wear model is defined in terms of exp/log/pow. libm gives no
+// cross-version (let alone cross-libc) bit guarantees for these, so any
+// result pinned to the byte (die files, golden CSVs, the kernel differential
+// harness) would silently depend on the host's libm build. fm_exp / fm_log /
+// fm_pow_pos are the project's *own* definitions: pure IEEE-754 arithmetic
+// (+, -, *, /, fma) plus exact bit manipulation, ~2 ulp accurate, and
+// bit-identical everywhere.
+//
+// Each function has two implementations that are bit-identical BY
+// CONSTRUCTION: a scalar one (std::fma — correctly rounded by definition)
+// and a 4-wide AVX2+FMA one (_mm256_fmadd_pd — the same fused operation).
+// Every floating step is either a single IEEE operation or an explicit fma,
+// so -ffp-contract cannot introduce divergence; the batch entry points
+// dispatch to SIMD at runtime and fall back to the scalar loop on hosts
+// without AVX2/FMA. tests/util_fm_math_test.cpp asserts scalar==SIMD bit
+// equality over random and adversarial inputs.
+//
+// Domain contract (callers are the physics kernels, which guarantee it):
+//   fm_exp:      any finite x; x > 709 saturates to +inf, x < -700 flushes
+//                to +0.0 (results below ~1e-304 are not distinguished).
+//   fm_log:      x > 0 finite (subnormals handled by pre-scaling).
+//   fm_pow_pos:  x > 0 finite, y finite; defined as fm_exp(y * fm_log(x)).
+#pragma once
+
+#include <cstddef>
+
+namespace flashmark::fmm {
+
+double fm_exp(double x);
+double fm_log(double x);
+double fm_pow_pos(double x, double y);
+
+/// sin(2*pi*u) and cos(2*pi*u) for u in [0,1), computed together (they share
+/// the quadrant reduction). This is the Box–Muller phase: Rng::normal feeds
+/// the raw uniform straight in, so no 2*pi multiply — and none of glibc's
+/// version-dependent sin/cos — ever touches the draw. Quadrant reduction
+/// (r = u - q/4 is Sterbenz-exact) + degree-17/16 Taylor in r.
+void fm_sincos2pi(double u, double* sin_out, double* cos_out);
+
+/// Batch forms: out[i] = fm_exp(x[i]) etc. Bit-identical to calling the
+/// scalar form per element, regardless of SIMD availability. In-place
+/// (out == x) is allowed.
+void fm_exp_n(const double* x, double* out, std::size_t n);
+void fm_log_n(const double* x, double* out, std::size_t n);
+void fm_pow_pos_n(const double* x, double y, double* out, std::size_t n);
+
+/// Batch fm_sincos2pi. `sin_out == u` (in-place) is allowed; `cos_out` must
+/// not alias `u` or `sin_out`.
+void fm_sincos2pi_n(const double* u, double* sin_out, double* cos_out,
+                    std::size_t n);
+
+/// True when the AVX2+FMA lanes are in use (informational — results do not
+/// depend on it; perf gates in bench/kernel_bench.cpp do).
+bool simd_active();
+
+}  // namespace flashmark::fmm

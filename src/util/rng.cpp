@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <vector>
+
+#include "util/fm_math.hpp"
 
 namespace flashmark {
 
@@ -16,6 +19,13 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
+}
+
+// The one affine-scaling expression both normal(mu, sigma) and normal_fill
+// go through. A single inlined definition means the compiler makes the same
+// contraction decision at every call site, so the two paths cannot drift.
+inline double scale_normal(double mu, double sigma, double x) {
+  return mu + sigma * x;
 }
 }  // namespace
 
@@ -65,23 +75,80 @@ double Rng::normal() {
     has_cached_normal_ = false;
     return cached_normal_;
   }
-  // Box–Muller. u1 is kept away from 0 so log() is finite.
+  // Box–Muller, on the project's own deterministic math (util/fm_math.hpp):
+  // fm_log + fm_sincos2pi + IEEE-exact sqrt, so the draw stream is
+  // bit-identical across libm versions. u1 is kept away from 0 so the log
+  // is finite.
   double u1 = 0.0;
   do {
     u1 = uniform();
   } while (u1 <= 0x1.0p-60);
   const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * 3.14159265358979323846 * u2;
-  cached_normal_ = r * std::sin(theta);
+  const double r = std::sqrt(-2.0 * fmm::fm_log(u1));
+  double sn = 0.0;
+  double cs = 0.0;
+  fmm::fm_sincos2pi(u2, &sn, &cs);
+  cached_normal_ = r * sn;
   has_cached_normal_ = true;
-  return r * std::cos(theta);
+  return r * cs;
 }
 
-double Rng::normal(double mu, double sigma) { return mu + sigma * normal(); }
+double Rng::normal(double mu, double sigma) {
+  return scale_normal(mu, sigma, normal());
+}
+
+void Rng::normal_fill(double mu, double sigma, double* out, std::size_t n) {
+  std::size_t i = 0;
+  if (i < n && has_cached_normal_) {
+    has_cached_normal_ = false;
+    out[i++] = scale_normal(mu, sigma, cached_normal_);
+  }
+  if (i >= n) return;
+  const std::size_t n_pairs = (n - i + 1) / 2;
+  thread_local std::vector<double> u1v;
+  thread_local std::vector<double> snv;
+  thread_local std::vector<double> csv;
+  if (u1v.size() < n_pairs) {
+    u1v.resize(n_pairs);
+    snv.resize(n_pairs);
+    csv.resize(n_pairs);
+  }
+  // Phase 1: consume the uniform stream exactly as n sequential normal()
+  // calls would — per pair, u1 with the small-value rejection, then u2.
+  // u2 lands in snv; it is overwritten by the sine in phase 2.
+  for (std::size_t k = 0; k < n_pairs; ++k) {
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0x1.0p-60);
+    u1v[k] = u1;
+    snv[k] = uniform();
+  }
+  // Phase 2: the transcendental half, 4-wide where the host allows. Every
+  // step is covered by the fm_math bit-identity contract (sqrt and the
+  // products are single IEEE operations).
+  fmm::fm_sincos2pi_n(snv.data(), snv.data(), csv.data(), n_pairs);
+  fmm::fm_log_n(u1v.data(), u1v.data(), n_pairs);
+  for (std::size_t k = 0; k < n_pairs; ++k)
+    u1v[k] = std::sqrt(-2.0 * u1v[k]);
+  for (std::size_t k = 0; k < n_pairs; ++k) {
+    const double r = u1v[k];
+    out[i++] = scale_normal(mu, sigma, r * csv[k]);
+    // normal() parks every pair's sine in the cache slot and consuming it
+    // only clears the flag — the value stays behind. Serialized Rng::State
+    // carries those bits, so mirror the dead store too.
+    cached_normal_ = r * snv[k];
+    if (i < n) {
+      out[i++] = scale_normal(mu, sigma, cached_normal_);
+      has_cached_normal_ = false;
+    } else {
+      has_cached_normal_ = true;
+    }
+  }
+}
 
 double Rng::lognormal(double mu, double sigma) {
-  return std::exp(normal(mu, sigma));
+  return fmm::fm_exp(normal(mu, sigma));
 }
 
 double Rng::gamma(double shape, double scale) {
@@ -92,7 +159,7 @@ double Rng::gamma(double shape, double scale) {
     do {
       u = uniform();
     } while (u <= 0.0);
-    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    return gamma(shape + 1.0, scale) * fmm::fm_pow_pos(u, 1.0 / shape);
   }
   // Marsaglia–Tsang method.
   const double d = shape - 1.0 / 3.0;
@@ -107,7 +174,7 @@ double Rng::gamma(double shape, double scale) {
     v = v * v * v;
     const double u = uniform();
     if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
-    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+    if (u > 0.0 && fmm::fm_log(u) < 0.5 * x * x + d * (1.0 - v + fmm::fm_log(v)))
       return d * v * scale;
   }
 }
@@ -118,7 +185,7 @@ std::uint64_t Rng::poisson(double lambda) {
     const double x = normal(lambda, std::sqrt(lambda));
     return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
   }
-  const double limit = std::exp(-lambda);
+  const double limit = fmm::fm_exp(-lambda);
   double prod = uniform();
   std::uint64_t n = 0;
   while (prod > limit) {

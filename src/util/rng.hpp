@@ -3,10 +3,15 @@
 // The whole reproduction must be bit-reproducible across platforms and
 // standard-library versions, so we ship our own generator (xoshiro256**) and
 // our own samplers instead of relying on std::normal_distribution etc., whose
-// outputs are implementation-defined.
+// outputs are implementation-defined. The samplers' transcendentals go
+// through util/fm_math (project-owned exp/log/pow/sincos), not libm, so the
+// draw streams carry no dependence on the host's libm build either — the
+// only <cmath> call left in a sampler is sqrt, which IEEE-754 rounds
+// correctly everywhere.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace flashmark {
@@ -39,6 +44,16 @@ class Rng {
 
   /// Normal with mean mu and standard deviation sigma.
   double normal(double mu, double sigma);
+
+  /// Fill out[0..n) with draws BIT-IDENTICAL to n sequential
+  /// normal(mu, sigma) calls — same uniforms consumed in the same order,
+  /// same Box–Muller cache handoff at both ends — but with the
+  /// transcendental half of each pair (fm_log / fm_sincos2pi / sqrt)
+  /// evaluated 4-wide, which the fm_math contract guarantees cannot change
+  /// the bits. The batched physics kernels use this to amortize draw cost;
+  /// the reference kernels keep calling normal() per cell, and the
+  /// differential harness (ctest -L kernel) asserts the streams agree.
+  void normal_fill(double mu, double sigma, double* out, std::size_t n);
 
   /// Log-normal: exp(N(mu, sigma)). mu/sigma are parameters of the
   /// underlying normal (i.e. of log X).

@@ -3,6 +3,11 @@
 // fuzzing. All sequences are seeded and reproducible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "core/flashmark.hpp"
 #include "mcu/device.hpp"
 
@@ -184,6 +189,183 @@ TEST_P(ReplicaFuzz, SoftDecodeNeverWorseThanHardUnderAsymmetricNoise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaFuzz, ::testing::Values(31, 32, 33));
+
+// ---------------------------------------------------------------------------
+// Physical-invariant properties, pinned against BOTH kernel modes
+// (phys/kernels.hpp). The differential harness (kernel_diff_test) proves the
+// modes byte-identical; these tests prove the physics either mode computes
+// is the physics the paper depends on.
+// ---------------------------------------------------------------------------
+
+class KernelPropertyFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, KernelMode>> {
+ protected:
+  std::uint64_t seed() const { return std::get<0>(GetParam()); }
+  KernelMode mode() const { return std::get<1>(GetParam()); }
+
+  FlashArray make_array(const PhysParams& p) const {
+    FlashArray a(FlashGeometry::msp430f5438(), p, seed());
+    a.set_kernel_mode(mode());
+    return a;
+  }
+};
+
+// Damage is (nearly) irreversible: no operation soup may drop a segment's
+// mean stress below (1 - anneal_recovery_frac) x its historical peak, and
+// everything except bake must keep it strictly monotone.
+TEST_P(KernelPropertyFuzz, DamageMonotoneAndBakeBounded) {
+  const PhysParams p = PhysParams::msp430_calibrated();
+  FlashArray a = make_array(p);
+  Rng fuzz(seed() ^ 0xDA3A6E);
+
+  double last_mean = a.wear_stats(0).eff_cycles_mean;
+  double peak_mean = last_mean;
+  for (int step = 0; step < 120; ++step) {
+    const std::uint64_t op = fuzz.uniform_u64(6);
+    bool annealing = false;
+    switch (op) {
+      case 0: a.erase_segment(0); break;
+      case 1:
+        a.partial_erase_segment(0, static_cast<double>(fuzz.uniform_u64(40)));
+        break;
+      case 2:
+        a.program_word(a.geometry().segment_base(0) +
+                           static_cast<Addr>(fuzz.uniform_u64(256) * 2),
+                       static_cast<std::uint16_t>(fuzz.next_u64()));
+        break;
+      case 3:
+        a.wear_segment(0, static_cast<double>(fuzz.uniform_u64(2000)));
+        break;
+      case 4: a.age(static_cast<double>(fuzz.uniform_u64(5))); break;
+      default:
+        a.bake(static_cast<double>(fuzz.uniform_u64(100)));
+        annealing = true;
+        break;
+    }
+    const double mean = a.wear_stats(0).eff_cycles_mean;
+    if (!annealing)
+      EXPECT_GE(mean, last_mean - 1e-12) << "op " << op << " reduced damage";
+    EXPECT_GE(mean, (1.0 - p.anneal_recovery_frac) * peak_mean - 1e-9)
+        << "bake recovered more than the annealable fraction";
+    last_mean = mean;
+    peak_mean = std::max(peak_mean, mean);
+  }
+}
+
+// Erase time is monotone in damage: each wear increment must leave every
+// tte statistic (and the controller's erase-verify query) no smaller.
+TEST_P(KernelPropertyFuzz, EraseTimeMonotoneInDamage) {
+  FlashArray a = make_array(PhysParams::msp430_calibrated());
+  const std::size_t cells = a.geometry().segment_cells(0);
+  const BitVec all_programmed(cells);  // pattern of zeros = stress every cell
+
+  Rng fuzz(seed() ^ 0x77E7E);
+  a.wear_segment(0, 1.0, &all_programmed);  // end programmed
+  double last_full = a.time_to_full_erase_us(0);
+  SegmentWearStats last = a.wear_stats(0);
+  for (int step = 0; step < 30; ++step) {
+    a.wear_segment(0, static_cast<double>(1 + fuzz.uniform_u64(3000)),
+                   &all_programmed);
+    const double full = a.time_to_full_erase_us(0);
+    const SegmentWearStats now = a.wear_stats(0);
+    EXPECT_GE(full, last_full);
+    EXPECT_GE(now.tte_min_us, last.tte_min_us);
+    EXPECT_GE(now.tte_mean_us, last.tte_mean_us);
+    EXPECT_GE(now.tte_max_us, last.tte_max_us);
+    last_full = full;
+    last = now;
+  }
+  EXPECT_GT(last_full, a.wear_stats(0).tte_min_us * 0.99);  // sanity: nonzero
+}
+
+// Idempotence at saturation: once a segment is settled, repeating the same
+// full operation changes no logical state (only wear), reads are
+// deterministic, and no cell is left metastable.
+TEST_P(KernelPropertyFuzz, ProgramEraseIdempotentAtSaturation) {
+  FlashArray a = make_array(PhysParams::msp430_calibrated());
+  const FlashGeometry& g = a.geometry();
+  const std::size_t n_words = g.segment_bytes(0) / g.word_bytes;
+  Rng fuzz(seed() ^ 0x1DE0);
+
+  std::vector<std::uint16_t> image(n_words);
+  for (auto& w : image) w = static_cast<std::uint16_t>(fuzz.next_u64());
+
+  a.erase_segment(0);
+  a.program_words(g.segment_base(0), image.data(), image.size());
+  const BitVec settled = a.snapshot(0);
+  for (int rep = 0; rep < 3; ++rep) {
+    a.program_words(g.segment_base(0), image.data(), image.size());
+    EXPECT_EQ(a.snapshot(0), settled) << "re-program changed logical state";
+    // Settled cells read back their snapshot with no noise, any n_reads.
+    EXPECT_EQ(a.read_segment_majority(0, 1), settled);
+  }
+  a.erase_segment(0);
+  const BitVec erased_once = a.snapshot(0);
+  for (int rep = 0; rep < 3; ++rep) {
+    a.erase_segment(0);
+    EXPECT_EQ(a.snapshot(0), erased_once) << "re-erase changed logical state";
+    EXPECT_EQ(a.read_segment_majority(0, 1), erased_once);
+  }
+  // Saturation sanity: the erased image is all ones except stuck-at-0 cells.
+  std::size_t stuck = 0;
+  for (std::size_t i = 0; i < erased_once.size(); ++i)
+    if (!erased_once.get(i)) ++stuck;
+  EXPECT_LT(stuck, erased_once.size() / 100);
+}
+
+// Partial-erase consistency with full-erase ordering: with per-pulse jitter
+// disabled, the set of cells a pulse of t1 erases is a subset of what any
+// longer pulse t2 >= t1 erases from the same initial state — pulses sort
+// cells by their deterministic time-to-erase.
+TEST_P(KernelPropertyFuzz, PartialEraseRespectsFullEraseOrdering) {
+  PhysParams p = PhysParams::msp430_calibrated();
+  p.tte_event_jitter_sigma = 0.0;  // deterministic transition instants
+  Rng fuzz(seed() ^ 0x0CDE2);
+
+  const double t1 = 18.0 + static_cast<double>(fuzz.uniform_u64(6));
+  const double t2 = t1 + 1.0 + static_cast<double>(fuzz.uniform_u64(10));
+
+  auto prepare = [&](FlashArray& a) {
+    const std::size_t n_words =
+        a.geometry().segment_bytes(0) / a.geometry().word_bytes;
+    const std::vector<std::uint16_t> zeros(n_words, 0x0000);
+    a.wear_segment(0, 500.0);
+    a.erase_segment(0);
+    a.program_words(a.geometry().segment_base(0), zeros.data(), zeros.size());
+  };
+
+  FlashArray a1 = make_array(p);
+  FlashArray a2 = make_array(p);
+  prepare(a1);
+  prepare(a2);
+  a1.partial_erase_segment(0, t1);
+  a2.partial_erase_segment(0, t2);
+
+  const BitVec s1 = a1.snapshot(0);  // noise-free: 1 == erased
+  const BitVec s2 = a2.snapshot(0);
+  std::size_t flipped_1 = 0;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    if (s1.get(i)) {
+      ++flipped_1;
+      EXPECT_TRUE(s2.get(i))
+          << "cell " << i << " erased by t1=" << t1 << "us but not t2=" << t2;
+    }
+  }
+  // The shorter pulse must sit inside the transition window for the subset
+  // claim to be non-vacuous.
+  EXPECT_GT(flipped_1, 0u);
+  EXPECT_LT(flipped_1, s1.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, KernelPropertyFuzz,
+    ::testing::Combine(::testing::Values(41, 42, 43),
+                       ::testing::Values(KernelMode::kReference,
+                                         KernelMode::kBatched)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<1>(info.param))) + "_s" +
+             std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace flashmark

@@ -8,6 +8,13 @@
 // figure benches, update EXPERIMENTS.md, and then update the pin.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+
 #include "core/flashmark.hpp"
 #include "fleet/fleet.hpp"
 #include "mcu/device.hpp"
@@ -173,6 +180,127 @@ TEST(CalibrationPins, FleetSeedDerivation) {
   EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 0), 0x320029e3aafbff04ull);
   EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 1), 0x863352d0c7a8eefbull);
   EXPECT_EQ(fleet::derive_die_seed(kBenchMaster, 23), 0x8a66475c43b17e80ull);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-master pins: tiny fig4/fig9-style CSVs, byte-compared against
+// committed fixtures (tests/fixtures/*.csv). Unlike the banded pins above,
+// these catch *any* numeric drift — a one-ULP change in the physics, an RNG
+// reorder, or a kernel-mode divergence all flip bytes here. Each fixture is
+// generated in both kernel modes and the two strings must match exactly
+// before being compared to the file, so this doubles as a differential test
+// for the batched kernels (src/phys/kernels.*).
+//
+// To regenerate after an *intentional* physics/calibration change:
+//   FLASHMARK_REGEN_FIXTURES=1 ./regression_pins_test
+//       --gtest_filter='GoldenMasterPins.*'
+// then review the diff and update EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+std::string fixture_path(const char* name) {
+  return std::string(FLASHMARK_TEST_FIXTURES) + "/" + name;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Generate-or-compare: with FLASHMARK_REGEN_FIXTURES set, rewrite the fixture
+// and skip; otherwise byte-compare. Kept out of the TESTs so both figures
+// share the exact same policy.
+void check_fixture(const char* name, const std::string& generated) {
+  const std::string path = fixture_path(name);
+  if (std::getenv("FLASHMARK_REGEN_FIXTURES") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << generated;
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string pinned = read_file_bytes(path);
+  ASSERT_FALSE(pinned.empty())
+      << path << " missing or empty; run with FLASHMARK_REGEN_FIXTURES=1";
+  EXPECT_EQ(pinned, generated)
+      << name << " drifted: physics, RNG order, or kernel output changed. "
+      << "If intentional, regenerate (see file header).";
+}
+
+DeviceConfig pin_config(KernelMode mode) {
+  DeviceConfig cfg = DeviceConfig::msp430f5438();
+  cfg.kernel_mode = mode;
+  return cfg;
+}
+
+// Fig. 4 fixture: characterization curves (t_pe vs erased-cell count) for a
+// fresh segment and a 30 K-cycle worn segment, fixed seed. Times print as
+// exact integer nanoseconds; counts are integers — the CSV is bit-exact by
+// construction.
+std::string fig4_fixture_csv(KernelMode mode) {
+  Device dev(pin_config(mode), 0xF1640);
+  const auto& g = dev.config().geometry;
+  std::ostringstream os;
+  os << "wear_cycles,t_pe_ns,cells_0,cells_1\n";
+  const std::uint32_t wear_steps[] = {0, 30'000};
+  std::size_t seg = 0;
+  for (const std::uint32_t wear : wear_steps) {
+    const Addr base = g.segment_base(seg++);
+    if (wear > 0) dev.hal().wear_segment(base, wear);
+    CharacterizeOptions o;
+    o.t_end = SimTime::us(wear > 0 ? 400 : 60);
+    o.t_step = SimTime::us(wear > 0 ? 20 : 4);
+    o.settle_points = 2;
+    for (const auto& p : characterize_segment(dev.hal(), base, o)) {
+      os << wear << ',' << p.t_pe.as_ns() << ',' << p.cells_0 << ','
+         << p.cells_1 << '\n';
+    }
+  }
+  return os.str();
+}
+
+// Fig. 9 fixture: single-read BER vs extraction window for two imprint
+// depths, fixed seed and watermark. BER prints with max_digits10, so equal
+// strings imply bit-equal doubles.
+std::string fig9_fixture_csv(KernelMode mode) {
+  Device dev(pin_config(mode), 0xF1690);
+  const auto& g = dev.config().geometry;
+  const BitVec watermark = ascii_watermark(std::string(512, 'A'));
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "npe,t_pew_ns,ber\n";
+  const std::uint32_t depths[] = {20'000, 60'000};
+  std::size_t seg_idx = 0;
+  for (const std::uint32_t npe : depths) {
+    const Addr seg = g.segment_base(seg_idx++);
+    ImprintOptions io;
+    io.npe = npe;
+    io.strategy = ImprintStrategy::kBatchWear;
+    imprint_flashmark(dev.hal(), seg, watermark, io);
+    for (int tpe = 24; tpe <= 36; tpe += 4) {
+      ExtractOptions eo;
+      eo.t_pew = SimTime::us(tpe);
+      const double ber =
+          compare_bits(watermark, extract_flashmark(dev.hal(), seg, eo).bits)
+              .ber();
+      os << npe << ',' << eo.t_pew.as_ns() << ',' << ber << '\n';
+    }
+  }
+  return os.str();
+}
+
+TEST(GoldenMasterPins, Fig4FixtureByteStableAcrossModes) {
+  const std::string ref = fig4_fixture_csv(KernelMode::kReference);
+  const std::string batched = fig4_fixture_csv(KernelMode::kBatched);
+  ASSERT_EQ(ref, batched) << "kernel modes diverged on the fig4 recipe";
+  check_fixture("fig4_pin.csv", batched);
+}
+
+TEST(GoldenMasterPins, Fig9FixtureByteStableAcrossModes) {
+  const std::string ref = fig9_fixture_csv(KernelMode::kReference);
+  const std::string batched = fig9_fixture_csv(KernelMode::kBatched);
+  ASSERT_EQ(ref, batched) << "kernel modes diverged on the fig9 recipe";
+  check_fixture("fig9_pin.csv", batched);
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// Bit-identity and accuracy tests for util/fm_math.hpp.
+//
+// The contract under test: the batch entry points (which dispatch to
+// AVX2+FMA lanes when the host has them) return bytes IDENTICAL to the
+// scalar functions, element for element, and Rng::normal_fill is
+// draw-for-draw identical to sequential Rng::normal calls including the
+// Box–Muller cache handoff and the serialized generator state. On hosts
+// without AVX2/FMA the batch forms fall back to the scalar loop and these
+// tests pass trivially — the differential value is on SIMD machines, so
+// the suite logs whether the vector lanes were actually exercised.
+//
+// Accuracy is checked against libm only loosely (a few ulp): fm_math does
+// not promise libm's bits — that independence is the point — it promises
+// its OWN bits everywhere.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/fm_math.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+namespace {
+
+std::uint64_t bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+double ulp_diff(double a, double b) {
+  if (bits(a) == bits(b)) return 0.0;
+  const double scale = std::ldexp(1.0, std::ilogb(b != 0.0 ? b : a) - 52);
+  return std::fabs(a - b) / scale;
+}
+
+TEST(FmMath, ExpBatchMatchesScalarBitwise) {
+  Rng rng(0xE4'0001);
+  std::vector<double> x;
+  // Random points across the whole finite domain plus the clamp edges and
+  // the exact reduction boundaries (k*ln2/2) where rounding of k flips.
+  for (int i = 0; i < 20000; ++i) x.push_back(rng.uniform(-750.0, 720.0));
+  for (int i = 0; i < 2000; ++i) x.push_back(rng.uniform(-1.0, 1.0));
+  for (double edge : {709.0, 709.0000001, -700.0, -700.0000001, 0.0, -0.0,
+                      0.5 * 0.6931471805599453, -0.5 * 0.6931471805599453,
+                      1e-300, -1e-300})
+    x.push_back(edge);
+  std::vector<double> batch(x.size());
+  fmm::fm_exp_n(x.data(), batch.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(bits(fmm::fm_exp(x[i])), bits(batch[i]))
+        << "x=" << x[i] << " i=" << i;
+  }
+}
+
+TEST(FmMath, LogBatchMatchesScalarBitwise) {
+  Rng rng(0x106'0002);
+  std::vector<double> x;
+  for (int i = 0; i < 20000; ++i)
+    x.push_back(std::ldexp(1.0 + rng.uniform(),
+                           static_cast<int>(rng.uniform_u64(2100)) - 1060));
+  // Mantissas straddling the sqrt(2) split, 1.0 exactly, and subnormals
+  // (exercises the 2^54 pre-scale lane selection).
+  for (double edge :
+       {1.0, 1.4142135623730949, 1.4142135623730951, 0.7071067811865476,
+        2.2250738585072014e-308, 4.9406564584124654e-324, 1e-310})
+    x.push_back(edge);
+  std::vector<double> batch(x.size());
+  fmm::fm_log_n(x.data(), batch.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(bits(fmm::fm_log(x[i])), bits(batch[i]))
+        << "x=" << x[i] << " i=" << i;
+  }
+}
+
+TEST(FmMath, PowBatchMatchesScalarBitwise) {
+  Rng rng(0xF03'0003);
+  for (double y : {1.3, 0.5, -2.0, 7.25}) {
+    std::vector<double> x;
+    for (int i = 0; i < 10000; ++i)
+      x.push_back(std::ldexp(1.0 + rng.uniform(),
+                             static_cast<int>(rng.uniform_u64(120)) - 60));
+    std::vector<double> batch(x.size());
+    fmm::fm_pow_pos_n(x.data(), y, batch.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(bits(fmm::fm_pow_pos(x[i], y)), bits(batch[i]))
+          << "x=" << x[i] << " y=" << y;
+    }
+  }
+}
+
+TEST(FmMath, SincosBatchMatchesScalarBitwise) {
+  Rng rng(0x51C'0004);
+  std::vector<double> u;
+  for (int i = 0; i < 20000; ++i) u.push_back(rng.uniform());
+  // Quadrant boundaries (q flips between adjacent representables) and the
+  // top of the range, where u*4 rounds to 4 and wraps to quadrant 0.
+  for (double edge : {0.0, 0.125, 0.1250000000000001, 0.1249999999999999,
+                      0.25, 0.375, 0.5, 0.625, 0.75, 0.875,
+                      0.9999999999999999})
+    u.push_back(edge);
+  std::vector<double> sn(u.size());
+  std::vector<double> cs(u.size());
+  fmm::fm_sincos2pi_n(u.data(), sn.data(), cs.data(), u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    double s1 = 0.0;
+    double c1 = 0.0;
+    fmm::fm_sincos2pi(u[i], &s1, &c1);
+    ASSERT_EQ(bits(s1), bits(sn[i])) << "u=" << u[i];
+    ASSERT_EQ(bits(c1), bits(cs[i])) << "u=" << u[i];
+  }
+  // In-place on the sin output is part of the contract (normal_fill uses it).
+  std::vector<double> inplace(u);
+  std::vector<double> cs2(u.size());
+  fmm::fm_sincos2pi_n(inplace.data(), inplace.data(), cs2.data(), u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    ASSERT_EQ(bits(inplace[i]), bits(sn[i]));
+    ASSERT_EQ(bits(cs2[i]), bits(cs[i]));
+  }
+}
+
+TEST(FmMath, SpecialValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(bits(fmm::fm_exp(710.0)), bits(inf));
+  EXPECT_EQ(bits(fmm::fm_exp(-701.0)), bits(0.0));
+  EXPECT_TRUE(std::isnan(fmm::fm_exp(nan)));
+  EXPECT_EQ(bits(fmm::fm_exp(0.0)), bits(1.0));
+  EXPECT_EQ(bits(fmm::fm_log(1.0)), bits(0.0));
+  // The clamp lanes must also agree between scalar and SIMD.
+  const double edge[4] = {710.0, -701.0, nan, 0.0};
+  double out[4] = {0, 0, 0, 0};
+  fmm::fm_exp_n(edge, out, 4);
+  EXPECT_EQ(bits(out[0]), bits(inf));
+  EXPECT_EQ(bits(out[1]), bits(0.0));
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_EQ(bits(out[3]), bits(1.0));
+}
+
+TEST(FmMath, AccuracyWithinAFewUlpOfLibm) {
+  Rng rng(0xACC'0005);
+  double worst_exp = 0.0;
+  double worst_log = 0.0;
+  double worst_trig = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double xe = rng.uniform(-30.0, 30.0);
+    worst_exp = std::max(worst_exp, ulp_diff(fmm::fm_exp(xe), std::exp(xe)));
+    const double xl = std::ldexp(1.0 + rng.uniform(),
+                                 static_cast<int>(rng.uniform_u64(80)) - 40);
+    worst_log = std::max(worst_log, ulp_diff(fmm::fm_log(xl), std::log(xl)));
+    const double u = rng.uniform();
+    double sn = 0.0;
+    double cs = 0.0;
+    fmm::fm_sincos2pi(u, &sn, &cs);
+    const double theta = 2.0 * 3.14159265358979323846 * u;
+    // The reference computes sin(2*pi*u) exactly; libm's sin(theta) carries
+    // the rounding of theta itself (~|theta'| ulp), so allow more headroom.
+    worst_trig = std::max(worst_trig,
+                          std::max(std::fabs(sn - std::sin(theta)),
+                                   std::fabs(cs - std::cos(theta))));
+  }
+  EXPECT_LT(worst_exp, 4.0);
+  EXPECT_LT(worst_log, 4.0);
+  EXPECT_LT(worst_trig, 1e-14);
+}
+
+TEST(FmMath, NormalFillMatchesSequentialDraws) {
+  // Every parity combination: cold/warm cache at entry, odd/even count,
+  // plus the serialized state (xoshiro words AND the dead cache bits — the
+  // kernel differential harness compares full state dumps).
+  for (int warm = 0; warm < 2; ++warm) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{7}, std::size_t{256}, std::size_t{4095}}) {
+      Rng seq(0xBEEF + n);
+      Rng fill(0xBEEF + n);
+      if (warm) {
+        ASSERT_EQ(bits(seq.normal()), bits(fill.normal()));
+      }
+      std::vector<double> a(n + 1);
+      std::vector<double> b(n + 1);
+      for (std::size_t i = 0; i < n; ++i) a[i] = seq.normal(0.25, 1.75);
+      fill.normal_fill(0.25, 1.75, b.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(bits(a[i]), bits(b[i])) << "n=" << n << " warm=" << warm
+                                          << " i=" << i;
+      }
+      const Rng::State sa = seq.state();
+      const Rng::State sb = fill.state();
+      EXPECT_EQ(sa.s, sb.s);
+      EXPECT_EQ(sa.cached_normal_bits, sb.cached_normal_bits);
+      EXPECT_EQ(sa.has_cached_normal, sb.has_cached_normal);
+      // And the streams stay in lockstep afterwards.
+      EXPECT_EQ(bits(seq.normal()), bits(fill.normal()));
+    }
+  }
+}
+
+TEST(FmMath, ReportsSimdLane) {
+  // Informational: on AVX2+FMA hosts the tests above compared real vector
+  // lanes against the scalar core; elsewhere they compared the fallback
+  // loop (trivially equal). Record which one this run proved.
+  std::printf("[          ] fm_math SIMD lanes active: %s\n",
+              fmm::simd_active() ? "yes (AVX2+FMA)" : "no (scalar fallback)");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace flashmark
