@@ -25,6 +25,8 @@
 
 namespace flashmark {
 
+class DieFileMap;
+
 /// Wear summary of a segment, used by the recycled-flash detector baseline
 /// and by white-box tests.
 struct SegmentWearStats {
@@ -100,6 +102,34 @@ class FlashArray {
   // --- persistence ---------------------------------------------------------
   /// True if the segment's cells have been manufactured (touched) already.
   bool segment_materialized(std::size_t seg) const;
+
+  // --- columnar backing (die-format v3) ------------------------------------
+  /// Attach a validated v3 die map as the source of persisted cell state.
+  /// Segments present in the map hydrate from it on first touch — one
+  /// memcpy per column instead of per-cell manufacture — so loading a die is
+  /// map-and-go: no cell data moves until a segment is used. Segments absent
+  /// from the map stay lazily seed-manufactured as always. Throws
+  /// std::runtime_error if the map's shape does not match this geometry.
+  void set_backing(std::shared_ptr<const DieFileMap> map);
+  const std::shared_ptr<const DieFileMap>& backing() const { return backing_; }
+
+  /// True when the segment carries state beyond fresh manufacture — hydrated
+  /// in memory or present in the backing map. Exactly the set of segments a
+  /// save must persist.
+  bool segment_present(std::size_t seg) const;
+  /// The segment's in-memory SoA if hydrated, nullptr if lazy or still
+  /// resting in the backing map.
+  const SegmentSoA* materialized_segment(std::size_t seg) const;
+
+  // --- dirty tracking ------------------------------------------------------
+  /// True when array state has diverged since the last mark_clean(): any
+  /// segment mutated, the shared noise RNG consumed (reads dirty the die —
+  /// the draw position is persisted state), or the temperature changed.
+  bool dirty() const;
+  /// Declare the current state persisted (or equal to the fresh-manufacture
+  /// state, for a new die). Checkpoint paths call this after a save so clean
+  /// dies can be evicted without rewriting their files.
+  void mark_clean();
   /// Write all materialized segments as a versioned text block ("FMSEGS").
   void save_segments(std::ostream& os) const;
   /// Restore segments from a save_segments block. Untouched segments stay
@@ -137,6 +167,9 @@ class FlashArray {
 
  private:
   SegmentSoA& ensure_segment(std::size_t seg);
+  /// Gather one cell's snapshot out of the backing map (text-format saves of
+  /// a still-backed segment).
+  Cell::Snapshot backing_snapshot(std::size_t seg, std::size_t i) const;
   /// Maps a word address to (segment, first cell index); validates
   /// alignment and range.
   std::pair<std::size_t, std::size_t> locate_word(Addr addr) const;
@@ -148,6 +181,9 @@ class FlashArray {
   double temperature_c_ = 25.0;
   Rng noise_rng_;
   std::vector<std::unique_ptr<SegmentSoA>> segments_;
+  std::shared_ptr<const DieFileMap> backing_;
+  std::vector<std::uint8_t> seg_dirty_;
+  bool meta_dirty_ = false;
 };
 
 }  // namespace flashmark

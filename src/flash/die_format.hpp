@@ -1,0 +1,168 @@
+// Die-file format v3: versioned, CRC-framed, 64-byte-aligned column blobs.
+//
+// Where formats v1/v2 (mcu/persist.hpp) re-serialize every cell field by
+// field through a text stream, v3 stores the die as the SoA columns the
+// physics kernels already operate on (phys/kernels.hpp): one contiguous
+// little-endian blob per (segment, column), each CRC-32 framed and 64-byte
+// aligned. Saving a die is a memcpy of its columns; loading is mmap +
+// validate — cell data is not touched until a segment is first used, when
+// the array hydrates it with one memcpy per column (flash/array.cpp). This
+// is what makes checkpoint/resume cheap enough for 10^5..10^6-die fleets
+// (src/store/die_store.hpp).
+//
+// The byte-exact layout is specified normatively in docs/FORMATS.md — a
+// reader must be writable from that document alone. Summary:
+//
+//   FileHeader (192 B)  magic "FMKDIE3\n", version, family, die seed,
+//                       clock, temperature bits, noise-RNG state, column
+//                       table location, CRC-32 over the header itself
+//   column table        one 32 B entry per blob: (segment, column id,
+//                       offset, size, element size, CRC-32), the whole
+//                       table CRC-32-framed from the header
+//   blob region         raw little-endian column arrays, every blob
+//                       64-byte aligned, zero padding between
+//
+// Validation is eager and total: DieFileMap::open checks the header CRC,
+// the table CRC, every blob CRC, and every per-cell domain rule (the same
+// rules Cell::restore enforces) before returning. A map that opens is safe
+// to hydrate from with plain memcpys; a file that fails any check is
+// rejected with an IoStatus cause — truncated or bit-flipped inputs must
+// never crash (tests/store_test.cpp fuzzes this).
+//
+// Endianness: all integers and IEEE-754 values are little-endian on disk.
+// The header is encoded/decoded bytewise (host-order independent); the
+// column blobs are memcpy'd, so the v3 reader/writer refuse to run on a
+// big-endian host (IoStatus failure, not a wrong answer) — every deployment
+// target is little-endian, and the text formats remain available.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+
+class FlashArray;
+
+namespace v3 {
+
+/// File magic: text-mode mangling of the trailing '\n' breaks the match.
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'F', 'M', 'K', 'D',
+                                                       'I', 'E', '3', '\n'};
+inline constexpr std::uint32_t kVersion = 3;
+inline constexpr std::uint32_t kHeaderBytes = 192;
+inline constexpr std::uint32_t kTableEntryBytes = 32;
+inline constexpr std::size_t kBlobAlign = 64;
+inline constexpr std::size_t kFamilyBytes = 32;
+
+/// Per-cell column identifiers. The on-disk id is the enum value; ids not
+/// listed here are reserved for future writers and are skipped by this
+/// reader (forward compatibility — see docs/FORMATS.md).
+enum class ColumnId : std::uint32_t {
+  kTteFreshUs = 0,     ///< f32
+  kSusceptibility = 1, ///< f32
+  kEffCycles = 2,      ///< f64
+  kAnnealed = 3,       ///< f64
+  kLevel = 4,          ///< u8 (CellLevel raw value)
+  kDefect = 5,         ///< u8 (CellDefect raw value)
+  kMetastable = 6,     ///< u8 (0/1)
+  kMarginUs = 7,       ///< f32
+};
+inline constexpr std::uint32_t kNumColumns = 8;
+
+/// Bytes per element of a known column (4, 8, or 1).
+std::uint32_t column_elem_size(ColumnId c);
+
+}  // namespace v3
+
+/// A validated, read-only v3 die file: the mmap (or heap fallback) plus the
+/// parsed header and a per-segment pointer table into the blob region.
+///
+/// `open` performs *all* integrity and domain validation up front, so every
+/// accessor on a successfully opened map is infallible and every column
+/// pointer may be memcpy'd without further checks. The map is immutable and
+/// shareable: FlashArray holds a shared_ptr and hydrates segments lazily;
+/// the v3 writer copies clean segments' bytes straight back out of it.
+class DieFileMap {
+ public:
+  ~DieFileMap();
+  DieFileMap(const DieFileMap&) = delete;
+  DieFileMap& operator=(const DieFileMap&) = delete;
+
+  /// Map and validate `path`. On any failure — unreadable file, bad magic,
+  /// CRC mismatch, malformed table, out-of-domain cell values — returns
+  /// nullptr and puts the cause in `*status`. Never throws, never crashes
+  /// on hostile input.
+  static std::shared_ptr<const DieFileMap> open(const std::string& path,
+                                                IoStatus* status);
+
+  /// Validate an in-memory v3 image (testing / non-file transports). The
+  /// bytes are copied into the map (no mmap).
+  static std::shared_ptr<const DieFileMap> from_bytes(std::string bytes,
+                                                      IoStatus* status);
+
+  // --- header ------------------------------------------------------------
+  const std::string& family() const { return family_; }
+  std::uint64_t die_seed() const { return die_seed_; }
+  std::int64_t clock_ns() const { return clock_ns_; }
+  double temperature_c() const { return temperature_c_; }
+  const Rng::State& noise_state() const { return noise_; }
+  std::uint32_t n_segments() const { return n_segments_; }
+
+  // --- columns -----------------------------------------------------------
+  bool has_segment(std::size_t seg) const {
+    return seg < columns_.size() && columns_[seg][0] != nullptr;
+  }
+  std::size_t n_present_segments() const { return n_present_; }
+  /// Validated little-endian bytes of one column of a present segment.
+  const std::uint8_t* column_data(std::size_t seg, v3::ColumnId c) const {
+    return columns_[seg][static_cast<std::uint32_t>(c)];
+  }
+  /// Element count of every column of segment `seg` (== its cell count).
+  std::size_t segment_cells(std::size_t seg) const { return cells_[seg]; }
+
+  /// True when the file is a live mmap (resume = map-and-go); false when it
+  /// was read into a heap buffer (mmap unavailable / non-regular file).
+  bool mapped() const { return map_base_ != nullptr; }
+  std::size_t file_bytes() const { return size_; }
+
+ private:
+  DieFileMap() = default;
+  static std::shared_ptr<const DieFileMap> validate(
+      std::shared_ptr<DieFileMap> m, IoStatus* status);
+  const std::uint8_t* data() const;
+
+  // Exactly one of these backs the bytes.
+  void* map_base_ = nullptr;  ///< mmap base (munmap'd by the destructor)
+  std::string buffer_;        ///< heap fallback
+  std::size_t size_ = 0;
+
+  std::string family_;
+  std::uint64_t die_seed_ = 0;
+  std::int64_t clock_ns_ = 0;
+  double temperature_c_ = 25.0;
+  Rng::State noise_;
+  std::uint32_t n_segments_ = 0;
+  std::size_t n_present_ = 0;
+  std::vector<std::array<const std::uint8_t*, v3::kNumColumns>> columns_;
+  std::vector<std::size_t> cells_;
+};
+
+/// Serialize complete die state as a v3 file image. The array supplies the
+/// cell columns, temperature, die seed, and noise-RNG state; `family` and
+/// `clock_ns` come from the owning device (mcu/persist.cpp passes them).
+/// Columns of hydrated segments are memcpy'd from the SoA arrays; columns of
+/// segments still backed by an open DieFileMap are copied straight from the
+/// map (they were validated at open and cannot have changed — dirty
+/// segments are hydrated by definition). Untouched lazy segments are
+/// omitted, as in v1/v2: they re-manufacture identically from the die seed.
+/// Throws std::runtime_error on a big-endian host or an over-long family.
+std::string serialize_die_v3(const FlashArray& array, const std::string& family,
+                             std::int64_t clock_ns);
+
+}  // namespace flashmark

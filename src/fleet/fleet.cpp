@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "session/resumable.hpp"
+#include "store/die_store.hpp"
 #include "util/fsio.hpp"
 #include "util/rng.hpp"
 #include "util/siphash.hpp"
@@ -796,6 +797,122 @@ AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
         if (fhal) counters.absorb_faults(*fhal);
       },
       opts);
+  return out;
+}
+
+namespace {
+
+/// Fold the store's gauges after a store-backed batch (values are
+/// scheduling-dependent at threads > 1: outside the §6 contract).
+void fold_store_stats(const store::DieStore& store) {
+  if (obs::metrics_enabled())
+    store.fold_into(obs::MetricsRegistry::global(), "store");
+}
+
+}  // namespace
+
+ImprintBatchResult imprint_batch(
+    store::DieStore& dies, std::size_t n_dies, std::size_t segment,
+    const std::function<WatermarkSpec(std::size_t)>& spec_of,
+    const FleetOptions& opts) {
+  ImprintBatchResult out;
+  out.reports.resize(n_dies);
+  out.fleet = run_dies(
+      n_dies,
+      [&](std::size_t die, DieCounters& counters, DieProgress& token) {
+        store::DieStore::PinnedDie dev = dies.pin(die);
+        dev->controller().reset_op_counters();
+        const SimTime before = dev->clock().now();
+        const Addr addr = dev->config().geometry.segment_base(segment);
+        ImprintOptions io;
+        const WatermarkSpec spec = spec_of(die);
+        io.npe = spec.npe;
+        io.strategy = spec.strategy;
+        io.accelerated = spec.accelerated;
+        io.max_retries = spec.max_retries;
+        io.cancelled = [&token] { return token.cancel_requested(); };
+        io.on_cycle = [&token](std::uint32_t) { token.tick(); };
+        try {
+          out.reports[die] = imprint_watermark(dev->hal(), addr, spec, io);
+          counters.retries += out.reports[die].retries;
+        } catch (...) {
+          counters.absorb(*dev);
+          counters.sim_time -= before;
+          throw;
+        }
+        counters.absorb(*dev);
+        counters.sim_time -= before;
+      },
+      opts);
+  fold_store_stats(dies);
+  return out;
+}
+
+ExtractBatchResult extract_batch(store::DieStore& dies, std::size_t n_dies,
+                                 std::size_t segment, const ExtractOptions& eo,
+                                 const FleetOptions& opts) {
+  ExtractBatchResult out;
+  out.results.resize(n_dies);
+  out.fleet = run_dies(
+      n_dies,
+      [&](std::size_t die, DieCounters& counters, DieProgress& token) {
+        store::DieStore::PinnedDie dev = dies.pin(die);
+        dev->controller().reset_op_counters();
+        const SimTime before = dev->clock().now();
+        const Addr addr = dev->config().geometry.segment_base(segment);
+        ExtractOptions eo2 = eo;
+        const std::function<bool()> user_cancel = eo.cancelled;
+        eo2.cancelled = [&token, user_cancel] {
+          token.tick();
+          return token.cancel_requested() || (user_cancel && user_cancel());
+        };
+        try {
+          out.results[die] = extract_flashmark(dev->hal(), addr, eo2);
+          counters.retries += out.results[die].retries;
+        } catch (...) {
+          counters.absorb(*dev);
+          counters.sim_time -= before;
+          throw;
+        }
+        counters.absorb(*dev);
+        counters.sim_time -= before;
+      },
+      opts);
+  fold_store_stats(dies);
+  return out;
+}
+
+AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
+                             std::size_t segment, const VerifyOptions& vo,
+                             const FleetOptions& opts) {
+  AuditBatchResult out;
+  out.reports.resize(n_dies);
+  out.fleet = run_dies(
+      n_dies,
+      [&](std::size_t die, DieCounters& counters, DieProgress& token) {
+        store::DieStore::PinnedDie dev = dies.pin(die);
+        dev->controller().reset_op_counters();
+        const SimTime before = dev->clock().now();
+        const Addr addr = dev->config().geometry.segment_base(segment);
+        VerifyOptions vo2 = vo;
+        const std::function<bool()> user_cancel = vo.cancelled;
+        vo2.cancelled = [&token, user_cancel] {
+          token.tick();
+          return token.cancel_requested() || (user_cancel && user_cancel());
+        };
+        try {
+          out.reports[die] = verify_watermark(dev->hal(), addr, vo2);
+          counters.absorb_recovery(out.reports[die]);
+        } catch (...) {
+          counters.absorb(*dev);
+          counters.sim_time -= before;
+          throw;
+        }
+        counters.absorb(*dev);
+        counters.sim_time -= before;
+      },
+      opts);
+  fold_store_stats(dies);
   return out;
 }
 

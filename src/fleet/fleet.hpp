@@ -31,6 +31,10 @@ namespace flashmark::obs {
 class MetricsRegistry;
 }  // namespace flashmark::obs
 
+namespace flashmark::store {
+class DieStore;
+}  // namespace flashmark::store
+
 namespace flashmark::fleet {
 
 /// Derive the RNG seed of die `die_index` in a fleet grown from
@@ -383,5 +387,38 @@ AuditBatchResult audit_batch(const std::vector<std::unique_ptr<Device>>& dies,
                              const FleetOptions& opts = {},
                              const FaultPolicy& faults = {},
                              const SessionPolicy& session = {});
+
+// --- store-backed (out-of-core) batches ----------------------------------
+// The overloads below run the same per-die pipelines against a DieStore
+// (src/store/die_store.hpp) instead of an in-memory fleet vector: each job
+// pins its die for the duration of the job (loading it from its die file or
+// manufacturing it from seed on a miss) and releases it afterwards, so a
+// 10^6-die population runs with only `max_resident` dies in RAM. Results
+// are byte-identical to the all-resident overloads at any --threads value —
+// residency and eviction order affect only I/O, never die state
+// (docs/REPRODUCIBILITY.md §8). Store counters (hits/misses/evictions) are
+// folded into the metrics registry under `store.*` when metrics are on;
+// they are scheduling-dependent and outside the §6 byte-identity contract.
+// Dirty dies remain in the store after the batch — call
+// DieStore::flush_all() to persist the population.
+
+/// Imprint dies 0..n_dies-1 of the store's population. Unlike the in-memory
+/// overload the imprinted Devices stay in the store (`dies` is empty in the
+/// result); reports land in die-indexed slots as usual.
+ImprintBatchResult imprint_batch(
+    store::DieStore& dies, std::size_t n_dies, std::size_t segment,
+    const std::function<WatermarkSpec(std::size_t)>& spec_of,
+    const FleetOptions& opts = {});
+
+/// Extract the watermark bitmap of segment `segment` on dies 0..n_dies-1 of
+/// the store's population.
+ExtractBatchResult extract_batch(store::DieStore& dies, std::size_t n_dies,
+                                 std::size_t segment, const ExtractOptions& eo,
+                                 const FleetOptions& opts = {});
+
+/// Audit dies 0..n_dies-1 of the store's population.
+AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
+                             std::size_t segment, const VerifyOptions& vo,
+                             const FleetOptions& opts = {});
 
 }  // namespace flashmark::fleet

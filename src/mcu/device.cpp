@@ -31,4 +31,13 @@ Device::Device(DeviceConfig config, std::uint64_t die_seed)
   mcu_hal_ = std::make_unique<McuFlashHal>(*module_);
 }
 
+bool Device::dirty() const {
+  return array_->dirty() || clock_.now().as_ns() != clean_clock_ns_;
+}
+
+void Device::mark_clean() {
+  array_->mark_clean();
+  clean_clock_ns_ = clock_.now().as_ns();
+}
+
 }  // namespace flashmark

@@ -46,9 +46,20 @@ class Device {
   std::uint64_t die_seed() const { return die_seed_; }
 
   SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
   FlashArray& array() { return *array_; }
+  const FlashArray& array() const { return *array_; }
   FlashController& controller() { return *ctrl_; }
   McuFlashModule& flash_module() { return *module_; }
+
+  /// True when device state has diverged from the last mark_clean(): the
+  /// array is dirty (cells, noise-RNG position, temperature) or simulated
+  /// time has advanced. A fresh device is clean — it reproduces exactly from
+  /// (config, die_seed) — and checkpoint paths skip saving clean dies.
+  bool dirty() const;
+  /// Declare the current state persisted (called after a successful save,
+  /// and by the loaders on a freshly restored device).
+  void mark_clean();
 
   /// Direct HAL (host driving the controller API).
   FlashHal& hal() { return *direct_hal_; }
@@ -62,6 +73,7 @@ class Device {
   DeviceConfig config_;
   std::uint64_t die_seed_;
   SimClock clock_;
+  std::int64_t clean_clock_ns_ = 0;
   std::unique_ptr<FlashArray> array_;
   std::unique_ptr<FlashController> ctrl_;
   std::unique_ptr<McuFlashModule> module_;

@@ -1,10 +1,14 @@
 #include "mcu/persist.hpp"
 
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "flash/die_format.hpp"
 
 namespace flashmark {
 
@@ -14,7 +18,7 @@ DeviceConfig config_for_family(const std::string& family) {
   throw std::runtime_error("unknown device family: " + family);
 }
 
-void save_device(Device& dev, std::ostream& os) {
+void save_device(const Device& dev, std::ostream& os) {
   const Rng::State noise = dev.array().noise_rng_state();
   os << "FLASHMARK-DIE 2\n"
      << "family " << dev.config().family << "\n"
@@ -29,12 +33,24 @@ void save_device(Device& dev, std::ostream& os) {
   dev.array().save_segments(os);
 }
 
-IoStatus save_device_file(Device& dev, const std::string& path) {
-  std::ostringstream ss;
-  save_device(dev, ss);
-  if (!ss)
-    return IoStatus::failure("save_device_file: serialization failed");
-  return atomic_write_file(path, ss.str());
+IoStatus save_device_file(const Device& dev, const std::string& path,
+                          DieFileFormat format) {
+  std::string bytes;
+  if (format == DieFileFormat::kColumnarV3) {
+    try {
+      bytes = serialize_die_v3(dev.array(), dev.config().family,
+                               dev.clock().now().as_ns());
+    } catch (const std::exception& e) {
+      return IoStatus::failure(std::string("save_device_file: ") + e.what());
+    }
+  } else {
+    std::ostringstream ss;
+    save_device(dev, ss);
+    if (!ss)
+      return IoStatus::failure("save_device_file: serialization failed");
+    bytes = ss.str();
+  }
+  return atomic_write_file(path, bytes);
 }
 
 std::unique_ptr<Device> load_device(std::istream& is) {
@@ -70,6 +86,8 @@ std::unique_ptr<Device> load_device(std::istream& is) {
         tag != "noise_rng" || (has_cached != 0 && has_cached != 1))
       throw std::runtime_error("load_device: missing noise_rng");
     noise.has_cached_normal = has_cached == 1;
+    if (!std::isfinite(temperature))
+      throw std::runtime_error("load_device: non-finite temperature");
     try {
       dev->array().set_temperature_c(temperature);
     } catch (const std::exception& e) {
@@ -83,13 +101,75 @@ std::unique_ptr<Device> load_device(std::istream& is) {
   // (the behavior every v1 consumer was written against).
 
   dev->array().load_segments(is);
+  // A just-loaded device is the persisted state by definition.
+  dev->mark_clean();
   return dev;
 }
 
+namespace {
+
+/// Build a Device from a validated v3 map: geometry check, header restore,
+/// then attach the map as the array's lazy-hydration backing.
+std::unique_ptr<Device> device_from_map(
+    std::shared_ptr<const DieFileMap> map) {
+  DeviceConfig cfg;
+  try {
+    cfg = config_for_family(map->family());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("load_device: ") + e.what());
+  }
+  if (map->n_segments() != cfg.geometry.n_segments())
+    throw std::runtime_error("load_device: v3 segment count mismatch for " +
+                             map->family());
+  const double temperature = map->temperature_c();
+  if (!std::isfinite(temperature))
+    throw std::runtime_error("load_device: non-finite temperature");
+
+  auto dev = std::make_unique<Device>(cfg, map->die_seed());
+  dev->clock().advance(SimTime::ns(map->clock_ns()));
+  try {
+    dev->array().set_temperature_c(temperature);
+    dev->array().restore_noise_rng(map->noise_state());
+    dev->array().set_backing(std::move(map));  // validates per-segment shape
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("load_device: ") + e.what());
+  }
+  dev->mark_clean();
+  return dev;
+}
+
+bool has_v3_magic(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  char head[8] = {};
+  f.read(head, sizeof head);
+  return f.gcount() == 8 &&
+         std::memcmp(head, v3::kMagic.data(), v3::kMagic.size()) == 0;
+}
+
+}  // namespace
+
 std::unique_ptr<Device> load_device_file(const std::string& path) {
+  if (has_v3_magic(path)) {
+    IoStatus st;
+    auto map = DieFileMap::open(path, &st);
+    if (!map) throw std::runtime_error("load_device: " + st.error);
+    return device_from_map(std::move(map));
+  }
   std::ifstream f(path);
   if (!f) throw std::runtime_error("load_device: cannot open " + path);
   return load_device(f);
+}
+
+std::unique_ptr<Device> try_load_device_file(const std::string& path,
+                                             IoStatus* status) {
+  try {
+    auto dev = load_device_file(path);
+    if (status) *status = IoStatus::success();
+    return dev;
+  } catch (const std::exception& e) {
+    if (status) *status = IoStatus::failure(e.what());
+    return nullptr;
+  }
 }
 
 }  // namespace flashmark

@@ -1,23 +1,28 @@
 // Device persistence: save a simulated die to a file and load it back.
 //
-// Enables multi-step CLI workflows ("imprint today, verify tomorrow") and
-// exchanging die files between tools. Format is a versioned, human-readable
-// text file:
+// Enables multi-step CLI workflows ("imprint today, verify tomorrow"),
+// exchanging die files between tools, and the out-of-core DieStore
+// (src/store/die_store.hpp). Three on-disk formats coexist; all are
+// specified normatively in docs/FORMATS.md:
 //
-//   FLASHMARK-DIE 2
-//   family <preset name>
-//   seed <u64>
-//   clock_ns <i64>
-//   temperature_c <double>
-//   noise_rng <s0> <s1> <s2> <s3> <cached_bits> <has_cached>
-//   <FMSEGS block with every materialized segment's cell state>
+//   v1/v2  versioned human-readable text ("FLASHMARK-DIE <n>" header plus an
+//          FMSEGS cell block). v2 added junction temperature and the
+//          complete read-noise RNG stream state, so a reloaded die continues
+//          the exact draw sequence of the saved one — the property
+//          resumable imprint sessions depend on for byte-identical crash
+//          recovery. v1 files (no temperature/noise_rng lines) still load;
+//          their noise stream restarts from the die seed, the documented v1
+//          behavior.
+//   v3     binary columnar ("FMKDIE3\n" magic; mcu/die_format.hpp): the SoA
+//          cell columns as CRC-framed, 64-byte-aligned little-endian blobs.
+//          Saving is a memcpy per column; loading mmaps the file read-only
+//          and hydrates segments lazily. This is the default file format —
+//          checkpoints of large fleets are why it exists.
 //
-// Version 2 persists the junction temperature and the complete read-noise
-// RNG stream state, so a reloaded die continues the exact draw sequence of
-// the saved one — the property resumable imprint sessions depend on for
-// byte-identical crash recovery. Version 1 files (no temperature/noise_rng
-// lines) still load; their noise stream restarts from the die seed, which
-// was the documented v1 behavior.
+// `load_device_file` sniffs the leading magic, so every consumer reads all
+// three formats transparently; `save_device_file` writes v3 unless asked for
+// text. The stream API (`save_device`/`load_device`) stays text-only: it is
+// the human-readable interchange and diffing format.
 //
 // Remaining limitation (documented, by design): the device is rebuilt from
 // its family *preset* — custom PhysParams/geometry are not persisted.
@@ -36,19 +41,41 @@
 
 namespace flashmark {
 
-void save_device(Device& dev, std::ostream& os);
+/// On-disk representation selector for save_device_file.
+enum class DieFileFormat {
+  kColumnarV3,  ///< binary columnar, mmap-able (default)
+  kTextV2,      ///< human-readable text (interchange / debugging)
+};
+
+/// Serialize as v2 text (stream API is text-only by design).
+void save_device(const Device& dev, std::ostream& os);
 
 /// Atomically replace `path` with the serialized die (temp file + fsync +
 /// rename). The returned status is boolean-testable and carries the failure
-/// cause (errno text) when the save could not be made durable.
-IoStatus save_device_file(Device& dev, const std::string& path);
+/// cause (errno text) when the save could not be made durable. Does not
+/// mutate the device — callers that track dirtiness call Device::mark_clean
+/// after a successful save.
+IoStatus save_device_file(const Device& dev, const std::string& path,
+                          DieFileFormat format = DieFileFormat::kColumnarV3);
 
 /// Throws std::runtime_error on format errors, unknown family names, or
 /// invalid persisted state (truncated/corrupted input never crashes).
 std::unique_ptr<Device> load_device(std::istream& is);
+
+/// Load any die-file format (v1/v2 text or v3 columnar, sniffed by magic).
+/// A v3 file is mmap'd and attached as the array's backing: no cell data is
+/// copied until a segment is first touched. Throws std::runtime_error with
+/// the cause on any failure.
 std::unique_ptr<Device> load_device_file(const std::string& path);
 
-/// Family preset lookup used by the loader ("MSP430F5438", "MSP430F5529").
+/// Non-throwing variant of load_device_file: returns nullptr and puts the
+/// cause in `*status` instead of throwing. The form batch/store machinery
+/// wants — a corrupt die file in a 10^5-die fleet is a per-die error, not a
+/// process abort.
+std::unique_ptr<Device> try_load_device_file(const std::string& path,
+                                             IoStatus* status);
+
+/// Family preset lookup used by the loaders ("MSP430F5438", "MSP430F5529").
 DeviceConfig config_for_family(const std::string& family);
 
 }  // namespace flashmark

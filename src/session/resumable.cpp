@@ -131,6 +131,9 @@ class CheckpointSink {
     journal_.append({"ckpt", "cycles=" + std::to_string(cycles) +
                                  " file=" + name},
                     /*sync=*/durable_);
+    // The die on disk now equals the die in memory: clean until it moves
+    // again (the DieStore eviction path skips clean dies entirely).
+    dev_.mark_clean();
     note_live(cycles);
   }
 
@@ -266,6 +269,7 @@ ImprintReport run_imprint_session(const std::string& dir, Device& dev,
       !st)
     throw std::runtime_error("run_imprint_session: initial checkpoint: " +
                              st.error);
+  dev.mark_clean();
   JournalWriter journal = JournalWriter::create(
       imprint_journal_path(dir),
       {{"begin", begin.payload()}, {"ckpt", "cycles=0 file=" + ckpt_file_name(0)}},

@@ -1,0 +1,246 @@
+#include "store/die_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "flash/die_format.hpp"
+#include "mcu/persist.hpp"
+#include "obs/metrics.hpp"
+
+namespace flashmark::store {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f) std::fclose(f);
+  return f != nullptr;
+}
+
+}  // namespace
+
+DieStore::DieStore(DieStoreConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.dir.empty())
+    throw std::runtime_error("DieStore: directory must be set");
+  if (cfg_.max_resident == 0)
+    throw std::runtime_error("DieStore: max_resident must be > 0");
+  if (!cfg_.seed_of)
+    cfg_.seed_of = [](std::size_t die) {
+      return static_cast<std::uint64_t>(die);
+    };
+  if (const IoStatus st = make_dirs(cfg_.dir); !st)
+    throw std::runtime_error("DieStore: " + st.error);
+}
+
+DieStore::~DieStore() { flush_all(); }
+
+std::string DieStore::die_path(std::size_t die) const {
+  return cfg_.dir + "/die-" + std::to_string(die) + ".fm";
+}
+
+IoStatus DieStore::save_die(std::size_t die, const Device& dev) const {
+  std::string bytes;
+  try {
+    bytes = serialize_die_v3(dev.array(), dev.config().family,
+                             dev.clock().now().as_ns());
+  } catch (const std::exception& e) {
+    return IoStatus::failure(std::string("DieStore: ") + e.what());
+  }
+  return atomic_write_file(die_path(die), bytes, cfg_.durable);
+}
+
+DieStore::PinnedDie DieStore::pin(std::size_t die) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = map_.find(die);
+    if (it == map_.end()) break;
+    Entry& e = it->second;
+    if (e.busy) {
+      cv_.wait(lk);
+      continue;  // re-find: the entry may have been evicted meanwhile
+    }
+    ++e.pins;
+    e.lru = ++tick_;
+    ++stats_.hits;
+    return PinnedDie(this, die, e.dev.get());
+  }
+
+  // Miss: reserve the slot (busy, no device) and do the I/O unlocked.
+  Entry& e = map_[die];  // unordered_map references are insert-stable
+  e.busy = true;
+  ++stats_.misses;
+  lk.unlock();
+
+  std::unique_ptr<Device> dev;
+  std::string load_error;
+  const std::string path = die_path(die);
+  const bool from_file = file_exists(path);
+  if (from_file) {
+    IoStatus st;
+    dev = try_load_device_file(path, &st);
+    if (!dev)
+      load_error = "DieStore: die " + std::to_string(die) + ": " + st.error;
+    else
+      dev->array().set_kernel_mode(cfg_.device.kernel_mode);
+  } else {
+    try {
+      dev = std::make_unique<Device>(cfg_.device, cfg_.seed_of(die));
+    } catch (const std::exception& ex) {
+      load_error = std::string("DieStore: manufacture failed: ") + ex.what();
+    }
+  }
+
+  lk.lock();
+  if (!dev) {
+    map_.erase(die);
+    cv_.notify_all();
+    throw std::runtime_error(load_error);
+  }
+  if (from_file)
+    ++stats_.loads;
+  else
+    ++stats_.manufactures;
+  e.dev = std::move(dev);
+  e.busy = false;
+  e.pins = 1;
+  e.lru = ++tick_;
+  ++resident_;
+  evict_excess(lk);
+  cv_.notify_all();
+  return PinnedDie(this, die, map_[die].dev.get());
+}
+
+void DieStore::evict_excess(std::unique_lock<std::mutex>& lk) {
+  while (resident_ > cfg_.max_resident) {
+    auto victim = map_.end();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      Entry& e = it->second;
+      if (e.busy || e.pins > 0 || !e.dev) continue;
+      if (victim == map_.end() || e.lru < victim->second.lru) victim = it;
+    }
+    if (victim == map_.end()) return;  // all pinned/busy: over cap, allowed
+
+    const std::size_t vdie = victim->first;
+    Entry& ve = victim->second;
+    ve.busy = true;
+    Device* vdev = ve.dev.get();
+    const bool was_dirty = vdev->dirty();
+    lk.unlock();
+    // A clean die needs no write: its file (or its seed) already reproduces
+    // it byte-for-byte. Dirty state must land on disk before the drop.
+    const IoStatus st =
+        was_dirty ? save_die(vdie, *vdev) : IoStatus::success();
+    lk.lock();
+    if (st) {
+      ++stats_.evictions;
+      if (was_dirty) ++stats_.eviction_saves;
+      map_.erase(vdie);
+      --resident_;
+      cv_.notify_all();
+    } else {
+      // Never drop unsaved state: the die stays resident (over cap) and the
+      // failure is visible in stats/metrics.
+      ++stats_.eviction_errors;
+      ve.busy = false;
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void DieStore::unpin(std::size_t die) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = map_.find(die);
+  if (it == map_.end() || it->second.pins <= 0) return;  // defensive
+  --it->second.pins;
+  if (resident_ > cfg_.max_resident) evict_excess(lk);
+  cv_.notify_all();
+}
+
+void DieStore::PinnedDie::release() {
+  if (store_) store_->unpin(die_);
+  store_ = nullptr;
+  dev_ = nullptr;
+}
+
+IoStatus DieStore::flush(std::size_t die) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = map_.find(die);
+    if (it == map_.end()) return IoStatus::success();  // nothing resident
+    Entry& e = it->second;
+    if (e.busy) {
+      cv_.wait(lk);
+      continue;
+    }
+    if (!e.dev->dirty()) {
+      ++stats_.flush_clean_skips;
+      return IoStatus::success();
+    }
+    e.busy = true;
+    Device* dev = e.dev.get();
+    lk.unlock();
+    const IoStatus st = save_die(die, *dev);
+    lk.lock();
+    if (st) {
+      dev->mark_clean();
+      ++stats_.flushed_dirty;
+    }
+    e.busy = false;
+    cv_.notify_all();
+    return st;
+  }
+}
+
+IoStatus DieStore::flush_all() {
+  std::vector<std::size_t> dies;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    dies.reserve(map_.size());
+    for (const auto& [die, e] : map_) dies.push_back(die);
+  }
+  std::sort(dies.begin(), dies.end());
+  IoStatus first_error = IoStatus::success();
+  for (const std::size_t die : dies)
+    if (const IoStatus st = flush(die); !st && first_error)
+      first_error = st;
+  return first_error;
+}
+
+std::size_t DieStore::resident() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_;
+}
+
+DieStoreStats DieStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void DieStore::fold_into(obs::MetricsRegistry& reg,
+                         const std::string& prefix) const {
+  DieStoreStats s;
+  std::size_t res = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s = stats_;
+    res = resident_;
+  }
+  const auto g = [&](const char* name, std::uint64_t v) {
+    reg.gauge(prefix + "." + name).set(static_cast<double>(v));
+  };
+  g("hits", s.hits);
+  g("misses", s.misses);
+  g("loads", s.loads);
+  g("manufactures", s.manufactures);
+  g("evictions", s.evictions);
+  g("eviction_saves", s.eviction_saves);
+  g("eviction_errors", s.eviction_errors);
+  g("flushed_dirty", s.flushed_dirty);
+  g("flush_clean_skips", s.flush_clean_skips);
+  g("resident", res);
+}
+
+}  // namespace flashmark::store

@@ -1,0 +1,190 @@
+// Out-of-core die population: an LRU cache of resident Devices over a
+// directory of v3 die files.
+//
+// The fleet layer simulates populations far larger than RAM holds: a 10^6-die
+// lot at ~1 MB of columnar state per touched die would need a terabyte
+// resident. DieStore keeps at most `max_resident` dies in memory and spills
+// the rest to disk through the columnar format (flash/die_format.hpp), whose
+// zero-copy properties make the traffic cheap: eviction of a dirty die is a
+// memcpy of its columns into an atomic file replace, re-admission is
+// mmap + header parse (cell data hydrates lazily on first touch), and a
+// *clean* die is simply dropped — it re-manufactures from its seed or
+// re-maps from its file byte-identically, so nothing needs writing.
+//
+// Concurrency: all operations are thread-safe. A fleet job pins its die for
+// the duration of the job (PinnedDie, RAII); pinned dies are never evicted,
+// and the store may temporarily exceed `max_resident` when more dies are
+// pinned than the cap allows. Disk I/O (load, eviction save) happens outside
+// the store lock, so unrelated dies stay available while one is in flight.
+//
+// Determinism: which dies are resident at any instant — and therefore the
+// hit/miss/eviction counters — depends on scheduling at threads > 1, exactly
+// like wall-clock times. Die *state* does not: a die's bytes after a batch
+// are identical whether it stayed resident throughout or was evicted and
+// reloaded ten times (tests/store_test.cpp asserts this). The store counters
+// are folded into the metrics registry as gauges but are excluded from the
+// byte-identical-export contract (docs/REPRODUCIBILITY.md §6/§8).
+//
+// Eviction never loses state: if a dirty die's save fails (disk full,
+// permission), the die stays resident, the failure is counted in
+// `eviction_errors`, and the store simply runs over capacity — the operator
+// sees the cause in stats/metrics instead of silent data loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "mcu/device.hpp"
+#include "util/fsio.hpp"
+
+namespace flashmark::obs {
+class MetricsRegistry;
+}  // namespace flashmark::obs
+
+namespace flashmark::store {
+
+struct DieStoreConfig {
+  /// Directory holding the die files (`die-<index>.fm`); created on
+  /// construction. Pre-existing files are the population's persisted state.
+  std::string dir;
+  /// Family preset + kernel mode every die of the population runs.
+  DeviceConfig device;
+  /// Resident-die cap. Pinned dies may push the store past it; eviction
+  /// restores the cap as pins release.
+  std::size_t max_resident = 1024;
+  /// fsync eviction/flush saves (crash-durable checkpoints). Off by default:
+  /// a store is a working set, not a journal — batch code that needs
+  /// durability points a SessionPolicy at the run instead.
+  bool durable = false;
+  /// die index -> die seed. The fleet overloads pass
+  /// fleet::derive_die_seed(master_seed, die); defaults to the identity.
+  std::function<std::uint64_t(std::size_t)> seed_of;
+};
+
+/// Monotonic operation counters (see the determinism note above: counter
+/// *values* are scheduling-dependent at threads > 1).
+struct DieStoreStats {
+  std::uint64_t hits = 0;          ///< pin() found the die resident
+  std::uint64_t misses = 0;        ///< pin() had to load or manufacture
+  std::uint64_t loads = 0;         ///< misses served from a die file
+  std::uint64_t manufactures = 0;  ///< misses served by fresh manufacture
+  std::uint64_t evictions = 0;     ///< dies dropped to enforce the cap
+  std::uint64_t eviction_saves = 0;   ///< evictions that had to write state
+  std::uint64_t eviction_errors = 0;  ///< failed saves (die kept resident)
+  std::uint64_t flushed_dirty = 0;    ///< explicit flushes that wrote state
+  std::uint64_t flush_clean_skips = 0;  ///< flushes skipped on a clean die
+};
+
+class DieStore {
+ public:
+  /// Creates `cfg.dir` if missing. Throws std::runtime_error when the
+  /// directory cannot be created.
+  explicit DieStore(DieStoreConfig cfg);
+
+  /// Best-effort flush of dirty residents (errors land in stats only).
+  /// Callers that must not lose state call flush_all() and check the status
+  /// before destruction. All pins must have been released.
+  ~DieStore();
+
+  DieStore(const DieStore&) = delete;
+  DieStore& operator=(const DieStore&) = delete;
+
+  /// RAII residency pin. While alive, the die stays resident and its
+  /// Device may be used freely by the pinning thread. Movable, not copyable.
+  class PinnedDie {
+   public:
+    PinnedDie() = default;
+    PinnedDie(PinnedDie&& o) noexcept { swap(o); }
+    PinnedDie& operator=(PinnedDie&& o) noexcept {
+      if (this != &o) {
+        release();
+        swap(o);
+      }
+      return *this;
+    }
+    ~PinnedDie() { release(); }
+
+    Device& operator*() const { return *dev_; }
+    Device* operator->() const { return dev_; }
+    Device* get() const { return dev_; }
+    explicit operator bool() const { return dev_ != nullptr; }
+
+   private:
+    friend class DieStore;
+    PinnedDie(DieStore* store, std::size_t die, Device* dev)
+        : store_(store), die_(die), dev_(dev) {}
+    void swap(PinnedDie& o) noexcept {
+      std::swap(store_, o.store_);
+      std::swap(die_, o.die_);
+      std::swap(dev_, o.dev_);
+    }
+    void release();
+
+    DieStore* store_ = nullptr;
+    std::size_t die_ = 0;
+    Device* dev_ = nullptr;
+  };
+
+  /// Make die `die` resident and pin it: a cache hit pins the resident
+  /// Device; a miss loads `die-<die>.fm` if it exists (any format; v3 maps
+  /// in without touching cell data) or manufactures the die fresh from
+  /// seed_of(die). May evict LRU unpinned dies to restore the cap. Throws
+  /// std::runtime_error when an existing die file is unreadable or corrupt —
+  /// per-die, so a fleet job's failure taxonomy catches it.
+  PinnedDie pin(std::size_t die);
+
+  /// Persist die `die` now if it is resident and dirty (atomic replace).
+  /// A clean or non-resident die is a successful no-op.
+  IoStatus flush(std::size_t die);
+
+  /// Flush every dirty resident die in ascending die order (deterministic).
+  /// Returns the first failure (after attempting all) or success.
+  IoStatus flush_all();
+
+  /// Number of dies currently resident.
+  std::size_t resident() const;
+
+  DieStoreStats stats() const;
+
+  /// Export the stats as gauges under `<prefix>.` plus a `resident` gauge.
+  /// Gauges (set, not add) so repeated folds are idempotent. These values
+  /// are scheduling-dependent at threads > 1 — outside the §6 byte-identity
+  /// contract, like heartbeats and wall times.
+  void fold_into(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// The die file path of `die` inside the store directory.
+  std::string die_path(std::size_t die) const;
+
+  const DieStoreConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Device> dev;
+    int pins = 0;
+    /// Load or save I/O in flight outside the lock; waiters sleep on cv_.
+    bool busy = false;
+    std::uint64_t lru = 0;
+  };
+
+  void unpin(std::size_t die);
+  /// Serialize + atomically write one die (no lock held).
+  IoStatus save_die(std::size_t die, const Device& dev) const;
+  /// Evict LRU unpinned dies until the cap holds (called with `lk` held;
+  /// unlocks around I/O).
+  void evict_excess(std::unique_lock<std::mutex>& lk);
+
+  DieStoreConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::size_t, Entry> map_;
+  std::size_t resident_ = 0;
+  std::uint64_t tick_ = 0;
+  DieStoreStats stats_;
+};
+
+}  // namespace flashmark::store

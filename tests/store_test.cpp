@@ -1,0 +1,410 @@
+// Columnar die format v3 + out-of-core DieStore: migration byte-identity,
+// corrupt-input robustness, and the residency-invariance contract.
+//
+// The headline guarantees under test (docs/FORMATS.md, DESIGN.md §13):
+//  * a die migrated v2 text -> v3 columnar carries state byte-for-byte,
+//  * a truncated or corrupted v3 file is rejected with an IoStatus cause —
+//    never a crash, never a silently wrong die,
+//  * a store-backed batch at residency 8 produces bit-identical results and
+//    bit-identical die files to an all-resident run, at any thread count.
+// These tests run under `ctest -L store` and in the sanitizer matrix.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/flashmark.hpp"
+#include "flash/die_format.hpp"
+#include "fleet/fleet.hpp"
+#include "mcu/persist.hpp"
+#include "store/die_store.hpp"
+#include "util/fsio.hpp"
+
+namespace flashmark {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kMaster = 0x57D1E5;
+const SipHashKey kKey{0xD1E, 0x107};
+
+/// Fresh scratch directory per test (removed on destruction).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+WatermarkSpec lot_spec(std::size_t die) {
+  WatermarkSpec spec;
+  spec.fields = {0x7C01, static_cast<std::uint32_t>(die), 2,
+                 TestStatus::kAccept, 0x3AA};
+  spec.key = kKey;
+  spec.n_replicas = 7;
+  spec.npe = 60'000;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  return spec;
+}
+
+VerifyOptions lot_verify() {
+  VerifyOptions vo;
+  vo.t_pew = SimTime::us(30);
+  vo.key = kKey;
+  vo.rounds = 3;
+  vo.n_reads = 3;
+  return vo;
+}
+
+/// A die in a representative persisted state: watermark + wear + data.
+std::unique_ptr<Device> make_rich_die(std::uint64_t seed) {
+  auto dev = std::make_unique<Device>(DeviceConfig::msp430f5438(), seed);
+  const auto& g = dev->config().geometry;
+  imprint_watermark(dev->hal(), g.segment_base(0), lot_spec(7));
+  dev->hal().wear_segment(g.segment_base(4), 20'000);
+  dev->hal().program_word(g.segment_base(5), 0xBEEF);
+  return dev;
+}
+
+std::string v3_image(const Device& dev) {
+  return serialize_die_v3(dev.array(), dev.config().family,
+                          dev.clock().now().as_ns());
+}
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  const IoStatus st = read_file(path, &out);
+  EXPECT_TRUE(st) << st.error;
+  return out;
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// The v3 image is canonical: serializing a die, loading it back, and
+// serializing again yields the same bytes (stable layout, stable CRCs) —
+// including from a die whose segments were never hydrated after the load.
+TEST(StoreFormatV3, RoundtripIsByteStable) {
+  ScratchDir dir("flashmark_store_v3_roundtrip");
+  const auto dev = make_rich_die(901);
+  const std::string image = v3_image(*dev);
+  EXPECT_EQ(image, v3_image(*dev));  // serialization is deterministic
+
+  const std::string path = dir.file("die.fm");
+  ASSERT_TRUE(save_device_file(*dev, path, DieFileFormat::kColumnarV3));
+  EXPECT_EQ(slurp(path), image);  // the file IS the image
+
+  auto back = load_device_file(path);
+  // Map-and-go: nothing hydrated yet, yet the re-serialization (straight
+  // from the mapped columns) is byte-identical.
+  EXPECT_EQ(v3_image(*back), image);
+  // And after forcing full hydration the bytes still do not move.
+  const auto& g = back->config().geometry;
+  for (std::size_t s = 0; s < g.n_segments(); ++s)
+    if (back->array().segment_present(s)) back->array().wear_stats(s);
+  EXPECT_EQ(v3_image(*back), image);
+}
+
+// v2 text -> v3 columnar migration carries every bit of die state: the v3
+// image of the migrated die equals the v3 image of the original, and the
+// watermark still verifies on the twice-migrated die.
+TEST(StoreFormatV3, V2MigrationIsByteIdentical) {
+  ScratchDir dir("flashmark_store_v2_migration");
+  const auto dev = make_rich_die(902);
+
+  const std::string v2_path = dir.file("die_v2.fm");
+  ASSERT_TRUE(save_device_file(*dev, v2_path, DieFileFormat::kTextV2));
+  auto from_v2 = load_device_file(v2_path);
+  EXPECT_EQ(v3_image(*from_v2), v3_image(*dev));
+
+  const std::string v3_path = dir.file("die_v3.fm");
+  ASSERT_TRUE(save_device_file(*from_v2, v3_path, DieFileFormat::kColumnarV3));
+  auto from_v3 = load_device_file(v3_path);
+  EXPECT_EQ(v3_image(*from_v3), v3_image(*dev));
+
+  // The round-trip back to text preserves the text form too (checked before
+  // the verify below, which legitimately advances the die's state).
+  std::stringstream direct, migrated;
+  save_device(*dev, direct);
+  save_device(*from_v3, migrated);
+  EXPECT_EQ(direct.str(), migrated.str());
+
+  // And the migrated die is behaviorally the same chip.
+  const VerifyReport r = verify_watermark(
+      from_v3->hal(), from_v3->config().geometry.segment_base(0),
+      lot_verify());
+  EXPECT_EQ(r.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(r.fields.has_value());
+  EXPECT_EQ(r.fields->die_id, 7u);
+}
+
+// Every truncation of a v3 image must be rejected with a cause — the
+// file_bytes field pins the exact size, so no prefix is a valid file.
+TEST(StoreFormatV3, TruncationsRejectWithCauseNeverCrash) {
+  auto dev = std::make_unique<Device>(DeviceConfig::msp430f5438(), 903);
+  dev->hal().program_word(dev->config().geometry.segment_base(0), 0x1234);
+  const std::string image = v3_image(*dev);
+
+  std::set<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 300 && n < image.size(); ++n)
+    lengths.insert(n);                                     // header + table
+  for (std::size_t n = 0; n < image.size(); n += 997) lengths.insert(n);
+  lengths.insert(image.size() - 1);
+  for (const std::size_t n : lengths) {
+    IoStatus st = IoStatus::success();
+    const auto map = DieFileMap::from_bytes(image.substr(0, n), &st);
+    EXPECT_EQ(map, nullptr) << "prefix of " << n << " bytes accepted";
+    EXPECT_FALSE(st) << n;
+    EXPECT_FALSE(st.error.empty()) << n;
+  }
+  // Trailing garbage is a size mismatch too, not silently ignored.
+  IoStatus st = IoStatus::success();
+  EXPECT_EQ(DieFileMap::from_bytes(image + "x", &st), nullptr);
+  EXPECT_FALSE(st);
+}
+
+// Single-byte corruption anywhere in the image either fails validation with
+// a cause or (flips confined to inter-blob padding, which carries no state)
+// loads a die that re-serializes byte-identical to the pristine image. In no
+// case does it crash or yield a silently different die.
+TEST(StoreFormatV3, CorruptionRejectsOrReloadsIdentically) {
+  ScratchDir dir("flashmark_store_v3_corrupt");
+  auto dev = std::make_unique<Device>(DeviceConfig::msp430f5438(), 904);
+  dev->hal().wear_segment(dev->config().geometry.segment_base(2), 5'000);
+  const std::string image = v3_image(*dev);
+  const std::string path = dir.file("die.fm");
+
+  std::set<std::size_t> positions;
+  for (std::size_t p = 0; p < 300 && p < image.size(); ++p)
+    positions.insert(p);                                   // header + table
+  for (std::size_t p = 0; p < image.size(); p += 1009) positions.insert(p);
+  positions.insert(image.size() - 1);
+
+  std::size_t rejected = 0, survived = 0;
+  for (const std::size_t p : positions) {
+    std::string mutated = image;
+    mutated[p] = static_cast<char>(mutated[p] ^ 0x5A);
+    spit(path, mutated);
+    IoStatus st = IoStatus::success();
+    const auto back = try_load_device_file(path, &st);
+    if (!back) {
+      EXPECT_FALSE(st.error.empty()) << "byte " << p;
+      ++rejected;
+    } else {
+      EXPECT_EQ(v3_image(*back), image) << "byte " << p;
+      ++survived;
+    }
+  }
+  // The CRCs must actually bite: the vast majority of flips are caught.
+  EXPECT_GT(rejected, positions.size() / 2);
+  // (Padding flips may survive — both counters are reported for the log.)
+  SUCCEED() << rejected << " rejected, " << survived
+            << " padding survivors of " << positions.size();
+}
+
+// Eviction persists dirty state and re-admission restores it: a store with
+// room for 2 dies cycles 6 through residency without losing a bit.
+TEST(DieStore, EvictionPersistsAndReloads) {
+  ScratchDir dir("flashmark_store_evict");
+  store::DieStoreConfig cfg;
+  cfg.dir = dir.str();
+  cfg.device = DeviceConfig::msp430f5438();
+  cfg.max_resident = 2;
+  store::DieStore dies(cfg);
+
+  for (std::size_t die = 0; die < 6; ++die) {
+    store::DieStore::PinnedDie d = dies.pin(die);
+    d->hal().program_word(d->config().geometry.segment_base(0),
+                          static_cast<std::uint16_t>(0xA000 + die));
+  }
+  const store::DieStoreStats mid = dies.stats();
+  EXPECT_EQ(mid.misses, 6u);
+  EXPECT_EQ(mid.manufactures, 6u);
+  EXPECT_GE(mid.evictions, 4u);
+  EXPECT_EQ(mid.eviction_saves, mid.evictions);  // every die was dirty
+  EXPECT_EQ(mid.eviction_errors, 0u);
+  EXPECT_LE(dies.resident(), 2u);
+
+  for (std::size_t die = 0; die < 6; ++die) {
+    store::DieStore::PinnedDie d = dies.pin(die);
+    EXPECT_EQ(d->hal().read_word(d->config().geometry.segment_base(0)),
+              0xA000 + die)
+        << die;
+  }
+  const store::DieStoreStats after = dies.stats();
+  EXPECT_GT(after.loads, 0u);       // round 2 was served from die files
+  EXPECT_GT(after.hits + after.loads, 0u);
+
+  // flush_all persists the stragglers; a brand-new store over the same
+  // directory (fresh process, fresh cache) sees the same population.
+  ASSERT_TRUE(dies.flush_all());
+  store::DieStore reopened(cfg);
+  for (std::size_t die = 0; die < 6; ++die) {
+    store::DieStore::PinnedDie d = reopened.pin(die);
+    EXPECT_EQ(d->hal().read_word(d->config().geometry.segment_base(0)),
+              0xA000 + die)
+        << die;
+  }
+  EXPECT_EQ(reopened.stats().loads, 6u);
+  EXPECT_EQ(reopened.stats().manufactures, 0u);
+}
+
+// A clean die (pinned but never touched) evicts without writing anything:
+// it re-manufactures from its seed byte-identically, so no file is needed.
+TEST(DieStore, CleanDiesEvictWithoutWriting) {
+  ScratchDir dir("flashmark_store_clean");
+  store::DieStoreConfig cfg;
+  cfg.dir = dir.str();
+  cfg.device = DeviceConfig::msp430f5438();
+  cfg.max_resident = 2;
+  store::DieStore dies(cfg);
+
+  for (std::size_t die = 0; die < 5; ++die) dies.pin(die);
+  const store::DieStoreStats s = dies.stats();
+  EXPECT_GE(s.evictions, 3u);
+  EXPECT_EQ(s.eviction_saves, 0u);  // nothing was dirty, nothing was written
+  for (std::size_t die = 0; die < 5; ++die)
+    EXPECT_FALSE(fs::exists(dies.die_path(die))) << die;
+  EXPECT_TRUE(dies.flush_all());
+  EXPECT_GE(dies.stats().flush_clean_skips, 1u);
+}
+
+// A corrupt die file fails the pin with a per-die cause (so a fleet job's
+// failure taxonomy catches it) and does not poison the rest of the store.
+TEST(DieStore, CorruptFileFailsPinWithCause) {
+  ScratchDir dir("flashmark_store_corrupt_pin");
+  store::DieStoreConfig cfg;
+  cfg.dir = dir.str();
+  cfg.device = DeviceConfig::msp430f5438();
+  cfg.max_resident = 4;
+  store::DieStore dies(cfg);
+  spit(dies.die_path(7), "FMKDIE3\nGARBAGE");
+
+  try {
+    dies.pin(7);
+    FAIL() << "corrupt die file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("die 7"), std::string::npos)
+        << e.what();
+  }
+  // The neighboring die is unaffected.
+  store::DieStore::PinnedDie d = dies.pin(8);
+  EXPECT_TRUE(d);
+  EXPECT_EQ(dies.resident(), 1u);
+}
+
+// The residency-invariance contract, end to end: a 256-die store-backed
+// imprint + audit at residency 8 produces bit-identical audit reports to an
+// all-resident in-memory run, at threads 1, 4, and 16 — and the die files
+// left behind by every store run are byte-identical to each other.
+TEST(DieStore, ThrashMatchesAllResidentAuditAtAnyThreadCount) {
+  constexpr std::size_t kDies = 256;
+  const DeviceConfig cfg = DeviceConfig::msp430f5438();
+
+  struct Snapshot {
+    std::vector<Verdict> verdicts;
+    std::vector<std::uint32_t> die_ids;
+    std::vector<double> zero_fractions;  // EXPECT_EQ: bitwise
+    std::vector<std::int64_t> sim_times_ns;
+  };
+  auto snapshot_of = [&](const fleet::AuditBatchResult& audited) {
+    Snapshot s;
+    for (std::size_t d = 0; d < kDies; ++d) {
+      s.verdicts.push_back(audited.reports[d].verdict);
+      s.die_ids.push_back(audited.reports[d].fields
+                              ? audited.reports[d].fields->die_id
+                              : 0xFFFFFFFF);
+      s.zero_fractions.push_back(audited.reports[d].zero_fraction);
+      s.sim_times_ns.push_back(audited.fleet.dies[d].sim_time.as_ns());
+    }
+    return s;
+  };
+
+  // Reference: the existing all-resident batches.
+  Snapshot reference;
+  {
+    fleet::FleetOptions fo;
+    fo.threads = 4;
+    auto imprinted = fleet::imprint_batch(cfg, kMaster, kDies, 0, lot_spec, fo);
+    ASSERT_EQ(imprinted.fleet.failures(), 0u);
+    auto audited = fleet::audit_batch(imprinted.dies, 0, lot_verify(), fo);
+    ASSERT_EQ(audited.fleet.failures(), 0u);
+    reference = snapshot_of(audited);
+  }
+
+  // Store-backed: same population through an 8-die residency window.
+  std::vector<ScratchDir> dirs;
+  dirs.reserve(3);
+  const unsigned thread_counts[] = {1, 4, 16};
+  std::vector<Snapshot> snaps;
+  for (const unsigned threads : thread_counts) {
+    dirs.emplace_back("flashmark_store_thrash_t" + std::to_string(threads));
+    store::DieStoreConfig sc;
+    sc.dir = dirs.back().str();
+    sc.device = cfg;
+    sc.max_resident = 8;
+    sc.seed_of = [](std::size_t die) {
+      return fleet::derive_die_seed(kMaster, die);
+    };
+    store::DieStore dies(sc);
+
+    fleet::FleetOptions fo;
+    fo.threads = threads;
+    auto imprinted = fleet::imprint_batch(dies, kDies, 0, lot_spec, fo);
+    ASSERT_EQ(imprinted.fleet.failures(), 0u);
+    auto audited = fleet::audit_batch(dies, kDies, 0, lot_verify(), fo);
+    ASSERT_EQ(audited.fleet.failures(), 0u);
+    ASSERT_TRUE(dies.flush_all());
+
+    const store::DieStoreStats s = dies.stats();
+    EXPECT_GT(s.evictions, kDies) << threads;  // the window really thrashed
+    EXPECT_EQ(s.eviction_errors, 0u) << threads;
+    EXPECT_LE(dies.resident(), std::size_t(8) + threads) << threads;
+    snaps.push_back(snapshot_of(audited));
+  }
+
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i].verdicts, reference.verdicts) << thread_counts[i];
+    EXPECT_EQ(snaps[i].die_ids, reference.die_ids) << thread_counts[i];
+    EXPECT_EQ(snaps[i].zero_fractions, reference.zero_fractions)
+        << thread_counts[i];
+    EXPECT_EQ(snaps[i].sim_times_ns, reference.sim_times_ns)
+        << thread_counts[i];
+  }
+  for (std::size_t d = 0; d < kDies; ++d) {
+    EXPECT_EQ(reference.verdicts[d], Verdict::kGenuine) << d;
+    EXPECT_EQ(reference.die_ids[d], d) << d;
+  }
+
+  // The persisted population is residency- and schedule-invariant too:
+  // every die file is byte-identical across the three runs.
+  for (std::size_t d = 0; d < kDies; ++d) {
+    const std::string t1 = slurp(dirs[0].file("die-" + std::to_string(d) +
+                                              ".fm"));
+    ASSERT_FALSE(t1.empty()) << d;
+    for (std::size_t i = 1; i < dirs.size(); ++i)
+      EXPECT_EQ(slurp(dirs[i].file("die-" + std::to_string(d) + ".fm")), t1)
+          << "die " << d << " differs between threads=1 and threads="
+          << thread_counts[i];
+  }
+}
+
+}  // namespace
+}  // namespace flashmark

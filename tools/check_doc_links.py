@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Cross-reference checker for the repo's documentation.
+
+Walks README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md and verifies that
+every reference resolves:
+
+  * markdown links `[text](target)` whose target is a relative path
+    (anchors stripped, external URLs ignored) point at an existing file;
+  * backticked repo paths (`src/...`, `docs/...`, `tests/...`, `bench/...`,
+    `examples/...`, `tools/...`, and root-level `*.md`) exist — `*`
+    wildcards are globbed and must match at least one file;
+  * section references of the form `FILE.md §N` land on a real `## N.`
+    heading in the target file.
+
+Exit 0 when everything resolves; exit 1 with one `file:line: message` per
+failure otherwise. Runs as the `docs_link_check` ctest in tier-1, so a doc
+that names a file which was later renamed fails CI instead of rotting.
+"""
+import glob
+import os
+import re
+import sys
+
+DOC_SET = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+DOC_GLOBS = ["docs/*.md"]
+
+# Backticked tokens that look like repo paths. Tokens containing <>, $, or
+# spaces are templates/placeholders, not references.
+PATH_PREFIXES = ("src/", "docs/", "tests/", "bench/", "examples/", "tools/")
+BACKTICK_RE = re.compile(r"`([^`\s<>$]+)`")
+MDLINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SECTION_RE = re.compile(r"([A-Za-z0-9_./-]+\.md) §(\d+)")
+
+
+def is_repo_path(token: str) -> bool:
+    if token.startswith(PATH_PREFIXES):
+        return True
+    # Root-level markdown references like `DESIGN.md`.
+    return "/" not in token and token.endswith(".md")
+
+
+def resolve(root: str, token: str) -> bool:
+    """True when the token names at least one existing file. A bench or
+    example binary name (`bench/fig9_ber`) resolves via its source file."""
+    if "*" in token:
+        return bool(glob.glob(os.path.join(root, token)))
+    if os.path.exists(os.path.join(root, token)):
+        return True
+    return os.path.exists(os.path.join(root, token + ".cpp"))
+
+
+def section_numbers(path: str) -> set:
+    nums = set()
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"##\s+(\d+)[.\s]", line)
+            if m:
+                nums.add(int(m.group(1)))
+    return nums
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    docs = [p for p in DOC_SET if os.path.exists(os.path.join(root, p))]
+    for g in DOC_GLOBS:
+        docs.extend(
+            os.path.relpath(p, root) for p in glob.glob(os.path.join(root, g))
+        )
+
+    failures = []
+    sections = {}  # target md path -> set of `## N.` numbers
+    for doc in sorted(set(docs)):
+        doc_path = os.path.join(root, doc)
+        doc_dir = os.path.dirname(doc_path)
+        in_code_block = False
+        with open(doc_path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.lstrip().startswith("```"):
+                    in_code_block = not in_code_block
+                    continue
+
+                for m in MDLINK_RE.finditer(line):
+                    target = m.group(1).split("#")[0]
+                    if not target or "://" in target:
+                        continue
+                    if not (
+                        os.path.exists(os.path.join(doc_dir, target))
+                        or os.path.exists(os.path.join(root, target))
+                    ):
+                        failures.append(
+                            f"{doc}:{lineno}: broken link target '{target}'"
+                        )
+
+                if not in_code_block:
+                    for m in BACKTICK_RE.finditer(line):
+                        token = m.group(1).rstrip(".,;:")
+                        if is_repo_path(token) and not resolve(root, token):
+                            failures.append(
+                                f"{doc}:{lineno}: missing path `{token}`"
+                            )
+
+                for m in SECTION_RE.finditer(line):
+                    target, num = m.group(1), int(m.group(2))
+                    target_path = os.path.join(root, target)
+                    if not os.path.exists(target_path):
+                        # Already reported by the path checks above when
+                        # backticked; report here for bare references.
+                        failures.append(
+                            f"{doc}:{lineno}: section reference to missing "
+                            f"file '{target}'"
+                        )
+                        continue
+                    if target_path not in sections:
+                        sections[target_path] = section_numbers(target_path)
+                    if num not in sections[target_path]:
+                        failures.append(
+                            f"{doc}:{lineno}: '{target} §{num}' — no "
+                            f"'## {num}.' heading in {target}"
+                        )
+
+    for f in failures:
+        print(f, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(set(docs))} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
