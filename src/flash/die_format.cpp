@@ -283,10 +283,6 @@ std::shared_ptr<const DieFileMap> DieFileMap::validate(
     return nullptr;
   }
 
-  m->columns_.assign(m->n_segments_, {});
-  m->cells_.assign(m->n_segments_, 0);
-  std::vector<std::uint8_t> seen(std::size_t(m->n_segments_) *
-                                 v3::kNumColumns, 0);
   std::uint64_t prev_end = data_offset;
   for (std::uint32_t e = 0; e < n_entries; ++e) {
     const std::uint8_t* ent = table + std::size_t(e) * v3::kTableEntryBytes;
@@ -299,9 +295,11 @@ std::shared_ptr<const DieFileMap> DieFileMap::validate(
       reject(status, "table entry names an out-of-range segment");
       return nullptr;
     }
-    // Blobs must be 64-byte aligned, in ascending non-overlapping order.
+    // Blobs must be 64-byte aligned, in ascending non-overlapping order,
+    // and inside the file. The bounds check is overflow-safe: a crafted
+    // `off` near 2^64 would wrap `off + bytes` back into range.
     if (off % v3::kBlobAlign != 0 || off < prev_end || bytes == 0 ||
-        off + bytes > size) {
+        bytes > size || off > size - bytes) {
       reject(status, "table entry offsets malformed");
       return nullptr;
     }
@@ -321,14 +319,16 @@ std::shared_ptr<const DieFileMap> DieFileMap::validate(
       return nullptr;
     }
     const std::size_t count = static_cast<std::size_t>(bytes / elem);
-    if (seen[std::size_t(seg) * v3::kNumColumns + col]) {
+    DieFileMap::SegmentColumns& sc = m->segs_[seg];
+    const std::uint32_t bit = 1u << col;
+    if (sc.have & bit) {
       reject(status, "duplicate (segment, column) entry");
       return nullptr;
     }
-    seen[std::size_t(seg) * v3::kNumColumns + col] = 1;
-    if (m->cells_[seg] == 0)
-      m->cells_[seg] = count;
-    else if (m->cells_[seg] != count) {
+    sc.have |= bit;
+    if (sc.cells == 0)
+      sc.cells = count;
+    else if (sc.cells != count) {
       reject(status, "column lengths disagree within segment " +
                          std::to_string(seg));
       return nullptr;
@@ -339,21 +339,17 @@ std::shared_ptr<const DieFileMap> DieFileMap::validate(
                          std::to_string(col) + ")");
       return nullptr;
     }
-    m->columns_[seg][col] = blob;
+    sc.col[col] = blob;
   }
 
   // Every present segment must carry all 8 known columns.
-  for (std::uint32_t seg = 0; seg < m->n_segments_; ++seg) {
-    std::uint32_t have = 0;
-    for (std::uint32_t c = 0; c < v3::kNumColumns; ++c)
-      have += seen[std::size_t(seg) * v3::kNumColumns + c];
-    if (have == 0) continue;
-    if (have != v3::kNumColumns) {
+  constexpr std::uint32_t kAllColumns = (1u << v3::kNumColumns) - 1;
+  for (const auto& [seg, sc] : m->segs_) {
+    if (sc.have != kAllColumns) {
       reject(status,
              "segment " + std::to_string(seg) + " is missing columns");
       return nullptr;
     }
-    ++m->n_present_;
   }
   return m;
 }

@@ -40,7 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
+#include <unordered_map>
 
 #include "util/fsio.hpp"
 #include "util/rng.hpp"
@@ -116,15 +116,19 @@ class DieFileMap {
 
   // --- columns -----------------------------------------------------------
   bool has_segment(std::size_t seg) const {
-    return seg < columns_.size() && columns_[seg][0] != nullptr;
+    return segs_.find(seg) != segs_.end();
   }
-  std::size_t n_present_segments() const { return n_present_; }
+  std::size_t n_present_segments() const { return segs_.size(); }
   /// Validated little-endian bytes of one column of a present segment.
   const std::uint8_t* column_data(std::size_t seg, v3::ColumnId c) const {
-    return columns_[seg][static_cast<std::uint32_t>(c)];
+    return segs_.at(seg).col[static_cast<std::uint32_t>(c)];
   }
-  /// Element count of every column of segment `seg` (== its cell count).
-  std::size_t segment_cells(std::size_t seg) const { return cells_[seg]; }
+  /// Element count of every column of segment `seg` (== its cell count);
+  /// 0 for an absent segment.
+  std::size_t segment_cells(std::size_t seg) const {
+    const auto it = segs_.find(seg);
+    return it == segs_.end() ? 0 : it->second.cells;
+  }
 
   /// True when the file is a live mmap (resume = map-and-go); false when it
   /// was read into a heap buffer (mmap unavailable / non-regular file).
@@ -148,9 +152,16 @@ class DieFileMap {
   double temperature_c_ = 25.0;
   Rng::State noise_;
   std::uint32_t n_segments_ = 0;
-  std::size_t n_present_ = 0;
-  std::vector<std::array<const std::uint8_t*, v3::kNumColumns>> columns_;
-  std::vector<std::size_t> cells_;
+  /// One entry per *present* segment. Keyed sparsely: the header's
+  /// n_segments is attacker-controlled, so allocations here are bounded by
+  /// the column table's entry count (which must fit inside the file), not
+  /// by a 192-byte header's claim of up to 2^20 segments.
+  struct SegmentColumns {
+    std::array<const std::uint8_t*, v3::kNumColumns> col{};
+    std::size_t cells = 0;
+    std::uint32_t have = 0;  ///< bitmask of known columns seen so far
+  };
+  std::unordered_map<std::size_t, SegmentColumns> segs_;
 };
 
 /// Serialize complete die state as a v3 file image. The array supplies the

@@ -76,17 +76,32 @@ DieStore::PinnedDie DieStore::pin(std::size_t die) {
   std::unique_ptr<Device> dev;
   std::string load_error;
   const std::string path = die_path(die);
+  const std::uint64_t want_seed = cfg_.seed_of(die);
   const bool from_file = file_exists(path);
   if (from_file) {
     IoStatus st;
     dev = try_load_device_file(path, &st);
-    if (!dev)
+    if (!dev) {
       load_error = "DieStore: die " + std::to_string(die) + ": " + st.error;
-    else
+    } else if (dev->config().family != cfg_.device.family) {
+      // A stray or foreign file must fail the pin, not silently join the
+      // population with a different config than every other die.
+      load_error = "DieStore: die " + std::to_string(die) + ": " + path +
+                   " is family '" + dev->config().family +
+                   "' but the population is '" + cfg_.device.family + "'";
+      dev.reset();
+    } else if (dev->die_seed() != want_seed) {
+      load_error = "DieStore: die " + std::to_string(die) + ": " + path +
+                   " carries die seed " + std::to_string(dev->die_seed()) +
+                   " but seed_of(" + std::to_string(die) + ") = " +
+                   std::to_string(want_seed);
+      dev.reset();
+    } else {
       dev->array().set_kernel_mode(cfg_.device.kernel_mode);
+    }
   } else {
     try {
-      dev = std::make_unique<Device>(cfg_.device, cfg_.seed_of(die));
+      dev = std::make_unique<Device>(cfg_.device, want_seed);
     } catch (const std::exception& ex) {
       load_error = std::string("DieStore: manufacture failed: ") + ex.what();
     }
@@ -175,6 +190,15 @@ IoStatus DieStore::flush(std::size_t die) {
       cv_.wait(lk);
       continue;
     }
+    if (e.pins > 0) {
+      // Serializing a die that a pinning thread may be mutating is a data
+      // race, and the mark_clean() below would discard those mutations —
+      // a later clean-eviction would then drop unsaved state. The die's
+      // state persists on eviction or a flush after the pin releases.
+      ++stats_.flush_pinned_skips;
+      return IoStatus::failure("DieStore: die " + std::to_string(die) +
+                               " is pinned; flush skipped");
+    }
     if (!e.dev->dirty()) {
       ++stats_.flush_clean_skips;
       return IoStatus::success();
@@ -240,6 +264,7 @@ void DieStore::fold_into(obs::MetricsRegistry& reg,
   g("eviction_errors", s.eviction_errors);
   g("flushed_dirty", s.flushed_dirty);
   g("flush_clean_skips", s.flush_clean_skips);
+  g("flush_pinned_skips", s.flush_pinned_skips);
   g("resident", res);
 }
 

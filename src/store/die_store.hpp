@@ -78,6 +78,7 @@ struct DieStoreStats {
   std::uint64_t eviction_errors = 0;  ///< failed saves (die kept resident)
   std::uint64_t flushed_dirty = 0;    ///< explicit flushes that wrote state
   std::uint64_t flush_clean_skips = 0;  ///< flushes skipped on a clean die
+  std::uint64_t flush_pinned_skips = 0;  ///< flushes refused on a pinned die
 };
 
 class DieStore {
@@ -134,16 +135,23 @@ class DieStore {
   /// Device; a miss loads `die-<die>.fm` if it exists (any format; v3 maps
   /// in without touching cell data) or manufactures the die fresh from
   /// seed_of(die). May evict LRU unpinned dies to restore the cap. Throws
-  /// std::runtime_error when an existing die file is unreadable or corrupt —
+  /// std::runtime_error when an existing die file is unreadable, corrupt,
+  /// or does not match the population (wrong family or die seed) —
   /// per-die, so a fleet job's failure taxonomy catches it.
   PinnedDie pin(std::size_t die);
 
   /// Persist die `die` now if it is resident and dirty (atomic replace).
-  /// A clean or non-resident die is a successful no-op.
+  /// A clean or non-resident die is a successful no-op. A *pinned* die is
+  /// refused with a failure status (and counted in `flush_pinned_skips`):
+  /// serializing it would race with the pinning thread's mutations and the
+  /// post-save mark_clean() would discard them. Flush after the pin
+  /// releases — eviction persists pinned-then-released dirty dies anyway.
   IoStatus flush(std::size_t die);
 
   /// Flush every dirty resident die in ascending die order (deterministic).
-  /// Returns the first failure (after attempting all) or success.
+  /// Returns the first failure (after attempting all) or success; a pinned
+  /// die counts as a failure (see flush), so call with all pins released
+  /// when the result must mean "everything is on disk".
   IoStatus flush_all();
 
   /// Number of dies currently resident.

@@ -22,6 +22,7 @@
 #include "fleet/fleet.hpp"
 #include "mcu/persist.hpp"
 #include "store/die_store.hpp"
+#include "util/crc.hpp"
 #include "util/fsio.hpp"
 
 namespace flashmark {
@@ -180,6 +181,84 @@ TEST(StoreFormatV3, TruncationsRejectWithCauseNeverCrash) {
   EXPECT_FALSE(st);
 }
 
+// Little-endian field surgery on a v3 image, offsets per docs/FORMATS.md.
+std::uint32_t rd32(const std::string& s, std::size_t p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t(std::uint8_t(s[p + i])) << (8 * i);
+  return v;
+}
+std::uint64_t rd64(const std::string& s, std::size_t p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t(std::uint8_t(s[p + i])) << (8 * i);
+  return v;
+}
+void wr32(std::string* s, std::size_t p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) (*s)[p + i] = char(std::uint8_t(v >> (8 * i)));
+}
+void wr64(std::string* s, std::size_t p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) (*s)[p + i] = char(std::uint8_t(v >> (8 * i)));
+}
+
+constexpr std::size_t kHdrNEntries = 120;   // u32 column-table entry count
+constexpr std::size_t kHdrTableCrc = 124;   // u32 CRC-32 over the table
+constexpr std::size_t kHdrCrc = 188;        // u32 CRC-32 over bytes [0,188)
+constexpr std::size_t kTable = 192;         // table follows the header
+constexpr std::size_t kEntryBytes = 32;
+constexpr std::size_t kEntryOff = 8;        // u64 blob offset within entry
+constexpr std::size_t kEntrySize = 16;      // u64 blob size within entry
+
+/// Recompute the table and header CRCs so a crafted table is presented with
+/// *valid* framing — exactly what an attacker would do. The reader must
+/// reject such files on structural grounds, not lean on the CRCs.
+std::string reseal(std::string image) {
+  const std::size_t n = rd32(image, kHdrNEntries);
+  const auto* d = reinterpret_cast<const std::uint8_t*>(image.data());
+  wr32(&image, kHdrTableCrc, crc32_ieee(d + kTable, n * kEntryBytes));
+  wr32(&image, kHdrCrc, crc32_ieee(d, kHdrCrc));
+  return image;
+}
+
+// A crafted table with valid CRCs must not defeat the blob bounds check via
+// u64 wrap-around: `off + bytes` overflowing back into range would send the
+// blob-CRC pass reading far out of bounds.
+TEST(StoreFormatV3, CraftedTableRejectsOverflowingBlobBounds) {
+  auto dev = std::make_unique<Device>(DeviceConfig::msp430f5438(), 905);
+  dev->hal().program_word(dev->config().geometry.segment_base(0), 0x7777);
+  const std::string image = v3_image(*dev);
+  ASSERT_GE(rd32(image, kHdrNEntries), 1u);
+
+  // Sanity: resealing the pristine image is a no-op and it still loads.
+  {
+    IoStatus st = IoStatus::success();
+    EXPECT_NE(DieFileMap::from_bytes(reseal(image), &st), nullptr)
+        << st.error;
+  }
+  // (a) Offset near 2^64 (still 64-byte aligned): off + bytes wraps small.
+  {
+    std::string bad = image;
+    wr64(&bad, kTable + kEntryOff, ~std::uint64_t{0} - 63);
+    IoStatus st = IoStatus::success();
+    EXPECT_EQ(DieFileMap::from_bytes(reseal(bad), &st), nullptr);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.error.find("offsets malformed"), std::string::npos)
+        << st.error;
+  }
+  // (b) In-range offset with a size chosen so off + bytes wraps to a value
+  // inside the file.
+  {
+    std::string bad = image;
+    const std::uint64_t off = rd64(bad, kTable + kEntryOff);
+    wr64(&bad, kTable + kEntrySize, ~std::uint64_t{0} - off + 65);
+    IoStatus st = IoStatus::success();
+    EXPECT_EQ(DieFileMap::from_bytes(reseal(bad), &st), nullptr);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.error.find("offsets malformed"), std::string::npos)
+        << st.error;
+  }
+}
+
 // Single-byte corruption anywhere in the image either fails validation with
 // a cause or (flips confined to inter-blob padding, which carries no state)
 // loads a die that re-serializes byte-identical to the pristine image. In no
@@ -308,6 +387,83 @@ TEST(DieStore, CorruptFileFailsPinWithCause) {
   store::DieStore::PinnedDie d = dies.pin(8);
   EXPECT_TRUE(d);
   EXPECT_EQ(dies.resident(), 1u);
+}
+
+// flush() refuses a pinned die: saving it would race with the pinning
+// thread's mutations and mark_clean() would discard them. After the pin
+// releases, the same flush persists the die.
+TEST(DieStore, FlushRefusesPinnedDies) {
+  ScratchDir dir("flashmark_store_flush_pinned");
+  store::DieStoreConfig cfg;
+  cfg.dir = dir.str();
+  cfg.device = DeviceConfig::msp430f5438();
+  cfg.max_resident = 4;
+  store::DieStore dies(cfg);
+
+  store::DieStore::PinnedDie d = dies.pin(3);
+  d->hal().program_word(d->config().geometry.segment_base(0), 0xD1E5);
+  const IoStatus st = dies.flush(3);
+  EXPECT_FALSE(st);
+  EXPECT_NE(st.error.find("pinned"), std::string::npos) << st.error;
+  EXPECT_FALSE(fs::exists(dies.die_path(3)));
+  EXPECT_EQ(dies.stats().flush_pinned_skips, 1u);
+  EXPECT_FALSE(dies.flush_all());  // first failure propagates
+
+  d = store::DieStore::PinnedDie();  // release the pin
+  EXPECT_TRUE(dies.flush(3));
+  EXPECT_TRUE(fs::exists(dies.die_path(3)));
+  EXPECT_EQ(dies.stats().flushed_dirty, 1u);
+}
+
+// A die file whose family or seed does not match the population config
+// fails the pin with a cause instead of silently joining the batch as a
+// different chip.
+TEST(DieStore, MismatchedDieFileFailsPinWithCause) {
+  ScratchDir dir("flashmark_store_mismatch");
+  store::DieStoreConfig cfg;
+  cfg.dir = dir.str();
+  cfg.device = DeviceConfig::msp430f5438();
+  cfg.max_resident = 4;
+
+  {
+    store::DieStore dies(cfg);
+    store::DieStore::PinnedDie d = dies.pin(0);
+    d->hal().program_word(d->config().geometry.segment_base(0), 0xABCD);
+    d = store::DieStore::PinnedDie();
+    ASSERT_TRUE(dies.flush_all());
+  }
+
+  // Same directory, different per-die seed schedule: die-0.fm is now a
+  // stray file whose seed disagrees with seed_of(0).
+  store::DieStoreConfig reseeded = cfg;
+  reseeded.seed_of = [](std::size_t die) {
+    return static_cast<std::uint64_t>(die) + 999;
+  };
+  {
+    store::DieStore dies(reseeded);
+    try {
+      dies.pin(0);
+      FAIL() << "mismatched die seed accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Same directory, different family: the file must not load as an
+  // F5529 die.
+  store::DieStoreConfig refamilied = cfg;
+  refamilied.device = DeviceConfig::msp430f5529();
+  {
+    store::DieStore dies(refamilied);
+    try {
+      dies.pin(0);
+      FAIL() << "mismatched family accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("family"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 // The residency-invariance contract, end to end: a 256-die store-backed
