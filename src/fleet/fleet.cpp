@@ -73,6 +73,7 @@ const char* to_string(FailureReason r) {
     case FailureReason::kOther: return "other";
     case FailureReason::kDeadlineExceeded: return "deadline-exceeded";
     case FailureReason::kStalled: return "stalled";
+    case FailureReason::kShardLost: return "shard-lost";
   }
   return "unknown";
 }
@@ -202,13 +203,16 @@ std::size_t FleetReport::degraded() const {
 }
 
 void FleetReport::merge(const FleetReport& other) {
-  const std::size_t base = dies.size();
-  dies.reserve(base + other.dies.size());
-  for (const auto& d : other.dies) {
-    dies.push_back(d);
-    dies.back().die = base + d.die;
-  }
-  wall_ms += other.wall_ms;
+  // Rows keep their absolute die ids: a shard report for dies [1000, 1004)
+  // must fold in as dies 1000..1003, not as dies.size()+0..3. Callers that
+  // merge same-ranged batches (sequential sweeps re-running dies 0..n-1)
+  // get duplicate ids, which is what those rows mean — same die, new batch.
+  dies.insert(dies.end(), other.dies.begin(), other.dies.end());
+  // Merged batches are treated as concurrent (the sharded case this fold
+  // exists for): elapsed time is the slowest batch, total compute is the
+  // sum. Sequential-sweep callers read their true elapsed time off cpu_ms.
+  wall_ms = std::max(wall_ms, other.wall_ms);
+  cpu_ms += other.cpu_ms;
   if (threads_used == 0) threads_used = other.threads_used;
 }
 
@@ -261,8 +265,8 @@ void FleetReport::fold_into(obs::MetricsRegistry& reg,
 void FleetReport::print_summary(std::ostream& os) const {
   const DieCounters t = totals();
   os << "[fleet] " << dies.size() << " dies on " << threads_used
-     << " thread(s): wall " << wall_ms << " ms (sum of jobs " << t.wall_ms
-     << " ms), " << t.pe_cycles << " P/E cycles, " << t.erase_ops
+     << " thread(s): wall " << wall_ms << " ms (cpu " << cpu_ms
+     << " ms, sum of jobs " << t.wall_ms << " ms), " << t.pe_cycles << " P/E cycles, " << t.erase_ops
      << " erase / " << t.program_ops << " program / " << t.read_ops
      << " read ops, " << t.sim_time.as_sec() << " s simulated";
   if (t.faults_injected)
@@ -430,6 +434,7 @@ FleetReport run_dies(std::size_t n_dies, const SupervisedDieJob& job,
     }
   }
   report.wall_ms = ms_since(t0);
+  report.cpu_ms = report.wall_ms;
 
   if (obs::metrics_enabled()) {
     // Batches are issued sequentially from the caller's thread, so the

@@ -175,6 +175,7 @@ enum class FailureReason : std::uint8_t {
   kOther,             ///< any other exception
   kDeadlineExceeded,  ///< watchdog cancelled: per-die deadline blown
   kStalled,           ///< watchdog cancelled: heartbeat stopped advancing
+  kShardLost,         ///< lot shard worker died before reporting (src/lot)
 };
 
 const char* to_string(DieHealth h);
@@ -219,9 +220,16 @@ struct DieCounters {
 
 /// Result of one batch run: per-die counter rows plus batch-level totals.
 struct FleetReport {
-  std::vector<DieCounters> dies;  ///< indexed by die, pre-sized by run_dies
+  std::vector<DieCounters> dies;  ///< rows carrying their absolute die ids
   unsigned threads_used = 0;      ///< resolved worker count
-  double wall_ms = 0.0;           ///< wall time of the whole batch
+  double wall_ms = 0.0;           ///< wall time of the whole batch; after
+                                  ///< merge: max over the merged batches
+  /// Accumulated batch wall time: run_dies sets it to wall_ms, merge() sums
+  /// it. For concurrent shards (src/lot) this is the total compute span —
+  /// the honest "CPU-ish" figure — while wall_ms stays the max-of-shards
+  /// elapsed time. Merging shard reports used to sum wall_ms, overstating
+  /// a lot run's wall time N-fold.
+  double cpu_ms = 0.0;
 
   /// Sum of every per-die row (wall_ms sums too: total CPU-ish time, which
   /// exceeds `wall_ms` when threads overlap). `die` is set to dies.size().
@@ -233,8 +241,13 @@ struct FleetReport {
   /// Number of degraded (completed-with-recovery) slots.
   std::size_t degraded() const;
 
-  /// Merge another report's rows and wall time into this one (used by
-  /// benches that run several batches but want one summary).
+  /// Fold another report into this one: rows are appended PRESERVING their
+  /// absolute die ids (a shard report covering dies [1000, 1004) keeps
+  /// those ids — re-basing them as `dies.size() + d.die` silently corrupted
+  /// every non-zero-based range), wall_ms takes the max (merged batches are
+  /// assumed concurrent; the sequential-total lives in cpu_ms), and cpu_ms
+  /// sums. Used by the lot runner's shard fold and by benches that run
+  /// several batches but want one summary.
   void merge(const FleetReport& other);
 
   /// Per-die rows as CSV (die,wall_ms,pe_cycles,sim_ms,erase_ops,

@@ -1,0 +1,197 @@
+// Lot layer — population studies at manufacturing scale (10^5..10^6 dies).
+//
+// The fleet layer (src/fleet) fans one batch out over a thread pool; this
+// layer fans a *lot* out over shard worker processes on top of it. Each
+// shard owns a contiguous die range (shared-nothing: die seeds come from
+// derive_die_seed, so a shard needs only its range bounds), runs it through
+// fleet::run_dies, and streams back integer accumulators instead of per-die
+// reports — a million-die study never materializes a million VerifyReports.
+//
+// Shard-invariance contract (docs/REPRODUCIBILITY.md §9): the curve CSVs
+// are byte-identical for ANY shard count x thread count split of the same
+// lot. Floating-point Welford merging is not bit-associative, so the
+// contractual statistics are accumulated as exact integer sums (Σerr,
+// Σerr² per cell, in u64) and converted to doubles exactly once, at CSV
+// print time — integer addition is associative, so the fold order cannot
+// matter. Derived intervals use wilson_interval / variance_from_counts
+// (src/util/stats), which throw rather than fabricate values when a cell
+// has too few samples.
+//
+// Architecture is sketched in DESIGN.md §14; the bench driver is
+// bench/lot_study.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/watermark.hpp"
+#include "fleet/fleet.hpp"
+#include "mcu/device.hpp"
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+
+namespace flashmark::obs {
+class MetricsRegistry;
+}  // namespace flashmark::obs
+
+namespace flashmark::lot {
+
+/// One environmental corner a slice of the lot is exercised under.
+struct LotCondition {
+  double temperature_c = 25.0;    ///< die temperature during the whole flow
+  double pre_wear_cycles = 0.0;   ///< uniform segment aging before imprint
+                                  ///< (a part recycled from the field)
+
+  /// Deterministic short name used in CSV rows and metric keys,
+  /// e.g. "25C_w0" or "70C_w30000".
+  std::string label() const;
+};
+
+/// Full description of a lot study. Everything that decides a die's
+/// simulation is in here (plus the die index) — a shard can reconstruct its
+/// slice of the lot from (config, range) alone.
+struct LotConfig {
+  DeviceConfig device = DeviceConfig::msp430f5438();
+  std::uint64_t master_seed = 0xF1A5'0001;
+  std::uint64_t n_dies = 0;
+
+  /// Imprint stress sweep (x-axis of the detection/BER curves). Die i runs
+  /// npe_points[i % npe_points.size()] — striping by absolute die index, so
+  /// any contiguous shard split sees the same per-die assignment.
+  std::vector<std::uint32_t> npe_points = {20'000, 40'000, 60'000};
+  /// Environmental corners; die i runs
+  /// conditions[(i / npe_points.size()) % conditions.size()]. The default
+  /// recycled corner uses 1500 cycles of prior field wear — right on the
+  /// detection cliff, so the curves show detection degrading with reuse
+  /// and recovering with imprint depth (past ~3000 cycles the uniform
+  /// background wear swamps the differential contrast and detection
+  /// saturates at zero).
+  std::vector<LotCondition> conditions = {
+      {25.0, 0.0}, {70.0, 0.0}, {25.0, 1'500.0}, {70.0, 1'500.0}};
+
+  std::size_t segment = 0;       ///< watermark segment on every die
+  std::size_t n_replicas = 7;
+  SimTime t_pew = SimTime::us(28);
+  /// Present => watermarks are signed and verification checks signatures.
+  std::optional<SipHashKey> key;
+
+  /// Watermark fields imprinted on die `die` (die_id == die; the detector
+  /// counts a die only when the decoded die_id matches).
+  WatermarkFields fields_for(std::uint64_t die) const;
+
+  std::size_t n_cells() const { return npe_points.size() * conditions.size(); }
+  /// Cell index of die `die` (point-major: point * conditions + cond).
+  std::size_t cell_of(std::uint64_t die) const;
+};
+
+/// Execution knobs — these must never change the curves, only how fast they
+/// are produced (the shard-invariance contract).
+struct LotOptions {
+  /// Worker processes. 1 = run in-process (no fork); >= 2 forks that many
+  /// shard workers, each owning a contiguous die range. Workers are forked
+  /// before any thread exists, so the runner is safe under TSan/ASan.
+  unsigned shards = 1;
+  /// fleet::FleetOptions::threads inside each shard.
+  unsigned threads = 1;
+  /// Two-sided normal quantile for the confidence columns
+  /// (1.959963984540054 = 95%).
+  double ci_z = 1.959963984540054;
+  /// Keep every per-die counter row in LotResult::fleet. Off by default:
+  /// at lot scale only the unhealthy rows (degraded/failed) are retained,
+  /// the rest exist only as cell accumulators.
+  bool keep_all_rows = false;
+  /// Test hook: the shard that owns this absolute die index _exit(3)s
+  /// before finishing (simulates a crashed worker). SIZE_MAX = off.
+  std::uint64_t crash_at_die = UINT64_MAX;
+};
+
+/// Exact integer accumulator of one (npe point, condition) cell. All
+/// counts are associative sums — merging shard accumulators in any order
+/// yields identical bits, which is what makes the curve CSVs shard-count
+/// and thread-count invariant.
+struct LotCellAccum {
+  std::uint32_t point_idx = 0;  ///< index into LotConfig::npe_points
+  std::uint32_t cond_idx = 0;   ///< index into LotConfig::conditions
+
+  std::uint64_t n = 0;         ///< dies assigned to this cell
+  std::uint64_t detected = 0;  ///< genuine verdict + matching die_id
+  std::uint64_t failed = 0;    ///< die job failed (excluded from BER sums)
+
+  // BER sample sums over the n - failed completed dies. *_sq carries Σx²
+  // for variance_from_counts; per-die error counts fit u32, so u64 sums
+  // are exact far past 10^6 dies.
+  std::uint64_t raw_err = 0;       ///< Σ per-die raw segment bit errors
+  std::uint64_t raw_err_sq = 0;
+  std::uint64_t vote_err = 0;      ///< Σ per-die post-vote replica errors
+  std::uint64_t vote_err_sq = 0;
+  std::uint64_t raw_bits_per_die = 0;   ///< segment cells (constant per lot)
+  std::uint64_t vote_bits_per_die = 0;  ///< replica bits (constant per lot)
+
+  /// Sum `other` into this cell. Throws std::invalid_argument when the
+  /// cell identities or bit widths disagree (merging different lots).
+  void merge(const LotCellAccum& other);
+};
+
+/// Result of a lot study: the cell grid plus a fleet-style report of the
+/// interesting rows.
+struct LotResult {
+  LotConfig config;
+  std::vector<LotCellAccum> cells;  ///< n_cells() entries, point-major
+
+  /// Merged per-shard fleet report. Rows keep absolute die ids; unless
+  /// LotOptions::keep_all_rows, only degraded/failed rows are retained
+  /// (healthy dies live in `cells` only). A lost shard contributes one
+  /// kShardLost row per die of its range.
+  fleet::FleetReport fleet;
+
+  /// Host wall stats over every completed die job (merged across shards
+  /// via RunningStats::merge — diagnostic, NOT part of the byte-identity
+  /// contract).
+  RunningStats die_wall_ms;
+
+  unsigned shards_used = 0;
+  std::uint64_t shards_lost = 0;
+  double wall_ms = 0.0;  ///< end-to-end runner wall time (parent clock)
+
+  /// Detection-probability curve with Wilson confidence bounds:
+  /// npe,temperature_c,pre_wear_cycles,dies,failed,detected,p_detect,
+  /// ci_lo,ci_hi. Cells with zero dies print nan columns (explicitly — the
+  /// interval helpers are only called when counts allow them). Deterministic
+  /// and byte-identical across shard x thread splits.
+  std::string detection_csv(double z = 1.959963984540054) const;
+
+  /// Raw and voted BER curve with normal-approximation confidence bounds
+  /// on the mean:
+  /// npe,temperature_c,pre_wear_cycles,kind,dies_ok,bits_per_die,errors,
+  /// mean_ber,ci_lo,ci_hi. Cells with fewer than two completed dies print
+  /// nan bounds. Same byte-identity contract as detection_csv.
+  std::string ber_csv(double z = 1.959963984540054) const;
+
+  /// Fold the exact-integer slice into `reg` under `<prefix>`: per-cell
+  /// counters (`<prefix>.npe40000.70C_w0.detected`, ...) plus lot totals.
+  /// Shard bookkeeping (shards_used/shards_lost) and wall stats are
+  /// excluded — those may legitimately differ across splits, the folded
+  /// counters must not (docs/REPRODUCIBILITY.md §9).
+  void fold_into(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// One-paragraph human summary (dies, shards, detection totals, wall).
+  void print_summary(std::ostream& os) const;
+};
+
+/// Run the lot study described by `cfg`.
+///
+/// Shard workers are forked before any thread is created; each runs its
+/// contiguous die range through fleet::run_dies and streams its
+/// accumulators back over a pipe (binary, CRC-framed). The parent folds
+/// shard results in ascending shard order, so the fold is deterministic. A
+/// worker that dies (crash, nonzero exit, truncated/corrupt frame) poisons
+/// nothing: its whole range is recorded as FailureReason::kShardLost rows
+/// and per-cell `failed` counts, and the study completes.
+///
+/// Throws std::invalid_argument on an empty lot / empty grid.
+LotResult run_lot(const LotConfig& cfg, const LotOptions& opts = {});
+
+}  // namespace flashmark::lot

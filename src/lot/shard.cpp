@@ -1,0 +1,361 @@
+// Shard transport of the lot runner: fork workers, one contiguous die range
+// each, collect their serialized outcomes over pipes.
+//
+// The frame is little-endian, starts with "FMLT" + a version word, echoes
+// the shard's [begin, end) range (so a mixed-up pipe cannot be folded into
+// the wrong slot), and ends with a CRC-32 over everything before it. Any
+// structural defect — short read, bad magic, CRC mismatch, out-of-range
+// enum or die id — classifies the shard as lost; the runner then accounts
+// the whole range as FailureReason::kShardLost rather than trusting a
+// half-written frame.
+//
+// Workers are forked BEFORE any thread exists in the parent (run_lot forks
+// first, each child then builds its own fleet thread pool), which keeps the
+// fork/thread combination legal under TSan and ASan.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lot/lot_internal.hpp"
+#include "util/crc.hpp"
+
+namespace flashmark::lot::internal {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x544C4D46;  // "FMLT" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+// --- little-endian append/read helpers -----------------------------------
+
+void put_bytes(std::string& s, const void* p, std::size_t n) {
+  s.append(static_cast<const char*>(p), n);
+}
+
+void put_u8(std::string& s, std::uint8_t v) { put_bytes(s, &v, 1); }
+
+void put_u32(std::string& s, std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  put_bytes(s, b, 4);
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  put_bytes(s, b, 8);
+}
+
+void put_f64(std::string& s, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(s, bits);
+}
+
+/// Bounds-checked sequential reader over a frame.
+class Reader {
+ public:
+  explicit Reader(const std::string& s) : s_(s) {}
+
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > s_.size()) return false;
+    *v = static_cast<std::uint8_t>(s_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > s_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+      *v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(s_[pos_ + i]))
+            << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > s_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(s_[pos_ + i]))
+            << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool f64(double* v) {
+    std::uint64_t bits;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+  bool str(std::string* v, std::size_t max_len) {
+    std::uint32_t len;
+    if (!u32(&len) || len > max_len || pos_ + len > s_.size()) return false;
+    v->assign(s_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_all(int fd) {
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return out;
+    }
+    if (n == 0) return out;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::string serialize_shard(const ShardOutcome& out, std::uint64_t begin,
+                            std::uint64_t end) {
+  std::string s;
+  put_u32(s, kMagic);
+  put_u32(s, kVersion);
+  put_u64(s, begin);
+  put_u64(s, end);
+
+  put_f64(s, out.fleet.wall_ms);
+  put_f64(s, out.fleet.cpu_ms);
+  put_u32(s, out.fleet.threads_used);
+
+  put_u64(s, out.cells.size());
+  for (const auto& cell : out.cells) {
+    put_u32(s, cell.point_idx);
+    put_u32(s, cell.cond_idx);
+    put_u64(s, cell.n);
+    put_u64(s, cell.detected);
+    put_u64(s, cell.failed);
+    put_u64(s, cell.raw_err);
+    put_u64(s, cell.raw_err_sq);
+    put_u64(s, cell.vote_err);
+    put_u64(s, cell.vote_err_sq);
+    put_u64(s, cell.raw_bits_per_die);
+    put_u64(s, cell.vote_bits_per_die);
+  }
+
+  put_u64(s, out.die_wall_ms.count());
+  put_f64(s, out.die_wall_ms.mean());
+  put_f64(s, out.die_wall_ms.m2());
+  put_f64(s, out.die_wall_ms.min());
+  put_f64(s, out.die_wall_ms.max());
+
+  put_u64(s, out.fleet.dies.size());
+  for (const auto& row : out.fleet.dies) {
+    put_u64(s, row.die);
+    put_f64(s, row.wall_ms);
+    put_f64(s, row.pe_cycles);
+    put_u64(s, static_cast<std::uint64_t>(row.sim_time.as_ns()));
+    put_u64(s, row.erase_ops);
+    put_u64(s, row.program_ops);
+    put_u64(s, row.read_ops);
+    put_u64(s, row.faults_injected);
+    put_u64(s, row.retries);
+    put_u64(s, row.ecc_corrected);
+    put_u8(s, static_cast<std::uint8_t>(row.health));
+    put_u8(s, static_cast<std::uint8_t>(row.reason));
+    put_u8(s, row.failed ? 1 : 0);
+    put_u32(s, static_cast<std::uint32_t>(row.error.size()));
+    put_bytes(s, row.error.data(), row.error.size());
+  }
+
+  put_u32(s, crc32_ieee(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+  return s;
+}
+
+std::optional<ShardOutcome> deserialize_shard(const std::string& bytes,
+                                              const LotConfig& cfg,
+                                              std::uint64_t begin,
+                                              std::uint64_t end) {
+  if (bytes.size() < 4 + 4 + 8 + 8 + 4) return std::nullopt;
+  const std::size_t body = bytes.size() - 4;
+  Reader crc_r(bytes);
+  {
+    // Validate the trailer first: everything after this point may trust the
+    // frame's framing (but still bounds-checks every read).
+    std::string tail(bytes, body, 4);
+    Reader tr(tail);
+    std::uint32_t want = 0;
+    if (!tr.u32(&want)) return std::nullopt;
+    const std::uint32_t got = crc32_ieee(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), body);
+    if (want != got) return std::nullopt;
+  }
+
+  Reader r(bytes);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t b = 0, e = 0;
+  if (!r.u32(&magic) || magic != kMagic) return std::nullopt;
+  if (!r.u32(&version) || version != kVersion) return std::nullopt;
+  if (!r.u64(&b) || !r.u64(&e) || b != begin || e != end) return std::nullopt;
+
+  ShardOutcome out;
+  std::uint32_t threads = 0;
+  if (!r.f64(&out.fleet.wall_ms) || !r.f64(&out.fleet.cpu_ms) ||
+      !r.u32(&threads))
+    return std::nullopt;
+  out.fleet.threads_used = threads;
+
+  std::uint64_t n_cells = 0;
+  if (!r.u64(&n_cells) || n_cells != cfg.n_cells()) return std::nullopt;
+  out.cells.resize(static_cast<std::size_t>(n_cells));
+  const std::uint64_t range = end - begin;
+  std::uint64_t cell_dies = 0;
+  for (std::size_t i = 0; i < out.cells.size(); ++i) {
+    LotCellAccum& c = out.cells[i];
+    if (!r.u32(&c.point_idx) || !r.u32(&c.cond_idx) || !r.u64(&c.n) ||
+        !r.u64(&c.detected) || !r.u64(&c.failed) || !r.u64(&c.raw_err) ||
+        !r.u64(&c.raw_err_sq) || !r.u64(&c.vote_err) ||
+        !r.u64(&c.vote_err_sq) || !r.u64(&c.raw_bits_per_die) ||
+        !r.u64(&c.vote_bits_per_die))
+      return std::nullopt;
+    // Identity must match the grid slot, and the counts must be internally
+    // consistent with the shard's range.
+    if (c.point_idx != i / cfg.conditions.size() ||
+        c.cond_idx != i % cfg.conditions.size())
+      return std::nullopt;
+    if (c.detected + c.failed > c.n || c.n > range) return std::nullopt;
+    cell_dies += c.n;
+  }
+  if (cell_dies != range) return std::nullopt;
+
+  std::uint64_t wn = 0;
+  double wmean = 0, wm2 = 0, wmin = 0, wmax = 0;
+  if (!r.u64(&wn) || !r.f64(&wmean) || !r.f64(&wm2) || !r.f64(&wmin) ||
+      !r.f64(&wmax))
+    return std::nullopt;
+  try {
+    out.die_wall_ms = RunningStats::from_parts(
+        static_cast<std::size_t>(wn), wmean, wm2, wmin, wmax);
+  } catch (const std::exception&) {
+    return std::nullopt;  // NaN/negative-m2 parts: hostile or corrupt frame
+  }
+
+  std::uint64_t n_rows = 0;
+  if (!r.u64(&n_rows) || n_rows > range) return std::nullopt;
+  out.fleet.dies.resize(static_cast<std::size_t>(n_rows));
+  for (auto& row : out.fleet.dies) {
+    std::uint64_t die = 0, sim_ns = 0;
+    std::uint8_t health = 0, reason = 0, failed = 0;
+    if (!r.u64(&die) || !r.f64(&row.wall_ms) || !r.f64(&row.pe_cycles) ||
+        !r.u64(&sim_ns) || !r.u64(&row.erase_ops) ||
+        !r.u64(&row.program_ops) || !r.u64(&row.read_ops) ||
+        !r.u64(&row.faults_injected) || !r.u64(&row.retries) ||
+        !r.u64(&row.ecc_corrected) || !r.u8(&health) || !r.u8(&reason) ||
+        !r.u8(&failed) || !r.str(&row.error, 4096))
+      return std::nullopt;
+    if (die < begin || die >= end) return std::nullopt;
+    if (health > static_cast<std::uint8_t>(fleet::DieHealth::kFailed) ||
+        reason > static_cast<std::uint8_t>(fleet::FailureReason::kShardLost))
+      return std::nullopt;
+    row.die = static_cast<std::size_t>(die);
+    row.sim_time = SimTime::ns(static_cast<std::int64_t>(sim_ns));
+    row.health = static_cast<fleet::DieHealth>(health);
+    row.reason = static_cast<fleet::FailureReason>(reason);
+    row.failed = failed != 0;
+  }
+
+  if (r.pos() != body) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+std::vector<std::optional<ShardOutcome>> run_sharded(const LotConfig& cfg,
+                                                     const LotOptions& opts,
+                                                     unsigned slots) {
+  struct Slot {
+    pid_t pid = -1;
+    int fd = -1;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  std::vector<Slot> workers(slots);
+
+  for (unsigned s = 0; s < slots; ++s) {
+    Slot& w = workers[s];
+    shard_range(cfg.n_dies, slots, s, &w.begin, &w.end);
+    int fds[2];
+    if (::pipe(fds) != 0)
+      throw std::runtime_error("run_lot: pipe() failed");
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw std::runtime_error("run_lot: fork() failed");
+    }
+    if (pid == 0) {
+      // Worker: run the range, ship the frame, and _exit without running
+      // atexit handlers or flushing the parent's inherited stdio buffers.
+      ::close(fds[0]);
+      for (unsigned p = 0; p < s; ++p)
+        if (workers[p].fd >= 0) ::close(workers[p].fd);
+      int code = 0;
+      try {
+        const ShardOutcome out =
+            run_shard_range(cfg, w.begin, w.end, opts,
+                            /*allow_crash_hook=*/true);
+        if (!write_all(fds[1], serialize_shard(out, w.begin, w.end)))
+          code = 5;
+      } catch (const std::exception&) {
+        code = 4;
+      }
+      ::close(fds[1]);
+      ::_exit(code);
+    }
+    ::close(fds[1]);
+    w.pid = pid;
+    w.fd = fds[0];
+  }
+
+  // Drain pipes in shard order: the fold order — and with it every merged
+  // floating-point diagnostic — is deterministic regardless of which worker
+  // finishes first. (The contractual curves do not even need this: they are
+  // integer sums.)
+  std::vector<std::optional<ShardOutcome>> outcomes(slots);
+  for (unsigned s = 0; s < slots; ++s) {
+    Slot& w = workers[s];
+    const std::string frame = read_all(w.fd);
+    ::close(w.fd);
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(w.pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    const bool exited_ok =
+        r == w.pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (exited_ok)
+      outcomes[s] = deserialize_shard(frame, cfg, w.begin, w.end);
+  }
+  return outcomes;
+}
+
+}  // namespace flashmark::lot::internal

@@ -24,12 +24,93 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
-double RunningStats::variance() const {
-  if (n_ < 2) return 0.0;
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan/Golub/LeVeque pairwise update: combine the two means and M2 sums
+  // without revisiting samples. delta-based form is the numerically stable
+  // variant (the naive sum-of-squares difference cancels catastrophically).
+  const double n1 = static_cast<double>(n_);
+  const double n2 = static_cast<double>(other.n_);
+  const double nt = n1 + n2;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (n2 / nt);
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / nt);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+std::optional<double> RunningStats::variance() const {
+  if (n_ < 2) return std::nullopt;
   return m2_ / static_cast<double>(n_ - 1);
 }
 
-double RunningStats::stddev() const { return std::sqrt(variance()); }
+std::optional<double> RunningStats::stddev() const {
+  const std::optional<double> v = variance();
+  if (!v) return std::nullopt;
+  return std::sqrt(*v);
+}
+
+RunningStats RunningStats::from_parts(std::size_t n, double mean, double m2,
+                                      double min, double max) {
+  RunningStats s;
+  if (n == 0) return s;
+  if (std::isnan(mean) || std::isnan(m2) || std::isnan(min) || std::isnan(max))
+    throw std::invalid_argument("RunningStats::from_parts: NaN part");
+  if (m2 < 0.0)
+    throw std::invalid_argument("RunningStats::from_parts: negative m2");
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z) {
+  if (trials == 0)
+    throw std::invalid_argument("wilson_interval: zero trials");
+  if (successes > trials)
+    throw std::invalid_argument("wilson_interval: successes > trials");
+  if (!(z > 0.0) || !std::isfinite(z))
+    throw std::invalid_argument("wilson_interval: z must be finite and > 0");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  WilsonInterval w;
+  w.p_hat = p;
+  w.lo = center - half;
+  w.hi = center + half;
+  // The score interval is within [0,1] analytically; clamp the last-ulp
+  // rounding spill so consumers can rely on the bounds.
+  if (w.lo < 0.0) w.lo = 0.0;
+  if (w.hi > 1.0) w.hi = 1.0;
+  return w;
+}
+
+double variance_from_counts(std::uint64_t sum, std::uint64_t sum_sq,
+                            std::uint64_t n) {
+  if (n < 2)
+    throw std::invalid_argument(
+        "variance_from_counts: n < 2 — check count() before printing "
+        "intervals");
+  // n·Σx² − (Σx)² is exact in 128-bit arithmetic for any per-sample value
+  // up to ~2^31 over ~2^32 samples; by Cauchy–Schwarz it is non-negative.
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(n) * sum_sq -
+      static_cast<unsigned __int128>(sum) * sum;
+  return static_cast<double>(num) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty input");

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace flashmark {
@@ -14,13 +16,36 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Fold `other` into this accumulator (Chan et al. parallel Welford):
+  /// after the call this summarizes the union of both sample sets. Either
+  /// side may be empty (a fresh accumulator merges in as a no-op; merging
+  /// into a fresh one copies). The combined moments agree with a single
+  /// sequential pass to floating-point accuracy, NOT bit-for-bit — code
+  /// under a byte-identity contract must accumulate exact (integer) sums
+  /// and derive moments once at the fold point (see src/lot).
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
-  double variance() const;
-  double stddev() const;
+  /// Sample variance (n-1 denominator). std::nullopt when fewer than two
+  /// samples: the old 0.0 return was indistinguishable from a true
+  /// zero-variance population in downstream CSVs, so the undefined case is
+  /// now explicit at the type level.
+  std::optional<double> variance() const;
+  /// Sample standard deviation; std::nullopt when variance() is.
+  std::optional<double> stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  /// Sum of squared deviations from the mean (Welford's M2) — exposed so
+  /// accumulators can cross process boundaries (see from_parts).
+  double m2() const { return m2_; }
+
+  /// Rebuild an accumulator from serialized parts (the lot shard wire
+  /// format ships per-shard stats this way and merges them in the parent).
+  /// NaN parts and negative m2 are rejected with std::invalid_argument —
+  /// the same poisoning policy as add(). n == 0 ignores the other parts.
+  static RunningStats from_parts(std::size_t n, double mean, double m2,
+                                 double min, double max);
 
  private:
   std::size_t n_ = 0;
@@ -29,6 +54,31 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+/// Wilson score interval for a binomial proportion: the detection-probability
+/// confidence band of the lot-scale curves (src/lot). Unlike the normal
+/// ("Wald") interval it stays inside [0, 1] and behaves at p-hat near 0/1 —
+/// exactly the regime a good detector lives in. `z` is the two-sided normal
+/// quantile (1.959963984540054 for 95%). Throws std::invalid_argument when
+/// trials == 0, successes > trials, or z is not finite and positive.
+struct WilsonInterval {
+  double p_hat = 0.0;  ///< successes / trials
+  double lo = 0.0;
+  double hi = 0.0;
+};
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z);
+
+/// Sample variance (n-1 denominator) of n samples recovered from the exact
+/// integer sums Σx and Σx² of *integer-valued* samples. The sums are
+/// associative, so any sharded accumulation order yields bit-identical
+/// variance — the trick behind the lot layer's shard-invariance contract
+/// (docs/REPRODUCIBILITY.md §9). The numerator n·Σx² − (Σx)² is formed in
+/// 128-bit integer arithmetic (exact), then rounded once to double. Throws
+/// std::invalid_argument when n < 2 — callers print intervals only after
+/// checking count, never a silent 0.
+double variance_from_counts(std::uint64_t sum, std::uint64_t sum_sq,
+                            std::uint64_t n);
 
 /// p-th percentile (0..100) by linear interpolation between order statistics.
 /// Copies and sorts; fine for the segment-sized vectors we use. Throws

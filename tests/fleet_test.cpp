@@ -292,24 +292,32 @@ TEST(FleetFaults, FaultedAuditIsolatedAndThreadInvariant) {
   EXPECT_EQ(afflicted_seen, kDies / 4);
 }
 
-TEST(FleetReportMerge, ConcatenatesAndReindexes) {
-  auto mk = [](std::size_t n) {
+TEST(FleetReportMerge, PreservesAbsoluteDieIds) {
+  // Regression: merge() used to re-base every incoming row as
+  // dies.size() + d.die, corrupting the ids of any non-zero-based shard
+  // range — shard [1000, 1004) came out as dies 4..7.
+  auto mk = [](std::size_t begin, std::size_t n, double wall) {
     fleet::FleetReport r;
     r.dies.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      r.dies[i].die = i;
-      r.dies[i].erase_ops = 10 + i;
+      r.dies[i].die = begin + i;
+      r.dies[i].erase_ops = 10 + begin + i;
     }
-    r.wall_ms = 1.5;
+    r.wall_ms = wall;
+    r.cpu_ms = wall;
     r.threads_used = 2;
     return r;
   };
-  fleet::FleetReport a = mk(2);
-  a.merge(mk(3));
-  ASSERT_EQ(a.dies.size(), 5u);
-  EXPECT_EQ(a.dies[4].die, 4u);       // reindexed past the first batch
-  EXPECT_EQ(a.dies[4].erase_ops, 12u);  // row content preserved
-  EXPECT_DOUBLE_EQ(a.wall_ms, 3.0);
+  fleet::FleetReport a = mk(0, 4, 1.5);
+  a.merge(mk(1000, 4, 2.5));
+  ASSERT_EQ(a.dies.size(), 8u);
+  EXPECT_EQ(a.dies[3].die, 3u);
+  EXPECT_EQ(a.dies[4].die, 1000u);  // absolute id survives the fold
+  EXPECT_EQ(a.dies[7].die, 1003u);
+  EXPECT_EQ(a.dies[7].erase_ops, 10u + 1003u);  // row content preserved
+  // Shards run concurrently: wall is the slowest shard, cpu is the sum.
+  EXPECT_DOUBLE_EQ(a.wall_ms, 2.5);
+  EXPECT_DOUBLE_EQ(a.cpu_ms, 4.0);
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// Lot layer (src/lot): shard-invariance contract, shard wire format, and
+// lost-worker accounting.
+//
+// The headline test here is the byte-identity contract of
+// docs/REPRODUCIBILITY.md §9: the detection and BER curve CSVs — and the
+// folded `lot.*` metrics — must be identical bytes for ANY shard count x
+// thread count split of the same lot, because the contractual statistics
+// are exact integer sums (associative) converted to doubles once, at print
+// time.
+#include "lot/lot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lot/lot_internal.hpp"
+#include "obs/metrics.hpp"
+
+namespace flashmark {
+namespace {
+
+/// Small mixed-condition lot: 2 npe points x 2 corners = 4 cells, sized so
+/// every cell gets several dies and an 8-way shard split still has work in
+/// every shard.
+lot::LotConfig small_lot(std::uint64_t n_dies = 24) {
+  lot::LotConfig cfg;
+  cfg.n_dies = n_dies;
+  cfg.master_seed = 0xF1A5'0007;
+  cfg.npe_points = {2'000, 6'000};
+  cfg.conditions = {{25.0, 0.0}, {70.0, 1'000.0}};
+  return cfg;
+}
+
+/// The deterministic exports of one run, for byte comparison.
+struct CurveBytes {
+  std::string detection;
+  std::string ber;
+  std::string metrics;
+};
+
+CurveBytes curves_of(const lot::LotResult& r) {
+  CurveBytes c;
+  c.detection = r.detection_csv();
+  c.ber = r.ber_csv();
+  obs::MetricsRegistry reg;
+  r.fold_into(reg, "lot");
+  c.metrics = reg.to_csv();
+  return c;
+}
+
+TEST(LotStriping, CellOfDependsOnlyOnAbsoluteDieIndex) {
+  const lot::LotConfig cfg = small_lot();
+  // point-major grid: cell = point * C + cond, point = die % P,
+  // cond = (die / P) % C with P = C = 2.
+  EXPECT_EQ(cfg.n_cells(), 4u);
+  EXPECT_EQ(cfg.cell_of(0), 0u);  // point 0, cond 0
+  EXPECT_EQ(cfg.cell_of(1), 2u);  // point 1, cond 0
+  EXPECT_EQ(cfg.cell_of(2), 1u);  // point 0, cond 1
+  EXPECT_EQ(cfg.cell_of(3), 3u);  // point 1, cond 1
+  EXPECT_EQ(cfg.cell_of(4), 0u);  // stripe wraps
+  // Every die of a 24-die lot lands each cell exactly 6 times.
+  std::vector<int> per_cell(4, 0);
+  for (std::uint64_t d = 0; d < 24; ++d) ++per_cell[cfg.cell_of(d)];
+  for (int c : per_cell) EXPECT_EQ(c, 6);
+}
+
+TEST(LotShardRange, PartitionsContiguouslyAndCompletely) {
+  for (unsigned slots : {1u, 2u, 3u, 8u}) {
+    std::uint64_t expect_begin = 0;
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < slots; ++s) {
+      std::uint64_t b = 0, e = 0;
+      lot::internal::shard_range(23, slots, s, &b, &e);
+      EXPECT_EQ(b, expect_begin) << "slots " << slots << " shard " << s;
+      EXPECT_GE(e, b);
+      expect_begin = e;
+      total += e - b;
+    }
+    EXPECT_EQ(total, 23u) << "slots " << slots;
+  }
+}
+
+TEST(LotCellAccumTest, MergeSumsAndGuardsIdentity) {
+  lot::LotCellAccum a;
+  a.point_idx = 1;
+  a.cond_idx = 0;
+  a.n = 4;
+  a.detected = 3;
+  a.raw_err = 10;
+  a.raw_err_sq = 30;
+  a.raw_bits_per_die = 4096;
+  lot::LotCellAccum b = a;
+  b.n = 2;
+  b.detected = 2;
+  b.raw_err = 5;
+  b.raw_err_sq = 13;
+  a.merge(b);
+  EXPECT_EQ(a.n, 6u);
+  EXPECT_EQ(a.detected, 5u);
+  EXPECT_EQ(a.raw_err, 15u);
+  EXPECT_EQ(a.raw_err_sq, 43u);
+
+  lot::LotCellAccum wrong_cell = b;
+  wrong_cell.cond_idx = 1;
+  EXPECT_THROW(a.merge(wrong_cell), std::invalid_argument);
+  lot::LotCellAccum wrong_bits = b;
+  wrong_bits.raw_bits_per_die = 512;
+  EXPECT_THROW(a.merge(wrong_bits), std::invalid_argument);
+  // A zero width (shard that completed no die in the cell) is compatible.
+  lot::LotCellAccum empty_width = b;
+  empty_width.raw_bits_per_die = 0;
+  empty_width.n = 1;
+  EXPECT_NO_THROW(a.merge(empty_width));
+}
+
+// The acceptance-criterion matrix in miniature: shards {1, 2, 8} x threads
+// {1, 4} must produce byte-identical curve CSVs and byte-identical folded
+// lot.* metrics. shards >= 2 exercises the real fork + pipe + CRC path.
+TEST(LotShardInvariance, CurvesAreByteIdenticalAcrossShardsAndThreads) {
+  const lot::LotConfig cfg = small_lot();
+  lot::LotOptions base;
+  base.shards = 1;
+  base.threads = 1;
+  const lot::LotResult ref = lot::run_lot(cfg, base);
+  const CurveBytes want = curves_of(ref);
+  ASSERT_NE(want.detection.find('\n'), std::string::npos);
+  EXPECT_EQ(ref.die_wall_ms.count(), cfg.n_dies);
+  EXPECT_EQ(ref.shards_lost, 0u);
+
+  for (unsigned shards : {1u, 2u, 8u}) {
+    for (unsigned threads : {1u, 4u}) {
+      if (shards == 1 && threads == 1) continue;
+      lot::LotOptions opts;
+      opts.shards = shards;
+      opts.threads = threads;
+      const lot::LotResult got = lot::run_lot(cfg, opts);
+      const CurveBytes bytes = curves_of(got);
+      EXPECT_EQ(bytes.detection, want.detection)
+          << "shards " << shards << " threads " << threads;
+      EXPECT_EQ(bytes.ber, want.ber)
+          << "shards " << shards << " threads " << threads;
+      EXPECT_EQ(bytes.metrics, want.metrics)
+          << "shards " << shards << " threads " << threads;
+      EXPECT_EQ(got.shards_lost, 0u);
+      // Diagnostic (non-contractual) stats still cover every die.
+      EXPECT_EQ(got.die_wall_ms.count(), cfg.n_dies);
+    }
+  }
+}
+
+TEST(LotShardInvariance, KeepAllRowsCarriesAbsoluteDieIds) {
+  lot::LotConfig cfg = small_lot(10);
+  lot::LotOptions opts;
+  opts.shards = 2;
+  opts.threads = 1;
+  opts.keep_all_rows = true;
+  const lot::LotResult r = lot::run_lot(cfg, opts);
+  ASSERT_EQ(r.fleet.dies.size(), 10u);
+  std::set<std::size_t> ids;
+  for (const auto& row : r.fleet.dies) ids.insert(row.die);
+  // merge() must not re-base the second shard's rows: ids are 0..9, each
+  // exactly once.
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), 9u);
+}
+
+// A worker that dies mid-range must not poison the fold: its whole range is
+// reported as per-die kShardLost failures, every other shard's result is
+// intact, and the study completes.
+TEST(LotShardCrash, LostWorkerYieldsShardLostRowsNotPoison) {
+  const lot::LotConfig cfg = small_lot(12);
+  lot::LotOptions clean;
+  clean.shards = 3;
+  clean.threads = 1;
+  const lot::LotResult ref = lot::run_lot(cfg, clean);
+
+  lot::LotOptions crash = clean;
+  crash.crash_at_die = 5;  // shard 1 owns [4, 8)
+  const lot::LotResult got = lot::run_lot(cfg, crash);
+
+  EXPECT_EQ(got.shards_lost, 1u);
+  // Every die is still accounted for.
+  std::uint64_t n = 0, failed = 0, detected = 0;
+  for (const auto& cell : got.cells) {
+    n += cell.n;
+    failed += cell.failed;
+    detected += cell.detected;
+  }
+  EXPECT_EQ(n, 12u);
+  EXPECT_EQ(failed, 4u);
+
+  // The lost range shows up as structured per-die failures...
+  std::set<std::size_t> lost_ids;
+  for (const auto& row : got.fleet.dies)
+    if (row.reason == fleet::FailureReason::kShardLost) {
+      EXPECT_TRUE(row.failed);
+      EXPECT_EQ(row.health, fleet::DieHealth::kFailed);
+      lost_ids.insert(row.die);
+    }
+  EXPECT_EQ(lost_ids, (std::set<std::size_t>{4, 5, 6, 7}));
+
+  // ...and the surviving shards' integer sums match the clean run exactly:
+  // the clean run's detections minus whatever dies 4..7 contributed.
+  std::uint64_t ref_detected_outside = 0;
+  for (const auto& cell : ref.cells) ref_detected_outside += cell.detected;
+  std::uint64_t ref_detected_lost_range = 0;
+  // Recompute the clean run's per-die contribution by re-running just the
+  // lost range in-process.
+  const lot::internal::ShardOutcome lost_range =
+      lot::internal::run_shard_range(cfg, 4, 8, clean);
+  for (const auto& cell : lost_range.cells)
+    ref_detected_lost_range += cell.detected;
+  EXPECT_EQ(detected, ref_detected_outside - ref_detected_lost_range);
+
+  // The curves still render (failed dies count against detection, BER rows
+  // print over the surviving dies).
+  const std::string det = got.detection_csv();
+  EXPECT_NE(det.find("npe,"), std::string::npos);
+}
+
+TEST(LotWireFormat, RoundTripsAndRejectsCorruption) {
+  const lot::LotConfig cfg = small_lot(9);
+  const lot::LotOptions opts;
+  const lot::internal::ShardOutcome out =
+      lot::internal::run_shard_range(cfg, 3, 9, opts);
+  const std::string frame = lot::internal::serialize_shard(out, 3, 9);
+
+  const auto back = lot::internal::deserialize_shard(frame, cfg, 3, 9);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->cells.size(), out.cells.size());
+  for (std::size_t i = 0; i < out.cells.size(); ++i) {
+    EXPECT_EQ(back->cells[i].n, out.cells[i].n);
+    EXPECT_EQ(back->cells[i].detected, out.cells[i].detected);
+    EXPECT_EQ(back->cells[i].raw_err, out.cells[i].raw_err);
+    EXPECT_EQ(back->cells[i].raw_err_sq, out.cells[i].raw_err_sq);
+    EXPECT_EQ(back->cells[i].vote_err, out.cells[i].vote_err);
+    EXPECT_EQ(back->cells[i].vote_err_sq, out.cells[i].vote_err_sq);
+  }
+  EXPECT_EQ(back->die_wall_ms.count(), out.die_wall_ms.count());
+  EXPECT_DOUBLE_EQ(back->die_wall_ms.mean(), out.die_wall_ms.mean());
+  EXPECT_EQ(back->fleet.dies.size(), out.fleet.dies.size());
+  EXPECT_DOUBLE_EQ(back->fleet.cpu_ms, out.fleet.cpu_ms);
+
+  // Wrong range: a mixed-up pipe cannot be folded into the wrong slot.
+  EXPECT_FALSE(lot::internal::deserialize_shard(frame, cfg, 0, 6).has_value());
+  // Truncation (half-written frame from a dying worker).
+  EXPECT_FALSE(lot::internal::deserialize_shard(
+                   frame.substr(0, frame.size() / 2), cfg, 3, 9)
+                   .has_value());
+  // Single-byte corruption is caught by the CRC trailer.
+  std::string bad = frame;
+  bad[bad.size() / 3] = static_cast<char>(bad[bad.size() / 3] ^ 0x40);
+  EXPECT_FALSE(lot::internal::deserialize_shard(bad, cfg, 3, 9).has_value());
+  // Trailing garbage after a valid body is rejected too.
+  std::string padded = frame;
+  padded.insert(padded.size() - 4, "XX");
+  EXPECT_FALSE(
+      lot::internal::deserialize_shard(padded, cfg, 3, 9).has_value());
+}
+
+TEST(LotCsv, EmptyCellsPrintExplicitNan) {
+  // 2 dies over a 4-cell grid: cells 1 and 3 never get a die, and their
+  // interval columns must read nan — never a fabricated 0.
+  const lot::LotConfig cfg = small_lot(2);
+  const lot::LotResult r = lot::run_lot(cfg, {});
+  const std::string det = r.detection_csv();
+  EXPECT_NE(det.find(",0,0,0,nan,nan,nan"), std::string::npos) << det;
+  const std::string ber = r.ber_csv();
+  // A one-die cell has a mean but no interval (variance needs n >= 2).
+  EXPECT_NE(ber.find(",raw,1,"), std::string::npos) << ber;
+  EXPECT_NE(ber.find(",nan,nan\n"), std::string::npos) << ber;
+}
+
+TEST(LotConfigTest, RejectsDegenerateStudies) {
+  lot::LotConfig empty = small_lot(0);
+  EXPECT_THROW(lot::run_lot(empty, {}), std::invalid_argument);
+  lot::LotConfig no_points = small_lot();
+  no_points.npe_points.clear();
+  EXPECT_THROW(lot::run_lot(no_points, {}), std::invalid_argument);
+  lot::LotConfig no_conds = small_lot();
+  no_conds.conditions.clear();
+  EXPECT_THROW(lot::run_lot(no_conds, {}), std::invalid_argument);
+  lot::LotConfig bad_seg = small_lot();
+  bad_seg.segment = 1u << 20;
+  EXPECT_THROW(lot::run_lot(bad_seg, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashmark

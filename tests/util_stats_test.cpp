@@ -8,21 +8,23 @@
 namespace flashmark {
 namespace {
 
-TEST(RunningStats, EmptyIsZero) {
+TEST(RunningStats, UnderTwoSamplesHaveNoVariance) {
+  // variance() used to return 0.0 for n < 2, indistinguishable from a true
+  // zero-variance population in lot CSVs. The undefined case is now explicit.
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
-  EXPECT_EQ(s.variance(), 0.0);
-}
-
-TEST(RunningStats, SingleSample) {
-  RunningStats s;
+  EXPECT_FALSE(s.variance().has_value());
+  EXPECT_FALSE(s.stddev().has_value());
   s.add(5.0);
   EXPECT_EQ(s.count(), 1u);
   EXPECT_EQ(s.mean(), 5.0);
-  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_FALSE(s.variance().has_value());
   EXPECT_EQ(s.min(), 5.0);
   EXPECT_EQ(s.max(), 5.0);
+  s.add(5.0);
+  ASSERT_TRUE(s.variance().has_value());
+  EXPECT_DOUBLE_EQ(*s.variance(), 0.0);  // a *true* zero-variance pair
 }
 
 TEST(RunningStats, KnownSequence) {
@@ -30,10 +32,119 @@ TEST(RunningStats, KnownSequence) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
   // Sample variance with n-1 = 32/7.
-  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
-  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  ASSERT_TRUE(s.variance().has_value());
+  EXPECT_NEAR(*s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(*s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
   EXPECT_EQ(s.min(), 2.0);
   EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequentialPass) {
+  // Chan et al. parallel Welford: any contiguous split of the sample stream
+  // must combine to the sequential answer (to fp accuracy — the lot layer's
+  // byte-identity path uses exact integer sums instead, see lot_test).
+  const std::vector<double> xs = {2.0,  4.5, -1.0, 7.25, 0.5,
+                                  12.0, 3.0, 3.0,  -8.5, 6.0};
+  RunningStats whole;
+  for (double x : xs) whole.add(x);
+  for (std::size_t split = 0; split <= xs.size(); ++split) {
+    RunningStats a, b;
+    for (std::size_t i = 0; i < split; ++i) a.add(xs[i]);
+    for (std::size_t i = split; i < xs.size(); ++i) b.add(xs[i]);
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count()) << "split " << split;
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(*a.variance(), *whole.variance(), 1e-12) << "split " << split;
+    EXPECT_EQ(a.min(), whole.min()) << "split " << split;
+    EXPECT_EQ(a.max(), whole.max()) << "split " << split;
+  }
+}
+
+TEST(RunningStats, MergeEmptyEdgeCases) {
+  RunningStats empty_a, empty_b;
+  empty_a.merge(empty_b);  // empty + empty = empty
+  EXPECT_EQ(empty_a.count(), 0u);
+  EXPECT_FALSE(empty_a.variance().has_value());
+
+  RunningStats filled;
+  filled.add(3.0);
+  filled.add(9.0);
+  RunningStats into;
+  into.merge(filled);  // empty += filled copies
+  EXPECT_EQ(into.count(), 2u);
+  EXPECT_DOUBLE_EQ(into.mean(), 6.0);
+  EXPECT_EQ(into.min(), 3.0);
+  EXPECT_EQ(into.max(), 9.0);
+
+  filled.merge(empty_a);  // filled += empty is a no-op
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 6.0);
+}
+
+TEST(RunningStats, FromPartsRoundTripsThroughMerge) {
+  RunningStats src;
+  for (double x : {1.0, 2.0, 6.0, 11.0}) src.add(x);
+  const RunningStats restored = RunningStats::from_parts(
+      src.count(), src.mean(), src.m2(), src.min(), src.max());
+  RunningStats merged;
+  merged.merge(restored);
+  EXPECT_EQ(merged.count(), src.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), src.mean());
+  EXPECT_DOUBLE_EQ(*merged.variance(), *src.variance());
+
+  EXPECT_THROW(RunningStats::from_parts(3, std::nan(""), 0.0, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(RunningStats::from_parts(3, 1.0, -0.5, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_EQ(RunningStats::from_parts(0, 9.0, 9.0, 9.0, 9.0).count(), 0u);
+}
+
+TEST(WilsonIntervalTest, MatchesKnownValues) {
+  // 8/10 at 95%: textbook Wilson score interval ~ [0.490, 0.943].
+  const WilsonInterval w = wilson_interval(8, 10, 1.959963984540054);
+  EXPECT_DOUBLE_EQ(w.p_hat, 0.8);
+  EXPECT_NEAR(w.lo, 0.4901, 5e-4);
+  EXPECT_NEAR(w.hi, 0.9433, 5e-4);
+  EXPECT_GT(w.lo, 0.0);
+  EXPECT_LT(w.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, StaysInUnitIntervalAtExtremes) {
+  const double z = 1.959963984540054;
+  const WilsonInterval none = wilson_interval(0, 50, z);
+  EXPECT_EQ(none.p_hat, 0.0);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);  // zero successes still exclude p = high
+  const WilsonInterval all = wilson_interval(50, 50, z);
+  EXPECT_EQ(all.p_hat, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_EQ(all.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, RejectsBadInputs) {
+  EXPECT_THROW(wilson_interval(0, 0, 1.96), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(3, 2, 1.96), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(1, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(1, 2, std::nan("")), std::invalid_argument);
+}
+
+TEST(VarianceFromCounts, MatchesWelfordOnIntegerSamples) {
+  const std::vector<std::uint64_t> errs = {3, 0, 7, 7, 12, 1, 0, 5};
+  RunningStats ref;
+  std::uint64_t sum = 0, sq = 0;
+  for (std::uint64_t e : errs) {
+    ref.add(static_cast<double>(e));
+    sum += e;
+    sq += e * e;
+  }
+  EXPECT_NEAR(variance_from_counts(sum, sq, errs.size()), *ref.variance(),
+              1e-12);
+}
+
+TEST(VarianceFromCounts, RequiresTwoSamples) {
+  EXPECT_THROW(variance_from_counts(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(variance_from_counts(5, 25, 1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(variance_from_counts(10, 50, 2), 0.0);  // two equal 5s
 }
 
 TEST(RunningStats, NanSampleThrows) {
