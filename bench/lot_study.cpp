@@ -25,6 +25,7 @@
 // the byte-identity gate is exact. Same plain-chrono, no-JSON-dependency
 // harness as kernel_bench / diestore_bench.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -160,6 +161,14 @@ int run_study(std::uint64_t dies, unsigned shards, unsigned threads) {
   if (write_file("lot_ber.csv", ber))
     std::printf("[csv written: lot_ber.csv]\n");
   r.print_summary(std::cerr);
+  if (r.interrupted_signal != 0) {
+    // The library contained the signal (partial result above is honest);
+    // exiting on it is the binary's call — die with the conventional
+    // signal disposition so callers (shells, CI) see the interruption.
+    std::fprintf(stderr, "interrupted by signal %d\n", r.interrupted_signal);
+    std::signal(r.interrupted_signal, SIG_DFL);
+    std::raise(r.interrupted_signal);
+  }
   if (r.shards_lost) {
     std::fprintf(stderr, "FAIL: %llu shard(s) lost\n",
                  static_cast<unsigned long long>(r.shards_lost));

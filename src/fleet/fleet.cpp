@@ -889,7 +889,8 @@ ExtractBatchResult extract_batch(store::DieStore& dies, std::size_t n_dies,
 
 AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
                              std::size_t segment, const VerifyOptions& vo,
-                             const FleetOptions& opts) {
+                             const FleetOptions& opts,
+                             const FaultPolicy& faults) {
   AuditBatchResult out;
   out.reports.resize(n_dies);
   out.fleet = run_dies(
@@ -899,6 +900,8 @@ AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
         dev->controller().reset_op_counters();
         const SimTime before = dev->clock().now();
         const Addr addr = dev->config().geometry.segment_base(segment);
+        std::optional<fault::FaultyHal> fhal;
+        FlashHal& hal = policy_hal(*dev, die, faults, fhal);
         VerifyOptions vo2 = vo;
         const std::function<bool()> user_cancel = vo.cancelled;
         vo2.cancelled = [&token, user_cancel] {
@@ -906,15 +909,17 @@ AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
           return token.cancel_requested() || (user_cancel && user_cancel());
         };
         try {
-          out.reports[die] = verify_watermark(dev->hal(), addr, vo2);
+          out.reports[die] = verify_watermark(hal, addr, vo2);
           counters.absorb_recovery(out.reports[die]);
         } catch (...) {
           counters.absorb(*dev);
           counters.sim_time -= before;
+          if (fhal) counters.absorb_faults(*fhal);
           throw;
         }
         counters.absorb(*dev);
         counters.sim_time -= before;
+        if (fhal) counters.absorb_faults(*fhal);
       },
       opts);
   fold_store_stats(dies);

@@ -429,9 +429,15 @@ ExtractBatchResult extract_batch(store::DieStore& dies, std::size_t n_dies,
                                  std::size_t segment, const ExtractOptions& eo,
                                  const FleetOptions& opts = {});
 
-/// Audit dies 0..n_dies-1 of the store's population.
+/// Audit dies 0..n_dies-1 of the store's population. With a `faults` policy
+/// the afflicted dies are audited through a FaultyHal exactly like the
+/// in-memory overload — the fault plan derives from the die seed, not from
+/// residency, so a store-backed faulted audit is byte-identical to an
+/// all-resident one (the chaos test in tests/store_test.cpp holds it to
+/// that).
 AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
                              std::size_t segment, const VerifyOptions& vo,
-                             const FleetOptions& opts = {});
+                             const FleetOptions& opts = {},
+                             const FaultPolicy& faults = {});
 
 }  // namespace flashmark::fleet

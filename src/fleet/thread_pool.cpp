@@ -22,10 +22,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
-  }
+  // The notify stays under the lock on purpose: a worker may dequeue and
+  // finish this job — and the pool's owner may then observe completion and
+  // destroy the pool — before submit() returns. Holding mu_ across the
+  // signal means any such destruction (whose ~ThreadPool/wait_idle must
+  // take mu_ and can only see the pushed job's completion after this
+  // critical section) happens-after the signal, so the condvar is never
+  // destroyed mid-notify.
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(job));
   work_cv_.notify_one();
 }
 

@@ -352,7 +352,8 @@ LotResult run_lot(const LotConfig& cfg, const LotOptions& opts) {
   if (slots == 1) {
     outcomes.push_back(internal::run_shard_range(cfg, 0, cfg.n_dies, opts));
   } else {
-    outcomes = internal::run_sharded(cfg, opts, slots);
+    outcomes =
+        internal::run_sharded(cfg, opts, slots, &result.interrupted_signal);
   }
 
   for (unsigned s = 0; s < slots; ++s) {

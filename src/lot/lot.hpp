@@ -154,6 +154,11 @@ struct LotResult {
 
   unsigned shards_used = 0;
   std::uint64_t shards_lost = 0;
+  /// Signal (SIGTERM/SIGINT) that interrupted the sharded run, 0 when it
+  /// ran to completion. The interrupted ranges appear as kShardLost rows;
+  /// re-raising the signal is the binary's decision (examples/lot_study
+  /// does), never the library's.
+  int interrupted_signal = 0;
   double wall_ms = 0.0;  ///< end-to-end runner wall time (parent clock)
 
   /// Detection-probability curve with Wilson confidence bounds:

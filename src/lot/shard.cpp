@@ -12,15 +12,18 @@
 // Workers are forked BEFORE any thread exists in the parent (run_lot forks
 // first, each child then builds its own fleet thread pool), which keeps the
 // fork/thread combination legal under TSan and ASan.
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lot/lot_internal.hpp"
@@ -120,19 +123,78 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
+// --- signal containment ---------------------------------------------------
+// run_sharded installs flag-only SIGTERM/SIGINT handlers (no SA_RESTART, so
+// the blocking drain read returns EINTR) for the duration of the run. On the
+// first observed signal the parent forwards it to the workers' process
+// group, drains what the pipes still hold, reaps with a bounded timeout
+// (SIGKILL stragglers), and returns — the killed ranges come back as
+// std::nullopt, which run_lot folds through FailureReason::kShardLost. A
+// Ctrl-C'd 10^6-die audit therefore dies cleanly in bounded time, leaves no
+// orphans, and its partial result still accounts every die.
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
 std::string read_all(int fd) {
   std::string out;
   char buf[1 << 16];
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (g_signal != 0) return out;  // interrupted: caller forwards + reaps
+        continue;
+      }
       return out;
     }
     if (n == 0) return out;
     out.append(buf, static_cast<std::size_t>(n));
   }
 }
+
+/// Reap `pid` waiting at most `timeout_ms`, then SIGKILL and wait for real.
+void reap_bounded(pid_t pid, int* status, int timeout_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, WNOHANG);
+    if (r == pid) return;
+    if (r < 0 && errno != EINTR) return;  // ECHILD: already reaped
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed > timeout_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid, SIGKILL);
+  pid_t r;
+  do {
+    r = ::waitpid(pid, status, 0);
+  } while (r < 0 && errno == EINTR);
+}
+
+/// RAII for the parent's temporary signal disposition.
+class ScopedSignalFlags {
+ public:
+  ScopedSignalFlags() {
+    g_signal = 0;
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART: reads must wake up
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    ::sigaction(SIGINT, &sa, &old_int_);
+  }
+  ~ScopedSignalFlags() {
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    ::sigaction(SIGINT, &old_int_, nullptr);
+  }
+
+ private:
+  struct sigaction old_term_{}, old_int_{};
+};
 
 }  // namespace
 
@@ -291,7 +353,8 @@ std::optional<ShardOutcome> deserialize_shard(const std::string& bytes,
 
 std::vector<std::optional<ShardOutcome>> run_sharded(const LotConfig& cfg,
                                                      const LotOptions& opts,
-                                                     unsigned slots) {
+                                                     unsigned slots,
+                                                     int* interrupted_signal) {
   struct Slot {
     pid_t pid = -1;
     int fd = -1;
@@ -300,9 +363,14 @@ std::vector<std::optional<ShardOutcome>> run_sharded(const LotConfig& cfg,
   };
   std::vector<Slot> workers(slots);
 
+  // Flag SIGTERM/SIGINT for the duration of the run (restored on return).
+  ScopedSignalFlags signals;
+  pid_t pgid = 0;  // the workers' own process group (first child's pid)
+
   for (unsigned s = 0; s < slots; ++s) {
     Slot& w = workers[s];
     shard_range(cfg.n_dies, slots, s, &w.begin, &w.end);
+    if (g_signal != 0) break;  // interrupted mid-spawn: stop forking
     int fds[2];
     if (::pipe(fds) != 0)
       throw std::runtime_error("run_lot: pipe() failed");
@@ -313,8 +381,13 @@ std::vector<std::optional<ShardOutcome>> run_sharded(const LotConfig& cfg,
       throw std::runtime_error("run_lot: fork() failed");
     }
     if (pid == 0) {
-      // Worker: run the range, ship the frame, and _exit without running
-      // atexit handlers or flushing the parent's inherited stdio buffers.
+      // Worker: default signal disposition (the parent decides policy; a
+      // forwarded SIGTERM just terminates the worker) and membership in the
+      // workers' process group, so one kill(-pgid) reaches every shard
+      // without touching the parent or its process group.
+      ::signal(SIGTERM, SIG_DFL);
+      ::signal(SIGINT, SIG_DFL);
+      ::setpgid(0, pgid);  // pgid == 0 for the first child: new group
       ::close(fds[0]);
       for (unsigned p = 0; p < s; ++p)
         if (workers[p].fd >= 0) ::close(workers[p].fd);
@@ -334,27 +407,52 @@ std::vector<std::optional<ShardOutcome>> run_sharded(const LotConfig& cfg,
     ::close(fds[1]);
     w.pid = pid;
     w.fd = fds[0];
+    if (pgid == 0) pgid = pid;
+    // Mirror the child's setpgid (whichever runs first wins; EACCES/ESRCH
+    // just means the child got there first or already exited).
+    ::setpgid(pid, pgid);
   }
+
+  bool forwarded = false;
+  auto forward_signal = [&] {
+    if (g_signal != 0 && !forwarded && pgid != 0) {
+      ::kill(-pgid, g_signal);
+      forwarded = true;
+    }
+  };
 
   // Drain pipes in shard order: the fold order — and with it every merged
   // floating-point diagnostic — is deterministic regardless of which worker
   // finishes first. (The contractual curves do not even need this: they are
-  // integer sums.)
+  // integer sums.) On interruption the drain keeps going — killed workers
+  // close their pipes, reads return fast, and every already-complete frame
+  // is still folded — but reaping switches to the bounded path.
   std::vector<std::optional<ShardOutcome>> outcomes(slots);
   for (unsigned s = 0; s < slots; ++s) {
     Slot& w = workers[s];
-    const std::string frame = read_all(w.fd);
+    if (w.pid < 0) continue;  // never forked (interrupted mid-spawn)
+    forward_signal();
+    std::string frame = read_all(w.fd);
+    forward_signal();
+    if (forwarded) frame += read_all(w.fd);  // post-kill residue up to EOF
     ::close(w.fd);
     int status = 0;
-    pid_t r;
-    do {
-      r = ::waitpid(w.pid, &status, 0);
-    } while (r < 0 && errno == EINTR);
-    const bool exited_ok =
-        r == w.pid && WIFEXITED(status) && WEXITSTATUS(status) == 0;
-    if (exited_ok)
+    if (forwarded) {
+      reap_bounded(w.pid, &status, /*timeout_ms=*/2'000);
+    } else {
+      pid_t r;
+      for (;;) {
+        r = ::waitpid(w.pid, &status, 0);
+        if (r >= 0 || errno != EINTR) break;
+        forward_signal();  // signal landed while blocked in waitpid
+      }
+      if (r != w.pid) continue;  // shard stays lost
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
       outcomes[s] = deserialize_shard(frame, cfg, w.begin, w.end);
   }
+  if (interrupted_signal != nullptr)
+    *interrupted_signal = static_cast<int>(g_signal);
   return outcomes;
 }
 

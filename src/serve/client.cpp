@@ -1,0 +1,206 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace flashmark::serve {
+
+double backoff_delay_ms(std::uint32_t attempt, const RetryPolicy& rp,
+                        Rng& rng) {
+  if (attempt <= 1) return 0.0;
+  double d = rp.base_backoff_ms;
+  for (std::uint32_t i = 2; i < attempt && d < rp.max_backoff_ms; ++i) d *= 2.0;
+  d = std::min(d, rp.max_backoff_ms);
+  // Jitter scales into [0.5, 1.0]: desynchronizes a herd without ever
+  // collapsing the delay to ~0 (which would defeat the backoff).
+  return d * (0.5 + 0.5 * rng.uniform());
+}
+
+int connect_endpoint(const std::string& endpoint, std::string* err) {
+  int fd = -1;
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    char* end = nullptr;
+    const long port = std::strtol(endpoint.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      if (err) *err = "bad tcp endpoint: " + endpoint;
+      return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      if (err) *err = "connect " + endpoint + ": " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (endpoint.empty() || endpoint.size() >= sizeof(addr.sun_path)) {
+    if (err) *err = "bad unix endpoint: " + endpoint;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, endpoint.c_str(), endpoint.size() + 1);
+  fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err) *err = "connect " + endpoint + ": " + std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  parser_ = FrameParser();
+}
+
+bool Client::ensure_connected(std::string* err) {
+  if (fd_ >= 0) return true;
+  fd_ = connect_endpoint(endpoint_, err);
+  parser_ = FrameParser();
+  return fd_ >= 0;
+}
+
+bool Client::send_raw(const void* data, std::size_t n, std::string* err) {
+  if (!ensure_connected(err)) return false;
+  const char* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (err) *err = std::string("send: ") + std::strerror(errno);
+      disconnect();
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool Client::send_request(const Request& rq, std::string* err) {
+  const std::string frame = encode_request_frame(rq);
+  return send_raw(frame.data(), frame.size(), err);
+}
+
+bool Client::recv_response(Response* rs, std::string* err, int timeout_ms) {
+  if (fd_ < 0) {
+    if (err) *err = "not connected";
+    return false;
+  }
+  char buf[4096];
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    std::string body;
+    FrameParser::State st = parser_.next(&body);
+    if (st == FrameParser::State::kFrame) {
+      std::optional<Response> d = decode_response_body(body);
+      if (!d) {
+        if (err) *err = "undecodable response body";
+        disconnect();
+        return false;
+      }
+      *rs = *d;
+      return true;
+    }
+    if (st == FrameParser::State::kBad) {
+      if (err) *err = "corrupt response frame";
+      disconnect();
+      return false;
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const int left = timeout_ms - static_cast<int>(elapsed_ms);
+    if (left <= 0) {
+      if (err) *err = "response timeout";
+      disconnect();
+      return false;
+    }
+    pollfd p{fd_, POLLIN, 0};
+    int rc = ::poll(&p, 1, left);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      if (err) *err = rc == 0 ? "response timeout" : "poll failed";
+      disconnect();
+      return false;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      if (err) *err = "server closed connection";
+      disconnect();
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err) *err = std::string("recv: ") + std::strerror(errno);
+      disconnect();
+      return false;
+    }
+    parser_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::call_once(const Request& rq) {
+  ++attempts_total_;
+  Response rs;
+  rs.request_id = rq.request_id;
+  rs.op = rq.op;
+  rs.status = Status::kUnavailable;
+  std::string err;
+  if (!send_request(rq, &err)) {
+    rs.message = err;
+    return rs;
+  }
+  if (!recv_response(&rs, &err)) {
+    rs.request_id = rq.request_id;
+    rs.op = rq.op;
+    rs.status = Status::kUnavailable;
+    rs.message = err;
+    return rs;
+  }
+  return rs;
+}
+
+Response Client::call(const Request& rq) {
+  Response rs;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const double delay = backoff_delay_ms(attempt, rp_, jitter_);
+    if (delay > 0.0) {
+      backoff_ms_total_ += delay;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+    rs = call_once(rq);
+    const bool retryable =
+        rs.status == Status::kUnavailable || rs.status == Status::kOverloaded ||
+        rs.status == Status::kRateLimited ||
+        (rp_.retry_deadline && rs.status == Status::kDeadlineExceeded);
+    if (!retryable || attempt >= rp_.max_attempts) return rs;
+    // Fresh dial per retry: the old connection may be poisoned (bad frame)
+    // or gone (daemon restarted); re-connecting is the only safe reset.
+    disconnect();
+  }
+}
+
+}  // namespace flashmark::serve

@@ -1,0 +1,91 @@
+// Client side of the flashmarkd protocol: a blocking requester with bounded
+// retry, exponential backoff, and seeded jitter.
+//
+// The retry loop only retries statuses the daemon *typed as retryable*
+// (kOverloaded, kRateLimited) plus transport failures (synthesized
+// client-side as kUnavailable — connect refused, EOF, torn frame). Every
+// attempt uses a fresh connection: a connection that produced a protocol
+// error cannot be re-synchronized (the server drops it anyway), and a
+// daemon that restarted between attempts must be re-dialed. Jitter comes
+// from the repo's own Rng (seeded, deterministic schedule per client) —
+// thundering-herd avoidance must not make test runs flaky.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark::serve {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;   ///< total tries (1 = no retry)
+  double base_backoff_ms = 5.0;     ///< delay before attempt 2
+  double max_backoff_ms = 500.0;    ///< exponential growth cap
+  std::uint64_t jitter_seed = 1;    ///< Rng seed of the jitter stream
+  bool retry_deadline = false;      ///< also retry kDeadlineExceeded
+};
+
+/// Backoff before attempt `attempt` (1-based; attempt 1 has no delay):
+/// min(max, base * 2^(attempt-2)) scaled by a uniform jitter in [0.5, 1.0]
+/// drawn from `rng`. Exposed separately so tests can pin the schedule.
+double backoff_delay_ms(std::uint32_t attempt, const RetryPolicy& rp,
+                        Rng& rng);
+
+/// Dial `endpoint`: "tcp:<port>" connects to 127.0.0.1:<port>, anything
+/// else is a Unix socket path. Returns the connected fd or -1 (with the
+/// reason in *err). Shared by the client, the load driver, and the chaos
+/// tests (which want raw fds to tear frames on).
+int connect_endpoint(const std::string& endpoint, std::string* err);
+
+/// One blocking requester. Not thread-safe; one Client per thread.
+class Client {
+ public:
+  explicit Client(std::string endpoint, RetryPolicy rp = {})
+      : endpoint_(std::move(endpoint)),
+        rp_(rp),
+        jitter_(rp.jitter_seed) {}
+  ~Client() { disconnect(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One attempt, no retry. Transport or framing failures synthesize a
+  /// kUnavailable response (request_id/op echoed from the request, message
+  /// = reason) — the caller always gets a Response, never an exception.
+  Response call_once(const Request& rq);
+
+  /// The retry loop: call_once, retrying retryable outcomes with
+  /// exponential backoff + jitter until an attempt budget is spent.
+  /// The last attempt's response is returned verbatim.
+  Response call(const Request& rq);
+
+  /// Total backoff slept by call() so far, and attempts made (driver
+  /// telemetry).
+  double backoff_ms_total() const { return backoff_ms_total_; }
+  std::uint64_t attempts_total() const { return attempts_total_; }
+
+  /// Low-level access for pipelined benches and chaos tests: send one
+  /// framed request / raw bytes on the persistent connection, read one
+  /// response. recv_response returns false on EOF/timeout/bad frame.
+  bool send_request(const Request& rq, std::string* err);
+  bool send_raw(const void* data, std::size_t n, std::string* err);
+  bool recv_response(Response* rs, std::string* err, int timeout_ms = 30'000);
+
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool ensure_connected(std::string* err);
+
+  std::string endpoint_;
+  RetryPolicy rp_;
+  Rng jitter_;
+  int fd_ = -1;
+  FrameParser parser_;
+  double backoff_ms_total_ = 0.0;
+  std::uint64_t attempts_total_ = 0;
+};
+
+}  // namespace flashmark::serve

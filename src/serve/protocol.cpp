@@ -1,0 +1,353 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "util/crc.hpp"
+
+namespace flashmark::serve {
+
+namespace {
+
+constexpr std::size_t kMaxMessage = 1u << 16;  // error text / stats CSV cap
+
+// --- little-endian append/read helpers (shard.cpp idiom) -------------------
+
+void put_bytes(std::string& s, const void* p, std::size_t n) {
+  s.append(static_cast<const char*>(p), n);
+}
+
+void put_u8(std::string& s, std::uint8_t v) { put_bytes(s, &v, 1); }
+
+void put_u32(std::string& s, std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  put_bytes(s, b, 4);
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  put_bytes(s, b, 8);
+}
+
+void put_f64(std::string& s, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(s, bits);
+}
+
+void put_str(std::string& s, const std::string& v) {
+  put_u32(s, static_cast<std::uint32_t>(v.size()));
+  put_bytes(s, v.data(), v.size());
+}
+
+/// Bounds-checked sequential reader over a frame body.
+class Reader {
+ public:
+  explicit Reader(const std::string& s) : s_(s) {}
+
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > s_.size()) return false;
+    *v = static_cast<std::uint8_t>(s_[pos_++]);
+    return true;
+  }
+  bool u16(std::uint16_t* v) {
+    std::uint32_t w;
+    if (!u32_n(&w, 2)) return false;
+    *v = static_cast<std::uint16_t>(w);
+    return true;
+  }
+  bool u32(std::uint32_t* v) { return u32_n(v, 4); }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > s_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(s_[pos_ + i]))
+            << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool f64(double* v) {
+    std::uint64_t bits;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+  bool str(std::string* v, std::size_t max_len) {
+    std::uint32_t len;
+    if (!u32(&len) || len > max_len || pos_ + len > s_.size()) return false;
+    v->assign(s_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool u32_n(std::uint32_t* v, int n) {
+    if (pos_ + static_cast<std::size_t>(n) > s_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < n; ++i)
+      *v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(s_[pos_ + i]))
+            << (8 * i);
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void put_u16(std::string& s, std::uint16_t v) {
+  put_u8(s, static_cast<std::uint8_t>(v));
+  put_u8(s, static_cast<std::uint8_t>(v >> 8));
+}
+
+std::string frame(const std::string& body) {
+  std::string s;
+  s.reserve(kFrameHeaderBytes + body.size() + 4);
+  put_u32(s, kFrameMagic);
+  put_u32(s, kProtocolVersion);
+  put_u32(s, static_cast<std::uint32_t>(body.size()));
+  s += body;
+  put_u32(s, crc32_ieee(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kEnroll: return "enroll";
+    case Op::kVerify: return "verify";
+    case Op::kLotReport: return "lot-report";
+    case Op::kStats: return "stats";
+  }
+  return "?";
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kRateLimited: return "rate-limited";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kInvalid: return "invalid";
+    case Status::kFailed: return "failed";
+    case Status::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
+std::string encode_request_frame(const Request& rq) {
+  std::string b;
+  put_u64(b, rq.request_id);
+  put_u32(b, rq.tenant);
+  put_u32(b, rq.deadline_ms);
+  put_u8(b, static_cast<std::uint8_t>(rq.op));
+  switch (rq.op) {
+    case Op::kPing:
+      put_u32(b, rq.delay_ms);
+      break;
+    case Op::kEnroll:
+      put_u64(b, rq.die);
+      put_u32(b, rq.npe);
+      break;
+    case Op::kVerify:
+      put_u64(b, rq.die);
+      break;
+    case Op::kLotReport:
+    case Op::kStats:
+      break;
+  }
+  return frame(b);
+}
+
+std::string encode_response_frame(const Response& rs) {
+  std::string b;
+  put_u64(b, rs.request_id);
+  put_u8(b, static_cast<std::uint8_t>(rs.status));
+  put_u8(b, static_cast<std::uint8_t>(rs.op));
+  put_str(b, rs.message.size() > kMaxMessage
+                 ? rs.message.substr(0, kMaxMessage)
+                 : rs.message);
+  if (rs.status == Status::kOk) {
+    switch (rs.op) {
+      case Op::kPing:
+      case Op::kStats:
+        break;
+      case Op::kEnroll:
+        put_u32(b, rs.cycles_run);
+        put_u8(b, rs.resumed);
+        break;
+      case Op::kVerify: {
+        put_u8(b, static_cast<std::uint8_t>(rs.verdict));
+        put_u8(b, rs.fields ? 1 : 0);
+        if (rs.fields) {
+          put_u16(b, rs.fields->manufacturer_id);
+          put_u32(b, rs.fields->die_id);
+          put_u8(b, rs.fields->speed_grade);
+          put_u8(b, static_cast<std::uint8_t>(rs.fields->status));
+          put_u16(b, rs.fields->date_code);
+        }
+        put_f64(b, rs.zero_fraction);
+        put_f64(b, rs.replica_disagreement);
+        put_u64(b, rs.extract_ns);
+        put_u32(b, rs.ecc_corrected);
+        put_u64(b, rs.retries);
+        break;
+      }
+      case Op::kLotReport:
+        put_u64(b, rs.lot.enrolled);
+        put_u64(b, rs.lot.verifies);
+        put_u64(b, rs.lot.genuine);
+        put_u64(b, rs.lot.no_watermark);
+        put_u64(b, rs.lot.tampered);
+        put_u64(b, rs.lot.unreadable);
+        break;
+    }
+  }
+  return frame(b);
+}
+
+std::optional<Request> decode_request_body(const std::string& body) {
+  Reader r(body);
+  Request rq;
+  std::uint8_t op = 0;
+  if (!r.u64(&rq.request_id) || !r.u32(&rq.tenant) ||
+      !r.u32(&rq.deadline_ms) || !r.u8(&op))
+    return std::nullopt;
+  if (op < static_cast<std::uint8_t>(Op::kPing) ||
+      op > static_cast<std::uint8_t>(Op::kStats))
+    return std::nullopt;
+  rq.op = static_cast<Op>(op);
+  switch (rq.op) {
+    case Op::kPing:
+      if (!r.u32(&rq.delay_ms)) return std::nullopt;
+      break;
+    case Op::kEnroll:
+      if (!r.u64(&rq.die) || !r.u32(&rq.npe)) return std::nullopt;
+      break;
+    case Op::kVerify:
+      if (!r.u64(&rq.die)) return std::nullopt;
+      break;
+    case Op::kLotReport:
+    case Op::kStats:
+      break;
+  }
+  if (r.pos() != body.size()) return std::nullopt;  // trailing garbage
+  return rq;
+}
+
+std::optional<Response> decode_response_body(const std::string& body) {
+  Reader r(body);
+  Response rs;
+  std::uint8_t status = 0, op = 0;
+  if (!r.u64(&rs.request_id) || !r.u8(&status) || !r.u8(&op))
+    return std::nullopt;
+  if (status > static_cast<std::uint8_t>(Status::kUnavailable))
+    return std::nullopt;
+  if (op < static_cast<std::uint8_t>(Op::kPing) ||
+      op > static_cast<std::uint8_t>(Op::kStats))
+    return std::nullopt;
+  rs.status = static_cast<Status>(status);
+  rs.op = static_cast<Op>(op);
+  if (!r.str(&rs.message, kMaxMessage)) return std::nullopt;
+  if (rs.status == Status::kOk) {
+    switch (rs.op) {
+      case Op::kPing:
+      case Op::kStats:
+        break;
+      case Op::kEnroll:
+        if (!r.u32(&rs.cycles_run) || !r.u8(&rs.resumed)) return std::nullopt;
+        break;
+      case Op::kVerify: {
+        std::uint8_t verdict = 0, has_fields = 0;
+        if (!r.u8(&verdict) ||
+            verdict > static_cast<std::uint8_t>(Verdict::kUnreadable) ||
+            !r.u8(&has_fields) || has_fields > 1)
+          return std::nullopt;
+        rs.verdict = static_cast<Verdict>(verdict);
+        if (has_fields) {
+          WatermarkFields f;
+          std::uint8_t test_status = 0;
+          if (!r.u16(&f.manufacturer_id) || !r.u32(&f.die_id) ||
+              !r.u8(&f.speed_grade) || !r.u8(&test_status) ||
+              test_status > 1 || !r.u16(&f.date_code))
+            return std::nullopt;
+          f.status = static_cast<TestStatus>(test_status);
+          rs.fields = f;
+        }
+        std::uint32_t ecc = 0;
+        if (!r.f64(&rs.zero_fraction) || !r.f64(&rs.replica_disagreement) ||
+            !r.u64(&rs.extract_ns) || !r.u32(&ecc) || !r.u64(&rs.retries))
+          return std::nullopt;
+        rs.ecc_corrected = ecc;
+        break;
+      }
+      case Op::kLotReport:
+        if (!r.u64(&rs.lot.enrolled) || !r.u64(&rs.lot.verifies) ||
+            !r.u64(&rs.lot.genuine) || !r.u64(&rs.lot.no_watermark) ||
+            !r.u64(&rs.lot.tampered) || !r.u64(&rs.lot.unreadable))
+          return std::nullopt;
+        break;
+    }
+  }
+  if (r.pos() != body.size()) return std::nullopt;  // trailing garbage
+  return rs;
+}
+
+void FrameParser::feed(const char* data, std::size_t n) {
+  if (bad_) return;
+  buf_.append(data, n);
+}
+
+FrameParser::State FrameParser::next(std::string* body) {
+  if (bad_) return State::kBad;
+  if (buf_.size() < kFrameHeaderBytes) {
+    // Reject a hostile prefix as soon as the bytes prove it, not only once
+    // a full (possibly huge) header has been buffered.
+    Reader r(buf_);
+    std::uint32_t magic = 0;
+    if (buf_.size() >= 4 && (!r.u32(&magic) || magic != kFrameMagic)) {
+      bad_ = true;
+      return State::kBad;
+    }
+    return State::kNeedMore;
+  }
+  Reader r(buf_);
+  std::uint32_t magic = 0, version = 0, body_len = 0;
+  if (!r.u32(&magic) || magic != kFrameMagic || !r.u32(&version) ||
+      version != kProtocolVersion || !r.u32(&body_len) ||
+      body_len > kMaxFrameBody) {
+    bad_ = true;
+    return State::kBad;
+  }
+  const std::size_t total = kFrameHeaderBytes + body_len + 4;
+  if (buf_.size() < total) return State::kNeedMore;
+  // CRC-first: nothing inside the body is interpreted until the trailer
+  // proves the bytes arrived intact.
+  std::uint32_t want = 0;
+  {
+    const std::string tail(buf_, total - 4, 4);
+    Reader tr(tail);
+    if (!tr.u32(&want)) {
+      bad_ = true;
+      return State::kBad;
+    }
+  }
+  const std::uint32_t got = crc32_ieee(
+      reinterpret_cast<const std::uint8_t*>(buf_.data()), total - 4);
+  if (want != got) {
+    bad_ = true;
+    return State::kBad;
+  }
+  body->assign(buf_, kFrameHeaderBytes, body_len);
+  buf_.erase(0, total);
+  return State::kFrame;
+}
+
+}  // namespace flashmark::serve

@@ -1,0 +1,913 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "flash/hal.hpp"
+#include "mcu/persist.hpp"
+#include "obs/metrics.hpp"
+#include "session/resumable.hpp"
+
+namespace flashmark::serve {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Parse a strictly-decimal die index out of `text` ("1234"). Returns false
+/// on empty input, non-digits, or overflow — stray files in the state
+/// directories must be skipped, not misattributed to die 0.
+bool parse_die_index(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  verify_opts_ = cfg_.verify;
+  verify_opts_.key = cfg_.key;
+  verify_opts_.n_replicas = cfg_.n_replicas;
+  stripes_.reserve(kStripes);
+  for (std::size_t i = 0; i < kStripes; ++i)
+    stripes_.push_back(std::make_unique<std::mutex>());
+}
+
+Server::~Server() {
+  if (started_.load() && !stopped_.load()) {
+    request_drain();
+    wait();
+  }
+}
+
+std::string Server::sessions_dir() const { return cfg_.data_dir + "/sessions"; }
+
+std::string Server::session_dir(std::uint64_t die) const {
+  return sessions_dir() + "/die-" + std::to_string(die);
+}
+
+bool Server::is_enrolled(std::uint64_t die) const {
+  std::lock_guard<std::mutex> lk(enrolled_mu_);
+  return enrolled_.count(die) != 0;
+}
+
+std::mutex& Server::stripe_for(std::uint64_t die) {
+  return *stripes_[die % kStripes];
+}
+
+WatermarkSpec Server::spec_for(std::uint64_t die, std::uint32_t npe) const {
+  WatermarkSpec spec;
+  spec.fields.manufacturer_id = cfg_.manufacturer_id;
+  spec.fields.die_id = static_cast<std::uint32_t>(die);
+  spec.fields.speed_grade = cfg_.speed_grade;
+  spec.fields.status = TestStatus::kAccept;
+  spec.fields.date_code = cfg_.date_code;
+  spec.key = cfg_.key;
+  spec.n_replicas = cfg_.n_replicas;
+  spec.npe = npe;
+  spec.accelerated = true;
+  spec.ecc = verify_opts_.ecc;
+  spec.max_retries = verify_opts_.max_retries;
+  return spec;
+}
+
+IoStatus Server::install_die(std::uint64_t die, const Device& dev) {
+  // Atomic replace + fsync: after this returns ok the die survives kill -9.
+  IoStatus st = save_device_file(dev, store_->die_path(die));
+  if (!st.ok) return st;
+  std::error_code ec;
+  fs::remove_all(session_dir(die), ec);
+  // A surviving session dir is re-resolved on the next start() —
+  // resume_imprint_session reports already_complete and the die is simply
+  // re-installed, so a failed removal here cannot double-imprint.
+  {
+    std::lock_guard<std::mutex> lk(enrolled_mu_);
+    enrolled_.insert(die);
+  }
+  return IoStatus::success();
+}
+
+void Server::scan_enrolled() {
+  std::lock_guard<std::mutex> lk(enrolled_mu_);
+  for (const auto& e : fs::directory_iterator(store_->config().dir)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    // die-<n>.fm
+    if (name.size() < 8 || name.compare(0, 4, "die-") != 0 ||
+        name.compare(name.size() - 3, 3, ".fm") != 0)
+      continue;
+    std::uint64_t die = 0;
+    if (!parse_die_index(name.substr(4, name.size() - 7), &die)) continue;
+    enrolled_.insert(die);
+  }
+}
+
+void Server::recover_sessions() {
+  const std::string sdir = sessions_dir();
+  fs::create_directories(sdir);
+  // Collect first: resuming mutates the directory we are iterating.
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::vector<std::string> junk;
+  for (const auto& e : fs::directory_iterator(sdir)) {
+    const std::string name = e.path().filename().string();
+    std::uint64_t die = 0;
+    if (!e.is_directory() || name.compare(0, 4, "die-") != 0 ||
+        !parse_die_index(name.substr(4), &die)) {
+      junk.push_back(e.path().string());
+      continue;
+    }
+    found.emplace_back(die, e.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  for (const std::string& path : junk) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    n_.sessions_discarded.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const auto& [die, path] : found) {
+    session::SessionStatus st = session::inspect_session(path);
+    if (!st.exists) {
+      // No valid begin record: the crash hit before the session became
+      // real, so no imprint cycles can have run — discarding re-opens
+      // fresh enrollment without losing state.
+      std::error_code ec;
+      fs::remove_all(path, ec);
+      n_.sessions_discarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    session::SessionConfig scfg;
+    scfg.durable = true;
+    session::ResumeResult r = session::resume_imprint_session(path, scfg);
+    IoStatus io = install_die(die, *r.dev);
+    if (!io.ok)
+      throw std::runtime_error("flashmarkd: recovered die " +
+                               std::to_string(die) +
+                               " but could not install it: " + io.error);
+    n_.sessions_recovered.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::start() {
+  if (started_.exchange(true))
+    throw std::runtime_error("flashmarkd: start() called twice");
+  if (cfg_.socket_path.empty() && cfg_.tcp_port < 0)
+    throw std::runtime_error("flashmarkd: no endpoint configured");
+  fs::create_directories(cfg_.data_dir);
+
+  store::DieStoreConfig sc;
+  sc.dir = cfg_.data_dir + "/dies";
+  sc.device = cfg_.device;
+  sc.max_resident = cfg_.max_resident;
+  sc.durable = true;
+  const std::uint64_t master = cfg_.master_seed;
+  sc.seed_of = [master](std::size_t die) {
+    return fleet::derive_die_seed(master, die);
+  };
+  store_ = std::make_unique<store::DieStore>(std::move(sc));
+
+  scan_enrolled();
+  recover_sessions();  // before any socket exists: no concurrent requests
+
+  try {
+    if (!cfg_.socket_path.empty()) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (cfg_.socket_path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("flashmarkd: socket path too long: " +
+                                 cfg_.socket_path);
+      std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
+                  cfg_.socket_path.size() + 1);
+      ::unlink(cfg_.socket_path.c_str());
+      unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (unix_fd_ < 0 ||
+          ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0 ||
+          ::listen(unix_fd_, 128) != 0)
+        throw std::runtime_error("flashmarkd: cannot listen on " +
+                                 cfg_.socket_path + ": " +
+                                 std::strerror(errno));
+    }
+    if (cfg_.tcp_port >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+      tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      int one = 1;
+      if (tcp_fd_ >= 0)
+        ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (tcp_fd_ < 0 ||
+          ::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+              0 ||
+          ::listen(tcp_fd_, 128) != 0)
+        throw std::runtime_error(
+            "flashmarkd: cannot listen on 127.0.0.1:" +
+            std::to_string(cfg_.tcp_port) + ": " + std::strerror(errno));
+      sockaddr_in bound{};
+      socklen_t blen = sizeof(bound);
+      if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound),
+                        &blen) != 0)
+        throw std::runtime_error("flashmarkd: getsockname failed");
+      bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  } catch (...) {
+    close_fd(unix_fd_);
+    close_fd(tcp_fd_);
+    throw;
+  }
+
+  pool_ = std::make_unique<fleet::ThreadPool>(cfg_.workers);
+  watchdog_th_ = std::thread([this] { watchdog_loop(); });
+  accept_th_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    drain_requested_ = true;
+  }
+  drain_requested_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  std::vector<pollfd> fds;
+  if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+  if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+  while (!accept_stop_.load(std::memory_order_acquire)) {
+    for (auto& p : fds) p.revents = 0;
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+    if (rc <= 0) continue;
+    for (const auto& p : fds) {
+      if (!(p.revents & POLLIN)) continue;
+      int cfd = ::accept(p.fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      reap_finished_conns();
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      if (draining_.load(std::memory_order_acquire) ||
+          conns_.size() >= cfg_.max_connections) {
+        // Refused at the door: the peer sees EOF and classifies it as
+        // kUnavailable ("find another replica"), which is exactly right
+        // both for drain and for a full house.
+        n_.rejected_conns.fetch_add(1, std::memory_order_relaxed);
+        ::close(cfd);
+        continue;
+      }
+      n_.accepted_conns.fetch_add(1, std::memory_order_relaxed);
+      auto slot = std::make_unique<ConnSlot>();
+      slot->conn = std::make_shared<Conn>();
+      slot->conn->fd = cfd;
+      ConnSlot* raw = slot.get();
+      slot->th = std::thread([this, raw] { conn_loop(raw); });
+      conns_.push_back(std::move(slot));
+    }
+  }
+}
+
+void Server::reap_finished_conns() {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      (*it)->th.join();
+      ::close((*it)->conn->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::conn_loop(ConnSlot* slot) {
+  const ConnPtr conn = slot->conn;
+  FrameParser parser;
+  char buf[4096];
+  bool mid_frame = false;
+  Clock::time_point frame_t0{};
+  for (;;) {
+    if (conn->dead.load(std::memory_order_acquire)) break;
+    int timeout = -1;
+    if (mid_frame) {
+      const double left =
+          static_cast<double>(cfg_.frame_timeout_ms) -
+          ms_between(frame_t0, Clock::now());
+      if (left <= 0.0) {
+        // Slow loris: a peer that started a frame must finish it within
+        // the budget. The connection dies; the daemon does not wait.
+        n_.slow_loris_closed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      timeout = std::max(1, static_cast<int>(left));
+    }
+    pollfd p{conn->fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;  // re-check the frame budget
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    parser.feed(buf, static_cast<std::size_t>(n));
+    bool close_conn = false;
+    for (;;) {
+      std::string body;
+      FrameParser::State st = parser.next(&body);
+      if (st == FrameParser::State::kFrame) {
+        if (!handle_frame(conn, body)) {
+          close_conn = true;
+          break;
+        }
+        continue;
+      }
+      if (st == FrameParser::State::kBad) {
+        n_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn = true;
+      }
+      break;
+    }
+    if (close_conn) break;
+    if (parser.pending() > 0) {
+      if (!mid_frame) {
+        mid_frame = true;
+        frame_t0 = Clock::now();
+      }
+    } else {
+      mid_frame = false;
+    }
+  }
+  conn->dead.store(true, std::memory_order_release);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  slot->finished.store(true, std::memory_order_release);
+}
+
+void Server::send_response(const ConnPtr& conn, const Response& rs) {
+  const std::string frame = encode_response_frame(rs);
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must produce EPIPE, not SIGPIPE —
+    // a dead client may never kill the daemon.
+    ssize_t n = ::send(conn->fd, frame.data() + off, frame.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      conn->dead.store(true, std::memory_order_release);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::respond_error(const ConnPtr& conn, const Request& rq,
+                           Status status, const std::string& message) {
+  Response rs;
+  rs.request_id = rq.request_id;
+  rs.op = rq.op;
+  rs.status = status;
+  rs.message = message;
+  count_status(status);
+  send_response(conn, rs);
+}
+
+bool Server::admit_tenant(std::uint32_t tenant) {
+  if (cfg_.tenant_rate_per_s <= 0.0) return true;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  TokenBucket& b = tenants_[tenant];
+  if (!b.primed) {
+    b.tokens = cfg_.tenant_burst;
+    b.primed = true;
+  } else {
+    const double dt = ms_between(b.last, now) / 1e3;
+    b.tokens = std::min(cfg_.tenant_burst,
+                        b.tokens + dt * cfg_.tenant_rate_per_s);
+  }
+  b.last = now;
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+bool Server::handle_frame(const ConnPtr& conn, const std::string& body) {
+  n_.requests.fetch_add(1, std::memory_order_relaxed);
+  std::optional<Request> rq = decode_request_body(body);
+  if (!rq) {
+    // The frame was CRC-clean but structurally wrong: a broken (or hostile)
+    // client library. Poison only this connection.
+    n_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    respond_error(conn, *rq, Status::kShuttingDown, "daemon draining");
+    return true;
+  }
+  if (!admit_tenant(rq->tenant)) {
+    respond_error(conn, *rq, Status::kRateLimited,
+                  "tenant " + std::to_string(rq->tenant) + " over rate");
+    return true;
+  }
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    if (pending_ - executing_ >= cfg_.queue_capacity) {
+      // Load shed: the bounded queue is the daemon's memory-safety valve.
+      // Typed kOverloaded tells the client to back off and retry; silently
+      // queueing would turn one slow die into unbounded latency for all.
+      shed = true;
+    } else {
+      ++pending_;
+    }
+  }
+  if (shed) {
+    respond_error(conn, *rq, Status::kOverloaded, "queue full");
+    return true;
+  }
+  const std::uint32_t budget_ms =
+      rq->deadline_ms == 0 ? cfg_.default_deadline_ms
+                           : std::min(rq->deadline_ms, cfg_.max_deadline_ms);
+  Work w;
+  w.rq = *rq;
+  w.conn = conn;
+  w.deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+  w.progress = std::make_shared<fleet::DieProgress>();
+  pool_->submit([this, w]() mutable { process(std::move(w)); });
+  return true;
+}
+
+void Server::process(Work w) {
+  const Clock::time_point started = Clock::now();
+  auto release_pending = [this] {
+    {
+      std::lock_guard<std::mutex> lk(q_mu_);
+      --pending_;
+    }
+    drain_cv_.notify_all();
+  };
+
+  if (abort_queued_.load(std::memory_order_acquire)) {
+    respond_error(w.conn, w.rq, Status::kShuttingDown,
+                  "daemon drained before this request started");
+    release_pending();
+    return;
+  }
+  if (started >= w.deadline) {
+    respond_error(w.conn, w.rq, Status::kDeadlineExceeded,
+                  "deadline expired while queued");
+    release_pending();
+    return;
+  }
+
+  std::list<ActiveEntry>::iterator active_it;
+  {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    ++executing_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    active_it = active_.insert(active_.end(), {w.progress, w.deadline});
+  }
+  w.progress->mark_started();
+
+  Response rs;
+  rs.request_id = w.rq.request_id;
+  rs.op = w.rq.op;
+  rs.status = Status::kOk;
+  try {
+    switch (w.rq.op) {
+      case Op::kPing:
+        handle_ping(w, rs);
+        break;
+      case Op::kEnroll:
+        handle_enroll(w, rs);
+        break;
+      case Op::kVerify:
+        handle_verify(w, rs);
+        break;
+      case Op::kLotReport:
+        handle_lot_report(rs);
+        break;
+      case Op::kStats:
+        rs.message = stats_csv();
+        break;
+    }
+  } catch (const OperationCancelledError&) {
+    if (abort_queued_.load(std::memory_order_acquire)) {
+      rs.status = Status::kShuttingDown;
+      rs.message = "cancelled by drain";
+    } else {
+      rs.status = Status::kDeadlineExceeded;
+      rs.message = "cancelled: per-request deadline exceeded";
+    }
+  } catch (const std::exception& e) {
+    rs.status = Status::kFailed;
+    rs.message = e.what();
+  }
+
+  w.progress->mark_finished();
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    active_.erase(active_it);
+  }
+  {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    --executing_;
+    --pending_;
+  }
+  drain_cv_.notify_all();
+
+  const double lat_ms = ms_between(started, Clock::now());
+  {
+    std::lock_guard<std::mutex> lk(latency_mu_);
+    latency_ms_.add(lat_ms);
+  }
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global()
+        .histogram("serve.latency_ms", 0.0, 10'000.0, 64)
+        .add(lat_ms);
+  count_status(rs.status);
+  send_response(w.conn, rs);
+}
+
+void Server::handle_ping(const Work& w, Response& rs) {
+  // delay_ms is the load/chaos instrument: a ping that occupies a worker
+  // for a controlled time, cancellable at 1 ms granularity.
+  for (std::uint32_t i = 0; i < w.rq.delay_ms; ++i) {
+    if (w.progress->cancel_requested())
+      throw OperationCancelledError("ping delay");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    w.progress->tick();
+  }
+  rs.message = "pong";
+}
+
+void Server::handle_enroll(const Work& w, Response& rs) {
+  const std::uint64_t die = w.rq.die;
+  if (die >= cfg_.max_dies) {
+    rs.status = Status::kInvalid;
+    rs.message = "die id out of range";
+    return;
+  }
+  const std::uint32_t npe =
+      w.rq.npe == 0 ? cfg_.default_npe : std::min(w.rq.npe, cfg_.max_npe);
+
+  std::lock_guard<std::mutex> die_lk(stripe_for(die));
+  if (is_enrolled(die)) {
+    // Oxide damage is monotone: re-imprinting would overshoot NPE and
+    // distort the watermark. Enroll-once is a hard invariant.
+    rs.status = Status::kInvalid;
+    rs.message = "die already enrolled";
+    return;
+  }
+
+  const WatermarkSpec spec = spec_for(die, npe);
+  session::SessionConfig scfg;
+  scfg.checkpoint_every = cfg_.checkpoint_every;
+  scfg.durable = true;
+  scfg.accelerated = spec.accelerated;
+  scfg.max_retries = spec.max_retries;
+  fleet::DieProgress* progress = w.progress.get();
+  scfg.cancelled = [progress] { return progress->cancel_requested(); };
+  scfg.on_cycle = [progress](std::uint32_t) { progress->tick(); };
+
+  const std::string sdir = session_dir(die);
+  std::unique_ptr<Device> dev;
+  ImprintReport report;
+  if (session::inspect_session(sdir).exists) {
+    // A deadline-cancelled or crashed earlier attempt left its journal:
+    // resume it (parameters come from the begin record, not this request).
+    session::ResumeResult r = session::resume_imprint_session(sdir, scfg);
+    dev = std::move(r.dev);
+    report = r.report;
+    rs.resumed = 1;
+    n_.enroll_resumes.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dev = std::make_unique<Device>(cfg_.device,
+                                   fleet::derive_die_seed(cfg_.master_seed, die));
+    const auto& g = dev->config().geometry;
+    const Addr addr = g.segment_base(cfg_.segment);
+    const EncodedWatermark enc =
+        encode_watermark(spec, g.segment_cells(cfg_.segment));
+    report = session::run_imprint_session(sdir, *dev, addr,
+                                          enc.segment_pattern, npe, scfg);
+  }
+
+  IoStatus st = install_die(die, *dev);
+  if (!st.ok)
+    throw std::runtime_error("could not install enrolled die: " + st.error);
+  n_.enrolls_ok.fetch_add(1, std::memory_order_relaxed);
+  rs.cycles_run = report.npe;
+}
+
+void Server::handle_verify(const Work& w, Response& rs) {
+  const std::uint64_t die = w.rq.die;
+  if (die >= cfg_.max_dies) {
+    rs.status = Status::kInvalid;
+    rs.message = "die id out of range";
+    return;
+  }
+  std::lock_guard<std::mutex> die_lk(stripe_for(die));
+  if (!is_enrolled(die)) {
+    // Pinning an unknown die would *manufacture* it (the store serves a
+    // fleet-simulation use case); a daemon must not grow its population as
+    // a side effect of a typo'd verify.
+    rs.status = Status::kInvalid;
+    rs.message = "die not enrolled";
+    return;
+  }
+
+  store::DieStore::PinnedDie pin = store_->pin(die);
+  VerifyOptions vo = verify_opts_;
+  fleet::DieProgress* progress = w.progress.get();
+  vo.cancelled = [progress] {
+    progress->tick();
+    return progress->cancel_requested();
+  };
+  const Addr addr = pin->config().geometry.segment_base(cfg_.segment);
+  FlashHal* hal = &pin->hal();
+  std::optional<fault::FaultyHal> fhal;
+  if (cfg_.faults.any()) {
+    fhal.emplace(pin->hal(), fault::FaultPlan::for_die(
+                                 cfg_.faults, pin->die_seed(),
+                                 pin->config().geometry));
+    hal = &*fhal;
+  }
+  const VerifyReport report = verify_watermark(*hal, addr, vo);
+
+  rs.verdict = report.verdict;
+  rs.fields = report.fields;
+  rs.zero_fraction = report.zero_fraction;
+  rs.replica_disagreement = report.replica_disagreement;
+  rs.extract_ns = static_cast<std::uint64_t>(report.extract_time.as_ns());
+  rs.ecc_corrected = static_cast<std::uint32_t>(report.ecc_corrected_blocks);
+  rs.retries = report.retries;
+
+  n_.verifies_ok.fetch_add(1, std::memory_order_relaxed);
+  switch (report.verdict) {
+    case Verdict::kGenuine:
+      n_.genuine.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kNoWatermark:
+      n_.no_watermark.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kTampered:
+      n_.tampered.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kUnreadable:
+      n_.unreadable.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Server::handle_lot_report(Response& rs) { rs.lot = lot_report(); }
+
+LotReportBody Server::lot_report() const {
+  LotReportBody lot;
+  {
+    std::lock_guard<std::mutex> lk(enrolled_mu_);
+    lot.enrolled = enrolled_.size();
+  }
+  lot.verifies = n_.verifies_ok.load(std::memory_order_relaxed);
+  lot.genuine = n_.genuine.load(std::memory_order_relaxed);
+  lot.no_watermark = n_.no_watermark.load(std::memory_order_relaxed);
+  lot.tampered = n_.tampered.load(std::memory_order_relaxed);
+  lot.unreadable = n_.unreadable.load(std::memory_order_relaxed);
+  return lot;
+}
+
+void Server::watchdog_loop() {
+  // Same supervision shape as the fleet batch watchdog: poll every active
+  // request's DieProgress; past-deadline requests are cancelled
+  // cooperatively (first cause wins), never killed mid-mutation.
+  const auto poll_dt = std::chrono::duration<double, std::milli>(
+      std::max(0.5, cfg_.watchdog_poll_ms));
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll_dt);
+    const Clock::time_point now = Clock::now();
+    std::lock_guard<std::mutex> lk(active_mu_);
+    for (const ActiveEntry& e : active_) {
+      if (now >= e.deadline)
+        e.progress->request_cancel(fleet::CancelCause::kDeadline);
+    }
+  }
+}
+
+void Server::count_status(Status s) {
+  switch (s) {
+    case Status::kOk:
+      n_.ok.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kOverloaded:
+      n_.overloaded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kRateLimited:
+      n_.rate_limited.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kDeadlineExceeded:
+      n_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kShuttingDown:
+      n_.shutting_down.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kInvalid:
+      n_.invalid.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::kFailed:
+    case Status::kUnavailable:
+      n_.failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+int Server::wait() {
+  {
+    std::unique_lock<std::mutex> lk(drain_mu_);
+    drain_requested_cv_.wait(lk, [this] { return drain_requested_; });
+  }
+  // Phase 0: stop the front door. No new connections, and handle_frame
+  // answers kShuttingDown on the existing ones.
+  accept_stop_.store(true, std::memory_order_release);
+  if (accept_th_.joinable()) accept_th_.join();
+
+  // Phase 1: grace. In-flight and queued work may finish normally.
+  {
+    std::unique_lock<std::mutex> lk(q_mu_);
+    drain_cv_.wait_until(
+        lk, Clock::now() + std::chrono::milliseconds(cfg_.drain_grace_ms),
+        [this] { return pending_ == 0; });
+  }
+
+  // Phase 2: the grace period is over. Queued-but-unstarted work answers
+  // kShuttingDown; executing work is deadline-cancelled. The sweep repeats
+  // because a job may slip past the abort check into a handler between
+  // sweeps — its registration in active_ makes the next sweep catch it.
+  abort_queued_.store(true, std::memory_order_release);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(active_mu_);
+      for (const ActiveEntry& e : active_)
+        e.progress->request_cancel(fleet::CancelCause::kDeadline);
+    }
+    std::unique_lock<std::mutex> lk(q_mu_);
+    if (drain_cv_.wait_for(lk, std::chrono::milliseconds(50),
+                           [this] { return pending_ == 0; }))
+      break;
+  }
+
+  pool_.reset();  // joins workers; the queue is empty by now
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_th_.joinable()) watchdog_th_.join();
+
+  // Tear down connections (responses are all sent: workers are gone).
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& slot : conns_) {
+      slot->conn->dead.store(true, std::memory_order_release);
+      ::shutdown(slot->conn->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<ConnSlot> slot;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      if (conns_.empty()) break;
+      slot = std::move(conns_.front());
+      conns_.pop_front();
+    }
+    slot->th.join();
+    ::close(slot->conn->fd);
+  }
+
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+  if (!cfg_.socket_path.empty()) ::unlink(cfg_.socket_path.c_str());
+
+  // The exit-code contract: 0 only when every dirty die reached disk.
+  const IoStatus flushed = store_->flush_all();
+
+  if (obs::metrics_enabled()) {
+    fold_into(obs::MetricsRegistry::global());
+    store_->fold_into(obs::MetricsRegistry::global(), "store");
+  }
+  stopped_.store(true, std::memory_order_release);
+  return flushed.ok ? 0 : 1;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted_conns = n_.accepted_conns.load(std::memory_order_relaxed);
+  s.rejected_conns = n_.rejected_conns.load(std::memory_order_relaxed);
+  s.protocol_errors = n_.protocol_errors.load(std::memory_order_relaxed);
+  s.slow_loris_closed = n_.slow_loris_closed.load(std::memory_order_relaxed);
+  s.requests = n_.requests.load(std::memory_order_relaxed);
+  s.ok = n_.ok.load(std::memory_order_relaxed);
+  s.overloaded = n_.overloaded.load(std::memory_order_relaxed);
+  s.rate_limited = n_.rate_limited.load(std::memory_order_relaxed);
+  s.deadline_exceeded = n_.deadline_exceeded.load(std::memory_order_relaxed);
+  s.shutting_down = n_.shutting_down.load(std::memory_order_relaxed);
+  s.invalid = n_.invalid.load(std::memory_order_relaxed);
+  s.failed = n_.failed.load(std::memory_order_relaxed);
+  s.enrolls_ok = n_.enrolls_ok.load(std::memory_order_relaxed);
+  s.enroll_resumes = n_.enroll_resumes.load(std::memory_order_relaxed);
+  s.verifies_ok = n_.verifies_ok.load(std::memory_order_relaxed);
+  s.sessions_recovered = n_.sessions_recovered.load(std::memory_order_relaxed);
+  s.sessions_discarded = n_.sessions_discarded.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    s.queue_depth = pending_ - executing_;
+    s.in_flight = executing_;
+  }
+  return s;
+}
+
+void Server::fold_into(obs::MetricsRegistry& reg) const {
+  const ServerStats s = stats();
+  reg.gauge("serve.accepted_conns").set(static_cast<double>(s.accepted_conns));
+  reg.gauge("serve.rejected_conns").set(static_cast<double>(s.rejected_conns));
+  reg.gauge("serve.protocol_errors")
+      .set(static_cast<double>(s.protocol_errors));
+  reg.gauge("serve.slow_loris_closed")
+      .set(static_cast<double>(s.slow_loris_closed));
+  reg.gauge("serve.requests").set(static_cast<double>(s.requests));
+  reg.gauge("serve.ok").set(static_cast<double>(s.ok));
+  reg.gauge("serve.overloaded").set(static_cast<double>(s.overloaded));
+  reg.gauge("serve.rate_limited").set(static_cast<double>(s.rate_limited));
+  reg.gauge("serve.deadline_exceeded")
+      .set(static_cast<double>(s.deadline_exceeded));
+  reg.gauge("serve.shutting_down").set(static_cast<double>(s.shutting_down));
+  reg.gauge("serve.invalid").set(static_cast<double>(s.invalid));
+  reg.gauge("serve.failed").set(static_cast<double>(s.failed));
+  reg.gauge("serve.enrolls_ok").set(static_cast<double>(s.enrolls_ok));
+  reg.gauge("serve.enroll_resumes")
+      .set(static_cast<double>(s.enroll_resumes));
+  reg.gauge("serve.verifies_ok").set(static_cast<double>(s.verifies_ok));
+  reg.gauge("serve.sessions_recovered")
+      .set(static_cast<double>(s.sessions_recovered));
+  reg.gauge("serve.sessions_discarded")
+      .set(static_cast<double>(s.sessions_discarded));
+  reg.gauge("serve.queue_depth").set(static_cast<double>(s.queue_depth));
+  reg.gauge("serve.in_flight").set(static_cast<double>(s.in_flight));
+  const LotReportBody lot = lot_report();
+  reg.gauge("serve.enrolled").set(static_cast<double>(lot.enrolled));
+  reg.gauge("serve.verdict.genuine").set(static_cast<double>(lot.genuine));
+  reg.gauge("serve.verdict.no_watermark")
+      .set(static_cast<double>(lot.no_watermark));
+  reg.gauge("serve.verdict.tampered").set(static_cast<double>(lot.tampered));
+  reg.gauge("serve.verdict.unreadable")
+      .set(static_cast<double>(lot.unreadable));
+  {
+    std::lock_guard<std::mutex> lk(latency_mu_);
+    reg.gauge("serve.latency_ms.count")
+        .set(static_cast<double>(latency_ms_.count()));
+    reg.gauge("serve.latency_ms.mean").set(latency_ms_.mean());
+    reg.gauge("serve.latency_ms.min").set(latency_ms_.min());
+    reg.gauge("serve.latency_ms.max").set(latency_ms_.max());
+  }
+}
+
+std::string Server::stats_csv() const {
+  // A private registry: the snapshot works with global metrics disabled and
+  // never mingles with another server instance in the same process.
+  obs::MetricsRegistry reg;
+  fold_into(reg);
+  store_->fold_into(reg, "store");
+  return reg.to_csv();
+}
+
+}  // namespace flashmark::serve

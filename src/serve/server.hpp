@@ -1,0 +1,348 @@
+// flashmarkd — the authentication daemon (ROADMAP item 4).
+//
+// A Server owns the die population (an out-of-core store::DieStore over
+// `<data_dir>/dies`) and a fleet::ThreadPool of request workers, and serves
+// enroll / verify / lot-report / stats over the CRC-framed protocol of
+// serve/protocol.hpp on a Unix (and optionally TCP) socket.
+//
+// Robustness model (DESIGN.md §15):
+//
+//  * Admission control. Requests pass three gates in the connection thread
+//    before any work is queued: drain state (kShuttingDown), per-tenant
+//    token bucket (kRateLimited), bounded queue (kOverloaded). Load is shed
+//    with a typed status the client can back off on — the queue never grows
+//    unboundedly and a slow worker cannot wedge the accept path.
+//
+//  * Per-request deadlines. Every admitted request carries a
+//    fleet::DieProgress token; handlers tick it between units of work and a
+//    watchdog thread cancels (first-cause-wins) any request past its
+//    deadline, exactly like the fleet batch watchdog cancels a stuck die.
+//    A request that expires while still queued is answered without running.
+//
+//  * Crash-safe enroll. Enrollment imprints through a src/session journaled
+//    session under `<data_dir>/sessions/die-<n>`; the die file is installed
+//    into the store only after the imprint completed (atomic replace,
+//    fsync). kill -9 at any instant loses nothing: on the next start() the
+//    daemon resumes every incomplete session to completion and installs the
+//    result before accepting traffic. A deadline-cancelled enroll leaves
+//    its session behind, so the client's retry *resumes* instead of
+//    restarting.
+//
+//  * Graceful drain. request_drain() (SIGTERM in the binary) stops accepts,
+//    answers new requests kShuttingDown, gives in-flight work a grace
+//    period, deadline-cancels what remains, flushes every dirty die
+//    (DieStore::flush_all) and returns 0 only when all state is on disk.
+//
+//  * Chaos hooks. A fault::FaultConfig in the config wraps every request's
+//    die HAL in a FaultyHal (plan derived from the die seed, so injected
+//    faults are deterministic per die); socket-level faults are the
+//    client's/test's job (tests/serve_chaos_test.cpp).
+//
+// Determinism: serving is scheduling-dependent by nature (queue order, shed
+// decisions, latencies) and sits OUTSIDE the byte-identity contract — but a
+// verify *result* is a pure function of (die state, verify options), so any
+// two daemons serving the same population return bit-identical verdicts
+// (docs/REPRODUCIBILITY.md §10).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/thread_pool.hpp"
+#include "serve/protocol.hpp"
+#include "store/die_store.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace flashmark::obs {
+class MetricsRegistry;
+}  // namespace flashmark::obs
+
+namespace flashmark::serve {
+
+struct ServerConfig {
+  // --- endpoint -----------------------------------------------------------
+  /// Unix-domain socket path; bound on start() (a stale file is unlinked).
+  /// Empty = no unix listener (then tcp_port must be >= 0).
+  std::string socket_path;
+  /// >= 0: also listen on 127.0.0.1:<tcp_port> (0 = ephemeral; the bound
+  /// port is readable via tcp_port() after start()). -1 = unix only.
+  int tcp_port = -1;
+  std::size_t max_connections = 256;
+
+  // --- request plane ------------------------------------------------------
+  unsigned workers = 4;
+  /// Bounded admission queue: requests beyond (queue_capacity + running)
+  /// are shed with kOverloaded.
+  std::size_t queue_capacity = 64;
+  std::uint32_t default_deadline_ms = 2'000;
+  std::uint32_t max_deadline_ms = 30'000;
+  /// A peer that started a frame must finish it within this budget
+  /// (slow-loris defense; the connection is closed, not the daemon stalled).
+  std::uint32_t frame_timeout_ms = 2'000;
+  /// Drain: how long in-flight work may finish before it is cancelled.
+  std::uint32_t drain_grace_ms = 5'000;
+  double watchdog_poll_ms = 2.0;
+
+  // --- per-tenant token bucket (rate 0 = unlimited) -----------------------
+  double tenant_rate_per_s = 0.0;
+  double tenant_burst = 8.0;
+
+  // --- population ---------------------------------------------------------
+  /// Daemon state root: `<data_dir>/dies` (store) + `<data_dir>/sessions`
+  /// (in-progress enrolls). Created on start().
+  std::string data_dir;
+  DeviceConfig device = DeviceConfig::msp430f5438();
+  std::uint64_t master_seed = 0xF1A5'0001;
+  std::size_t max_resident = 256;
+  /// Die-id validity bound (field/range discipline: an id past the
+  /// population size is kInvalid, not a gigantic allocation).
+  std::uint64_t max_dies = 1u << 20;
+
+  // --- enroll -------------------------------------------------------------
+  std::size_t segment = 0;
+  std::size_t n_replicas = 7;
+  std::uint32_t default_npe = 4'000;
+  std::uint32_t max_npe = 100'000;
+  std::uint32_t checkpoint_every = 512;
+  std::optional<SipHashKey> key;
+  std::uint16_t manufacturer_id = 0x7C01;
+  std::uint8_t speed_grade = 2;
+  std::uint16_t date_code = 0x33A;  ///< ((year-2000)<<6)|week
+
+  // --- verify -------------------------------------------------------------
+  /// Baseline verify options; `key`/`n_replicas` above override the
+  /// matching fields so verification always matches enrollment.
+  VerifyOptions verify;
+
+  // --- chaos --------------------------------------------------------------
+  /// When any fault is enabled, every request's die HAL is wrapped in a
+  /// FaultyHal whose plan derives from the die seed (deterministic per die).
+  fault::FaultConfig faults;
+};
+
+/// Point-in-time snapshot of the daemon's counters (all monotonic except
+/// queue_depth/in_flight/resident).
+struct ServerStats {
+  std::uint64_t accepted_conns = 0;
+  std::uint64_t rejected_conns = 0;   ///< over max_connections or draining
+  std::uint64_t protocol_errors = 0;  ///< torn/corrupt frames, bad bodies
+  std::uint64_t slow_loris_closed = 0;
+
+  std::uint64_t requests = 0;  ///< decoded requests (pre-admission)
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t failed = 0;
+
+  std::uint64_t enrolls_ok = 0;
+  std::uint64_t enroll_resumes = 0;      ///< enrolls that continued a session
+  std::uint64_t verifies_ok = 0;
+  std::uint64_t sessions_recovered = 0;  ///< start()-time crash recovery
+  std::uint64_t sessions_discarded = 0;  ///< unusable session dirs removed
+
+  std::uint64_t queue_depth = 0;  ///< admitted, not yet executing
+  std::uint64_t in_flight = 0;    ///< executing right now
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  /// Joins everything. Calls request_drain()+wait() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Recover interrupted enroll sessions, bind the listener(s), spawn the
+  /// accept/worker/watchdog threads. Throws std::runtime_error on bind or
+  /// recovery I/O failures.
+  void start();
+
+  /// Begin graceful drain (idempotent, thread-safe — but NOT
+  /// async-signal-safe: a signal handler must relay through a self-pipe,
+  /// as tools/flashmarkd.cpp does).
+  void request_drain();
+
+  /// Block until request_drain() was called, then complete the drain:
+  /// stop accepting, finish or cancel in-flight work, join all threads,
+  /// flush the store. Returns the daemon exit code: 0 when every dirty die
+  /// reached disk, 1 otherwise.
+  int wait();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Actual bound TCP port (after start(); -1 when no TCP listener).
+  int tcp_port() const { return bound_tcp_port_; }
+
+  ServerStats stats() const;
+  LotReportBody lot_report() const;
+
+  /// Deterministically-sorted CSV snapshot (the kStats payload): serve
+  /// gauges + store gauges + latency summary, built on a private registry
+  /// so it works with global metrics off.
+  std::string stats_csv() const;
+
+  /// Fold the serve gauges into `reg` under "serve." (Exporter integration;
+  /// called automatically on drain when metrics are enabled).
+  void fold_into(obs::MetricsRegistry& reg) const;
+
+  const ServerConfig& config() const { return cfg_; }
+  /// The store (for tests: residency/flush assertions).
+  store::DieStore& store() { return *store_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  struct ConnSlot {
+    ConnPtr conn;
+    std::thread th;
+    std::atomic<bool> finished{false};
+  };
+
+  struct Work {
+    Request rq;
+    ConnPtr conn;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<fleet::DieProgress> progress;
+  };
+
+  struct ActiveEntry {
+    std::shared_ptr<fleet::DieProgress> progress;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  struct TokenBucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last{};
+    bool primed = false;
+  };
+
+  // listener / connection plane
+  void accept_loop();
+  void conn_loop(ConnSlot* slot);
+  void reap_finished_conns();
+  /// Handle one decoded frame on `conn`. Returns false when the connection
+  /// must be closed (protocol violation).
+  bool handle_frame(const ConnPtr& conn, const std::string& body);
+  void send_response(const ConnPtr& conn, const Response& rs);
+  void respond_error(const ConnPtr& conn, const Request& rq, Status status,
+                     const std::string& message);
+
+  // request plane
+  bool admit_tenant(std::uint32_t tenant);
+  void process(Work w);
+  void handle_ping(const Work& w, Response& rs);
+  void handle_enroll(const Work& w, Response& rs);
+  void handle_verify(const Work& w, Response& rs);
+  void handle_lot_report(Response& rs);
+  void finish(const Work& w, Response& rs,
+              std::chrono::steady_clock::time_point started);
+  void watchdog_loop();
+
+  // population
+  void recover_sessions();
+  void scan_enrolled();
+  std::string sessions_dir() const;
+  std::string session_dir(std::uint64_t die) const;
+  bool is_enrolled(std::uint64_t die) const;
+  WatermarkSpec spec_for(std::uint64_t die, std::uint32_t npe) const;
+  /// Install a finished enroll: die file into the store dir (atomic), then
+  /// retire the session directory.
+  IoStatus install_die(std::uint64_t die, const Device& dev);
+
+  void count_status(Status s);
+  std::mutex& stripe_for(std::uint64_t die);
+
+  ServerConfig cfg_;
+  VerifyOptions verify_opts_;  ///< cfg_.verify with key/replicas aligned
+  std::unique_ptr<store::DieStore> store_;
+  std::unique_ptr<fleet::ThreadPool> pool_;
+
+  // listeners
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::thread accept_th_;
+  std::atomic<bool> accept_stop_{false};
+
+  // connections
+  mutable std::mutex conns_mu_;
+  std::list<std::unique_ptr<ConnSlot>> conns_;
+
+  // admission + queue (guarded by q_mu_)
+  mutable std::mutex q_mu_;
+  std::condition_variable drain_cv_;   ///< pending_ transitions
+  std::size_t pending_ = 0;    ///< admitted (queued or executing)
+  std::size_t executing_ = 0;  ///< currently in a handler
+  /// Drain phase 2: queued-but-not-started work answers kShuttingDown
+  /// instead of executing.
+  std::atomic<bool> abort_queued_{false};
+
+  mutable std::mutex tenants_mu_;
+  std::unordered_map<std::uint32_t, TokenBucket> tenants_;
+
+  // deadline watchdog
+  std::thread watchdog_th_;
+  std::atomic<bool> watchdog_stop_{false};
+  mutable std::mutex active_mu_;
+  std::list<ActiveEntry> active_;
+
+  // per-die serialization of enroll/verify
+  static constexpr std::size_t kStripes = 64;
+  std::vector<std::unique_ptr<std::mutex>> stripes_;
+
+  // enrolled population
+  mutable std::mutex enrolled_mu_;
+  std::unordered_set<std::uint64_t> enrolled_;
+
+  // drain state machine: running -> draining (request_drain) -> stopped
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_requested_cv_;
+  bool drain_requested_ = false;
+
+  // counters (relaxed atomics; snapshot via stats())
+  struct AtomicStats {
+    std::atomic<std::uint64_t> accepted_conns{0}, rejected_conns{0},
+        protocol_errors{0}, slow_loris_closed{0}, requests{0}, ok{0},
+        overloaded{0}, rate_limited{0}, deadline_exceeded{0},
+        shutting_down{0}, invalid{0}, failed{0}, enrolls_ok{0},
+        enroll_resumes{0}, verifies_ok{0}, sessions_recovered{0},
+        sessions_discarded{0}, genuine{0}, no_watermark{0}, tampered{0},
+        unreadable{0};
+  };
+  AtomicStats n_;
+
+  mutable std::mutex latency_mu_;
+  RunningStats latency_ms_;
+};
+
+}  // namespace flashmark::serve

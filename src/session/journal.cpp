@@ -126,7 +126,22 @@ JournalWriter JournalWriter::open(const std::string& path, bool durable) {
 void JournalWriter::append(const JournalRecord& rec, bool sync) {
   FLASHMARK_SPAN("journal.append");
   const std::string line = frame_record(rec);
-  if (std::fwrite(line.data(), 1, line.size(), file_.get()) != line.size())
+  std::size_t want = line.size();
+  if (FaultyFsio::armed()) {
+    IoCause injected = IoCause::kNone;
+    const std::size_t allow =
+        FaultyFsio::filter_write(path_, line.size(), &injected);
+    if (allow < line.size()) {
+      // Deliver the torn prefix and flush it, so the on-disk journal really
+      // carries the half-record a crashed real write would leave — replay's
+      // torn-tail handling is what is under test.
+      if (allow > 0) std::fwrite(line.data(), 1, allow, file_.get());
+      std::fflush(file_.get());
+      throw std::runtime_error("journal append: write failed: " + path_ +
+                               " (" + to_string(injected) + ")");
+    }
+  }
+  if (std::fwrite(line.data(), 1, want, file_.get()) != want)
     throw std::runtime_error("journal append: write failed: " + path_);
   if (sync && durable_) this->sync();
   if (sync && !durable_) {

@@ -130,12 +130,23 @@ DieStore::PinnedDie DieStore::pin(std::size_t die) {
 void DieStore::evict_excess(std::unique_lock<std::mutex>& lk) {
   while (resident_ > cfg_.max_resident) {
     auto victim = map_.end();
+    bool skipped_dirty = false;
     for (auto it = map_.begin(); it != map_.end(); ++it) {
       Entry& e = it->second;
       if (e.busy || e.pins > 0 || !e.dev) continue;
+      if (write_blocked_ && e.dev->dirty()) {
+        // The volume is full: attempting this save again is doomed and
+        // would turn every pin into a failed write. The die stays resident
+        // (over cap) until a flush succeeds and clears the latch.
+        skipped_dirty = true;
+        continue;
+      }
       if (victim == map_.end() || e.lru < victim->second.lru) victim = it;
     }
-    if (victim == map_.end()) return;  // all pinned/busy: over cap, allowed
+    if (victim == map_.end()) {
+      if (skipped_dirty) ++stats_.eviction_blocked_skips;
+      return;  // all pinned/busy/write-blocked: over cap, allowed
+    }
 
     const std::size_t vdie = victim->first;
     Entry& ve = victim->second;
@@ -150,7 +161,10 @@ void DieStore::evict_excess(std::unique_lock<std::mutex>& lk) {
     lk.lock();
     if (st) {
       ++stats_.evictions;
-      if (was_dirty) ++stats_.eviction_saves;
+      if (was_dirty) {
+        ++stats_.eviction_saves;
+        note_save_result(st);
+      }
       map_.erase(vdie);
       --resident_;
       cv_.notify_all();
@@ -158,10 +172,22 @@ void DieStore::evict_excess(std::unique_lock<std::mutex>& lk) {
       // Never drop unsaved state: the die stays resident (over cap) and the
       // failure is visible in stats/metrics.
       ++stats_.eviction_errors;
+      if (st.cause == IoCause::kNoSpace) ++stats_.eviction_no_space;
+      note_save_result(st);
       ve.busy = false;
       cv_.notify_all();
       return;
     }
+  }
+}
+
+void DieStore::note_save_result(const IoStatus& st) {
+  if (st.ok) {
+    write_blocked_ = false;
+    last_save_error_ = IoStatus::success();
+  } else {
+    last_save_error_ = st;
+    if (st.cause == IoCause::kNoSpace) write_blocked_ = true;
   }
 }
 
@@ -212,6 +238,7 @@ IoStatus DieStore::flush(std::size_t die) {
       dev->mark_clean();
       ++stats_.flushed_dirty;
     }
+    note_save_result(st);
     e.busy = false;
     cv_.notify_all();
     return st;
@@ -243,14 +270,21 @@ DieStoreStats DieStore::stats() const {
   return stats_;
 }
 
+IoStatus DieStore::last_save_error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_save_error_;
+}
+
 void DieStore::fold_into(obs::MetricsRegistry& reg,
                          const std::string& prefix) const {
   DieStoreStats s;
   std::size_t res = 0;
+  bool blocked = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     s = stats_;
     res = resident_;
+    blocked = write_blocked_;
   }
   const auto g = [&](const char* name, std::uint64_t v) {
     reg.gauge(prefix + "." + name).set(static_cast<double>(v));
@@ -262,10 +296,13 @@ void DieStore::fold_into(obs::MetricsRegistry& reg,
   g("evictions", s.evictions);
   g("eviction_saves", s.eviction_saves);
   g("eviction_errors", s.eviction_errors);
+  g("eviction_no_space", s.eviction_no_space);
+  g("eviction_blocked_skips", s.eviction_blocked_skips);
   g("flushed_dirty", s.flushed_dirty);
   g("flush_clean_skips", s.flush_clean_skips);
   g("flush_pinned_skips", s.flush_pinned_skips);
   g("resident", res);
+  g("write_blocked", blocked ? 1 : 0);
 }
 
 }  // namespace flashmark::store

@@ -28,7 +28,13 @@
 // Eviction never loses state: if a dirty die's save fails (disk full,
 // permission), the die stays resident, the failure is counted in
 // `eviction_errors`, and the store simply runs over capacity — the operator
-// sees the cause in stats/metrics instead of silent data loss.
+// sees the cause in stats/metrics instead of silent data loss. A failure
+// whose IoCause is kNoSpace additionally latches the store into a
+// write-blocked state: a full volume is not transient, so until some save
+// succeeds again the eviction path stops attempting dirty saves entirely
+// (clean dies still evict — they need no write) instead of hammering a
+// doomed flush on every pin. The latch, the cause, and the no-space count
+// are all visible through stats()/last_save_error()/fold_into().
 #pragma once
 
 #include <cstdint>
@@ -76,6 +82,9 @@ struct DieStoreStats {
   std::uint64_t evictions = 0;     ///< dies dropped to enforce the cap
   std::uint64_t eviction_saves = 0;   ///< evictions that had to write state
   std::uint64_t eviction_errors = 0;  ///< failed saves (die kept resident)
+  std::uint64_t eviction_no_space = 0;  ///< eviction_errors caused by ENOSPC
+  std::uint64_t eviction_blocked_skips = 0;  ///< dirty saves not attempted
+                                             ///< while write-blocked
   std::uint64_t flushed_dirty = 0;    ///< explicit flushes that wrote state
   std::uint64_t flush_clean_skips = 0;  ///< flushes skipped on a clean die
   std::uint64_t flush_pinned_skips = 0;  ///< flushes refused on a pinned die
@@ -159,6 +168,12 @@ class DieStore {
 
   DieStoreStats stats() const;
 
+  /// The failure that latched the store write-blocked (IoStatus::success()
+  /// when saves are healthy). While blocked, eviction does not attempt dirty
+  /// saves; the first successful save (a later flush once space returns)
+  /// clears it.
+  IoStatus last_save_error() const;
+
   /// Export the stats as gauges under `<prefix>.` plus a `resident` gauge.
   /// Gauges (set, not add) so repeated folds are idempotent. These values
   /// are scheduling-dependent at threads > 1 — outside the §6 byte-identity
@@ -185,6 +200,8 @@ class DieStore {
   /// Evict LRU unpinned dies until the cap holds (called with `lk` held;
   /// unlocks around I/O).
   void evict_excess(std::unique_lock<std::mutex>& lk);
+  /// Update the write-blocked latch from a completed save (mu_ held).
+  void note_save_result(const IoStatus& st);
 
   DieStoreConfig cfg_;
   mutable std::mutex mu_;
@@ -193,6 +210,10 @@ class DieStore {
   std::size_t resident_ = 0;
   std::uint64_t tick_ = 0;
   DieStoreStats stats_;
+  /// Set when a save failed with IoCause::kNoSpace; cleared by the next
+  /// successful save. Guards the eviction path against doomed retries.
+  bool write_blocked_ = false;
+  IoStatus last_save_error_;
 };
 
 }  // namespace flashmark::store

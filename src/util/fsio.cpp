@@ -2,10 +2,14 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <optional>
 
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "util/rng.hpp"
 
 namespace flashmark {
 
@@ -15,7 +19,82 @@ std::string errno_text(const char* op, const std::string& path) {
   return std::string(op) + " " + path + ": " + std::strerror(errno);
 }
 
+IoCause cause_from_errno(int e) {
+#ifdef EDQUOT
+  if (e == ENOSPC || e == EDQUOT) return IoCause::kNoSpace;
+#else
+  if (e == ENOSPC) return IoCause::kNoSpace;
+#endif
+  return IoCause::kOther;
+}
+
+// FaultyFsio state: one mutex-guarded global, like metrics_enabled — the
+// hook is a test instrument, not a per-store object, because the interesting
+// failures (journal append, checkpoint replace) happen deep inside layers
+// that do not thread a config through.
+struct FsioFaultState {
+  FsioFaultConfig cfg;
+  Rng rng{1};
+  std::uint64_t failures = 0;
+};
+
+std::mutex g_fault_mu;
+std::optional<FsioFaultState> g_fault;
+
 }  // namespace
+
+const char* to_string(IoCause c) {
+  switch (c) {
+    case IoCause::kNone: return "none";
+    case IoCause::kNoSpace: return "no-space";
+    case IoCause::kShortWrite: return "short-write";
+    case IoCause::kOther: return "other";
+  }
+  return "?";
+}
+
+void FaultyFsio::install(const FsioFaultConfig& cfg) {
+  std::lock_guard<std::mutex> lk(g_fault_mu);
+  g_fault.emplace();
+  g_fault->cfg = cfg;
+  g_fault->rng = Rng(cfg.seed);
+}
+
+void FaultyFsio::uninstall() {
+  std::lock_guard<std::mutex> lk(g_fault_mu);
+  g_fault.reset();
+}
+
+bool FaultyFsio::armed() {
+  std::lock_guard<std::mutex> lk(g_fault_mu);
+  return g_fault.has_value();
+}
+
+std::uint64_t FaultyFsio::failures() {
+  std::lock_guard<std::mutex> lk(g_fault_mu);
+  return g_fault ? g_fault->failures : 0;
+}
+
+std::size_t FaultyFsio::filter_write(const std::string& path, std::size_t n,
+                                     IoCause* cause) {
+  std::lock_guard<std::mutex> lk(g_fault_mu);
+  *cause = IoCause::kNone;
+  if (!g_fault) return n;
+  FsioFaultState& st = *g_fault;
+  if (st.failures >= st.cfg.max_failures) return n;
+  if (!st.cfg.only_path_substring.empty() &&
+      path.find(st.cfg.only_path_substring) == std::string::npos)
+    return n;
+  if (!st.rng.bernoulli(st.cfg.write_fail_p)) return n;
+  ++st.failures;
+  *cause = st.cfg.no_space ? IoCause::kNoSpace : IoCause::kShortWrite;
+  // Scale the tear point by a draw so the torn tail lands at a different
+  // offset each time — replay must cope with any cut, not one fixed cut.
+  const double frac = st.cfg.short_write_fraction * st.rng.uniform();
+  std::size_t keep = static_cast<std::size_t>(frac * static_cast<double>(n));
+  if (keep >= n) keep = n > 0 ? n - 1 : 0;
+  return keep;
+}
 
 std::string parent_dir(const std::string& path) {
   const auto slash = path.find_last_of('/');
@@ -25,9 +104,12 @@ std::string parent_dir(const std::string& path) {
 }
 
 IoStatus fsync_stream(std::FILE* f) {
-  if (std::fflush(f) != 0) return IoStatus::failure(errno_text("fflush", "stream"));
+  if (std::fflush(f) != 0)
+    return IoStatus::failure(errno_text("fflush", "stream"),
+                             cause_from_errno(errno));
   if (::fsync(::fileno(f)) != 0)
-    return IoStatus::failure(errno_text("fsync", "stream"));
+    return IoStatus::failure(errno_text("fsync", "stream"),
+                             cause_from_errno(errno));
   return IoStatus::success();
 }
 
@@ -36,7 +118,9 @@ IoStatus fsync_parent_dir(const std::string& path) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return IoStatus::failure(errno_text("open dir", dir));
   IoStatus st = IoStatus::success();
-  if (::fsync(fd) != 0) st = IoStatus::failure(errno_text("fsync dir", dir));
+  if (::fsync(fd) != 0)
+    st = IoStatus::failure(errno_text("fsync dir", dir),
+                           cause_from_errno(errno));
   ::close(fd);
   return st;
 }
@@ -48,14 +132,30 @@ IoStatus atomic_write_file(const std::string& path, const std::string& content,
   if (!f) return IoStatus::failure(errno_text("open", tmp));
 
   IoStatus st = IoStatus::success();
-  if (!content.empty() &&
-      std::fwrite(content.data(), 1, content.size(), f) != content.size())
-    st = IoStatus::failure(errno_text("write", tmp));
+  std::size_t want = content.size();
+  IoCause injected = IoCause::kNone;
+  if (FaultyFsio::armed()) {
+    const std::size_t allow = FaultyFsio::filter_write(path, want, &injected);
+    if (allow < want) {
+      want = allow;  // deliver the torn prefix, then report the failure
+      st = IoStatus::failure("write " + tmp + ": injected " +
+                                 std::string(to_string(injected)),
+                             injected);
+    }
+  }
+  if (want > 0) {
+    errno = 0;
+    if (std::fwrite(content.data(), 1, want, f) != want && st.ok)
+      st = IoStatus::failure(
+          errno_text("write", tmp),
+          errno != 0 ? cause_from_errno(errno) : IoCause::kShortWrite);
+  }
   if (st.ok && durable) st = fsync_stream(f);
   if (std::fclose(f) != 0 && st.ok)
-    st = IoStatus::failure(errno_text("close", tmp));
+    st = IoStatus::failure(errno_text("close", tmp), cause_from_errno(errno));
   if (st.ok && std::rename(tmp.c_str(), path.c_str()) != 0)
-    st = IoStatus::failure(errno_text("rename", tmp + " -> " + path));
+    st = IoStatus::failure(errno_text("rename", tmp + " -> " + path),
+                           cause_from_errno(errno));
   if (!st.ok) {
     std::remove(tmp.c_str());
     return st;

@@ -11,34 +11,55 @@
 //    journal's on-disk prefix is always a valid record sequence up to the
 //    last sync.
 //
-// Failures are reported as a status + cause string instead of a bare bool:
-// callers surface *why* a checkpoint could not be made durable (disk full,
+// Failures are reported as a status + cause instead of a bare bool: callers
+// surface *why* a checkpoint could not be made durable (disk full,
 // permission, missing directory), which matters operationally for runs that
-// take hours.
+// take hours. The machine-readable `IoCause` lets policy react to the cause:
+// a full volume is not transient, so retrying the same write is doomed
+// (DieStore's eviction path keys off kNoSpace for exactly this).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 namespace flashmark {
 
+/// Machine-readable failure class of a filesystem operation. Coarse on
+/// purpose: callers only branch on "volume is full" (not transient — stop
+/// retrying) vs "bytes went missing" (torn write: the atomic-replace path
+/// guarantees the target was untouched) vs everything else.
+enum class IoCause : std::uint8_t {
+  kNone = 0,    ///< success
+  kNoSpace,     ///< ENOSPC / EDQUOT: the volume (or quota) is full
+  kShortWrite,  ///< fewer bytes written than requested, no errno to blame
+  kOther,       ///< open / rename / fsync / read / ... failure
+};
+
+const char* to_string(IoCause c);
+
 /// Outcome of a filesystem operation. Boolean-testable; `error` holds the
-/// human-readable cause (including errno text) when the operation failed.
+/// human-readable cause (including errno text) when the operation failed,
+/// `cause` the machine-readable class.
 struct IoStatus {
   bool ok = true;
   std::string error;
+  IoCause cause = IoCause::kNone;
 
   explicit operator bool() const { return ok; }
 
   static IoStatus success() { return {}; }
-  static IoStatus failure(std::string cause) {
-    return {false, std::move(cause)};
+  static IoStatus failure(std::string cause_text,
+                          IoCause cause = IoCause::kOther) {
+    return {false, std::move(cause_text), cause};
   }
 };
 
 /// Atomically replace `path` with `content`: write `path + ".tmp"`, flush
 /// (+fsync when `durable`), rename over `path`, and fsync the parent
-/// directory. The temp file is removed on any failure.
+/// directory. The temp file is removed on any failure — `path` itself is
+/// never left torn, whatever the returned cause says.
 IoStatus atomic_write_file(const std::string& path, const std::string& content,
                            bool durable = true);
 
@@ -58,5 +79,49 @@ IoStatus make_dirs(const std::string& path);
 
 /// The directory component of `path` ("." when there is none).
 std::string parent_dir(const std::string& path);
+
+// --- deterministic write-fault injection -----------------------------------
+
+/// Configuration of the process-global fsio fault hook (the filesystem
+/// sibling of fault::FaultConfig). All draws come from one seeded stream, so
+/// a test's fault schedule is a pure function of (seed, sequence of writes).
+struct FsioFaultConfig {
+  std::uint64_t seed = 1;
+  /// Per-write Bernoulli probability that the write fails.
+  double write_fail_p = 0.0;
+  /// Fraction of the requested bytes delivered before a failing write stops
+  /// (uniformly scaled by a draw, so tears land at varying offsets).
+  double short_write_fraction = 0.5;
+  /// Injected failure class: true = kNoSpace (full volume, not transient),
+  /// false = kShortWrite (torn write).
+  bool no_space = true;
+  /// Stop injecting after this many failures ("the disk recovers").
+  std::uint32_t max_failures = 0xFFFF'FFFF;
+  /// When non-empty, only writes whose path contains this substring are
+  /// eligible (e.g. ".fm" to fault checkpoints but not the journal).
+  std::string only_path_substring;
+};
+
+/// Seeded fault hook mirroring fault::FaultyHal, but for the fsio layer:
+/// while installed, atomic_write_file and the session journal's append path
+/// consult it before touching the disk and fail deterministically. Tests use
+/// it to prove the WAL + checkpoint discipline recovers from torn tails and
+/// ENOSPC without a corrupt resume. Install/uninstall are thread-safe;
+/// production binaries never install it.
+class FaultyFsio {
+ public:
+  static void install(const FsioFaultConfig& cfg);
+  static void uninstall();
+  static bool armed();
+  /// Failures injected since install().
+  static std::uint64_t failures();
+
+  /// Decide the fate of an `n`-byte write to `path`: returns `n` when the
+  /// write should proceed untouched, otherwise the number of bytes to
+  /// deliver before failing, with *cause set to the injected class. Not
+  /// called by users directly — write paths call it.
+  static std::size_t filter_write(const std::string& path, std::size_t n,
+                                  IoCause* cause);
+};
 
 }  // namespace flashmark

@@ -1,0 +1,248 @@
+// Seeded filesystem fault injection (util::FaultyFsio): the distinct
+// ENOSPC-vs-short-write IoCause taxonomy, the injection hook's scoping
+// knobs, and the crash-recovery layers above it — a journal append torn by
+// an injected short write replays to a valid prefix, and an imprint session
+// whose checkpoint dies with ENOSPC resumes to a byte-identical die.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "core/flashmark.hpp"
+#include "mcu/persist.hpp"
+#include "session/journal.hpp"
+#include "session/resumable.hpp"
+#include "util/bitvec.hpp"
+#include "util/fsio.hpp"
+
+namespace flashmark {
+namespace {
+
+namespace fs = std::filesystem;
+using session::JournalRecord;
+using session::JournalWriter;
+using session::ReplayResult;
+
+/// Fresh scratch directory per test (removed on destruction).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// Install-on-construct / uninstall-on-destruct, so a failing assertion
+/// can never leak an armed fault hook into the next test.
+struct ScopedFaults {
+  explicit ScopedFaults(const FsioFaultConfig& cfg) {
+    FaultyFsio::install(cfg);
+  }
+  ~ScopedFaults() { FaultyFsio::uninstall(); }
+};
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  const IoStatus st = read_file(path, &out);
+  EXPECT_TRUE(st) << path << ": " << st.error;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The fsio unit: cause taxonomy and hook scoping.
+
+TEST(FsioFaults, InjectedShortWriteCarriesCauseAndLeavesTargetIntact) {
+  ScratchDir d("fm_fsio_fault_short");
+  const std::string p = d.file("target.bin");
+  ASSERT_TRUE(atomic_write_file(p, "original"));
+
+  FsioFaultConfig cfg;
+  cfg.write_fail_p = 1.0;
+  cfg.no_space = false;  // torn write, not a full volume
+  ScopedFaults armed(cfg);
+
+  const IoStatus st = atomic_write_file(p, "replacement that will tear");
+  ASSERT_FALSE(st);
+  EXPECT_EQ(st.cause, IoCause::kShortWrite);
+  EXPECT_NE(st.error.find("injected"), std::string::npos);
+  // Atomic replace holds under the tear: old content intact, no temp litter.
+  EXPECT_EQ(slurp(p), "original");
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+  EXPECT_EQ(FaultyFsio::failures(), 1u);
+}
+
+TEST(FsioFaults, InjectedEnospcIsADistinctCause) {
+  ScratchDir d("fm_fsio_fault_enospc");
+  const std::string p = d.file("target.bin");
+
+  FsioFaultConfig cfg;
+  cfg.write_fail_p = 1.0;
+  cfg.no_space = true;
+  ScopedFaults armed(cfg);
+
+  const IoStatus st = atomic_write_file(p, "payload");
+  ASSERT_FALSE(st);
+  // kNoSpace != kShortWrite is the whole point: "stop retrying, the volume
+  // is full" vs "the bytes tore, the atomic target is untouched".
+  EXPECT_EQ(st.cause, IoCause::kNoSpace);
+  EXPECT_FALSE(fs::exists(p));
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST(FsioFaults, PathSubstringScopesWhichWritesAreEligible) {
+  ScratchDir d("fm_fsio_fault_scope");
+
+  FsioFaultConfig cfg;
+  cfg.write_fail_p = 1.0;
+  cfg.only_path_substring = "checkpoint";
+  ScopedFaults armed(cfg);
+
+  ASSERT_TRUE(atomic_write_file(d.file("journal.fmj"), "untouched"));
+  const IoStatus st =
+      atomic_write_file(d.file("checkpoint-5.fm"), "faulted");
+  EXPECT_FALSE(st);
+  EXPECT_EQ(FaultyFsio::failures(), 1u);
+}
+
+TEST(FsioFaults, MaxFailuresBoundsTheOutage) {
+  ScratchDir d("fm_fsio_fault_bounded");
+
+  FsioFaultConfig cfg;
+  cfg.write_fail_p = 1.0;
+  cfg.max_failures = 2;  // "the disk recovers"
+  ScopedFaults armed(cfg);
+
+  EXPECT_FALSE(atomic_write_file(d.file("a"), "x"));
+  EXPECT_FALSE(atomic_write_file(d.file("b"), "x"));
+  EXPECT_TRUE(atomic_write_file(d.file("c"), "x"));
+  EXPECT_EQ(FaultyFsio::failures(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal layer: an injected short write mid-append leaves exactly the
+// torn-tail shape replay is specified against.
+
+TEST(FsioFaults, TornJournalAppendReplaysToValidPrefixAndReopens) {
+  ScratchDir d("fm_fsio_fault_journal");
+  const std::string p = d.file("j.fmj");
+  {
+    JournalWriter w = JournalWriter::create(
+        p, {{"begin", "seg=0 npe=100"}}, /*durable=*/false);
+    w.append({"ckpt", "cycles=50 file=die-50.fm"}, false);
+
+    FsioFaultConfig cfg;
+    cfg.write_fail_p = 1.0;
+    cfg.no_space = false;
+    cfg.short_write_fraction = 0.5;
+    ScopedFaults armed(cfg);
+    EXPECT_THROW(w.append({"ckpt", "cycles=100 file=die-100.fm"}, false),
+                 std::runtime_error);
+  }
+
+  // The torn prefix of the failed record is on disk (the injector scales
+  // the tear point by a draw, so it may even be zero bytes); replay drops
+  // whatever landed and keeps the valid prefix.
+  ReplayResult r = session::replay_journal(p);
+  EXPECT_TRUE(r.header_ok);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].type, "begin");
+  EXPECT_EQ(r.records[1].payload, "cycles=50 file=die-50.fm");
+
+  // Reopen truncates the tear, and appends extend the valid prefix.
+  {
+    JournalWriter w = JournalWriter::open(p, /*durable=*/false);
+    w.append({"end", "cycles=100 elapsed_ns=1 retries=0"}, false);
+  }
+  r = session::replay_journal(p);
+  EXPECT_EQ(r.dropped_bytes, 0u);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[2].type, "end");
+}
+
+// ---------------------------------------------------------------------------
+// Session layer: an ENOSPC'd checkpoint aborts the run loudly, and the
+// resume completes to a die byte-identical to an uninterrupted run.
+
+TEST(FsioFaults, CheckpointEnospcAbortsAndResumeIsByteIdentical) {
+  const DeviceConfig dc = DeviceConfig::msp430f5438();
+  constexpr std::uint64_t kSeed = 0x5E55'0F10;
+  constexpr std::uint32_t kNpe = 400, kEvery = 128;
+
+  BitVec pattern;
+  Addr addr = 0;
+  {
+    Device probe(dc, kSeed);
+    const auto& g = probe.config().geometry;
+    addr = g.segment_base(0);
+    WatermarkSpec spec;
+    spec.fields.die_id = 31;
+    spec.npe = kNpe;
+    pattern = encode_watermark(spec, g.segment_cells(0)).segment_pattern;
+  }
+  session::SessionConfig scfg;
+  scfg.checkpoint_every = kEvery;
+  scfg.durable = false;
+  scfg.accelerated = true;
+
+  // Reference: the uninterrupted run.
+  std::string want;
+  {
+    ScratchDir ref("fm_fsio_fault_session_ref");
+    Device dev(dc, kSeed);
+    session::run_imprint_session(ref.str(), dev, addr, pattern, kNpe, scfg);
+    std::ostringstream os;
+    save_device(dev, os);
+    want = os.str();
+  }
+
+  ScratchDir d("fm_fsio_fault_session");
+  {
+    // Fault exactly the cycle-128 checkpoint (die-0.fm — written at session
+    // start — and the journal stay healthy, so the session exists and the
+    // WAL prefix is sound when the "volume fills up").
+    FsioFaultConfig cfg;
+    cfg.write_fail_p = 1.0;
+    cfg.no_space = true;
+    cfg.only_path_substring = "die-128.fm";
+    ScopedFaults armed(cfg);
+
+    Device dev(dc, kSeed);
+    try {
+      session::run_imprint_session(d.str(), dev, addr, pattern, kNpe, scfg);
+      FAIL() << "checkpoint ENOSPC must abort the session";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checkpoint failed"),
+                std::string::npos)
+          << e.what();
+    }
+    EXPECT_EQ(FaultyFsio::failures(), 1u);
+  }
+
+  const session::SessionStatus st = session::inspect_session(d.str());
+  ASSERT_TRUE(st.exists);
+  EXPECT_FALSE(st.completed);
+  EXPECT_EQ(st.cycles_done, 0u);  // the faulted ckpt was never recorded
+
+  // Disk "recovers" (hook uninstalled): resume falls back to die-0.fm and
+  // re-runs all 400 cycles to the exact same final state.
+  session::ResumeResult r = session::resume_imprint_session(d.str(), scfg);
+  EXPECT_EQ(r.resumed_from, 0u);
+  EXPECT_FALSE(r.already_complete);
+  std::ostringstream os;
+  save_device(*r.dev, os);
+  EXPECT_EQ(os.str(), want);
+  EXPECT_TRUE(session::inspect_session(d.str()).completed);
+}
+
+}  // namespace
+}  // namespace flashmark

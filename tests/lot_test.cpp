@@ -11,9 +11,17 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lot/lot_internal.hpp"
@@ -183,6 +191,7 @@ TEST(LotShardCrash, LostWorkerYieldsShardLostRowsNotPoison) {
   const lot::LotResult got = lot::run_lot(cfg, crash);
 
   EXPECT_EQ(got.shards_lost, 1u);
+  EXPECT_EQ(got.interrupted_signal, 0);  // a crash is not an interruption
   // Every die is still accounted for.
   std::uint64_t n = 0, failed = 0, detected = 0;
   for (const auto& cell : got.cells) {
@@ -273,6 +282,69 @@ TEST(LotCsv, EmptyCellsPrintExplicitNan) {
   // A one-die cell has a mean but no interval (variance needs n >= 2).
   EXPECT_NE(ber.find(",raw,1,"), std::string::npos) << ber;
   EXPECT_NE(ber.find(",nan,nan\n"), std::string::npos) << ber;
+}
+
+// Signal containment (operational SIGTERM/SIGINT, not a crash): the parent
+// forwards the signal to its worker process group, reaps every worker with
+// a bounded wait, folds the killed ranges as kShardLost, and *returns* with
+// interrupted_signal set — re-raising (or not) is the binary's decision,
+// never the library's. Exercised end to end in a forked child so the real
+// kill(2) delivery, process-group forwarding, and reap run.
+TEST(LotSignals, SigtermForwardsToWorkersAndFoldsShardLost) {
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // SIGTERM is ignored *between* runs; run_sharded swaps in its own
+    // flag-only handler for the duration of each run, so a signal landing
+    // mid-run is contained and one landing in a gap is simply dropped (the
+    // parent re-sends until one lands mid-run).
+    std::signal(SIGTERM, SIG_IGN);
+    lot::LotConfig cfg = small_lot(48);
+    lot::LotOptions opts;
+    opts.shards = 2;
+    opts.threads = 1;
+    for (int round = 0; round < 1'000; ++round) {
+      const lot::LotResult r = lot::run_lot(cfg, opts);
+      if (r.interrupted_signal == 0) continue;  // finished before delivery
+      // A signal landing after every shard already reported is a valid
+      // (lossless) outcome but proves nothing — go again.
+      if (r.shards_lost == 0) continue;
+      int code = 0;
+      if (r.interrupted_signal != SIGTERM) code |= 1;
+      std::size_t lost_rows = 0;
+      for (const auto& row : r.fleet.dies)
+        if (row.reason == fleet::FailureReason::kShardLost) {
+          if (!row.failed) code |= 4;
+          ++lost_rows;
+        }
+      if (lost_rows == 0) code |= 8;
+      // Every die is still accounted for (lost ranges fold as failures).
+      std::uint64_t n = 0;
+      for (const auto& cell : r.cells) n += cell.n;
+      if (n != cfg.n_dies) code |= 16;
+      ::_exit(code);
+    }
+    ::_exit(32);  // no signal ever observed
+  }
+
+  // Parent: keep prodding until one SIGTERM lands mid-run and the child
+  // reports its containment verdict via the exit code.
+  int wstatus = 0;
+  pid_t reaped = 0;
+  for (int i = 0; i < 600; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(::kill(child, SIGTERM), 0);
+    reaped = ::waitpid(child, &wstatus, WNOHANG);
+    ASSERT_GE(reaped, 0);
+    if (reaped == child) break;
+  }
+  if (reaped != child) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, &wstatus, 0);
+    FAIL() << "child never exited";
+  }
+  ASSERT_TRUE(WIFEXITED(wstatus)) << wstatus;
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
 }
 
 TEST(LotConfigTest, RejectsDegenerateStudies) {

@@ -1,0 +1,424 @@
+// Chaos suite for flashmarkd (src/serve): compose die-level faults
+// (fault::FaultyHal) with socket-level faults — kill -9 mid-enroll, torn
+// frames, garbage bytes, slow-loris, mid-request disconnects — and prove
+// the robustness contract: zero enrolled dies lost, every well-behaved
+// client gets a CRC-framed response with a typed status, and a drain under
+// fire still exits 0 with the population flushed.
+//
+// NOTE: the kill -9 test forks a real child process and MUST run first in
+// this binary — at that point the gtest process has no live threads, so
+// the fork is safe. Later tests spawn (and join) server threads.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
+#include "mcu/persist.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "session/resumable.hpp"
+#include "util/fsio.hpp"
+
+namespace flashmark {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace serve;
+
+/// Fresh scratch directory per test (removed on destruction).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+Request make_request(Op op, std::uint64_t id = 1) {
+  Request rq;
+  rq.request_id = id;
+  rq.op = op;
+  return rq;
+}
+
+/// Dial `endpoint` with retries (a just-started daemon may not have bound
+/// yet). Returns the connected fd or -1 after ~5 s.
+int dial_with_retry(const std::string& endpoint) {
+  std::string err;
+  for (int i = 0; i < 250; ++i) {
+    const int fd = connect_endpoint(endpoint, &err);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  const IoStatus st = read_file(path, &out);
+  EXPECT_TRUE(st) << path << ": " << st.error;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// kill -9 mid-enroll: the headline crash-safety property. A child process
+// runs a real daemon; the parent enrolls a die sized to take seconds, kills
+// the child dead mid-imprint, then recovers the data_dir with a fresh
+// Server and proves the die completed *byte-identically* to an
+// uninterrupted enrollment — no cycles lost, none doubled.
+
+TEST(ServeChaos, KillNineMidEnrollRecoversWithoutLosingTheDie) {
+  constexpr std::uint32_t kNpe = 30'000;
+  ScratchDir dir("fm_chaos_kill9");
+
+  ServerConfig cfg;
+  cfg.socket_path = dir.file("child.sock");
+  cfg.data_dir = dir.file("data");
+  cfg.workers = 2;
+  cfg.default_npe = kNpe;
+  cfg.max_npe = 100'000;
+  cfg.checkpoint_every = 512;
+  cfg.max_dies = 16;
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: a real daemon. SIGKILL will take it down with no cleanup —
+    // that is the point. _exit (not exit) on the error path: no gtest
+    // teardown belongs to this process.
+    try {
+      Server server(cfg);
+      server.start();
+      for (;;) ::pause();
+    } catch (...) {
+      ::_exit(111);
+    }
+  }
+
+  // Parent: fire the enroll and kill the child mid-imprint.
+  const int probe = dial_with_retry(cfg.socket_path);
+  ASSERT_GE(probe, 0) << "child daemon never bound its socket";
+  ::close(probe);
+
+  Client client(cfg.socket_path);
+  Request rq = make_request(Op::kEnroll, 1);
+  rq.die = 0;
+  rq.deadline_ms = 30'000;
+  std::string err;
+  ASSERT_TRUE(client.send_request(rq, &err)) << err;
+  // ~30k cycles take a few seconds; after ~1.2 s the imprint is mid-flight
+  // with several durable checkpoints behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1'200));
+  const bool session_was_live = fs::exists(dir.file("data/sessions/die-0"));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  client.disconnect();
+
+  // Recovery: a fresh daemon over the same data_dir resumes the interrupted
+  // session to completion during start(), before serving any traffic.
+  cfg.socket_path = dir.file("parent.sock");
+  Server server(cfg);
+  server.start();
+  const ServerStats st = server.stats();
+  if (session_was_live) {
+    EXPECT_EQ(st.sessions_recovered, 1u);
+  }
+  EXPECT_FALSE(fs::exists(dir.file("data/sessions/die-0")));
+  ASSERT_TRUE(fs::exists(dir.file("data/dies/die-0.fm")));
+  EXPECT_EQ(server.lot_report().enrolled, 1u);
+
+  // Byte-identity: the recovered die equals an uninterrupted local run of
+  // the same enrollment (docs/REPRODUCIBILITY.md §5 applied end-to-end).
+  {
+    auto dev = std::make_unique<Device>(
+        cfg.device, fleet::derive_die_seed(cfg.master_seed, 0));
+    WatermarkSpec spec;
+    spec.fields.manufacturer_id = cfg.manufacturer_id;
+    spec.fields.die_id = 0;
+    spec.fields.speed_grade = cfg.speed_grade;
+    spec.fields.status = TestStatus::kAccept;
+    spec.fields.date_code = cfg.date_code;
+    spec.key = cfg.key;
+    spec.n_replicas = cfg.n_replicas;
+    spec.npe = kNpe;
+    spec.accelerated = true;
+    spec.ecc = cfg.verify.ecc;  // the pattern embeds parity when ECC is on
+    spec.max_retries = cfg.verify.max_retries;
+    const auto& g = dev->config().geometry;
+    const EncodedWatermark enc =
+        encode_watermark(spec, g.segment_cells(cfg.segment));
+    session::SessionConfig scfg;
+    scfg.checkpoint_every = cfg.checkpoint_every;
+    scfg.accelerated = spec.accelerated;
+    scfg.max_retries = spec.max_retries;
+    scfg.durable = false;  // fsync cadence does not change die state
+    session::run_imprint_session(dir.file("reference-session"), *dev,
+                                 g.segment_base(cfg.segment),
+                                 enc.segment_pattern, kNpe, scfg);
+    const std::string ref_path = dir.file("reference-die.fm");
+    ASSERT_TRUE(save_device_file(*dev, ref_path));
+    EXPECT_EQ(slurp(dir.file("data/dies/die-0.fm")), slurp(ref_path))
+        << "recovered die diverged from an uninterrupted enrollment";
+  }
+
+  // And it serves: verify round-trips with the watermark fields intact.
+  Client verifier(cfg.socket_path);
+  rq = make_request(Op::kVerify, 2);
+  rq.die = 0;
+  rq.deadline_ms = 30'000;
+  const Response rs = verifier.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+  EXPECT_EQ(rs.verdict, Verdict::kGenuine);
+  ASSERT_TRUE(rs.fields.has_value());
+  EXPECT_EQ(rs.fields->die_id, 0u);
+  verifier.disconnect();
+  server.request_drain();
+  EXPECT_EQ(server.wait(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level chaos against an in-process daemon.
+
+struct TestDaemon {
+  ScratchDir dir;
+  ServerConfig cfg;
+  std::unique_ptr<Server> server;
+
+  explicit TestDaemon(const std::string& name,
+                      std::function<void(ServerConfig&)> tweak = {})
+      : dir(name) {
+    cfg.socket_path = dir.file("fm.sock");
+    cfg.data_dir = dir.file("data");
+    cfg.workers = 2;
+    cfg.default_npe = 400;
+    cfg.checkpoint_every = 128;
+    cfg.max_dies = 64;
+    cfg.watchdog_poll_ms = 1.0;
+    if (tweak) tweak(cfg);
+    server = std::make_unique<Server>(cfg);
+    server->start();
+  }
+  std::string endpoint() const { return cfg.socket_path; }
+};
+
+/// Read until EOF or timeout; returns true iff the peer closed the socket.
+bool wait_for_close(int fd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char buf[256];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n == 0) return true;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(ServeChaos, GarbageAndTornFramesPoisonOnlyTheirConnection) {
+  TestDaemon d("fm_chaos_torn");
+  std::string err;
+
+  // Pure garbage: the parser goes kBad and the daemon drops the peer.
+  int fd = connect_endpoint(d.endpoint(), &err);
+  ASSERT_GE(fd, 0) << err;
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof garbage - 1, 0), 0);
+  EXPECT_TRUE(wait_for_close(fd, 2'000));
+  ::close(fd);
+
+  // A frame whose CRC lies.
+  fd = connect_endpoint(d.endpoint(), &err);
+  ASSERT_GE(fd, 0) << err;
+  std::string frame = encode_request_frame(make_request(Op::kPing, 7));
+  frame.back() ^= 0x01;
+  ASSERT_GT(::send(fd, frame.data(), frame.size(), 0), 0);
+  EXPECT_TRUE(wait_for_close(fd, 2'000));
+  ::close(fd);
+
+  // A frame torn mid-send (peer gives up): closing mid-frame must not
+  // wedge or kill anything.
+  fd = connect_endpoint(d.endpoint(), &err);
+  ASSERT_GE(fd, 0) << err;
+  frame = encode_request_frame(make_request(Op::kPing, 8));
+  ASSERT_GT(::send(fd, frame.data(), frame.size() / 2, 0), 0);
+  ::close(fd);
+
+  EXPECT_GE(d.server->stats().protocol_errors, 2u);
+
+  // The daemon is unharmed: a well-formed client round-trips.
+  Client client(d.endpoint());
+  EXPECT_EQ(client.call(make_request(Op::kPing, 9)).status, Status::kOk);
+}
+
+TEST(ServeChaos, SlowLorisConnectionsAreReapedNotServed) {
+  TestDaemon d("fm_chaos_loris",
+               [](ServerConfig& cfg) { cfg.frame_timeout_ms = 100; });
+  std::string err;
+
+  // Start a frame, then stall: the per-frame budget closes the connection.
+  const int fd = connect_endpoint(d.endpoint(), &err);
+  ASSERT_GE(fd, 0) << err;
+  const std::string frame = encode_request_frame(make_request(Op::kPing, 1));
+  ASSERT_GT(::send(fd, frame.data(), 6, 0), 0);
+  EXPECT_TRUE(wait_for_close(fd, 3'000));
+  ::close(fd);
+  EXPECT_GE(d.server->stats().slow_loris_closed, 1u);
+
+  // Workers were never occupied by the stalled peer; service is intact.
+  Client client(d.endpoint());
+  EXPECT_EQ(client.call(make_request(Op::kPing, 2)).status, Status::kOk);
+}
+
+TEST(ServeChaos, DisconnectMidRequestDoesNotPoisonTheDaemon) {
+  TestDaemon d("fm_chaos_disc");
+
+  // Park a request, vanish before the response can be written.
+  {
+    Client client(d.endpoint());
+    Request rq = make_request(Op::kPing, 1);
+    rq.delay_ms = 150;
+    rq.deadline_ms = 5'000;
+    std::string err;
+    ASSERT_TRUE(client.send_request(rq, &err)) << err;
+  }  // ~Client closes the socket with the request in flight
+
+  // The handler still runs to completion; the failed send is contained.
+  // Poll rather than sleep a fixed delay: under a sanitizer on a loaded box
+  // the 150 ms handler can take far longer than its nominal delay.
+  Client client(d.endpoint());
+  EXPECT_EQ(client.call(make_request(Op::kPing, 2)).status, Status::kOk);
+  for (int i = 0; i < 2000 && d.server->stats().ok < 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(d.server->stats().ok, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The composition: die faults + socket faults + concurrent load + drain.
+
+TEST(ServeChaos, ComposedDieAndSocketFaultsUnderLoadThenCleanDrain) {
+  constexpr std::uint64_t kDies = 4;
+  TestDaemon d("fm_chaos_composed", [](ServerConfig& cfg) {
+    cfg.workers = 4;
+    cfg.queue_capacity = 16;
+    cfg.frame_timeout_ms = 200;
+    // Transient read-noise bursts on every die's HAL during verify; the
+    // verify retry budget absorbs them.
+    cfg.faults.read_burst_p = 0.02;
+    cfg.verify.max_retries = 3;
+  });
+
+  // Enroll the population first (healthy: enroll sessions own the HAL).
+  {
+    Client client(d.endpoint());
+    for (std::uint64_t die = 0; die < kDies; ++die) {
+      Request rq = make_request(Op::kEnroll, die + 1);
+      rq.die = die;
+      rq.deadline_ms = 30'000;
+      ASSERT_EQ(client.call(rq).status, Status::kOk) << "die " << die;
+    }
+  }
+
+  // Chaos threads: garbage, torn frames, slow-loris stubs, vanishing
+  // clients — continuously, while the well-behaved load runs.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> chaos;
+  for (int c = 0; c < 2; ++c) {
+    chaos.emplace_back([&, c] {
+      std::string err;
+      int round = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const int fd = connect_endpoint(d.endpoint(), &err);
+        if (fd >= 0) {
+          const std::string frame =
+              encode_request_frame(make_request(Op::kPing, 1'000 + round));
+          switch ((round + c) % 3) {
+            case 0:  // garbage
+              ::send(fd, "\xFF\xFE\xFD\xFC garbage", 12, MSG_NOSIGNAL);
+              break;
+            case 1:  // torn frame, then vanish
+              ::send(fd, frame.data(), frame.size() / 2, MSG_NOSIGNAL);
+              break;
+            case 2:  // full request, vanish before the response
+              ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+              break;
+          }
+          ::close(fd);
+        }
+        ++round;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  // Well-behaved load: concurrent verifies with bounded retry. Every
+  // request must end in a typed response — kUnavailable (transport
+  // failure) would mean the chaos broke service for a healthy client.
+  constexpr int kClients = 4, kPerClient = 8;
+  std::vector<Status> finals(kClients * kPerClient, Status::kUnavailable);
+  std::vector<std::thread> load;
+  for (int t = 0; t < kClients; ++t) {
+    load.emplace_back([&, t] {
+      RetryPolicy rp;
+      rp.max_attempts = 6;
+      rp.base_backoff_ms = 10.0;
+      rp.jitter_seed = 100 + static_cast<std::uint64_t>(t);
+      Client client(d.endpoint(), rp);
+      for (int i = 0; i < kPerClient; ++i) {
+        Request rq = make_request(Op::kVerify,
+                                  static_cast<std::uint64_t>(t) * 100 + i);
+        rq.die = static_cast<std::uint64_t>(i) % kDies;
+        rq.deadline_ms = 30'000;
+        finals[static_cast<std::size_t>(t * kPerClient + i)] =
+            client.call(rq).status;
+      }
+    });
+  }
+  for (auto& th : load) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : chaos) th.join();
+
+  std::uint64_t ok = 0;
+  for (std::size_t i = 0; i < finals.size(); ++i) {
+    EXPECT_NE(finals[i], Status::kUnavailable) << "request " << i;
+    if (finals[i] == Status::kOk) ++ok;
+  }
+  // The faulted verifies may individually exhaust retries (typed kFailed),
+  // but the service as a whole must be doing real work.
+  EXPECT_GE(ok, finals.size() / 2);
+
+  // Drain under (recently) fire: exit 0, every die file on disk.
+  d.server->request_drain();
+  EXPECT_EQ(d.server->wait(), 0);
+  for (std::uint64_t die = 0; die < kDies; ++die)
+    EXPECT_TRUE(
+        fs::exists(d.dir.file("data/dies/die-" + std::to_string(die) + ".fm")))
+        << die;
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -1,0 +1,686 @@
+// Serve layer (src/serve): wire protocol hostile-input discipline, the
+// client's bounded-retry/backoff schedule, and the daemon's robustness
+// contract — admission control (kOverloaded), per-tenant rate limiting
+// (kRateLimited), per-request deadlines (kDeadlineExceeded, with an
+// interrupted enroll leaving a *resumable* session behind), and graceful
+// drain (typed kShuttingDown, exit code 0, population flushed).
+//
+// Everything here runs against an in-process Server on a scratch Unix
+// socket; the separate-process chaos suite (kill -9, torn frames,
+// slow-loris) lives in tests/serve_chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flashmark.hpp"
+#include "fleet/fleet.hpp"
+#include "mcu/persist.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "session/resumable.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace serve;
+
+/// Fresh scratch directory per test (removed on destruction).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// A daemon on a scratch Unix socket, sized for fast tests: small imprint
+/// (enrolls finish in tens of milliseconds) and a short watchdog period so
+/// deadline tests don't wait on polling slack.
+struct TestDaemon {
+  ScratchDir dir;
+  ServerConfig cfg;
+  std::unique_ptr<Server> server;
+
+  explicit TestDaemon(const std::string& name,
+                      std::function<void(ServerConfig&)> tweak = {})
+      : dir(name) {
+    cfg.socket_path = dir.file("fm.sock");
+    cfg.data_dir = dir.file("data");
+    cfg.workers = 2;
+    cfg.default_npe = 400;
+    cfg.max_npe = 100'000;
+    cfg.checkpoint_every = 128;
+    cfg.max_dies = 64;
+    cfg.watchdog_poll_ms = 1.0;
+    if (tweak) tweak(cfg);
+    server = std::make_unique<Server>(cfg);
+    server->start();
+  }
+  std::string endpoint() const { return cfg.socket_path; }
+};
+
+Request make_request(Op op, std::uint64_t id = 1) {
+  Request rq;
+  rq.request_id = id;
+  rq.op = op;
+  return rq;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: encode/decode round trips.
+
+TEST(ServeProtocol, RequestFrameRoundTrips) {
+  // The request body is op-conditional: enroll carries die+npe, ping
+  // carries the diagnostic delay. Round-trip one of each.
+  Request rq;
+  rq.request_id = 0xDEAD'BEEF'1234'5678ull;
+  rq.tenant = 42;
+  rq.deadline_ms = 1'500;
+  rq.op = Op::kEnroll;
+  rq.die = 77;
+  rq.npe = 40'000;
+
+  const std::string frame = encode_request_frame(rq);
+  FrameParser p;
+  p.feed(frame.data(), frame.size());
+  std::string body;
+  ASSERT_EQ(p.next(&body), FrameParser::State::kFrame);
+  const auto got = decode_request_body(body);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->request_id, rq.request_id);
+  EXPECT_EQ(got->tenant, rq.tenant);
+  EXPECT_EQ(got->deadline_ms, rq.deadline_ms);
+  EXPECT_EQ(got->op, Op::kEnroll);
+  EXPECT_EQ(got->die, rq.die);
+  EXPECT_EQ(got->npe, rq.npe);
+  EXPECT_EQ(p.next(&body), FrameParser::State::kNeedMore);
+  EXPECT_EQ(p.pending(), 0u);
+
+  Request ping;
+  ping.request_id = 2;
+  ping.op = Op::kPing;
+  ping.delay_ms = 3;
+  const std::string pframe = encode_request_frame(ping);
+  p.feed(pframe.data(), pframe.size());
+  ASSERT_EQ(p.next(&body), FrameParser::State::kFrame);
+  const auto gotp = decode_request_body(body);
+  ASSERT_TRUE(gotp.has_value());
+  EXPECT_EQ(gotp->op, Op::kPing);
+  EXPECT_EQ(gotp->delay_ms, 3u);
+}
+
+TEST(ServeProtocol, ResponseFrameRoundTripsEveryPayloadSection) {
+  // The response payload is op-conditional, so every section needs its
+  // own frame: enroll (cycles/resumed), verify (full report), lot-report.
+  const auto round_trip = [](const Response& rs) {
+    const std::string frame = encode_response_frame(rs);
+    FrameParser p;
+    p.feed(frame.data(), frame.size());
+    std::string body;
+    EXPECT_EQ(p.next(&body), FrameParser::State::kFrame);
+    const auto got = decode_response_body(body);
+    EXPECT_TRUE(got.has_value());
+    return got;
+  };
+
+  Response en;
+  en.request_id = 9;
+  en.status = Status::kOk;
+  en.op = Op::kEnroll;
+  en.message = "detail";
+  en.cycles_run = 512;
+  en.resumed = 1;
+  {
+    const auto got = round_trip(en);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->request_id, 9u);
+    EXPECT_EQ(got->status, Status::kOk);
+    EXPECT_EQ(got->op, Op::kEnroll);
+    EXPECT_EQ(got->message, "detail");
+    EXPECT_EQ(got->cycles_run, 512u);
+    EXPECT_EQ(got->resumed, 1);
+  }
+
+  Response ve;
+  ve.request_id = 10;
+  ve.status = Status::kOk;
+  ve.op = Op::kVerify;
+  ve.verdict = Verdict::kGenuine;
+  ve.fields = WatermarkFields{0x7C01, 7, 2, TestStatus::kAccept, 0x33A};
+  ve.zero_fraction = 0.52625;
+  ve.replica_disagreement = 0.125;
+  ve.extract_ns = 123'456'789;
+  ve.ecc_corrected = 3;
+  ve.retries = 2;
+  {
+    const auto got = round_trip(ve);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->op, Op::kVerify);
+    EXPECT_EQ(got->verdict, Verdict::kGenuine);
+    ASSERT_TRUE(got->fields.has_value());
+    EXPECT_EQ(got->fields->die_id, 7u);
+    EXPECT_EQ(got->zero_fraction, 0.52625);  // bitwise
+    EXPECT_EQ(got->replica_disagreement, 0.125);
+    EXPECT_EQ(got->extract_ns, 123'456'789u);
+    EXPECT_EQ(got->ecc_corrected, 3u);
+    EXPECT_EQ(got->retries, 2u);
+  }
+
+  Response lr;
+  lr.request_id = 11;
+  lr.status = Status::kOk;
+  lr.op = Op::kLotReport;
+  lr.lot = {10, 9, 8, 1, 0, 0};
+  {
+    const auto got = round_trip(lr);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->op, Op::kLotReport);
+    EXPECT_EQ(got->lot.enrolled, 10u);
+    EXPECT_EQ(got->lot.verifies, 9u);
+    EXPECT_EQ(got->lot.genuine, 8u);
+    EXPECT_EQ(got->lot.no_watermark, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: hostile-input discipline (shard.cpp rules on a socket).
+
+TEST(ServeProtocol, ParserRejectsHostileFramesAndStaysBad) {
+  const std::string good = encode_request_frame(make_request(Op::kPing));
+
+  struct Case {
+    const char* name;
+    std::function<std::string()> make;
+  };
+  const Case cases[] = {
+      {"bad magic",
+       [&] {
+         std::string f = good;
+         f[0] ^= 0x01;
+         return f;
+       }},
+      {"bad version",
+       [&] {
+         std::string f = good;
+         f[4] ^= 0x01;
+         return f;
+       }},
+      {"oversize body_len",
+       [&] {
+         std::string f = good;
+         // body_len = kMaxFrameBody + 1 (little-endian u32 at offset 8).
+         const std::uint32_t n = kMaxFrameBody + 1;
+         f[8] = static_cast<char>(n & 0xFF);
+         f[9] = static_cast<char>((n >> 8) & 0xFF);
+         f[10] = static_cast<char>((n >> 16) & 0xFF);
+         f[11] = static_cast<char>((n >> 24) & 0xFF);
+         return f;
+       }},
+      {"crc flip",
+       [&] {
+         std::string f = good;
+         f.back() ^= 0x40;
+         return f;
+       }},
+  };
+  for (const Case& c : cases) {
+    FrameParser p;
+    const std::string f = c.make();
+    p.feed(f.data(), f.size());
+    std::string body;
+    EXPECT_EQ(p.next(&body), FrameParser::State::kBad) << c.name;
+    EXPECT_TRUE(p.bad()) << c.name;
+    // Sticky: even a perfectly good frame after the violation is refused.
+    p.feed(good.data(), good.size());
+    EXPECT_EQ(p.next(&body), FrameParser::State::kBad) << c.name;
+  }
+}
+
+TEST(ServeProtocol, BodyDecodeRejectsTruncationRangeAndTrailingGarbage) {
+  const std::string frame = encode_request_frame(make_request(Op::kVerify));
+  const std::string body = frame.substr(kFrameHeaderBytes,
+                                        frame.size() - kFrameHeaderBytes - 4);
+  ASSERT_TRUE(decode_request_body(body).has_value());
+
+  // Truncation at every prefix length must fail cleanly, never crash.
+  for (std::size_t n = 0; n < body.size(); ++n)
+    EXPECT_FALSE(decode_request_body(body.substr(0, n)).has_value()) << n;
+  // Trailing garbage is a structural defect, not ignorable padding.
+  EXPECT_FALSE(decode_request_body(body + '\0').has_value());
+  // Out-of-range op enum.
+  std::string bad_op = body;
+  bool flipped = false;
+  for (std::size_t i = 0; i < bad_op.size(); ++i) {
+    if (static_cast<std::uint8_t>(bad_op[i]) ==
+        static_cast<std::uint8_t>(Op::kVerify)) {
+      bad_op[i] = 99;
+      flipped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(flipped);
+  EXPECT_FALSE(decode_request_body(bad_op).has_value());
+}
+
+TEST(ServeProtocol, ParserReassemblesByteAtATime) {
+  Response rs;
+  rs.request_id = 5;
+  rs.status = Status::kOk;
+  rs.op = Op::kStats;
+  rs.message = "a,b,c\n1,2,3\n";
+  const std::string f1 = encode_response_frame(rs);
+  rs.request_id = 6;
+  const std::string f2 = encode_response_frame(rs);
+  const std::string stream = f1 + f2;
+
+  FrameParser p;
+  std::vector<std::string> bodies;
+  for (char ch : stream) {
+    p.feed(&ch, 1);
+    std::string body;
+    while (p.next(&body) == FrameParser::State::kFrame) bodies.push_back(body);
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(decode_response_body(bodies[0])->request_id, 5u);
+  EXPECT_EQ(decode_response_body(bodies[1])->request_id, 6u);
+  EXPECT_FALSE(p.bad());
+  EXPECT_EQ(p.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Client: the retry schedule is a pinned, deterministic function of the
+// policy and the jitter seed.
+
+TEST(ServeClient, BackoffScheduleIsBoundedJitteredAndDeterministic) {
+  RetryPolicy rp;
+  rp.base_backoff_ms = 8.0;
+  rp.max_backoff_ms = 50.0;
+
+  Rng rng(7);
+  EXPECT_EQ(backoff_delay_ms(1, rp, rng), 0.0);  // first attempt: no delay
+  for (std::uint32_t attempt = 2; attempt <= 8; ++attempt) {
+    const double nominal =
+        std::min(rp.max_backoff_ms,
+                 rp.base_backoff_ms * static_cast<double>(1u << (attempt - 2)));
+    const double d = backoff_delay_ms(attempt, rp, rng);
+    EXPECT_GE(d, 0.5 * nominal) << attempt;
+    EXPECT_LE(d, nominal) << attempt;
+  }
+  // Same seed => same schedule, different seed => (overwhelmingly) not.
+  Rng a(11), b(11), c(12);
+  std::vector<double> da, db, dc;
+  for (std::uint32_t attempt = 2; attempt <= 6; ++attempt) {
+    da.push_back(backoff_delay_ms(attempt, rp, a));
+    db.push_back(backoff_delay_ms(attempt, rp, b));
+    dc.push_back(backoff_delay_ms(attempt, rp, c));
+  }
+  EXPECT_EQ(da, db);
+  EXPECT_NE(da, dc);
+}
+
+TEST(ServeClient, TransportFailureSynthesizesUnavailable) {
+  RetryPolicy rp;
+  rp.max_attempts = 2;
+  rp.base_backoff_ms = 1.0;
+  Client client("/nonexistent/flashmark-test.sock", rp);
+  const Response rs = client.call(make_request(Op::kPing, 3));
+  EXPECT_EQ(rs.status, Status::kUnavailable);
+  EXPECT_EQ(rs.request_id, 3u);
+  EXPECT_FALSE(rs.message.empty());
+  EXPECT_EQ(client.attempts_total(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon round trips.
+
+TEST(ServeDaemon, PingStatsAndLotReport) {
+  TestDaemon d("fm_serve_ping");
+  Client client(d.endpoint());
+
+  Response rs = client.call(make_request(Op::kPing, 1));
+  EXPECT_EQ(rs.status, Status::kOk);
+  EXPECT_EQ(rs.request_id, 1u);
+
+  rs = client.call(make_request(Op::kStats, 2));
+  ASSERT_EQ(rs.status, Status::kOk);
+  EXPECT_NE(rs.message.find("serve.requests"), std::string::npos);
+  EXPECT_NE(rs.message.find("store."), std::string::npos);
+
+  rs = client.call(make_request(Op::kLotReport, 3));
+  ASSERT_EQ(rs.status, Status::kOk);
+  EXPECT_EQ(rs.lot.enrolled, 0u);
+
+  const ServerStats st = d.server->stats();
+  EXPECT_EQ(st.requests, 3u);
+  EXPECT_EQ(st.ok, 3u);
+  EXPECT_EQ(st.protocol_errors, 0u);
+}
+
+TEST(ServeDaemon, EnrollVerifyRoundTripMatchesLocalVerify) {
+  TestDaemon d("fm_serve_enroll");
+  Client client(d.endpoint());
+
+  Request rq = make_request(Op::kEnroll, 1);
+  rq.die = 3;
+  rq.deadline_ms = 30'000;
+  Response rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+  EXPECT_EQ(rs.cycles_run, d.cfg.default_npe);
+  EXPECT_EQ(rs.resumed, 0);
+
+  // The die file is durably installed and the session dir retired.
+  const std::string die_file = d.dir.file("data/dies/die-3.fm");
+  ASSERT_TRUE(fs::exists(die_file));
+  EXPECT_FALSE(fs::exists(d.dir.file("data/sessions/die-3")));
+
+  rq = make_request(Op::kVerify, 2);
+  rq.die = 3;
+  rq.deadline_ms = 30'000;
+  rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+
+  // The daemon's verdict is a pure function of (die state, options): a
+  // local verify of the installed die file agrees bit-for-bit
+  // (docs/REPRODUCIBILITY.md §10).
+  std::unique_ptr<Device> dev = load_device_file(die_file);
+  VerifyOptions vo = d.cfg.verify;
+  vo.key = d.cfg.key;
+  vo.n_replicas = d.cfg.n_replicas;
+  const VerifyReport local = verify_watermark(
+      dev->hal(), dev->config().geometry.segment_base(d.cfg.segment), vo);
+  EXPECT_EQ(rs.verdict, local.verdict);
+  EXPECT_EQ(rs.zero_fraction, local.zero_fraction);  // bitwise
+  EXPECT_EQ(rs.replica_disagreement, local.replica_disagreement);
+  EXPECT_EQ(rs.extract_ns,
+            static_cast<std::uint64_t>(local.extract_time.as_ns()));
+
+  rs = client.call(make_request(Op::kLotReport, 3));
+  ASSERT_EQ(rs.status, Status::kOk);
+  EXPECT_EQ(rs.lot.enrolled, 1u);
+  EXPECT_EQ(rs.lot.verifies, 1u);
+}
+
+TEST(ServeDaemon, InvalidRequestsGetTypedErrorsNotTeardowns) {
+  TestDaemon d("fm_serve_invalid");
+  Client client(d.endpoint());
+
+  // Verify of a die that was never enrolled.
+  Request rq = make_request(Op::kVerify, 1);
+  rq.die = 5;
+  Response rs = client.call(rq);
+  EXPECT_EQ(rs.status, Status::kInvalid);
+  // The store must not have manufactured die 5 as a side effect.
+  EXPECT_FALSE(fs::exists(d.dir.file("data/dies/die-5.fm")));
+
+  // Die id out of the configured population range.
+  rq = make_request(Op::kVerify, 2);
+  rq.die = d.cfg.max_dies + 7;
+  rs = client.call(rq);
+  EXPECT_EQ(rs.status, Status::kInvalid);
+
+  // Re-enroll of an enrolled die (oxide damage is monotone: enroll-once).
+  rq = make_request(Op::kEnroll, 4);
+  rq.die = 2;
+  rq.deadline_ms = 30'000;
+  ASSERT_EQ(client.call(rq).status, Status::kOk);
+  rq.request_id = 5;
+  rs = client.call(rq);
+  EXPECT_EQ(rs.status, Status::kInvalid);
+
+  // The same connection kept working through all of it.
+  EXPECT_EQ(client.call(make_request(Op::kPing, 6)).status, Status::kOk);
+  EXPECT_EQ(d.server->stats().protocol_errors, 0u);
+}
+
+TEST(ServeDaemon, AdmissionControlShedsWithTypedOverload) {
+  TestDaemon d("fm_serve_overload", [](ServerConfig& cfg) {
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+  });
+
+  // Occupy the single worker and the single queue slot with slow pings.
+  // Admission sheds on (admitted - executing), so wait for the worker to
+  // actually dequeue the first ping before parking the second — otherwise
+  // the second would be shed itself.
+  const auto wait_for = [&](auto pred) {
+    for (int i = 0; i < 500 && !pred(d.server->stats()); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  Client slow1(d.endpoint()), slow2(d.endpoint());
+  Request busy = make_request(Op::kPing, 1);
+  busy.delay_ms = 600;
+  busy.deadline_ms = 5'000;
+  std::string err;
+  ASSERT_TRUE(slow1.send_request(busy, &err)) << err;
+  wait_for([](const ServerStats& s) { return s.in_flight >= 1; });
+  busy.request_id = 2;
+  ASSERT_TRUE(slow2.send_request(busy, &err)) << err;
+  wait_for([](const ServerStats& s) { return s.queue_depth >= 1; });
+  {
+    const ServerStats s = d.server->stats();
+    ASSERT_EQ(s.in_flight, 1u);
+    ASSERT_EQ(s.queue_depth, 1u);  // (1 executing, 1 queued) = full
+  }
+
+  // A burst of no-retry pings: every one must get a typed answer, and at
+  // least one must be shed with kOverloaded (the queue is provably full).
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  std::uint64_t shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    Client c(d.endpoint(), no_retry);
+    const Response rs = c.call_once(make_request(Op::kPing, 10 + i));
+    ASSERT_NE(rs.status, Status::kUnavailable) << rs.message;
+    if (rs.status == Status::kOverloaded) ++shed;
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(d.server->stats().overloaded, shed);
+
+  // The slow pings themselves complete fine.
+  Response rs;
+  ASSERT_TRUE(slow1.recv_response(&rs, &err)) << err;
+  EXPECT_EQ(rs.status, Status::kOk);
+  ASSERT_TRUE(slow2.recv_response(&rs, &err)) << err;
+  EXPECT_EQ(rs.status, Status::kOk);
+
+  // A shed client that *does* retry with backoff eventually lands.
+  RetryPolicy rp;
+  rp.max_attempts = 6;
+  rp.base_backoff_ms = 25.0;
+  Client retrier(d.endpoint(), rp);
+  EXPECT_EQ(retrier.call(make_request(Op::kPing, 99)).status, Status::kOk);
+}
+
+TEST(ServeDaemon, TenantTokenBucketRateLimitsPerTenant) {
+  TestDaemon d("fm_serve_rate", [](ServerConfig& cfg) {
+    cfg.tenant_rate_per_s = 2.0;
+    cfg.tenant_burst = 2.0;
+  });
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  Client a(d.endpoint(), no_retry), b(d.endpoint(), no_retry);
+
+  std::uint64_t limited = 0, ok = 0;
+  for (int i = 0; i < 6; ++i) {
+    Request rq = make_request(Op::kPing, 1 + i);
+    rq.tenant = 1;
+    const Response rs = a.call_once(rq);
+    if (rs.status == Status::kRateLimited) ++limited;
+    if (rs.status == Status::kOk) ++ok;
+  }
+  EXPECT_GE(ok, 2u);       // the burst allowance
+  EXPECT_GE(limited, 2u);  // the bucket really empties
+
+  // A different tenant has its own bucket: its burst is untouched.
+  Request rq = make_request(Op::kPing, 50);
+  rq.tenant = 2;
+  EXPECT_EQ(b.call_once(rq).status, Status::kOk);
+  EXPECT_EQ(d.server->stats().rate_limited, limited);
+}
+
+TEST(ServeDaemon, WatchdogCancelsPastDeadlineRequests) {
+  TestDaemon d("fm_serve_deadline");
+  Client client(d.endpoint());
+
+  Request rq = make_request(Op::kPing, 1);
+  rq.delay_ms = 2'000;
+  rq.deadline_ms = 60;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response rs = client.call(rq);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_EQ(rs.status, Status::kDeadlineExceeded);
+  // Cancelled cooperatively, not run to completion.
+  EXPECT_LT(ms, 1'500.0);
+  EXPECT_EQ(d.server->stats().deadline_exceeded, 1u);
+}
+
+TEST(ServeDaemon, DeadlinedEnrollLeavesResumableSessionAndRetryResumes) {
+  TestDaemon d("fm_serve_enroll_deadline", [](ServerConfig& cfg) {
+    cfg.default_npe = 4'000;
+    cfg.checkpoint_every = 64;
+  });
+  Client client(d.endpoint());
+
+  Request rq = make_request(Op::kEnroll, 1);
+  rq.die = 9;
+  rq.deadline_ms = 40;  // nowhere near enough for 4000 cycles
+  Response rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kDeadlineExceeded) << rs.message;
+
+  // The cancelled enroll left its journaled session behind...
+  const session::SessionStatus st =
+      session::inspect_session(d.dir.file("data/sessions/die-9"));
+  ASSERT_TRUE(st.exists);
+  EXPECT_FALSE(st.completed);
+  EXPECT_EQ(st.npe, 4'000u);
+  EXPECT_FALSE(fs::exists(d.dir.file("data/dies/die-9.fm")));
+
+  // ...so the retry resumes it instead of restarting (oxide damage is
+  // monotone; a restart would overshoot NPE).
+  rq.request_id = 2;
+  rq.deadline_ms = 30'000;
+  rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+  EXPECT_EQ(rs.resumed, 1);
+  EXPECT_EQ(rs.cycles_run, 4'000u);
+  EXPECT_TRUE(fs::exists(d.dir.file("data/dies/die-9.fm")));
+  EXPECT_FALSE(fs::exists(d.dir.file("data/sessions/die-9")));
+  EXPECT_EQ(d.server->stats().enroll_resumes, 1u);
+
+  // The resumed die verifies like any other.
+  rq = make_request(Op::kVerify, 3);
+  rq.die = 9;
+  rq.deadline_ms = 30'000;
+  EXPECT_EQ(client.call(rq).status, Status::kOk);
+}
+
+TEST(ServeDaemon, GracefulDrainFinishesInFlightAndTypesNewWork) {
+  TestDaemon d("fm_serve_drain");
+  Client client(d.endpoint());
+  ASSERT_EQ(client.call(make_request(Op::kPing, 1)).status, Status::kOk);
+
+  // Park a slow ping in flight, then drain.
+  Request slow = make_request(Op::kPing, 2);
+  slow.delay_ms = 300;
+  slow.deadline_ms = 5'000;
+  std::string err;
+  ASSERT_TRUE(client.send_request(slow, &err)) << err;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  d.server->request_drain();
+  EXPECT_TRUE(d.server->draining());
+
+  // New work on the existing connection is refused with a typed status.
+  Client client2(d.endpoint());  // may or may not connect; don't assert
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  Response rs = client2.call_once(make_request(Op::kPing, 3));
+  EXPECT_TRUE(rs.status == Status::kShuttingDown ||
+              rs.status == Status::kUnavailable)
+      << to_string(rs.status);
+
+  // The in-flight ping finishes inside the grace period...
+  ASSERT_TRUE(client.recv_response(&rs, &err)) << err;
+  EXPECT_EQ(rs.status, Status::kOk);
+
+  // ...and the drain completes with every die on disk: exit code 0.
+  EXPECT_EQ(d.server->wait(), 0);
+}
+
+TEST(ServeDaemon, PopulationSurvivesRestartAndServesIdenticalVerdicts) {
+  ScratchDir dir("fm_serve_restart");
+  ServerConfig cfg;
+  cfg.socket_path = dir.file("fm.sock");
+  cfg.data_dir = dir.file("data");
+  cfg.workers = 2;
+  cfg.default_npe = 400;
+  cfg.checkpoint_every = 128;
+  cfg.max_dies = 16;
+
+  {
+    Server server(cfg);
+    server.start();
+    Client client(cfg.socket_path);
+    Request rq = make_request(Op::kEnroll, 1);
+    rq.die = 4;
+    rq.deadline_ms = 30'000;
+    ASSERT_EQ(client.call(rq).status, Status::kOk);
+    rq = make_request(Op::kVerify, 2);
+    rq.die = 4;
+    rq.deadline_ms = 30'000;
+    ASSERT_EQ(client.call(rq).status, Status::kOk);
+    client.disconnect();
+    server.request_drain();
+    ASSERT_EQ(server.wait(), 0);  // flushes the (verify-mutated) die state
+  }
+
+  // A verify mutates die state (the extraction advances the sim clock and
+  // the read-noise stream), so the reference for the restarted daemon is a
+  // *local* verify of the flushed file — both start from identical bytes.
+  std::unique_ptr<Device> dev = load_device_file(dir.file("data/dies/die-4.fm"));
+  ASSERT_TRUE(dev != nullptr);
+  VerifyOptions vo = cfg.verify;
+  vo.key = cfg.key;
+  vo.n_replicas = cfg.n_replicas;
+  const VerifyReport local = verify_watermark(
+      dev->hal(), dev->config().geometry.segment_base(cfg.segment), vo);
+
+  // A new daemon over the same data_dir rediscovers the population and
+  // serves bit-identical verify results (the die state round-tripped).
+  Server server(cfg);
+  server.start();
+  Client client(cfg.socket_path);
+  Response rs = client.call(make_request(Op::kLotReport, 1));
+  ASSERT_EQ(rs.status, Status::kOk);
+  EXPECT_EQ(rs.lot.enrolled, 1u);
+
+  Request rq = make_request(Op::kVerify, 2);
+  rq.die = 4;
+  rq.deadline_ms = 30'000;
+  rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk);
+  EXPECT_EQ(rs.verdict, local.verdict);
+  EXPECT_EQ(rs.zero_fraction, local.zero_fraction);  // bitwise
+  EXPECT_EQ(rs.replica_disagreement, local.replica_disagreement);
+}
+
+}  // namespace
+}  // namespace flashmark

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/flashmark.hpp"
+#include "fault/fault.hpp"
 #include "flash/die_format.hpp"
 #include "fleet/fleet.hpp"
 #include "mcu/persist.hpp"
@@ -560,6 +561,148 @@ TEST(DieStore, ThrashMatchesAllResidentAuditAtAnyThreadCount) {
           << "die " << d << " differs between threads=1 and threads="
           << thread_counts[i];
   }
+}
+
+// The chaos variant of the thrash contract: with a FaultyHal active on
+// every die (plan derived from the die seed, NOT from residency or
+// schedule), a store-backed faulted audit through a tight residency window
+// is bit-identical to the all-resident faulted audit at threads 1/4/16 —
+// injected faults and eviction I/O compose without perturbing die state.
+TEST(DieStore, FaultedThrashMatchesAllResidentAtAnyThreadCount) {
+  constexpr std::size_t kDies = 96;
+  const DeviceConfig cfg = DeviceConfig::msp430f5438();
+
+  fleet::FaultPolicy faults;
+  faults.config.read_burst_p = 0.01;
+  faults.config.stuck_at0_per_segment = 1.0;
+  VerifyOptions vo = lot_verify();
+  vo.max_retries = 3;
+
+  struct Snapshot {
+    std::vector<Verdict> verdicts;
+    std::vector<double> zero_fractions;  // EXPECT_EQ: bitwise
+    std::vector<std::uint64_t> faults_injected;
+    std::vector<std::int64_t> sim_times_ns;
+  };
+  auto snapshot_of = [&](const fleet::AuditBatchResult& audited) {
+    Snapshot s;
+    for (std::size_t d = 0; d < kDies; ++d) {
+      s.verdicts.push_back(audited.reports[d].verdict);
+      s.zero_fractions.push_back(audited.reports[d].zero_fraction);
+      s.faults_injected.push_back(audited.fleet.dies[d].faults_injected);
+      s.sim_times_ns.push_back(audited.fleet.dies[d].sim_time.as_ns());
+    }
+    return s;
+  };
+
+  // Reference: all-resident imprint + faulted audit.
+  Snapshot reference;
+  {
+    fleet::FleetOptions fo;
+    fo.threads = 4;
+    auto imprinted = fleet::imprint_batch(cfg, kMaster, kDies, 0, lot_spec, fo);
+    ASSERT_EQ(imprinted.fleet.failures(), 0u);
+    auto audited = fleet::audit_batch(imprinted.dies, 0, vo, fo, faults);
+    ASSERT_EQ(audited.fleet.failures(), 0u);
+    reference = snapshot_of(audited);
+  }
+  // The faults really fired somewhere (otherwise this test proves nothing).
+  std::uint64_t total_faults = 0;
+  for (const std::uint64_t f : reference.faults_injected) total_faults += f;
+  EXPECT_GT(total_faults, 0u);
+
+  std::vector<ScratchDir> dirs;
+  dirs.reserve(3);
+  for (const unsigned threads : {1u, 4u, 16u}) {
+    dirs.emplace_back("flashmark_store_faulted_t" + std::to_string(threads));
+    store::DieStoreConfig sc;
+    sc.dir = dirs.back().str();
+    sc.device = cfg;
+    sc.max_resident = 8;
+    sc.seed_of = [](std::size_t die) {
+      return fleet::derive_die_seed(kMaster, die);
+    };
+    store::DieStore dies(sc);
+
+    fleet::FleetOptions fo;
+    fo.threads = threads;
+    auto imprinted = fleet::imprint_batch(dies, kDies, 0, lot_spec, fo);
+    ASSERT_EQ(imprinted.fleet.failures(), 0u);
+    auto audited = fleet::audit_batch(dies, kDies, 0, vo, fo, faults);
+    ASSERT_EQ(audited.fleet.failures(), 0u);
+    ASSERT_TRUE(dies.flush_all());
+    EXPECT_GT(dies.stats().evictions, 0u) << threads;
+
+    const Snapshot s = snapshot_of(audited);
+    EXPECT_EQ(s.verdicts, reference.verdicts) << threads;
+    EXPECT_EQ(s.zero_fractions, reference.zero_fractions) << threads;
+    EXPECT_EQ(s.faults_injected, reference.faults_injected) << threads;
+    EXPECT_EQ(s.sim_times_ns, reference.sim_times_ns) << threads;
+  }
+
+  // The persisted faulted population is schedule-invariant too.
+  for (std::size_t d = 0; d < kDies; ++d) {
+    const std::string t1 =
+        slurp(dirs[0].file("die-" + std::to_string(d) + ".fm"));
+    ASSERT_FALSE(t1.empty()) << d;
+    for (std::size_t i = 1; i < dirs.size(); ++i)
+      EXPECT_EQ(slurp(dirs[i].file("die-" + std::to_string(d) + ".fm")), t1)
+          << d;
+  }
+}
+
+// ENOSPC during an eviction save must latch the store write-blocked:
+// the die stays resident (nothing lost), the cause is surfaced through
+// stats()/last_save_error(), and — because a full volume is not transient —
+// later evictions skip doomed dirty saves until a save succeeds again.
+TEST(DieStore, EnospcEvictionLatchesWriteBlockedAndRecovers) {
+  ScratchDir d("flashmark_store_enospc");
+  store::DieStoreConfig sc;
+  sc.dir = d.str();
+  sc.device = DeviceConfig::msp430f5438();
+  sc.max_resident = 1;
+  sc.seed_of = [](std::size_t die) {
+    return fleet::derive_die_seed(kMaster, die);
+  };
+  store::DieStore dies(sc);
+
+  // Dirty die 0, then fill the "volume".
+  {
+    store::DieStore::PinnedDie p = dies.pin(0);
+    p->hal().program_word(p->config().geometry.segment_base(5), 0xBEEF);
+  }
+  FsioFaultConfig fault;
+  fault.write_fail_p = 1.0;
+  fault.no_space = true;
+  fault.only_path_substring = ".fm";
+  FaultyFsio::install(fault);
+
+  // Pinning die 1 evicts die 0 -> dirty save -> injected ENOSPC.
+  { store::DieStore::PinnedDie p = dies.pin(1); }
+  store::DieStoreStats st = dies.stats();
+  EXPECT_EQ(st.eviction_errors, 1u);
+  EXPECT_EQ(st.eviction_no_space, 1u);
+  EXPECT_FALSE(static_cast<bool>(dies.last_save_error()));
+  EXPECT_EQ(dies.last_save_error().cause, IoCause::kNoSpace);
+  // Die 0 was NOT dropped: its unsaved state is retained (die 1, clean,
+  // is evicted for free on unpin, so residency settles back at the cap
+  // with the dirty die as the survivor — not yet on disk).
+  EXPECT_EQ(dies.resident(), 1u);
+  EXPECT_FALSE(fs::exists(d.file("die-0.fm")));
+
+  // While latched, further evictions do not retry the doomed save.
+  { store::DieStore::PinnedDie p = dies.pin(2); }
+  st = dies.stats();
+  EXPECT_GE(st.eviction_blocked_skips, 1u);
+  EXPECT_EQ(st.eviction_errors, 1u);  // no second failed attempt
+  EXPECT_EQ(FaultyFsio::failures(), 1u);
+
+  // Space returns: the next flush succeeds, clears the latch, and the
+  // population reaches disk.
+  FaultyFsio::uninstall();
+  ASSERT_TRUE(dies.flush_all());
+  EXPECT_TRUE(static_cast<bool>(dies.last_save_error()));
+  EXPECT_TRUE(fs::exists(d.file("die-0.fm")));
 }
 
 }  // namespace

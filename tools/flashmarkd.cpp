@@ -1,0 +1,156 @@
+// flashmarkd — the Flashmark authentication daemon binary.
+//
+// Thin shell around serve::Server: parse flags, start the server, relay
+// SIGTERM/SIGINT into a graceful drain through a self-pipe (request_drain
+// is thread-safe but not async-signal-safe: the handler only write()s one
+// byte), and exit with the drain's verdict — 0 only when every dirty die
+// reached disk.
+//
+//   flashmarkd --socket /tmp/fm.sock --data-dir /var/lib/flashmark
+//              [--tcp 0] [--workers 4] [--queue 64] [--deadline-ms 2000]
+//              [--drain-grace-ms 5000] [--rate 0] [--burst 8]
+//              [--max-resident 256] [--npe 4000] [--checkpoint-every 512]
+//              [--fault-power-loss-p P] [--metrics-out FILE]
+//
+// --tcp 0 binds an ephemeral loopback port; the bound port is printed on
+// stdout ("listening tcp 127.0.0.1:<port>") so harnesses can parse it.
+#include <poll.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 1;
+  // Best effort: the pipe is non-blocking; a full pipe means a drain is
+  // already pending.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --data-dir DIR (--socket PATH | --tcp PORT) "
+               "[--workers N] [--queue N]\n"
+               "  [--deadline-ms N] [--max-deadline-ms N] "
+               "[--frame-timeout-ms N] [--drain-grace-ms N]\n"
+               "  [--rate PER_S] [--burst N] [--max-resident N] [--npe N]\n"
+               "  [--checkpoint-every N] [--seed N] "
+               "[--fault-power-loss-p P] [--fault-read-burst-p P]\n"
+               "  [--metrics-out FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using flashmark::serve::Server;
+  using flashmark::serve::ServerConfig;
+
+  ServerConfig cfg;
+  std::string metrics_out;
+  bool have_endpoint = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      cfg.socket_path = value();
+      have_endpoint = true;
+    } else if (a == "--tcp") {
+      cfg.tcp_port = std::atoi(value());
+      have_endpoint = true;
+    } else if (a == "--data-dir") {
+      cfg.data_dir = value();
+    } else if (a == "--workers") {
+      cfg.workers = static_cast<unsigned>(std::atoi(value()));
+    } else if (a == "--queue") {
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(value()));
+    } else if (a == "--deadline-ms") {
+      cfg.default_deadline_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (a == "--max-deadline-ms") {
+      cfg.max_deadline_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (a == "--frame-timeout-ms") {
+      cfg.frame_timeout_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (a == "--drain-grace-ms") {
+      cfg.drain_grace_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (a == "--rate") {
+      cfg.tenant_rate_per_s = std::atof(value());
+    } else if (a == "--burst") {
+      cfg.tenant_burst = std::atof(value());
+    } else if (a == "--max-resident") {
+      cfg.max_resident = static_cast<std::size_t>(std::atoll(value()));
+    } else if (a == "--npe") {
+      cfg.default_npe = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (a == "--checkpoint-every") {
+      cfg.checkpoint_every = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (a == "--seed") {
+      cfg.master_seed = std::strtoull(value(), nullptr, 0);
+    } else if (a == "--fault-power-loss-p") {
+      cfg.faults.power_loss_p = std::atof(value());
+    } else if (a == "--fault-read-burst-p") {
+      cfg.faults.read_burst_p = std::atof(value());
+    } else if (a == "--metrics-out") {
+      metrics_out = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cfg.data_dir.empty() || !have_endpoint) usage(argv[0]);
+  if (cfg.faults.any())
+    cfg.verify.max_retries = std::max(cfg.verify.max_retries, 3u);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("flashmarkd: pipe");
+    return 1;
+  }
+
+  // Metrics on demand: the Exporter enables the global registry now and
+  // writes the file when it goes out of scope — after the drain folded the
+  // serve/store gauges in.
+  flashmark::obs::Exporter exporter("", metrics_out);
+
+  Server server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "flashmarkd: %s\n", e.what());
+    return 1;
+  }
+  if (!cfg.socket_path.empty())
+    std::printf("listening unix %s\n", cfg.socket_path.c_str());
+  if (server.tcp_port() >= 0)
+    std::printf("listening tcp 127.0.0.1:%d\n", server.tcp_port());
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  // Block until a signal byte arrives, then drain gracefully.
+  char b = 0;
+  ssize_t n;
+  do {
+    n = ::read(g_signal_pipe[0], &b, 1);
+  } while (n < 0 && errno == EINTR);
+  std::fprintf(stderr, "flashmarkd: draining\n");
+  server.request_drain();
+  const int rc = server.wait();
+  std::fprintf(stderr, "flashmarkd: drained, exit %d\n", rc);
+  return rc;
+}

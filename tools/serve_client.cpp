@@ -1,0 +1,191 @@
+// serve_client — load driver / CLI client for flashmarkd.
+//
+//   serve_client --endpoint /tmp/fm.sock --op verify --die 3
+//   serve_client --endpoint tcp:41001 --op enroll --die 7 --npe 2000
+//   serve_client --endpoint tcp:41001 --op verify --dies 100 --count 1000 \
+//                --concurrency 16 --retries 5
+//
+// Each worker thread owns one Client (bounded retry, exponential backoff,
+// seeded jitter — seed derived per worker, so the schedule is reproducible)
+// and fires `count / concurrency` requests round-robin over the die range.
+// The summary reports per-status counts and latency stats; exit code 0 iff
+// every request ended in a *typed* response (anything but kUnavailable).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace flashmark;
+using namespace flashmark::serve;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --endpoint (PATH|tcp:PORT) --op "
+      "(ping|enroll|verify|lot-report|stats)\n"
+      "  [--die N | --dies N] [--count N] [--concurrency N] [--npe N]\n"
+      "  [--deadline-ms N] [--tenant N] [--delay-ms N] [--retries N] "
+      "[--seed N] [--quiet]\n",
+      argv0);
+  std::exit(2);
+}
+
+struct Tally {
+  std::mutex mu;
+  std::uint64_t by_status[8] = {0};
+  RunningStats latency_ms;
+  std::vector<double> latencies;
+  std::string first_error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  std::string op_name = "ping";
+  std::uint64_t die = 0, dies = 0, count = 1;
+  unsigned concurrency = 1;
+  std::uint32_t npe = 0, deadline_ms = 0, tenant = 0, delay_ms = 0;
+  RetryPolicy rp;
+  std::uint64_t seed = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--endpoint") endpoint = value();
+    else if (a == "--op") op_name = value();
+    else if (a == "--die") die = std::strtoull(value(), nullptr, 0);
+    else if (a == "--dies") dies = std::strtoull(value(), nullptr, 0);
+    else if (a == "--count") count = std::strtoull(value(), nullptr, 0);
+    else if (a == "--concurrency")
+      concurrency = static_cast<unsigned>(std::atoi(value()));
+    else if (a == "--npe") npe = static_cast<std::uint32_t>(std::atoll(value()));
+    else if (a == "--deadline-ms")
+      deadline_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    else if (a == "--tenant")
+      tenant = static_cast<std::uint32_t>(std::atoll(value()));
+    else if (a == "--delay-ms")
+      delay_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    else if (a == "--retries")
+      rp.max_attempts = static_cast<std::uint32_t>(std::atoll(value()));
+    else if (a == "--seed") seed = std::strtoull(value(), nullptr, 0);
+    else if (a == "--quiet") quiet = true;
+    else usage(argv[0]);
+  }
+  if (endpoint.empty()) usage(argv[0]);
+
+  Op op;
+  if (op_name == "ping") op = Op::kPing;
+  else if (op_name == "enroll") op = Op::kEnroll;
+  else if (op_name == "verify") op = Op::kVerify;
+  else if (op_name == "lot-report") op = Op::kLotReport;
+  else if (op_name == "stats") op = Op::kStats;
+  else usage(argv[0]);
+
+  if (concurrency == 0) concurrency = 1;
+  concurrency = static_cast<unsigned>(
+      std::min<std::uint64_t>(concurrency, std::max<std::uint64_t>(count, 1)));
+
+  Tally tally;
+  std::atomic<std::uint64_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(concurrency);
+  for (unsigned t = 0; t < concurrency; ++t) {
+    threads.emplace_back([&, t] {
+      RetryPolicy wrp = rp;
+      wrp.jitter_seed = seed + t;
+      Client client(endpoint, wrp);
+      for (;;) {
+        const std::uint64_t i = next.fetch_add(1);
+        if (i >= count) break;
+        Request rq;
+        rq.request_id = i + 1;
+        rq.tenant = tenant;
+        rq.deadline_ms = deadline_ms;
+        rq.op = op;
+        rq.die = dies > 0 ? (die + i % dies) : die;
+        rq.npe = npe;
+        rq.delay_ms = delay_ms;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Response rs = client.call(rq);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        std::lock_guard<std::mutex> lk(tally.mu);
+        ++tally.by_status[static_cast<std::size_t>(rs.status) & 7];
+        tally.latency_ms.add(ms);
+        tally.latencies.push_back(ms);
+        if (rs.status != Status::kOk && tally.first_error.empty())
+          tally.first_error =
+              std::string(to_string(rs.status)) + ": " + rs.message;
+        if (!quiet && count == 1) {
+          std::printf("status=%s message=%s\n", to_string(rs.status),
+                      rs.message.c_str());
+          if (rs.op == Op::kVerify && rs.status == Status::kOk)
+            std::printf("verdict=%s zero_fraction=%.4f\n",
+                        to_string(rs.verdict), rs.zero_fraction);
+          if (rs.op == Op::kEnroll && rs.status == Status::kOk)
+            std::printf("cycles_run=%u resumed=%u\n", rs.cycles_run,
+                        rs.resumed);
+          if (rs.op == Op::kLotReport && rs.status == Status::kOk)
+            std::printf("enrolled=%llu verifies=%llu genuine=%llu\n",
+                        static_cast<unsigned long long>(rs.lot.enrolled),
+                        static_cast<unsigned long long>(rs.lot.verifies),
+                        static_cast<unsigned long long>(rs.lot.genuine));
+          if (rs.op == Op::kStats && rs.status == Status::kOk)
+            std::printf("%s", rs.message.c_str());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::sort(tally.latencies.begin(), tally.latencies.end());
+  auto pct = [&](double p) {
+    if (tally.latencies.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(tally.latencies.size() - 1));
+    return tally.latencies[idx];
+  };
+  std::uint64_t unavailable =
+      tally.by_status[static_cast<std::size_t>(Status::kUnavailable)];
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "[serve_client] %llu request(s), %u thread(s): "
+                 "ok=%llu overloaded=%llu rate_limited=%llu deadline=%llu "
+                 "shutting_down=%llu invalid=%llu failed=%llu "
+                 "unavailable=%llu\n",
+                 static_cast<unsigned long long>(count), concurrency,
+                 static_cast<unsigned long long>(tally.by_status[0]),
+                 static_cast<unsigned long long>(tally.by_status[1]),
+                 static_cast<unsigned long long>(tally.by_status[2]),
+                 static_cast<unsigned long long>(tally.by_status[3]),
+                 static_cast<unsigned long long>(tally.by_status[4]),
+                 static_cast<unsigned long long>(tally.by_status[5]),
+                 static_cast<unsigned long long>(tally.by_status[6]),
+                 static_cast<unsigned long long>(unavailable));
+    std::fprintf(stderr,
+                 "[serve_client] latency ms: mean=%.3f p50=%.3f p99=%.3f "
+                 "max=%.3f\n",
+                 tally.latency_ms.mean(), pct(0.50), pct(0.99),
+                 tally.latency_ms.max());
+    if (!tally.first_error.empty())
+      std::fprintf(stderr, "[serve_client] first non-ok: %s\n",
+                   tally.first_error.c_str());
+  }
+  return unavailable == 0 ? 0 : 1;
+}
