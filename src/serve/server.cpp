@@ -56,12 +56,17 @@ bool parse_die_index(const std::string& text, std::uint64_t* out) {
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  if (cfg_.max_tenant_buckets == 0) cfg_.max_tenant_buckets = 1;
   verify_opts_ = cfg_.verify;
   verify_opts_.key = cfg_.key;
   verify_opts_.n_replicas = cfg_.n_replicas;
   stripes_.reserve(kStripes);
   for (std::size_t i = 0; i < kStripes; ++i)
     stripes_.push_back(std::make_unique<std::mutex>());
+}
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
 }
 
 Server::~Server() {
@@ -181,6 +186,29 @@ void Server::recover_sessions() {
 void Server::start() {
   if (started_.exchange(true))
     throw std::runtime_error("flashmarkd: start() called twice");
+  try {
+    start_locked();
+  } catch (...) {
+    // A failed start must leave the object destructible: with started_ left
+    // set, the destructor would run request_drain()+wait() against a store
+    // and pool that never came up and crash during unwinding, masking the
+    // original error. Unwind whatever did come up, then rethrow.
+    accept_stop_.store(true, std::memory_order_release);
+    watchdog_stop_.store(true, std::memory_order_release);
+    if (accept_th_.joinable()) accept_th_.join();
+    if (watchdog_th_.joinable()) watchdog_th_.join();
+    accept_stop_.store(false, std::memory_order_release);
+    watchdog_stop_.store(false, std::memory_order_release);
+    pool_.reset();
+    close_fd(unix_fd_);
+    close_fd(tcp_fd_);
+    store_.reset();
+    started_.store(false, std::memory_order_release);
+    throw;
+  }
+}
+
+void Server::start_locked() {
   if (cfg_.socket_path.empty() && cfg_.tcp_port < 0)
     throw std::runtime_error("flashmarkd: no endpoint configured");
   fs::create_directories(cfg_.data_dir);
@@ -199,52 +227,46 @@ void Server::start() {
   scan_enrolled();
   recover_sessions();  // before any socket exists: no concurrent requests
 
-  try {
-    if (!cfg_.socket_path.empty()) {
-      sockaddr_un addr{};
-      addr.sun_family = AF_UNIX;
-      if (cfg_.socket_path.size() >= sizeof(addr.sun_path))
-        throw std::runtime_error("flashmarkd: socket path too long: " +
-                                 cfg_.socket_path);
-      std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
-                  cfg_.socket_path.size() + 1);
-      ::unlink(cfg_.socket_path.c_str());
-      unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-      if (unix_fd_ < 0 ||
-          ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr),
-                 sizeof(addr)) != 0 ||
-          ::listen(unix_fd_, 128) != 0)
-        throw std::runtime_error("flashmarkd: cannot listen on " +
-                                 cfg_.socket_path + ": " +
-                                 std::strerror(errno));
-    }
-    if (cfg_.tcp_port >= 0) {
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
-      tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-      int one = 1;
-      if (tcp_fd_ >= 0)
-        ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-      if (tcp_fd_ < 0 ||
-          ::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-              0 ||
-          ::listen(tcp_fd_, 128) != 0)
-        throw std::runtime_error(
-            "flashmarkd: cannot listen on 127.0.0.1:" +
-            std::to_string(cfg_.tcp_port) + ": " + std::strerror(errno));
-      sockaddr_in bound{};
-      socklen_t blen = sizeof(bound);
-      if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound),
-                        &blen) != 0)
-        throw std::runtime_error("flashmarkd: getsockname failed");
-      bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
-    }
-  } catch (...) {
-    close_fd(unix_fd_);
-    close_fd(tcp_fd_);
-    throw;
+  if (!cfg_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socket_path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("flashmarkd: socket path too long: " +
+                               cfg_.socket_path);
+    std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
+                cfg_.socket_path.size() + 1);
+    ::unlink(cfg_.socket_path.c_str());
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0 ||
+        ::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(unix_fd_, 128) != 0)
+      throw std::runtime_error("flashmarkd: cannot listen on " +
+                               cfg_.socket_path + ": " +
+                               std::strerror(errno));
+  }
+  if (cfg_.tcp_port >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    int one = 1;
+    if (tcp_fd_ >= 0)
+      ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (tcp_fd_ < 0 ||
+        ::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(tcp_fd_, 128) != 0)
+      throw std::runtime_error(
+          "flashmarkd: cannot listen on 127.0.0.1:" +
+          std::to_string(cfg_.tcp_port) + ": " + std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &blen) != 0)
+      throw std::runtime_error("flashmarkd: getsockname failed");
+    bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
   }
 
   pool_ = std::make_unique<fleet::ThreadPool>(cfg_.workers);
@@ -300,7 +322,8 @@ void Server::reap_finished_conns() {
   for (auto it = conns_.begin(); it != conns_.end();) {
     if ((*it)->finished.load(std::memory_order_acquire)) {
       (*it)->th.join();
-      ::close((*it)->conn->fd);
+      // Dropping the slot's ConnPtr is the close: a pool worker may still
+      // hold a reference mid-send, and the fd must not be reused under it.
       it = conns_.erase(it);
     } else {
       ++it;
@@ -410,7 +433,27 @@ bool Server::admit_tenant(std::uint32_t tenant) {
   if (cfg_.tenant_rate_per_s <= 0.0) return true;
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lk(tenants_mu_);
-  TokenBucket& b = tenants_[tenant];
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    if (tenants_.size() >= cfg_.max_tenant_buckets) {
+      // The map is bounded: a hostile client cycling through u32 tenant ids
+      // must not exhaust daemon memory. A bucket idle for at least a full
+      // refill (burst/rate) is indistinguishable from a fresh one, so
+      // evicting it loses no rate state.
+      const double idle_ms =
+          cfg_.tenant_burst / cfg_.tenant_rate_per_s * 1e3;
+      for (auto i = tenants_.begin(); i != tenants_.end();) {
+        if (ms_between(i->second.last, now) >= idle_ms)
+          i = tenants_.erase(i);
+        else
+          ++i;
+      }
+      if (tenants_.size() >= cfg_.max_tenant_buckets)
+        return false;  // every bucket is mid-window: overflow is rate-limited
+    }
+    it = tenants_.emplace(tenant, TokenBucket{}).first;
+  }
+  TokenBucket& b = it->second;
   if (!b.primed) {
     b.tokens = cfg_.tenant_burst;
     b.primed = true;
@@ -444,9 +487,17 @@ bool Server::handle_frame(const ConnPtr& conn, const std::string& body) {
     return true;
   }
   bool shed = false;
+  bool closed = false;
   {
     std::lock_guard<std::mutex> lk(q_mu_);
-    if (pending_ - executing_ >= cfg_.queue_capacity) {
+    if (q_closed_) {
+      // This thread loaded draining_ == false, then wait() closed the queue.
+      // It must not touch pending_ or pool_ now: wait() may already have
+      // observed pending_ == 0 and freed the pool. The q_mu_-guarded flag
+      // makes the race benign — refuse here, or (had the increment won the
+      // lock first) be waited on before the pool is reset.
+      closed = true;
+    } else if (pending_ - executing_ >= cfg_.queue_capacity) {
       // Load shed: the bounded queue is the daemon's memory-safety valve.
       // Typed kOverloaded tells the client to back off and retry; silently
       // queueing would turn one slow die into unbounded latency for all.
@@ -454,6 +505,10 @@ bool Server::handle_frame(const ConnPtr& conn, const std::string& body) {
     } else {
       ++pending_;
     }
+  }
+  if (closed) {
+    respond_error(conn, *rq, Status::kShuttingDown, "daemon draining");
+    return true;
   }
   if (shed) {
     respond_error(conn, *rq, Status::kOverloaded, "queue full");
@@ -760,6 +815,16 @@ int Server::wait() {
     std::unique_lock<std::mutex> lk(drain_mu_);
     drain_requested_cv_.wait(lk, [this] { return drain_requested_; });
   }
+  // Close admission under q_mu_ BEFORE any pending_ == 0 observation below.
+  // A connection thread that loaded draining_ == false just before
+  // request_drain() could otherwise increment pending_ and submit to a pool
+  // this function already freed; with the flag, it either sees q_closed_
+  // and refuses, or its increment is ordered before our checks and the
+  // drain waits for it.
+  {
+    std::lock_guard<std::mutex> lk(q_mu_);
+    q_closed_ = true;
+  }
   // Phase 0: stop the front door. No new connections, and handle_frame
   // answers kShuttingDown on the existing ones.
   accept_stop_.store(true, std::memory_order_release);
@@ -811,19 +876,20 @@ int Server::wait() {
       conns_.pop_front();
     }
     slot->th.join();
-    ::close(slot->conn->fd);
-  }
+  }  // the slot's ConnPtr drop closes the fd (workers are gone: last ref)
 
   close_fd(unix_fd_);
   close_fd(tcp_fd_);
   if (!cfg_.socket_path.empty()) ::unlink(cfg_.socket_path.c_str());
 
   // The exit-code contract: 0 only when every dirty die reached disk.
-  const IoStatus flushed = store_->flush_all();
+  // (store_ can only be null if wait() is driven by hand after a failed
+  // start(); there is nothing to flush then.)
+  const IoStatus flushed = store_ ? store_->flush_all() : IoStatus::success();
 
   if (obs::metrics_enabled()) {
     fold_into(obs::MetricsRegistry::global());
-    store_->fold_into(obs::MetricsRegistry::global(), "store");
+    if (store_) store_->fold_into(obs::MetricsRegistry::global(), "store");
   }
   stopped_.store(true, std::memory_order_release);
   return flushed.ok ? 0 : 1;

@@ -102,6 +102,11 @@ struct ServerConfig {
   // --- per-tenant token bucket (rate 0 = unlimited) -----------------------
   double tenant_rate_per_s = 0.0;
   double tenant_burst = 8.0;
+  /// Hard cap on tracked tenant buckets: a hostile client cycling through
+  /// u32 tenant ids must not grow daemon memory without bound. At the cap,
+  /// buckets idle past a full refill are evicted (they carry no rate state);
+  /// if every bucket is mid-window, new tenants are answered kRateLimited.
+  std::size_t max_tenant_buckets = 4'096;
 
   // --- population ---------------------------------------------------------
   /// Daemon state root: `<data_dir>/dies` (store) + `<data_dir>/sessions`
@@ -216,6 +221,13 @@ class Server {
     int fd = -1;
     std::mutex write_mu;
     std::atomic<bool> dead{false};
+    /// Closes fd. The fd is owned by the Conn and closed only when the last
+    /// ConnPtr drops: a pool worker can still be inside send_response after
+    /// the conn thread exits, and closing under it would let the kernel
+    /// reuse the fd number for a newly accepted client — a response written
+    /// to the wrong peer. shutdown() (which never frees the number) is the
+    /// only teardown signal sent while references remain.
+    ~Conn();
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
@@ -265,6 +277,10 @@ class Server {
               std::chrono::steady_clock::time_point started);
   void watchdog_loop();
 
+  /// start() body; on throw, start() unwinds partial state and resets
+  /// started_ so the object stays destructible (and start() retryable).
+  void start_locked();
+
   // population
   void recover_sessions();
   void scan_enrolled();
@@ -300,6 +316,12 @@ class Server {
   std::condition_variable drain_cv_;   ///< pending_ transitions
   std::size_t pending_ = 0;    ///< admitted (queued or executing)
   std::size_t executing_ = 0;  ///< currently in a handler
+  /// Set by wait() under q_mu_ before it can observe pending_ == 0 and free
+  /// the pool. A connection thread that raced past the draining_ load must
+  /// re-check this under q_mu_ before touching pending_/pool_: either its
+  /// admission is refused (kShuttingDown), or its pending_ increment is
+  /// visible to wait() and the pool outlives its submit.
+  bool q_closed_ = false;
   /// Drain phase 2: queued-but-not-started work answers kShuttingDown
   /// instead of executing.
   std::atomic<bool> abort_queued_{false};

@@ -535,6 +535,55 @@ TEST(ServeDaemon, TenantTokenBucketRateLimitsPerTenant) {
   EXPECT_EQ(d.server->stats().rate_limited, limited);
 }
 
+TEST(ServeDaemon, TenantBucketMapIsBoundedUnderTenantChurn) {
+  TestDaemon d("fm_serve_tenant_bound", [](ServerConfig& cfg) {
+    // Refill window burst/rate = 8 s: no bucket can go idle mid-test, so
+    // hitting the cap must refuse overflow tenants instead of evicting.
+    cfg.tenant_rate_per_s = 0.125;
+    cfg.tenant_burst = 1.0;
+    cfg.max_tenant_buckets = 4;
+  });
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  Client client(d.endpoint(), no_retry);
+
+  // The first max_tenant_buckets tenants each get their burst.
+  for (std::uint32_t t = 1; t <= 4; ++t) {
+    Request rq = make_request(Op::kPing, t);
+    rq.tenant = t;
+    EXPECT_EQ(client.call_once(rq).status, Status::kOk) << "tenant " << t;
+  }
+  // Churning through fresh tenant ids beyond the cap — the hostile pattern
+  // that used to grow the map without bound — is answered kRateLimited.
+  for (std::uint32_t t = 5; t <= 20; ++t) {
+    Request rq = make_request(Op::kPing, t);
+    rq.tenant = t;
+    EXPECT_EQ(client.call_once(rq).status, Status::kRateLimited)
+        << "tenant " << t;
+  }
+  EXPECT_EQ(d.server->stats().rate_limited, 16u);
+}
+
+TEST(ServeDaemon, FailedStartLeavesServerDestructible) {
+  ScratchDir dir("fm_serve_failed_start");
+  ServerConfig cfg;
+  cfg.data_dir = dir.file("data");
+
+  // No endpoint: start() throws before the store exists. The destructor
+  // must not run the drain path against a daemon that never came up.
+  {
+    Server server(cfg);
+    EXPECT_THROW(server.start(), std::runtime_error);
+  }
+  // Bind failure *after* the store came up (socket path longer than
+  // sun_path) unwinds just as cleanly.
+  cfg.socket_path = dir.file(std::string(200, 'x'));
+  {
+    Server server(cfg);
+    EXPECT_THROW(server.start(), std::runtime_error);
+  }
+}
+
 TEST(ServeDaemon, WatchdogCancelsPastDeadlineRequests) {
   TestDaemon d("fm_serve_deadline");
   Client client(d.endpoint());
@@ -623,6 +672,42 @@ TEST(ServeDaemon, GracefulDrainFinishesInFlightAndTypesNewWork) {
 
   // ...and the drain completes with every die on disk: exit code 0.
   EXPECT_EQ(d.server->wait(), 0);
+}
+
+TEST(ServeDaemon, DrainRacingActiveSubmittersAnswersTypedOrDisconnects) {
+  // Regression for the drain/admission race: a connection thread that loads
+  // draining_ == false just before request_drain() must not submit to a
+  // worker pool wait() already freed. Hammer pings from several threads
+  // while the drain fires mid-stream; every request ends in a typed
+  // response or a clean transport failure (never a crash / torn frame).
+  TestDaemon d("fm_serve_drain_race", [](ServerConfig& cfg) {
+    cfg.workers = 4;
+    cfg.queue_capacity = 8;
+  });
+  constexpr int kThreads = 4;
+  std::vector<std::thread> load;
+  for (int t = 0; t < kThreads; ++t) {
+    load.emplace_back([&, t] {
+      RetryPolicy no_retry;
+      no_retry.max_attempts = 1;
+      Client client(d.endpoint(), no_retry);
+      for (std::uint64_t i = 0;; ++i) {
+        Request rq = make_request(
+            Op::kPing, static_cast<std::uint64_t>(t) * 1'000'000 + i);
+        rq.delay_ms = 1;
+        const Response rs = client.call_once(rq);
+        if (rs.status == Status::kUnavailable) break;  // daemon torn down
+        EXPECT_TRUE(rs.status == Status::kOk ||
+                    rs.status == Status::kOverloaded ||
+                    rs.status == Status::kShuttingDown)
+            << to_string(rs.status);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  d.server->request_drain();
+  EXPECT_EQ(d.server->wait(), 0);
+  for (auto& th : load) th.join();
 }
 
 TEST(ServeDaemon, PopulationSurvivesRestartAndServesIdenticalVerdicts) {
