@@ -5,7 +5,11 @@
 // users can size their own sweeps; they are not paper results.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
 
 #include "bench_util.hpp"
 #include "nand/nand_watermark.hpp"
@@ -15,6 +19,23 @@
 
 using namespace flashmark;
 using namespace flashmark::bench;
+
+// Process-wide heap-allocation counter backing the arena guards below. The
+// batched kernels promise steady-state zero allocation (their scratch lives
+// in the thread-local KernelArena, phys/kernels.cpp); replacing the global
+// operator new makes that promise measurable instead of aspirational.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -219,6 +240,48 @@ void BM_ErasePulseSegment(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4);
 }
 BENCHMARK(BM_ErasePulseSegment)->Arg(0)->Arg(1);
+
+// Interleaved erase pulses across 8 dies through FlashArray::partial_erase_many
+// (fleet::pulse_sweep_batch's hot loop) — and the allocation guard for the
+// kernel arena: after the warm-up rep, every pulse must run entirely out of
+// the thread-local KernelArena scratch (phys/kernels.cpp). The bench FAILS
+// (SkipWithError) if a steady-state pulse touches the heap.
+void BM_ErasePulseInterleaved(benchmark::State& state) {
+  constexpr std::size_t kDies = 8;
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  std::vector<std::unique_ptr<FlashArray>> dies;
+  std::vector<FlashArray*> arrays;
+  for (std::size_t k = 0; k < kDies; ++k) {
+    dies.push_back(std::make_unique<FlashArray>(
+        g, PhysParams::msp430_calibrated(), kDieSeed + k));
+    arrays.push_back(dies.back().get());
+  }
+  const std::vector<std::uint16_t> zeros(256, 0);
+  auto condition = [&] {
+    for (FlashArray* a : arrays) {
+      a->erase_segment(0);
+      a->program_words(g.segment_base(0), zeros.data(), zeros.size());
+    }
+  };
+  auto pulses = [&] {
+    for (int i = 0; i < 4; ++i)
+      FlashArray::partial_erase_many(arrays.data(), kDies, 0, 30.0);
+  };
+  condition();
+  pulses();  // warm-up: materializes segments, sizes the arena scratch
+  std::uint64_t pulse_allocs = 0;
+  for (auto _ : state) {
+    condition();
+    const std::uint64_t a0 = g_heap_allocs.load(std::memory_order_relaxed);
+    pulses();
+    pulse_allocs += g_heap_allocs.load(std::memory_order_relaxed) - a0;
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * kDies);
+  state.counters["pulse_allocs"] = static_cast<double>(pulse_allocs);
+  if (pulse_allocs != 0)
+    state.SkipWithError("steady-state interleaved erase pulse hit the heap");
+}
+BENCHMARK(BM_ErasePulseInterleaved);
 
 // Majority-read kernel under both modes (arg 0), mid-transition so the
 // metastable noise draws are live — the analyze/extract hot loop.

@@ -926,4 +926,69 @@ AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
   return out;
 }
 
+PulseSweepResult pulse_sweep_batch(store::DieStore& dies, std::size_t n_dies,
+                                   std::size_t segment,
+                                   const std::vector<double>& t_pe_us,
+                                   const FleetOptions& opts,
+                                   std::size_t interleave) {
+  if (interleave == 0)
+    throw std::runtime_error("pulse_sweep_batch: interleave must be > 0");
+  PulseSweepResult out;
+  out.erased_counts.assign(n_dies,
+                           std::vector<std::size_t>(t_pe_us.size(), 0));
+  const std::size_t n_cohorts = (n_dies + interleave - 1) / interleave;
+  out.fleet = run_dies(
+      n_cohorts,
+      [&](std::size_t cohort, DieCounters& counters, DieProgress& token) {
+        const std::size_t d0 = cohort * interleave;
+        const std::size_t d1 = std::min(n_dies, d0 + interleave);
+        const std::size_t n = d1 - d0;
+        counters.die = d0;  // cohort row, labeled by its first die
+
+        // Pins of distinct dies in ascending order: cohorts partition the
+        // die range, so exclusive pins cannot deadlock across jobs.
+        std::vector<store::DieStore::PinnedDie> pinned;
+        pinned.reserve(n);
+        std::vector<FlashArray*> arrays;
+        arrays.reserve(n);
+        for (std::size_t die = d0; die < d1; ++die) {
+          pinned.push_back(dies.pin(die));
+          pinned.back()->controller().reset_op_counters();
+          arrays.push_back(&pinned.back()->array());
+        }
+
+        // Condition: every cell of the segment starts programmed, so the
+        // sweep measures the erase-time distribution of the whole segment.
+        const FlashGeometry& geom = arrays[0]->geometry();
+        const Addr base = geom.segment_base(segment);
+        const std::size_t n_words =
+            geom.segment_bytes(segment) / geom.word_bytes;
+        const std::vector<std::uint16_t> zeros(n_words, 0);
+        for (std::size_t k = 0; k < n; ++k) {
+          arrays[k]->erase_segment(segment);
+          arrays[k]->program_words(base, zeros.data(), n_words);
+          token.tick();
+        }
+
+        // Cumulative pulses, interleaved across the cohort: each call
+        // fills vector lanes with cells from all n dies at once.
+        for (std::size_t p = 0; p < t_pe_us.size(); ++p) {
+          FlashArray::partial_erase_many(arrays.data(), n, segment,
+                                         t_pe_us[p]);
+          for (std::size_t k = 0; k < n; ++k)
+            out.erased_counts[d0 + k][p] = arrays[k]->count_erased(segment);
+          token.tick();
+        }
+
+        // The sweep runs at the array layer, below the controller, so the
+        // op counters are accounted here; the simulated clock is untouched.
+        counters.erase_ops += n * (1 + t_pe_us.size());
+        counters.program_ops += n * n_words;
+        counters.pe_cycles += static_cast<double>(n);
+      },
+      opts);
+  fold_store_stats(dies);
+  return out;
+}
+
 }  // namespace flashmark::fleet

@@ -440,4 +440,40 @@ AuditBatchResult audit_batch(store::DieStore& dies, std::size_t n_dies,
                              const FleetOptions& opts = {},
                              const FaultPolicy& faults = {});
 
+/// Result of pulse_sweep_batch. `erased_counts[die][k]` is the noise-free
+/// number of erased cells in the swept segment of `die` after pulse k of
+/// the schedule has run (on top of pulses 0..k-1). Erase transitions are
+/// one-way, so each die's counts are monotone in k (paper Fig. 4 style).
+struct PulseSweepResult {
+  std::vector<std::vector<std::size_t>> erased_counts;
+  FleetReport fleet;
+};
+
+/// Erase-time characterization sweep over dies 0..n_dies-1 of the store's
+/// population: each die's segment is conditioned (full erase, then every
+/// word programmed to 0x0000 so all cells start programmed), then the
+/// partial-erase pulses of `t_pe_us` are applied in order, recording the
+/// erased-cell count after every pulse.
+///
+/// Dies run in cohorts of `interleave`: one fleet job pins a contiguous
+/// range of `interleave` dies and drives each pulse through
+/// FlashArray::partial_erase_many, so the batched kernels fill vector
+/// lanes with cells from all of the cohort's dies at once
+/// (kernels::erase_pulse_segments). `erased_counts` is byte-identical at
+/// any interleave width and any --threads value: partial_erase_many is
+/// byte-identical to the sequential per-die loop by contract, cohorts
+/// partition the die range disjointly, and every die draws from its own
+/// RNG streams.
+///
+/// Reporting caveats: `fleet.dies` rows are per *cohort*, labeled by the
+/// cohort's first die index. The sweep runs at the array (physics) layer,
+/// below the controller, so the simulated clock does not advance and the
+/// op counters in each row are accounted directly (one full erase + one
+/// whole-segment program + |t_pe_us| partial pulses per die).
+PulseSweepResult pulse_sweep_batch(store::DieStore& dies, std::size_t n_dies,
+                                   std::size_t segment,
+                                   const std::vector<double>& t_pe_us,
+                                   const FleetOptions& opts = {},
+                                   std::size_t interleave = 8);
+
 }  // namespace flashmark::fleet

@@ -81,11 +81,25 @@ class SegmentSoA {
   /// Install a precomputed nominal erase time for cell `i`. The value MUST
   /// be bit-identical to what nominal_tte_us would compute — the vectorized
   /// erase-pulse kernel satisfies this by evaluating the same fm_pow /
-  /// slowdown_from_growth pipeline 4-wide (util/fm_math.hpp).
+  /// slowdown_from_growth pipeline 4/8-wide (util/fm_math.hpp).
+  ///
+  /// THREAD CONTRACT (single-owner): prime_tte / nominal_tte_us write the
+  /// mutable cache under `const`, so a SegmentSoA — and therefore the die
+  /// that owns it — must only ever be touched by one thread at a time, even
+  /// for logically read-only ops. DieStore::pin enforces this at the fleet
+  /// layer: a pin is exclusive per die (a second pin of the same die blocks
+  /// until the first unpins; see store/die_store.hpp). The TSan regression
+  /// for the contract is StoreKernel.ConcurrentSameDieExtractIsExclusive in
+  /// tests/kernel_diff_test.cpp (ctest -L kernel).
   void prime_tte(std::size_t i, double v) const {
     tte_cache_[i] = v;
     tte_valid_[i] = 1;
   }
+
+  /// Raw cache arrays for the vectorized kernels (masked lane stores need
+  /// contiguous memory). Same single-owner contract as prime_tte.
+  double* tte_cache_data() const { return tte_cache_.data(); }
+  std::uint8_t* tte_valid_data() const { return tte_valid_.data(); }
 
   // Parallel per-cell arrays (see Cell for field semantics). Public on
   // purpose: the kernels below are the only writers, and white-box tests
@@ -119,6 +133,28 @@ void erase_full_segment(KernelMode m, SegmentSoA& s, const PhysParams& p);
 /// (Cell::partial_erase; the caller applies temperature acceleration).
 void erase_pulse_segment(KernelMode m, SegmentSoA& s, const PhysParams& p,
                          double t_pe_us, Rng& rng);
+
+/// One independent segment's share of a multi-die interleaved erase pulse.
+/// Each job keeps its own RNG (the die's noise stream) and physics; jobs
+/// must reference distinct SegmentSoA/Rng objects (they are advanced in one
+/// invocation).
+struct ErasePulseJob {
+  SegmentSoA* seg = nullptr;
+  const PhysParams* phys = nullptr;
+  double t_pe_us = 0.0;
+  Rng* rng = nullptr;
+};
+
+/// Multi-segment interleaved erase pulse: byte-identical to calling
+/// erase_pulse_segment(m, *jobs[k].seg, ...) for k = 0..n_jobs-1 in order
+/// (per-die state AND per-die RNG streams), but the transcendental passes
+/// concatenate all jobs' survivors so sparse per-job batches still fill
+/// whole vector lanes. The concatenation is bit-safe because fm_pow_pos_n /
+/// fm_exp_n are elementwise (fm_math.hpp): grouping cannot change any lane's
+/// input or output bits. Jobs whose physics share damage_exponent share one
+/// pow batch; others get their own (same per-element bits either way).
+void erase_pulse_segments(KernelMode m, const ErasePulseJob* jobs,
+                          std::size_t n_jobs);
 
 /// Program pulses for `n_words` consecutive words starting at cell
 /// `cell0`: bits that are 0 in `words[w]` program their cells

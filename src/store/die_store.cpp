@@ -57,7 +57,12 @@ DieStore::PinnedDie DieStore::pin(std::size_t die) {
     auto it = map_.find(die);
     if (it == map_.end()) break;
     Entry& e = it->second;
-    if (e.busy) {
+    if (e.busy || e.pins > 0) {
+      // A pin is EXCLUSIVE: even logically read-only work mutates the
+      // die's nominal-erase-time cache (SegmentSoA::prime_tte writes
+      // mutable state under const — see phys/kernels.hpp), so two threads
+      // holding the same resident die would race. Block until the current
+      // holder unpins; unpin()/the miss path notify cv_.
       cv_.wait(lk);
       continue;  // re-find: the entry may have been evicted meanwhile
     }

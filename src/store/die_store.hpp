@@ -17,6 +17,15 @@
 // pinned than the cap allows. Disk I/O (load, eviction save) happens outside
 // the store lock, so unrelated dies stay available while one is in flight.
 //
+// A pin is EXCLUSIVE: pin() blocks while another thread holds the same die,
+// because even logically read-only device work writes the SegmentSoA
+// erase-time cache under const (phys/kernels.hpp prime_tte — the mutable
+// memo is single-owner by contract). One thread may nest pins of the same
+// die only by releasing first; two pins of the same die held by one thread
+// deadlock just as two threads would block. The serve daemon additionally
+// serializes same-die requests above the store (serve/server.cpp
+// stripe_for), so its threads never contend here.
+//
 // Determinism: which dies are resident at any instant — and therefore the
 // hit/miss/eviction counters — depends on scheduling at threads > 1, exactly
 // like wall-clock times. Die *state* does not: a die's bytes after a batch
@@ -147,6 +156,9 @@ class DieStore {
   /// std::runtime_error when an existing die file is unreadable, corrupt,
   /// or does not match the population (wrong family or die seed) —
   /// per-die, so a fleet job's failure taxonomy catches it.
+  ///
+  /// Exclusive: blocks while any other pin of the same die is live (see the
+  /// concurrency note above — the Device's kernel caches are single-owner).
   PinnedDie pin(std::size_t die);
 
   /// Persist die `die` now if it is resident and dirty (atomic replace).

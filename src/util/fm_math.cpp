@@ -12,8 +12,10 @@
 // paths: identical inputs give identical bits.
 #include "util/fm_math.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -371,18 +373,152 @@ __attribute__((target("avx2,fma"))) void pow_pos_n_avx2(const double* x,
   for (; i < n; ++i) out[i] = exp_scalar(y * log_scalar(x[i]));
 }
 
-bool detect_simd() {
-  __builtin_cpu_init();
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+// ---------------------------------------------------------------------------
+// AVX-512 lanes: the exact same operation sequences as the AVX2 kernels above,
+// widened to 8 doubles. Every step is still one IEEE op (or one fma), so the
+// lanes are bit-identical to scalar by the same argument. The only structural
+// difference is mechanical: AVX-512 expresses blends as mask moves
+// (semantically identical to blendv) and converts int64->double with the
+// AVX-512DQ cvt (exact for these small integers, same bits as the
+// magic-number trick). sincos2pi stays AVX2-max: it is not on the pass-1/2
+// hot path the wider lanes exist for.
+
+__attribute__((target("avx512f,avx512dq,avx2,fma"))) __m512d exp_avx512(
+    __m512d x) {
+  const __m512d inf = _mm512_set1_pd(bits_to_double(0x7FF0000000000000ull));
+  const __m512d k =
+      _mm512_roundscale_pd(_mm512_mul_pd(x, _mm512_set1_pd(kInvLn2)),
+                           _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m512d r = _mm512_fmadd_pd(k, _mm512_set1_pd(-kLn2Hi), x);
+  r = _mm512_fmadd_pd(k, _mm512_set1_pd(-kLn2Lo), r);
+  __m512d p = _mm512_set1_pd(kExpC[0]);
+  for (int i = 1; i < 12; ++i)
+    p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(kExpC[i]));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0));
+  // 2^k: k is integral and |k| <= 1023 here, so int32 conversion is exact.
+  const __m256i ki32 = _mm512_cvtpd_epi32(k);
+  const __m512i ki = _mm512_cvtepi32_epi64(ki32);
+  const __m512i bits =
+      _mm512_slli_epi64(_mm512_add_epi64(ki, _mm512_set1_epi64(1023)), 52);
+  __m512d res = _mm512_mul_pd(p, _mm512_castsi512_pd(bits));
+  // Clamps, applied exactly as the scalar branch ladder does.
+  const __mmask8 lo_mask =
+      _mm512_cmp_pd_mask(x, _mm512_set1_pd(kExpLo), _CMP_LT_OQ);
+  res = _mm512_mask_mov_pd(res, lo_mask, _mm512_setzero_pd());
+  const __mmask8 hi_mask =
+      _mm512_cmp_pd_mask(x, _mm512_set1_pd(kExpHi), _CMP_GT_OQ);
+  res = _mm512_mask_mov_pd(res, hi_mask, inf);
+  const __mmask8 nan_mask = _mm512_cmp_pd_mask(x, x, _CMP_UNORD_Q);
+  res = _mm512_mask_mov_pd(res, nan_mask, x);
+  return res;
 }
 
-#else
+__attribute__((target("avx512f,avx512dq,avx2,fma"))) __m512d log_avx512(
+    __m512d x) {
+  // Subnormal pre-scale (exact: multiply by a power of two).
+  const __mmask8 tiny =
+      _mm512_cmp_pd_mask(x, _mm512_set1_pd(kDblMin), _CMP_LT_OQ);
+  x = _mm512_mask_mov_pd(x, tiny, _mm512_mul_pd(x, _mm512_set1_pd(kTwo54)));
+  const __m512d eadj =
+      _mm512_mask_mov_pd(_mm512_setzero_pd(), tiny, _mm512_set1_pd(-54.0));
+  const __m512i u = _mm512_castpd_si512(x);
+  const __m512i e_i = _mm512_sub_epi64(_mm512_srli_epi64(u, 52),
+                                       _mm512_set1_epi64(1023));
+  // AVX-512DQ int64 -> double is a correctly-rounded conversion, hence exact
+  // for e_i in [-1077, 1024]: identical bits to the AVX2 magic-number path.
+  __m512d e = _mm512_add_pd(_mm512_cvtepi64_pd(e_i), eadj);
+  __m512d m = _mm512_castsi512_pd(_mm512_or_si512(
+      _mm512_and_si512(u, _mm512_set1_epi64(0x000FFFFFFFFFFFFFll)),
+      _mm512_set1_epi64(0x3FF0000000000000ll)));
+  const __mmask8 big =
+      _mm512_cmp_pd_mask(m, _mm512_set1_pd(kSqrt2), _CMP_GE_OQ);
+  m = _mm512_mask_mov_pd(m, big, _mm512_mul_pd(m, _mm512_set1_pd(0.5)));
+  e = _mm512_mask_mov_pd(e, big, _mm512_add_pd(e, _mm512_set1_pd(1.0)));
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d f = _mm512_sub_pd(m, one);
+  const __m512d s = _mm512_div_pd(f, _mm512_add_pd(m, one));
+  const __m512d z = _mm512_mul_pd(s, s);
+  __m512d p = _mm512_set1_pd(kLogC[0]);
+  for (int i = 1; i < 10; ++i)
+    p = _mm512_fmadd_pd(p, z, _mm512_set1_pd(kLogC[i]));
+  const __m512d t = _mm512_mul_pd(z, p);
+  const __m512d twos = _mm512_add_pd(s, s);
+  const __m512d logm = _mm512_fmadd_pd(twos, t, twos);
+  __m512d res = _mm512_fmadd_pd(e, _mm512_set1_pd(kLn2Lo), logm);
+  res = _mm512_fmadd_pd(e, _mm512_set1_pd(kLn2Hi), res);
+  return res;
+}
 
-bool detect_simd() { return false; }
+__attribute__((target("avx512f,avx512dq,avx2,fma"))) void exp_n_avx512(
+    const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm512_storeu_pd(out + i, exp_avx512(_mm512_loadu_pd(x + i)));
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, exp_avx2(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = exp_scalar(x[i]);
+}
+
+__attribute__((target("avx512f,avx512dq,avx2,fma"))) void log_n_avx512(
+    const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm512_storeu_pd(out + i, log_avx512(_mm512_loadu_pd(x + i)));
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, log_avx2(_mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = log_scalar(x[i]);
+}
+
+__attribute__((target("avx512f,avx512dq,avx2,fma"))) void pow_pos_n_avx512(
+    const double* x, double y, double* out, std::size_t n) {
+  const __m512d vy = _mm512_set1_pd(y);
+  const __m256d vy4 = _mm256_set1_pd(y);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d lg = log_avx512(_mm512_loadu_pd(x + i));
+    _mm512_storeu_pd(out + i, exp_avx512(_mm512_mul_pd(vy, lg)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d lg = log_avx2(_mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(out + i, exp_avx2(_mm256_mul_pd(vy4, lg)));
+  }
+  for (; i < n; ++i) out[i] = exp_scalar(y * log_scalar(x[i]));
+}
 
 #endif  // FM_MATH_X86
 
-const bool g_simd = detect_simd();
+Isa detect_isa_impl() {
+#if FM_MATH_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return Isa::kAvx512;
+    }
+    return Isa::kAvx2;
+  }
+#endif
+  return Isa::kScalar;
+}
+const Isa g_detected_isa = detect_isa_impl();
+
+// Env caps, read once per process. Any non-empty value except "0" counts as
+// set; FLASHMARK_FORCE_SCALAR wins over FLASHMARK_FORCE_AVX2.
+bool env_flag_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+Isa env_cap_impl() {
+  if (env_flag_set("FLASHMARK_FORCE_SCALAR")) return Isa::kScalar;
+  if (env_flag_set("FLASHMARK_FORCE_AVX2")) return Isa::kAvx2;
+  return Isa::kAvx512;
+}
+const Isa g_env_cap = env_cap_impl();
+
+std::atomic<int> g_test_cap{static_cast<int>(Isa::kAvx512)};
 
 }  // namespace
 
@@ -398,7 +534,12 @@ void fm_sincos2pi(double u, double* sin_out, double* cos_out) {
 
 void fm_exp_n(const double* x, double* out, std::size_t n) {
 #if FM_MATH_X86
-  if (g_simd) {
+  const Isa isa = active_isa();
+  if (isa == Isa::kAvx512) {
+    exp_n_avx512(x, out, n);
+    return;
+  }
+  if (isa == Isa::kAvx2) {
     exp_n_avx2(x, out, n);
     return;
   }
@@ -408,7 +549,12 @@ void fm_exp_n(const double* x, double* out, std::size_t n) {
 
 void fm_log_n(const double* x, double* out, std::size_t n) {
 #if FM_MATH_X86
-  if (g_simd) {
+  const Isa isa = active_isa();
+  if (isa == Isa::kAvx512) {
+    log_n_avx512(x, out, n);
+    return;
+  }
+  if (isa == Isa::kAvx2) {
     log_n_avx2(x, out, n);
     return;
   }
@@ -419,7 +565,7 @@ void fm_log_n(const double* x, double* out, std::size_t n) {
 void fm_sincos2pi_n(const double* u, double* sin_out, double* cos_out,
                     std::size_t n) {
 #if FM_MATH_X86
-  if (g_simd) {
+  if (active_isa() != Isa::kScalar) {
     sincos2pi_n_avx2(u, sin_out, cos_out, n);
     return;
   }
@@ -430,7 +576,12 @@ void fm_sincos2pi_n(const double* u, double* sin_out, double* cos_out,
 
 void fm_pow_pos_n(const double* x, double y, double* out, std::size_t n) {
 #if FM_MATH_X86
-  if (g_simd) {
+  const Isa isa = active_isa();
+  if (isa == Isa::kAvx512) {
+    pow_pos_n_avx512(x, y, out, n);
+    return;
+  }
+  if (isa == Isa::kAvx2) {
     pow_pos_n_avx2(x, y, out, n);
     return;
   }
@@ -438,6 +589,30 @@ void fm_pow_pos_n(const double* x, double y, double* out, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) out[i] = exp_scalar(y * log_scalar(x[i]));
 }
 
-bool simd_active() { return g_simd; }
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+Isa detected_isa() { return g_detected_isa; }
+
+Isa active_isa() {
+  Isa isa = g_detected_isa;
+  if (g_env_cap < isa) isa = g_env_cap;
+  const Isa test_cap =
+      static_cast<Isa>(g_test_cap.load(std::memory_order_relaxed));
+  if (test_cap < isa) isa = test_cap;
+  return isa;
+}
+
+void set_isa_cap_for_test(Isa cap) {
+  g_test_cap.store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
+bool simd_active() { return active_isa() != Isa::kScalar; }
 
 }  // namespace flashmark::fmm

@@ -51,8 +51,38 @@ void fm_pow_pos_n(const double* x, double y, double* out, std::size_t n);
 void fm_sincos2pi_n(const double* u, double* sin_out, double* cos_out,
                     std::size_t n);
 
-/// True when the AVX2+FMA lanes are in use (informational — results do not
-/// depend on it; perf gates in bench/kernel_bench.cpp do).
+/// Vector instruction-set tier the batch entry points (and the masked-SIMD
+/// physics kernels in src/phys/kernels.cpp) dispatch to at runtime. The tier
+/// is purely a speed knob: every tier computes bit-identical results (the
+/// single-IEEE-op-per-step discipline above), so it sits outside the
+/// determinism seed exactly like KernelMode (docs/REPRODUCIBILITY.md §7).
+enum class Isa : int {
+  kScalar = 0,  ///< no vector lanes (also the non-x86 build)
+  kAvx2 = 1,    ///< 4-wide AVX2+FMA lanes
+  kAvx512 = 2,  ///< 8-wide AVX-512 (F/DQ/BW/VL) lanes
+};
+
+const char* to_string(Isa isa);
+
+/// Highest tier the host CPU supports (CPUID, cached at startup).
+Isa detected_isa();
+
+/// Tier the dispatchers actually use: min(detected_isa(), env cap, test
+/// cap). The env cap comes from FLASHMARK_FORCE_SCALAR / FLASHMARK_FORCE_AVX2
+/// (set to anything except "" or "0"; SCALAR wins when both are set), read
+/// once per process — CI uses it to exercise every dispatch path on hosts
+/// whose CPUs would always pick the widest one.
+Isa active_isa();
+
+/// In-process override for the differential harnesses (FLASHMARK_FORCE_* is
+/// read only once): caps active_isa() at `cap` until called again. Pass
+/// Isa::kAvx512 to uncap. Test-only — not thread-safe against concurrent
+/// kernel execution; call between batches.
+void set_isa_cap_for_test(Isa cap);
+
+/// True when any vector lanes are in use, i.e. active_isa() != kScalar
+/// (informational — results do not depend on it; perf gates in
+/// bench/kernel_bench.cpp do).
 bool simd_active();
 
 }  // namespace flashmark::fmm

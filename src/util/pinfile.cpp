@@ -1,0 +1,174 @@
+#include "util/pinfile.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace flashmark::util {
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+};
+
+bool fail(std::string* error, const Cursor& c, const std::string& what) {
+  if (error) {
+    std::ostringstream os;
+    os << what << " at byte " << c.pos;
+    *error = os.str();
+  }
+  return false;
+}
+
+// JSON string, escapes copied through verbatim (pin keys are plain ASCII
+// identifiers; anything fancier still round-trips, it just stays escaped).
+bool parse_key(Cursor& c, std::string* out, std::string* error) {
+  if (c.done() || c.peek() != '"') return fail(error, c, "expected '\"'");
+  ++c.pos;
+  out->clear();
+  while (!c.done()) {
+    const char ch = c.text[c.pos];
+    if (ch == '"') {
+      ++c.pos;
+      return true;
+    }
+    if (static_cast<unsigned char>(ch) < 0x20)
+      return fail(error, c, "control character in key");
+    if (ch == '\\') {
+      if (c.pos + 1 >= c.text.size())
+        return fail(error, c, "truncated escape in key");
+      out->push_back(ch);
+      out->push_back(c.text[c.pos + 1]);
+      c.pos += 2;
+      continue;
+    }
+    out->push_back(ch);
+    ++c.pos;
+  }
+  return fail(error, c, "unterminated key");
+}
+
+// JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+bool parse_number(Cursor& c, double* out, std::string* error) {
+  const std::size_t start = c.pos;
+  if (!c.done() && c.peek() == '-') ++c.pos;
+  if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+    return fail(error, c, "expected a number");
+  if (c.peek() == '0') {
+    ++c.pos;
+  } else {
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.pos;
+  }
+  if (!c.done() && c.peek() == '.') {
+    ++c.pos;
+    if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+      return fail(error, c, "expected digits after '.'");
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.pos;
+  }
+  if (!c.done() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.pos;
+    if (!c.done() && (c.peek() == '+' || c.peek() == '-')) ++c.pos;
+    if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+      return fail(error, c, "expected exponent digits");
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.pos;
+  }
+  const std::string token = c.text.substr(start, c.pos - start);
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size())
+    return fail(error, c, "unparseable number '" + token + "'");
+  if (!std::isfinite(v))
+    return fail(error, c, "non-finite number '" + token + "'");
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<PinFile> parse_pin_file_text(const std::string& text,
+                                           std::string* error) {
+  Cursor c{text};
+  c.skip_ws();
+  if (c.done() || c.peek() != '{') {
+    fail(error, c, "expected '{'");
+    return std::nullopt;
+  }
+  ++c.pos;
+  PinFile pins;
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.pos;
+  } else {
+    for (;;) {
+      c.skip_ws();
+      std::string key;
+      if (!parse_key(c, &key, error)) return std::nullopt;
+      if (pins.values.count(key)) {
+        fail(error, c, "duplicate key \"" + key + "\"");
+        return std::nullopt;
+      }
+      c.skip_ws();
+      if (c.done() || c.peek() != ':') {
+        fail(error, c, "expected ':'");
+        return std::nullopt;
+      }
+      ++c.pos;
+      c.skip_ws();
+      double v = 0.0;
+      if (!parse_number(c, &v, error)) return std::nullopt;
+      pins.values.emplace(std::move(key), v);
+      c.skip_ws();
+      if (!c.done() && c.peek() == ',') {
+        ++c.pos;
+        continue;
+      }
+      if (!c.done() && c.peek() == '}') {
+        ++c.pos;
+        break;
+      }
+      fail(error, c, "expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+  c.skip_ws();
+  if (!c.done()) {
+    fail(error, c, "trailing garbage after object");
+    return std::nullopt;
+  }
+  return pins;
+}
+
+std::optional<PinFile> load_pin_file(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    if (error) *error = "read error on '" + path + "'";
+    return std::nullopt;
+  }
+  return parse_pin_file_text(buf.str(), error);
+}
+
+}  // namespace flashmark::util

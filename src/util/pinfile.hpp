@@ -1,0 +1,44 @@
+// Strict parser for the benchmark pin files (BENCH_*.json).
+//
+// The perf gates (bench/kernel_bench.cpp --check and friends) compare fresh
+// measurements against ratios computed from these files. A malformed or
+// partially-written pin used to flow through as -1/NaN and make every
+// comparison silently pass — the gate would green-light a regression. This
+// parser accepts exactly one flat JSON object of string -> finite-number
+// pairs and nothing else: no nesting, no null/bool/string values, no
+// duplicate keys, no trailing garbage, no NaN/Inf (not representable in
+// JSON anyway, but also rejected if a number overflows to infinity).
+// Callers reject the file (exit 2 in the benches) on any parse error.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace flashmark::util {
+
+struct PinFile {
+  std::map<std::string, double> values;
+
+  /// The value for `key`, or nullopt when absent. Present values are always
+  /// finite (the parser guarantees it).
+  std::optional<double> get(const std::string& key) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+/// Parse pin-file text. On success returns the pins; on any malformation
+/// returns nullopt and, when `error` is non-null, stores a one-line
+/// description (with a byte offset where that helps).
+std::optional<PinFile> parse_pin_file_text(const std::string& text,
+                                           std::string* error);
+
+/// Load and parse a pin file from disk. Unreadable files report through
+/// `error` just like malformed ones; a caller that wants "missing file is
+/// fine, bad file is fatal" should test for existence first.
+std::optional<PinFile> load_pin_file(const std::string& path,
+                                     std::string* error);
+
+}  // namespace flashmark::util

@@ -9,20 +9,60 @@
 // bitmaps, VerifyReports, RNG stream states and deterministic counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/watermark.hpp"
 #include "fleet/fleet.hpp"
 #include "mcu/persist.hpp"
 #include "phys/kernels.hpp"
+#include "store/die_store.hpp"
+#include "util/fm_math.hpp"
 
 namespace flashmark {
 namespace {
 
 constexpr std::uint64_t kMaster = 0x6B65726E;  // test-local master seed
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test (removed on destruction).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+/// Scoped ISA dispatch cap (util/fm_math.hpp). Restores the uncapped state
+/// on destruction so tests cannot leak a forced-scalar world to each other.
+struct IsaCapGuard {
+  explicit IsaCapGuard(fmm::Isa cap) { fmm::set_isa_cap_for_test(cap); }
+  ~IsaCapGuard() { fmm::set_isa_cap_for_test(fmm::Isa::kAvx512); }
+};
+
+/// The dispatch tiers this host can actually run, scalar first.
+std::vector<fmm::Isa> testable_isas() {
+  std::vector<fmm::Isa> isas = {fmm::Isa::kScalar};
+  const int top = static_cast<int>(fmm::detected_isa());
+  if (top >= static_cast<int>(fmm::Isa::kAvx2)) isas.push_back(fmm::Isa::kAvx2);
+  if (top >= static_cast<int>(fmm::Isa::kAvx512))
+    isas.push_back(fmm::Isa::kAvx512);
+  return isas;
+}
 
 DeviceConfig config_with(KernelMode m) {
   DeviceConfig cfg = DeviceConfig::msp430f5438();
@@ -347,6 +387,176 @@ TEST(KernelDiff, PipelineByteIdenticalUnderFaultPolicy) {
     expect_snapshots_identical(
         ref1, run_pipeline(KernelMode::kBatched, threads, faults));
   }
+}
+
+// ---------------------------------------------------------------------------
+// ISA-dispatch differential: the SIMD lanes (util/fm_math.cpp + the masked
+// pass-3 kernels in phys/kernels.cpp) are outside the determinism seed, like
+// the kernel mode itself (docs/REPRODUCIBILITY.md §7). The full pipeline must
+// be bit-identical — die dumps INCLUDING the RNG stream position — under
+// forced-scalar, AVX2-capped and (where the host has it) AVX-512 dispatch,
+// in both kernel modes, at several thread counts.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDiff, PipelineByteIdenticalAcrossIsaDispatch) {
+  PipelineSnapshot base;
+  {
+    IsaCapGuard scalar(fmm::Isa::kScalar);
+    base = run_pipeline(KernelMode::kReference, 1);
+  }
+  for (const fmm::Isa cap : testable_isas()) {
+    IsaCapGuard guard(cap);
+    SCOPED_TRACE(std::string("isa cap ") + fmm::to_string(cap));
+    for (unsigned threads : {1u, 4u, 16u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      expect_snapshots_identical(base,
+                                 run_pipeline(KernelMode::kReference, threads));
+      expect_snapshots_identical(base,
+                                 run_pipeline(KernelMode::kBatched, threads));
+    }
+  }
+  // Non-vacuous: the scalar baseline actually verified its watermarks.
+  for (const auto& r : base.reports) EXPECT_EQ(r.verdict, Verdict::kGenuine);
+}
+
+// Interleaved multi-die pulses (FlashArray::partial_erase_many) must equal
+// the sequential per-die pulses bit for bit — per-die temperature scaling
+// and noise streams included — under every dispatch tier and both modes.
+TEST(KernelDiff, InterleavedPulseMatchesSequentialAcrossIsa) {
+  const FlashGeometry g = FlashGeometry::msp430f5438();
+  const PhysParams p = PhysParams::msp430_calibrated();
+  constexpr std::size_t kDies = 5;
+  auto run = [&](bool interleaved, KernelMode mode) {
+    std::vector<std::unique_ptr<FlashArray>> dies;
+    std::vector<FlashArray*> arrays;
+    for (std::size_t k = 0; k < kDies; ++k) {
+      dies.push_back(std::make_unique<FlashArray>(g, p, 0xD1E0 + k));
+      dies.back()->set_kernel_mode(mode);
+      // Distinct temperatures: the per-die exposure scaling must survive
+      // the shared kernel sweep.
+      dies.back()->set_temperature_c(15.0 + 7.0 * static_cast<double>(k));
+      arrays.push_back(dies.back().get());
+    }
+    const std::size_t n_words = g.segment_bytes(1) / g.word_bytes;
+    const std::vector<std::uint16_t> zeros(n_words, 0);
+    for (FlashArray* a : arrays) {
+      a->wear_segment(1, 800.0);
+      a->program_words(g.segment_base(1), zeros.data(), zeros.size());
+    }
+    for (int pulse = 0; pulse < 3; ++pulse) {
+      const double t = 9.0 + 7.0 * pulse;
+      if (interleaved) {
+        FlashArray::partial_erase_many(arrays.data(), kDies, 1, t);
+      } else {
+        for (FlashArray* a : arrays) a->partial_erase_segment(1, t);
+      }
+    }
+    std::string s;
+    for (FlashArray* a : arrays) s += dump_array(*a);
+    return s;
+  };
+  std::string base;
+  {
+    IsaCapGuard scalar(fmm::Isa::kScalar);
+    base = run(/*interleaved=*/false, KernelMode::kReference);
+  }
+  for (const fmm::Isa cap : testable_isas()) {
+    IsaCapGuard guard(cap);
+    SCOPED_TRACE(std::string("isa cap ") + fmm::to_string(cap));
+    for (KernelMode mode : {KernelMode::kReference, KernelMode::kBatched}) {
+      SCOPED_TRACE(to_string(mode));
+      EXPECT_EQ(base, run(/*interleaved=*/false, mode));
+      EXPECT_EQ(base, run(/*interleaved=*/true, mode));
+    }
+  }
+}
+
+// The store-backed sweep's counts are part of the byte-identity contract:
+// any interleave width x any thread count, same numbers. The small resident
+// cap forces eviction/reload traffic under the widest interleave.
+TEST(KernelDiff, PulseSweepBatchInvariantAcrossInterleaveAndThreads) {
+  constexpr std::size_t kDies = 7;
+  // Widths straddling the fresh-cell erase-time spread (median 24 us), so
+  // successive pulses walk the population from mostly-programmed to
+  // mostly-erased.
+  const std::vector<double> schedule = {18.0, 22.0, 26.0, 34.0};
+  auto sweep = [&](std::size_t interleave, unsigned threads) {
+    ScratchDir dir("fm_kdiff_sweep_" + std::to_string(interleave) + "_" +
+                   std::to_string(threads));
+    store::DieStoreConfig cfg;
+    cfg.dir = dir.str();
+    cfg.device = config_with(KernelMode::kBatched);
+    cfg.max_resident = 4;
+    store::DieStore dies(cfg);
+    fleet::FleetOptions fo;
+    fo.threads = threads;
+    return fleet::pulse_sweep_batch(dies, kDies, /*segment=*/0, schedule, fo,
+                                    interleave)
+        .erased_counts;
+  };
+  const auto base = sweep(1, 1);
+  ASSERT_EQ(base.size(), kDies);
+  for (const auto& die_counts : base) {
+    ASSERT_EQ(die_counts.size(), schedule.size());
+    for (std::size_t k = 1; k < die_counts.size(); ++k)
+      EXPECT_GE(die_counts[k], die_counts[k - 1])
+          << "erase transitions are one-way; counts must be monotone";
+    EXPECT_GT(die_counts.back(), 0u);
+  }
+  for (const std::size_t interleave : {std::size_t{3}, std::size_t{8}}) {
+    for (const unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE("interleave=" + std::to_string(interleave) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(base, sweep(interleave, threads));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentSoA::prime_tte writes a mutable memo under const, so a resident die
+// is single-owner by contract — and DieStore::pin is what enforces it at the
+// fleet layer (a pin is exclusive per die). Two threads hammering the same
+// die must serialize; `active` observing a second concurrent holder fails
+// the test directly, and under TSan any broken exclusivity also surfaces as
+// a data race on the prime_tte cache.
+// ---------------------------------------------------------------------------
+
+TEST(StoreKernel, ConcurrentSameDieExtractIsExclusive) {
+  ScratchDir dir("fm_store_kernel_exclusive");
+  store::DieStoreConfig cfg;
+  cfg.dir = dir.str();
+  cfg.device = config_with(KernelMode::kBatched);
+  store::DieStore dies(cfg);
+  {
+    // Leave die 0 mid-transition so reads draw noise and the erase-time
+    // cache is live (exactly the extract-shaped access pattern).
+    store::DieStore::PinnedDie dev = dies.pin(0);
+    const FlashGeometry& g = dev->config().geometry;
+    std::vector<std::uint16_t> zeros(g.segment_bytes(0) / g.word_bytes, 0);
+    dev->array().program_words(g.segment_base(0), zeros.data(), zeros.size());
+    dev->array().partial_erase_segment(0, 26.0);
+  }
+
+  std::atomic<int> active{0};
+  std::atomic<bool> overlapped{false};
+  auto worker = [&] {
+    for (int round = 0; round < 6; ++round) {
+      store::DieStore::PinnedDie dev = dies.pin(0);
+      if (active.fetch_add(1) != 0) overlapped = true;
+      // prime_tte writers, both flavors: the const-path memo fill and the
+      // pulse that invalidates + refills it.
+      (void)dev->array().time_to_full_erase_us(0);
+      dev->array().partial_erase_segment(0, 0.25);
+      (void)dev->array().read_segment_majority(0, 3);
+      active.fetch_sub(1);
+    }
+  };
+  std::thread t1(worker), t2(worker), t3(worker);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_FALSE(overlapped.load()) << "DieStore::pin admitted two concurrent "
+                                     "holders of the same die";
 }
 
 // Kernel mode is an implementation knob, not die identity: it must not be

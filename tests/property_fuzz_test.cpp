@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -355,6 +358,107 @@ TEST_P(KernelPropertyFuzz, PartialEraseRespectsFullEraseOrdering) {
   // claim to be non-vacuous.
   EXPECT_GT(flipped_1, 0u);
   EXPECT_LT(flipped_1, s1.size());
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-population read corners. The batched majority read hoists the
+// per-cell flip probabilities out of the vote loop (phys/kernels.cpp); dead
+// (defect) cells and settled cells carry a no-draw sentinel there, exactly
+// matching Cell::read's early returns. These populations are where a
+// hoisting bug would silently desynchronize the noise stream between the
+// modes — so each corner also asserts the stream position did not move.
+// ---------------------------------------------------------------------------
+
+bool rng_states_equal(const Rng::State& a, const Rng::State& b) {
+  return a.s[0] == b.s[0] && a.s[1] == b.s[1] && a.s[2] == b.s[2] &&
+         a.s[3] == b.s[3] && a.cached_normal_bits == b.cached_normal_bits &&
+         a.has_cached_normal == b.has_cached_normal;
+}
+
+// A fresh (fully erased, settled) segment reads all-ones with zero noise
+// draws: no cell is metastable, so the vote loop must not touch the RNG.
+TEST_P(KernelPropertyFuzz, AllErasedSegmentReadsOnesWithoutDraws) {
+  FlashArray a = make_array(PhysParams::msp430_calibrated());
+  const Rng::State before = a.noise_rng_state();
+  for (const int n_reads : {1, 3, 5}) {
+    const BitVec v = a.read_segment_majority(0, n_reads);
+    EXPECT_EQ(v.popcount(), v.size()) << "n_reads=" << n_reads;
+  }
+  EXPECT_TRUE(rng_states_equal(before, a.noise_rng_state()))
+      << "all-erased read consumed noise draws";
+}
+
+// A fully-dead segment (every cell a manufacturing defect) reads its stuck
+// values through programs, pulses and majority votes without a single noise
+// draw — defect cells return early in Cell::read, and the batched kernels
+// must honor the same sentinel in every pass.
+TEST_P(KernelPropertyFuzz, AllDeadSegmentNeverDraws) {
+  for (const bool stuck_erased : {true, false}) {
+    PhysParams p = PhysParams::msp430_calibrated();
+    (stuck_erased ? p.defect_stuck_erased_ppm
+                  : p.defect_stuck_programmed_ppm) = 1e6;
+    FlashArray a = make_array(p);
+    const FlashGeometry& g = a.geometry();
+    const Rng::State before = a.noise_rng_state();
+
+    const std::vector<std::uint16_t> zeros(
+        g.segment_bytes(0) / g.word_bytes, 0);
+    a.program_words(g.segment_base(0), zeros.data(), zeros.size());
+    a.partial_erase_segment(0, 26.0);  // mid-window: would draw jitter if alive
+    for (const int n_reads : {1, 3}) {
+      const BitVec v = a.read_segment_majority(0, n_reads);
+      EXPECT_EQ(v.popcount(), stuck_erased ? v.size() : 0u)
+          << "stuck_erased=" << stuck_erased << " n_reads=" << n_reads;
+    }
+    EXPECT_TRUE(rng_states_equal(before, a.noise_rng_state()))
+        << "dead cells consumed noise draws (stuck_erased=" << stuck_erased
+        << ")";
+  }
+}
+
+// Cell::restore legally yields cells that are BOTH defect and metastable
+// (e.g. a die file from a population whose defects were injected after a
+// partial erase). The defect must win: reads return the cell's settled
+// level verbatim, with no draw, even though the metastable flag would
+// otherwise demand one (Cell::read returns before the metastable branch).
+TEST_P(KernelPropertyFuzz, RestoredDefectMetastableCellsReadWithoutDraws) {
+  // Donor: a live mid-transition segment, so the serialized cells carry
+  // real metastable flags and margins.
+  FlashArray donor = make_array(PhysParams::msp430_calibrated());
+  const FlashGeometry& g = donor.geometry();
+  const std::vector<std::uint16_t> zeros(g.segment_bytes(0) / g.word_bytes, 0);
+  donor.program_words(g.segment_base(0), zeros.data(), zeros.size());
+  donor.partial_erase_segment(0, 24.0);
+
+  const std::size_t ncells = g.segment_cells(0);
+  std::size_t n_meta = 0;
+  std::vector<bool> expected(ncells);
+  std::ostringstream os;
+  os << "FMSEGS 1\n" << 1 << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "SEG 0 " << ncells << "\n";
+  for (std::size_t i = 0; i < ncells; ++i) {
+    Cell::Snapshot s = donor.cell(0, i).snapshot_state();
+    n_meta += s.metastable;
+    s.defect = (i % 2 == 0) ? 1 : 2;  // kStuckErased / kStuckProgrammed
+    expected[i] = s.level == 1;       // kErased reads '1', noise-free
+    os << s.tte_fresh_us << ' ' << s.susceptibility << ' ' << s.eff_cycles
+       << ' ' << s.annealed << ' ' << static_cast<int>(s.level) << ' '
+       << static_cast<int>(s.defect) << ' ' << static_cast<int>(s.metastable)
+       << ' ' << s.margin_us << "\n";
+  }
+  os << "END\n";
+  ASSERT_GT(n_meta, 0u) << "donor never went metastable; corner is vacuous";
+
+  FlashArray a = make_array(PhysParams::msp430_calibrated());
+  std::istringstream is(os.str());
+  a.load_segments(is);
+  const Rng::State before = a.noise_rng_state();
+  const BitVec v = a.read_segment_majority(0, 3);
+  for (std::size_t i = 0; i < ncells; ++i)
+    ASSERT_EQ(v.get(i), expected[i]) << "cell " << i;
+  EXPECT_TRUE(rng_states_equal(before, a.noise_rng_state()))
+      << "defect+metastable cells consumed noise draws";
 }
 
 INSTANTIATE_TEST_SUITE_P(

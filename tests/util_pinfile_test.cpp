@@ -1,0 +1,103 @@
+// Strict pin-file parser (util/pinfile.hpp): the perf gates compare fresh
+// measurements against pinned ratios, so a malformed pin must be a loud
+// parse error — never a silent -1/NaN that makes every comparison pass.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "util/pinfile.hpp"
+
+namespace flashmark::util {
+namespace {
+
+std::optional<PinFile> parse(const std::string& text, std::string* err) {
+  return parse_pin_file_text(text, err);
+}
+
+TEST(PinFile, ParsesWellFormedPins) {
+  std::string err;
+  const auto pins = parse(
+      "{\n"
+      "  \"erase_pulse_reference_ns\": 213898,\n"
+      "  \"erase_pulse_batched_ns\": 41866,\n"
+      "  \"erase_pulse_speedup\": 5.11,\n"
+      "  \"tiny\": 1e-3,\n"
+      "  \"neg\": -2.5E+2\n"
+      "}\n",
+      &err);
+  ASSERT_TRUE(pins.has_value()) << err;
+  EXPECT_EQ(pins->values.size(), 5u);
+  EXPECT_DOUBLE_EQ(*pins->get("erase_pulse_speedup"), 5.11);
+  EXPECT_DOUBLE_EQ(*pins->get("neg"), -250.0);
+  EXPECT_FALSE(pins->get("absent").has_value());
+}
+
+TEST(PinFile, ParsesEmptyObject) {
+  std::string err;
+  const auto pins = parse("{}", &err);
+  ASSERT_TRUE(pins.has_value()) << err;
+  EXPECT_TRUE(pins->values.empty());
+}
+
+TEST(PinFile, RejectsMalformations) {
+  // Every shape of rot a pin file has been seen in (or could be): the old
+  // substring scanner accepted ALL of these.
+  const char* bad[] = {
+      "",                                  // empty
+      "   \n",                             // whitespace only
+      "[1, 2]",                            // not an object
+      "{\"a\": 1",                         // truncated (crash mid-write)
+      "{\"a\": 1,}",                       // trailing comma
+      "{\"a\": }",                         // missing value
+      "{\"a\" 1}",                         // missing colon
+      "{\"a\": NaN}",                      // NaN is not JSON
+      "{\"a\": Infinity}",                 // neither is Infinity
+      "{\"a\": null}",                     // wrong value type
+      "{\"a\": \"12\"}",                   // stringly-typed number
+      "{\"a\": 01}",                       // leading zero
+      "{\"a\": 1.}",                       // digits required after '.'
+      "{\"a\": 1e}",                       // digits required in exponent
+      "{\"a\": 1e999}",                    // overflows to infinity
+      "{\"a\": 1, \"a\": 2}",              // duplicate key
+      "{\"a\": 1} trailing",               // garbage after the object
+      "{\"a\": 1}{}",                      // two objects
+      "{\"a\": {\"b\": 1}}",               // nesting
+      "{unquoted: 1}",                     // unquoted key
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(parse(text, &err).has_value()) << "accepted: " << text;
+    EXPECT_FALSE(err.empty()) << "no diagnostic for: " << text;
+  }
+}
+
+TEST(PinFile, ErrorsCarryByteOffsets) {
+  std::string err;
+  ASSERT_FALSE(parse("{\"a\": bad}", &err).has_value());
+  EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+}
+
+TEST(PinFile, LoadReportsUnreadableFiles) {
+  std::string err;
+  EXPECT_FALSE(load_pin_file("/nonexistent/fm_pins.json", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+// The committed fixture driving the kernel_pin_reject ctest gate must stay
+// rejectable — if someone "fixes" it into valid JSON, that gate goes
+// vacuous silently. Pin the rejection here too.
+TEST(PinFile, CorruptBenchFixtureIsRejected) {
+  const std::string path =
+      std::string(FLASHMARK_TEST_FIXTURES) + "/BENCH_kernels.corrupt.json";
+  {
+    std::ifstream probe(path);
+    ASSERT_TRUE(probe.good()) << "fixture missing: " << path;
+  }
+  std::string err;
+  EXPECT_FALSE(load_pin_file(path, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace flashmark::util
