@@ -81,6 +81,147 @@ ImprintReport clone_attack(FlashHal& genuine, Addr genuine_addr,
   return imprint_flashmark(target, g.segment_base(seg), pattern, io);
 }
 
+PartialCloneReport partial_clone_attack(FlashHal& genuine, Addr genuine_addr,
+                                        FlashHal& target, Addr target_addr,
+                                        const VerifyOptions& extract_opts,
+                                        std::uint32_t npe,
+                                        std::size_t n_replicas_cloned) {
+  if (n_replicas_cloned == 0 || n_replicas_cloned > extract_opts.n_replicas)
+    throw std::invalid_argument(
+        "partial_clone_attack: replicas cloned must be in [1, n_replicas]");
+  ExtractOptions eo;
+  eo.t_pew = extract_opts.t_pew;
+  eo.n_reads = 3;
+  eo.rounds = 3;
+  const ExtractResult ext = extract_flashmark(genuine, genuine_addr, eo);
+  const std::size_t payload_bits =
+      (kFieldsBits + (extract_opts.key ? kSignatureBits : 0)) * 2;
+  const ReplicaLayout layout{payload_bits, extract_opts.n_replicas};
+  const BitVec replica = decode_replicas(ext.bits, layout, VoteMode::kMajority);
+
+  const auto& g = target.geometry();
+  const std::size_t seg = g.segment_index(target_addr);
+  // Only the first n_replicas_cloned copies; the tail of the segment stays
+  // blank (replicate_pattern pads with 1s = unstressed).
+  const BitVec pattern =
+      replicate_pattern(replica, n_replicas_cloned, g.segment_cells(seg));
+  ImprintOptions io;
+  io.npe = npe;
+  io.strategy = ImprintStrategy::kBatchWear;
+  io.accelerated = true;
+  PartialCloneReport report;
+  report.replicas_cloned = n_replicas_cloned;
+  report.imprint = imprint_flashmark(target, g.segment_base(seg), pattern, io);
+  return report;
+}
+
+RemapHal::RemapHal(FlashHal& inner,
+                   std::vector<std::pair<std::size_t, std::size_t>> swaps)
+    : inner_(inner), swaps_(std::move(swaps)) {
+  const std::size_t n = inner_.geometry().n_segments();
+  for (const auto& [a, b] : swaps_)
+    if (a >= n || b >= n)
+      throw std::invalid_argument("RemapHal: segment index out of range");
+}
+
+Addr RemapHal::translate(Addr addr) const {
+  const auto& g = inner_.geometry();
+  const std::size_t seg = g.segment_index(addr);
+  for (const auto& [a, b] : swaps_) {
+    std::size_t to = seg;
+    if (seg == a)
+      to = b;
+    else if (seg == b)
+      to = a;
+    if (to != seg)
+      return g.segment_base(to) + (addr - g.segment_base(seg));
+  }
+  return addr;
+}
+
+void RemapHal::erase_segment(Addr addr) {
+  inner_.erase_segment(translate(addr));
+}
+SimTime RemapHal::erase_segment_auto(Addr addr) {
+  return inner_.erase_segment_auto(translate(addr));
+}
+void RemapHal::partial_erase_segment(Addr addr, SimTime t_pe) {
+  inner_.partial_erase_segment(translate(addr), t_pe);
+}
+void RemapHal::program_word(Addr addr, std::uint16_t value) {
+  inner_.program_word(translate(addr), value);
+}
+void RemapHal::partial_program_word(Addr addr, std::uint16_t value,
+                                    SimTime t_prog) {
+  inner_.partial_program_word(translate(addr), value, t_prog);
+}
+void RemapHal::program_block(Addr addr,
+                             const std::vector<std::uint16_t>& words) {
+  inner_.program_block(translate(addr), words);
+}
+std::uint16_t RemapHal::read_word(Addr addr) {
+  return inner_.read_word(translate(addr));
+}
+BitVec RemapHal::read_segment(Addr addr, int n_reads) {
+  return inner_.read_segment(translate(addr), n_reads);
+}
+void RemapHal::wear_segment(Addr addr, double cycles, const BitVec* pattern) {
+  inner_.wear_segment(translate(addr), cycles, pattern);
+}
+
+ReplayHal::ReplayHal(FlashHal& inner, std::size_t segment, BitVec recorded)
+    : inner_(inner), segment_(segment), recorded_(std::move(recorded)) {
+  const auto& g = inner_.geometry();
+  if (segment_ >= g.n_segments())
+    throw std::invalid_argument("ReplayHal: segment index out of range");
+  if (recorded_.size() != g.segment_cells(segment_))
+    throw std::invalid_argument("ReplayHal: recording size mismatch");
+}
+
+bool ReplayHal::replayed(Addr addr) const {
+  return inner_.geometry().segment_index(addr) == segment_;
+}
+
+void ReplayHal::erase_segment(Addr addr) {
+  if (!replayed(addr)) inner_.erase_segment(addr);
+}
+SimTime ReplayHal::erase_segment_auto(Addr addr) {
+  if (!replayed(addr)) return inner_.erase_segment_auto(addr);
+  return inner_.timing().t_erase_segment;
+}
+void ReplayHal::partial_erase_segment(Addr addr, SimTime t_pe) {
+  if (!replayed(addr)) inner_.partial_erase_segment(addr, t_pe);
+}
+void ReplayHal::program_word(Addr addr, std::uint16_t value) {
+  if (!replayed(addr)) inner_.program_word(addr, value);
+}
+void ReplayHal::partial_program_word(Addr addr, std::uint16_t value,
+                                     SimTime t_prog) {
+  if (!replayed(addr)) inner_.partial_program_word(addr, value, t_prog);
+}
+void ReplayHal::program_block(Addr addr,
+                              const std::vector<std::uint16_t>& words) {
+  if (!replayed(addr)) inner_.program_block(addr, words);
+}
+std::uint16_t ReplayHal::read_word(Addr addr) {
+  if (!replayed(addr)) return inner_.read_word(addr);
+  const auto& g = inner_.geometry();
+  const Addr base = g.segment_base(segment_);
+  const std::size_t word = (addr - base) / g.word_bytes;
+  const std::size_t bpw = g.bits_per_word();
+  std::uint16_t v = 0;
+  for (std::size_t b = 0; b < bpw; ++b)
+    if (recorded_.get(word * bpw + b)) v |= static_cast<std::uint16_t>(1u << b);
+  return v;
+}
+BitVec ReplayHal::read_segment(Addr addr, int n_reads) {
+  if (!replayed(addr)) return inner_.read_segment(addr, n_reads);
+  return recorded_;
+}
+void ReplayHal::wear_segment(Addr addr, double cycles, const BitVec* pattern) {
+  if (!replayed(addr)) inner_.wear_segment(addr, cycles, pattern);
+}
+
 void bake_attack(Device& chip, double hours) { chip.array().bake(hours); }
 
 void simulate_field_usage(FlashHal& hal, const std::vector<Addr>& segments,

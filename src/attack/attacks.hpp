@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/watermark.hpp"
 #include "flash/hal.hpp"
@@ -63,6 +65,94 @@ ImprintReport clone_attack(FlashHal& genuine, Addr genuine_addr,
                            FlashHal& target, Addr target_addr,
                            const VerifyOptions& extract_opts,
                            std::uint32_t npe);
+
+/// Partial clone: like clone_attack, but the attacker — limited by tooling
+/// time or a truncated dump — imprints only the FIRST `n_replicas_cloned`
+/// copies and leaves the rest of the segment blank. Plain majority voting
+/// still decodes the watermark once a majority of copies exist (4 of 7),
+/// so the plain verify path accepts such clones; the challenge-response
+/// interrogation names its replicas and catches any copy the cloner
+/// skipped.
+struct PartialCloneReport {
+  std::size_t replicas_cloned = 0;
+  ImprintReport imprint;
+};
+PartialCloneReport partial_clone_attack(FlashHal& genuine, Addr genuine_addr,
+                                        FlashHal& target, Addr target_addr,
+                                        const VerifyOptions& extract_opts,
+                                        std::uint32_t npe,
+                                        std::size_t n_replicas_cloned);
+
+/// Segment-remapping interposer: an address decoder (or firmware shim) that
+/// swaps segment pairs, so a verifier probing a worn segment lands on a
+/// fresh spare. Models the recycled-chip countermeasure of hiding stressed
+/// cells behind remapping: a FIXED probe schedule is fooled, a keyed-random
+/// challenge schedule out-probes the limited spare pool. The decorator
+/// swaps both directions so the die stays self-consistent.
+class RemapHal final : public FlashHal {
+ public:
+  /// `swaps` are pairs of global segment indices to exchange.
+  RemapHal(FlashHal& inner,
+           std::vector<std::pair<std::size_t, std::size_t>> swaps);
+
+  const FlashGeometry& geometry() const override { return inner_.geometry(); }
+  const FlashTiming& timing() const override { return inner_.timing(); }
+  SimTime now() const override { return inner_.now(); }
+  void erase_segment(Addr addr) override;
+  SimTime erase_segment_auto(Addr addr) override;
+  void partial_erase_segment(Addr addr, SimTime t_pe) override;
+  void program_word(Addr addr, std::uint16_t value) override;
+  void partial_program_word(Addr addr, std::uint16_t value,
+                            SimTime t_prog) override;
+  void program_block(Addr addr,
+                     const std::vector<std::uint16_t>& words) override;
+  std::uint16_t read_word(Addr addr) override;
+  BitVec read_segment(Addr addr, int n_reads) override;
+  void wear_segment(Addr addr, double cycles,
+                    const BitVec* pattern = nullptr) override;
+
+ private:
+  Addr translate(Addr addr) const;
+
+  FlashHal& inner_;
+  std::vector<std::pair<std::size_t, std::size_t>> swaps_;
+};
+
+/// Replay emulator: counterfeit "hardware" that answers reads of one
+/// segment from a recorded extraction bitmap, ignoring erase/program state
+/// — a microcontroller impersonating the flash with a dump recorded from a
+/// genuine part. It passes a plain verify perfectly (the recording IS a
+/// genuine extraction) and is exactly the adversary the challenge-response
+/// mode defeats: the recording cannot re-answer a fresh t_pew.
+class ReplayHal final : public FlashHal {
+ public:
+  /// Reads inside segment `segment` answer from `recorded` (cell i = bit
+  /// i); writes/erases there are swallowed. All other segments forward.
+  ReplayHal(FlashHal& inner, std::size_t segment, BitVec recorded);
+
+  const FlashGeometry& geometry() const override { return inner_.geometry(); }
+  const FlashTiming& timing() const override { return inner_.timing(); }
+  SimTime now() const override { return inner_.now(); }
+  void erase_segment(Addr addr) override;
+  SimTime erase_segment_auto(Addr addr) override;
+  void partial_erase_segment(Addr addr, SimTime t_pe) override;
+  void program_word(Addr addr, std::uint16_t value) override;
+  void partial_program_word(Addr addr, std::uint16_t value,
+                            SimTime t_prog) override;
+  void program_block(Addr addr,
+                     const std::vector<std::uint16_t>& words) override;
+  std::uint16_t read_word(Addr addr) override;
+  BitVec read_segment(Addr addr, int n_reads) override;
+  void wear_segment(Addr addr, double cycles,
+                    const BitVec* pattern = nullptr) override;
+
+ private:
+  bool replayed(Addr addr) const;
+
+  FlashHal& inner_;
+  std::size_t segment_;
+  BitVec recorded_;
+};
 
 /// Thermal refurbishing ("bake-out"): the counterfeiter ovens the chip for
 /// `hours` hoping to anneal the wear signature away. Shallow interface

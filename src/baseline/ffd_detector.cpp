@@ -36,6 +36,10 @@ void FfdDetector::calibrate(FlashHal& hal, Addr fresh_addr) {
   const auto curve = characterize_partial_program(hal, fresh_addr, fractions);
   double best = fractions.front();
   for (const auto& p : curve) {
+    if (p.cells == 0)
+      throw std::invalid_argument(
+          "FfdDetector::calibrate: probed segment has no cells — the "
+          "fraction would be NaN and every comparison silently false");
     const double frac =
         static_cast<double>(p.programmed) / static_cast<double>(p.cells);
     if (frac < trip_fraction_ / 2.0) best = p.fraction;
@@ -46,6 +50,11 @@ void FfdDetector::calibrate(FlashHal& hal, Addr fresh_addr) {
 FfdAssessment FfdDetector::assess(FlashHal& hal, Addr addr) const {
   const auto curve =
       characterize_partial_program(hal, addr, {probe_fraction_});
+  if (curve.front().cells == 0)
+    throw std::invalid_argument(
+        "FfdDetector::assess: probed segment has no cells — a NaN "
+        "programmed fraction would read as \"fresh\" (NaN > trip is "
+        "false), quietly passing every counterfeit");
   FfdAssessment a;
   a.programmed_fraction = static_cast<double>(curve.front().programmed) /
                           static_cast<double>(curve.front().cells);

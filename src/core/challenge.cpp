@@ -1,0 +1,289 @@
+#include "core/challenge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/ecc.hpp"
+#include "core/extract.hpp"
+
+namespace flashmark {
+
+namespace {
+
+/// Keyed derivation stream: h(i) = SipHash-2-4(key, nonce || tenant || i).
+/// Every drawn quantity consumes one index, so components are independent.
+std::uint64_t draw(const SipHashKey& key, std::uint64_t nonce,
+                   std::uint32_t tenant, std::uint32_t index) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i)
+    buf[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    buf[8 + i] = static_cast<std::uint8_t>(tenant >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    buf[12 + i] = static_cast<std::uint8_t>(index >> (8 * i));
+  return siphash24(key, buf, sizeof buf);
+}
+
+std::size_t replica_payload_bits(const VerifyOptions& base) {
+  const std::size_t signed_bits =
+      kFieldsBits + (base.key ? kSignatureBits : 0);
+  const std::size_t inner_bits =
+      base.ecc ? hamming15_encoded_bits(signed_bits) : signed_bits;
+  return inner_bits * 2;  // dual-rail
+}
+
+double region_zero_fraction(const BitVec& bits, std::size_t used_bits) {
+  if (used_bits == 0 || used_bits > bits.size())
+    throw std::invalid_argument(
+        "challenge: extraction smaller than the watermark layout");
+  const BitVec region = bits.slice(0, used_bits);
+  return static_cast<double>(region.zero_count()) /
+         static_cast<double>(region.size());
+}
+
+}  // namespace
+
+void ChallengePolicy::validate(std::size_t n_replicas) const {
+  if (subset_size == 0 || subset_size > n_replicas)
+    throw std::invalid_argument(
+        "ChallengePolicy: subset_size must be in [1, n_replicas]");
+  if (decode_windows.empty())
+    throw std::invalid_argument("ChallengePolicy: no decode windows");
+  if (response_windows.empty())
+    throw std::invalid_argument("ChallengePolicy: no response windows");
+  if (expected_response_zero_fraction.size() != response_windows.size())
+    throw std::invalid_argument(
+        "ChallengePolicy: uncalibrated (expected response fractions missing; "
+        "run calibrate_challenge_policy)");
+  if (probe_segments.empty())
+    throw std::invalid_argument("ChallengePolicy: no probe segments");
+  if (!(fresh_erased_min > 0.0) || !(fresh_erased_ref > 0.0))
+    throw std::invalid_argument(
+        "ChallengePolicy: uncalibrated freshness band (a silent 0.0 "
+        "threshold would accept everything)");
+}
+
+Challenge derive_challenge(const ChallengePolicy& policy,
+                           std::size_t n_replicas, std::uint64_t nonce,
+                           std::uint32_t tenant) {
+  policy.validate(n_replicas);
+  Challenge ch;
+  ch.nonce = nonce;
+  ch.tenant = tenant;
+
+  std::uint32_t idx = 0;
+  ch.decode_window_idx = static_cast<std::size_t>(
+      draw(policy.challenge_key, nonce, tenant, idx++) %
+      policy.decode_windows.size());
+  ch.t_pew = policy.decode_windows[ch.decode_window_idx];
+  ch.response_window_idx = static_cast<std::size_t>(
+      draw(policy.challenge_key, nonce, tenant, idx++) %
+      policy.response_windows.size());
+  ch.t_resp = policy.response_windows[ch.response_window_idx];
+  ch.probe_segment = policy.probe_segments[static_cast<std::size_t>(
+      draw(policy.challenge_key, nonce, tenant, idx++) %
+      policy.probe_segments.size())];
+
+  // Keyed Fisher-Yates over the replica indices; the first subset_size
+  // entries (sorted for a canonical wire form) are the interrogated copies.
+  std::vector<std::size_t> order(n_replicas);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = n_replicas - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(
+        draw(policy.challenge_key, nonce, tenant, idx++) % (i + 1));
+    std::swap(order[i], order[j]);
+  }
+  ch.replica_subset.assign(order.begin(),
+                           order.begin() +
+                               static_cast<std::ptrdiff_t>(policy.subset_size));
+  std::sort(ch.replica_subset.begin(), ch.replica_subset.end());
+  return ch;
+}
+
+double probe_erased_fraction(FlashHal& hal, std::size_t segment,
+                             SimTime window) {
+  const auto& g = hal.geometry();
+  const Addr base = g.segment_base(segment);
+  const std::size_t n_words = g.segment_bytes(segment) / g.word_bytes;
+  const std::vector<std::uint16_t> zeros(n_words, 0x0000);
+  hal.erase_segment_auto(base);
+  hal.program_block(base, zeros);
+  hal.partial_erase_segment(base, window);
+  const BitVec bits = hal.read_segment(base, 1);
+  hal.erase_segment_auto(base);  // leave the segment clean
+  return static_cast<double>(bits.popcount()) /
+         static_cast<double>(bits.size());
+}
+
+ChallengeReport judge_challenge_response(const BitVec& decode_bits,
+                                         const BitVec& response_bits,
+                                         double probe_erased,
+                                         const VerifyOptions& base,
+                                         const ChallengePolicy& policy,
+                                         const Challenge& challenge) {
+  policy.validate(base.n_replicas);
+  if (challenge.replica_subset.size() != policy.subset_size)
+    throw std::invalid_argument("challenge: subset size mismatch");
+  if (challenge.response_window_idx >= policy.response_windows.size())
+    throw std::invalid_argument("challenge: response window out of range");
+
+  ChallengeReport rep;
+  rep.challenge = challenge;
+  rep.probe_erased_fraction = probe_erased;
+
+  const std::size_t rbits = replica_payload_bits(base);
+  const std::size_t full_used = rbits * base.n_replicas;
+  if (full_used > decode_bits.size() || full_used > response_bits.size())
+    throw std::invalid_argument(
+        "challenge: extraction smaller than the watermark layout");
+
+  // 1. Per-replica presence: the decode window sits in the flat region
+  // (good cells read 1), so an unimprinted copy shows (almost) no zeros
+  // while a genuinely stressed copy shows ~half. A partial clone fails the
+  // moment the keyed subset names a copy it skipped.
+  rep.replicas_present = true;
+  for (const std::size_t r : challenge.replica_subset) {
+    if (r >= base.n_replicas)
+      throw std::invalid_argument("challenge: replica index out of range");
+    const BitVec slice = decode_bits.slice(r * rbits, rbits);
+    const double zf = static_cast<double>(slice.zero_count()) /
+                      static_cast<double>(slice.size());
+    if (zf < base.min_zero_fraction) rep.replicas_present = false;
+  }
+
+  // 2. Subset decode: judge ONLY the challenged copies (packed
+  // back-to-back, filler erased) with the standard pipeline — signature
+  // gate included, so the subset must carry the keyed watermark.
+  BitVec reduced(decode_bits.size(), true);
+  std::size_t out = 0;
+  for (const std::size_t r : challenge.replica_subset) {
+    for (std::size_t b = 0; b < rbits; ++b)
+      reduced.set(out * rbits + b, decode_bits.get(r * rbits + b));
+    ++out;
+  }
+  VerifyOptions subset_opts = base;
+  subset_opts.n_replicas = policy.subset_size;
+  subset_opts.tamper_pair_fraction = policy.subset_tamper_pair_fraction;
+  const VerifyReport sub = judge_extracted_bits(reduced, subset_opts);
+  rep.verdict = sub.verdict;
+  rep.subset_zero_fraction = sub.zero_fraction;
+  rep.subset_genuine = sub.verdict == Verdict::kGenuine;
+
+  // 3. Anti-replay: the response-window extraction's zero fraction over the
+  // full watermark region must match the golden expectation *for this
+  // window*. A recording made under a different challenge answers with the
+  // wrong fraction.
+  rep.response_zero_fraction = region_zero_fraction(response_bits, full_used);
+  rep.response_error = std::abs(
+      rep.response_zero_fraction -
+      policy.expected_response_zero_fraction[challenge.response_window_idx]);
+  rep.response_consistent = rep.response_error <= policy.response_tol;
+
+  // 4. Freshness: the keyed-random probe segment must erase like new.
+  rep.probe_fresh = probe_erased >= policy.fresh_erased_min;
+
+  rep.accepted = rep.subset_genuine && rep.replicas_present &&
+                 rep.response_consistent && rep.probe_fresh;
+  return rep;
+}
+
+ChallengeReport challenge_verify(FlashHal& hal, Addr wm_addr,
+                                 const VerifyOptions& base,
+                                 const ChallengePolicy& policy,
+                                 std::uint64_t nonce, std::uint32_t tenant) {
+  const Challenge ch = derive_challenge(policy, base.n_replicas, nonce,
+                                        tenant);
+  ExtractOptions eo;
+  eo.n_reads = base.n_reads;
+  eo.rounds = base.rounds;
+  eo.accelerated_erase = base.accelerated_erase;
+  eo.max_retries = base.max_retries;
+  eo.verify_program = base.verify_program;
+  eo.cancelled = base.cancelled;
+  eo.t_pew = ch.t_pew;
+  eo.n_reads = std::max(base.n_reads, policy.decode_n_reads);
+  const ExtractResult decode = extract_flashmark(hal, wm_addr, eo);
+  eo.n_reads = base.n_reads;
+  eo.t_pew = ch.t_resp;
+  const ExtractResult resp = extract_flashmark(hal, wm_addr, eo);
+  const double probe =
+      probe_erased_fraction(hal, ch.probe_segment, policy.probe_window);
+  return judge_challenge_response(decode.bits, resp.bits, probe, base, policy,
+                                  ch);
+}
+
+void calibrate_challenge_policy(FlashHal& golden, Addr wm_addr,
+                                const VerifyOptions& base,
+                                ChallengePolicy& policy) {
+  if (policy.decode_windows.empty() || policy.response_windows.empty())
+    throw std::invalid_argument(
+        "calibrate_challenge_policy: empty window set");
+  if (policy.probe_segments.empty())
+    throw std::invalid_argument(
+        "calibrate_challenge_policy: no probe segments");
+
+  const std::size_t full_used = replica_payload_bits(base) * base.n_replicas;
+  ExtractOptions eo;
+  eo.n_reads = base.n_reads;
+  eo.rounds = base.rounds;
+  eo.accelerated_erase = base.accelerated_erase;
+
+  // Resting fraction FIRST: the window extractions below restore the
+  // segment from what they read, so a later raw read would echo the last
+  // window instead of the at-rest programmed bitmap.
+  const double resting = region_zero_fraction(
+      golden.read_segment(wm_addr, 1), full_used);
+
+  policy.expected_response_zero_fraction.clear();
+  policy.expected_response_zero_fraction.reserve(
+      policy.response_windows.size());
+  for (const SimTime t : policy.response_windows) {
+    eo.t_pew = t;
+    const ExtractResult ext = extract_flashmark(golden, wm_addr, eo);
+    policy.expected_response_zero_fraction.push_back(
+        region_zero_fraction(ext.bits, full_used));
+  }
+
+  // Anti-replay soundness: a counterfeit that plays back the at-rest
+  // programmed bitmap answers every window with the RESTING zero fraction,
+  // so a response window whose golden expectation sits within the tolerance
+  // band of that resting fraction cannot reject a recording. Refuse to
+  // calibrate such a policy — it would pass every functional test while
+  // silently failing its one security job (the 28 us lesson: at deep
+  // imprints the transition tail flattens onto ~0.5 and the window stops
+  // discriminating).
+  for (std::size_t i = 0; i < policy.response_windows.size(); ++i) {
+    const double gap =
+        std::abs(policy.expected_response_zero_fraction[i] - resting);
+    if (gap <= policy.response_tol)
+      throw std::invalid_argument(
+          "calibrate_challenge_policy: response window " + std::to_string(i) +
+          " expectation is within response_tol of the resting bitmap "
+          "fraction — a recorded extraction would pass; choose a window "
+          "deeper in the transition");
+  }
+
+  const double fresh = probe_erased_fraction(golden, policy.probe_segments[0],
+                                             policy.probe_window);
+  if (!(fresh > 0.0))
+    throw std::invalid_argument(
+        "calibrate_challenge_policy: golden probe segment shows no erase "
+        "response (degenerate calibration)");
+  policy.fresh_erased_min = fresh * policy.fresh_guard;
+  policy.fresh_erased_ref = fresh;
+}
+
+ChallengePolicy default_challenge_policy() {
+  ChallengePolicy p;
+  p.decode_windows = {SimTime::us(28), SimTime::us(29), SimTime::us(30)};
+  // Early-transition windows only: by ~28 us a deep imprint's zero fraction
+  // has decayed onto the resting bitmap's ~0.5, where the anti-replay check
+  // loses its teeth (calibration rejects such a window outright).
+  p.response_windows = {SimTime::us(20), SimTime::us(24)};
+  p.probe_segments = {1, 2, 3, 4, 5, 6};
+  return p;
+}
+
+}  // namespace flashmark

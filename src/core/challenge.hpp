@@ -1,0 +1,171 @@
+// Challenge-response interrogation (à la SIGNED, arXiv:2010.05209).
+//
+// A plain verify always extracts the same way, so a counterfeiter who once
+// recorded a genuine extraction can answer every subsequent verify from the
+// recording (an emulated "chip" that plays back the bitmap — see
+// attack::ReplayHal). The interrogation mode closes that hole by making
+// every query *different* in ways only live silicon can answer:
+//
+//  * a SipHash-keyed random subset of replicas must each individually show
+//    stress contrast (defeats partial clones that imprinted only some
+//    copies — the verifier names the copies, the prover cannot choose);
+//  * a fresh response window t_resp drawn from the steep part of the
+//    erase-transition curve: the zero fraction measured there is a strong
+//    function of the window, so a bitmap recorded at one window is
+//    inconsistent with the expectation at any other (defeats replay);
+//  * a keyed-random freshness probe segment whose partial-erase response
+//    must look fresh (defeats recycled dies and segment remapping with a
+//    limited spare pool — the attacker cannot predict which segment is
+//    probed).
+//
+// All choices derive from SipHash-2-4 over (nonce, tenant), so challenges
+// are deterministic for the verifier (reproducible, auditable) yet
+// unpredictable without the challenge key. The derivation is the normative
+// seeding contract of docs/REPRODUCIBILITY.md §11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/watermark.hpp"
+#include "util/siphash.hpp"
+
+namespace flashmark {
+
+/// Verifier-side configuration of the interrogation. The expected-response
+/// tables are filled once per device family by calibrate_challenge_policy()
+/// on a golden (fresh, genuinely imprinted) sample.
+struct ChallengePolicy {
+  /// Keys the challenge derivation; independent of the signature key (the
+  /// signature authenticates the watermark, this key authenticates the
+  /// *query schedule*).
+  SipHashKey challenge_key{0x5EED, 0xC0DE};
+
+  /// Replicas interrogated per query (each must individually show stress).
+  std::size_t subset_size = 4;
+
+  /// Decode windows: drawn from the flat region of the erase transition
+  /// where good cells read 1 reliably, so the subset decode is dependable.
+  std::vector<SimTime> decode_windows;
+
+  /// Response windows: drawn from the steep region, where the watermark
+  /// region's zero fraction moves strongly with the window. The calibrated
+  /// expectation per window is the anti-replay check.
+  std::vector<SimTime> response_windows;
+  /// Golden zero fraction over the watermark region at response_windows[i]
+  /// (parallel vector; filled by calibration).
+  std::vector<double> expected_response_zero_fraction;
+  /// Accepted |measured - expected| band (die-to-die variation margin).
+  double response_tol = 0.06;
+
+  /// Tamper gate for the *subset* decode. The full-population default
+  /// (VerifyOptions::tamper_pair_fraction = 0.05) is calibrated for a
+  /// 7-replica vote; with only subset_size replicas the per-pair vote
+  /// margin shrinks and the genuine null distribution of (0,0) pairs
+  /// widens, so the subset judge needs a wider band. Tampering strong
+  /// enough to matter still lands far above this.
+  double subset_tamper_pair_fraction = 0.12;
+
+  /// Read-vote count for the decode extraction. A subset vote over
+  /// subset_size replicas has little margin left for read noise on cells
+  /// near the erase transition, so the decode read is majority-voted;
+  /// the response extraction stays single-shot (its zero fraction
+  /// averages over the whole region, so read noise washes out there).
+  int decode_n_reads = 3;
+
+  /// Candidate freshness-probe segments (global segment indices; must not
+  /// include the watermark segment).
+  std::vector<std::size_t> probe_segments;
+  /// Probe pulse: program 0s, partial-erase this long, count erased cells.
+  SimTime probe_window = SimTime::us(26);
+  /// Minimum erased fraction to call the probed segment fresh (calibrated:
+  /// golden fraction scaled by fresh_guard).
+  double fresh_erased_min = 0.0;
+  /// Reference fraction for graded freshness scores (calibrated).
+  double fresh_erased_ref = 0.0;
+  /// fresh_erased_min = golden_fraction * fresh_guard.
+  double fresh_guard = 0.80;
+
+  /// Throws std::invalid_argument unless the policy is fully usable for a
+  /// population with `n_replicas` copies (non-empty window/probe sets,
+  /// 1 <= subset_size <= n_replicas, calibration tables filled).
+  void validate(std::size_t n_replicas) const;
+};
+
+/// One derived query: everything the verifier varies.
+struct Challenge {
+  std::uint64_t nonce = 0;
+  std::uint32_t tenant = 0;
+  std::vector<std::size_t> replica_subset;  ///< ascending, size subset_size
+  std::size_t decode_window_idx = 0;
+  SimTime t_pew;         ///< decode extraction window
+  std::size_t response_window_idx = 0;
+  SimTime t_resp;        ///< anti-replay response window
+  std::size_t probe_segment = 0;  ///< global segment index probed for wear
+};
+
+/// Outcome of one interrogation.
+struct ChallengeReport {
+  Challenge challenge;
+  bool accepted = false;         ///< all gates below passed
+  bool subset_genuine = false;   ///< subset decoded to a genuine watermark
+  bool replicas_present = false; ///< every challenged replica shows stress
+  bool response_consistent = false;  ///< zero fraction matches t_resp
+  bool probe_fresh = false;      ///< probed segment looks unworn
+  Verdict verdict = Verdict::kUnreadable;  ///< subset-decode verdict
+  double subset_zero_fraction = 0.0;
+  double response_zero_fraction = 0.0;
+  double response_error = 0.0;   ///< |measured - expected| at t_resp
+  double probe_erased_fraction = 0.0;
+};
+
+/// Derive the challenge for (nonce, tenant) under `policy`. Pure function of
+/// its arguments — the verifier can re-derive and audit any query. Throws
+/// std::invalid_argument on an unusable policy.
+Challenge derive_challenge(const ChallengePolicy& policy,
+                           std::size_t n_replicas, std::uint64_t nonce,
+                           std::uint32_t tenant = 0);
+
+/// Freshness probe: program the segment to 0s, partial-erase for `window`,
+/// return the fraction of cells that made it back to 1 (worn cells erase
+/// slower, so a recycled segment scores low). Destructive to the segment's
+/// data; leaves it erased.
+double probe_erased_fraction(FlashHal& hal, std::size_t segment,
+                             SimTime window);
+
+/// Judge recorded responses against a challenge (the pure back half; the
+/// replay-rejection tests drive this directly with bits recorded under a
+/// DIFFERENT challenge). `decode_bits` is the extraction at challenge.t_pew,
+/// `response_bits` the extraction at challenge.t_resp, `probe_erased` the
+/// freshness-probe result.
+ChallengeReport judge_challenge_response(const BitVec& decode_bits,
+                                         const BitVec& response_bits,
+                                         double probe_erased,
+                                         const VerifyOptions& base,
+                                         const ChallengePolicy& policy,
+                                         const Challenge& challenge);
+
+/// Full live interrogation: derive the challenge, extract twice (decode +
+/// response windows), run the freshness probe, judge.
+ChallengeReport challenge_verify(FlashHal& hal, Addr wm_addr,
+                                 const VerifyOptions& base,
+                                 const ChallengePolicy& policy,
+                                 std::uint64_t nonce,
+                                 std::uint32_t tenant = 0);
+
+/// Fill the policy's expectation tables from a golden (fresh, genuinely
+/// imprinted) die: expected response zero fraction per response window and
+/// the freshness band from a fresh probe segment. Throws
+/// std::invalid_argument on empty window/probe sets — a degenerate
+/// calibration input must be an explicit error, never a silent 0.0
+/// threshold.
+void calibrate_challenge_policy(FlashHal& golden, Addr wm_addr,
+                                const VerifyOptions& base,
+                                ChallengePolicy& policy);
+
+/// Default window sets for the MSP430 family physics (decode in the flat
+/// region around the paper's 28 us, response straddling the steep
+/// 17-25 us transition).
+ChallengePolicy default_challenge_policy();
+
+}  // namespace flashmark

@@ -76,6 +76,12 @@ VerifyReport judge_extracted_bits(const BitVec& extracted,
                                   const VerifyOptions& opts) {
   VerifyReport report;
 
+  if (opts.n_replicas == 0)
+    throw std::invalid_argument(
+        "judge_extracted_bits: n_replicas must be >= 1 — a zero-replica "
+        "layout judges an empty region (NaN zero fraction, every gate "
+        "vacuously passed)");
+
   // 2. Replica layout implied by the verify options. With ECC the dual-rail
   // stream carries the Hamming-expanded payload, so the layout grows by the
   // same 15/11 factor the manufacturer's encoder applied.

@@ -1,0 +1,385 @@
+#include "scenario/roc.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "fleet/fleet.hpp"
+#include "util/crc.hpp"
+
+namespace flashmark::scenario {
+
+namespace {
+
+constexpr std::uint32_t kShardMagic = 0x43524D46;  // "FMRC" little-endian
+constexpr std::uint32_t kShardVersion = 1;
+
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+// --- little-endian frame helpers (shard.cpp idiom) -------------------------
+
+void put_u32(std::string& s, std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  s.append(reinterpret_cast<const char*>(b), 4);
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  s.append(reinterpret_cast<const char*>(b), 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& s) : s_(s) {}
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > s_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+      *v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(s_[pos_ + i]))
+            << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (pos_ + 8 > s_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(s_[pos_ + i]))
+            << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Per-population partial histograms of one contiguous global-die range.
+/// Deterministic: per-die scores land in slots indexed by die, then fold in
+/// index order, so any thread count produces identical counts.
+std::vector<ScoreHistogram> run_range(const RocConfig& cfg,
+                                      std::uint64_t begin, std::uint64_t end,
+                                      unsigned threads) {
+  const std::size_t n_pops = cfg.populations.size();
+  std::vector<DieScore> slots(static_cast<std::size_t>(end - begin));
+  fleet::FleetOptions fo;
+  fo.threads = threads;
+  fleet::run_dies(
+      slots.size(),
+      [&](std::size_t i, fleet::DieCounters&) {
+        const std::uint64_t g = begin + i;
+        const std::size_t pop = static_cast<std::size_t>(g % n_pops);
+        const std::uint64_t die = g / n_pops;
+        slots[i] = run_and_score(cfg.base, cfg.populations[pop], die);
+      },
+      fo);
+  std::vector<ScoreHistogram> hists(n_pops);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    hists[(begin + i) % n_pops].add(slots[i]);
+  return hists;
+}
+
+std::string serialize_shard(const std::vector<ScoreHistogram>& hists,
+                            std::uint64_t begin, std::uint64_t end) {
+  std::string s;
+  put_u32(s, kShardMagic);
+  put_u32(s, kShardVersion);
+  put_u64(s, begin);
+  put_u64(s, end);
+  put_u32(s, static_cast<std::uint32_t>(hists.size()));
+  for (const ScoreHistogram& h : hists) {
+    put_u64(s, h.n);
+    put_u64(s, h.queries);
+    put_u64(s, h.queries_passed);
+    for (const std::uint64_t c : h.counts) put_u64(s, c);
+  }
+  put_u32(s, crc32_ieee(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+  return s;
+}
+
+/// CRC-first, bounds-checked, range-echo-checked deserialization. Any
+/// structural defect returns false (the caller raises).
+bool deserialize_shard(const std::string& frame, std::uint64_t want_begin,
+                       std::uint64_t want_end, std::size_t want_pops,
+                       std::vector<ScoreHistogram>* out) {
+  if (frame.size() < 4) return false;
+  {
+    const std::string tail(frame, frame.size() - 4, 4);
+    Reader tr(tail);
+    std::uint32_t want = 0;
+    if (!tr.u32(&want)) return false;
+    const std::uint32_t got =
+        crc32_ieee(reinterpret_cast<const std::uint8_t*>(frame.data()),
+                   frame.size() - 4);
+    if (want != got) return false;
+  }
+  const std::string body(frame, 0, frame.size() - 4);
+  Reader r(body);
+  std::uint32_t magic = 0, version = 0, n_pops = 0;
+  std::uint64_t begin = 0, end = 0;
+  if (!r.u32(&magic) || magic != kShardMagic || !r.u32(&version) ||
+      version != kShardVersion || !r.u64(&begin) || !r.u64(&end) ||
+      !r.u32(&n_pops))
+    return false;
+  if (begin != want_begin || end != want_end || n_pops != want_pops)
+    return false;
+  std::vector<ScoreHistogram> hists(n_pops);
+  std::uint64_t total = 0;
+  for (ScoreHistogram& h : hists) {
+    if (!r.u64(&h.n) || !r.u64(&h.queries) || !r.u64(&h.queries_passed))
+      return false;
+    std::uint64_t bin_sum = 0;
+    for (std::uint64_t& c : h.counts) {
+      if (!r.u64(&c)) return false;
+      bin_sum += c;
+    }
+    if (bin_sum != h.n) return false;  // internally inconsistent
+    total += h.n;
+  }
+  if (r.pos() != body.size()) return false;  // trailing garbage
+  if (total != want_end - want_begin) return false;
+  *out = std::move(hists);
+  return true;
+}
+
+bool read_all(int fd, std::string* out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t k = read(fd, buf, sizeof buf);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return true;
+    out->append(buf, static_cast<std::size_t>(k));
+  }
+}
+
+void write_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t k = write(fd, s.data() + off, s.size() - off);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return;  // parent will see a torn frame and raise
+    }
+    off += static_cast<std::size_t>(k);
+  }
+}
+
+void shard_range(std::uint64_t n, unsigned slots, unsigned s,
+                 std::uint64_t* begin, std::uint64_t* end) {
+  const std::uint64_t base = n / slots;
+  const std::uint64_t extra = n % slots;
+  *begin = s * base + std::min<std::uint64_t>(s, extra);
+  *end = *begin + base + (s < extra ? 1 : 0);
+}
+
+}  // namespace
+
+void ScoreHistogram::add(const DieScore& score) {
+  double s = score.score;
+  if (s < 0.0) s = 0.0;
+  std::size_t bin = static_cast<std::size_t>(s * kBins);
+  if (bin >= kBins) bin = kBins - 1;
+  ++counts[bin];
+  ++n;
+  queries += score.challenges;
+  queries_passed += score.challenges_passed;
+}
+
+void ScoreHistogram::merge(const ScoreHistogram& other) {
+  for (std::size_t i = 0; i < kBins; ++i) counts[i] += other.counts[i];
+  n += other.n;
+  queries += other.queries;
+  queries_passed += other.queries_passed;
+}
+
+std::uint64_t ScoreHistogram::at_or_above(std::size_t bin) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = bin; i < kBins; ++i) total += counts[i];
+  return total;
+}
+
+RocOperatingPoint calibrate_operating_point(const ScoreHistogram& genuine,
+                                            const ScoreHistogram& adversary) {
+  if (genuine.n == 0)
+    throw std::invalid_argument(
+        "calibrate_operating_point: empty genuine population");
+  if (adversary.n == 0)
+    throw std::invalid_argument(
+        "calibrate_operating_point: empty adversary population");
+  RocOperatingPoint best;
+  bool first = true;
+  for (std::size_t bin = 0; bin <= ScoreHistogram::kBins; ++bin) {
+    const double tpr = static_cast<double>(genuine.at_or_above(bin)) /
+                       static_cast<double>(genuine.n);
+    const double fpr = static_cast<double>(adversary.at_or_above(bin)) /
+                       static_cast<double>(adversary.n);
+    const double j = tpr - fpr;
+    if (first || j > best.youden) {
+      best = RocOperatingPoint{
+          static_cast<double>(bin) / ScoreHistogram::kBins, tpr, fpr, j};
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::string RocResult::roc_csv() const {
+  if (hists.empty() || hists[0].n == 0)
+    throw std::invalid_argument("roc_csv: empty genuine population");
+  std::string csv = "population,threshold,fpr,tpr\n";
+  for (std::size_t p = 1; p < hists.size(); ++p) {
+    if (hists[p].n == 0)
+      throw std::invalid_argument("roc_csv: empty adversary population: " +
+                                  names[p]);
+    std::uint64_t prev_g = ~0ull, prev_a = ~0ull;
+    for (std::size_t bin = 0; bin <= ScoreHistogram::kBins; ++bin) {
+      const std::uint64_t g = hists[0].at_or_above(bin);
+      const std::uint64_t a = hists[p].at_or_above(bin);
+      // Emit curve ends plus every staircase change-point.
+      if (bin != 0 && bin != ScoreHistogram::kBins && g == prev_g &&
+          a == prev_a)
+        continue;
+      prev_g = g;
+      prev_a = a;
+      csv += names[p];
+      csv += ',';
+      csv += fmt_g(static_cast<double>(bin) / ScoreHistogram::kBins);
+      csv += ',';
+      csv += fmt_g(static_cast<double>(a) / static_cast<double>(hists[p].n));
+      csv += ',';
+      csv += fmt_g(static_cast<double>(g) / static_cast<double>(hists[0].n));
+      csv += '\n';
+    }
+  }
+  return csv;
+}
+
+std::string RocResult::thresholds_csv() const {
+  std::string csv = "population,threshold,tpr,fpr,youden\n";
+  for (std::size_t p = 1; p < hists.size(); ++p) {
+    const RocOperatingPoint op =
+        calibrate_operating_point(hists[0], hists[p]);
+    csv += names[p];
+    csv += ',';
+    csv += fmt_g(op.threshold);
+    csv += ',';
+    csv += fmt_g(op.tpr);
+    csv += ',';
+    csv += fmt_g(op.fpr);
+    csv += ',';
+    csv += fmt_g(op.youden);
+    csv += '\n';
+  }
+  return csv;
+}
+
+RocResult run_roc_study(const RocConfig& cfg, const RocOptions& opts) {
+  if (cfg.populations.empty())
+    throw std::invalid_argument("run_roc_study: no populations");
+  if (cfg.dies_per_population == 0)
+    throw std::invalid_argument("run_roc_study: empty populations");
+
+  // Deterministic family calibration; every forked shard re-derives the
+  // identical policy from the master seed.
+  RocConfig run_cfg = cfg;
+  calibrate(run_cfg.base);
+
+  const std::size_t n_pops = run_cfg.populations.size();
+  const std::uint64_t total =
+      run_cfg.dies_per_population * static_cast<std::uint64_t>(n_pops);
+  const unsigned shards =
+      std::max(1u, std::min<unsigned>(opts.shards,
+                                      static_cast<unsigned>(total)));
+
+  RocResult result;
+  result.names.reserve(n_pops);
+  for (const Scenario& s : run_cfg.populations) result.names.push_back(s.name);
+  result.hists.assign(n_pops, ScoreHistogram{});
+
+  if (shards == 1) {
+    const std::vector<ScoreHistogram> hists =
+        run_range(run_cfg, 0, total, opts.threads);
+    for (std::size_t p = 0; p < n_pops; ++p) result.hists[p].merge(hists[p]);
+    return result;
+  }
+
+  // Fork BEFORE any thread exists in this process (children build their own
+  // fleet pools) — the fork/thread combination stays legal under TSan/ASan.
+  struct ShardSlot {
+    pid_t pid = -1;
+    int fd = -1;
+    std::uint64_t begin = 0, end = 0;
+  };
+  std::vector<ShardSlot> slots(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    shard_range(total, shards, s, &slots[s].begin, &slots[s].end);
+    int pipefd[2];
+    if (pipe(pipefd) != 0)
+      throw std::runtime_error("run_roc_study: pipe() failed");
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(pipefd[0]);
+      close(pipefd[1]);
+      throw std::runtime_error("run_roc_study: fork() failed");
+    }
+    if (pid == 0) {
+      close(pipefd[0]);
+      int code = 0;
+      try {
+        const std::vector<ScoreHistogram> hists = run_range(
+            run_cfg, slots[s].begin, slots[s].end, opts.threads);
+        write_all(pipefd[1], serialize_shard(hists, slots[s].begin,
+                                             slots[s].end));
+      } catch (...) {
+        code = 1;
+      }
+      close(pipefd[1]);
+      _exit(code);
+    }
+    close(pipefd[1]);
+    slots[s].pid = pid;
+    slots[s].fd = pipefd[0];
+  }
+
+  std::string error;
+  for (unsigned s = 0; s < shards; ++s) {
+    std::string frame;
+    const bool read_ok = read_all(slots[s].fd, &frame);
+    close(slots[s].fd);
+    int status = 0;
+    while (waitpid(slots[s].pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    const bool exited_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::vector<ScoreHistogram> hists;
+    if (!read_ok || !exited_ok ||
+        !deserialize_shard(frame, slots[s].begin, slots[s].end, n_pops,
+                           &hists)) {
+      if (error.empty())
+        error = "run_roc_study: shard " + std::to_string(s) +
+                " lost or corrupt (a calibration curve must not silently "
+                "drop population slices)";
+      continue;
+    }
+    for (std::size_t p = 0; p < n_pops; ++p) result.hists[p].merge(hists[p]);
+  }
+  if (!error.empty()) throw std::runtime_error(error);
+  return result;
+}
+
+}  // namespace flashmark::scenario

@@ -1,0 +1,344 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fleet/fleet.hpp"
+#include "nand/ftl.hpp"
+#include "nand/nand_array.hpp"
+#include "nand/nand_controller.hpp"
+#include "util/rng.hpp"
+
+namespace flashmark::scenario {
+
+namespace {
+
+/// Golden calibration die: far outside any realistic population index so a
+/// population die never aliases the calibration sample.
+constexpr std::uint64_t kGoldenDieIndex = 1ull << 62;
+
+/// NAND pool the aging FTL runs on: small enough that a product life is
+/// cheap to simulate, big enough that the wear leveler has real work.
+NandGeometry aging_pool() {
+  NandGeometry g = NandGeometry::tiny();
+  g.n_blocks = 16;
+  g.pages_per_block = 8;
+  g.factory_bad_block_ppm = 0.0;
+  return g;
+}
+
+struct StepContext {
+  const ScenarioConfig& cfg;
+  std::uint64_t die;
+  Rng stream;  ///< the die's scenario stream (kScenarioStreamTag)
+  PresentedDie out;
+
+  Addr wm_addr() const {
+    return out.device->config().geometry.segment_base(cfg.segment);
+  }
+};
+
+void step_imprint(StepContext& ctx) {
+  imprint_watermark(ctx.out.device->hal(), ctx.wm_addr(),
+                    ctx.cfg.spec_for(ctx.die));
+}
+
+/// Age the die: run the seeded product-life workload through a
+/// wear-leveling FTL on a NAND pool, then replay the pool's per-block
+/// erase distribution onto the die's NOR data segments. The FTL is the
+/// seed-era src/nand one — its GC and least-worn allocation shape the
+/// distribution exactly like firmware would in the field.
+void step_age(StepContext& ctx, const LifetimeProfile& life) {
+  const NandGeometry geom = aging_pool();
+  NandArray array(geom, nand_slc_phys(), ctx.stream.next_u64());
+  SimClock clock;
+  NandController nand(array, NandTiming::slc_datasheet(), clock);
+  Ftl ftl(nand, 0, geom.n_blocks);
+
+  const std::size_t pages = ftl.logical_pages();
+  const std::size_t hot_pages = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(pages) * life.hot_set_fraction));
+  // Payload content does not influence wear; one seeded page buffer with a
+  // rolling counter keeps the workload cheap and deterministic.
+  BitVec page(geom.page_cells());
+  for (std::size_t i = 0; i < page.size(); i += 64) {
+    const std::uint64_t w = ctx.stream.next_u64();
+    for (std::size_t b = 0; b < 64 && i + b < page.size(); ++b)
+      page.set(i + b, (w >> b) & 1u);
+  }
+  for (std::size_t w = 0; w < life.host_writes; ++w) {
+    const bool hot = ctx.stream.bernoulli(life.hot_fraction);
+    const std::size_t lp =
+        hot ? ctx.stream.uniform_u64(hot_pages)
+            : ctx.stream.uniform_u64(pages);
+    page.set(0, (w & 1u) != 0);  // dirty one bit so writes are not no-ops
+    ftl.write(lp, page);
+  }
+
+  // Replay the leveled wear distribution onto the NOR data segments.
+  const auto counts = ftl.erase_counts();
+  const auto& segs = ctx.cfg.policy.probe_segments;
+  std::vector<double> seg_cycles(segs.size(), 0.0);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    seg_cycles[i % segs.size()] +=
+        static_cast<double>(counts[i]) * life.wear_scale;
+  FlashHal& hal = ctx.out.device->hal();
+  const auto& g = hal.geometry();
+  for (std::size_t j = 0; j < segs.size(); ++j)
+    if (seg_cycles[j] > 0.0)
+      hal.wear_segment(g.segment_base(segs[j]), seg_cycles[j], nullptr);
+}
+
+void step_field_wear(StepContext& ctx, std::uint32_t cycles) {
+  const auto& g = ctx.out.device->config().geometry;
+  std::vector<Addr> addrs;
+  addrs.reserve(ctx.cfg.policy.probe_segments.size());
+  for (const std::size_t s : ctx.cfg.policy.probe_segments)
+    addrs.push_back(g.segment_base(s));
+  simulate_field_usage(ctx.out.device->hal(), addrs, cycles);
+}
+
+void step_refurbish(StepContext& ctx) {
+  FlashHal& hal = ctx.out.device->hal();
+  const auto& g = hal.geometry();
+  for (const std::size_t s : ctx.cfg.policy.probe_segments)
+    hal.erase_segment(g.segment_base(s));
+}
+
+void step_forge_remark(StepContext& ctx) {
+  // The attacker has the tooling but not the manufacturer's key: forge a
+  // plausible watermark signed with a key of their own choosing.
+  WatermarkSpec spec = ctx.cfg.spec_for(ctx.die);
+  spec.key = SipHashKey{0xBAD, 0xC0DE};
+  const auto& g = ctx.out.device->config().geometry;
+  const EncodedWatermark enc =
+      encode_watermark(spec, g.segment_cells(ctx.cfg.segment));
+  forge_attack(ctx.out.device->hal(), ctx.wm_addr(), enc.segment_pattern);
+}
+
+void step_clone(StepContext& ctx, std::size_t replicas, std::uint32_t npe) {
+  auto target = std::make_unique<Device>(
+      ctx.cfg.device,
+      fleet::derive_die_seed(ctx.cfg.master_seed ^ kCloneTargetSalt,
+                             ctx.die));
+  const Addr src = ctx.wm_addr();
+  const Addr dst =
+      target->config().geometry.segment_base(ctx.cfg.segment);
+  const VerifyOptions vo = ctx.cfg.effective_verify();
+  const std::uint32_t use_npe = npe == 0 ? ctx.cfg.npe : npe;
+  if (replicas >= ctx.cfg.n_replicas)
+    clone_attack(ctx.out.device->hal(), src, target->hal(), dst, vo, use_npe);
+  else
+    partial_clone_attack(ctx.out.device->hal(), src, target->hal(), dst, vo,
+                         use_npe, replicas);
+  ctx.out.device = std::move(target);  // the clone is what gets sold
+  ctx.out.remap.clear();
+  ctx.out.remap_hal.reset();
+}
+
+void step_bake(StepContext& ctx, double hours) {
+  bake_attack(*ctx.out.device, hours);
+}
+
+/// Hide the first `spares` probe segments behind fresh spares from the top
+/// of main flash (segments no workload ever touched).
+void step_remap(StepContext& ctx, std::size_t spares) {
+  const auto& g = ctx.out.device->config().geometry;
+  const auto& probes = ctx.cfg.policy.probe_segments;
+  const std::size_t n = std::min(spares, probes.size());
+  ctx.out.remap.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t spare = g.n_main_segments() - 1 - i;
+    if (std::find(probes.begin(), probes.end(), spare) != probes.end() ||
+        spare == ctx.cfg.segment)
+      throw std::invalid_argument(
+          "scenario remap: spare pool collides with probe segments");
+    ctx.out.remap.emplace_back(probes[i], spare);
+  }
+  ctx.out.remap_hal.reset();
+}
+
+}  // namespace
+
+ScenarioStep ScenarioStep::imprint() { return {}; }
+ScenarioStep ScenarioStep::age(LifetimeProfile profile) {
+  ScenarioStep s;
+  s.kind = StepKind::kAge;
+  s.life = profile;
+  return s;
+}
+ScenarioStep ScenarioStep::field_wear(std::uint32_t cycles) {
+  ScenarioStep s;
+  s.kind = StepKind::kFieldWear;
+  s.cycles = cycles;
+  return s;
+}
+ScenarioStep ScenarioStep::refurbish() {
+  ScenarioStep s;
+  s.kind = StepKind::kRefurbish;
+  return s;
+}
+ScenarioStep ScenarioStep::forge_remark() {
+  ScenarioStep s;
+  s.kind = StepKind::kForgeRemark;
+  return s;
+}
+ScenarioStep ScenarioStep::clone_into(std::uint32_t npe) {
+  ScenarioStep s;
+  s.kind = StepKind::kCloneInto;
+  s.clone_npe = npe;
+  return s;
+}
+ScenarioStep ScenarioStep::partial_clone_into(std::size_t replicas,
+                                              std::uint32_t npe) {
+  ScenarioStep s;
+  s.kind = StepKind::kPartialCloneInto;
+  s.clone_replicas = replicas;
+  s.clone_npe = npe;
+  return s;
+}
+ScenarioStep ScenarioStep::bake(double hours) {
+  ScenarioStep s;
+  s.kind = StepKind::kBake;
+  s.hours = hours;
+  return s;
+}
+ScenarioStep ScenarioStep::remap(std::size_t spares) {
+  ScenarioStep s;
+  s.kind = StepKind::kRemap;
+  s.remap_spares = spares;
+  return s;
+}
+
+Scenario Scenario::genuine_fresh() {
+  return {"genuine-fresh", {ScenarioStep::imprint()}};
+}
+Scenario Scenario::recycled_resale() {
+  return {"recycled-resale",
+          {ScenarioStep::imprint(), ScenarioStep::age(),
+           ScenarioStep::refurbish()}};
+}
+Scenario Scenario::recycled_bake(double hours) {
+  return {"recycled-bake",
+          {ScenarioStep::imprint(), ScenarioStep::age(),
+           ScenarioStep::refurbish(), ScenarioStep::bake(hours)}};
+}
+Scenario Scenario::recycled_remap(std::size_t spares) {
+  return {"recycled-remap",
+          {ScenarioStep::imprint(), ScenarioStep::age(),
+           ScenarioStep::refurbish(), ScenarioStep::remap(spares)}};
+}
+Scenario Scenario::remarked_recycled() {
+  return {"remarked-recycled",
+          {ScenarioStep::age(), ScenarioStep::refurbish(),
+           ScenarioStep::forge_remark()}};
+}
+Scenario Scenario::partial_clone(std::size_t replicas) {
+  return {"partial-clone",
+          {ScenarioStep::imprint(),
+           ScenarioStep::partial_clone_into(replicas)}};
+}
+Scenario Scenario::full_clone() {
+  return {"full-clone",
+          {ScenarioStep::imprint(), ScenarioStep::clone_into()}};
+}
+
+VerifyOptions ScenarioConfig::effective_verify() const {
+  VerifyOptions vo = verify;
+  vo.key = key;
+  vo.n_replicas = n_replicas;
+  return vo;
+}
+
+WatermarkSpec ScenarioConfig::spec_for(std::uint64_t die) const {
+  WatermarkSpec spec;
+  spec.fields.manufacturer_id = manufacturer_id;
+  spec.fields.die_id = static_cast<std::uint32_t>(die);
+  spec.fields.speed_grade = 2;
+  spec.fields.status = TestStatus::kAccept;
+  spec.fields.date_code = 0x33A;
+  spec.key = key;
+  spec.n_replicas = n_replicas;
+  spec.npe = npe;
+  spec.strategy = ImprintStrategy::kBatchWear;
+  spec.accelerated = true;
+  return spec;
+}
+
+void calibrate(ScenarioConfig& cfg) {
+  Device golden(cfg.device,
+                fleet::derive_die_seed(cfg.master_seed, kGoldenDieIndex));
+  const Addr addr = golden.config().geometry.segment_base(cfg.segment);
+  imprint_watermark(golden.hal(), addr, cfg.spec_for(kGoldenDieIndex));
+  calibrate_challenge_policy(golden.hal(), addr, cfg.effective_verify(),
+                             cfg.policy);
+  cfg.policy.validate(cfg.n_replicas);
+}
+
+FlashHal& PresentedDie::hal() {
+  if (remap.empty()) return device->hal();
+  if (!remap_hal) remap_hal = std::make_unique<RemapHal>(device->hal(), remap);
+  return *remap_hal;
+}
+
+PresentedDie run_scenario_die(const ScenarioConfig& cfg, const Scenario& sc,
+                              std::uint64_t die) {
+  StepContext ctx{
+      cfg, die,
+      Rng(fleet::derive_die_seed(cfg.master_seed, die))
+          .split(kScenarioStreamTag),
+      PresentedDie{}};
+  ctx.out.device = std::make_unique<Device>(
+      cfg.device, fleet::derive_die_seed(cfg.master_seed, die));
+  for (const ScenarioStep& step : sc.steps) {
+    switch (step.kind) {
+      case StepKind::kImprint: step_imprint(ctx); break;
+      case StepKind::kAge: step_age(ctx, step.life); break;
+      case StepKind::kFieldWear: step_field_wear(ctx, step.cycles); break;
+      case StepKind::kRefurbish: step_refurbish(ctx); break;
+      case StepKind::kForgeRemark: step_forge_remark(ctx); break;
+      case StepKind::kCloneInto:
+        step_clone(ctx, cfg.n_replicas, step.clone_npe);
+        break;
+      case StepKind::kPartialCloneInto:
+        step_clone(ctx, step.clone_replicas, step.clone_npe);
+        break;
+      case StepKind::kBake: step_bake(ctx, step.hours); break;
+      case StepKind::kRemap: step_remap(ctx, step.remap_spares); break;
+    }
+  }
+  return std::move(ctx.out);
+}
+
+DieScore score_die(const ScenarioConfig& cfg, PresentedDie& die) {
+  cfg.policy.validate(cfg.n_replicas);
+  if (cfg.n_challenges == 0)
+    throw std::invalid_argument("score_die: n_challenges must be > 0");
+  const VerifyOptions vo = cfg.effective_verify();
+  FlashHal& hal = die.hal();
+  const Addr addr = hal.geometry().segment_base(cfg.segment);
+  DieScore ds;
+  ds.challenges = cfg.n_challenges;
+  double total = 0.0;
+  for (std::size_t q = 0; q < cfg.n_challenges; ++q) {
+    const ChallengeReport r = challenge_verify(hal, addr, vo, cfg.policy, q);
+    const bool authentic =
+        r.subset_genuine && r.replicas_present && r.response_consistent;
+    const double freshness = std::min(
+        1.0, r.probe_erased_fraction / cfg.policy.fresh_erased_ref);
+    total += 0.6 * (authentic ? 1.0 : 0.0) + 0.4 * freshness;
+    if (r.accepted) ++ds.challenges_passed;
+  }
+  ds.score = total / static_cast<double>(cfg.n_challenges);
+  return ds;
+}
+
+DieScore run_and_score(const ScenarioConfig& cfg, const Scenario& sc,
+                       std::uint64_t die) {
+  PresentedDie d = run_scenario_die(cfg, sc, die);
+  return score_die(cfg, d);
+}
+
+}  // namespace flashmark::scenario

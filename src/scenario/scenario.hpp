@@ -1,0 +1,167 @@
+// Composable adversary & lifetime scenarios (ROADMAP item 5).
+//
+// A Scenario is an ordered list of ScenarioSteps applied to a die before it
+// is presented to the verifier: imprint the genuine watermark, age the die
+// through the src/nand wear-leveling FTL with seeded product-life traffic,
+// clone (fully or partially) onto fresh silicon, bake-anneal, remap worn
+// segments behind an interposer. Chains express the real counterfeit
+// pathways ("used die sold as new" = imprint → age → refurbish;
+// "cloned reject" = imprint → partial clone → present), and every step is
+// a pure function of (master_seed, die index), so a scenario population is
+// byte-identical at any thread or shard split — the same §9 contract the
+// lot layer keeps.
+//
+// Seeding contract (docs/REPRODUCIBILITY.md §11): the die's scenario
+// randomness (FTL traffic schedule, payload bytes) comes from
+// Rng(derive_die_seed(master_seed, die)).split(kScenarioStreamTag) —
+// decorrelated from the die's manufacturing stream exactly like
+// fault::kFaultStreamTag. Clone targets are fresh silicon:
+// derive_die_seed(master_seed ^ kCloneTargetSalt, die).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/attacks.hpp"
+#include "core/challenge.hpp"
+#include "core/watermark.hpp"
+#include "mcu/device.hpp"
+
+namespace flashmark::scenario {
+
+/// Stream tag for the per-die scenario RNG (see header comment).
+inline constexpr std::uint64_t kScenarioStreamTag = 0x5CE9'A210'F1A5ull;
+/// Master-seed salt for clone-target dies (fresh silicon, decorrelated
+/// from the genuine die but still deterministic per die index).
+inline constexpr std::uint64_t kCloneTargetSalt = 0xC10E'7A26'5EEDull;
+
+/// Product-life traffic profile for the FTL aging step. The die runs this
+/// workload through an embedded wear-leveling FTL on a small NAND pool; the
+/// resulting per-block erase distribution — realistic mixed hot/cold wear,
+/// leveled by the FTL's least-worn allocation — is then replayed onto the
+/// die's NOR data segments at `wear_scale` NOR cycles per NAND erase
+/// (one sampled product life extrapolated to the full deployment).
+struct LifetimeProfile {
+  std::size_t host_writes = 1'200;   ///< logical page writes
+  double hot_fraction = 0.8;         ///< fraction of writes to the hot set
+  double hot_set_fraction = 0.25;    ///< hot set = this fraction of pages
+  double wear_scale = 220.0;         ///< NOR P/E cycles per NAND block erase
+};
+
+enum class StepKind : std::uint8_t {
+  kImprint,           ///< manufacturer imprints the genuine watermark
+  kAge,               ///< FTL product-life traffic wears the data segments
+  kFieldWear,         ///< uniform extra wear on the data segments
+  kRefurbish,         ///< counterfeiter erases data segments before resale
+  kForgeRemark,       ///< digital re-mark with a wrong-key watermark
+  kCloneInto,         ///< full watermark clone onto fresh silicon
+  kPartialCloneInto,  ///< clone only the first k replicas onto fresh silicon
+  kBake,              ///< oven anneal (hours)
+  kRemap,             ///< hide the most-probed worn segments behind spares
+};
+
+struct ScenarioStep {
+  StepKind kind = StepKind::kImprint;
+  LifetimeProfile life;            ///< kAge
+  std::uint32_t cycles = 0;        ///< kFieldWear
+  double hours = 0.0;              ///< kBake
+  std::size_t clone_replicas = 0;  ///< kPartialCloneInto
+  std::uint32_t clone_npe = 0;     ///< k(Partial)CloneInto; 0 = config npe
+  std::size_t remap_spares = 0;    ///< kRemap
+
+  static ScenarioStep imprint();
+  static ScenarioStep age(LifetimeProfile profile = {});
+  static ScenarioStep field_wear(std::uint32_t cycles);
+  static ScenarioStep refurbish();
+  static ScenarioStep forge_remark();
+  static ScenarioStep clone_into(std::uint32_t npe = 0);
+  static ScenarioStep partial_clone_into(std::size_t replicas,
+                                         std::uint32_t npe = 0);
+  static ScenarioStep bake(double hours);
+  static ScenarioStep remap(std::size_t spares);
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioStep> steps;
+
+  // --- canned threat-model scenarios --------------------------------------
+  static Scenario genuine_fresh();
+  /// Recycled: genuine part, full product life, digitally refurbished,
+  /// sold as new (watermark intact — the freshness probe is the detector).
+  static Scenario recycled_resale();
+  /// Recycled + oven: like recycled_resale but baked to shave the wear
+  /// signature before resale.
+  static Scenario recycled_bake(double hours = 48.0);
+  /// Recycled + interposer: worn probe segments remapped onto spares.
+  static Scenario recycled_remap(std::size_t spares = 2);
+  /// Aged blank die re-marked by an attacker without the signature key.
+  static Scenario remarked_recycled();
+  /// Fresh silicon carrying a partial clone (k of R replicas).
+  static Scenario partial_clone(std::size_t replicas = 4);
+  /// Fresh silicon carrying a full clone — the documented residual risk.
+  static Scenario full_clone();
+};
+
+/// Population-level parameters shared by every scenario die.
+struct ScenarioConfig {
+  DeviceConfig device = DeviceConfig::msp430f5438();
+  std::uint64_t master_seed = 0xF1A5'0001;
+  SipHashKey key{0x1D6E, 0x0BB1};
+  std::size_t n_replicas = 7;
+  std::uint32_t npe = 60'000;       ///< manufacturer imprint cycles
+  std::size_t segment = 0;          ///< watermark segment
+  std::uint16_t manufacturer_id = 0x7C01;
+  /// Verify options used for challenges and plain verifies; key/n_replicas
+  /// above are authoritative and overwrite the matching fields.
+  VerifyOptions verify;
+  /// Challenge policy; probe_segments also define the "data segments" that
+  /// aging and refurbishing touch. Calibrated by calibrate() below.
+  ChallengePolicy policy = default_challenge_policy();
+  /// Challenge queries per die when scoring.
+  std::size_t n_challenges = 6;
+
+  /// Verify options with key/replicas aligned (what scoring actually uses).
+  VerifyOptions effective_verify() const;
+  /// WatermarkSpec of die `die` (fields carry the die index).
+  WatermarkSpec spec_for(std::uint64_t die) const;
+};
+
+/// Calibrate cfg.policy on a golden fresh die derived from the master seed
+/// (die index 2^63, far outside any population) and validate the result.
+void calibrate(ScenarioConfig& cfg);
+
+/// The die a scenario hands to the verifier: a Device plus the (possibly
+/// empty) interposer remap table. `hal()` applies the remapping.
+struct PresentedDie {
+  std::unique_ptr<Device> device;
+  std::vector<std::pair<std::size_t, std::size_t>> remap;
+  std::unique_ptr<RemapHal> remap_hal;
+
+  FlashHal& hal();
+};
+
+/// Run every step of `sc` for die `die`. Deterministic: same (cfg, sc, die)
+/// → bit-identical device state.
+PresentedDie run_scenario_die(const ScenarioConfig& cfg, const Scenario& sc,
+                              std::uint64_t die);
+
+/// Detection statistic of one die: mean over cfg.n_challenges keyed queries
+/// (nonces 0..M-1) of 0.6·authentic + 0.4·freshness, where authentic is the
+/// challenge's subset+response gate and freshness the graded probe ratio.
+/// 1.0 = indistinguishable from a golden fresh genuine part.
+struct DieScore {
+  double score = 0.0;
+  std::size_t challenges_passed = 0;
+  std::size_t challenges = 0;
+};
+DieScore score_die(const ScenarioConfig& cfg, PresentedDie& die);
+
+/// Convenience: run + score.
+DieScore run_and_score(const ScenarioConfig& cfg, const Scenario& sc,
+                       std::uint64_t die);
+
+}  // namespace flashmark::scenario

@@ -173,7 +173,14 @@ Response Client::call_once(const Request& rq) {
     rs.message = err;
     return rs;
   }
-  if (!recv_response(&rs, &err)) {
+  // Wait at least as long as the deadline the request granted the server
+  // (plus slack for queueing and the wire): hanging up at a fixed 30 s on
+  // a request that asked for minutes turns a slow-but-legal response into
+  // a spurious retry — fatal for non-idempotent ops like enroll.
+  const int recv_ms =
+      std::max(30'000, static_cast<int>(std::min(rq.deadline_ms,
+                                                 3'600'000u)) + 30'000);
+  if (!recv_response(&rs, &err, recv_ms)) {
     rs.request_id = rq.request_id;
     rs.op = rq.op;
     rs.status = Status::kUnavailable;

@@ -124,6 +124,7 @@ const char* to_string(Op op) {
     case Op::kVerify: return "verify";
     case Op::kLotReport: return "lot-report";
     case Op::kStats: return "stats";
+    case Op::kChallenge: return "challenge";
   }
   return "?";
 }
@@ -158,6 +159,10 @@ std::string encode_request_frame(const Request& rq) {
       break;
     case Op::kVerify:
       put_u64(b, rq.die);
+      break;
+    case Op::kChallenge:
+      put_u64(b, rq.die);
+      put_u64(b, rq.nonce);
       break;
     case Op::kLotReport:
     case Op::kStats:
@@ -208,6 +213,21 @@ std::string encode_response_frame(const Response& rs) {
         put_u64(b, rs.lot.tampered);
         put_u64(b, rs.lot.unreadable);
         break;
+      case Op::kChallenge:
+        put_u8(b, rs.challenge.accepted);
+        put_u8(b, rs.challenge.subset_genuine);
+        put_u8(b, rs.challenge.replicas_present);
+        put_u8(b, rs.challenge.response_consistent);
+        put_u8(b, rs.challenge.probe_fresh);
+        put_u8(b, static_cast<std::uint8_t>(rs.challenge.verdict));
+        put_f64(b, rs.challenge.subset_zero_fraction);
+        put_f64(b, rs.challenge.response_zero_fraction);
+        put_f64(b, rs.challenge.response_error);
+        put_f64(b, rs.challenge.probe_erased_fraction);
+        put_u64(b, rs.challenge.t_pew_ns);
+        put_u64(b, rs.challenge.t_resp_ns);
+        put_u32(b, rs.challenge.probe_segment);
+        break;
     }
   }
   return frame(b);
@@ -221,7 +241,7 @@ std::optional<Request> decode_request_body(const std::string& body) {
       !r.u32(&rq.deadline_ms) || !r.u8(&op))
     return std::nullopt;
   if (op < static_cast<std::uint8_t>(Op::kPing) ||
-      op > static_cast<std::uint8_t>(Op::kStats))
+      op > static_cast<std::uint8_t>(Op::kChallenge))
     return std::nullopt;
   rq.op = static_cast<Op>(op);
   switch (rq.op) {
@@ -233,6 +253,9 @@ std::optional<Request> decode_request_body(const std::string& body) {
       break;
     case Op::kVerify:
       if (!r.u64(&rq.die)) return std::nullopt;
+      break;
+    case Op::kChallenge:
+      if (!r.u64(&rq.die) || !r.u64(&rq.nonce)) return std::nullopt;
       break;
     case Op::kLotReport:
     case Op::kStats:
@@ -251,7 +274,7 @@ std::optional<Response> decode_response_body(const std::string& body) {
   if (status > static_cast<std::uint8_t>(Status::kUnavailable))
     return std::nullopt;
   if (op < static_cast<std::uint8_t>(Op::kPing) ||
-      op > static_cast<std::uint8_t>(Op::kStats))
+      op > static_cast<std::uint8_t>(Op::kChallenge))
     return std::nullopt;
   rs.status = static_cast<Status>(status);
   rs.op = static_cast<Op>(op);
@@ -294,6 +317,27 @@ std::optional<Response> decode_response_body(const std::string& body) {
             !r.u64(&rs.lot.tampered) || !r.u64(&rs.lot.unreadable))
           return std::nullopt;
         break;
+      case Op::kChallenge: {
+        auto flag = [&r](std::uint8_t* v) { return r.u8(v) && *v <= 1; };
+        std::uint8_t verdict = 0;
+        if (!flag(&rs.challenge.accepted) ||
+            !flag(&rs.challenge.subset_genuine) ||
+            !flag(&rs.challenge.replicas_present) ||
+            !flag(&rs.challenge.response_consistent) ||
+            !flag(&rs.challenge.probe_fresh) || !r.u8(&verdict) ||
+            verdict > static_cast<std::uint8_t>(Verdict::kUnreadable))
+          return std::nullopt;
+        rs.challenge.verdict = static_cast<Verdict>(verdict);
+        if (!r.f64(&rs.challenge.subset_zero_fraction) ||
+            !r.f64(&rs.challenge.response_zero_fraction) ||
+            !r.f64(&rs.challenge.response_error) ||
+            !r.f64(&rs.challenge.probe_erased_fraction) ||
+            !r.u64(&rs.challenge.t_pew_ns) ||
+            !r.u64(&rs.challenge.t_resp_ns) ||
+            !r.u32(&rs.challenge.probe_segment))
+          return std::nullopt;
+        break;
+      }
     }
   }
   if (r.pos() != body.size()) return std::nullopt;  // trailing garbage

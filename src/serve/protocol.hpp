@@ -46,6 +46,7 @@ enum class Op : std::uint8_t {
   kVerify = 3,    ///< extract + audit one die
   kLotReport = 4, ///< enrollment/verification totals of this daemon
   kStats = 5,     ///< metrics snapshot (CSV) on demand
+  kChallenge = 6, ///< challenge-response interrogation of one die (anti-replay)
 };
 
 /// Typed response status. Everything except kOk is an error the client can
@@ -77,9 +78,31 @@ struct Request {
   std::uint32_t deadline_ms = 0;
   Op op = Op::kPing;
 
-  std::uint64_t die = 0;     ///< enroll / verify
+  std::uint64_t die = 0;     ///< enroll / verify / challenge
   std::uint32_t npe = 0;     ///< enroll; 0 = server default
   std::uint32_t delay_ms = 0;  ///< ping: cooperative worker delay (chaos/test)
+  /// challenge: the query nonce. The server derives the full challenge from
+  /// (nonce, tenant) under its keyed policy, so a client cannot choose which
+  /// replicas or windows get interrogated — only *when* a fresh query runs.
+  std::uint64_t nonce = 0;
+};
+
+/// Challenge payload of a kChallenge response: the per-gate outcome plus the
+/// derived query echoed back, so a client can audit what was interrogated.
+struct ChallengeBody {
+  std::uint8_t accepted = 0;
+  std::uint8_t subset_genuine = 0;
+  std::uint8_t replicas_present = 0;
+  std::uint8_t response_consistent = 0;
+  std::uint8_t probe_fresh = 0;
+  Verdict verdict = Verdict::kUnreadable;
+  double subset_zero_fraction = 0.0;
+  double response_zero_fraction = 0.0;
+  double response_error = 0.0;
+  double probe_erased_fraction = 0.0;
+  std::uint64_t t_pew_ns = 0;   ///< decode window actually used
+  std::uint64_t t_resp_ns = 0;  ///< response window actually used
+  std::uint32_t probe_segment = 0;
 };
 
 /// Aggregate totals of the kLotReport op.
@@ -116,6 +139,9 @@ struct Response {
 
   // lot-report payload
   LotReportBody lot;
+
+  // challenge payload
+  ChallengeBody challenge;
 };
 
 /// Encode a full frame (header + body + CRC trailer).

@@ -227,6 +227,35 @@ void Server::start_locked() {
   scan_enrolled();
   recover_sessions();  // before any socket exists: no concurrent requests
 
+  // Calibrate the challenge expectations against a synthetic golden die
+  // imprinted exactly like an enrollment at default_npe (die index max_dies
+  // can never collide with a client-visible die). Every daemon with the
+  // same (device, seed, npe) derives identical tables.
+  {
+    challenge_policy_ = cfg_.challenge;
+    Device golden(cfg_.device,
+                  fleet::derive_die_seed(cfg_.master_seed, cfg_.max_dies));
+    const Addr addr = golden.config().geometry.segment_base(cfg_.segment);
+    WatermarkSpec golden_spec = spec_for(cfg_.max_dies, cfg_.default_npe);
+    // Batched wear, like the scenario layer's calibration: the golden die
+    // only feeds expectation tables, and a cycle-by-cycle imprint at a
+    // production npe would hold start() (and the chaos tests' socket-bind
+    // probes) hostage for seconds before the daemon listens.
+    golden_spec.strategy = ImprintStrategy::kBatchWear;
+    imprint_watermark(golden.hal(), addr, golden_spec);
+    try {
+      calibrate_challenge_policy(golden.hal(), addr, verify_opts_,
+                                 challenge_policy_);
+      challenge_error_.clear();
+    } catch (const std::invalid_argument& e) {
+      // An unsound challenge policy at this (device, npe) point — e.g. an
+      // imprint too shallow for any response window to discriminate a
+      // recording — must not take the verify service down with it. The
+      // daemon runs; challenge requests get this error as a typed kFailed.
+      challenge_error_ = e.what();
+    }
+  }
+
   if (!cfg_.socket_path.empty()) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -581,6 +610,9 @@ void Server::process(Work w) {
       case Op::kStats:
         rs.message = stats_csv();
         break;
+      case Op::kChallenge:
+        handle_challenge(w, rs);
+        break;
     }
   } catch (const OperationCancelledError&) {
     if (abort_queued_.load(std::memory_order_acquire)) {
@@ -723,6 +755,10 @@ void Server::handle_verify(const Work& w, Response& rs) {
                                  pin->config().geometry));
     hal = &*fhal;
   }
+  std::unique_ptr<FlashHal> counterfeit;
+  if (cfg_.counterfeit_hal &&
+      (counterfeit = cfg_.counterfeit_hal(*hal, die)))
+    hal = counterfeit.get();
   const VerifyReport report = verify_watermark(*hal, addr, vo);
 
   rs.verdict = report.verdict;
@@ -748,6 +784,67 @@ void Server::handle_verify(const Work& w, Response& rs) {
       n_.unreadable.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+}
+
+void Server::handle_challenge(const Work& w, Response& rs) {
+  if (!challenge_error_.empty()) {
+    rs.status = Status::kFailed;
+    rs.message = "challenge mode unavailable: " + challenge_error_;
+    return;
+  }
+  const std::uint64_t die = w.rq.die;
+  if (die >= cfg_.max_dies) {
+    rs.status = Status::kInvalid;
+    rs.message = "die id out of range";
+    return;
+  }
+  std::lock_guard<std::mutex> die_lk(stripe_for(die));
+  if (!is_enrolled(die)) {
+    rs.status = Status::kInvalid;
+    rs.message = "die not enrolled";
+    return;
+  }
+
+  store::DieStore::PinnedDie pin = store_->pin(die);
+  VerifyOptions vo = verify_opts_;
+  fleet::DieProgress* progress = w.progress.get();
+  vo.cancelled = [progress] {
+    progress->tick();
+    return progress->cancel_requested();
+  };
+  const Addr addr = pin->config().geometry.segment_base(cfg_.segment);
+  FlashHal* hal = &pin->hal();
+  std::optional<fault::FaultyHal> fhal;
+  if (cfg_.faults.any()) {
+    fhal.emplace(pin->hal(), fault::FaultPlan::for_die(
+                                 cfg_.faults, pin->die_seed(),
+                                 pin->config().geometry));
+    hal = &*fhal;
+  }
+  std::unique_ptr<FlashHal> counterfeit;
+  if (cfg_.counterfeit_hal &&
+      (counterfeit = cfg_.counterfeit_hal(*hal, die)))
+    hal = counterfeit.get();
+
+  const ChallengeReport report = challenge_verify(
+      *hal, addr, vo, challenge_policy_, w.rq.nonce, w.rq.tenant);
+
+  rs.challenge.accepted = report.accepted ? 1 : 0;
+  rs.challenge.subset_genuine = report.subset_genuine ? 1 : 0;
+  rs.challenge.replicas_present = report.replicas_present ? 1 : 0;
+  rs.challenge.response_consistent = report.response_consistent ? 1 : 0;
+  rs.challenge.probe_fresh = report.probe_fresh ? 1 : 0;
+  rs.challenge.verdict = report.verdict;
+  rs.challenge.subset_zero_fraction = report.subset_zero_fraction;
+  rs.challenge.response_zero_fraction = report.response_zero_fraction;
+  rs.challenge.response_error = report.response_error;
+  rs.challenge.probe_erased_fraction = report.probe_erased_fraction;
+  rs.challenge.t_pew_ns =
+      static_cast<std::uint64_t>(report.challenge.t_pew.as_ns());
+  rs.challenge.t_resp_ns =
+      static_cast<std::uint64_t>(report.challenge.t_resp.as_ns());
+  rs.challenge.probe_segment =
+      static_cast<std::uint32_t>(report.challenge.probe_segment);
 }
 
 void Server::handle_lot_report(Response& rs) { rs.lot = lot_report(); }

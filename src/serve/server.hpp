@@ -61,6 +61,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/challenge.hpp"
 #include "fault/fault.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/thread_pool.hpp"
@@ -135,10 +136,25 @@ struct ServerConfig {
   /// matching fields so verification always matches enrollment.
   VerifyOptions verify;
 
+  // --- challenge ----------------------------------------------------------
+  /// Challenge-response interrogation policy (the kChallenge op). The
+  /// expectation tables are calibrated on start() against a synthetic
+  /// golden die imprinted exactly like an enrollment at default_npe, so a
+  /// daemon's expectations always match its own population.
+  ChallengePolicy challenge = default_challenge_policy();
+
   // --- chaos --------------------------------------------------------------
   /// When any fault is enabled, every request's die HAL is wrapped in a
   /// FaultyHal whose plan derives from the die seed (deterministic per die).
   fault::FaultConfig faults;
+  /// Counterfeit-hardware instrument (test/chaos): when set, every verify
+  /// and challenge request's HAL is replaced by whatever this returns for
+  /// (inner hal, die) — e.g. an attack::ReplayHal answering from a recorded
+  /// extraction. Return nullptr to leave the die genuine. Mirrors `faults`:
+  /// the daemon's behavior under counterfeit parts is testable end-to-end
+  /// without a second hardware model.
+  std::function<std::unique_ptr<FlashHal>(FlashHal&, std::uint64_t die)>
+      counterfeit_hal;
 };
 
 /// Point-in-time snapshot of the daemon's counters (all monotonic except
@@ -202,6 +218,12 @@ class Server {
 
   ServerStats stats() const;
   LotReportBody lot_report() const;
+
+  /// The challenge policy actually in force (cfg_.challenge with its
+  /// expectation tables filled by the start-time golden calibration).
+  /// Lets a test or auditor re-run challenge_verify() locally and compare
+  /// against the daemon bit-for-bit. Valid after start().
+  const ChallengePolicy& challenge_policy() const { return challenge_policy_; }
 
   /// Deterministically-sorted CSV snapshot (the kStats payload): serve
   /// gauges + store gauges + latency summary, built on a private registry
@@ -272,6 +294,7 @@ class Server {
   void handle_ping(const Work& w, Response& rs);
   void handle_enroll(const Work& w, Response& rs);
   void handle_verify(const Work& w, Response& rs);
+  void handle_challenge(const Work& w, Response& rs);
   void handle_lot_report(Response& rs);
   void finish(const Work& w, Response& rs,
               std::chrono::steady_clock::time_point started);
@@ -297,6 +320,11 @@ class Server {
 
   ServerConfig cfg_;
   VerifyOptions verify_opts_;  ///< cfg_.verify with key/replicas aligned
+  ChallengePolicy challenge_policy_;  ///< cfg_.challenge, calibrated on start()
+  /// Non-empty when the start-time calibration rejected cfg_.challenge as
+  /// unsound for this (device, default_npe); challenge requests then fail
+  /// typed (kFailed) while the verify service runs normally.
+  std::string challenge_error_;
   std::unique_ptr<store::DieStore> store_;
   std::unique_ptr<fleet::ThreadPool> pool_;
 

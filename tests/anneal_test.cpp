@@ -6,6 +6,8 @@
 #include "baseline/recycled_detector.hpp"
 #include "core/flashmark.hpp"
 #include "mcu/device.hpp"
+#include "scenario/roc.hpp"
+#include "scenario/scenario.hpp"
 
 namespace flashmark {
 namespace {
@@ -133,6 +135,40 @@ TEST(BakeAttack, BakeDoesShaveTheWearScore) {
   const double baked = det.assess(b.hal(), g.segment_base(1)).wear_score;
   EXPECT_LT(baked, unbaked);
   EXPECT_GT(baked, 1.5);  // still far above the recycled threshold
+}
+
+TEST(BakeAttack, BakeCannotLiftRecycledPartAboveCalibratedThreshold) {
+  // Population-level pin against the scenario detector's own operating
+  // point: baking a recycled part before resale shaves the wear signature
+  // (the model above is honest about that), but the keyed freshness probe
+  // still separates the baked population from genuine with Youden J = 1.
+  scenario::ScenarioConfig cfg;
+  cfg.n_challenges = 3;
+  scenario::calibrate(cfg);
+
+  scenario::ScoreHistogram genuine, baked, resale;
+  for (std::uint64_t die = 0; die < 8; ++die) {
+    genuine.add(scenario::run_and_score(
+        cfg, scenario::Scenario::genuine_fresh(), die));
+    baked.add(scenario::run_and_score(
+        cfg, scenario::Scenario::recycled_bake(), die));
+    resale.add(scenario::run_and_score(
+        cfg, scenario::Scenario::recycled_resale(), die));
+  }
+  const scenario::RocOperatingPoint op =
+      scenario::calibrate_operating_point(genuine, baked);
+  EXPECT_EQ(op.youden, 1.0);
+  EXPECT_EQ(op.tpr, 1.0);
+  EXPECT_EQ(op.fpr, 0.0);
+  EXPECT_GT(op.threshold, 0.55);
+  EXPECT_LT(op.threshold, 0.95);
+
+  // The oven helps the counterfeiter a little: the baked population's
+  // operating point sits at or above the unbaked recycled one's.
+  const scenario::RocOperatingPoint unbaked =
+      scenario::calibrate_operating_point(genuine, resale);
+  EXPECT_EQ(unbaked.youden, 1.0);
+  EXPECT_GE(op.threshold, unbaked.threshold - 0.05);
 }
 
 }  // namespace

@@ -93,5 +93,48 @@ TEST(FfdDetector, WorksThroughMcuRegisters) {
   EXPECT_TRUE(det.assess(suspect.mcu_hal(), g.segment_base(1)).used);
 }
 
+/// A HAL whose reads come back empty — the degenerate input that used to
+/// turn the FFD fraction into NaN (and `NaN > trip` into a silent "fresh").
+class EmptyReadHal final : public FlashHal {
+ public:
+  explicit EmptyReadHal(FlashHal& inner) : inner_(inner) {}
+  const FlashGeometry& geometry() const override { return inner_.geometry(); }
+  const FlashTiming& timing() const override { return inner_.timing(); }
+  SimTime now() const override { return inner_.now(); }
+  void erase_segment(Addr a) override { inner_.erase_segment(a); }
+  SimTime erase_segment_auto(Addr a) override {
+    return inner_.erase_segment_auto(a);
+  }
+  void partial_erase_segment(Addr a, SimTime t) override {
+    inner_.partial_erase_segment(a, t);
+  }
+  void program_word(Addr a, std::uint16_t v) override {
+    inner_.program_word(a, v);
+  }
+  void partial_program_word(Addr a, std::uint16_t v, SimTime t) override {
+    inner_.partial_program_word(a, v, t);
+  }
+  void program_block(Addr a, const std::vector<std::uint16_t>& w) override {
+    inner_.program_block(a, w);
+  }
+  std::uint16_t read_word(Addr a) override { return inner_.read_word(a); }
+  BitVec read_segment(Addr, int) override { return BitVec(0); }
+  void wear_segment(Addr a, double c, const BitVec* p = nullptr) override {
+    inner_.wear_segment(a, c, p);
+  }
+
+ private:
+  FlashHal& inner_;
+};
+
+TEST(FfdDetector, ZeroCellProbeThrowsInsteadOfNaNFresh) {
+  Device dev(DeviceConfig::msp430f5438(), 407);
+  EmptyReadHal hal(dev.hal());
+  const Addr a = dev.config().geometry.segment_base(0);
+  FfdDetector det;
+  EXPECT_THROW(det.assess(hal, a), std::invalid_argument);
+  EXPECT_THROW(det.calibrate(hal, a), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace flashmark

@@ -115,6 +115,17 @@ TEST(Judge, LayoutOverflowThrows) {
   EXPECT_THROW(judge_extracted_bits(BitVec(4096), v), std::invalid_argument);
 }
 
+TEST(Judge, ZeroReplicasThrowsInsteadOfNaNVerdict) {
+  // n_replicas == 0 implies an empty watermark region: 0/0 zero fraction is
+  // NaN and `NaN < min_zero_fraction` is false, so the old behavior sailed
+  // past the presence gate with no data at all. Degenerate layouts are an
+  // explicit error, never a silent verdict.
+  VerifyOptions v = vopts();
+  v.n_replicas = 0;
+  EXPECT_THROW(judge_extracted_bits(perfect_extraction(), v),
+               std::invalid_argument);
+}
+
 TEST(Judge, TamperThresholdIsConfigurable) {
   BitVec bits = perfect_extraction();
   const std::size_t L = spec().replica_bits();

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "attack/attacks.hpp"
+#include "core/challenge.hpp"
 #include "core/flashmark.hpp"
 #include "fleet/fleet.hpp"
 #include "mcu/persist.hpp"
@@ -197,6 +199,75 @@ TEST(ServeProtocol, ResponseFrameRoundTripsEveryPayloadSection) {
     EXPECT_EQ(got->lot.genuine, 8u);
     EXPECT_EQ(got->lot.no_watermark, 1u);
   }
+}
+
+TEST(ServeProtocol, ChallengeFramesRoundTripAndRejectMalformedBodies) {
+  // Request: (die, nonce) payload.
+  Request rq = make_request(Op::kChallenge, 77);
+  rq.tenant = 9;
+  rq.die = 12;
+  rq.nonce = 0xFEED'F00D'CAFE'BEEFull;
+  const std::string rframe = encode_request_frame(rq);
+  FrameParser p;
+  p.feed(rframe.data(), rframe.size());
+  std::string rbody;
+  ASSERT_EQ(p.next(&rbody), FrameParser::State::kFrame);
+  const auto grq = decode_request_body(rbody);
+  ASSERT_TRUE(grq.has_value());
+  EXPECT_EQ(grq->op, Op::kChallenge);
+  EXPECT_EQ(grq->die, 12u);
+  EXPECT_EQ(grq->nonce, rq.nonce);
+
+  // Malformed challenge request bodies: a truncated nonce and trailing
+  // garbage are both structural defects, not "default-valued fields".
+  EXPECT_FALSE(decode_request_body(rbody.substr(0, rbody.size() - 4)));
+  EXPECT_FALSE(decode_request_body(rbody + '\0'));
+
+  // Response: the full per-gate payload survives a round trip bit-for-bit.
+  Response rs;
+  rs.request_id = 77;
+  rs.status = Status::kOk;
+  rs.op = Op::kChallenge;
+  rs.challenge.accepted = 1;
+  rs.challenge.subset_genuine = 1;
+  rs.challenge.replicas_present = 1;
+  rs.challenge.response_consistent = 1;
+  rs.challenge.probe_fresh = 1;
+  rs.challenge.verdict = Verdict::kGenuine;
+  rs.challenge.subset_zero_fraction = 0.34375;
+  rs.challenge.response_zero_fraction = 0.7109375;
+  rs.challenge.response_error = 0.0125;
+  rs.challenge.probe_erased_fraction = 0.76953125;
+  rs.challenge.t_pew_ns = 30'000;
+  rs.challenge.t_resp_ns = 24'000;
+  rs.challenge.probe_segment = 3;
+  const std::string sframe = encode_response_frame(rs);
+  p = FrameParser();
+  p.feed(sframe.data(), sframe.size());
+  std::string sbody;
+  ASSERT_EQ(p.next(&sbody), FrameParser::State::kFrame);
+  const auto grs = decode_response_body(sbody);
+  ASSERT_TRUE(grs.has_value());
+  EXPECT_EQ(grs->op, Op::kChallenge);
+  EXPECT_EQ(grs->challenge.accepted, 1);
+  EXPECT_EQ(grs->challenge.verdict, Verdict::kGenuine);
+  EXPECT_EQ(grs->challenge.subset_zero_fraction, 0.34375);  // bitwise
+  EXPECT_EQ(grs->challenge.response_zero_fraction, 0.7109375);
+  EXPECT_EQ(grs->challenge.response_error, 0.0125);
+  EXPECT_EQ(grs->challenge.probe_erased_fraction, 0.76953125);
+  EXPECT_EQ(grs->challenge.t_pew_ns, 30'000u);
+  EXPECT_EQ(grs->challenge.t_resp_ns, 24'000u);
+  EXPECT_EQ(grs->challenge.probe_segment, 3u);
+
+  // A gate flag must be 0 or 1 on the wire. Body layout: request_id u64,
+  // status u8, op u8, message (u32 len + bytes, empty here), then the five
+  // flag bytes — so flag 0 sits at offset 14.
+  std::string bad = sbody;
+  ASSERT_GT(bad.size(), 14u);
+  bad[14] = 2;
+  EXPECT_FALSE(decode_response_body(bad));
+  // Truncated challenge payload.
+  EXPECT_FALSE(decode_response_body(sbody.substr(0, sbody.size() - 2)));
 }
 
 // ---------------------------------------------------------------------------
@@ -417,6 +488,132 @@ TEST(ServeDaemon, EnrollVerifyRoundTripMatchesLocalVerify) {
   EXPECT_EQ(rs.lot.verifies, 1u);
 }
 
+TEST(ServeDaemon, ChallengeRoundTripMatchesLocalInterrogation) {
+  // The default TestDaemon imprint (npe 400) is too weak for the subset
+  // decode — there is no window where a 400-cycle watermark reads genuine.
+  // The challenge daemon enrolls at 20k cycles; the start-time golden
+  // calibration follows default_npe automatically.
+  TestDaemon d("fm_serve_challenge", [](ServerConfig& cfg) {
+    cfg.default_npe = 20'000;
+    cfg.checkpoint_every = 4'096;
+    // An npe-20k enroll plus double-extraction challenges are heavy
+    // requests; under TSan's slowdown the default 30 s clamp cancels them.
+    cfg.max_deadline_ms = 300'000;
+  });
+  Client client(d.endpoint());
+
+  Request rq = make_request(Op::kEnroll, 1);
+  rq.die = 3;
+  rq.deadline_ms = 60'000;
+  Response rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+
+  // Interrogating a die that was never enrolled is a typed error.
+  rq = make_request(Op::kChallenge, 2);
+  rq.die = 7;
+  rq.nonce = 1;
+  rs = client.call(rq);
+  EXPECT_EQ(rs.status, Status::kInvalid);
+
+  // The daemon's challenge is a pure function of (die state, nonce, tenant,
+  // policy): replaying the same interrogation locally on the installed die
+  // file, under the server's calibrated policy, agrees bit-for-bit.
+  std::unique_ptr<Device> dev =
+      load_device_file(d.dir.file("data/dies/die-3.fm"));
+  VerifyOptions vo = d.cfg.verify;
+  vo.key = d.cfg.key;
+  vo.n_replicas = d.cfg.n_replicas;
+  const ChallengeReport local = challenge_verify(
+      dev->hal(), dev->config().geometry.segment_base(d.cfg.segment), vo,
+      d.server->challenge_policy(), /*nonce=*/1, /*tenant=*/0);
+
+  rq = make_request(Op::kChallenge, 3);
+  rq.die = 3;
+  rq.nonce = 1;
+  rq.deadline_ms = 60'000;
+  rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+  // Regression pin: nonce 1 on die 3 lands on a dependable decode window,
+  // so a genuine, fresh die passes every gate.
+  EXPECT_EQ(rs.challenge.accepted, 1);
+  EXPECT_EQ(rs.challenge.subset_genuine, 1);
+  EXPECT_EQ(rs.challenge.replicas_present, 1);
+  EXPECT_EQ(rs.challenge.response_consistent, 1);
+  EXPECT_EQ(rs.challenge.probe_fresh, 1);
+  EXPECT_EQ(rs.challenge.verdict, local.verdict);
+  EXPECT_EQ(rs.challenge.subset_zero_fraction,
+            local.subset_zero_fraction);  // bitwise
+  EXPECT_EQ(rs.challenge.response_zero_fraction, local.response_zero_fraction);
+  EXPECT_EQ(rs.challenge.response_error, local.response_error);
+  EXPECT_EQ(rs.challenge.probe_erased_fraction, local.probe_erased_fraction);
+  EXPECT_EQ(rs.challenge.t_pew_ns,
+            static_cast<std::uint64_t>(local.challenge.t_pew.as_ns()));
+  EXPECT_EQ(rs.challenge.t_resp_ns,
+            static_cast<std::uint64_t>(local.challenge.t_resp.as_ns()));
+  EXPECT_EQ(rs.challenge.probe_segment,
+            static_cast<std::uint32_t>(local.challenge.probe_segment));
+
+  // Different nonces interrogate different subsets/windows/probe segments —
+  // a client cannot steer the daemon toward a favourable query.
+  rq = make_request(Op::kChallenge, 4);
+  rq.die = 3;
+  rq.nonce = 4;
+  rq.deadline_ms = 60'000;
+  const Response rs2 = client.call(rq);
+  ASSERT_EQ(rs2.status, Status::kOk) << rs2.message;
+  EXPECT_TRUE(rs2.challenge.t_pew_ns != rs.challenge.t_pew_ns ||
+              rs2.challenge.probe_segment != rs.challenge.probe_segment);
+}
+
+TEST(ServeDaemon, ChallengeRejectsReplayThatFoolsPlainVerify) {
+  // A counterfeit "chip" that answers every read of the watermark segment
+  // from a recording of one genuine extraction. cfg.counterfeit_hal mirrors
+  // the fault-injection hook: the wrap applies to verify and challenge
+  // paths alike, so the same emulated part faces both auditors.
+  TestDaemon d("fm_serve_replay", [](ServerConfig& cfg) {
+    cfg.default_npe = 20'000;
+    cfg.checkpoint_every = 4'096;
+    cfg.max_deadline_ms = 300'000;  // survive TSan's slowdown
+    cfg.counterfeit_hal = [](FlashHal& inner, std::uint64_t die)
+        -> std::unique_ptr<FlashHal> {
+      if (die != 9) return nullptr;
+      BitVec recorded =
+          inner.read_segment(inner.geometry().segment_base(0), 1);
+      return std::make_unique<ReplayHal>(inner, 0, std::move(recorded));
+    };
+  });
+  Client client(d.endpoint());
+
+  Request rq = make_request(Op::kEnroll, 1);
+  rq.die = 9;
+  rq.deadline_ms = 60'000;
+  Response rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+
+  // The recording answers a plain verify perfectly: same bitmap, same
+  // decode, same signature — the daemon calls it genuine.
+  rq = make_request(Op::kVerify, 2);
+  rq.die = 9;
+  rq.deadline_ms = 60'000;
+  rs = client.call(rq);
+  ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+  EXPECT_EQ(rs.verdict, Verdict::kGenuine);
+
+  // Every interrogation is rejected: the recorded bitmap cannot track the
+  // response window the daemon draws per nonce, so the anti-replay gate
+  // (response_consistent) fails even though the decode gate passes.
+  for (std::uint64_t nonce = 1; nonce <= 3; ++nonce) {
+    rq = make_request(Op::kChallenge, 10 + nonce);
+    rq.die = 9;
+    rq.nonce = nonce;
+    rq.deadline_ms = 60'000;
+    rs = client.call(rq);
+    ASSERT_EQ(rs.status, Status::kOk) << rs.message;
+    EXPECT_EQ(rs.challenge.accepted, 0) << "nonce " << nonce;
+    EXPECT_EQ(rs.challenge.response_consistent, 0) << "nonce " << nonce;
+  }
+}
+
 TEST(ServeDaemon, InvalidRequestsGetTypedErrorsNotTeardowns) {
   TestDaemon d("fm_serve_invalid");
   Client client(d.endpoint());
@@ -443,6 +640,17 @@ TEST(ServeDaemon, InvalidRequestsGetTypedErrorsNotTeardowns) {
   rq.request_id = 5;
   rs = client.call(rq);
   EXPECT_EQ(rs.status, Status::kInvalid);
+
+  // The default test imprint (npe 400) is too shallow for a sound challenge
+  // policy, so the start-time calibration disarmed the challenge op — a
+  // typed kFailed naming the cause, not a dead daemon and not a silent
+  // accept-anything interrogation.
+  rq = make_request(Op::kChallenge, 7);
+  rq.die = 2;
+  rq.nonce = 1;
+  rs = client.call(rq);
+  EXPECT_EQ(rs.status, Status::kFailed);
+  EXPECT_NE(rs.message.find("challenge mode unavailable"), std::string::npos);
 
   // The same connection kept working through all of it.
   EXPECT_EQ(client.call(make_request(Op::kPing, 6)).status, Status::kOk);

@@ -1,6 +1,7 @@
 // serve_client — load driver / CLI client for flashmarkd.
 //
 //   serve_client --endpoint /tmp/fm.sock --op verify --die 3
+//   serve_client --endpoint /tmp/fm.sock --op challenge --die 3 --nonce 7
 //   serve_client --endpoint tcp:41001 --op enroll --die 7 --npe 2000
 //   serve_client --endpoint tcp:41001 --op verify --dies 100 --count 1000 \
 //                --concurrency 16 --retries 5
@@ -32,10 +33,10 @@ using namespace flashmark::serve;
   std::fprintf(
       stderr,
       "usage: %s --endpoint (PATH|tcp:PORT) --op "
-      "(ping|enroll|verify|lot-report|stats)\n"
+      "(ping|enroll|verify|challenge|lot-report|stats)\n"
       "  [--die N | --dies N] [--count N] [--concurrency N] [--npe N]\n"
-      "  [--deadline-ms N] [--tenant N] [--delay-ms N] [--retries N] "
-      "[--seed N] [--quiet]\n",
+      "  [--nonce N] [--deadline-ms N] [--tenant N] [--delay-ms N] "
+      "[--retries N] [--seed N] [--quiet]\n",
       argv0);
   std::exit(2);
 }
@@ -53,7 +54,7 @@ struct Tally {
 int main(int argc, char** argv) {
   std::string endpoint;
   std::string op_name = "ping";
-  std::uint64_t die = 0, dies = 0, count = 1;
+  std::uint64_t die = 0, dies = 0, count = 1, nonce = 0;
   unsigned concurrency = 1;
   std::uint32_t npe = 0, deadline_ms = 0, tenant = 0, delay_ms = 0;
   RetryPolicy rp;
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
     else if (a == "--concurrency")
       concurrency = static_cast<unsigned>(std::atoi(value()));
     else if (a == "--npe") npe = static_cast<std::uint32_t>(std::atoll(value()));
+    else if (a == "--nonce") nonce = std::strtoull(value(), nullptr, 0);
     else if (a == "--deadline-ms")
       deadline_ms = static_cast<std::uint32_t>(std::atoll(value()));
     else if (a == "--tenant")
@@ -92,6 +94,7 @@ int main(int argc, char** argv) {
   if (op_name == "ping") op = Op::kPing;
   else if (op_name == "enroll") op = Op::kEnroll;
   else if (op_name == "verify") op = Op::kVerify;
+  else if (op_name == "challenge") op = Op::kChallenge;
   else if (op_name == "lot-report") op = Op::kLotReport;
   else if (op_name == "stats") op = Op::kStats;
   else usage(argv[0]);
@@ -120,6 +123,9 @@ int main(int argc, char** argv) {
         rq.die = dies > 0 ? (die + i % dies) : die;
         rq.npe = npe;
         rq.delay_ms = delay_ms;
+        // Load runs vary the query: each request interrogates under its own
+        // nonce, so the daemon derives a different challenge every time.
+        rq.nonce = count == 1 ? nonce : nonce + i;
         const auto t0 = std::chrono::steady_clock::now();
         const Response rs = client.call(rq);
         const double ms = std::chrono::duration<double, std::milli>(
@@ -138,6 +144,20 @@ int main(int argc, char** argv) {
           if (rs.op == Op::kVerify && rs.status == Status::kOk)
             std::printf("verdict=%s zero_fraction=%.4f\n",
                         to_string(rs.verdict), rs.zero_fraction);
+          if (rs.op == Op::kChallenge && rs.status == Status::kOk)
+            std::printf(
+                "accepted=%u subset_genuine=%u replicas_present=%u "
+                "response_consistent=%u probe_fresh=%u verdict=%s\n"
+                "response_error=%.4f probe_erased_fraction=%.4f "
+                "t_pew_ns=%llu t_resp_ns=%llu probe_segment=%u\n",
+                rs.challenge.accepted, rs.challenge.subset_genuine,
+                rs.challenge.replicas_present,
+                rs.challenge.response_consistent, rs.challenge.probe_fresh,
+                to_string(rs.challenge.verdict), rs.challenge.response_error,
+                rs.challenge.probe_erased_fraction,
+                static_cast<unsigned long long>(rs.challenge.t_pew_ns),
+                static_cast<unsigned long long>(rs.challenge.t_resp_ns),
+                rs.challenge.probe_segment);
           if (rs.op == Op::kEnroll && rs.status == Status::kOk)
             std::printf("cycles_run=%u resumed=%u\n", rs.cycles_run,
                         rs.resumed);
